@@ -1,0 +1,439 @@
+//! The physical algebra (§3.3).
+//!
+//! Implementation rules transform a logical plan into a physical plan whose
+//! operators name concrete algorithms: `exec` (the physical counterpart of
+//! `submit`, which calls a wrapper), `mkunion`, `mkproj`, nested-loop and
+//! hash joins, and so on.  As in the paper, the second argument of
+//! [`PhysicalExpr::Exec`] "is still a logical expression, because the
+//! wrapper interface accepts a logical expression".
+//!
+//! Every physical operator can be converted back to its logical
+//! counterpart with [`PhysicalExpr::to_logical`]; partial evaluation (§4)
+//! depends on this to turn the unevaluated part of a plan back into an OQL
+//! query.
+
+use disco_value::Bag;
+
+use crate::logical::LogicalExpr;
+use crate::scalar::{AggKind, ScalarExpr};
+
+/// A physical query plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalExpr {
+    /// Calls a wrapper: ships the (logical) expression to the wrapper bound
+    /// to `wrapper` for evaluation against `repository`.
+    Exec {
+        /// Repository name (`field(r0)` in the paper's notation).
+        repository: String,
+        /// Wrapper name.
+        wrapper: String,
+        /// The extent whose transformation map applies.
+        extent: String,
+        /// The logical expression shipped to the wrapper (mediator
+        /// name space; the runtime applies the map before the call).
+        logical: LogicalExpr,
+    },
+    /// Scans an in-memory bag (literal data embedded in the plan).
+    MemScan(Bag),
+    /// Filters rows by a predicate.
+    FilterOp {
+        /// Input plan.
+        input: Box<PhysicalExpr>,
+        /// Predicate.
+        predicate: ScalarExpr,
+    },
+    /// Projects source rows onto named columns.
+    ProjectOp {
+        /// Input plan.
+        input: Box<PhysicalExpr>,
+        /// Columns to keep.
+        columns: Vec<String>,
+    },
+    /// Computes a scalar expression per environment row (`mkproj` for
+    /// generalized projections).
+    MapOp {
+        /// Input plan.
+        input: Box<PhysicalExpr>,
+        /// Projected expression.
+        projection: ScalarExpr,
+    },
+    /// Wraps source rows into environment rows.
+    BindOp {
+        /// Range variable.
+        var: String,
+        /// Input plan.
+        input: Box<PhysicalExpr>,
+    },
+    /// Nested-loop join of two environment-row inputs.
+    NestedLoopJoin {
+        /// Left input.
+        left: Box<PhysicalExpr>,
+        /// Right input.
+        right: Box<PhysicalExpr>,
+        /// Optional predicate over the merged environment.
+        predicate: Option<ScalarExpr>,
+    },
+    /// Hash join of two environment-row inputs on equi-join keys.
+    HashJoin {
+        /// Left input.
+        left: Box<PhysicalExpr>,
+        /// Right input.
+        right: Box<PhysicalExpr>,
+        /// Key expression evaluated on left rows.
+        left_key: ScalarExpr,
+        /// Key expression evaluated on right rows.
+        right_key: ScalarExpr,
+        /// Residual predicate applied after the key match.
+        residual: Option<ScalarExpr>,
+    },
+    /// Source-style equi-join executed at the mediator (merging the source
+    /// tuples), for `SourceJoin` nodes that could not be pushed.
+    MergeTuplesJoin {
+        /// Left input (source rows).
+        left: Box<PhysicalExpr>,
+        /// Right input (source rows).
+        right: Box<PhysicalExpr>,
+        /// Equality conditions `(left_attr, right_attr)`.
+        on: Vec<(String, String)>,
+    },
+    /// Bag union.
+    MkUnion(Vec<PhysicalExpr>),
+    /// Flattens a bag of bags.
+    MkFlatten(Box<PhysicalExpr>),
+    /// Removes duplicates.
+    MkDistinct(Box<PhysicalExpr>),
+    /// Aggregates a bag of scalars.
+    MkAggregate {
+        /// Aggregate function.
+        func: AggKind,
+        /// Input plan.
+        input: Box<PhysicalExpr>,
+    },
+}
+
+impl PhysicalExpr {
+    /// The algorithm name (used in traces and cost records).
+    #[must_use]
+    pub fn algorithm(&self) -> &'static str {
+        match self {
+            PhysicalExpr::Exec { .. } => "exec",
+            PhysicalExpr::MemScan(_) => "memscan",
+            PhysicalExpr::FilterOp { .. } => "mkselect",
+            PhysicalExpr::ProjectOp { .. } => "mkproj",
+            PhysicalExpr::MapOp { .. } => "mkmap",
+            PhysicalExpr::BindOp { .. } => "mkbind",
+            PhysicalExpr::NestedLoopJoin { .. } => "nljoin",
+            PhysicalExpr::HashJoin { .. } => "hashjoin",
+            PhysicalExpr::MergeTuplesJoin { .. } => "mergejoin",
+            PhysicalExpr::MkUnion(_) => "mkunion",
+            PhysicalExpr::MkFlatten(_) => "mkflatten",
+            PhysicalExpr::MkDistinct(_) => "mkdistinct",
+            PhysicalExpr::MkAggregate { .. } => "mkagg",
+        }
+    }
+
+    /// Immediate children.
+    #[must_use]
+    pub fn children(&self) -> Vec<&PhysicalExpr> {
+        match self {
+            PhysicalExpr::Exec { .. } | PhysicalExpr::MemScan(_) => Vec::new(),
+            PhysicalExpr::FilterOp { input, .. }
+            | PhysicalExpr::ProjectOp { input, .. }
+            | PhysicalExpr::MapOp { input, .. }
+            | PhysicalExpr::BindOp { input, .. }
+            | PhysicalExpr::MkAggregate { input, .. } => vec![input],
+            PhysicalExpr::MkFlatten(inner) | PhysicalExpr::MkDistinct(inner) => vec![inner],
+            PhysicalExpr::NestedLoopJoin { left, right, .. }
+            | PhysicalExpr::HashJoin { left, right, .. }
+            | PhysicalExpr::MergeTuplesJoin { left, right, .. } => vec![left, right],
+            PhysicalExpr::MkUnion(items) => items.iter().collect(),
+        }
+    }
+
+    /// Every `exec` node in the plan, in pre-order.
+    #[must_use]
+    pub fn collect_execs(&self) -> Vec<&PhysicalExpr> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if matches!(e, PhysicalExpr::Exec { .. }) {
+                out.push(e);
+            }
+        });
+        out
+    }
+
+    /// Pre-order traversal.
+    pub fn walk<'a, F: FnMut(&'a PhysicalExpr)>(&'a self, f: &mut F) {
+        f(self);
+        for child in self.children() {
+            child.walk(f);
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Converts the physical plan back into the corresponding logical plan.
+    ///
+    /// "This transformation is possible because each physical operation has
+    /// a corresponding logical operation" (§4) — it is the first half of
+    /// turning an unfinished plan back into an OQL partial answer.
+    #[must_use]
+    pub fn to_logical(&self) -> LogicalExpr {
+        match self {
+            PhysicalExpr::Exec {
+                repository,
+                wrapper,
+                extent,
+                logical,
+            } => LogicalExpr::Submit {
+                repository: repository.clone(),
+                wrapper: wrapper.clone(),
+                extent: extent.clone(),
+                expr: Box::new(logical.clone()),
+            },
+            PhysicalExpr::MemScan(bag) => LogicalExpr::Data(bag.clone()),
+            PhysicalExpr::FilterOp { input, predicate } => LogicalExpr::Filter {
+                input: Box::new(input.to_logical()),
+                predicate: predicate.clone(),
+            },
+            PhysicalExpr::ProjectOp { input, columns } => LogicalExpr::Project {
+                input: Box::new(input.to_logical()),
+                columns: columns.clone(),
+            },
+            PhysicalExpr::MapOp { input, projection } => LogicalExpr::MapProject {
+                input: Box::new(input.to_logical()),
+                projection: projection.clone(),
+            },
+            PhysicalExpr::BindOp { var, input } => LogicalExpr::Bind {
+                var: var.clone(),
+                input: Box::new(input.to_logical()),
+            },
+            PhysicalExpr::NestedLoopJoin {
+                left,
+                right,
+                predicate,
+            } => LogicalExpr::Join {
+                left: Box::new(left.to_logical()),
+                right: Box::new(right.to_logical()),
+                predicate: predicate.clone(),
+            },
+            PhysicalExpr::HashJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                residual,
+            } => {
+                let eq = ScalarExpr::Binary {
+                    op: crate::scalar::ScalarOp::Eq,
+                    left: Box::new(left_key.clone()),
+                    right: Box::new(right_key.clone()),
+                };
+                let predicate = match residual {
+                    Some(r) => ScalarExpr::Binary {
+                        op: crate::scalar::ScalarOp::And,
+                        left: Box::new(eq),
+                        right: Box::new(r.clone()),
+                    },
+                    None => eq,
+                };
+                LogicalExpr::Join {
+                    left: Box::new(left.to_logical()),
+                    right: Box::new(right.to_logical()),
+                    predicate: Some(predicate),
+                }
+            }
+            PhysicalExpr::MergeTuplesJoin { left, right, on } => LogicalExpr::SourceJoin {
+                left: Box::new(left.to_logical()),
+                right: Box::new(right.to_logical()),
+                on: on.clone(),
+            },
+            PhysicalExpr::MkUnion(items) => {
+                LogicalExpr::Union(items.iter().map(PhysicalExpr::to_logical).collect())
+            }
+            PhysicalExpr::MkFlatten(inner) => LogicalExpr::Flatten(Box::new(inner.to_logical())),
+            PhysicalExpr::MkDistinct(inner) => LogicalExpr::Distinct(Box::new(inner.to_logical())),
+            PhysicalExpr::MkAggregate { func, input } => LogicalExpr::Aggregate {
+                func: *func,
+                input: Box::new(input.to_logical()),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for PhysicalExpr {
+    /// Prints in the paper's physical notation, e.g.
+    /// `mkunion(exec(field(r0), project(name, get(person0))), …)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhysicalExpr::Exec {
+                repository,
+                logical,
+                ..
+            } => write!(f, "exec(field({repository}), {logical})"),
+            PhysicalExpr::MemScan(bag) => {
+                if bag.len() <= 4 {
+                    write!(f, "memscan({bag})")
+                } else {
+                    write!(f, "memscan(<{} values>)", bag.len())
+                }
+            }
+            PhysicalExpr::FilterOp { input, predicate } => {
+                write!(f, "mkselect({predicate}, {input})")
+            }
+            PhysicalExpr::ProjectOp { input, columns } => {
+                write!(f, "mkproj({}, {input})", columns.join(", "))
+            }
+            PhysicalExpr::MapOp { input, projection } => write!(f, "mkmap({projection}, {input})"),
+            PhysicalExpr::BindOp { var, input } => write!(f, "mkbind({var}, {input})"),
+            PhysicalExpr::NestedLoopJoin {
+                left,
+                right,
+                predicate,
+            } => match predicate {
+                Some(p) => write!(f, "nljoin({left}, {right}, {p})"),
+                None => write!(f, "nljoin({left}, {right})"),
+            },
+            PhysicalExpr::HashJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                ..
+            } => write!(f, "hashjoin({left}, {right}, {left_key}={right_key})"),
+            PhysicalExpr::MergeTuplesJoin { left, right, on } => {
+                let cond: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                write!(f, "mergejoin({left}, {right}, {})", cond.join(","))
+            }
+            PhysicalExpr::MkUnion(items) => {
+                write!(f, "mkunion(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            PhysicalExpr::MkFlatten(inner) => write!(f, "mkflatten({inner})"),
+            PhysicalExpr::MkDistinct(inner) => write!(f, "mkdistinct({inner})"),
+            PhysicalExpr::MkAggregate { func, input } => write!(f, "mkagg({}, {input})", func.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::ScalarOp;
+
+    fn paper_physical() -> PhysicalExpr {
+        // mkunion(exec(field(r0), project(name, get(person0))),
+        //         mkproj(name, exec(field(r1), get(person1))))
+        PhysicalExpr::MkUnion(vec![
+            PhysicalExpr::Exec {
+                repository: "r0".into(),
+                wrapper: "w0".into(),
+                extent: "person0".into(),
+                logical: LogicalExpr::get("person0").project(["name"]),
+            },
+            PhysicalExpr::ProjectOp {
+                input: Box::new(PhysicalExpr::Exec {
+                    repository: "r1".into(),
+                    wrapper: "w0".into(),
+                    extent: "person1".into(),
+                    logical: LogicalExpr::get("person1"),
+                }),
+                columns: vec!["name".into()],
+            },
+        ])
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(
+            paper_physical().to_string(),
+            "mkunion(exec(field(r0), project(name, get(person0))), mkproj(name, exec(field(r1), get(person1))))"
+        );
+    }
+
+    #[test]
+    fn exec_collection_and_size() {
+        let plan = paper_physical();
+        assert_eq!(plan.collect_execs().len(), 2);
+        assert_eq!(plan.size(), 4);
+        assert_eq!(plan.algorithm(), "mkunion");
+    }
+
+    #[test]
+    fn to_logical_round_trips_the_plan_shape() {
+        let logical = paper_physical().to_logical();
+        assert_eq!(
+            logical.to_string(),
+            "union(submit(r0, project(name, get(person0))), project(name, submit(r1, get(person1))))"
+        );
+    }
+
+    #[test]
+    fn hash_join_converts_to_join_with_equality_predicate() {
+        let hj = PhysicalExpr::HashJoin {
+            left: Box::new(PhysicalExpr::MemScan(Bag::new())),
+            right: Box::new(PhysicalExpr::MemScan(Bag::new())),
+            left_key: ScalarExpr::var_field("x", "id"),
+            right_key: ScalarExpr::var_field("y", "id"),
+            residual: None,
+        };
+        match hj.to_logical() {
+            LogicalExpr::Join { predicate, .. } => {
+                let p = predicate.unwrap();
+                assert!(matches!(p, ScalarExpr::Binary { op: ScalarOp::Eq, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_algorithm_has_a_name_and_children() {
+        let scan = PhysicalExpr::MemScan(Bag::new());
+        let ops: Vec<PhysicalExpr> = vec![
+            PhysicalExpr::FilterOp {
+                input: Box::new(scan.clone()),
+                predicate: ScalarExpr::constant(true),
+            },
+            PhysicalExpr::MapOp {
+                input: Box::new(scan.clone()),
+                projection: ScalarExpr::constant(1i64),
+            },
+            PhysicalExpr::BindOp {
+                var: "x".into(),
+                input: Box::new(scan.clone()),
+            },
+            PhysicalExpr::NestedLoopJoin {
+                left: Box::new(scan.clone()),
+                right: Box::new(scan.clone()),
+                predicate: None,
+            },
+            PhysicalExpr::MergeTuplesJoin {
+                left: Box::new(scan.clone()),
+                right: Box::new(scan.clone()),
+                on: vec![("a".into(), "a".into())],
+            },
+            PhysicalExpr::MkFlatten(Box::new(scan.clone())),
+            PhysicalExpr::MkDistinct(Box::new(scan.clone())),
+            PhysicalExpr::MkAggregate {
+                func: AggKind::Sum,
+                input: Box::new(scan.clone()),
+            },
+        ];
+        for op in ops {
+            assert!(!op.algorithm().is_empty());
+            assert!(!op.children().is_empty());
+            // Conversion to logical never panics and preserves child count.
+            let _ = op.to_logical();
+        }
+    }
+}

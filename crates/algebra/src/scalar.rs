@@ -1,0 +1,752 @@
+//! Scalar (tuple-level) expressions: predicates, computed projections and
+//! aggregates over sub-queries.
+//!
+//! Scalar expressions appear inside the logical operators of the DISCO
+//! algebra: the predicate of a `select` (filter), the projection of a
+//! generalized `project`, and the join condition.  A *pushable* scalar
+//! expression — one built only from plain attribute references, constants,
+//! comparisons and arithmetic — may travel through the `submit` operator to
+//! a wrapper; anything else (struct construction, correlated sub-query
+//! aggregates, reconciliation function calls) is evaluated by the mediator
+//! run-time system.
+
+use disco_value::{Bag, StructValue, Value};
+
+use crate::logical::LogicalExpr;
+use crate::{AlgebraError, Result};
+
+/// Binary operators usable in scalar expressions (a subset of OQL's,
+/// mirroring `disco_oql::BinaryOp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    NotEq,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+    /// Logical conjunction.
+    And,
+    /// Logical disjunction.
+    Or,
+}
+
+impl ScalarOp {
+    /// Returns `true` for comparison operators.
+    #[must_use]
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            ScalarOp::Eq | ScalarOp::NotEq | ScalarOp::Lt | ScalarOp::Le | ScalarOp::Gt | ScalarOp::Ge
+        )
+    }
+
+    /// The OQL spelling.
+    #[must_use]
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            ScalarOp::Add => "+",
+            ScalarOp::Sub => "-",
+            ScalarOp::Mul => "*",
+            ScalarOp::Div => "/",
+            ScalarOp::Eq => "=",
+            ScalarOp::NotEq => "!=",
+            ScalarOp::Lt => "<",
+            ScalarOp::Le => "<=",
+            ScalarOp::Gt => ">",
+            ScalarOp::Ge => ">=",
+            ScalarOp::And => "and",
+            ScalarOp::Or => "or",
+        }
+    }
+}
+
+/// Aggregate functions (matching `disco_oql::AggFunc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// Sum of numeric values.
+    Sum,
+    /// Count of values.
+    Count,
+    /// Arithmetic mean.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl AggKind {
+    /// The OQL spelling.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggKind::Sum => "sum",
+            AggKind::Count => "count",
+            AggKind::Avg => "avg",
+            AggKind::Min => "min",
+            AggKind::Max => "max",
+        }
+    }
+
+    /// Applies the aggregate to a bag of values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error if non-numeric values are aggregated by
+    /// `sum`/`avg`.
+    pub fn apply(&self, bag: &Bag) -> Result<Value> {
+        match self {
+            AggKind::Count => Ok(Value::Int(i64::try_from(bag.len()).unwrap_or(i64::MAX))),
+            AggKind::Sum => {
+                let mut acc = 0.0;
+                let mut all_int = true;
+                for v in bag {
+                    if matches!(v, Value::Float(_)) {
+                        all_int = false;
+                    }
+                    acc += v
+                        .as_float()
+                        .map_err(|_| AlgebraError::Type(format!("sum over non-numeric value {v}")))?;
+                }
+                #[allow(clippy::cast_possible_truncation)]
+                Ok(if all_int {
+                    Value::Int(acc as i64)
+                } else {
+                    Value::Float(acc)
+                })
+            }
+            AggKind::Avg => {
+                if bag.is_empty() {
+                    return Ok(Value::Null);
+                }
+                let mut acc = 0.0;
+                for v in bag {
+                    acc += v
+                        .as_float()
+                        .map_err(|_| AlgebraError::Type(format!("avg over non-numeric value {v}")))?;
+                }
+                #[allow(clippy::cast_precision_loss)]
+                Ok(Value::Float(acc / bag.len() as f64))
+            }
+            AggKind::Min => Ok(bag.sorted().into_iter().next().unwrap_or(Value::Null)),
+            AggKind::Max => Ok(bag.sorted().into_iter().next_back().unwrap_or(Value::Null)),
+        }
+    }
+}
+
+/// A scalar expression evaluated against one row.
+///
+/// Rows are [`StructValue`]s.  Inside expressions pushed to a data source
+/// the row is a source tuple and attributes are referenced with
+/// [`ScalarExpr::Attr`]; on the mediator side the row is an *environment*
+/// struct binding each range variable to its tuple, and attributes are
+/// referenced with [`ScalarExpr::Var`] + [`ScalarExpr::Field`] paths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// A constant value.
+    Const(Value),
+    /// A plain attribute of the current row (source-side form).
+    Attr(String),
+    /// A bound range variable (mediator-side form); evaluates to the tuple
+    /// the variable is bound to.
+    Var(String),
+    /// Field access on a nested value, e.g. `Var("x")` then `Field("salary")`.
+    Field(Box<ScalarExpr>, String),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: ScalarOp,
+        /// Left operand.
+        left: Box<ScalarExpr>,
+        /// Right operand.
+        right: Box<ScalarExpr>,
+    },
+    /// Logical negation.
+    Not(Box<ScalarExpr>),
+    /// Struct construction (`struct(name: …, salary: …)`).
+    StructLit(Vec<(String, ScalarExpr)>),
+    /// An aggregate over a (possibly correlated) sub-query.  Evaluated by
+    /// the mediator run-time through the sub-query callback.
+    Agg(AggKind, Box<LogicalExpr>),
+    /// A call to an uninterpreted reconciliation function.  The run-time
+    /// evaluates the built-in ones (`concat`, `coalesce`); everything else
+    /// is an error, mirroring the paper's note that function calls cannot
+    /// yet be passed to data sources.
+    Call(String, Vec<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Builds a constant.
+    #[must_use]
+    pub fn constant(value: impl Into<Value>) -> ScalarExpr {
+        ScalarExpr::Const(value.into())
+    }
+
+    /// Builds an attribute reference.
+    #[must_use]
+    pub fn attr(name: impl Into<String>) -> ScalarExpr {
+        ScalarExpr::Attr(name.into())
+    }
+
+    /// Builds a `var.field` reference.
+    #[must_use]
+    pub fn var_field(var: impl Into<String>, field: impl Into<String>) -> ScalarExpr {
+        ScalarExpr::Field(Box::new(ScalarExpr::Var(var.into())), field.into())
+    }
+
+    /// Builds `left op right`.
+    #[must_use]
+    pub fn binary(op: ScalarOp, left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Returns `true` when the expression can be pushed through `submit` to
+    /// a wrapper: only plain attributes, constants, arithmetic, comparisons
+    /// and boolean connectives — no variables, structs, aggregates or
+    /// calls.
+    #[must_use]
+    pub fn is_pushable(&self) -> bool {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::Attr(_) => true,
+            ScalarExpr::Binary { left, right, .. } => left.is_pushable() && right.is_pushable(),
+            ScalarExpr::Not(inner) => inner.is_pushable(),
+            ScalarExpr::Var(_)
+            | ScalarExpr::Field(..)
+            | ScalarExpr::StructLit(_)
+            | ScalarExpr::Agg(..)
+            | ScalarExpr::Call(..) => false,
+        }
+    }
+
+    /// The comparison operators appearing in the expression — wrappers may
+    /// restrict which comparisons they support (§3.2).
+    #[must_use]
+    pub fn comparison_ops(&self) -> Vec<ScalarOp> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let ScalarExpr::Binary { op, .. } = e {
+                if op.is_comparison() && !out.contains(op) {
+                    out.push(*op);
+                }
+            }
+        });
+        out
+    }
+
+    /// The plain attribute names referenced (source-side form only).
+    #[must_use]
+    pub fn referenced_attrs(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let ScalarExpr::Attr(name) = e {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+        });
+        out
+    }
+
+    fn walk<F: FnMut(&ScalarExpr)>(&self, f: &mut F) {
+        f(self);
+        match self {
+            ScalarExpr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            ScalarExpr::Not(inner) | ScalarExpr::Field(inner, _) => inner.walk(f),
+            ScalarExpr::StructLit(fields) => {
+                for (_, e) in fields {
+                    e.walk(f);
+                }
+            }
+            ScalarExpr::Call(_, args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            ScalarExpr::Const(_) | ScalarExpr::Attr(_) | ScalarExpr::Var(_) | ScalarExpr::Agg(..) => {}
+        }
+    }
+
+    /// Renames plain attribute references through `rename` (used when a
+    /// local transformation map is applied before pushing an expression to
+    /// a wrapper).
+    #[must_use]
+    pub fn rename_attrs<F>(&self, rename: &F) -> ScalarExpr
+    where
+        F: Fn(&str) -> String,
+    {
+        match self {
+            ScalarExpr::Attr(name) => ScalarExpr::Attr(rename(name)),
+            ScalarExpr::Const(_) | ScalarExpr::Var(_) => self.clone(),
+            ScalarExpr::Field(inner, field) => {
+                ScalarExpr::Field(Box::new(inner.rename_attrs(rename)), field.clone())
+            }
+            ScalarExpr::Binary { op, left, right } => ScalarExpr::Binary {
+                op: *op,
+                left: Box::new(left.rename_attrs(rename)),
+                right: Box::new(right.rename_attrs(rename)),
+            },
+            ScalarExpr::Not(inner) => ScalarExpr::Not(Box::new(inner.rename_attrs(rename))),
+            ScalarExpr::StructLit(fields) => ScalarExpr::StructLit(
+                fields
+                    .iter()
+                    .map(|(n, e)| (n.clone(), e.rename_attrs(rename)))
+                    .collect(),
+            ),
+            ScalarExpr::Agg(kind, inner) => ScalarExpr::Agg(*kind, inner.clone()),
+            ScalarExpr::Call(name, args) => ScalarExpr::Call(
+                name.clone(),
+                args.iter().map(|a| a.rename_attrs(rename)).collect(),
+            ),
+        }
+    }
+}
+
+/// Callback used to evaluate sub-query aggregates: given a logical plan and
+/// the current environment row, produce the bag of values of the sub-query.
+pub type SubqueryEval<'a> = dyn Fn(&LogicalExpr, &StructValue) -> Result<Bag> + 'a;
+
+/// Evaluates a scalar expression against a row with no sub-query support
+/// (used by wrappers and data sources).
+///
+/// # Errors
+///
+/// Returns [`AlgebraError::SubqueryNotSupported`] if the expression
+/// contains an aggregate sub-query, plus the usual attribute/type errors.
+pub fn eval_scalar(expr: &ScalarExpr, row: &StructValue) -> Result<Value> {
+    eval_scalar_with(expr, row, &|_, _| Err(AlgebraError::SubqueryNotSupported))
+}
+
+/// Evaluates a scalar expression against a row, delegating aggregate
+/// sub-queries to `subquery`.
+///
+/// # Errors
+///
+/// Returns attribute, variable, or type errors; division by zero; and any
+/// error produced by the sub-query callback.
+pub fn eval_scalar_with(
+    expr: &ScalarExpr,
+    row: &StructValue,
+    subquery: &SubqueryEval<'_>,
+) -> Result<Value> {
+    match expr {
+        ScalarExpr::Const(v) => Ok(v.clone()),
+        ScalarExpr::Attr(name) => row
+            .field(name)
+            .cloned()
+            .map_err(|_| AlgebraError::UnknownAttribute(name.clone())),
+        ScalarExpr::Var(name) => row
+            .field(name)
+            .cloned()
+            .map_err(|_| AlgebraError::UnknownVariable(name.clone())),
+        ScalarExpr::Field(inner, field) => {
+            let base = eval_scalar_with(inner, row, subquery)?;
+            match base {
+                Value::Struct(s) => s
+                    .field(field)
+                    .cloned()
+                    .map_err(|_| AlgebraError::UnknownAttribute(field.clone())),
+                Value::Null => Ok(Value::Null),
+                other => Err(AlgebraError::Type(format!(
+                    "field access .{field} on non-struct value {other}"
+                ))),
+            }
+        }
+        ScalarExpr::Binary { op, left, right } => {
+            let l = eval_scalar_with(left, row, subquery)?;
+            let r = eval_scalar_with(right, row, subquery)?;
+            eval_binary(*op, &l, &r)
+        }
+        ScalarExpr::Not(inner) => {
+            let v = eval_scalar_with(inner, row, subquery)?;
+            Ok(Value::Bool(!truthy(&v)))
+        }
+        ScalarExpr::StructLit(fields) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (name, e) in fields {
+                out.push((name.clone(), eval_scalar_with(e, row, subquery)?));
+            }
+            Ok(Value::Struct(StructValue::new(out)?))
+        }
+        ScalarExpr::Agg(kind, plan) => {
+            let bag = subquery(plan, row)?;
+            kind.apply(&bag)
+        }
+        ScalarExpr::Call(name, args) => {
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(eval_scalar_with(a, row, subquery)?);
+            }
+            eval_builtin_call(name, &values)
+        }
+    }
+}
+
+/// Built-in reconciliation functions available to view definitions.
+fn eval_builtin_call(name: &str, args: &[Value]) -> Result<Value> {
+    match name {
+        "concat" => {
+            let mut out = String::new();
+            for a in args {
+                match a {
+                    Value::Str(s) => out.push_str(s),
+                    other => out.push_str(&other.to_string()),
+                }
+            }
+            Ok(Value::Str(out))
+        }
+        "coalesce" => Ok(args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null)),
+        other => Err(AlgebraError::Unsupported(format!(
+            "unknown function: {other}"
+        ))),
+    }
+}
+
+/// Evaluates one binary operation.
+///
+/// # Errors
+///
+/// Returns type errors for invalid operand combinations and
+/// [`AlgebraError::DivisionByZero`].
+pub fn eval_binary(op: ScalarOp, left: &Value, right: &Value) -> Result<Value> {
+    use ScalarOp::{Add, And, Div, Eq, Ge, Gt, Le, Lt, Mul, NotEq, Or, Sub};
+    match op {
+        And => Ok(Value::Bool(truthy(left) && truthy(right))),
+        Or => Ok(Value::Bool(truthy(left) || truthy(right))),
+        Eq => Ok(Value::Bool(left == right)),
+        NotEq => Ok(Value::Bool(left != right)),
+        Lt | Le | Gt | Ge => {
+            if left.is_null() || right.is_null() {
+                return Ok(Value::Bool(false));
+            }
+            let ord = left.total_cmp(right);
+            Ok(Value::Bool(match op {
+                Lt => ord == std::cmp::Ordering::Less,
+                Le => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            }))
+        }
+        Add | Sub | Mul | Div => {
+            // String concatenation with `+`.
+            if op == Add {
+                if let (Value::Str(a), Value::Str(b)) = (left, right) {
+                    return Ok(Value::Str(format!("{a}{b}")));
+                }
+            }
+            if left.is_null() || right.is_null() {
+                return Ok(Value::Null);
+            }
+            match (left, right) {
+                (Value::Int(a), Value::Int(b)) => Ok(match op {
+                    Add => Value::Int(a + b),
+                    Sub => Value::Int(a - b),
+                    Mul => Value::Int(a * b),
+                    Div => {
+                        if *b == 0 {
+                            return Err(AlgebraError::DivisionByZero);
+                        }
+                        Value::Int(a / b)
+                    }
+                    _ => unreachable!(),
+                }),
+                _ => {
+                    let a = left.as_float().map_err(|_| {
+                        AlgebraError::Type(format!("arithmetic on non-numeric value {left}"))
+                    })?;
+                    let b = right.as_float().map_err(|_| {
+                        AlgebraError::Type(format!("arithmetic on non-numeric value {right}"))
+                    })?;
+                    Ok(match op {
+                        Add => Value::Float(a + b),
+                        Sub => Value::Float(a - b),
+                        Mul => Value::Float(a * b),
+                        Div => {
+                            if b == 0.0 {
+                                return Err(AlgebraError::DivisionByZero);
+                            }
+                            Value::Float(a / b)
+                        }
+                        _ => unreachable!(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// OQL truthiness: only `true` is true; `null` and everything else is false.
+#[must_use]
+pub fn truthy(value: &Value) -> bool {
+    matches!(value, Value::Bool(true))
+}
+
+impl std::fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalarExpr::Const(v) => write!(f, "{v}"),
+            ScalarExpr::Attr(a) => write!(f, "{a}"),
+            ScalarExpr::Var(v) => write!(f, "{v}"),
+            ScalarExpr::Field(base, field) => write!(f, "{base}.{field}"),
+            ScalarExpr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            ScalarExpr::Not(inner) => write!(f, "not ({inner})"),
+            ScalarExpr::StructLit(fields) => {
+                write!(f, "struct(")?;
+                for (i, (n, e)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {e}")?;
+                }
+                write!(f, ")")
+            }
+            ScalarExpr::Agg(kind, plan) => write!(f, "{}({plan})", kind.name()),
+            ScalarExpr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mary() -> StructValue {
+        StructValue::new(vec![
+            ("name", Value::from("Mary")),
+            ("salary", Value::Int(200)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn attribute_and_constant_evaluation() {
+        let row = mary();
+        assert_eq!(
+            eval_scalar(&ScalarExpr::attr("salary"), &row).unwrap(),
+            Value::Int(200)
+        );
+        assert_eq!(
+            eval_scalar(&ScalarExpr::constant(5i64), &row).unwrap(),
+            Value::Int(5)
+        );
+        assert!(matches!(
+            eval_scalar(&ScalarExpr::attr("missing"), &row),
+            Err(AlgebraError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn paper_predicate_salary_gt_10() {
+        let pred = ScalarExpr::binary(
+            ScalarOp::Gt,
+            ScalarExpr::attr("salary"),
+            ScalarExpr::constant(10i64),
+        );
+        assert_eq!(eval_scalar(&pred, &mary()).unwrap(), Value::Bool(true));
+        let sam = StructValue::new(vec![
+            ("name", Value::from("Sam")),
+            ("salary", Value::Int(5)),
+        ])
+        .unwrap();
+        assert_eq!(eval_scalar(&pred, &sam).unwrap(), Value::Bool(false));
+        assert!(pred.is_pushable());
+        assert_eq!(pred.comparison_ops(), vec![ScalarOp::Gt]);
+        assert_eq!(pred.referenced_attrs(), vec!["salary"]);
+    }
+
+    #[test]
+    fn env_rows_use_var_field_paths() {
+        let env = StructValue::new(vec![("x", Value::Struct(mary()))]).unwrap();
+        let e = ScalarExpr::var_field("x", "salary");
+        assert_eq!(eval_scalar(&e, &env).unwrap(), Value::Int(200));
+        assert!(!e.is_pushable());
+        assert!(matches!(
+            eval_scalar(&ScalarExpr::Var("y".into()), &env),
+            Err(AlgebraError::UnknownVariable(_))
+        ));
+    }
+
+    #[test]
+    fn struct_literal_builds_structs() {
+        let env = StructValue::new(vec![("x", Value::Struct(mary()))]).unwrap();
+        let e = ScalarExpr::StructLit(vec![
+            ("who".into(), ScalarExpr::var_field("x", "name")),
+            (
+                "double_pay".into(),
+                ScalarExpr::binary(
+                    ScalarOp::Mul,
+                    ScalarExpr::var_field("x", "salary"),
+                    ScalarExpr::constant(2i64),
+                ),
+            ),
+        ]);
+        let v = eval_scalar(&e, &env).unwrap();
+        let s = v.as_struct().unwrap();
+        assert_eq!(s.field("who").unwrap(), &Value::from("Mary"));
+        assert_eq!(s.field("double_pay").unwrap(), &Value::Int(400));
+    }
+
+    #[test]
+    fn arithmetic_and_division_by_zero() {
+        let row = StructValue::default();
+        let div =
+            ScalarExpr::binary(ScalarOp::Div, ScalarExpr::constant(4i64), ScalarExpr::constant(0i64));
+        assert!(matches!(
+            eval_scalar(&div, &row),
+            Err(AlgebraError::DivisionByZero)
+        ));
+        let mixed = ScalarExpr::binary(
+            ScalarOp::Add,
+            ScalarExpr::constant(1i64),
+            ScalarExpr::constant(0.5f64),
+        );
+        assert_eq!(eval_scalar(&mixed, &row).unwrap(), Value::Float(1.5));
+        let concat = ScalarExpr::binary(
+            ScalarOp::Add,
+            ScalarExpr::constant("a"),
+            ScalarExpr::constant("b"),
+        );
+        assert_eq!(eval_scalar(&concat, &row).unwrap(), Value::from("ab"));
+    }
+
+    #[test]
+    fn null_semantics() {
+        let row = StructValue::default();
+        let cmp = ScalarExpr::binary(
+            ScalarOp::Gt,
+            ScalarExpr::Const(Value::Null),
+            ScalarExpr::constant(1i64),
+        );
+        assert_eq!(eval_scalar(&cmp, &row).unwrap(), Value::Bool(false));
+        let arith = ScalarExpr::binary(
+            ScalarOp::Add,
+            ScalarExpr::Const(Value::Null),
+            ScalarExpr::constant(1i64),
+        );
+        assert_eq!(eval_scalar(&arith, &row).unwrap(), Value::Null);
+        assert!(!truthy(&Value::Null));
+    }
+
+    #[test]
+    fn logical_connectives_and_not() {
+        let row = mary();
+        let e = ScalarExpr::binary(
+            ScalarOp::And,
+            ScalarExpr::binary(ScalarOp::Gt, ScalarExpr::attr("salary"), ScalarExpr::constant(10i64)),
+            ScalarExpr::binary(
+                ScalarOp::Eq,
+                ScalarExpr::attr("name"),
+                ScalarExpr::constant("Mary"),
+            ),
+        );
+        assert_eq!(eval_scalar(&e, &row).unwrap(), Value::Bool(true));
+        let not = ScalarExpr::Not(Box::new(e));
+        assert_eq!(eval_scalar(&not, &row).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn aggregates_apply() {
+        let bag: Bag = [Value::Int(1), Value::Int(2), Value::Int(3)].into_iter().collect();
+        assert_eq!(AggKind::Sum.apply(&bag).unwrap(), Value::Int(6));
+        assert_eq!(AggKind::Count.apply(&bag).unwrap(), Value::Int(3));
+        assert_eq!(AggKind::Avg.apply(&bag).unwrap(), Value::Float(2.0));
+        assert_eq!(AggKind::Min.apply(&bag).unwrap(), Value::Int(1));
+        assert_eq!(AggKind::Max.apply(&bag).unwrap(), Value::Int(3));
+        assert_eq!(AggKind::Avg.apply(&Bag::new()).unwrap(), Value::Null);
+        assert_eq!(AggKind::Min.apply(&Bag::new()).unwrap(), Value::Null);
+        let mixed: Bag = [Value::Int(1), Value::Float(0.5)].into_iter().collect();
+        assert_eq!(AggKind::Sum.apply(&mixed).unwrap(), Value::Float(1.5));
+        let bad: Bag = [Value::from("x")].into_iter().collect();
+        assert!(AggKind::Sum.apply(&bad).is_err());
+    }
+
+    #[test]
+    fn subqueries_error_without_callback() {
+        let e = ScalarExpr::Agg(
+            AggKind::Sum,
+            Box::new(LogicalExpr::Get {
+                collection: "person0".into(),
+            }),
+        );
+        assert!(matches!(
+            eval_scalar(&e, &StructValue::default()),
+            Err(AlgebraError::SubqueryNotSupported)
+        ));
+        assert!(!e.is_pushable());
+    }
+
+    #[test]
+    fn builtin_calls() {
+        let row = StructValue::default();
+        let e = ScalarExpr::Call(
+            "concat".into(),
+            vec![ScalarExpr::constant("a"), ScalarExpr::constant("b")],
+        );
+        assert_eq!(eval_scalar(&e, &row).unwrap(), Value::from("ab"));
+        let e = ScalarExpr::Call(
+            "coalesce".into(),
+            vec![ScalarExpr::Const(Value::Null), ScalarExpr::constant(7i64)],
+        );
+        assert_eq!(eval_scalar(&e, &row).unwrap(), Value::Int(7));
+        let e = ScalarExpr::Call("mystery".into(), vec![]);
+        assert!(eval_scalar(&e, &row).is_err());
+    }
+
+    #[test]
+    fn rename_attrs_applies_map_direction() {
+        let pred = ScalarExpr::binary(
+            ScalarOp::Gt,
+            ScalarExpr::attr("s"),
+            ScalarExpr::constant(10i64),
+        );
+        let renamed = pred.rename_attrs(&|a| if a == "s" { "salary".into() } else { a.into() });
+        assert_eq!(renamed.referenced_attrs(), vec!["salary"]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let pred = ScalarExpr::binary(
+            ScalarOp::Gt,
+            ScalarExpr::attr("salary"),
+            ScalarExpr::constant(10i64),
+        );
+        assert_eq!(pred.to_string(), "(salary > 10)");
+    }
+}

@@ -1,0 +1,34 @@
+//! E1 — answer availability vs. federation size (bench counterpart).
+//!
+//! Measures end-to-end query latency over federations of increasing size,
+//! with all sources available and with one quarter unavailable (partial
+//! answers), showing that partial evaluation adds no significant overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disco_bench::workloads::person_federation;
+use disco_core::{Availability, CapabilitySet};
+
+const QUERY: &str = "select x.name from x in person where x.salary > 250";
+
+fn bench_availability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_availability");
+    group.sample_size(20);
+    for &n in &[2usize, 8, 16] {
+        let federation = person_federation(n, 50, CapabilitySet::full());
+        group.bench_with_input(BenchmarkId::new("all_available", n), &n, |b, _| {
+            b.iter(|| federation.mediator.query(QUERY).unwrap());
+        });
+        for (i, link) in federation.links.iter().enumerate() {
+            if i % 4 == 0 {
+                link.set_availability(Availability::Unavailable);
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("quarter_unavailable", n), &n, |b, _| {
+            b.iter(|| federation.mediator.query(QUERY).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_availability);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E2 — partial evaluation and resubmission (bench counterpart).
+//!
+//! Measures the cost of producing a partial answer (rewriting the
+//! unfinished plan back to OQL) and of resubmitting it after recovery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disco_bench::workloads::person_federation;
+use disco_core::{Availability, CapabilitySet};
+
+const QUERY: &str = "select x.name from x in person where x.salary > 250";
+
+fn bench_partial_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_partial_eval");
+    group.sample_size(20);
+    let federation = person_federation(8, 50, CapabilitySet::full());
+
+    federation.links[0].set_availability(Availability::Unavailable);
+    federation.links[1].set_availability(Availability::Unavailable);
+    group.bench_function("produce_partial_answer", |b| {
+        b.iter(|| {
+            let answer = federation.mediator.query(QUERY).unwrap();
+            assert!(!answer.is_complete());
+            answer.as_query_text()
+        });
+    });
+    let partial = federation.mediator.query(QUERY).unwrap();
+
+    for link in &federation.links {
+        link.set_availability(Availability::Available);
+    }
+    group.bench_function("resubmit_after_recovery", |b| {
+        b.iter(|| {
+            let recovered = federation.mediator.resubmit(&partial).unwrap();
+            assert!(recovered.is_complete());
+            recovered
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partial_eval);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E3 — capability-based pushdown (bench counterpart).
+//!
+//! Measures query latency against the same data exposed through wrappers
+//! of different power: pushing selections/projections to the source cuts
+//! the rows flowing through the mediator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disco_bench::workloads::{capability_levels, person_federation};
+
+const QUERY: &str = "select x.name from x in person where x.salary > 450";
+
+fn bench_pushdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_pushdown");
+    group.sample_size(20);
+    for (label, caps) in capability_levels() {
+        let federation = person_federation(2, 400, caps);
+        group.bench_with_input(BenchmarkId::new("selective_query", label), &label, |b, _| {
+            b.iter(|| federation.mediator.query(QUERY).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pushdown);
+criterion_main!(benches);

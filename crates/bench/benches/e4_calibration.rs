@@ -1,0 +1,59 @@
+//! E4 — the self-calibrating cost store (bench counterpart).
+//!
+//! Measures recording an observation and the three lookup paths (exact,
+//! close, default), plus optimization with a warm store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disco_algebra::{LogicalExpr, ScalarExpr, ScalarOp};
+use disco_bench::workloads::person_federation;
+use disco_core::CapabilitySet;
+use disco_optimizer::CalibrationStore;
+
+fn filter_plan(threshold: i64) -> LogicalExpr {
+    LogicalExpr::get("person0").filter(ScalarExpr::binary(
+        ScalarOp::Gt,
+        ScalarExpr::attr("salary"),
+        ScalarExpr::constant(threshold),
+    ))
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_calibration");
+    group.sample_size(30);
+    let store = CalibrationStore::new();
+    for i in 0..8 {
+        store.record("r0", &filter_plan(10), 5.0 + f64::from(i), 40);
+    }
+    group.bench_function("record", |b| {
+        b.iter(|| store.record("r0", &filter_plan(10), 6.0, 42));
+    });
+    group.bench_function("estimate_exact", |b| {
+        b.iter(|| store.estimate("r0", &filter_plan(10)));
+    });
+    group.bench_function("estimate_close", |b| {
+        b.iter(|| store.estimate("r0", &filter_plan(9999)));
+    });
+    group.bench_function("estimate_default", |b| {
+        b.iter(|| store.estimate("r9", &filter_plan(10)));
+    });
+    let federation = person_federation(4, 100, CapabilitySet::full());
+    // Warm the store through a few executions, then bench optimization.
+    for _ in 0..3 {
+        federation
+            .mediator
+            .query("select x.name from x in person where x.salary > 250")
+            .unwrap();
+    }
+    group.bench_function("optimize_with_warm_store", |b| {
+        b.iter(|| {
+            federation
+                .mediator
+                .explain("select x.name from x in person where x.salary > 250")
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_calibration);
+criterion_main!(benches);

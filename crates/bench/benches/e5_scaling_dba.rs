@@ -1,0 +1,45 @@
+//! E5 — DBA effort per added source (bench counterpart).
+//!
+//! Measures registering one more data source into an existing federation
+//! and resolving the implicit extent afterwards — both must stay flat as
+//! the federation grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disco_bench::workloads::water_federation;
+use disco_core::{CapabilitySet, NetworkProfile};
+use disco_source::generator;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_scaling_dba");
+    group.sample_size(20);
+    for &n in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("register_one_more", n), &n, |b, &n| {
+            b.iter_batched(
+                || (water_federation(n, 10), 0usize),
+                |(mut federation, _)| {
+                    federation
+                        .mediator
+                        .add_relational_source(
+                            "measurement_new",
+                            "Measurement",
+                            "r_new",
+                            generator::water_quality_table("measurement_new", n + 1, 10, 5),
+                            NetworkProfile::fast(),
+                            CapabilitySet::full(),
+                        )
+                        .unwrap();
+                    federation
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        let federation = water_federation(n, 10);
+        group.bench_with_input(BenchmarkId::new("resolve_implicit_extent", n), &n, |b, _| {
+            b.iter(|| federation.mediator.catalog().resolve("measurement").unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E6 — optimizer search (bench counterpart).
+//!
+//! Measures compilation + alternative generation + costing for queries of
+//! increasing shape complexity and federation size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disco_bench::workloads::person_federation;
+use disco_core::CapabilitySet;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_optimizer_search");
+    group.sample_size(30);
+    let cases = [
+        ("point", 2, "select x.name from x in person0 where x.salary > 400"),
+        ("union_8_sources", 8, "select x.name from x in person where x.salary > 400"),
+        (
+            "join",
+            2,
+            "select struct(a: x.name, b: y.name) from x in person0, y in person1 where x.id = y.id",
+        ),
+        ("aggregate", 8, "sum(select x.salary from x in person)"),
+    ];
+    for (label, sources, query) in cases {
+        let federation = person_federation(sources, 50, CapabilitySet::full());
+        group.bench_with_input(BenchmarkId::new("explain", label), &label, |b, _| {
+            b.iter(|| federation.mediator.explain(query).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E8 — join placement (bench counterpart).
+//!
+//! Measures a join pushed into a single repository against the same join
+//! executed at the mediator over two repositories.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disco_bench::experiments::{e8_semijoin_gap, Scale};
+use disco_bench::workloads::employee_federation;
+
+fn bench_semijoin_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_semijoin_gap");
+    group.sample_size(10);
+    group.bench_function("report_quick", |b| {
+        b.iter(|| e8_semijoin_gap(Scale::quick()));
+    });
+    let federation = employee_federation(200, 8);
+    group.bench_function("mediator_join_query", |b| {
+        b.iter(|| {
+            federation
+                .mediator
+                .query(
+                    "select struct(e: x.name, m: y.name) \
+                     from x in employee0, y in manager0 where x.dept = y.dept",
+                )
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_semijoin_gap);
+criterion_main!(benches);

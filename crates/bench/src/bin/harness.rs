@@ -1,0 +1,68 @@
+//! The experiment harness: regenerates every table in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p disco-bench --release --bin harness            # all experiments
+//! cargo run -p disco-bench --release --bin harness -- e3      # one experiment
+//! cargo run -p disco-bench --release --bin harness -- all --quick
+//! cargo run -p disco-bench --release --bin harness -- e1 --json
+//! ```
+
+use disco_bench::experiments::{self, Scale};
+use disco_bench::report::Report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let selection: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+
+    let wanted = |id: &str| -> bool {
+        selection.is_empty()
+            || selection.iter().any(|s| s == "all" || s.eq_ignore_ascii_case(id))
+    };
+
+    let mut reports: Vec<Report> = Vec::new();
+    if wanted("e1") {
+        reports.push(experiments::e1_availability(scale));
+    }
+    if wanted("e2") {
+        reports.push(experiments::e2_partial_eval(scale));
+    }
+    if wanted("e3") {
+        reports.push(experiments::e3_pushdown(scale));
+    }
+    if wanted("e4") {
+        reports.push(experiments::e4_calibration(scale));
+    }
+    if wanted("e5") {
+        reports.push(experiments::e5_scaling_dba(scale));
+    }
+    if wanted("e6") {
+        reports.push(experiments::e6_optimizer_search(scale));
+    }
+    if wanted("e7") {
+        reports.push(experiments::e7_pipeline(scale));
+    }
+    if wanted("e8") {
+        reports.push(experiments::e8_semijoin_gap(scale));
+    }
+
+    if reports.is_empty() {
+        eprintln!("unknown experiment selection {selection:?}; use e1..e8 or all");
+        std::process::exit(2);
+    }
+    for report in &reports {
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            println!("{}", report.to_text());
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # disco-bench
+//!
+//! Workload builders, experiment implementations and reporting used by the
+//! `harness` binary and the Criterion benches.  Every experiment listed in
+//! `DESIGN.md` §5 has a function here returning a [`report::Report`]; the
+//! harness prints the tables recorded in `EXPERIMENTS.md`, the benches
+//! measure the same code paths at a smaller scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;

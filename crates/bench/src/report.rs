@@ -1,0 +1,151 @@
+//! Plain-text and JSON rendering of experiment results.
+//!
+//! Every experiment produces a [`Report`]: a title, the workload
+//! parameters, column headers and rows.  The harness binary prints the
+//! aligned text table (the "rows/series the paper reports"); `--json`
+//! emits machine-readable records for plotting.
+
+use serde::Serialize;
+
+/// One experiment report: a table plus metadata.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment identifier (e.g. `E1`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Description of the workload and parameters.
+    pub workload: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows (one string per column).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form observations (the "shape" conclusions).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, workload: &str, columns: &[&str]) -> Self {
+        Report {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            workload: workload.to_owned(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds one row (must have as many cells as there are columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count — that is a
+    /// bug in the experiment code, not a runtime condition.
+    pub fn push_row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width must match column count"
+        );
+        self.rows.push(row);
+    }
+
+    /// Adds a free-form observation line.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the aligned text table.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!("workload: {}\n", self.workload));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Renders the report as JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_owned())
+    }
+}
+
+/// Formats a float with three decimals.
+#[must_use]
+pub fn fmt_f64(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+#[must_use]
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_and_serialises() {
+        let mut r = Report::new("E0", "demo", "two rows", &["n", "value"]);
+        r.push_row(["1", "10.000"]);
+        r.push_row(["128", "3.5"]);
+        r.push_note("value decreases with n");
+        let text = r.to_text();
+        assert!(text.contains("E0 — demo"));
+        assert!(text.contains("note: value decreases"));
+        assert!(text.lines().count() >= 6);
+        let json = r.to_json();
+        assert!(json.contains("\"columns\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        let mut r = Report::new("E0", "demo", "w", &["a", "b"]);
+        r.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f64(1.23456), "1.235");
+        assert_eq!(fmt_pct(0.5), "50.0%");
+    }
+}

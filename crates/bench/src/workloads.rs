@@ -1,0 +1,206 @@
+//! Workload builders shared by the experiments and the Criterion benches.
+//!
+//! Every builder is deterministic (seeded) so the harness output is
+//! reproducible run to run.
+
+use std::sync::Arc;
+
+use disco_catalog::{Attribute, InterfaceDef, TypeRef};
+use disco_core::{CapabilitySet, Mediator, NetworkProfile};
+use disco_source::{generator, SimulatedLink};
+
+/// A federation plus the per-source links for availability injection.
+pub struct Federation {
+    /// The mediator integrating every source.
+    pub mediator: Mediator,
+    /// One simulated link per source, in registration order.
+    pub links: Vec<Arc<SimulatedLink>>,
+}
+
+/// Builds a federation of `n` person sources with `rows` rows each.
+#[must_use]
+pub fn person_federation(n: usize, rows: usize, capabilities: CapabilitySet) -> Federation {
+    person_federation_with_profile(n, rows, capabilities, NetworkProfile::fast())
+}
+
+/// Builds a person federation with a specific network profile per source.
+#[must_use]
+pub fn person_federation_with_profile(
+    n: usize,
+    rows: usize,
+    capabilities: CapabilitySet,
+    profile: NetworkProfile,
+) -> Federation {
+    let mut mediator = Mediator::new("bench-person");
+    mediator
+        .define_interface(
+            InterfaceDef::new("Person")
+                .with_extent_name("person")
+                .with_attribute(Attribute::new("id", TypeRef::Int))
+                .with_attribute(Attribute::new("name", TypeRef::String))
+                .with_attribute(Attribute::new("salary", TypeRef::Int)),
+        )
+        .expect("fresh catalog");
+    let mut links = Vec::with_capacity(n);
+    for i in 0..n {
+        let table = generator::person_table(&format!("person{i}"), rows, i as u64, 97);
+        let link = mediator
+            .add_relational_source(
+                &format!("person{i}"),
+                "Person",
+                &format!("r{i}"),
+                table,
+                profile.clone(),
+                capabilities.clone(),
+            )
+            .expect("registration succeeds");
+        links.push(link);
+    }
+    Federation { mediator, links }
+}
+
+/// Builds a federation of `n` water-quality monitoring stations with
+/// `days` measurements each — the paper's environmental application.
+#[must_use]
+pub fn water_federation(n: usize, days: usize) -> Federation {
+    let mut mediator = Mediator::new("bench-water");
+    mediator
+        .define_interface(
+            InterfaceDef::new("Measurement")
+                .with_extent_name("measurement")
+                .with_attribute(Attribute::new("site", TypeRef::String))
+                .with_attribute(Attribute::new("day", TypeRef::Int))
+                .with_attribute(Attribute::new("ph", TypeRef::Float))
+                .with_attribute(Attribute::new("turbidity", TypeRef::Int))
+                .with_attribute(Attribute::new("dissolved_oxygen", TypeRef::Float)),
+        )
+        .expect("fresh catalog");
+    let mut links = Vec::with_capacity(n);
+    for i in 0..n {
+        let table = generator::water_quality_table(&format!("measurement{i}"), i, days, 41);
+        let link = mediator
+            .add_relational_source(
+                &format!("measurement{i}"),
+                "Measurement",
+                &format!("r_station{i}"),
+                table,
+                NetworkProfile::fast(),
+                CapabilitySet::full(),
+            )
+            .expect("registration succeeds");
+        links.push(link);
+    }
+    Federation { mediator, links }
+}
+
+/// Builds an employee/manager federation used by the join experiments.
+/// `employee0`/`manager0` live in the same repository (joinable at the
+/// source), `employee1` lives elsewhere.
+#[must_use]
+pub fn employee_federation(rows: usize, departments: usize) -> Federation {
+    let mut mediator = Mediator::new("bench-employee");
+    mediator
+        .define_interface(
+            InterfaceDef::new("Employee")
+                .with_extent_name("employee")
+                .with_attribute(Attribute::new("id", TypeRef::Int))
+                .with_attribute(Attribute::new("name", TypeRef::String))
+                .with_attribute(Attribute::new("dept", TypeRef::Int))
+                .with_attribute(Attribute::new("salary", TypeRef::Int)),
+        )
+        .expect("fresh catalog");
+    mediator
+        .define_interface(
+            InterfaceDef::new("Manager")
+                .with_extent_name("manager")
+                .with_attribute(Attribute::new("name", TypeRef::String))
+                .with_attribute(Attribute::new("dept", TypeRef::Int)),
+        )
+        .expect("fresh catalog");
+    let mut links = Vec::new();
+    links.push(
+        mediator
+            .add_relational_source(
+                "employee0",
+                "Employee",
+                "r0",
+                generator::employee_table("employee0", rows, departments, 11),
+                NetworkProfile::fast(),
+                CapabilitySet::full(),
+            )
+            .expect("registration succeeds"),
+    );
+    links.push(
+        mediator
+            .add_relational_source(
+                "manager0",
+                "Manager",
+                "r0_managers",
+                generator::manager_table("manager0", departments, 11),
+                NetworkProfile::fast(),
+                CapabilitySet::full(),
+            )
+            .expect("registration succeeds"),
+    );
+    links.push(
+        mediator
+            .add_relational_source(
+                "employee1",
+                "Employee",
+                "r1",
+                generator::employee_table("employee1", rows, departments, 13),
+                NetworkProfile::fast(),
+                CapabilitySet::full(),
+            )
+            .expect("registration succeeds"),
+    );
+    Federation { mediator, links }
+}
+
+/// The standard capability levels compared by the pushdown experiment.
+#[must_use]
+pub fn capability_levels() -> Vec<(&'static str, CapabilitySet)> {
+    use disco_algebra::OperatorKind;
+    vec![
+        ("get", CapabilitySet::get_only()),
+        (
+            "get+project",
+            CapabilitySet::new([OperatorKind::Get, OperatorKind::Project]).with_composition(true),
+        ),
+        (
+            "get+project+select",
+            CapabilitySet::new([
+                OperatorKind::Get,
+                OperatorKind::Project,
+                OperatorKind::Select,
+            ])
+            .with_composition(true),
+        ),
+        ("full(+join)", CapabilitySet::full()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn person_federation_builds_and_answers() {
+        let federation = person_federation(3, 10, CapabilitySet::full());
+        assert_eq!(federation.links.len(), 3);
+        let answer = federation
+            .mediator
+            .query("count(select p.id from p in person)")
+            .unwrap();
+        assert!(answer.is_complete());
+    }
+
+    #[test]
+    fn water_and_employee_federations_build() {
+        let water = water_federation(2, 5);
+        assert_eq!(water.mediator.catalog().stats().extents, 2);
+        let employees = employee_federation(20, 4);
+        assert_eq!(employees.mediator.catalog().stats().extents, 3);
+        assert_eq!(capability_levels().len(), 4);
+    }
+}

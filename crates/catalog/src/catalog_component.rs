@@ -1,0 +1,182 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CatalogError, Result};
+
+/// What one mediator advertises to the catalog component: the interfaces it
+/// exposes and the number of data sources behind each.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MediatorAdvertisement {
+    mediator: String,
+    interfaces: Vec<String>,
+    extent_count: usize,
+}
+
+impl MediatorAdvertisement {
+    /// Creates an advertisement for `mediator`.
+    pub fn new(mediator: impl Into<String>) -> Self {
+        MediatorAdvertisement {
+            mediator: mediator.into(),
+            interfaces: Vec::new(),
+            extent_count: 0,
+        }
+    }
+
+    /// Adds an advertised interface.
+    #[must_use]
+    pub fn with_interface(mut self, interface: impl Into<String>) -> Self {
+        self.interfaces.push(interface.into());
+        self
+    }
+
+    /// Records how many extents (data sources) back the advertisement.
+    #[must_use]
+    pub fn with_extent_count(mut self, count: usize) -> Self {
+        self.extent_count = count;
+        self
+    }
+
+    /// The advertising mediator's name.
+    #[must_use]
+    pub fn mediator(&self) -> &str {
+        &self.mediator
+    }
+
+    /// The advertised interfaces.
+    #[must_use]
+    pub fn interfaces(&self) -> &[String] {
+        &self.interfaces
+    }
+
+    /// The number of data sources behind the mediator.
+    #[must_use]
+    pub fn extent_count(&self) -> usize {
+        self.extent_count
+    }
+}
+
+/// The catalog component — "special mediators, catalogs, keep track of
+/// collections of databases, wrappers, and mediators in the system.
+/// Catalogs do not have total knowledge of all elements of the system;
+/// however, they provide an overview of the entire system." (§1.1, C in
+/// Fig. 1).
+///
+/// Mediators register advertisements; applications and other mediators ask
+/// the catalog which mediators can answer queries over a given interface.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CatalogComponent {
+    advertisements: BTreeMap<String, MediatorAdvertisement>,
+}
+
+impl CatalogComponent {
+    /// Creates an empty catalog component.
+    #[must_use]
+    pub fn new() -> Self {
+        CatalogComponent::default()
+    }
+
+    /// Registers (or refreshes) a mediator's advertisement.  Re-registering
+    /// replaces the previous advertisement, so mediators can update the
+    /// catalog as sources are added.
+    pub fn advertise(&mut self, advertisement: MediatorAdvertisement) {
+        self.advertisements
+            .insert(advertisement.mediator().to_owned(), advertisement);
+    }
+
+    /// Removes a mediator from the catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::UnresolvedName`] when the mediator is not
+    /// registered.
+    pub fn withdraw(&mut self, mediator: &str) -> Result<MediatorAdvertisement> {
+        self.advertisements
+            .remove(mediator)
+            .ok_or_else(|| CatalogError::UnresolvedName(mediator.to_owned()))
+    }
+
+    /// The mediators advertising a given interface, in name order.
+    #[must_use]
+    pub fn mediators_for_interface(&self, interface: &str) -> Vec<&MediatorAdvertisement> {
+        self.advertisements
+            .values()
+            .filter(|a| a.interfaces().iter().any(|i| i == interface))
+            .collect()
+    }
+
+    /// Looks up one mediator's advertisement.
+    #[must_use]
+    pub fn advertisement(&self, mediator: &str) -> Option<&MediatorAdvertisement> {
+        self.advertisements.get(mediator)
+    }
+
+    /// Number of registered mediators.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.advertisements.len()
+    }
+
+    /// Returns `true` when no mediator is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.advertisements.is_empty()
+    }
+
+    /// Iterates over all advertisements in mediator-name order.
+    pub fn iter(&self) -> impl Iterator<Item = &MediatorAdvertisement> {
+        self.advertisements.values()
+    }
+
+    /// Total number of data sources known through advertisements — the
+    /// "overview of the entire system" the paper mentions.
+    #[must_use]
+    pub fn total_extents(&self) -> usize {
+        self.advertisements.values().map(MediatorAdvertisement::extent_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advertise_and_lookup() {
+        let mut c = CatalogComponent::new();
+        c.advertise(
+            MediatorAdvertisement::new("env-mediator")
+                .with_interface("Measurement")
+                .with_extent_count(12),
+        );
+        c.advertise(
+            MediatorAdvertisement::new("hr-mediator")
+                .with_interface("Person")
+                .with_interface("Student")
+                .with_extent_count(4),
+        );
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.total_extents(), 16);
+        let person_mediators = c.mediators_for_interface("Person");
+        assert_eq!(person_mediators.len(), 1);
+        assert_eq!(person_mediators[0].mediator(), "hr-mediator");
+        assert!(c.mediators_for_interface("Nothing").is_empty());
+    }
+
+    #[test]
+    fn readvertising_replaces_previous_entry() {
+        let mut c = CatalogComponent::new();
+        c.advertise(MediatorAdvertisement::new("m").with_extent_count(1));
+        c.advertise(MediatorAdvertisement::new("m").with_extent_count(5));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.advertisement("m").unwrap().extent_count(), 5);
+    }
+
+    #[test]
+    fn withdraw_removes_and_errors_on_missing() {
+        let mut c = CatalogComponent::new();
+        c.advertise(MediatorAdvertisement::new("m"));
+        assert!(c.withdraw("m").is_ok());
+        assert!(c.is_empty());
+        assert!(c.withdraw("m").is_err());
+    }
+}

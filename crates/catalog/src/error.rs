@@ -1,0 +1,106 @@
+use std::fmt;
+
+/// Errors produced by catalog (schema / meta-data) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// An interface with this name is already defined.
+    DuplicateInterface(String),
+    /// No interface with this name is defined.
+    UnknownInterface(String),
+    /// An extent with this name is already registered.
+    DuplicateExtent(String),
+    /// No extent with this name is registered.
+    UnknownExtent(String),
+    /// A repository with this name is already registered.
+    DuplicateRepository(String),
+    /// No repository with this name is registered.
+    UnknownRepository(String),
+    /// A wrapper with this name is already registered.
+    DuplicateWrapper(String),
+    /// No wrapper with this name is registered.
+    UnknownWrapper(String),
+    /// A view with this name is already defined.
+    DuplicateView(String),
+    /// No view with this name is defined.
+    UnknownView(String),
+    /// Defining this view would create a cyclic reference chain.
+    CyclicView(String),
+    /// The local transformation map is malformed.
+    InvalidMap(String),
+    /// The supertype named in an interface definition does not exist.
+    UnknownSupertype {
+        /// Interface being defined.
+        interface: String,
+        /// The missing supertype.
+        supertype: String,
+    },
+    /// The subtype graph would become cyclic.
+    CyclicSubtype(String),
+    /// An attribute referenced in a map or query does not belong to the type.
+    UnknownAttribute {
+        /// The interface the attribute was looked up on.
+        interface: String,
+        /// The missing attribute.
+        attribute: String,
+    },
+    /// A name could not be resolved to an extent, interface or view.
+    UnresolvedName(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateInterface(n) => write!(f, "interface already defined: {n}"),
+            CatalogError::UnknownInterface(n) => write!(f, "unknown interface: {n}"),
+            CatalogError::DuplicateExtent(n) => write!(f, "extent already defined: {n}"),
+            CatalogError::UnknownExtent(n) => write!(f, "unknown extent: {n}"),
+            CatalogError::DuplicateRepository(n) => write!(f, "repository already defined: {n}"),
+            CatalogError::UnknownRepository(n) => write!(f, "unknown repository: {n}"),
+            CatalogError::DuplicateWrapper(n) => write!(f, "wrapper already defined: {n}"),
+            CatalogError::UnknownWrapper(n) => write!(f, "unknown wrapper: {n}"),
+            CatalogError::DuplicateView(n) => write!(f, "view already defined: {n}"),
+            CatalogError::UnknownView(n) => write!(f, "unknown view: {n}"),
+            CatalogError::CyclicView(n) => write!(f, "cyclic view definition: {n}"),
+            CatalogError::InvalidMap(msg) => write!(f, "invalid transformation map: {msg}"),
+            CatalogError::UnknownSupertype {
+                interface,
+                supertype,
+            } => write!(f, "interface {interface} names unknown supertype {supertype}"),
+            CatalogError::CyclicSubtype(n) => write!(f, "cyclic subtype relationship at {n}"),
+            CatalogError::UnknownAttribute {
+                interface,
+                attribute,
+            } => write!(f, "interface {interface} has no attribute {attribute}"),
+            CatalogError::UnresolvedName(n) => write!(f, "unresolved name: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            CatalogError::UnknownExtent("person0".into()).to_string(),
+            "unknown extent: person0"
+        );
+        assert_eq!(
+            CatalogError::UnknownAttribute {
+                interface: "Person".into(),
+                attribute: "age".into()
+            }
+            .to_string(),
+            "interface Person has no attribute age"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CatalogError>();
+    }
+}

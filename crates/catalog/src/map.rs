@@ -1,0 +1,368 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{CatalogError, Result};
+
+/// One equivalence in a local transformation map.
+///
+/// The paper (§2.2.2) restricts maps to a flat list of string
+/// equivalences: either the data-source relation name equated with the
+/// mediator extent name, or a source attribute equated with a mediator
+/// attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapEntry {
+    /// Name on the data-source side.
+    source: String,
+    /// Name on the mediator side.
+    mediator: String,
+}
+
+impl MapEntry {
+    /// Creates an equivalence `source = mediator`.
+    pub fn new(source: impl Into<String>, mediator: impl Into<String>) -> Self {
+        MapEntry {
+            source: source.into(),
+            mediator: mediator.into(),
+        }
+    }
+
+    /// The data-source-side name.
+    #[must_use]
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The mediator-side name.
+    #[must_use]
+    pub fn mediator(&self) -> &str {
+        &self.mediator
+    }
+}
+
+/// A *local transformation map*: the flat renaming between a mediator type
+/// and a data-source type (§2.2.2).
+///
+/// The paper's example maps the `PersonPrime` mediator type onto the
+/// `person0` source relation:
+///
+/// ```text
+/// extent personprime0 of PersonPrime wrapper w0 repository r0
+///     map ((person0=personprime0),(name=n),(salary=s));
+/// ```
+///
+/// The first entry relates the source relation name (`person0`) to the
+/// mediator extent name (`personprime0`); the remaining entries relate
+/// source attribute names to mediator attribute names.  The mediator
+/// applies the map *to queries before passing them to wrappers* (mediator →
+/// source direction) and wrappers apply the inverse to answers.
+///
+/// # Examples
+///
+/// ```
+/// use disco_catalog::TypeMap;
+///
+/// let map = TypeMap::builder()
+///     .relation("person0", "personprime0")
+///     .attribute("name", "n")
+///     .attribute("salary", "s")
+///     .build()
+///     .unwrap();
+/// assert_eq!(map.mediator_to_source("n"), "name");
+/// assert_eq!(map.source_to_mediator("salary"), "s");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeMap {
+    relation: Option<MapEntry>,
+    attributes: Vec<MapEntry>,
+}
+
+impl TypeMap {
+    /// Creates an empty (identity) map.
+    #[must_use]
+    pub fn new() -> Self {
+        TypeMap::default()
+    }
+
+    /// Starts building a map.
+    #[must_use]
+    pub fn builder() -> TypeMapBuilder {
+        TypeMapBuilder::default()
+    }
+
+    /// Returns `true` when the map has no entries (identity behaviour).
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.relation.is_none() && self.attributes.is_empty()
+    }
+
+    /// The relation-name equivalence, if present.
+    #[must_use]
+    pub fn relation(&self) -> Option<&MapEntry> {
+        self.relation.as_ref()
+    }
+
+    /// The attribute equivalences.
+    #[must_use]
+    pub fn attributes(&self) -> &[MapEntry] {
+        &self.attributes
+    }
+
+    /// Translates a mediator-side attribute name to the data-source name.
+    /// Unmapped names pass through unchanged.
+    #[must_use]
+    pub fn mediator_to_source(&self, mediator_attr: &str) -> String {
+        self.attributes
+            .iter()
+            .find(|e| e.mediator() == mediator_attr)
+            .map_or_else(|| mediator_attr.to_owned(), |e| e.source().to_owned())
+    }
+
+    /// Translates a data-source attribute name to the mediator name.
+    /// Unmapped names pass through unchanged.
+    #[must_use]
+    pub fn source_to_mediator(&self, source_attr: &str) -> String {
+        self.attributes
+            .iter()
+            .find(|e| e.source() == source_attr)
+            .map_or_else(|| source_attr.to_owned(), |e| e.mediator().to_owned())
+    }
+
+    /// Translates the mediator extent name to the data-source relation
+    /// name.  Without a relation entry the extent name passes through,
+    /// matching the paper's default "the extent name is determined by the
+    /// name of the data source in the repository".
+    #[must_use]
+    pub fn extent_to_relation(&self, extent_name: &str) -> String {
+        match &self.relation {
+            Some(entry) if entry.mediator() == extent_name => entry.source().to_owned(),
+            _ => extent_name.to_owned(),
+        }
+    }
+
+    /// Returns the inverse map (source and mediator sides swapped).
+    #[must_use]
+    pub fn inverse(&self) -> TypeMap {
+        TypeMap {
+            relation: self
+                .relation
+                .as_ref()
+                .map(|e| MapEntry::new(e.mediator(), e.source())),
+            attributes: self
+                .attributes
+                .iter()
+                .map(|e| MapEntry::new(e.mediator(), e.source()))
+                .collect(),
+        }
+    }
+
+    /// Parses the paper's concrete syntax
+    /// `((person0=personprime0),(name=n),(salary=s))`.
+    ///
+    /// The first pair whose left-hand side differs from every declared
+    /// mediator attribute is taken as the relation equivalence; in practice
+    /// callers pass the extent name so the first entry is used as the
+    /// relation mapping whenever its right-hand side equals the extent
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::InvalidMap`] on malformed syntax.
+    pub fn parse(text: &str, extent_name: &str) -> Result<TypeMap> {
+        let trimmed = text.trim();
+        let inner = trimmed
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| CatalogError::InvalidMap(format!("expected outer parentheses: {text}")))?;
+        let mut builder = TypeMap::builder();
+        for raw_pair in split_pairs(inner) {
+            let pair = raw_pair.trim();
+            let pair = pair
+                .strip_prefix('(')
+                .and_then(|s| s.strip_suffix(')'))
+                .ok_or_else(|| {
+                    CatalogError::InvalidMap(format!("expected parenthesised pair: {raw_pair}"))
+                })?;
+            let mut sides = pair.splitn(2, '=');
+            let left = sides
+                .next()
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| CatalogError::InvalidMap(format!("missing left side: {pair}")))?;
+            let right = sides
+                .next()
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| CatalogError::InvalidMap(format!("missing right side: {pair}")))?;
+            if right == extent_name && builder.relation.is_none() {
+                builder = builder.relation(left, right);
+            } else {
+                builder = builder.attribute(left, right);
+            }
+        }
+        builder.build()
+    }
+}
+
+/// Splits `"(a=b),(c=d)"` into `["(a=b)", "(c=d)"]`, respecting nesting.
+fn split_pairs(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in s.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                if !current.trim().is_empty() {
+                    out.push(current.trim().to_owned());
+                }
+                current = String::new();
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current.trim().to_owned());
+    }
+    out
+}
+
+/// Builder for [`TypeMap`].
+#[derive(Debug, Clone, Default)]
+pub struct TypeMapBuilder {
+    relation: Option<MapEntry>,
+    attributes: Vec<MapEntry>,
+}
+
+impl TypeMapBuilder {
+    /// Sets the relation-name equivalence (`source_relation = extent_name`).
+    #[must_use]
+    pub fn relation(mut self, source: impl Into<String>, mediator: impl Into<String>) -> Self {
+        self.relation = Some(MapEntry::new(source, mediator));
+        self
+    }
+
+    /// Adds an attribute equivalence (`source_attr = mediator_attr`).
+    #[must_use]
+    pub fn attribute(mut self, source: impl Into<String>, mediator: impl Into<String>) -> Self {
+        self.attributes.push(MapEntry::new(source, mediator));
+        self
+    }
+
+    /// Finishes the map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::InvalidMap`] when the same mediator or source
+    /// attribute appears twice (maps must be one-to-one).
+    pub fn build(self) -> Result<TypeMap> {
+        for (i, a) in self.attributes.iter().enumerate() {
+            for b in &self.attributes[i + 1..] {
+                if a.mediator() == b.mediator() {
+                    return Err(CatalogError::InvalidMap(format!(
+                        "mediator attribute mapped twice: {}",
+                        a.mediator()
+                    )));
+                }
+                if a.source() == b.source() {
+                    return Err(CatalogError::InvalidMap(format!(
+                        "source attribute mapped twice: {}",
+                        a.source()
+                    )));
+                }
+            }
+        }
+        Ok(TypeMap {
+            relation: self.relation,
+            attributes: self.attributes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_map() -> TypeMap {
+        TypeMap::builder()
+            .relation("person0", "personprime0")
+            .attribute("name", "n")
+            .attribute("salary", "s")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn mediator_to_source_renames_mapped_attributes() {
+        let m = paper_map();
+        assert_eq!(m.mediator_to_source("n"), "name");
+        assert_eq!(m.mediator_to_source("s"), "salary");
+        assert_eq!(m.mediator_to_source("unmapped"), "unmapped");
+    }
+
+    #[test]
+    fn source_to_mediator_is_the_inverse_direction() {
+        let m = paper_map();
+        assert_eq!(m.source_to_mediator("name"), "n");
+        assert_eq!(m.source_to_mediator("salary"), "s");
+    }
+
+    #[test]
+    fn extent_to_relation_uses_relation_entry() {
+        let m = paper_map();
+        assert_eq!(m.extent_to_relation("personprime0"), "person0");
+        assert_eq!(m.extent_to_relation("other"), "other");
+        assert_eq!(TypeMap::new().extent_to_relation("person0"), "person0");
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let m = paper_map();
+        let inv = m.inverse();
+        assert_eq!(inv.mediator_to_source("name"), "n");
+        assert_eq!(inv.inverse(), m);
+    }
+
+    #[test]
+    fn identity_map_passes_everything_through() {
+        let m = TypeMap::new();
+        assert!(m.is_identity());
+        assert_eq!(m.mediator_to_source("x"), "x");
+        assert_eq!(m.source_to_mediator("x"), "x");
+    }
+
+    #[test]
+    fn parse_paper_syntax() {
+        let m =
+            TypeMap::parse("((person0=personprime0),(name=n),(salary=s))", "personprime0").unwrap();
+        assert_eq!(m, paper_map());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_text() {
+        assert!(TypeMap::parse("person0=personprime0", "personprime0").is_err());
+        assert!(TypeMap::parse("((person0))", "personprime0").is_err());
+        assert!(TypeMap::parse("((=x))", "x").is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_mappings_are_rejected() {
+        let err = TypeMap::builder()
+            .attribute("a", "x")
+            .attribute("b", "x")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidMap(_)));
+        let err = TypeMap::builder()
+            .attribute("a", "x")
+            .attribute("a", "y")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidMap(_)));
+    }
+}

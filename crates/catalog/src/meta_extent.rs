@@ -1,0 +1,124 @@
+use serde::{Deserialize, Serialize};
+
+use crate::TypeMap;
+
+/// One instance of the paper's `MetaExtent` meta-data type (§2.1).
+///
+/// ```text
+/// interface MetaExtent (extent metaextent) {
+///     attribute String name;
+///     attribute Extent e;
+///     attribute Type interface;
+///     attribute Wrapper wrapper;
+///     attribute Repository repository;
+///     attribute Map map; }
+/// ```
+///
+/// Each `MetaExtent` represents the collection of data in exactly one data
+/// source; "this intuition is the key to the DISCO data model".  The DISCO
+/// special syntax
+///
+/// ```text
+/// extent person0 of Person wrapper w0 repository r0;
+/// ```
+///
+/// creates one of these records.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetaExtent {
+    extent_name: String,
+    interface: String,
+    wrapper: String,
+    repository: String,
+    map: TypeMap,
+}
+
+impl MetaExtent {
+    /// Creates a meta-extent with an identity map.
+    pub fn new(
+        extent_name: impl Into<String>,
+        interface: impl Into<String>,
+        wrapper: impl Into<String>,
+        repository: impl Into<String>,
+    ) -> Self {
+        MetaExtent {
+            extent_name: extent_name.into(),
+            interface: interface.into(),
+            wrapper: wrapper.into(),
+            repository: repository.into(),
+            map: TypeMap::new(),
+        }
+    }
+
+    /// Attaches a local transformation map (§2.2.2).
+    #[must_use]
+    pub fn with_map(mut self, map: TypeMap) -> Self {
+        self.map = map;
+        self
+    }
+
+    /// The extent name in the mediator (e.g. `person0`).
+    #[must_use]
+    pub fn extent_name(&self) -> &str {
+        &self.extent_name
+    }
+
+    /// The mediator interface whose extent this is (e.g. `Person`).
+    #[must_use]
+    pub fn interface(&self) -> &str {
+        &self.interface
+    }
+
+    /// The wrapper used to access the data source (e.g. `w0`).
+    #[must_use]
+    pub fn wrapper(&self) -> &str {
+        &self.wrapper
+    }
+
+    /// The repository holding the data source (e.g. `r0`).
+    #[must_use]
+    pub fn repository(&self) -> &str {
+        &self.repository
+    }
+
+    /// The local transformation map (identity when none was declared).
+    #[must_use]
+    pub fn map(&self) -> &TypeMap {
+        &self.map
+    }
+
+    /// The name of the relation / collection inside the data source.
+    ///
+    /// "The extent name is determined by the name of the data source in the
+    /// repository" unless a map overrides it.
+    #[must_use]
+    pub fn source_relation(&self) -> String {
+        self.map.extent_to_relation(&self.extent_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_extent_defaults_match_paper() {
+        let m = MetaExtent::new("person0", "Person", "w0", "r0");
+        assert_eq!(m.extent_name(), "person0");
+        assert_eq!(m.interface(), "Person");
+        assert_eq!(m.wrapper(), "w0");
+        assert_eq!(m.repository(), "r0");
+        assert!(m.map().is_identity());
+        assert_eq!(m.source_relation(), "person0");
+    }
+
+    #[test]
+    fn map_overrides_source_relation() {
+        let map = TypeMap::builder()
+            .relation("person0", "personprime0")
+            .attribute("name", "n")
+            .build()
+            .unwrap();
+        let m = MetaExtent::new("personprime0", "PersonPrime", "w0", "r0").with_map(map);
+        assert_eq!(m.source_relation(), "person0");
+    }
+}

@@ -1,0 +1,130 @@
+use serde::{Deserialize, Serialize};
+
+/// A repository object — "essentially the address of a database or some
+/// other type of repository" (§2).
+///
+/// The paper's example:
+///
+/// ```text
+/// r0 := Repository(host="rodin", name="db", address="123.45.6.7")
+/// ```
+///
+/// The definition of `Repository` is deliberately open-ended ("other
+/// attributes which describe the maintainer of the data source, the cost
+/// of accessing the data source, etc., can be added"), so arbitrary extra
+/// properties are supported.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Repository {
+    name: String,
+    host: Option<String>,
+    db_name: Option<String>,
+    address: Option<String>,
+    properties: Vec<(String, String)>,
+}
+
+impl Repository {
+    /// Creates a repository known by `name` (the variable the DBA binds it
+    /// to, e.g. `r0`).
+    pub fn new(name: impl Into<String>) -> Self {
+        Repository {
+            name: name.into(),
+            host: None,
+            db_name: None,
+            address: None,
+            properties: Vec::new(),
+        }
+    }
+
+    /// Sets the host machine.
+    #[must_use]
+    pub fn with_host(mut self, host: impl Into<String>) -> Self {
+        self.host = Some(host.into());
+        self
+    }
+
+    /// Sets the database name inside the repository.
+    #[must_use]
+    pub fn with_db_name(mut self, db_name: impl Into<String>) -> Self {
+        self.db_name = Some(db_name.into());
+        self
+    }
+
+    /// Sets the network address.
+    #[must_use]
+    pub fn with_address(mut self, address: impl Into<String>) -> Self {
+        self.address = Some(address.into());
+        self
+    }
+
+    /// Attaches an arbitrary descriptive property (maintainer, cost hints…).
+    #[must_use]
+    pub fn with_property(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.properties.push((key.into(), value.into()));
+        self
+    }
+
+    /// The repository name (e.g. `r0`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The host, if set.
+    #[must_use]
+    pub fn host(&self) -> Option<&str> {
+        self.host.as_deref()
+    }
+
+    /// The database name, if set.
+    #[must_use]
+    pub fn db_name(&self) -> Option<&str> {
+        self.db_name.as_deref()
+    }
+
+    /// The network address, if set.
+    #[must_use]
+    pub fn address(&self) -> Option<&str> {
+        self.address.as_deref()
+    }
+
+    /// Looks up an extra property.
+    #[must_use]
+    pub fn property(&self, key: &str) -> Option<&str> {
+        self.properties
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Iterates over all extra properties.
+    pub fn properties(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.properties.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repository_matches_paper_example() {
+        let r0 = Repository::new("r0")
+            .with_host("rodin")
+            .with_db_name("db")
+            .with_address("123.45.6.7");
+        assert_eq!(r0.name(), "r0");
+        assert_eq!(r0.host(), Some("rodin"));
+        assert_eq!(r0.db_name(), Some("db"));
+        assert_eq!(r0.address(), Some("123.45.6.7"));
+    }
+
+    #[test]
+    fn extra_properties_are_open_ended() {
+        let r = Repository::new("r1")
+            .with_property("maintainer", "louiqa")
+            .with_property("access_cost", "high");
+        assert_eq!(r.property("maintainer"), Some("louiqa"));
+        assert_eq!(r.property("missing"), None);
+        assert_eq!(r.properties().count(), 2);
+    }
+}

@@ -1,0 +1,215 @@
+use serde::{Deserialize, Serialize};
+
+/// A reference to a type in the mediator schema.
+///
+/// Covers the ODMG literal types used by the paper's examples (`String`,
+/// `Short`) plus collections and named interface types.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TypeRef {
+    /// Character string (`attribute String name`).
+    String,
+    /// Integer — the paper's `Short` salaries map here.
+    Int,
+    /// Floating point number.
+    Float,
+    /// Boolean.
+    Bool,
+    /// A bag of some element type.
+    Bag(Box<TypeRef>),
+    /// A list of some element type.
+    List(Box<TypeRef>),
+    /// A reference to a named interface defined in the mediator.
+    Interface(String),
+}
+
+impl TypeRef {
+    /// Parses the ODL spelling of a literal type name.
+    ///
+    /// `Short`, `Long`, `Integer` and `Int` all map to [`TypeRef::Int`];
+    /// unknown names become [`TypeRef::Interface`] references.
+    #[must_use]
+    pub fn from_odl_name(name: &str) -> TypeRef {
+        match name {
+            "String" | "string" => TypeRef::String,
+            "Short" | "Long" | "Int" | "Integer" | "short" | "long" | "int" => TypeRef::Int,
+            "Float" | "Double" | "float" | "double" => TypeRef::Float,
+            "Boolean" | "Bool" | "boolean" | "bool" => TypeRef::Bool,
+            other => TypeRef::Interface(other.to_owned()),
+        }
+    }
+}
+
+impl std::fmt::Display for TypeRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeRef::String => write!(f, "String"),
+            TypeRef::Int => write!(f, "Short"),
+            TypeRef::Float => write!(f, "Float"),
+            TypeRef::Bool => write!(f, "Boolean"),
+            TypeRef::Bag(inner) => write!(f, "Bag<{inner}>"),
+            TypeRef::List(inner) => write!(f, "List<{inner}>"),
+            TypeRef::Interface(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// A named, typed attribute of an interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    name: String,
+    ty: TypeRef,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, ty: TypeRef) -> Self {
+        Attribute {
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// The attribute name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute type.
+    #[must_use]
+    pub fn ty(&self) -> &TypeRef {
+        &self.ty
+    }
+}
+
+/// An ODMG interface definition in the mediator schema.
+///
+/// Mirrors the paper's ODL examples:
+///
+/// ```text
+/// interface Person (extent person) {
+///     attribute String name;
+///     attribute Short salary; }
+/// ```
+///
+/// DISCO extends the standard by associating a *bag of extents* with each
+/// interface; the extents themselves are registered separately as
+/// [`crate::MetaExtent`] objects, while the `extent person` clause here only
+/// names the implicit union extent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterfaceDef {
+    name: String,
+    supertype: Option<String>,
+    extent_name: Option<String>,
+    attributes: Vec<Attribute>,
+}
+
+impl InterfaceDef {
+    /// Creates an interface definition with no attributes.
+    pub fn new(name: impl Into<String>) -> Self {
+        InterfaceDef {
+            name: name.into(),
+            supertype: None,
+            extent_name: None,
+            attributes: Vec::new(),
+        }
+    }
+
+    /// Names the supertype (`interface Student : Person { }`).
+    #[must_use]
+    pub fn with_supertype(mut self, supertype: impl Into<String>) -> Self {
+        self.supertype = Some(supertype.into());
+        self
+    }
+
+    /// Declares the implicit extent name (`interface Person (extent person)`).
+    #[must_use]
+    pub fn with_extent_name(mut self, extent: impl Into<String>) -> Self {
+        self.extent_name = Some(extent.into());
+        self
+    }
+
+    /// Adds an attribute.
+    #[must_use]
+    pub fn with_attribute(mut self, attribute: Attribute) -> Self {
+        self.attributes.push(attribute);
+        self
+    }
+
+    /// The interface name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared supertype, if any.
+    #[must_use]
+    pub fn supertype(&self) -> Option<&str> {
+        self.supertype.as_deref()
+    }
+
+    /// The implicit extent name, if declared.
+    #[must_use]
+    pub fn extent_name(&self) -> Option<&str> {
+        self.extent_name.as_deref()
+    }
+
+    /// The attributes declared directly on this interface (not inherited).
+    #[must_use]
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Looks up an attribute declared directly on this interface.
+    #[must_use]
+    pub fn attribute(&self, name: &str) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odl_name_mapping() {
+        assert_eq!(TypeRef::from_odl_name("String"), TypeRef::String);
+        assert_eq!(TypeRef::from_odl_name("Short"), TypeRef::Int);
+        assert_eq!(TypeRef::from_odl_name("Float"), TypeRef::Float);
+        assert_eq!(
+            TypeRef::from_odl_name("Person"),
+            TypeRef::Interface("Person".into())
+        );
+    }
+
+    #[test]
+    fn display_round_trips_literal_names() {
+        assert_eq!(TypeRef::String.to_string(), "String");
+        assert_eq!(TypeRef::Int.to_string(), "Short");
+        assert_eq!(
+            TypeRef::Bag(Box::new(TypeRef::String)).to_string(),
+            "Bag<String>"
+        );
+    }
+
+    #[test]
+    fn interface_builder_matches_paper_person() {
+        let person = InterfaceDef::new("Person")
+            .with_extent_name("person")
+            .with_attribute(Attribute::new("name", TypeRef::String))
+            .with_attribute(Attribute::new("salary", TypeRef::Int));
+        assert_eq!(person.name(), "Person");
+        assert_eq!(person.extent_name(), Some("person"));
+        assert_eq!(person.attributes().len(), 2);
+        assert_eq!(person.attribute("salary").unwrap().ty(), &TypeRef::Int);
+        assert!(person.attribute("age").is_none());
+        assert!(person.supertype().is_none());
+    }
+
+    #[test]
+    fn student_subtype_declaration() {
+        let student = InterfaceDef::new("Student").with_supertype("Person");
+        assert_eq!(student.supertype(), Some("Person"));
+        assert!(student.attributes().is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+use serde::{Deserialize, Serialize};
+
+/// A view definition — the paper's `define <name> as <query>` (§2.2.3).
+///
+/// "Views do not have explicit objects associated with them.  The objects
+/// are referenced through the query name and are generated through
+/// executing the query."  The catalog stores the view body as OQL text
+/// (keeping this crate independent of the parser); the mediator parses and
+/// expands it at query time.  The list of referenced names is recorded so
+/// the catalog can reject cyclic view definitions ("a view can reference
+/// other views, as long as the references are not cyclic").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewDef {
+    name: String,
+    body: String,
+    references: Vec<String>,
+}
+
+impl ViewDef {
+    /// Creates a view with the given OQL body.
+    pub fn new(name: impl Into<String>, body: impl Into<String>) -> Self {
+        ViewDef {
+            name: name.into(),
+            body: body.into(),
+            references: Vec::new(),
+        }
+    }
+
+    /// Records the extent/view names the body references (used for cycle
+    /// detection).  Typically produced by the OQL resolver.
+    #[must_use]
+    pub fn with_references<I, S>(mut self, refs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.references = refs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// The view (query) name, e.g. `double` or `multiple`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The OQL body of the view.
+    #[must_use]
+    pub fn body(&self) -> &str {
+        &self.body
+    }
+
+    /// The names referenced by the body.
+    #[must_use]
+    pub fn references(&self) -> &[String] {
+        &self.references
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_def_holds_paper_double_view() {
+        let v = ViewDef::new(
+            "double",
+            "select struct(name: x.name, salary: x.salary + y.salary) \
+             from x in person0, y in person1 where x.id = y.id",
+        )
+        .with_references(["person0", "person1"]);
+        assert_eq!(v.name(), "double");
+        assert_eq!(v.references(), &["person0".to_owned(), "person1".to_owned()]);
+        assert!(v.body().contains("x.salary + y.salary"));
+    }
+}

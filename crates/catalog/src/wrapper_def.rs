@@ -1,0 +1,73 @@
+use serde::{Deserialize, Serialize};
+
+/// The catalog-level record of a wrapper object (§2, second step).
+///
+/// The paper's DBA writes `w0 := WrapperPostgres();` — the catalog records
+/// that a wrapper named `w0` of kind `postgres` exists.  The executable
+/// wrapper implementation itself lives in the `disco-wrapper` crate and is
+/// bound to this name by the mediator at registration time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WrapperDef {
+    name: String,
+    kind: String,
+    properties: Vec<(String, String)>,
+}
+
+impl WrapperDef {
+    /// Creates a wrapper record with a name (e.g. `w0`) and a kind
+    /// (e.g. `postgres`, `csv`, `document`).
+    pub fn new(name: impl Into<String>, kind: impl Into<String>) -> Self {
+        WrapperDef {
+            name: name.into(),
+            kind: kind.into(),
+            properties: Vec::new(),
+        }
+    }
+
+    /// Attaches an arbitrary configuration property.
+    #[must_use]
+    pub fn with_property(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.properties.push((key.into(), value.into()));
+        self
+    }
+
+    /// The wrapper name (e.g. `w0`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The wrapper kind (which implementation to instantiate).
+    #[must_use]
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// Looks up a configuration property.
+    #[must_use]
+    pub fn property(&self, key: &str) -> Option<&str> {
+        self.properties
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapper_def_records_name_and_kind() {
+        let w0 = WrapperDef::new("w0", "postgres");
+        assert_eq!(w0.name(), "w0");
+        assert_eq!(w0.kind(), "postgres");
+        assert_eq!(w0.property("anything"), None);
+    }
+
+    #[test]
+    fn wrapper_def_carries_properties() {
+        let w = WrapperDef::new("w1", "csv").with_property("delimiter", ";");
+        assert_eq!(w.property("delimiter"), Some(";"));
+    }
+}

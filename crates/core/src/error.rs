@@ -1,0 +1,92 @@
+use std::fmt;
+
+/// Errors surfaced by the mediator facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MediatorError {
+    /// Schema / catalog error (duplicate or unknown names, cyclic views…).
+    Catalog(disco_catalog::CatalogError),
+    /// OQL / ODL parse or resolution error.
+    Oql(disco_oql::OqlError),
+    /// Query compilation or optimization error.
+    Optimizer(disco_optimizer::OptimizerError),
+    /// Execution error (capability violation, type conflict, …).
+    Runtime(disco_runtime::RuntimeError),
+    /// A wrapper kind referenced in ODL has no registered implementation.
+    UnboundWrapper {
+        /// The wrapper name from the ODL statement.
+        name: String,
+        /// The wrapper kind.
+        kind: String,
+    },
+    /// A statement the mediator cannot apply (e.g. a bare query inside a
+    /// schema-only ODL load).
+    Unsupported(String),
+}
+
+impl fmt::Display for MediatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediatorError::Catalog(err) => write!(f, "catalog error: {err}"),
+            MediatorError::Oql(err) => write!(f, "query language error: {err}"),
+            MediatorError::Optimizer(err) => write!(f, "optimizer error: {err}"),
+            MediatorError::Runtime(err) => write!(f, "runtime error: {err}"),
+            MediatorError::UnboundWrapper { name, kind } => write!(
+                f,
+                "wrapper {name} of kind {kind} has no registered implementation; call bind_wrapper first"
+            ),
+            MediatorError::Unsupported(msg) => write!(f, "unsupported statement: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MediatorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MediatorError::Catalog(err) => Some(err),
+            MediatorError::Oql(err) => Some(err),
+            MediatorError::Optimizer(err) => Some(err),
+            MediatorError::Runtime(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<disco_catalog::CatalogError> for MediatorError {
+    fn from(err: disco_catalog::CatalogError) -> Self {
+        MediatorError::Catalog(err)
+    }
+}
+
+impl From<disco_oql::OqlError> for MediatorError {
+    fn from(err: disco_oql::OqlError) -> Self {
+        MediatorError::Oql(err)
+    }
+}
+
+impl From<disco_optimizer::OptimizerError> for MediatorError {
+    fn from(err: disco_optimizer::OptimizerError) -> Self {
+        MediatorError::Optimizer(err)
+    }
+}
+
+impl From<disco_runtime::RuntimeError> for MediatorError {
+    fn from(err: disco_runtime::RuntimeError) -> Self {
+        MediatorError::Runtime(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: MediatorError = disco_catalog::CatalogError::UnknownExtent("x".into()).into();
+        assert!(e.to_string().contains("unknown extent"));
+        let e = MediatorError::UnboundWrapper {
+            name: "w0".into(),
+            kind: "postgres".into(),
+        };
+        assert!(e.to_string().contains("bind_wrapper"));
+    }
+}

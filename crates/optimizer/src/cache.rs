@@ -1,0 +1,139 @@
+//! Plan caching with extent-update invalidation (§3.3).
+//!
+//! "If query optimization plans are cached, the mediator must monitor
+//! updates to extents, and modify or recompute plans that are affected by
+//! updates to the extents understood by the mediator."  The catalog bumps
+//! a generation counter on every schema/extent change; cached plans carry
+//! the generation they were built against and are discarded when it no
+//! longer matches.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use crate::planner::Plan;
+
+/// A cache of optimized plans keyed by query text.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: RwLock<BTreeMap<String, Plan>>,
+    hits: RwLock<u64>,
+    misses: RwLock<u64>,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Looks up a cached plan for `query`, returning it only when it was
+    /// built against the current catalog generation; stale entries are
+    /// removed.
+    #[must_use]
+    pub fn get(&self, query: &str, current_generation: u64) -> Option<Plan> {
+        let cached = self.plans.read().get(query).cloned();
+        match cached {
+            Some(plan) if plan.catalog_generation == current_generation => {
+                *self.hits.write() += 1;
+                Some(plan)
+            }
+            Some(_) => {
+                // Stale: an extent was added or removed since the plan was built.
+                self.plans.write().remove(query);
+                *self.misses.write() += 1;
+                None
+            }
+            None => {
+                *self.misses.write() += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a plan under its query text (no-op for plans without text).
+    pub fn put(&self, plan: &Plan) {
+        if let Some(query) = &plan.query {
+            self.plans.write().insert(query.clone(), plan.clone());
+        }
+    }
+
+    /// Number of cached plans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.plans.read().len()
+    }
+
+    /// Returns `true` when the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.plans.read().is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.read(), *self.misses.read())
+    }
+
+    /// Clears the cache.
+    pub fn clear(&self) {
+        self.plans.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Optimizer;
+    use disco_algebra::CapabilitySet;
+    use disco_catalog::{Attribute, Catalog, InterfaceDef, MetaExtent, Repository, TypeRef, WrapperDef};
+    use std::collections::BTreeMap;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.define_interface(
+            InterfaceDef::new("Person")
+                .with_extent_name("person")
+                .with_attribute(Attribute::new("name", TypeRef::String))
+                .with_attribute(Attribute::new("salary", TypeRef::Int)),
+        )
+        .unwrap();
+        c.add_wrapper(WrapperDef::new("w0", "relational")).unwrap();
+        c.add_repository(Repository::new("r0")).unwrap();
+        c.add_extent(MetaExtent::new("person0", "Person", "w0", "r0"))
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn cache_hits_for_same_generation_and_invalidates_on_extent_updates() {
+        let mut cat = catalog();
+        let optimizer = Optimizer::new(BTreeMap::<String, CapabilitySet>::new());
+        let cache = PlanCache::new();
+        let query = "select x.name from x in person";
+        let plan = optimizer.optimize_text(query, &cat).unwrap();
+        cache.put(&plan);
+        assert!(cache.get(query, cat.generation()).is_some());
+        assert_eq!(cache.stats().0, 1);
+
+        // Adding a new person source must invalidate the cached plan — the
+        // implicit `person` extent now covers one more source.
+        cat.add_repository(Repository::new("r9")).unwrap();
+        cat.add_extent(MetaExtent::new("person9", "Person", "w0", "r9"))
+            .unwrap();
+        assert!(cache.get(query, cat.generation()).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().1, 1);
+    }
+
+    #[test]
+    fn unknown_queries_miss() {
+        let cache = PlanCache::new();
+        assert!(cache.get("select 1", 0).is_none());
+        assert_eq!(cache.stats(), (0, 1));
+        assert_eq!(cache.len(), 0);
+        cache.clear();
+    }
+}

@@ -1,0 +1,265 @@
+//! The self-calibrating cost store (§3.3).
+//!
+//! "DISCO solves this problem by recording previous `exec` calls to a data
+//! source and the actual cost of the call.  When the exec call finishes,
+//! the arguments of the call, the time taken and the amount of data
+//! generated is recorded.  A new call is compared to the previous calls."
+//!
+//! Three lookup outcomes, exactly as in the paper:
+//!
+//! * **exact match** — a previous call with identical arguments; a
+//!   smoothing function combines the recorded observations,
+//! * **close match** — a previous call with the same structure but
+//!   different constants (found through the plan fingerprint, a
+//!   predicate-based matching in the spirit of the paper's reference to
+//!   predicate-based caching); the smoothed observations are used,
+//! * **default** — no information: "a default time cost of 0 and a data
+//!   cost of 1 is used", which biases the optimizer towards pushing the
+//!   maximum amount of computation to the data source.
+
+use std::collections::BTreeMap;
+
+use disco_algebra::LogicalExpr;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// How many exactly-matching observations are kept per call shape
+/// ("only a fixed number of exactly matching calls are recorded").
+const MAX_OBSERVATIONS: usize = 8;
+
+/// One recorded `exec` call.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Wall-clock (or simulated) time of the call, in milliseconds.
+    pub time_ms: f64,
+    /// Number of rows the call returned.
+    pub rows: f64,
+}
+
+/// The source of a cost estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchKind {
+    /// An exactly matching previous call was found.
+    Exact,
+    /// A structurally matching call (constants differ) was found.
+    Close,
+    /// No matching call; the paper's defaults were used.
+    Default,
+}
+
+/// A cost estimate for an `exec` call.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// Estimated time in milliseconds.
+    pub time_ms: f64,
+    /// Estimated rows returned.
+    pub rows: f64,
+    /// How the estimate was obtained.
+    pub source: MatchKind,
+}
+
+impl CostEstimate {
+    /// The paper's default estimate: time 0, data 1.
+    #[must_use]
+    pub fn default_estimate() -> Self {
+        CostEstimate {
+            time_ms: 0.0,
+            rows: 1.0,
+            source: MatchKind::Default,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    /// Exact observations keyed by `(repository, plan text)`.
+    exact: BTreeMap<(String, String), Vec<Observation>>,
+    /// Close-match observations keyed by `(repository, plan fingerprint)`.
+    close: BTreeMap<(String, String), Vec<Observation>>,
+}
+
+/// Thread-safe store of recorded `exec` calls with smoothing.
+#[derive(Debug, Default)]
+pub struct CalibrationStore {
+    inner: RwLock<StoreInner>,
+}
+
+impl CalibrationStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        CalibrationStore::default()
+    }
+
+    /// Records a finished `exec` call: the repository, the shipped
+    /// expression, the time taken and the rows returned.
+    pub fn record(&self, repository: &str, expr: &LogicalExpr, time_ms: f64, rows: usize) {
+        #[allow(clippy::cast_precision_loss)]
+        let obs = Observation {
+            time_ms,
+            rows: rows as f64,
+        };
+        let exact_key = (repository.to_owned(), expr.to_string());
+        let close_key = (repository.to_owned(), expr.fingerprint());
+        let mut inner = self.inner.write();
+        push_capped(&mut inner.exact, exact_key, obs);
+        push_capped(&mut inner.close, close_key, obs);
+    }
+
+    /// Estimates the cost of an `exec` call against `repository` shipping
+    /// `expr`, using exact → close → default lookup.
+    #[must_use]
+    pub fn estimate(&self, repository: &str, expr: &LogicalExpr) -> CostEstimate {
+        let inner = self.inner.read();
+        let exact_key = (repository.to_owned(), expr.to_string());
+        if let Some(observations) = inner.exact.get(&exact_key) {
+            if !observations.is_empty() {
+                let (time_ms, rows) = smooth(observations);
+                return CostEstimate {
+                    time_ms,
+                    rows,
+                    source: MatchKind::Exact,
+                };
+            }
+        }
+        let close_key = (repository.to_owned(), expr.fingerprint());
+        if let Some(observations) = inner.close.get(&close_key) {
+            if !observations.is_empty() {
+                let (time_ms, rows) = smooth(observations);
+                return CostEstimate {
+                    time_ms,
+                    rows,
+                    source: MatchKind::Close,
+                };
+            }
+        }
+        CostEstimate::default_estimate()
+    }
+
+    /// Number of distinct exact call shapes recorded.
+    #[must_use]
+    pub fn exact_shapes(&self) -> usize {
+        self.inner.read().exact.len()
+    }
+
+    /// Number of distinct close-match (fingerprint) shapes recorded.
+    #[must_use]
+    pub fn close_shapes(&self) -> usize {
+        self.inner.read().close.len()
+    }
+
+    /// Total number of stored observations (exact side).
+    #[must_use]
+    pub fn observation_count(&self) -> usize {
+        self.inner.read().exact.values().map(Vec::len).sum()
+    }
+
+    /// Clears every recorded observation.
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        inner.exact.clear();
+        inner.close.clear();
+    }
+}
+
+/// Appends an observation, keeping only the most recent
+/// [`MAX_OBSERVATIONS`] entries per key.
+fn push_capped(
+    map: &mut BTreeMap<(String, String), Vec<Observation>>,
+    key: (String, String),
+    obs: Observation,
+) {
+    let entry = map.entry(key).or_default();
+    entry.push(obs);
+    if entry.len() > MAX_OBSERVATIONS {
+        let excess = entry.len() - MAX_OBSERVATIONS;
+        entry.drain(0..excess);
+    }
+}
+
+/// The smoothing function: an exponentially weighted average favouring the
+/// most recent observations.
+fn smooth(observations: &[Observation]) -> (f64, f64) {
+    let alpha = 0.5;
+    let mut time = observations[0].time_ms;
+    let mut rows = observations[0].rows;
+    for obs in &observations[1..] {
+        time = alpha * obs.time_ms + (1.0 - alpha) * time;
+        rows = alpha * obs.rows + (1.0 - alpha) * rows;
+    }
+    (time, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_algebra::{ScalarExpr, ScalarOp};
+
+    fn filter_plan(threshold: i64) -> LogicalExpr {
+        LogicalExpr::get("person0").filter(ScalarExpr::binary(
+            ScalarOp::Gt,
+            ScalarExpr::attr("salary"),
+            ScalarExpr::constant(threshold),
+        ))
+    }
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let store = CalibrationStore::new();
+        let est = store.estimate("r0", &filter_plan(10));
+        assert_eq!(est.source, MatchKind::Default);
+        assert_eq!(est.time_ms, 0.0);
+        assert_eq!(est.rows, 1.0);
+    }
+
+    #[test]
+    fn exact_match_after_recording_same_call() {
+        let store = CalibrationStore::new();
+        store.record("r0", &filter_plan(10), 12.0, 40);
+        let est = store.estimate("r0", &filter_plan(10));
+        assert_eq!(est.source, MatchKind::Exact);
+        assert!((est.time_ms - 12.0).abs() < 1e-9);
+        assert!((est.rows - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn close_match_when_only_constants_differ() {
+        let store = CalibrationStore::new();
+        store.record("r0", &filter_plan(10), 12.0, 40);
+        let est = store.estimate("r0", &filter_plan(99));
+        assert_eq!(est.source, MatchKind::Close);
+        assert!(est.time_ms > 0.0);
+    }
+
+    #[test]
+    fn different_repository_or_structure_falls_back_to_default() {
+        let store = CalibrationStore::new();
+        store.record("r0", &filter_plan(10), 12.0, 40);
+        assert_eq!(store.estimate("r1", &filter_plan(10)).source, MatchKind::Default);
+        let other = LogicalExpr::get("person0").project(["name"]);
+        assert_eq!(store.estimate("r0", &other).source, MatchKind::Default);
+    }
+
+    #[test]
+    fn smoothing_tracks_recent_observations_and_caps_history() {
+        let store = CalibrationStore::new();
+        for i in 0..20 {
+            store.record("r0", &filter_plan(10), f64::from(i), 10);
+        }
+        assert_eq!(store.observation_count(), MAX_OBSERVATIONS);
+        let est = store.estimate("r0", &filter_plan(10));
+        // The estimate is pulled towards the most recent (larger) values.
+        assert!(est.time_ms > 15.0, "estimate {est:?}");
+        assert_eq!(store.exact_shapes(), 1);
+        assert_eq!(store.close_shapes(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let store = CalibrationStore::new();
+        store.record("r0", &filter_plan(10), 5.0, 3);
+        store.clear();
+        assert_eq!(store.exact_shapes(), 0);
+        assert_eq!(store.estimate("r0", &filter_plan(10)).source, MatchKind::Default);
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Errors produced during query compilation and optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerError {
+    /// A name in the query could not be resolved to an extent, view or
+    /// interface.
+    UnresolvedCollection(String),
+    /// The query uses a construct the compiler does not support.
+    Unsupported(String),
+    /// A range variable was referenced but never bound in a `from` clause.
+    UnboundVariable(String),
+    /// An error from the catalog.
+    Catalog(disco_catalog::CatalogError),
+    /// An error from the OQL front end.
+    Oql(disco_oql::OqlError),
+    /// An error from the algebra layer.
+    Algebra(disco_algebra::AlgebraError),
+}
+
+impl fmt::Display for OptimizerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizerError::UnresolvedCollection(name) => {
+                write!(f, "unresolved collection in from clause: {name}")
+            }
+            OptimizerError::Unsupported(msg) => write!(f, "unsupported query construct: {msg}"),
+            OptimizerError::UnboundVariable(v) => write!(f, "unbound range variable: {v}"),
+            OptimizerError::Catalog(err) => write!(f, "catalog error: {err}"),
+            OptimizerError::Oql(err) => write!(f, "query error: {err}"),
+            OptimizerError::Algebra(err) => write!(f, "algebra error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptimizerError::Catalog(err) => Some(err),
+            OptimizerError::Oql(err) => Some(err),
+            OptimizerError::Algebra(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<disco_catalog::CatalogError> for OptimizerError {
+    fn from(err: disco_catalog::CatalogError) -> Self {
+        OptimizerError::Catalog(err)
+    }
+}
+
+impl From<disco_oql::OqlError> for OptimizerError {
+    fn from(err: disco_oql::OqlError) -> Self {
+        OptimizerError::Oql(err)
+    }
+}
+
+impl From<disco_algebra::AlgebraError> for OptimizerError {
+    fn from(err: disco_algebra::AlgebraError) -> Self {
+        OptimizerError::Algebra(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert_eq!(
+            OptimizerError::UnresolvedCollection("person9".into()).to_string(),
+            "unresolved collection in from clause: person9"
+        );
+        let e: OptimizerError = disco_catalog::CatalogError::UnknownExtent("x".into()).into();
+        assert!(matches!(e, OptimizerError::Catalog(_)));
+        let e: OptimizerError = disco_algebra::AlgebraError::DivisionByZero.into();
+        assert!(matches!(e, OptimizerError::Algebra(_)));
+    }
+}

@@ -1,0 +1,391 @@
+//! The plan search: alternative generation, costing and selection (§3.1).
+//!
+//! "The search is accomplished by transforming the query into several
+//! alternative expressions which can be executed by the run-time system.
+//! Each expression has an associated estimated cost.  The expression with
+//! the lowest estimated cost is then executed."
+//!
+//! The optimizer generates alternatives by applying different subsets of
+//! the capability-checked pushdown rules (none, selections only,
+//! projections only, everything) to the normalized canonical plan, lowers
+//! each to the physical algebra, costs them, and picks the cheapest.
+
+use std::sync::Arc;
+
+use disco_algebra::rules::{
+    self, push_filter_into_submit, push_join_into_submit, push_project_into_submit,
+};
+use disco_algebra::{lower, CapabilityLookup, LogicalExpr, PhysicalExpr};
+use disco_catalog::Catalog;
+
+use crate::calibration::CalibrationStore;
+use crate::compile::compile_text;
+use crate::cost::{CostModel, CostParams, PlanCost};
+use crate::Result;
+
+/// One alternative considered during the search.
+#[derive(Debug, Clone)]
+pub struct PlanAlternative {
+    /// Which rule subset produced it.
+    pub strategy: &'static str,
+    /// The logical plan.
+    pub logical: LogicalExpr,
+    /// Its estimated cost.
+    pub cost: PlanCost,
+}
+
+/// The outcome of optimization: the chosen plan plus the alternatives that
+/// were considered.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The original query text, when the plan came from text.
+    pub query: Option<String>,
+    /// The catalog generation the plan was built against (for cache
+    /// invalidation).
+    pub catalog_generation: u64,
+    /// The chosen logical plan.
+    pub logical: LogicalExpr,
+    /// The chosen physical plan.
+    pub physical: PhysicalExpr,
+    /// Estimated cost of the chosen plan.
+    pub cost: PlanCost,
+    /// Every alternative considered, including the chosen one.
+    pub alternatives: Vec<PlanAlternative>,
+}
+
+impl Plan {
+    /// The strategy name of the chosen alternative.
+    #[must_use]
+    pub fn chosen_strategy(&self) -> &'static str {
+        self.alternatives
+            .iter()
+            .find(|a| a.logical == self.logical)
+            .map_or("canonical", |a| a.strategy)
+    }
+}
+
+/// The DISCO query optimizer.
+pub struct Optimizer {
+    capabilities: Box<dyn CapabilityLookup + Send + Sync>,
+    cost_model: CostModel,
+}
+
+impl std::fmt::Debug for Optimizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Optimizer")
+            .field("cost_params", self.cost_model.params())
+            .finish()
+    }
+}
+
+impl Optimizer {
+    /// Creates an optimizer with the given wrapper-capability lookup and a
+    /// fresh calibration store.
+    pub fn new<C>(capabilities: C) -> Self
+    where
+        C: CapabilityLookup + Send + Sync + 'static,
+    {
+        Optimizer {
+            capabilities: Box::new(capabilities),
+            cost_model: CostModel::new(Arc::new(CalibrationStore::new())),
+        }
+    }
+
+    /// Creates an optimizer sharing an existing calibration store.
+    pub fn with_store<C>(capabilities: C, store: Arc<CalibrationStore>) -> Self
+    where
+        C: CapabilityLookup + Send + Sync + 'static,
+    {
+        Optimizer {
+            capabilities: Box::new(capabilities),
+            cost_model: CostModel::new(store),
+        }
+    }
+
+    /// Overrides the mediator cost constants.
+    #[must_use]
+    pub fn with_cost_params(mut self, params: CostParams) -> Self {
+        self.cost_model = CostModel::new(Arc::clone(self.cost_model.store())).with_params(params);
+        self
+    }
+
+    /// The calibration store used for `exec` estimates (the runtime records
+    /// finished calls into it).
+    #[must_use]
+    pub fn calibration(&self) -> &Arc<CalibrationStore> {
+        self.cost_model.store()
+    }
+
+    /// The cost model.
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Compiles and optimizes OQL text against the catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns compilation errors and lowering errors.
+    pub fn optimize_text(&self, query: &str, catalog: &Catalog) -> Result<Plan> {
+        let compiled = compile_text(query, catalog)?;
+        let mut plan = self.optimize_logical(&compiled, catalog.generation())?;
+        plan.query = Some(query.to_owned());
+        Ok(plan)
+    }
+
+    /// Optimizes an already-compiled logical plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns lowering errors (e.g. a bare `get` outside `submit`).
+    pub fn optimize_logical(&self, compiled: &LogicalExpr, catalog_generation: u64) -> Result<Plan> {
+        let normalized = rules::normalize(compiled);
+        let lookup = self.capabilities.as_ref();
+
+        let mut alternatives: Vec<PlanAlternative> = Vec::new();
+        let push_alternative = |strategy: &'static str,
+                                    logical: LogicalExpr,
+                                    alternatives: &mut Vec<PlanAlternative>|
+         -> Result<()> {
+            if alternatives.iter().any(|a| a.logical == logical) {
+                return Ok(());
+            }
+            let physical = lower(&logical)?;
+            let cost = self.cost_model.cost(&physical);
+            alternatives.push(PlanAlternative {
+                strategy,
+                logical,
+                cost,
+            });
+            Ok(())
+        };
+
+        push_alternative("mediator-only", normalized.clone(), &mut alternatives)?;
+        push_alternative(
+            "push-selections",
+            apply_subset(&normalized, lookup, true, false, false),
+            &mut alternatives,
+        )?;
+        push_alternative(
+            "push-projections",
+            apply_subset(&normalized, lookup, false, true, false),
+            &mut alternatives,
+        )?;
+        push_alternative(
+            "push-selections-projections",
+            apply_subset(&normalized, lookup, true, true, false),
+            &mut alternatives,
+        )?;
+        push_alternative(
+            "push-everything",
+            rules::push_to_wrappers(&normalized, lookup),
+            &mut alternatives,
+        )?;
+
+        let best = alternatives
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.cost
+                    .time_ms
+                    .total_cmp(&b.cost.time_ms)
+                    .then_with(|| a.logical.size().cmp(&b.logical.size()))
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let chosen = alternatives[best].clone();
+        let physical = lower(&chosen.logical)?;
+        Ok(Plan {
+            query: None,
+            catalog_generation,
+            logical: chosen.logical,
+            physical,
+            cost: chosen.cost,
+            alternatives,
+        })
+    }
+}
+
+/// Applies the selected subset of pushdown rules to a fixpoint.
+fn apply_subset(
+    expr: &LogicalExpr,
+    lookup: &dyn CapabilityLookup,
+    filters: bool,
+    projections: bool,
+    joins: bool,
+) -> LogicalExpr {
+    let mut current = expr.clone();
+    for _ in 0..64 {
+        let next = current.rewrite_bottom_up(&|e| {
+            let mut result = None;
+            if filters {
+                result = result.or_else(|| push_filter_into_submit(e, lookup));
+            }
+            if projections {
+                // A projection blocked by a filter that cannot be pushed may
+                // still reach the wrapper by commuting below the filter.
+                result = result.or_else(|| {
+                    let swapped = rules::push_project_below_filter(e)?;
+                    let rewritten = swapped
+                        .rewrite_bottom_up(&|inner| push_project_into_submit(inner, lookup));
+                    (rewritten != swapped).then_some(rewritten)
+                });
+            }
+            if projections {
+                result = result.or_else(|| push_project_into_submit(e, lookup));
+            }
+            if joins {
+                result = result.or_else(|| push_join_into_submit(e, lookup));
+            }
+            result
+        });
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_algebra::{CapabilitySet, OperatorKind};
+    use disco_catalog::{Attribute, InterfaceDef, MetaExtent, Repository, TypeRef, WrapperDef};
+    use std::collections::BTreeMap;
+
+    fn catalog_with_two_sources() -> Catalog {
+        let mut c = Catalog::new();
+        c.define_interface(
+            InterfaceDef::new("Person")
+                .with_extent_name("person")
+                .with_attribute(Attribute::new("id", TypeRef::Int))
+                .with_attribute(Attribute::new("name", TypeRef::String))
+                .with_attribute(Attribute::new("salary", TypeRef::Int)),
+        )
+        .unwrap();
+        c.add_wrapper(WrapperDef::new("w_full", "relational")).unwrap();
+        c.add_wrapper(WrapperDef::new("w_min", "csv")).unwrap();
+        c.add_repository(Repository::new("r0")).unwrap();
+        c.add_repository(Repository::new("r1")).unwrap();
+        c.add_extent(MetaExtent::new("person0", "Person", "w_full", "r0"))
+            .unwrap();
+        c.add_extent(MetaExtent::new("person1", "Person", "w_min", "r1"))
+            .unwrap();
+        c
+    }
+
+    fn capability_map() -> BTreeMap<String, CapabilitySet> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "w_full".to_owned(),
+            CapabilitySet::new([OperatorKind::Get, OperatorKind::Select, OperatorKind::Project])
+                .with_composition(true),
+        );
+        m.insert("w_min".to_owned(), CapabilitySet::get_only());
+        m
+    }
+
+    #[test]
+    fn optimizer_pushes_work_to_capable_wrappers_only() {
+        let catalog = catalog_with_two_sources();
+        let optimizer = Optimizer::new(capability_map());
+        let plan = optimizer
+            .optimize_text(
+                "select x.name from x in person where x.salary > 10",
+                &catalog,
+            )
+            .unwrap();
+        let text = plan.logical.to_string();
+        assert!(
+            text.contains("submit(r0, project(name, select((salary > 10), get(person0))))")
+                || text.contains("submit(r0, select((salary > 10), project(name, salary, get(person0))))")
+                || text.contains("submit(r0, project(name, salary, select((salary > 10), get(person0))))"),
+            "capable wrapper branch should be pushed: {text}"
+        );
+        assert!(
+            text.contains("submit(r1, get(person1))"),
+            "get-only wrapper branch should ship only get: {text}"
+        );
+        assert!(plan.alternatives.len() >= 2);
+        assert_eq!(plan.physical.collect_execs().len(), 2);
+    }
+
+    #[test]
+    fn alternatives_include_mediator_only_and_are_costed() {
+        let catalog = catalog_with_two_sources();
+        let optimizer = Optimizer::new(capability_map());
+        let plan = optimizer
+            .optimize_text("select x.name from x in person0 where x.salary > 10", &catalog)
+            .unwrap();
+        assert!(plan
+            .alternatives
+            .iter()
+            .any(|a| a.strategy == "mediator-only"));
+        for alt in &plan.alternatives {
+            assert!(alt.cost.time_ms >= 0.0);
+        }
+        // The chosen plan is at least as cheap as every alternative.
+        for alt in &plan.alternatives {
+            assert!(plan.cost.time_ms <= alt.cost.time_ms + 1e-9);
+        }
+    }
+
+    #[test]
+    fn calibration_steers_the_choice() {
+        let catalog = catalog_with_two_sources();
+        let store = Arc::new(CalibrationStore::new());
+        let optimizer = Optimizer::with_store(capability_map(), Arc::clone(&store));
+        // Teach the optimizer that pushing the selection to r0 is *slow*
+        // (e.g. the source has no index) while plain gets are fast and small.
+        let pushed_shape = disco_algebra::LogicalExpr::get("person0")
+            .project(["name", "salary"])
+            .filter(disco_algebra::ScalarExpr::binary(
+                disco_algebra::ScalarOp::Gt,
+                disco_algebra::ScalarExpr::attr("salary"),
+                disco_algebra::ScalarExpr::constant(10i64),
+            ));
+        store.record("r0", &pushed_shape, 500.0, 10);
+        let plan = optimizer
+            .optimize_text("select x.name from x in person0 where x.salary > 10", &catalog)
+            .unwrap();
+        // With the pushed shape now known to be expensive the optimizer may
+        // keep work at the mediator; either way the chosen cost must be the
+        // minimum over alternatives.
+        let min = plan
+            .alternatives
+            .iter()
+            .map(|a| a.cost.time_ms)
+            .fold(f64::INFINITY, f64::min);
+        assert!((plan.cost.time_ms - min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chosen_strategy_is_reported() {
+        let catalog = catalog_with_two_sources();
+        let optimizer = Optimizer::new(capability_map());
+        let plan = optimizer
+            .optimize_text("select x.name from x in person0", &catalog)
+            .unwrap();
+        assert!(!plan.chosen_strategy().is_empty());
+        assert_eq!(plan.catalog_generation, catalog.generation());
+        assert_eq!(plan.query.as_deref(), Some("select x.name from x in person0"));
+    }
+
+    #[test]
+    fn unknown_wrappers_default_to_get_only() {
+        let catalog = catalog_with_two_sources();
+        // Empty capability map: nothing can be pushed.
+        let optimizer = Optimizer::new(BTreeMap::<String, CapabilitySet>::new());
+        let plan = optimizer
+            .optimize_text(
+                "select x.name from x in person where x.salary > 10",
+                &catalog,
+            )
+            .unwrap();
+        let text = plan.logical.to_string();
+        assert!(!text.contains("submit(r0, select"), "{text}");
+        assert!(!text.contains("submit(r1, select"), "{text}");
+    }
+}

@@ -1,0 +1,457 @@
+//! Abstract syntax for the OQL subset and the DISCO ODL extensions.
+
+use disco_value::Value;
+
+/// Binary operators of the OQL expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+impl BinaryOp {
+    /// Returns `true` for comparison operators (result type boolean).
+    #[must_use]
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+
+    /// Returns `true` for `and` / `or`.
+    #[must_use]
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+
+    /// The OQL spelling of the operator.
+    #[must_use]
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "and",
+            BinaryOp::Or => "or",
+        }
+    }
+}
+
+/// Aggregate functions supported in OQL projections and views (§2.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `sum(...)`
+    Sum,
+    /// `count(...)`
+    Count,
+    /// `avg(...)`
+    Avg,
+    /// `min(...)`
+    Min,
+    /// `max(...)`
+    Max,
+}
+
+impl AggFunc {
+    /// Parses an aggregate function name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "sum" => Some(AggFunc::Sum),
+            "count" => Some(AggFunc::Count),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// The OQL spelling.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// One range-variable binding in a `from` clause: `x in <collection>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromBinding {
+    /// The range variable (`x`).
+    pub var: String,
+    /// The collection expression it ranges over (`person`, `union(a,b)`, a
+    /// nested select, …).
+    pub collection: Expr,
+}
+
+/// A `select [distinct] <projection> from <bindings> [where <predicate>]`
+/// expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectExpr {
+    /// Whether `distinct` was specified.
+    pub distinct: bool,
+    /// The projected expression (evaluated once per binding combination).
+    pub projection: Box<Expr>,
+    /// The `from` clause bindings, in order.
+    pub bindings: Vec<FromBinding>,
+    /// The optional `where` predicate.
+    pub where_clause: Option<Box<Expr>>,
+}
+
+/// An OQL expression.
+///
+/// OQL is closed with respect to queries and data (§4: "both queries and
+/// answers are simply expressions"), so the same type represents queries,
+/// sub-queries, predicates, and the data embedded in partial answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value (`10`, `"Mary"`, `nil`, `true`).
+    Literal(Value),
+    /// A bare name: range variable, extent, view, or recursive extent
+    /// (`person*` keeps the star in the name).
+    Ident(String),
+    /// Path expression `base.field`.
+    Path(Box<Expr>, String),
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical negation `not e`.
+    Not(Box<Expr>),
+    /// A select-from-where block.
+    Select(SelectExpr),
+    /// `union(e1, e2, ...)` — bag union of the argument collections.
+    Union(Vec<Expr>),
+    /// `bag(e1, ..., en)` — bag construction; also used to print data in
+    /// partial answers (`Bag("Sam")`).
+    BagConstruct(Vec<Expr>),
+    /// `list(e1, ..., en)`.
+    ListConstruct(Vec<Expr>),
+    /// `struct(name: e1, ...)`.
+    StructConstruct(Vec<(String, Expr)>),
+    /// `flatten(e)` — flattens a bag of bags.
+    Flatten(Box<Expr>),
+    /// `element(e)` — extracts the single element of a singleton bag.
+    Element(Box<Expr>),
+    /// An aggregate application, e.g. `sum(select z.salary from …)`.
+    Aggregate(AggFunc, Box<Expr>),
+    /// A call to a named function that is not an aggregate (reconciliation
+    /// functions are "indistinguishable from other functions", §2.2.3).
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Builds a literal expression.
+    #[must_use]
+    pub fn literal(value: impl Into<Value>) -> Expr {
+        Expr::Literal(value.into())
+    }
+
+    /// Builds an identifier expression.
+    #[must_use]
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into())
+    }
+
+    /// Builds the path expression `self.field`.
+    #[must_use]
+    pub fn path(self, field: impl Into<String>) -> Expr {
+        Expr::Path(Box::new(self), field.into())
+    }
+
+    /// Builds `left op right`.
+    #[must_use]
+    pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Returns `true` if the expression contains no select / union /
+    /// extent references — i.e. it is pure data (used to decide when
+    /// partial evaluation has finished).
+    #[must_use]
+    pub fn is_data(&self) -> bool {
+        match self {
+            Expr::Literal(_) => true,
+            Expr::Ident(_) => false,
+            Expr::Path(base, _) => base.is_data(),
+            Expr::Binary { left, right, .. } => left.is_data() && right.is_data(),
+            Expr::Not(e) | Expr::Flatten(e) | Expr::Element(e) | Expr::Aggregate(_, e) => {
+                e.is_data()
+            }
+            Expr::Select(_) => false,
+            Expr::Union(items)
+            | Expr::BagConstruct(items)
+            | Expr::ListConstruct(items)
+            | Expr::Call(_, items) => items.iter().all(Expr::is_data),
+            Expr::StructConstruct(fields) => fields.iter().all(|(_, e)| e.is_data()),
+        }
+    }
+
+    /// Collects the names of collections referenced in `from` clauses and
+    /// bare identifier collection positions, recursively.  Used to record
+    /// view dependencies and to decide which sources a query touches.
+    #[must_use]
+    pub fn referenced_collections(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_collections(&mut out, &mut Vec::new());
+        out
+    }
+
+    fn collect_collections(&self, out: &mut Vec<String>, bound_vars: &mut Vec<String>) {
+        match self {
+            Expr::Select(sel) => {
+                let mut newly_bound = Vec::new();
+                for binding in &sel.bindings {
+                    binding.collection.collect_collections(out, bound_vars);
+                    if let Expr::Ident(name) = &binding.collection {
+                        // A bare identifier in collection position is a
+                        // collection reference unless it is a previously
+                        // bound range variable.
+                        if !bound_vars.contains(name) && !out.contains(name) {
+                            out.push(name.clone());
+                        }
+                    }
+                    bound_vars.push(binding.var.clone());
+                    newly_bound.push(binding.var.clone());
+                }
+                sel.projection.collect_collections(out, bound_vars);
+                if let Some(w) = &sel.where_clause {
+                    w.collect_collections(out, bound_vars);
+                }
+                for _ in newly_bound {
+                    bound_vars.pop();
+                }
+            }
+            Expr::Union(items) => {
+                for item in items {
+                    if let Expr::Ident(name) = item {
+                        if !bound_vars.contains(name) && !out.contains(name) {
+                            out.push(name.clone());
+                        }
+                    }
+                    item.collect_collections(out, bound_vars);
+                }
+            }
+            Expr::Path(base, _) => base.collect_collections(out, bound_vars),
+            Expr::Binary { left, right, .. } => {
+                left.collect_collections(out, bound_vars);
+                right.collect_collections(out, bound_vars);
+            }
+            Expr::Not(e) | Expr::Flatten(e) | Expr::Element(e) | Expr::Aggregate(_, e) => {
+                e.collect_collections(out, bound_vars);
+            }
+            Expr::BagConstruct(items) | Expr::ListConstruct(items) | Expr::Call(_, items) => {
+                for item in items {
+                    item.collect_collections(out, bound_vars);
+                }
+            }
+            Expr::StructConstruct(fields) => {
+                for (_, e) in fields {
+                    e.collect_collections(out, bound_vars);
+                }
+            }
+            Expr::Literal(_) | Expr::Ident(_) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ODL statements (DISCO extensions included)
+// ---------------------------------------------------------------------
+
+/// One attribute declaration inside an ODL interface body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OdlAttribute {
+    /// Attribute name.
+    pub name: String,
+    /// ODL type name as written (`String`, `Short`, …).
+    pub type_name: String,
+}
+
+/// A parsed ODL / DISCO-DDL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OdlStatement {
+    /// `interface Person (extent person) { attribute String name; ... }`
+    /// with optional `: Supertype`.
+    Interface {
+        /// The interface name.
+        name: String,
+        /// Optional supertype (`interface Student : Person`).
+        supertype: Option<String>,
+        /// Optional implicit extent name.
+        extent_name: Option<String>,
+        /// Declared attributes.
+        attributes: Vec<OdlAttribute>,
+    },
+    /// `extent person0 of Person wrapper w0 repository r0 [map ((..))];`
+    Extent {
+        /// The extent name in the mediator.
+        extent: String,
+        /// The mediator interface.
+        interface: String,
+        /// The wrapper name.
+        wrapper: String,
+        /// The repository name.
+        repository: String,
+        /// The raw map text (still parenthesised), if a map clause was given.
+        map: Option<String>,
+    },
+    /// `define double as select ...`
+    Define {
+        /// The view name.
+        name: String,
+        /// The view body.
+        body: Expr,
+    },
+    /// `r0 := Repository(host="rodin", name="db", address="1.2.3.4")`
+    RepositoryAssign {
+        /// The variable (repository name).
+        name: String,
+        /// Named arguments of the constructor.
+        fields: Vec<(String, Value)>,
+    },
+    /// `w0 := WrapperPostgres()` — any constructor that is not
+    /// `Repository` is treated as a wrapper constructor; the constructor
+    /// name (minus the `Wrapper` prefix, lower-cased) becomes the wrapper
+    /// kind.
+    WrapperAssign {
+        /// The variable (wrapper name).
+        name: String,
+        /// The wrapper kind derived from the constructor name.
+        kind: String,
+    },
+    /// A bare OQL query submitted as a statement.
+    Query(Expr),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_data_distinguishes_queries_from_data() {
+        assert!(Expr::literal(1i64).is_data());
+        assert!(Expr::BagConstruct(vec![Expr::literal("Sam")]).is_data());
+        assert!(!Expr::ident("person0").is_data());
+        let sel = Expr::Select(SelectExpr {
+            distinct: false,
+            projection: Box::new(Expr::ident("x")),
+            bindings: vec![FromBinding {
+                var: "x".into(),
+                collection: Expr::ident("person"),
+            }],
+            where_clause: None,
+        });
+        assert!(!sel.is_data());
+        // A union of a query and data is not pure data — it is a partial answer.
+        let partial = Expr::Union(vec![sel, Expr::BagConstruct(vec![Expr::literal("Sam")])]);
+        assert!(!partial.is_data());
+    }
+
+    #[test]
+    fn referenced_collections_ignores_range_variables() {
+        let sel = Expr::Select(SelectExpr {
+            distinct: false,
+            projection: Box::new(Expr::ident("x").path("name")),
+            bindings: vec![
+                FromBinding {
+                    var: "x".into(),
+                    collection: Expr::ident("person0"),
+                },
+                FromBinding {
+                    var: "y".into(),
+                    collection: Expr::ident("person1"),
+                },
+            ],
+            where_clause: Some(Box::new(Expr::binary(
+                BinaryOp::Eq,
+                Expr::ident("x").path("id"),
+                Expr::ident("y").path("id"),
+            ))),
+        });
+        assert_eq!(sel.referenced_collections(), vec!["person0", "person1"]);
+    }
+
+    #[test]
+    fn nested_select_collections_are_collected_once() {
+        let inner = Expr::Select(SelectExpr {
+            distinct: false,
+            projection: Box::new(Expr::ident("z").path("salary")),
+            bindings: vec![FromBinding {
+                var: "z".into(),
+                collection: Expr::ident("person"),
+            }],
+            where_clause: None,
+        });
+        let outer = Expr::Select(SelectExpr {
+            distinct: false,
+            projection: Box::new(Expr::Aggregate(AggFunc::Sum, Box::new(inner))),
+            bindings: vec![FromBinding {
+                var: "x".into(),
+                collection: Expr::ident("person*"),
+            }],
+            where_clause: None,
+        });
+        assert_eq!(outer.referenced_collections(), vec!["person*", "person"]);
+    }
+
+    #[test]
+    fn binary_op_classification() {
+        assert!(BinaryOp::Eq.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+        assert!(BinaryOp::And.is_logical());
+        assert_eq!(BinaryOp::Ge.symbol(), ">=");
+    }
+
+    #[test]
+    fn agg_func_round_trip() {
+        for f in [AggFunc::Sum, AggFunc::Count, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+            assert_eq!(AggFunc::from_name(f.name()), Some(f));
+        }
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+}

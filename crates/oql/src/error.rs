@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// Errors produced while lexing, parsing or resolving OQL/ODL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OqlError {
+    /// An unexpected character was met while lexing.
+    Lex {
+        /// Human-readable description.
+        message: String,
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number.
+        column: usize,
+    },
+    /// The parser met an unexpected token.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number.
+        column: usize,
+    },
+    /// A name (extent, view, variable) could not be resolved.
+    Unresolved(String),
+    /// View expansion exceeded the nesting limit (cyclic or too deep).
+    ViewExpansionTooDeep(String),
+    /// A catalog error surfaced while resolving names.
+    Catalog(disco_catalog::CatalogError),
+}
+
+impl fmt::Display for OqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OqlError::Lex {
+                message,
+                line,
+                column,
+            } => write!(f, "lex error at {line}:{column}: {message}"),
+            OqlError::Parse {
+                message,
+                line,
+                column,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+            OqlError::Unresolved(name) => write!(f, "unresolved name: {name}"),
+            OqlError::ViewExpansionTooDeep(name) => {
+                write!(f, "view expansion too deep (cycle?) at: {name}")
+            }
+            OqlError::Catalog(err) => write!(f, "catalog error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for OqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OqlError::Catalog(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<disco_catalog::CatalogError> for OqlError {
+    fn from(err: disco_catalog::CatalogError) -> Self {
+        OqlError::Catalog(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = OqlError::Parse {
+            message: "expected identifier".into(),
+            line: 2,
+            column: 7,
+        };
+        assert_eq!(e.to_string(), "parse error at 2:7: expected identifier");
+    }
+
+    #[test]
+    fn catalog_errors_convert() {
+        let e: OqlError = disco_catalog::CatalogError::UnknownExtent("p0".into()).into();
+        assert!(e.to_string().contains("unknown extent"));
+    }
+}

@@ -1,0 +1,372 @@
+//! Hand-written lexer for the OQL/ODL subset used by DISCO.
+
+use crate::token::{SpannedToken, Token};
+use crate::OqlError;
+
+/// Tokenises `input` into a vector of spanned tokens, terminated by
+/// [`Token::Eof`].
+///
+/// Comments run from `//` to end of line.  String literals use double
+/// quotes with `\"`, `\\` and `\n` escapes (the same escapes
+/// `disco-value` produces when printing answers, so printed data
+/// re-parses).
+///
+/// # Errors
+///
+/// Returns [`OqlError::Lex`] on unexpected characters or unterminated
+/// strings.
+pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, OqlError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut column = 1usize;
+
+    macro_rules! push {
+        ($tok:expr, $line:expr, $col:expr) => {
+            tokens.push(SpannedToken {
+                token: $tok,
+                line: $line,
+                column: $col,
+            })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let tok_line = line;
+        let tok_col = column;
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                column += 1;
+            }
+            '\n' => {
+                i += 1;
+                line += 1;
+                column = 1;
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push!(Token::LParen, tok_line, tok_col);
+                i += 1;
+                column += 1;
+            }
+            ')' => {
+                push!(Token::RParen, tok_line, tok_col);
+                i += 1;
+                column += 1;
+            }
+            '{' => {
+                push!(Token::LBrace, tok_line, tok_col);
+                i += 1;
+                column += 1;
+            }
+            '}' => {
+                push!(Token::RBrace, tok_line, tok_col);
+                i += 1;
+                column += 1;
+            }
+            ',' => {
+                push!(Token::Comma, tok_line, tok_col);
+                i += 1;
+                column += 1;
+            }
+            ';' => {
+                push!(Token::Semicolon, tok_line, tok_col);
+                i += 1;
+                column += 1;
+            }
+            '.' => {
+                push!(Token::Dot, tok_line, tok_col);
+                i += 1;
+                column += 1;
+            }
+            '*' => {
+                push!(Token::Star, tok_line, tok_col);
+                i += 1;
+                column += 1;
+            }
+            '+' => {
+                push!(Token::Plus, tok_line, tok_col);
+                i += 1;
+                column += 1;
+            }
+            '-' => {
+                push!(Token::Minus, tok_line, tok_col);
+                i += 1;
+                column += 1;
+            }
+            '/' => {
+                push!(Token::Slash, tok_line, tok_col);
+                i += 1;
+                column += 1;
+            }
+            '=' => {
+                push!(Token::Eq, tok_line, tok_col);
+                i += 1;
+                column += 1;
+            }
+            ':' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::Assign, tok_line, tok_col);
+                    i += 2;
+                    column += 2;
+                } else {
+                    push!(Token::Colon, tok_line, tok_col);
+                    i += 1;
+                    column += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::NotEq, tok_line, tok_col);
+                    i += 2;
+                    column += 2;
+                } else {
+                    return Err(OqlError::Lex {
+                        message: "expected '=' after '!'".into(),
+                        line,
+                        column,
+                    });
+                }
+            }
+            '<' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::Le, tok_line, tok_col);
+                    i += 2;
+                    column += 2;
+                } else if i + 1 < chars.len() && chars[i + 1] == '>' {
+                    push!(Token::NotEq, tok_line, tok_col);
+                    i += 2;
+                    column += 2;
+                } else {
+                    push!(Token::Lt, tok_line, tok_col);
+                    i += 1;
+                    column += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::Ge, tok_line, tok_col);
+                    i += 2;
+                    column += 2;
+                } else {
+                    push!(Token::Gt, tok_line, tok_col);
+                    i += 1;
+                    column += 1;
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                column += 1;
+                let mut terminated = false;
+                while i < chars.len() {
+                    let ch = chars[i];
+                    if ch == '\\' && i + 1 < chars.len() {
+                        let esc = chars[i + 1];
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                        i += 2;
+                        column += 2;
+                    } else if ch == '"' {
+                        terminated = true;
+                        i += 1;
+                        column += 1;
+                        break;
+                    } else {
+                        if ch == '\n' {
+                            line += 1;
+                            column = 1;
+                        } else {
+                            column += 1;
+                        }
+                        s.push(ch);
+                        i += 1;
+                    }
+                }
+                if !terminated {
+                    return Err(OqlError::Lex {
+                        message: "unterminated string literal".into(),
+                        line: tok_line,
+                        column: tok_col,
+                    });
+                }
+                push!(Token::Str(s), tok_line, tok_col);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && i + 1 < chars.len()
+                    && chars[i + 1].is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                column += i - start;
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|_| OqlError::Lex {
+                        message: format!("invalid float literal: {text}"),
+                        line: tok_line,
+                        column: tok_col,
+                    })?;
+                    push!(Token::Float(v), tok_line, tok_col);
+                } else {
+                    let v = text.parse::<i64>().map_err(|_| OqlError::Lex {
+                        message: format!("invalid integer literal: {text}"),
+                        line: tok_line,
+                        column: tok_col,
+                    })?;
+                    push!(Token::Int(v), tok_line, tok_col);
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                column += i - start;
+                push!(Token::Ident(text), tok_line, tok_col);
+            }
+            other => {
+                return Err(OqlError::Lex {
+                    message: format!("unexpected character: {other:?}"),
+                    line,
+                    column,
+                });
+            }
+        }
+    }
+    tokens.push(SpannedToken {
+        token: Token::Eof,
+        line,
+        column,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_intro_query() {
+        let q = "select x.name from x in person where x.salary > 10";
+        let tokens = toks(q);
+        assert_eq!(tokens[0], Token::Ident("select".into()));
+        assert_eq!(tokens[1], Token::Ident("x".into()));
+        assert_eq!(tokens[2], Token::Dot);
+        assert_eq!(tokens[3], Token::Ident("name".into()));
+        assert!(tokens.contains(&Token::Gt));
+        assert!(tokens.contains(&Token::Int(10)));
+        assert_eq!(*tokens.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            toks(r#""Mary" "a\"b" "line\nbreak""#),
+            vec![
+                Token::Str("Mary".into()),
+                Token::Str("a\"b".into()),
+                Token::Str("line\nbreak".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            toks("10 2.5 0.125"),
+            vec![
+                Token::Int(10),
+                Token::Float(2.5),
+                Token::Float(0.125),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_comparison_operators() {
+        assert_eq!(
+            toks("= != <> < <= > >="),
+            vec![
+                Token::Eq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_assignment_and_odl_punctuation() {
+        let q = r#"r0 := Repository(host="rodin", name="db");"#;
+        let tokens = toks(q);
+        assert_eq!(tokens[1], Token::Assign);
+        assert!(tokens.contains(&Token::Semicolon));
+        assert!(tokens.contains(&Token::Str("rodin".into())));
+    }
+
+    #[test]
+    fn lexes_star_suffix_for_recursive_extents() {
+        assert_eq!(
+            toks("person*"),
+            vec![Token::Ident("person".into()), Token::Star, Token::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("select // this is a comment\n 1"),
+            vec![Token::Ident("select".into()), Token::Int(1), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn position_tracking() {
+        let tokens = tokenize("ab\n  cd").unwrap();
+        assert_eq!((tokens[0].line, tokens[0].column), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].column), (2, 3));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(matches!(tokenize("#"), Err(OqlError::Lex { .. })));
+        assert!(matches!(tokenize("\"unterminated"), Err(OqlError::Lex { .. })));
+        assert!(matches!(tokenize("!x"), Err(OqlError::Lex { .. })));
+    }
+}

@@ -1,0 +1,47 @@
+//! # disco-oql
+//!
+//! The OQL / ODL front end of the DISCO mediator (§2 and Fig. 2 of the
+//! paper).  The crate provides:
+//!
+//! * a lexer and recursive-descent [`parse_query`] / [`parse_statements`]
+//!   parser for the OQL subset and the DISCO ODL extensions (interface
+//!   definitions, `extent … of … wrapper … repository … map …;`
+//!   declarations, `define … as …` views, `r0 := Repository(...)` and
+//!   `w0 := WrapperPostgres()` assignments),
+//! * the [`ast`] module with the expression and statement types,
+//! * a pretty [`printer`] that renders expressions back to OQL — required
+//!   by the partial-evaluation semantics, where answers are queries,
+//! * the [`resolve`] module which expands views and implicit interface
+//!   extents against a [`disco_catalog::Catalog`].
+//!
+//! # Examples
+//!
+//! ```
+//! use disco_oql::{parse_query, print_expr};
+//!
+//! let ast = parse_query("select x.name from x in person where x.salary > 10")?;
+//! assert_eq!(print_expr(&ast), "select x.name from x in person where x.salary > 10");
+//! # Ok::<(), disco_oql::OqlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+mod lexer;
+mod parser;
+mod printer;
+pub mod resolve;
+mod token;
+
+pub use ast::{AggFunc, BinaryOp, Expr, FromBinding, OdlAttribute, OdlStatement, SelectExpr};
+pub use error::OqlError;
+pub use lexer::tokenize;
+pub use parser::{parse_query, parse_statements};
+pub use printer::print_expr;
+pub use resolve::{expand_extents, expand_views, resolve_query};
+pub use token::{SpannedToken, Token};
+
+/// Convenience result alias for OQL operations.
+pub type Result<T> = std::result::Result<T, OqlError>;

@@ -1,0 +1,998 @@
+//! Recursive-descent parser for OQL queries and ODL/DISCO statements.
+
+use disco_value::Value;
+
+use crate::ast::{
+    AggFunc, BinaryOp, Expr, FromBinding, OdlAttribute, OdlStatement, SelectExpr,
+};
+use crate::lexer::tokenize;
+use crate::token::{SpannedToken, Token};
+use crate::OqlError;
+
+/// Parses a single OQL query expression.
+///
+/// # Errors
+///
+/// Returns [`OqlError::Lex`] / [`OqlError::Parse`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use disco_oql::parse_query;
+///
+/// let q = parse_query("select x.name from x in person where x.salary > 10").unwrap();
+/// assert_eq!(q.referenced_collections(), vec!["person".to_owned()]);
+/// ```
+pub fn parse_query(input: &str) -> Result<Expr, OqlError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser::new(tokens);
+    let expr = parser.parse_expr()?;
+    // Allow a trailing semicolon.
+    if parser.peek_is(&Token::Semicolon) {
+        parser.advance();
+    }
+    parser.expect_eof()?;
+    Ok(expr)
+}
+
+/// Parses a sequence of ODL / DISCO statements (interface definitions,
+/// extent declarations, view definitions, repository and wrapper
+/// assignments, or bare queries).
+///
+/// # Errors
+///
+/// Returns [`OqlError::Lex`] / [`OqlError::Parse`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use disco_oql::parse_statements;
+///
+/// let stmts = parse_statements(
+///     "interface Person (extent person) { attribute String name; attribute Short salary; } \
+///      extent person0 of Person wrapper w0 repository r0;",
+/// ).unwrap();
+/// assert_eq!(stmts.len(), 2);
+/// ```
+pub fn parse_statements(input: &str) -> Result<Vec<OdlStatement>, OqlError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser::new(tokens);
+    let mut statements = Vec::new();
+    while !parser.peek_is(&Token::Eof) {
+        statements.push(parser.parse_statement()?);
+        while parser.peek_is(&Token::Semicolon) {
+            parser.advance();
+        }
+    }
+    Ok(statements)
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<SpannedToken>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &SpannedToken {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_at(&self, offset: usize) -> &SpannedToken {
+        &self.tokens[(self.pos + offset).min(self.tokens.len() - 1)]
+    }
+
+    fn peek_is(&self, token: &Token) -> bool {
+        &self.peek().token == token
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        self.peek().token.is_keyword(kw)
+    }
+
+    fn advance(&mut self) -> SpannedToken {
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, OqlError> {
+        let tok = self.peek();
+        Err(OqlError::Parse {
+            message: message.into(),
+            line: tok.line,
+            column: tok.column,
+        })
+    }
+
+    fn expect(&mut self, token: &Token, what: &str) -> Result<(), OqlError> {
+        if self.peek_is(token) {
+            self.advance();
+            Ok(())
+        } else {
+            self.error(format!("expected {what}, found {:?}", self.peek().token))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), OqlError> {
+        if self.peek_keyword(kw) {
+            self.advance();
+            Ok(())
+        } else {
+            self.error(format!("expected keyword '{kw}', found {:?}", self.peek().token))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, OqlError> {
+        match &self.peek().token {
+            Token::Ident(name) => {
+                let name = name.clone();
+                self.advance();
+                Ok(name)
+            }
+            other => self.error(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), OqlError> {
+        if self.peek_is(&Token::Eof) {
+            Ok(())
+        } else {
+            self.error(format!("unexpected trailing token {:?}", self.peek().token))
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Statements
+    // -----------------------------------------------------------------
+
+    fn parse_statement(&mut self) -> Result<OdlStatement, OqlError> {
+        if self.peek_keyword("interface") {
+            return self.parse_interface();
+        }
+        if self.peek_keyword("extent") {
+            return self.parse_extent_decl();
+        }
+        if self.peek_keyword("define") {
+            return self.parse_define();
+        }
+        // `name := Constructor(...)`
+        if matches!(self.peek().token, Token::Ident(_)) && self.peek_at(1).token == Token::Assign {
+            return self.parse_assignment();
+        }
+        let expr = self.parse_expr()?;
+        Ok(OdlStatement::Query(expr))
+    }
+
+    fn parse_interface(&mut self) -> Result<OdlStatement, OqlError> {
+        self.expect_keyword("interface")?;
+        let name = self.expect_ident("interface name")?;
+        let mut supertype = None;
+        let mut extent_name = None;
+        if self.peek_is(&Token::Colon) {
+            self.advance();
+            supertype = Some(self.expect_ident("supertype name")?);
+        }
+        if self.peek_is(&Token::LParen) {
+            self.advance();
+            self.expect_keyword("extent")?;
+            extent_name = Some(self.expect_ident("extent name")?);
+            self.expect(&Token::RParen, ")")?;
+        }
+        self.expect(&Token::LBrace, "{")?;
+        let mut attributes = Vec::new();
+        while !self.peek_is(&Token::RBrace) {
+            self.expect_keyword("attribute")?;
+            let type_name = self.expect_ident("attribute type")?;
+            let attr_name = self.expect_ident("attribute name")?;
+            attributes.push(OdlAttribute {
+                name: attr_name,
+                type_name,
+            });
+            if self.peek_is(&Token::Semicolon) {
+                self.advance();
+            }
+        }
+        self.expect(&Token::RBrace, "}")?;
+        Ok(OdlStatement::Interface {
+            name,
+            supertype,
+            extent_name,
+            attributes,
+        })
+    }
+
+    fn parse_extent_decl(&mut self) -> Result<OdlStatement, OqlError> {
+        self.expect_keyword("extent")?;
+        let extent = self.expect_ident("extent name")?;
+        self.expect_keyword("of")?;
+        let interface = self.expect_ident("interface name")?;
+        self.expect_keyword("wrapper")?;
+        let wrapper = self.expect_ident("wrapper name")?;
+        self.expect_keyword("repository")?;
+        let repository = self.expect_ident("repository name")?;
+        let mut map = None;
+        if self.peek_keyword("map") {
+            self.advance();
+            map = Some(self.capture_balanced_parens()?);
+        }
+        Ok(OdlStatement::Extent {
+            extent,
+            interface,
+            wrapper,
+            repository,
+            map,
+        })
+    }
+
+    /// Captures a balanced parenthesised token run and reconstructs its
+    /// text, e.g. `((person0=personprime0),(name=n),(salary=s))`.
+    fn capture_balanced_parens(&mut self) -> Result<String, OqlError> {
+        if !self.peek_is(&Token::LParen) {
+            return self.error("expected '(' after map");
+        }
+        let mut depth = 0usize;
+        let mut text = String::new();
+        loop {
+            let tok = self.advance();
+            match &tok.token {
+                Token::LParen => {
+                    depth += 1;
+                    text.push('(');
+                }
+                Token::RParen => {
+                    depth -= 1;
+                    text.push(')');
+                    if depth == 0 {
+                        return Ok(text);
+                    }
+                }
+                Token::Comma => text.push(','),
+                Token::Eq => text.push('='),
+                Token::Ident(s) => text.push_str(s),
+                Token::Int(i) => text.push_str(&i.to_string()),
+                Token::Str(s) => text.push_str(s),
+                Token::Dot => text.push('.'),
+                Token::Eof => return self.error("unterminated map clause"),
+                other => return self.error(format!("unexpected token in map clause: {other:?}")),
+            }
+        }
+    }
+
+    fn parse_define(&mut self) -> Result<OdlStatement, OqlError> {
+        self.expect_keyword("define")?;
+        let name = self.expect_ident("view name")?;
+        self.expect_keyword("as")?;
+        let body = self.parse_expr()?;
+        Ok(OdlStatement::Define { name, body })
+    }
+
+    fn parse_assignment(&mut self) -> Result<OdlStatement, OqlError> {
+        let name = self.expect_ident("variable name")?;
+        self.expect(&Token::Assign, ":=")?;
+        let ctor = self.expect_ident("constructor name")?;
+        self.expect(&Token::LParen, "(")?;
+        let mut fields = Vec::new();
+        while !self.peek_is(&Token::RParen) {
+            let field = self.expect_ident("field name")?;
+            self.expect(&Token::Eq, "=")?;
+            let value = match self.advance().token {
+                Token::Str(s) => Value::Str(s),
+                Token::Int(i) => Value::Int(i),
+                Token::Float(x) => Value::Float(x),
+                other => return self.error(format!("expected literal field value, found {other:?}")),
+            };
+            fields.push((field, value));
+            if self.peek_is(&Token::Comma) {
+                self.advance();
+            }
+        }
+        self.expect(&Token::RParen, ")")?;
+        if ctor.eq_ignore_ascii_case("repository") {
+            Ok(OdlStatement::RepositoryAssign { name, fields })
+        } else {
+            let kind = ctor
+                .strip_prefix("Wrapper")
+                .or_else(|| ctor.strip_suffix("Wrapper"))
+                .unwrap_or(&ctor)
+                .to_ascii_lowercase();
+            Ok(OdlStatement::WrapperAssign { name, kind })
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions
+    // -----------------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, OqlError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, OqlError> {
+        let mut left = self.parse_and()?;
+        while self.peek_keyword("or") {
+            self.advance();
+            let right = self.parse_and()?;
+            left = Expr::binary(BinaryOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, OqlError> {
+        let mut left = self.parse_not()?;
+        while self.peek_keyword("and") {
+            self.advance();
+            let right = self.parse_not()?;
+            left = Expr::binary(BinaryOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, OqlError> {
+        if self.peek_keyword("not") {
+            self.advance();
+            let inner = self.parse_not()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, OqlError> {
+        let left = self.parse_additive()?;
+        let op = match self.peek().token {
+            Token::Eq => Some(BinaryOp::Eq),
+            Token::NotEq => Some(BinaryOp::NotEq),
+            Token::Lt => Some(BinaryOp::Lt),
+            Token::Le => Some(BinaryOp::Le),
+            Token::Gt => Some(BinaryOp::Gt),
+            Token::Ge => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.parse_additive()?;
+            return Ok(Expr::binary(op, left, right));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, OqlError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek().token {
+                Token::Plus => BinaryOp::Add,
+                Token::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, OqlError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek().token {
+                Token::Star => BinaryOp::Mul,
+                Token::Slash => BinaryOp::Div,
+                _ => break,
+            };
+            // `x * y` needs an operand after the star; a star followed by
+            // something that cannot start an expression is a recursive
+            // extent marker handled in collection position, so leave it.
+            if op == BinaryOp::Mul && !self.token_starts_expr(&self.peek_at(1).token) {
+                break;
+            }
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn token_starts_expr(&self, token: &Token) -> bool {
+        match token {
+            Token::Ident(name) => {
+                // Keywords that cannot begin an operand.
+                !["where", "from", "and", "or", "in", "as"]
+                    .iter()
+                    .any(|kw| name.eq_ignore_ascii_case(kw))
+            }
+            Token::Int(_)
+            | Token::Float(_)
+            | Token::Str(_)
+            | Token::LParen
+            | Token::Minus => true,
+            _ => false,
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, OqlError> {
+        if self.peek_is(&Token::Minus) {
+            self.advance();
+            // A minus directly before a numeric literal is a negative
+            // literal (so printed answers containing negative numbers
+            // re-parse to the same AST); otherwise it is `0 - e`.
+            match self.peek().token.clone() {
+                Token::Int(i) => {
+                    self.advance();
+                    return Ok(Expr::literal(-i));
+                }
+                Token::Float(x) => {
+                    self.advance();
+                    return Ok(Expr::literal(-x));
+                }
+                _ => {}
+            }
+            let inner = self.parse_unary()?;
+            return Ok(Expr::binary(
+                BinaryOp::Sub,
+                Expr::literal(0i64),
+                inner,
+            ));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, OqlError> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            if self.peek_is(&Token::Dot) {
+                self.advance();
+                let field = self.expect_ident("field name")?;
+                expr = Expr::Path(Box::new(expr), field);
+            } else if self.peek_is(&Token::Star) && matches!(expr, Expr::Ident(_)) {
+                // `person*` — recursive extent.  Only treat the star as a
+                // suffix when what follows cannot be a multiplication
+                // operand.
+                if !self.token_starts_expr(&self.peek_at(1).token) {
+                    self.advance();
+                    if let Expr::Ident(name) = expr {
+                        expr = Expr::Ident(format!("{name}*"));
+                    }
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, OqlError> {
+        match self.peek().token.clone() {
+            Token::Int(i) => {
+                self.advance();
+                Ok(Expr::literal(i))
+            }
+            Token::Float(x) => {
+                self.advance();
+                Ok(Expr::literal(x))
+            }
+            Token::Str(s) => {
+                self.advance();
+                Ok(Expr::literal(s))
+            }
+            Token::LParen => {
+                self.advance();
+                let inner = self.parse_expr()?;
+                self.expect(&Token::RParen, ")")?;
+                Ok(inner)
+            }
+            Token::Ident(name) => {
+                if name.eq_ignore_ascii_case("select") {
+                    return self.parse_select();
+                }
+                if name.eq_ignore_ascii_case("union") {
+                    return self.parse_named_collection("union");
+                }
+                if name.eq_ignore_ascii_case("bag") {
+                    return self.parse_named_collection("bag");
+                }
+                if name.eq_ignore_ascii_case("list") {
+                    return self.parse_named_collection("list");
+                }
+                if name.eq_ignore_ascii_case("struct") {
+                    return self.parse_struct();
+                }
+                if name.eq_ignore_ascii_case("flatten") {
+                    self.advance();
+                    self.expect(&Token::LParen, "(")?;
+                    let inner = self.parse_collection_expr()?;
+                    self.expect(&Token::RParen, ")")?;
+                    return Ok(Expr::Flatten(Box::new(inner)));
+                }
+                if name.eq_ignore_ascii_case("element") {
+                    self.advance();
+                    self.expect(&Token::LParen, "(")?;
+                    let inner = self.parse_expr()?;
+                    self.expect(&Token::RParen, ")")?;
+                    return Ok(Expr::Element(Box::new(inner)));
+                }
+                if name.eq_ignore_ascii_case("nil") || name.eq_ignore_ascii_case("null") {
+                    self.advance();
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("true") {
+                    self.advance();
+                    return Ok(Expr::literal(true));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    self.advance();
+                    return Ok(Expr::literal(false));
+                }
+                if let Some(agg) = AggFunc::from_name(&name) {
+                    if self.peek_at(1).token == Token::LParen {
+                        self.advance();
+                        self.advance();
+                        let inner = self.parse_expr()?;
+                        self.expect(&Token::RParen, ")")?;
+                        return Ok(Expr::Aggregate(agg, Box::new(inner)));
+                    }
+                }
+                self.advance();
+                // Generic call `f(arg, ...)`.
+                if self.peek_is(&Token::LParen) {
+                    self.advance();
+                    let mut args = Vec::new();
+                    while !self.peek_is(&Token::RParen) {
+                        args.push(self.parse_expr()?);
+                        if self.peek_is(&Token::Comma) {
+                            self.advance();
+                        }
+                    }
+                    self.expect(&Token::RParen, ")")?;
+                    return Ok(Expr::Call(name, args));
+                }
+                Ok(Expr::Ident(name))
+            }
+            other => self.error(format!("unexpected token {other:?}")),
+        }
+    }
+
+    /// Parses `union(...)`, `bag(...)`, `list(...)`.
+    fn parse_named_collection(&mut self, kind: &str) -> Result<Expr, OqlError> {
+        self.advance(); // keyword
+        self.expect(&Token::LParen, "(")?;
+        let mut items = Vec::new();
+        while !self.peek_is(&Token::RParen) {
+            items.push(self.parse_collection_expr()?);
+            if self.peek_is(&Token::Comma) {
+                self.advance();
+            }
+        }
+        self.expect(&Token::RParen, ")")?;
+        Ok(match kind {
+            "union" => Expr::Union(items),
+            "bag" => Expr::BagConstruct(items),
+            _ => Expr::ListConstruct(items),
+        })
+    }
+
+    fn parse_struct(&mut self) -> Result<Expr, OqlError> {
+        self.advance(); // struct
+        self.expect(&Token::LParen, "(")?;
+        let mut fields = Vec::new();
+        while !self.peek_is(&Token::RParen) {
+            let name = self.expect_ident("struct field name")?;
+            self.expect(&Token::Colon, ":")?;
+            let value = self.parse_expr()?;
+            fields.push((name, value));
+            if self.peek_is(&Token::Comma) {
+                self.advance();
+            }
+        }
+        self.expect(&Token::RParen, ")")?;
+        Ok(Expr::StructConstruct(fields))
+    }
+
+    fn parse_select(&mut self) -> Result<Expr, OqlError> {
+        self.expect_keyword("select")?;
+        let distinct = if self.peek_keyword("distinct") {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        let projection = self.parse_expr()?;
+        self.expect_keyword("from")?;
+        let mut bindings = Vec::new();
+        loop {
+            let var = self.expect_ident("range variable")?;
+            self.expect_keyword("in")?;
+            let collection = self.parse_collection_expr()?;
+            bindings.push(FromBinding { var, collection });
+            // The paper writes both `from x in a, y in b` and
+            // `from x in a and y in b`; accept a comma or `and` followed by
+            // another binding (identifier then `in`).  A comma not followed
+            // by a binding belongs to an enclosing constructor
+            // (e.g. `bag(select …, select …)`).
+            if self.peek_is(&Token::Comma)
+                && matches!(self.peek_at(1).token, Token::Ident(_))
+                && self.peek_at(2).token.is_keyword("in")
+            {
+                self.advance();
+                continue;
+            }
+            if self.peek_keyword("and")
+                && matches!(self.peek_at(1).token, Token::Ident(_))
+                && self.peek_at(2).token.is_keyword("in")
+            {
+                self.advance();
+                continue;
+            }
+            break;
+        }
+        let where_clause = if self.peek_keyword("where") {
+            self.advance();
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        Ok(Expr::Select(SelectExpr {
+            distinct,
+            projection: Box::new(projection),
+            bindings,
+            where_clause,
+        }))
+    }
+
+    /// Parses an expression in *collection position* (after `in`, or as an
+    /// argument of `union`/`bag`/`flatten`), where a trailing `*` on an
+    /// identifier denotes the recursive extent (`person*`).
+    ///
+    /// Collection expressions never contain top-level binary operators
+    /// (`and`, comparison, arithmetic) — restricting to postfix level keeps
+    /// the `from x in a and y in b` and `bag(select …, select …)` forms of
+    /// the paper unambiguous.
+    fn parse_collection_expr(&mut self) -> Result<Expr, OqlError> {
+        let expr = self.parse_unary()?;
+        if self.peek_is(&Token::Star) {
+            if let Expr::Ident(name) = &expr {
+                self.advance();
+                return Ok(Expr::Ident(format!("{name}*")));
+            }
+        }
+        Ok(expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_intro_query() {
+        let q = parse_query("select x.name from x in person where x.salary > 10").unwrap();
+        match q {
+            Expr::Select(sel) => {
+                assert!(!sel.distinct);
+                assert_eq!(sel.bindings.len(), 1);
+                assert_eq!(sel.bindings[0].var, "x");
+                assert_eq!(sel.bindings[0].collection, Expr::ident("person"));
+                assert!(sel.where_clause.is_some());
+                assert_eq!(*sel.projection, Expr::ident("x").path("name"));
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_union_of_extents() {
+        let q = parse_query(
+            "select x.name from x in union(person0, person1) where x.salary > 10",
+        )
+        .unwrap();
+        match q {
+            Expr::Select(sel) => match &sel.bindings[0].collection {
+                Expr::Union(items) => assert_eq!(items.len(), 2),
+                other => panic!("expected union, got {other:?}"),
+            },
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_partial_answer_shape() {
+        // The §1.3 partial answer: a union of a residual query and data.
+        let q = parse_query(
+            "union(select y.name from y in person0 where y.salary > 10, bag(\"Sam\"))",
+        )
+        .unwrap();
+        match q {
+            Expr::Union(items) => {
+                assert_eq!(items.len(), 2);
+                assert!(matches!(items[0], Expr::Select(_)));
+                assert_eq!(items[1], Expr::BagConstruct(vec![Expr::literal("Sam")]));
+            }
+            other => panic!("expected union, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_struct_projection_and_two_bindings() {
+        // The §2.2.3 `double` view body.
+        let q = parse_query(
+            "select struct(name: x.name, salary: x.salary + y.salary) \
+             from x in person0 and y in person1 where x.id = y.id",
+        )
+        .unwrap();
+        match q {
+            Expr::Select(sel) => {
+                assert_eq!(sel.bindings.len(), 2);
+                match sel.projection.as_ref() {
+                    Expr::StructConstruct(fields) => {
+                        assert_eq!(fields.len(), 2);
+                        assert_eq!(fields[0].0, "name");
+                        assert!(matches!(
+                            fields[1].1,
+                            Expr::Binary {
+                                op: BinaryOp::Add,
+                                ..
+                            }
+                        ));
+                    }
+                    other => panic!("expected struct, got {other:?}"),
+                }
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aggregate_over_nested_select_and_star_extent() {
+        // The §2.2.3 `multiple` view body.
+        let q = parse_query(
+            "select struct(name: x.name, salary: sum(select z.salary from z in person where x.id = z.id)) \
+             from x in person*",
+        )
+        .unwrap();
+        match q {
+            Expr::Select(sel) => {
+                assert_eq!(sel.bindings[0].collection, Expr::ident("person*"));
+                match sel.projection.as_ref() {
+                    Expr::StructConstruct(fields) => {
+                        assert!(matches!(fields[1].1, Expr::Aggregate(AggFunc::Sum, _)));
+                    }
+                    other => panic!("expected struct, got {other:?}"),
+                }
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_is_still_multiplication_in_predicates() {
+        let q = parse_query("select x from x in r where x.a * 2 > 10").unwrap();
+        match q {
+            Expr::Select(sel) => {
+                let w = sel.where_clause.unwrap();
+                match *w {
+                    Expr::Binary { op: BinaryOp::Gt, left, .. } => {
+                        assert!(matches!(
+                            *left,
+                            Expr::Binary {
+                                op: BinaryOp::Mul,
+                                ..
+                            }
+                        ));
+                    }
+                    other => panic!("expected >, got {other:?}"),
+                }
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_flatten_of_meta_extent_query() {
+        // The §2.1 implicit-extent definition.
+        let q = parse_query(
+            "flatten(select x.e from x in metaextent where x.interface = Person)",
+        )
+        .unwrap();
+        assert!(matches!(q, Expr::Flatten(_)));
+    }
+
+    #[test]
+    fn parses_bag_constructor_of_selects() {
+        // The §2.3 `personnew` view body.
+        let q = parse_query(
+            "bag(select struct(name: x.name, salary: x.salary) from x in person, \
+                 select struct(name: x.name, salary: x.regular + x.consult) from x in persontwo0)",
+        )
+        .unwrap();
+        match q {
+            Expr::BagConstruct(items) => {
+                assert_eq!(items.len(), 2);
+                assert!(items.iter().all(|i| matches!(i, Expr::Select(_))));
+            }
+            other => panic!("expected bag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_logical_connectives_with_precedence() {
+        let q = parse_query("select x from x in r where x.a > 1 and x.b < 2 or not x.c = 3").unwrap();
+        match q {
+            Expr::Select(sel) => {
+                let w = *sel.where_clause.unwrap();
+                // Top level must be `or`.
+                assert!(matches!(w, Expr::Binary { op: BinaryOp::Or, .. }));
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_odl_interface_and_extent_statements() {
+        let stmts = parse_statements(
+            "interface Person (extent person) { attribute String name; attribute Short salary; }\n\
+             interface Student:Person { }\n\
+             extent person0 of Person wrapper w0 repository r0;\n\
+             extent personprime0 of PersonPrime wrapper w0 repository r0 \
+                 map ((person0=personprime0),(name=n),(salary=s));",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 4);
+        match &stmts[0] {
+            OdlStatement::Interface {
+                name,
+                extent_name,
+                attributes,
+                supertype,
+            } => {
+                assert_eq!(name, "Person");
+                assert_eq!(extent_name.as_deref(), Some("person"));
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[0].type_name, "String");
+                assert!(supertype.is_none());
+            }
+            other => panic!("expected interface, got {other:?}"),
+        }
+        match &stmts[1] {
+            OdlStatement::Interface { supertype, .. } => {
+                assert_eq!(supertype.as_deref(), Some("Person"));
+            }
+            other => panic!("expected interface, got {other:?}"),
+        }
+        match &stmts[3] {
+            OdlStatement::Extent { map, extent, .. } => {
+                assert_eq!(extent, "personprime0");
+                assert_eq!(
+                    map.as_deref(),
+                    Some("((person0=personprime0),(name=n),(salary=s))")
+                );
+            }
+            other => panic!("expected extent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_repository_and_wrapper_assignments() {
+        let stmts = parse_statements(
+            "r0 := Repository(host=\"rodin\", name=\"db\", address=\"123.45.6.7\");\n\
+             w0 := WrapperPostgres();",
+        )
+        .unwrap();
+        match &stmts[0] {
+            OdlStatement::RepositoryAssign { name, fields } => {
+                assert_eq!(name, "r0");
+                assert_eq!(fields.len(), 3);
+                assert_eq!(fields[0].0, "host");
+                assert_eq!(fields[0].1, Value::Str("rodin".into()));
+            }
+            other => panic!("expected repository assign, got {other:?}"),
+        }
+        match &stmts[1] {
+            OdlStatement::WrapperAssign { name, kind } => {
+                assert_eq!(name, "w0");
+                assert_eq!(kind, "postgres");
+            }
+            other => panic!("expected wrapper assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_define_statement() {
+        let stmts = parse_statements(
+            "define double as select struct(name: x.name, salary: x.salary + y.salary) \
+             from x in person0 and y in person1 where x.id = y.id",
+        )
+        .unwrap();
+        match &stmts[0] {
+            OdlStatement::Define { name, body } => {
+                assert_eq!(name, "double");
+                assert!(matches!(body, Expr::Select(_)));
+            }
+            other => panic!("expected define, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_query_statement() {
+        let stmts = parse_statements("select x.name from x in person").unwrap();
+        assert!(matches!(stmts[0], OdlStatement::Query(_)));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = parse_query("select from").unwrap_err();
+        assert!(matches!(err, OqlError::Parse { .. }));
+        let err = parse_query("select x.name from x in").unwrap_err();
+        assert!(matches!(err, OqlError::Parse { .. }));
+        let err = parse_query("select x from x in r where x.a >").unwrap_err();
+        assert!(matches!(err, OqlError::Parse { .. }));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_query("select x from x in r extra").is_err());
+    }
+
+    #[test]
+    fn unary_minus_and_literals() {
+        let q = parse_query("select x from x in r where x.a > -5").unwrap();
+        match q {
+            Expr::Select(sel) => {
+                let w = *sel.where_clause.unwrap();
+                match w {
+                    Expr::Binary { right, .. } => {
+                        assert_eq!(*right, Expr::literal(-5i64));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Negating a non-literal still means subtraction from zero.
+        let q = parse_query("select x from x in r where -x.a > 5").unwrap();
+        match q {
+            Expr::Select(sel) => {
+                let w = *sel.where_clause.unwrap();
+                match w {
+                    Expr::Binary { left, .. } => {
+                        assert!(matches!(*left, Expr::Binary { op: BinaryOp::Sub, .. }));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(parse_query("nil").unwrap(), Expr::Literal(Value::Null));
+        assert_eq!(parse_query("true").unwrap(), Expr::literal(true));
+    }
+
+    #[test]
+    fn distinct_and_element() {
+        let q = parse_query("select distinct x.name from x in person").unwrap();
+        match q {
+            Expr::Select(sel) => assert!(sel.distinct),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse_query("element(select x from x in r)").unwrap(),
+            Expr::Element(_)
+        ));
+    }
+
+    #[test]
+    fn generic_function_call_is_preserved() {
+        let q = parse_query("reconcile(x, y)").unwrap();
+        match q {
+            Expr::Call(name, args) => {
+                assert_eq!(name, "reconcile");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Pretty-printer: turns an [`Expr`] back into OQL text.
+//!
+//! DISCO's partial-evaluation semantics require that the unevaluated part
+//! of a plan can be "transformed back into a high level query" (§4); the
+//! printer provides the final step of that transformation.  The output
+//! re-parses to an equal AST (round-trip property, tested with proptest in
+//! the crate's test suite).
+
+use std::fmt::Write as _;
+
+use disco_value::Value;
+
+use crate::ast::{BinaryOp, Expr, SelectExpr};
+
+/// Renders an expression as OQL text.
+#[must_use]
+pub fn print_expr(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, expr);
+    out
+}
+
+fn write_expr(out: &mut String, expr: &Expr) {
+    match expr {
+        Expr::Literal(v) => write_literal(out, v),
+        Expr::Ident(name) => out.push_str(name),
+        Expr::Path(base, field) => {
+            write_expr(out, base);
+            let _ = write!(out, ".{field}");
+        }
+        Expr::Binary { op, left, right } => {
+            // Comparisons are non-associative: a nested comparison operand
+            // must be parenthesised to re-parse.
+            let needs_parens_left = precedence(left) < precedence_of_op(*op)
+                || (op.is_comparison() && precedence(left) == precedence_of_op(*op));
+            let needs_parens_right = precedence(right) <= precedence_of_op(*op)
+                && !matches!(right.as_ref(), Expr::Literal(_) | Expr::Ident(_) | Expr::Path(..));
+            if needs_parens_left {
+                out.push('(');
+                write_expr(out, left);
+                out.push(')');
+            } else {
+                write_expr(out, left);
+            }
+            let _ = write!(out, " {} ", op.symbol());
+            if needs_parens_right {
+                out.push('(');
+                write_expr(out, right);
+                out.push(')');
+            } else {
+                write_expr(out, right);
+            }
+        }
+        Expr::Not(inner) => {
+            out.push_str("not (");
+            write_expr(out, inner);
+            out.push(')');
+        }
+        Expr::Select(sel) => write_select(out, sel),
+        Expr::Union(items) => write_call_like(out, "union", items),
+        Expr::BagConstruct(items) => write_call_like(out, "bag", items),
+        Expr::ListConstruct(items) => write_call_like(out, "list", items),
+        Expr::StructConstruct(fields) => {
+            out.push_str("struct(");
+            for (i, (name, value)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{name}: ");
+                write_expr(out, value);
+            }
+            out.push(')');
+        }
+        Expr::Flatten(inner) => {
+            out.push_str("flatten(");
+            write_expr(out, inner);
+            out.push(')');
+        }
+        Expr::Element(inner) => {
+            out.push_str("element(");
+            write_expr(out, inner);
+            out.push(')');
+        }
+        Expr::Aggregate(func, inner) => {
+            let _ = write!(out, "{}(", func.name());
+            write_expr(out, inner);
+            out.push(')');
+        }
+        Expr::Call(name, args) => write_call_like(out, name, args),
+    }
+}
+
+fn write_call_like(out: &mut String, name: &str, items: &[Expr]) {
+    let _ = write!(out, "{name}(");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_expr(out, item);
+    }
+    out.push(')');
+}
+
+fn write_select(out: &mut String, sel: &SelectExpr) {
+    out.push_str("select ");
+    if sel.distinct {
+        out.push_str("distinct ");
+    }
+    write_expr(out, &sel.projection);
+    out.push_str(" from ");
+    for (i, binding) in sel.bindings.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} in ", binding.var);
+        write_expr(out, &binding.collection);
+    }
+    if let Some(where_clause) = &sel.where_clause {
+        out.push_str(" where ");
+        write_expr(out, where_clause);
+    }
+}
+
+fn write_literal(out: &mut String, value: &Value) {
+    // `Value`'s Display already prints OQL literal notation, including
+    // Bag(...) and struct(...).
+    let _ = write!(out, "{value}");
+}
+
+/// Precedence used only to decide parenthesisation when printing.
+fn precedence(expr: &Expr) -> u8 {
+    match expr {
+        Expr::Binary { op, .. } => precedence_of_op(*op),
+        Expr::Not(_) => 3,
+        Expr::Select(_) => 0,
+        _ => 10,
+    }
+}
+
+fn precedence_of_op(op: BinaryOp) -> u8 {
+    match op {
+        BinaryOp::Or => 1,
+        BinaryOp::And => 2,
+        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => 4,
+        BinaryOp::Add | BinaryOp::Sub => 5,
+        BinaryOp::Mul | BinaryOp::Div => 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn round_trip(q: &str) -> String {
+        let ast = parse_query(q).unwrap();
+        let printed = print_expr(&ast);
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("printed query failed to reparse: {printed} — {e}"));
+        assert_eq!(ast, reparsed, "round trip changed the AST for: {printed}");
+        printed
+    }
+
+    #[test]
+    fn prints_intro_query() {
+        let printed = round_trip("select x.name from x in person where x.salary > 10");
+        assert_eq!(printed, "select x.name from x in person where x.salary > 10");
+    }
+
+    #[test]
+    fn prints_partial_answer() {
+        let printed = round_trip(
+            "union(select y.name from y in person0 where y.salary > 10, bag(\"Sam\"))",
+        );
+        assert!(printed.starts_with("union(select y.name"));
+        assert!(printed.ends_with("bag(\"Sam\"))"));
+    }
+
+    #[test]
+    fn round_trips_paper_view_bodies() {
+        round_trip(
+            "select struct(name: x.name, salary: x.salary + y.salary) \
+             from x in person0, y in person1 where x.id = y.id",
+        );
+        round_trip(
+            "select struct(name: x.name, salary: sum(select z.salary from z in person where x.id = z.id)) \
+             from x in person*",
+        );
+        round_trip(
+            "bag(select struct(name: x.name, salary: x.salary) from x in person, \
+                 select struct(name: x.name, salary: x.regular + x.consult) from x in persontwo0)",
+        );
+        round_trip("flatten(select x.e from x in metaextent where x.interface = Person)");
+    }
+
+    #[test]
+    fn parenthesises_mixed_precedence() {
+        round_trip("select x from x in r where (x.a + 1) * 2 > 10 and x.b < 5 or x.c = 1");
+        round_trip("select x from x in r where not (x.a = 1 or x.b = 2)");
+    }
+
+    #[test]
+    fn prints_literals_in_reparsable_form() {
+        round_trip("select struct(a: 1, b: 2.5, c: \"s\", d: nil, e: true) from x in r");
+    }
+
+    #[test]
+    fn prints_distinct_and_element() {
+        let p = round_trip("select distinct x.name from x in person");
+        assert!(p.contains("select distinct"));
+        round_trip("element(select x from x in r where x.id = 7)");
+    }
+}

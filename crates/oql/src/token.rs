@@ -1,0 +1,101 @@
+/// A lexical token of the OQL/ODL subset used by DISCO.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognised case-insensitively by
+    /// the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes removed, escapes resolved).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// `:=`
+    Assign,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Returns the identifier text if this token is an identifier.
+    #[must_use]
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the token is the given keyword
+    /// (case-insensitive comparison).
+    #[must_use]
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// A token plus its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        assert!(Token::Ident("SELECT".into()).is_keyword("select"));
+        assert!(Token::Ident("select".into()).is_keyword("select"));
+        assert!(!Token::Ident("selects".into()).is_keyword("select"));
+        assert!(!Token::Comma.is_keyword("select"));
+    }
+
+    #[test]
+    fn as_ident_only_for_identifiers() {
+        assert_eq!(Token::Ident("x".into()).as_ident(), Some("x"));
+        assert_eq!(Token::Int(3).as_ident(), None);
+    }
+}

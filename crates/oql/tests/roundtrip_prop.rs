@@ -1,0 +1,131 @@
+//! Property-based tests for the OQL parser / printer pair.
+//!
+//! The central invariant: printing any AST produces text that re-parses to
+//! the same AST.  Partial answers rely on this — the residual query DISCO
+//! returns must be resubmittable verbatim.
+
+use disco_oql::ast::{BinaryOp, Expr, FromBinding, SelectExpr};
+use disco_oql::{parse_query, print_expr};
+use disco_value::Value;
+use proptest::prelude::*;
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("avoid keywords", |s| {
+        ![
+            "select", "from", "in", "where", "union", "bag", "list", "struct", "flatten",
+            "element", "define", "as", "and", "or", "not", "nil", "null", "true", "false",
+            "sum", "count", "avg", "min", "max", "distinct", "interface", "extent",
+            "attribute", "of", "wrapper", "repository", "map",
+        ]
+        .contains(&s.as_str())
+    })
+}
+
+fn literal_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Expr::Literal(Value::Int(i64::from(i)))),
+        "[a-zA-Z ]{0,10}".prop_map(|s| Expr::Literal(Value::Str(s))),
+        any::<bool>().prop_map(|b| Expr::Literal(Value::Bool(b))),
+        Just(Expr::Literal(Value::Null)),
+    ]
+}
+
+fn scalar_expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal_strategy(),
+        ident_strategy().prop_map(Expr::Ident),
+        (ident_strategy(), ident_strategy()).prop_map(|(v, f)| Expr::ident(v).path(f)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinaryOp::Add),
+                    Just(BinaryOp::Sub),
+                    Just(BinaryOp::Mul),
+                    Just(BinaryOp::Eq),
+                    Just(BinaryOp::Lt),
+                    Just(BinaryOp::Gt),
+                    Just(BinaryOp::And),
+                    Just(BinaryOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            prop::collection::vec((ident_strategy(), inner.clone()), 1..3).prop_filter_map(
+                "distinct struct field names",
+                |fields| {
+                    let mut names: Vec<&String> = fields.iter().map(|(n, _)| n).collect();
+                    names.sort();
+                    names.dedup();
+                    if names.len() == fields.len() {
+                        Some(Expr::StructConstruct(fields))
+                    } else {
+                        None
+                    }
+                }
+            ),
+        ]
+    })
+}
+
+fn select_strategy() -> impl Strategy<Value = Expr> {
+    (
+        scalar_expr_strategy(),
+        prop::collection::vec((ident_strategy(), ident_strategy()), 1..3),
+        prop::option::of(scalar_expr_strategy()),
+        any::<bool>(),
+    )
+        .prop_map(|(projection, bindings, where_clause, distinct)| {
+            Expr::Select(SelectExpr {
+                distinct,
+                projection: Box::new(projection),
+                bindings: bindings
+                    .into_iter()
+                    .map(|(var, coll)| FromBinding {
+                        var,
+                        collection: Expr::Ident(coll),
+                    })
+                    .collect(),
+                where_clause: where_clause.map(Box::new),
+            })
+        })
+}
+
+fn query_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        select_strategy(),
+        prop::collection::vec(select_strategy(), 1..3).prop_map(Expr::Union),
+        prop::collection::vec(literal_strategy(), 0..4).prop_map(Expr::BagConstruct),
+        select_strategy().prop_map(|s| Expr::Flatten(Box::new(s))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_then_parse_is_identity(expr in query_strategy()) {
+        let printed = print_expr(&expr);
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        prop_assert_eq!(expr, reparsed, "printed form: {}", printed);
+    }
+
+    #[test]
+    fn scalar_print_then_parse_is_identity(expr in scalar_expr_strategy()) {
+        let printed = print_expr(&expr);
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        prop_assert_eq!(expr, reparsed, "printed form: {}", printed);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "[ -~]{0,60}") {
+        // Fuzz: any printable-ASCII input must either parse or produce a
+        // structured error, never panic.
+        let _ = parse_query(&input);
+    }
+}

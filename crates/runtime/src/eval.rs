@@ -1,0 +1,435 @@
+//! The mediator-side evaluator: executes a physical plan once every `exec`
+//! call has been resolved.
+//!
+//! The evaluator implements the physical algorithms of §3.3 (`mkunion`,
+//! `mkproj`, nested-loop and hash joins, …) over bags of values.
+//! Correlated aggregate sub-queries in projections are evaluated through a
+//! sub-query callback that re-enters the evaluator with the current
+//! environment row as outer context.
+
+use std::collections::BTreeMap;
+
+use disco_algebra::{
+    eval_scalar_with, lower, truthy, AlgebraError, LogicalExpr, PhysicalExpr, ScalarExpr,
+};
+use disco_value::{Bag, StructValue, Value};
+
+use crate::exec::{ExecKey, ExecOutcome, ResolvedExecs};
+use crate::{Result, RuntimeError};
+
+/// Evaluates a physical plan against resolved `exec` outcomes.
+///
+/// # Errors
+///
+/// Returns an error if the plan references an unresolved or unavailable
+/// `exec` call (the partial-evaluation path must be used instead), or on
+/// evaluation errors.
+pub fn evaluate_physical(plan: &PhysicalExpr, resolved: &ResolvedExecs) -> Result<Bag> {
+    evaluate_with_outer(plan, resolved, &StructValue::default())
+}
+
+/// Evaluates a physical plan with an outer environment (used for
+/// correlated sub-queries).
+///
+/// # Errors
+///
+/// See [`evaluate_physical`].
+pub fn evaluate_with_outer(
+    plan: &PhysicalExpr,
+    resolved: &ResolvedExecs,
+    outer: &StructValue,
+) -> Result<Bag> {
+    match plan {
+        PhysicalExpr::Exec {
+            repository,
+            extent,
+            logical,
+            ..
+        } => {
+            let key = ExecKey::new(repository, extent, logical);
+            match resolved.outcome(&key) {
+                Some(ExecOutcome::Rows(rows)) => Ok(rows.clone()),
+                Some(ExecOutcome::Unavailable) => Err(RuntimeError::Unsupported(format!(
+                    "exec call to unavailable source {repository} reached the evaluator"
+                ))),
+                None => Err(RuntimeError::Unsupported(format!(
+                    "unresolved exec call to {repository} ({extent})"
+                ))),
+            }
+        }
+        PhysicalExpr::MemScan(bag) => Ok(bag.clone()),
+        PhysicalExpr::FilterOp { input, predicate } => {
+            let rows = evaluate_with_outer(input, resolved, outer)?;
+            let mut out = Bag::with_capacity(rows.len());
+            for row in &rows {
+                let env = merged_env(outer, row)?;
+                let keep = eval_row_scalar(predicate, &env, resolved)?;
+                if truthy(&keep) {
+                    out.insert(row.clone());
+                }
+            }
+            Ok(out)
+        }
+        PhysicalExpr::ProjectOp { input, columns } => {
+            let rows = evaluate_with_outer(input, resolved, outer)?;
+            let mut out = Bag::with_capacity(rows.len());
+            for row in &rows {
+                let s = row.as_struct().map_err(AlgebraError::from)?;
+                let projected = s
+                    .project(columns.iter().map(String::as_str))
+                    .map_err(AlgebraError::from)?;
+                out.insert(Value::Struct(projected));
+            }
+            Ok(out)
+        }
+        PhysicalExpr::MapOp { input, projection } => {
+            let rows = evaluate_with_outer(input, resolved, outer)?;
+            let mut out = Bag::with_capacity(rows.len());
+            for row in &rows {
+                let env = merged_env(outer, row)?;
+                out.insert(eval_row_scalar(projection, &env, resolved)?);
+            }
+            Ok(out)
+        }
+        PhysicalExpr::BindOp { var, input } => {
+            let rows = evaluate_with_outer(input, resolved, outer)?;
+            let mut out = Bag::with_capacity(rows.len());
+            for row in &rows {
+                let env = StructValue::new(vec![(var.clone(), row.clone())])
+                    .map_err(AlgebraError::from)?;
+                out.insert(Value::Struct(env));
+            }
+            Ok(out)
+        }
+        PhysicalExpr::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
+            let left_rows = evaluate_with_outer(left, resolved, outer)?;
+            let right_rows = evaluate_with_outer(right, resolved, outer)?;
+            let mut out = Bag::new();
+            for l in &left_rows {
+                let ls = l.as_struct().map_err(AlgebraError::from)?;
+                for r in &right_rows {
+                    let rs = r.as_struct().map_err(AlgebraError::from)?;
+                    let merged = merge_envs(ls, rs)?;
+                    let keep = match predicate {
+                        Some(p) => {
+                            let env = merge_envs(outer, &merged)?;
+                            truthy(&eval_row_scalar(p, &env, resolved)?)
+                        }
+                        None => true,
+                    };
+                    if keep {
+                        out.insert(Value::Struct(merged));
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PhysicalExpr::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => {
+            let left_rows = evaluate_with_outer(left, resolved, outer)?;
+            let right_rows = evaluate_with_outer(right, resolved, outer)?;
+            // Build a hash table on the right input.
+            let mut table: BTreeMap<Value, Vec<StructValue>> = BTreeMap::new();
+            for r in &right_rows {
+                let rs = r.as_struct().map_err(AlgebraError::from)?;
+                let env = merge_envs(outer, rs)?;
+                let key = eval_row_scalar(right_key, &env, resolved)?;
+                table.entry(key).or_default().push(rs.clone());
+            }
+            let mut out = Bag::new();
+            for l in &left_rows {
+                let ls = l.as_struct().map_err(AlgebraError::from)?;
+                let lenv = merge_envs(outer, ls)?;
+                let key = eval_row_scalar(left_key, &lenv, resolved)?;
+                if let Some(matches) = table.get(&key) {
+                    for rs in matches {
+                        let merged = merge_envs(ls, rs)?;
+                        let keep = match residual {
+                            Some(p) => {
+                                let env = merge_envs(outer, &merged)?;
+                                truthy(&eval_row_scalar(p, &env, resolved)?)
+                            }
+                            None => true,
+                        };
+                        if keep {
+                            out.insert(Value::Struct(merged));
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PhysicalExpr::MergeTuplesJoin { left, right, on } => {
+            let left_rows = evaluate_with_outer(left, resolved, outer)?;
+            let right_rows = evaluate_with_outer(right, resolved, outer)?;
+            let mut out = Bag::new();
+            for l in &left_rows {
+                let ls = l.as_struct().map_err(AlgebraError::from)?;
+                for r in &right_rows {
+                    let rs = r.as_struct().map_err(AlgebraError::from)?;
+                    let mut matches = true;
+                    for (lattr, rattr) in on {
+                        let lv = ls.field(lattr).map_err(AlgebraError::from)?;
+                        let rv = rs.field(rattr).map_err(AlgebraError::from)?;
+                        if lv != rv {
+                            matches = false;
+                            break;
+                        }
+                    }
+                    if matches {
+                        let merged = ls.merge_with_prefix(rs, "right").map_err(AlgebraError::from)?;
+                        out.insert(Value::Struct(merged));
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PhysicalExpr::MkUnion(items) => {
+            let mut out = Bag::new();
+            for item in items {
+                out.extend(evaluate_with_outer(item, resolved, outer)?);
+            }
+            Ok(out)
+        }
+        PhysicalExpr::MkFlatten(inner) => {
+            Ok(evaluate_with_outer(inner, resolved, outer)?.flatten())
+        }
+        PhysicalExpr::MkDistinct(inner) => {
+            Ok(evaluate_with_outer(inner, resolved, outer)?.distinct())
+        }
+        PhysicalExpr::MkAggregate { func, input } => {
+            let rows = evaluate_with_outer(input, resolved, outer)?;
+            Ok([func.apply(&rows).map_err(RuntimeError::Algebra)?]
+                .into_iter()
+                .collect())
+        }
+    }
+}
+
+/// Evaluates a logical plan (typically a data-only residual subtree or a
+/// correlated sub-plan) by lowering it and running the physical evaluator.
+///
+/// # Errors
+///
+/// See [`evaluate_physical`].
+pub fn evaluate_logical(
+    plan: &LogicalExpr,
+    resolved: &ResolvedExecs,
+    outer: &StructValue,
+) -> Result<Bag> {
+    let physical = lower(plan).map_err(RuntimeError::Algebra)?;
+    evaluate_with_outer(&physical, resolved, outer)
+}
+
+/// Evaluates a scalar expression against an environment row, resolving
+/// aggregate sub-queries through the evaluator.
+fn eval_row_scalar(
+    expr: &ScalarExpr,
+    env: &StructValue,
+    resolved: &ResolvedExecs,
+) -> Result<Value> {
+    let callback = |plan: &LogicalExpr, outer_row: &StructValue| {
+        evaluate_logical(plan, resolved, outer_row)
+            .map_err(|e| AlgebraError::Unsupported(e.to_string()))
+    };
+    eval_scalar_with(expr, env, &callback).map_err(RuntimeError::Algebra)
+}
+
+/// Merges an outer environment with a row.  Struct rows merge field-wise
+/// (row fields win); non-struct rows are exposed under the name `it`.
+fn merged_env(outer: &StructValue, row: &Value) -> Result<StructValue> {
+    match row {
+        Value::Struct(s) => merge_envs(outer, s),
+        other => {
+            let mut fields: Vec<(String, Value)> = outer
+                .iter()
+                .map(|(n, v)| (n.to_owned(), v.clone()))
+                .collect();
+            fields.push(("it".to_owned(), other.clone()));
+            StructValue::new(fields).map_err(|e| RuntimeError::Algebra(e.into()))
+        }
+    }
+}
+
+/// Merges two environments; fields of `b` shadow fields of `a`.
+fn merge_envs(a: &StructValue, b: &StructValue) -> Result<StructValue> {
+    let mut fields: Vec<(String, Value)> = a
+        .iter()
+        .filter(|(n, _)| !b.has_field(n))
+        .map(|(n, v)| (n.to_owned(), v.clone()))
+        .collect();
+    fields.extend(b.iter().map(|(n, v)| (n.to_owned(), v.clone())));
+    StructValue::new(fields).map_err(|e| RuntimeError::Algebra(e.into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_algebra::{data_of, AggKind, ScalarOp};
+
+    fn person(name: &str, salary: i64, id: i64) -> Value {
+        Value::Struct(
+            StructValue::new(vec![
+                ("id", Value::Int(id)),
+                ("name", Value::from(name)),
+                ("salary", Value::Int(salary)),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn empty_resolved() -> ResolvedExecs {
+        ResolvedExecs::default()
+    }
+
+    fn eval(plan: &LogicalExpr) -> Bag {
+        evaluate_logical(plan, &empty_resolved(), &StructValue::default()).unwrap()
+    }
+
+    #[test]
+    fn intro_query_pipeline_over_data() {
+        // map(x.name, select(x.salary > 10, bind(x, data)))
+        let data = LogicalExpr::Data(
+            [person("Mary", 200, 1), person("Sam", 50, 2), person("Low", 5, 3)]
+                .into_iter()
+                .collect(),
+        );
+        let plan = data
+            .bind("x")
+            .filter(ScalarExpr::binary(
+                ScalarOp::Gt,
+                ScalarExpr::var_field("x", "salary"),
+                ScalarExpr::constant(10i64),
+            ))
+            .map_project(ScalarExpr::var_field("x", "name"));
+        let result = eval(&plan);
+        assert_eq!(
+            result,
+            [Value::from("Mary"), Value::from("Sam")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn hash_join_combines_sources_on_equal_keys() {
+        let left = LogicalExpr::Data([person("Mary", 200, 1), person("Sam", 50, 2)].into_iter().collect())
+            .bind("x");
+        let right = LogicalExpr::Data([person("Mary2", 30, 1)].into_iter().collect()).bind("y");
+        let join = LogicalExpr::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            predicate: Some(ScalarExpr::binary(
+                ScalarOp::Eq,
+                ScalarExpr::var_field("x", "id"),
+                ScalarExpr::var_field("y", "id"),
+            )),
+        }
+        .map_project(ScalarExpr::StructLit(vec![
+            ("name".into(), ScalarExpr::var_field("x", "name")),
+            (
+                "total".into(),
+                ScalarExpr::binary(
+                    ScalarOp::Add,
+                    ScalarExpr::var_field("x", "salary"),
+                    ScalarExpr::var_field("y", "salary"),
+                ),
+            ),
+        ]));
+        let result = eval(&join);
+        assert_eq!(result.len(), 1);
+        let row = result.iter().next().unwrap().as_struct().unwrap();
+        assert_eq!(row.field("total").unwrap(), &Value::Int(230));
+    }
+
+    #[test]
+    fn correlated_aggregate_uses_outer_row() {
+        // The §2.2.3 `multiple` view shape over data:
+        // select struct(name: x.name, salary: sum(select z.salary from z in all where x.id = z.id))
+        let all: Bag = [person("Mary", 200, 1), person("Mary-b", 30, 1), person("Sam", 50, 2)]
+            .into_iter()
+            .collect();
+        let subplan = LogicalExpr::Data(all.clone())
+            .bind("z")
+            .filter(ScalarExpr::binary(
+                ScalarOp::Eq,
+                ScalarExpr::var_field("x", "id"),
+                ScalarExpr::var_field("z", "id"),
+            ))
+            .map_project(ScalarExpr::var_field("z", "salary"));
+        let plan = LogicalExpr::Data([person("Mary", 200, 1)].into_iter().collect())
+            .bind("x")
+            .map_project(ScalarExpr::StructLit(vec![
+                ("name".into(), ScalarExpr::var_field("x", "name")),
+                ("salary".into(), ScalarExpr::Agg(AggKind::Sum, Box::new(subplan))),
+            ]));
+        let result = eval(&plan);
+        let row = result.iter().next().unwrap().as_struct().unwrap();
+        assert_eq!(row.field("salary").unwrap(), &Value::Int(230));
+    }
+
+    #[test]
+    fn union_flatten_distinct_aggregate() {
+        let plan = LogicalExpr::Aggregate {
+            func: AggKind::Count,
+            input: Box::new(LogicalExpr::Distinct(Box::new(LogicalExpr::Union(vec![
+                data_of([1i64, 2i64, 2i64]),
+                data_of([3i64, 3i64]),
+            ])))),
+        };
+        let result = eval(&plan);
+        assert_eq!(result, [Value::Int(3)].into_iter().collect());
+        let flat = LogicalExpr::Flatten(Box::new(data_of([Value::Bag(
+            [Value::Int(1), Value::Int(2)].into_iter().collect(),
+        )])));
+        assert_eq!(eval(&flat).len(), 2);
+    }
+
+    #[test]
+    fn source_join_at_mediator_merges_tuples() {
+        let employees = LogicalExpr::Data(
+            [Value::Struct(
+                StructValue::new(vec![("name", Value::from("Mary")), ("dept", Value::Int(1))]).unwrap(),
+            )]
+            .into_iter()
+            .collect(),
+        );
+        let managers = LogicalExpr::Data(
+            [Value::Struct(
+                StructValue::new(vec![("mgr", Value::from("Sam")), ("dept", Value::Int(1))]).unwrap(),
+            )]
+            .into_iter()
+            .collect(),
+        );
+        let join = LogicalExpr::SourceJoin {
+            left: Box::new(employees),
+            right: Box::new(managers),
+            on: vec![("dept".into(), "dept".into())],
+        };
+        let result = eval(&join);
+        assert_eq!(result.len(), 1);
+        let row = result.iter().next().unwrap().as_struct().unwrap();
+        assert_eq!(row.field("mgr").unwrap(), &Value::from("Sam"));
+    }
+
+    #[test]
+    fn unresolved_exec_is_an_error() {
+        let plan = LogicalExpr::get("person0").submit("r0", "w0", "person0");
+        let err = evaluate_logical(&plan, &empty_resolved(), &StructValue::default()).unwrap_err();
+        assert!(matches!(err, RuntimeError::Unsupported(_)));
+    }
+
+    #[test]
+    fn projection_of_scalar_rows_fails_cleanly() {
+        let plan = data_of([1i64, 2i64]).project(["name"]);
+        let err = evaluate_logical(&plan, &empty_resolved(), &StructValue::default()).unwrap_err();
+        assert!(matches!(err, RuntimeError::Algebra(_)));
+    }
+}

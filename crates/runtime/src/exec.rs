@@ -1,0 +1,508 @@
+//! Resolution of `exec` calls: the runtime's interface to wrappers (§3.3,
+//! §4).
+//!
+//! Every `exec` node of a physical plan names a repository, a wrapper and
+//! an extent, and carries the logical expression to ship.  The runtime
+//! issues all calls **in parallel**; calls to available sources succeed,
+//! calls to unavailable sources block; "after a designated time period,
+//! query evaluation stops" and the sources that have not answered are
+//! classified unavailable.
+//!
+//! For every finished call the arguments, the time taken and the amount of
+//! data generated are recorded into the calibration store, feeding the
+//! self-calibrating cost model.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use disco_algebra::{LogicalExpr, PhysicalExpr};
+use disco_catalog::Catalog;
+use disco_optimizer::CalibrationStore;
+use disco_value::Bag;
+use disco_wrapper::{
+    check_type_conformance, expected_after_expr, map_expr_to_source, map_rows_to_mediator,
+    WrapperError, WrapperRegistry,
+};
+
+use crate::{Result, RuntimeError};
+
+/// Identity of one `exec` call (used to de-duplicate identical calls and to
+/// join results back into the plan).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ExecKey {
+    /// Repository name.
+    pub repository: String,
+    /// Extent name.
+    pub extent: String,
+    /// Display form of the shipped (mediator name space) expression.
+    pub expr: String,
+}
+
+impl ExecKey {
+    /// Builds the key for an `exec` / `submit` node.
+    #[must_use]
+    pub fn new(repository: &str, extent: &str, expr: &LogicalExpr) -> Self {
+        ExecKey {
+            repository: repository.to_owned(),
+            extent: extent.to_owned(),
+            expr: expr.to_string(),
+        }
+    }
+}
+
+/// The outcome of one `exec` call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// The source answered with rows (already renamed into the mediator
+    /// name space).
+    Rows(Bag),
+    /// The source did not answer (unavailable, or still blocked at the
+    /// deadline).
+    Unavailable,
+}
+
+/// Statistics of one `exec` call, for traces and experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceCallStats {
+    /// Repository name.
+    pub repository: String,
+    /// Extent accessed.
+    pub extent: String,
+    /// Whether the source answered.
+    pub available: bool,
+    /// Rows returned to the mediator (data transferred).
+    pub rows_returned: usize,
+    /// Rows the source scanned to answer.
+    pub rows_scanned: usize,
+    /// Latency of the call (simulated network + source time).
+    pub latency: Duration,
+}
+
+/// Configuration of a plan execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionConfig {
+    /// The "designated time period" after which unanswered sources are
+    /// classified unavailable and partial evaluation kicks in.
+    pub deadline: Option<Duration>,
+    /// Record finished calls into the calibration store.
+    pub calibration: Option<Arc<CalibrationStore>>,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig {
+            deadline: Some(Duration::from_millis(500)),
+            calibration: None,
+        }
+    }
+}
+
+/// The resolved `exec` calls of one plan execution.
+#[derive(Debug, Clone, Default)]
+pub struct ResolvedExecs {
+    outcomes: BTreeMap<ExecKey, ExecOutcome>,
+    stats: Vec<SourceCallStats>,
+}
+
+impl ResolvedExecs {
+    /// Looks up the outcome for one call.
+    #[must_use]
+    pub fn outcome(&self, key: &ExecKey) -> Option<&ExecOutcome> {
+        self.outcomes.get(key)
+    }
+
+    /// Returns `true` when every call succeeded.
+    #[must_use]
+    pub fn all_available(&self) -> bool {
+        self.outcomes
+            .values()
+            .all(|o| matches!(o, ExecOutcome::Rows(_)))
+    }
+
+    /// The repositories that did not answer, sorted and de-duplicated.
+    #[must_use]
+    pub fn unavailable_repositories(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, ExecOutcome::Unavailable))
+            .map(|(k, _)| k.repository.clone())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Per-call statistics.
+    #[must_use]
+    pub fn stats(&self) -> &[SourceCallStats] {
+        &self.stats
+    }
+
+    /// Total rows transferred from sources to the mediator.
+    #[must_use]
+    pub fn rows_transferred(&self) -> usize {
+        self.stats.iter().map(|s| s.rows_returned).sum()
+    }
+
+    /// Number of `exec` calls issued.
+    #[must_use]
+    pub fn call_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Inserts an outcome (used by tests and by the executor).
+    pub fn insert(&mut self, key: ExecKey, outcome: ExecOutcome, stats: SourceCallStats) {
+        self.outcomes.insert(key, outcome);
+        self.stats.push(stats);
+    }
+}
+
+/// Collects the distinct `exec` calls of a physical plan, including those
+/// nested inside correlated-aggregate sub-plans.
+#[must_use]
+pub fn collect_exec_calls(plan: &PhysicalExpr) -> Vec<(ExecKey, String, LogicalExpr)> {
+    let mut out: Vec<(ExecKey, String, LogicalExpr)> = Vec::new();
+    let mut push = |repository: &str, wrapper: &str, extent: &str, logical: &LogicalExpr| {
+        let key = ExecKey::new(repository, extent, logical);
+        if !out.iter().any(|(k, _, _)| *k == key) {
+            out.push((key, wrapper.to_owned(), logical.clone()));
+        }
+    };
+    plan.walk(&mut |node| {
+        if let PhysicalExpr::Exec {
+            repository,
+            wrapper,
+            extent,
+            logical,
+        } = node
+        {
+            push(repository, wrapper, extent, logical);
+            // Sub-plans inside the shipped expression never contain submits
+            // (they are pushable operators only), but the *mediator-side*
+            // operators above may carry aggregate sub-plans; those are
+            // handled below.
+        }
+    });
+    // Aggregate sub-plans hide further submits inside scalar expressions.
+    let logical = plan.to_logical();
+    collect_submits_in_scalars(&logical, &mut |repository, wrapper, extent, inner| {
+        push(repository, wrapper, extent, inner);
+    });
+    out
+}
+
+/// Walks a logical plan and reports every `submit` reachable only through
+/// scalar aggregate sub-plans.
+fn collect_submits_in_scalars<F>(plan: &LogicalExpr, report: &mut F)
+where
+    F: FnMut(&str, &str, &str, &LogicalExpr),
+{
+    fn walk_scalar<F>(expr: &disco_algebra::ScalarExpr, report: &mut F)
+    where
+        F: FnMut(&str, &str, &str, &LogicalExpr),
+    {
+        use disco_algebra::ScalarExpr as S;
+        match expr {
+            S::Agg(_, plan) => walk_plan(plan, report),
+            S::Binary { left, right, .. } => {
+                walk_scalar(left, report);
+                walk_scalar(right, report);
+            }
+            S::Not(inner) | S::Field(inner, _) => walk_scalar(inner, report),
+            S::StructLit(fields) => {
+                for (_, e) in fields {
+                    walk_scalar(e, report);
+                }
+            }
+            S::Call(_, args) => {
+                for a in args {
+                    walk_scalar(a, report);
+                }
+            }
+            S::Const(_) | S::Attr(_) | S::Var(_) => {}
+        }
+    }
+    fn walk_plan<F>(plan: &LogicalExpr, report: &mut F)
+    where
+        F: FnMut(&str, &str, &str, &LogicalExpr),
+    {
+        if let LogicalExpr::Submit {
+            repository,
+            wrapper,
+            extent,
+            expr,
+        } = plan
+        {
+            report(repository, wrapper, extent, expr);
+        }
+        match plan {
+            LogicalExpr::Filter { predicate, .. } => walk_scalar(predicate, report),
+            LogicalExpr::MapProject { projection, .. } => walk_scalar(projection, report),
+            LogicalExpr::Join {
+                predicate: Some(p), ..
+            } => walk_scalar(p, report),
+            _ => {}
+        }
+        for child in plan.children() {
+            walk_plan(child, report);
+        }
+    }
+    walk_plan(plan, report);
+}
+
+/// Issues every `exec` call of the plan in parallel and gathers outcomes,
+/// applying the extent's transformation map in both directions and the
+/// run-time type check.
+///
+/// # Errors
+///
+/// Hard wrapper errors (capability violations, type conflicts, unknown
+/// tables) abort the execution; unavailability does not.
+pub fn resolve_execs(
+    plan: &PhysicalExpr,
+    registry: &WrapperRegistry,
+    catalog: &Catalog,
+    config: &ExecutionConfig,
+) -> Result<ResolvedExecs> {
+    let calls = collect_exec_calls(plan);
+    let mut resolved = ResolvedExecs::default();
+    if calls.is_empty() {
+        return Ok(resolved);
+    }
+
+    enum CallResult {
+        Ok {
+            rows: Bag,
+            rows_scanned: usize,
+            latency: Duration,
+        },
+        Unavailable,
+        Failed(WrapperError),
+    }
+
+    let (tx, rx) = mpsc::channel::<(usize, CallResult, f64)>();
+    let mut handles = Vec::new();
+    let mut call_meta = Vec::new();
+
+    for (index, (key, wrapper_name, shipped)) in calls.iter().enumerate() {
+        let extent_meta = catalog.extent(&key.extent)?.clone();
+        let expected: Vec<String> = catalog
+            .attributes_of(extent_meta.interface())?
+            .iter()
+            .map(|a| a.name().to_owned())
+            .collect();
+        let expected = expected_after_expr(shipped, &expected);
+        let wrapper = registry
+            .wrapper(wrapper_name)
+            .ok_or_else(|| RuntimeError::UnknownWrapper(wrapper_name.clone()))?;
+        let map = extent_meta.map().clone();
+        let shipped = shipped.clone();
+        let key_clone = key.clone();
+        let tx = tx.clone();
+        call_meta.push((key.clone(), key_clone.extent.clone()));
+        let handle = std::thread::spawn(move || {
+            let started = Instant::now();
+            let source_expr = map_expr_to_source(&shipped, &map);
+            let outcome = match wrapper.submit(&source_expr) {
+                Ok(answer) => {
+                    let rows = map_rows_to_mediator(&answer.rows, &map);
+                    match check_type_conformance(&rows, &expected, &key_clone.extent) {
+                        Ok(()) => CallResult::Ok {
+                            rows,
+                            rows_scanned: answer.rows_scanned,
+                            latency: answer.latency,
+                        },
+                        Err(err) => CallResult::Failed(err),
+                    }
+                }
+                Err(WrapperError::Unavailable { .. }) => CallResult::Unavailable,
+                Err(other) => CallResult::Failed(other),
+            };
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+            // The receiver may have given up at the deadline; ignore send errors.
+            let _ = tx.send((index, outcome, elapsed_ms));
+        });
+        handles.push(handle);
+    }
+    drop(tx);
+
+    let deadline_at = config.deadline.map(|d| Instant::now() + d);
+    let mut received: BTreeMap<usize, (CallResult, f64)> = BTreeMap::new();
+    loop {
+        if received.len() == calls.len() {
+            break;
+        }
+        let timeout = match deadline_at {
+            Some(at) => {
+                let now = Instant::now();
+                if now >= at {
+                    break;
+                }
+                at - now
+            }
+            None => Duration::from_secs(3600),
+        };
+        match rx.recv_timeout(timeout) {
+            Ok((index, outcome, elapsed_ms)) => {
+                received.insert(index, (outcome, elapsed_ms));
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => break,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    for (index, (key, _, shipped)) in calls.iter().enumerate() {
+        match received.remove(&index) {
+            Some((CallResult::Ok {
+                rows,
+                rows_scanned,
+                latency,
+            }, elapsed_ms)) => {
+                if let Some(store) = &config.calibration {
+                    // Record both the wall-clock elapsed time and the
+                    // simulated latency — the simulated latency dominates.
+                    let time_ms = latency.as_secs_f64() * 1000.0 + elapsed_ms.min(1.0);
+                    store.record(&key.repository, shipped, time_ms, rows.len());
+                }
+                let stats = SourceCallStats {
+                    repository: key.repository.clone(),
+                    extent: key.extent.clone(),
+                    available: true,
+                    rows_returned: rows.len(),
+                    rows_scanned,
+                    latency,
+                };
+                resolved.insert(key.clone(), ExecOutcome::Rows(rows), stats);
+            }
+            Some((CallResult::Unavailable, _)) | None => {
+                let stats = SourceCallStats {
+                    repository: key.repository.clone(),
+                    extent: key.extent.clone(),
+                    available: false,
+                    rows_returned: 0,
+                    rows_scanned: 0,
+                    latency: Duration::ZERO,
+                };
+                resolved.insert(key.clone(), ExecOutcome::Unavailable, stats);
+            }
+            Some((CallResult::Failed(err), _)) => return Err(RuntimeError::Wrapper(err)),
+        }
+    }
+    Ok(resolved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_algebra::lower;
+    use disco_catalog::{Attribute, InterfaceDef, MetaExtent, Repository, TypeRef, WrapperDef};
+    use disco_source::{generator, NetworkProfile, RelationalStore, SimulatedLink};
+    use disco_wrapper::RelationalWrapper;
+
+    fn setup() -> (Catalog, WrapperRegistry) {
+        let mut catalog = Catalog::new();
+        catalog
+            .define_interface(
+                InterfaceDef::new("Person")
+                    .with_extent_name("person")
+                    .with_attribute(Attribute::new("id", TypeRef::Int))
+                    .with_attribute(Attribute::new("name", TypeRef::String))
+                    .with_attribute(Attribute::new("salary", TypeRef::Int)),
+            )
+            .unwrap();
+        catalog.add_wrapper(WrapperDef::new("w0", "relational")).unwrap();
+        catalog.add_repository(Repository::new("r0")).unwrap();
+        catalog.add_repository(Repository::new("r1")).unwrap();
+        catalog
+            .add_extent(MetaExtent::new("person0", "Person", "w0", "r0"))
+            .unwrap();
+        catalog
+            .add_extent(MetaExtent::new("person1", "Person", "w0", "r1"))
+            .unwrap();
+
+        let registry = WrapperRegistry::new();
+        let store = std::sync::Arc::new(RelationalStore::new());
+        store.put_table(generator::person_table("person0", 10, 0, 1));
+        store.put_table(generator::person_table("person1", 10, 1, 1));
+        let link = std::sync::Arc::new(SimulatedLink::new("r0", NetworkProfile::fast(), 1));
+        registry.register(std::sync::Arc::new(RelationalWrapper::new(
+            "w0", store, link,
+        )));
+        (catalog, registry)
+    }
+
+    fn union_plan() -> PhysicalExpr {
+        lower(&LogicalExpr::Union(vec![
+            LogicalExpr::get("person0").submit("r0", "w0", "person0"),
+            LogicalExpr::get("person1").submit("r1", "w0", "person1"),
+        ]))
+        .unwrap()
+    }
+
+    #[test]
+    fn all_calls_resolve_in_parallel() {
+        let (catalog, registry) = setup();
+        let resolved = resolve_execs(
+            &union_plan(),
+            &registry,
+            &catalog,
+            &ExecutionConfig::default(),
+        )
+        .unwrap();
+        assert!(resolved.all_available());
+        assert_eq!(resolved.call_count(), 2);
+        assert_eq!(resolved.rows_transferred(), 20);
+        assert!(resolved.unavailable_repositories().is_empty());
+    }
+
+    #[test]
+    fn calibration_records_each_call() {
+        let (catalog, registry) = setup();
+        let store = Arc::new(CalibrationStore::new());
+        let config = ExecutionConfig {
+            deadline: None,
+            calibration: Some(Arc::clone(&store)),
+        };
+        resolve_execs(&union_plan(), &registry, &catalog, &config).unwrap();
+        assert_eq!(store.exact_shapes(), 2);
+    }
+
+    #[test]
+    fn unknown_wrapper_is_a_hard_error() {
+        let (catalog, registry) = setup();
+        let plan = lower(&LogicalExpr::get("person0").submit("r0", "w_missing", "person0")).unwrap();
+        let err = resolve_execs(&plan, &registry, &catalog, &ExecutionConfig::default()).unwrap_err();
+        assert!(matches!(err, RuntimeError::UnknownWrapper(_)));
+    }
+
+    #[test]
+    fn duplicate_exec_calls_are_issued_once() {
+        let (catalog, registry) = setup();
+        let plan = lower(&LogicalExpr::Union(vec![
+            LogicalExpr::get("person0").submit("r0", "w0", "person0"),
+            LogicalExpr::get("person0").submit("r0", "w0", "person0"),
+        ]))
+        .unwrap();
+        let resolved =
+            resolve_execs(&plan, &registry, &catalog, &ExecutionConfig::default()).unwrap();
+        assert_eq!(resolved.call_count(), 1);
+    }
+
+    #[test]
+    fn collect_exec_calls_sees_aggregate_subplans() {
+        use disco_algebra::{AggKind, ScalarExpr};
+        let logical = LogicalExpr::get("person0")
+            .submit("r0", "w0", "person0")
+            .bind("x")
+            .map_project(ScalarExpr::Agg(
+                AggKind::Sum,
+                Box::new(LogicalExpr::get("person1").submit("r1", "w0", "person1")),
+            ));
+        let plan = lower(&logical).unwrap();
+        let calls = collect_exec_calls(&plan);
+        assert_eq!(calls.len(), 2, "both the outer and the nested submit are seen");
+    }
+}

@@ -1,0 +1,35 @@
+//! # disco-runtime
+//!
+//! The DISCO run-time system (§3.3, §4, Fig. 2): it executes physical
+//! plans by issuing every `exec` (wrapper) call **in parallel**, applies
+//! local transformation maps and the run-time type check at the wrapper
+//! boundary, evaluates the mediator-side operators, records finished calls
+//! into the self-calibrating cost store, and — when sources do not answer
+//! by the deadline — performs **partial evaluation**: the answer to the
+//! query is another query, `union(<residual query over the unavailable
+//! sources>, <data from the available sources>)`.
+//!
+//! The central types are [`Executor`] and [`Answer`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod eval;
+mod exec;
+mod executor;
+mod partial;
+
+pub use error::RuntimeError;
+pub use eval::{evaluate_logical, evaluate_physical, evaluate_with_outer};
+pub use exec::{
+    collect_exec_calls, resolve_execs, ExecKey, ExecOutcome, ExecutionConfig, ResolvedExecs,
+    SourceCallStats,
+};
+pub use executor::Executor;
+pub use partial::{
+    is_fully_resolved, partial_evaluate, substitute_resolved, Answer, ExecutionStats,
+};
+
+/// Convenience result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

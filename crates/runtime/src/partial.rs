@@ -1,0 +1,475 @@
+//! Partial evaluation: answers that are themselves queries (§1.3, §4).
+//!
+//! When some data sources have not answered by the deadline, DISCO does not
+//! fail and does not silently drop data.  Instead "the query is rewritten
+//! into two parts, one which contains a query to the unavailable data, and
+//! the other contains the remainder of the query to be processed.  Query
+//! processing proceeds until the remainder part consists only of data."
+//! The answer is then `union(<residual query>, <data>)` — a legal OQL
+//! expression that can be resubmitted verbatim once the sources recover.
+
+use disco_algebra::{logical_to_oql, LogicalExpr, ScalarExpr};
+use disco_oql::print_expr;
+use disco_value::{Bag, StructValue};
+
+use crate::eval::evaluate_logical;
+use crate::exec::{ExecKey, ExecOutcome, ResolvedExecs, SourceCallStats};
+use crate::Result;
+
+/// Execution statistics attached to every answer.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionStats {
+    /// Number of `exec` (wrapper) calls issued.
+    pub exec_calls: usize,
+    /// Total rows transferred from sources to the mediator.
+    pub rows_transferred: usize,
+    /// Repositories classified unavailable during this execution.
+    pub unavailable: Vec<String>,
+    /// Wall-clock time of the whole execution.
+    pub elapsed: std::time::Duration,
+    /// Per-call details.
+    pub source_calls: Vec<SourceCallStats>,
+}
+
+/// The answer to a query: data plus, when sources were unavailable, the
+/// residual query over them.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    data: Bag,
+    residual: Option<LogicalExpr>,
+    stats: ExecutionStats,
+}
+
+impl Answer {
+    /// Builds a complete answer.
+    #[must_use]
+    pub fn complete(data: Bag, stats: ExecutionStats) -> Self {
+        Answer {
+            data,
+            residual: None,
+            stats,
+        }
+    }
+
+    /// Builds a partial answer.
+    #[must_use]
+    pub fn partial(data: Bag, residual: LogicalExpr, stats: ExecutionStats) -> Self {
+        Answer {
+            data,
+            residual: Some(residual),
+            stats,
+        }
+    }
+
+    /// Returns `true` when every source answered and the answer is pure
+    /// data.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.residual.is_none()
+    }
+
+    /// The data part of the answer.
+    #[must_use]
+    pub fn data(&self) -> &Bag {
+        &self.data
+    }
+
+    /// The residual logical plan over the unavailable sources, if any.
+    #[must_use]
+    pub fn residual(&self) -> Option<&LogicalExpr> {
+        self.residual.as_ref()
+    }
+
+    /// The residual query as OQL text, if any.
+    #[must_use]
+    pub fn residual_oql(&self) -> Option<String> {
+        self.residual
+            .as_ref()
+            .map(|r| print_expr(&logical_to_oql(r)))
+    }
+
+    /// The whole answer as an OQL expression.
+    ///
+    /// A complete answer prints as a bag of its data; a partial answer
+    /// prints as `union(<residual query>, bag(<data>))` — the §1.3 form,
+    /// which can be resubmitted as a new query.
+    #[must_use]
+    pub fn as_query_text(&self) -> String {
+        let data_expr = LogicalExpr::Data(self.data.clone());
+        let combined = match &self.residual {
+            Some(residual) => LogicalExpr::Union(vec![residual.clone(), data_expr]),
+            None => data_expr,
+        };
+        print_expr(&logical_to_oql(&combined))
+    }
+
+    /// The repositories that were unavailable.
+    #[must_use]
+    pub fn unavailable_sources(&self) -> &[String] {
+        &self.stats.unavailable
+    }
+
+    /// Execution statistics.
+    #[must_use]
+    pub fn stats(&self) -> &ExecutionStats {
+        &self.stats
+    }
+}
+
+/// Replaces every `submit` whose call succeeded with its data, both in the
+/// plan and inside aggregate sub-plans carried by scalar expressions.
+#[must_use]
+pub fn substitute_resolved(plan: &LogicalExpr, resolved: &ResolvedExecs) -> LogicalExpr {
+    let replaced = match plan {
+        LogicalExpr::Submit {
+            repository,
+            extent,
+            expr,
+            ..
+        } => {
+            let key = ExecKey::new(repository, extent, expr);
+            match resolved.outcome(&key) {
+                Some(ExecOutcome::Rows(rows)) => return LogicalExpr::Data(rows.clone()),
+                _ => plan.clone(),
+            }
+        }
+        _ => plan.clone(),
+    };
+    // Recurse into children and into scalar sub-plans.
+    let rebuilt = replaced.map_children(&|child| substitute_resolved(child, resolved));
+    match rebuilt {
+        LogicalExpr::Filter { input, predicate } => LogicalExpr::Filter {
+            input,
+            predicate: substitute_in_scalar(&predicate, resolved),
+        },
+        LogicalExpr::MapProject { input, projection } => LogicalExpr::MapProject {
+            input,
+            projection: substitute_in_scalar(&projection, resolved),
+        },
+        LogicalExpr::Join {
+            left,
+            right,
+            predicate,
+        } => LogicalExpr::Join {
+            left,
+            right,
+            predicate: predicate.map(|p| substitute_in_scalar(&p, resolved)),
+        },
+        other => other,
+    }
+}
+
+fn substitute_in_scalar(expr: &ScalarExpr, resolved: &ResolvedExecs) -> ScalarExpr {
+    match expr {
+        ScalarExpr::Agg(kind, plan) => {
+            ScalarExpr::Agg(*kind, Box::new(substitute_resolved(plan, resolved)))
+        }
+        ScalarExpr::Binary { op, left, right } => ScalarExpr::Binary {
+            op: *op,
+            left: Box::new(substitute_in_scalar(left, resolved)),
+            right: Box::new(substitute_in_scalar(right, resolved)),
+        },
+        ScalarExpr::Not(inner) => ScalarExpr::Not(Box::new(substitute_in_scalar(inner, resolved))),
+        ScalarExpr::Field(inner, field) => ScalarExpr::Field(
+            Box::new(substitute_in_scalar(inner, resolved)),
+            field.clone(),
+        ),
+        ScalarExpr::StructLit(fields) => ScalarExpr::StructLit(
+            fields
+                .iter()
+                .map(|(n, e)| (n.clone(), substitute_in_scalar(e, resolved)))
+                .collect(),
+        ),
+        ScalarExpr::Call(name, args) => ScalarExpr::Call(
+            name.clone(),
+            args.iter()
+                .map(|a| substitute_in_scalar(a, resolved))
+                .collect(),
+        ),
+        ScalarExpr::Const(_) | ScalarExpr::Attr(_) | ScalarExpr::Var(_) => expr.clone(),
+    }
+}
+
+/// Returns `true` when the plan contains no remaining source access,
+/// looking inside aggregate sub-plans as well.
+#[must_use]
+pub fn is_fully_resolved(plan: &LogicalExpr) -> bool {
+    fn scalar_resolved(expr: &ScalarExpr) -> bool {
+        match expr {
+            ScalarExpr::Agg(_, plan) => is_fully_resolved(plan),
+            ScalarExpr::Binary { left, right, .. } => scalar_resolved(left) && scalar_resolved(right),
+            ScalarExpr::Not(inner) | ScalarExpr::Field(inner, _) => scalar_resolved(inner),
+            ScalarExpr::StructLit(fields) => fields.iter().all(|(_, e)| scalar_resolved(e)),
+            ScalarExpr::Call(_, args) => args.iter().all(scalar_resolved),
+            ScalarExpr::Const(_) | ScalarExpr::Attr(_) | ScalarExpr::Var(_) => true,
+        }
+    }
+    let structurally = match plan {
+        LogicalExpr::Submit { .. } | LogicalExpr::Get { .. } => false,
+        LogicalExpr::Filter { predicate, .. } => scalar_resolved(predicate),
+        LogicalExpr::MapProject { projection, .. } => scalar_resolved(projection),
+        LogicalExpr::Join {
+            predicate: Some(p), ..
+        } => scalar_resolved(p),
+        _ => true,
+    };
+    structurally && plan.children().iter().all(|c| is_fully_resolved(c))
+}
+
+/// Partially evaluates a substituted plan: every fully resolved subtree is
+/// evaluated to data; unions separate into residual branches plus one data
+/// branch; anything else keeps its unresolved shape.
+///
+/// Returns the data obtained and the residual plan (if any work remains).
+///
+/// # Errors
+///
+/// Returns evaluation errors from the resolved subtrees.
+pub fn partial_evaluate(
+    plan: &LogicalExpr,
+    resolved: &ResolvedExecs,
+) -> Result<(Bag, Option<LogicalExpr>)> {
+    let reduced = reduce(plan, resolved)?;
+    match reduced {
+        LogicalExpr::Data(bag) => Ok((bag, None)),
+        LogicalExpr::Union(items) => {
+            let mut data = Bag::new();
+            let mut residual_items = Vec::new();
+            for item in items {
+                match item {
+                    LogicalExpr::Data(bag) => data.extend(bag),
+                    other => residual_items.push(other),
+                }
+            }
+            let residual = match residual_items.len() {
+                0 => None,
+                1 => Some(residual_items.into_iter().next().expect("one item")),
+                _ => Some(LogicalExpr::Union(residual_items)),
+            };
+            Ok((data, residual))
+        }
+        other => Ok((Bag::new(), Some(other))),
+    }
+}
+
+/// Bottom-up reduction: fully resolved subtrees collapse to `Data`.
+fn reduce(plan: &LogicalExpr, resolved: &ResolvedExecs) -> Result<LogicalExpr> {
+    if is_fully_resolved(plan) {
+        let bag = evaluate_logical(plan, resolved, &StructValue::default())?;
+        return Ok(LogicalExpr::Data(bag));
+    }
+    match plan {
+        LogicalExpr::Union(items) => {
+            let mut reduced_items = Vec::with_capacity(items.len());
+            let mut data = Bag::new();
+            for item in items {
+                match reduce(item, resolved)? {
+                    LogicalExpr::Data(bag) => data.extend(bag),
+                    other => reduced_items.push(other),
+                }
+            }
+            if !data.is_empty() || reduced_items.is_empty() {
+                reduced_items.push(LogicalExpr::Data(data));
+            }
+            Ok(LogicalExpr::Union(reduced_items))
+        }
+        other => {
+            // Reduce children where possible but keep this operator: it
+            // still depends on an unavailable source.  Children are reduced
+            // first (propagating errors), then spliced back in order.
+            let reduced_children: Vec<LogicalExpr> = other
+                .children()
+                .into_iter()
+                .map(|child| reduce(child, resolved))
+                .collect::<Result<_>>()?;
+            let index = std::cell::Cell::new(0usize);
+            let rebuilt = other.map_children(&|_child| {
+                let i = index.get();
+                index.set(i + 1);
+                reduced_children[i].clone()
+            });
+            Ok(rebuilt)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ExecOutcome, SourceCallStats};
+    use disco_algebra::{data_of, ScalarOp};
+    use disco_value::Value;
+
+    fn person(name: &str, salary: i64) -> Value {
+        Value::Struct(
+            StructValue::new(vec![
+                ("name", Value::from(name)),
+                ("salary", Value::Int(salary)),
+            ])
+            .unwrap(),
+        )
+    }
+
+    /// Builds the paper's two-source plan and a resolution where r0 is
+    /// unavailable and r1 answered with Sam.
+    fn paper_scenario() -> (LogicalExpr, ResolvedExecs) {
+        let branch = |extent: &str, repo: &str| {
+            LogicalExpr::get(extent)
+                .submit(repo, "w0", extent)
+                .filter(ScalarExpr::binary(
+                    ScalarOp::Gt,
+                    ScalarExpr::attr("salary"),
+                    ScalarExpr::constant(10i64),
+                ))
+                .bind("y")
+                .map_project(ScalarExpr::var_field("y", "name"))
+        };
+        let plan = LogicalExpr::Union(vec![branch("person0", "r0"), branch("person1", "r1")]);
+        let mut resolved = ResolvedExecs::default();
+        resolved.insert(
+            ExecKey::new("r0", "person0", &LogicalExpr::get("person0")),
+            ExecOutcome::Unavailable,
+            SourceCallStats {
+                repository: "r0".into(),
+                extent: "person0".into(),
+                available: false,
+                rows_returned: 0,
+                rows_scanned: 0,
+                latency: std::time::Duration::ZERO,
+            },
+        );
+        resolved.insert(
+            ExecKey::new("r1", "person1", &LogicalExpr::get("person1")),
+            ExecOutcome::Rows([person("Sam", 50)].into_iter().collect()),
+            SourceCallStats {
+                repository: "r1".into(),
+                extent: "person1".into(),
+                available: true,
+                rows_returned: 1,
+                rows_scanned: 1,
+                latency: std::time::Duration::from_millis(1),
+            },
+        );
+        (plan, resolved)
+    }
+
+    #[test]
+    fn substitution_replaces_only_available_sources() {
+        let (plan, resolved) = paper_scenario();
+        let substituted = substitute_resolved(&plan, &resolved);
+        assert_eq!(substituted.collect_submits().len(), 1);
+        assert!(!is_fully_resolved(&substituted));
+    }
+
+    #[test]
+    fn partial_evaluation_produces_the_paper_partial_answer() {
+        let (plan, resolved) = paper_scenario();
+        let substituted = substitute_resolved(&plan, &resolved);
+        let (data, residual) = partial_evaluate(&substituted, &resolved).unwrap();
+        assert_eq!(data, [Value::from("Sam")].into_iter().collect());
+        let residual = residual.expect("residual query over r0");
+        let text = print_expr(&logical_to_oql(&residual));
+        assert_eq!(
+            text,
+            "select y.name from y in person0 where y.salary > 10"
+        );
+        // The combined answer is the §1.3 form.
+        let answer = Answer::partial(
+            data,
+            residual,
+            ExecutionStats {
+                unavailable: vec!["r0".into()],
+                ..ExecutionStats::default()
+            },
+        );
+        assert!(!answer.is_complete());
+        assert_eq!(
+            answer.as_query_text(),
+            "union(select y.name from y in person0 where y.salary > 10, bag(\"Sam\"))"
+        );
+        assert_eq!(answer.unavailable_sources(), &["r0".to_owned()]);
+    }
+
+    #[test]
+    fn fully_available_plans_collapse_to_data() {
+        let (plan, mut resolved) = {
+            let (plan, _) = paper_scenario();
+            (plan, ResolvedExecs::default())
+        };
+        resolved.insert(
+            ExecKey::new("r0", "person0", &LogicalExpr::get("person0")),
+            ExecOutcome::Rows([person("Mary", 200)].into_iter().collect()),
+            SourceCallStats {
+                repository: "r0".into(),
+                extent: "person0".into(),
+                available: true,
+                rows_returned: 1,
+                rows_scanned: 1,
+                latency: std::time::Duration::ZERO,
+            },
+        );
+        resolved.insert(
+            ExecKey::new("r1", "person1", &LogicalExpr::get("person1")),
+            ExecOutcome::Rows([person("Sam", 50)].into_iter().collect()),
+            SourceCallStats {
+                repository: "r1".into(),
+                extent: "person1".into(),
+                available: true,
+                rows_returned: 1,
+                rows_scanned: 1,
+                latency: std::time::Duration::ZERO,
+            },
+        );
+        let substituted = substitute_resolved(&plan, &resolved);
+        assert!(is_fully_resolved(&substituted));
+        let (data, residual) = partial_evaluate(&substituted, &resolved).unwrap();
+        assert!(residual.is_none());
+        assert_eq!(
+            data,
+            [Value::from("Mary"), Value::from("Sam")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn complete_answers_print_as_data() {
+        let answer = Answer::complete(
+            [Value::from("Mary"), Value::from("Sam")].into_iter().collect(),
+            ExecutionStats::default(),
+        );
+        assert!(answer.is_complete());
+        assert_eq!(answer.as_query_text(), "bag(\"Mary\", \"Sam\")");
+        assert!(answer.residual_oql().is_none());
+    }
+
+    #[test]
+    fn join_touching_unavailable_source_stays_residual() {
+        // A mediator join where one side is unavailable cannot produce data;
+        // the whole join is residual.
+        let left = LogicalExpr::get("person0")
+            .submit("r0", "w0", "person0")
+            .bind("x");
+        let right = LogicalExpr::Data([person("Sam", 50)].into_iter().collect()).bind("y");
+        let plan = LogicalExpr::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            predicate: Some(ScalarExpr::binary(
+                ScalarOp::Eq,
+                ScalarExpr::var_field("x", "name"),
+                ScalarExpr::var_field("y", "name"),
+            )),
+        }
+        .map_project(ScalarExpr::var_field("x", "name"));
+        let resolved = ResolvedExecs::default();
+        let (data, residual) = partial_evaluate(&plan, &resolved).unwrap();
+        assert!(data.is_empty());
+        assert!(residual.is_some());
+    }
+
+    #[test]
+    fn data_only_unions_have_no_residual() {
+        let plan = LogicalExpr::Union(vec![data_of(["a"]), data_of(["b"])]);
+        let (data, residual) = partial_evaluate(&plan, &ResolvedExecs::default()).unwrap();
+        assert_eq!(data.len(), 2);
+        assert!(residual.is_none());
+    }
+}

@@ -1,0 +1,150 @@
+//! A CSV / flat-file data source.
+//!
+//! The paper notes that "the DISCO model can be applied to a variety of
+//! information servers, such as WAIS servers, file systems, specialized
+//! image servers, etc."  The CSV source plays the role of the *file
+//! system* style of source: a header line names the columns, every further
+//! line is a row, and the only native operation is a full scan — its
+//! wrapper therefore advertises a `get`-only capability set.
+
+use disco_value::{StructValue, Value};
+
+use crate::relational::Table;
+use crate::{Result, SourceError};
+
+/// Parses CSV text (first line = header) into a [`Table`].
+///
+/// Values are typed by inference: integers, then floats, then strings.
+/// Empty cells become `null`.
+///
+/// # Errors
+///
+/// Returns [`SourceError::Csv`] when a data line has more fields than the
+/// header, or the text is empty.
+pub fn parse_csv(name: &str, text: &str) -> Result<Table> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(SourceError::Csv {
+        line: 1,
+        message: "empty csv text".into(),
+    })?;
+    let columns: Vec<String> = header.split(',').map(|c| c.trim().to_owned()).collect();
+    if columns.iter().any(String::is_empty) {
+        return Err(SourceError::Csv {
+            line: 1,
+            message: "empty column name in header".into(),
+        });
+    }
+    let mut table = Table::new(name, columns.clone());
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() > columns.len() {
+            return Err(SourceError::Csv {
+                line: idx + 1,
+                message: format!(
+                    "row has {} fields but header declares {}",
+                    cells.len(),
+                    columns.len()
+                ),
+            });
+        }
+        let mut fields = Vec::with_capacity(columns.len());
+        for (i, column) in columns.iter().enumerate() {
+            let raw = cells.get(i).map(|c| c.trim()).unwrap_or("");
+            fields.push((column.clone(), infer_value(raw)));
+        }
+        let row = StructValue::new(fields)?;
+        table.insert(row)?;
+    }
+    Ok(table)
+}
+
+/// A file-backed (here: string-backed) data source holding one CSV table.
+#[derive(Debug, Clone)]
+pub struct CsvSource {
+    table: Table,
+}
+
+impl CsvSource {
+    /// Parses the CSV text into a source.
+    ///
+    /// # Errors
+    ///
+    /// See [`parse_csv`].
+    pub fn from_text(name: &str, text: &str) -> Result<CsvSource> {
+        Ok(CsvSource {
+            table: parse_csv(name, text)?,
+        })
+    }
+
+    /// The parsed table.
+    #[must_use]
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Full scan — the only native operation a flat file supports.
+    #[must_use]
+    pub fn scan(&self) -> Vec<StructValue> {
+        self.table.rows().to_vec()
+    }
+}
+
+fn infer_value(raw: &str) -> Value {
+    if raw.is_empty() {
+        return Value::Null;
+    }
+    if let Ok(i) = raw.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        return Value::Float(f);
+    }
+    match raw {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        other => Value::Str(other.to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WATER_CSV: &str = "site,ph,turbidity,flag\nseine-01,7.2,3,true\nseine-02,6.9,5,false\nloire-01,,2,true\n";
+
+    #[test]
+    fn parses_header_and_rows_with_type_inference() {
+        let source = CsvSource::from_text("measurements", WATER_CSV).unwrap();
+        let rows = source.scan();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].field("site").unwrap(), &Value::from("seine-01"));
+        assert_eq!(rows[0].field("ph").unwrap(), &Value::Float(7.2));
+        assert_eq!(rows[0].field("turbidity").unwrap(), &Value::Int(3));
+        assert_eq!(rows[0].field("flag").unwrap(), &Value::Bool(true));
+        assert_eq!(rows[2].field("ph").unwrap(), &Value::Null);
+        assert_eq!(source.table().columns().len(), 4);
+    }
+
+    #[test]
+    fn short_rows_pad_with_null_and_long_rows_error() {
+        let t = parse_csv("t", "a,b\n1\n").unwrap();
+        assert_eq!(t.rows()[0].field("b").unwrap(), &Value::Null);
+        let err = parse_csv("t", "a,b\n1,2,3\n").unwrap_err();
+        assert!(matches!(err, SourceError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn empty_text_and_bad_header_error() {
+        assert!(parse_csv("t", "").is_err());
+        assert!(parse_csv("t", "a,,c\n").is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let t = parse_csv("t", "a\n1\n\n2\n").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! A keyword-searchable document source (a WAIS-style information server).
+//!
+//! This source is schema-poor on purpose: its only native operation is a
+//! keyword search returning matching documents.  Its wrapper advertises
+//! `get` plus a restricted `select` (equality on the `keyword`
+//! pseudo-attribute), exercising DISCO's handling of "servers which have a
+//! less powerful query capability".
+
+use disco_value::{StructValue, Value};
+use serde::{Deserialize, Serialize};
+
+/// One document in the store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Document {
+    /// Stable identifier.
+    pub id: i64,
+    /// Title.
+    pub title: String,
+    /// Body text.
+    pub body: String,
+    /// Indexed keywords.
+    pub keywords: Vec<String>,
+}
+
+impl Document {
+    /// Creates a document.
+    pub fn new(id: i64, title: impl Into<String>, body: impl Into<String>) -> Self {
+        Document {
+            id,
+            title: title.into(),
+            body: body.into(),
+            keywords: Vec::new(),
+        }
+    }
+
+    /// Adds an indexed keyword.
+    #[must_use]
+    pub fn with_keyword(mut self, keyword: impl Into<String>) -> Self {
+        self.keywords.push(keyword.into());
+        self
+    }
+
+    /// Renders the document as the tuple its wrapper exposes to the
+    /// mediator (`id`, `title`, `body`, `keyword` = comma-joined keywords).
+    #[must_use]
+    pub fn to_row(&self) -> StructValue {
+        StructValue::new(vec![
+            ("id", Value::Int(self.id)),
+            ("title", Value::Str(self.title.clone())),
+            ("body", Value::Str(self.body.clone())),
+            ("keyword", Value::Str(self.keywords.join(","))),
+        ])
+        .expect("distinct fields")
+    }
+}
+
+/// A keyword-indexed document collection.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DocumentStore {
+    documents: Vec<Document>,
+}
+
+impl DocumentStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        DocumentStore::default()
+    }
+
+    /// Adds a document.
+    pub fn add(&mut self, document: Document) {
+        self.documents.push(document);
+    }
+
+    /// Number of documents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Returns `true` when the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Full scan: every document as a row.
+    #[must_use]
+    pub fn scan(&self) -> Vec<StructValue> {
+        self.documents.iter().map(Document::to_row).collect()
+    }
+
+    /// Native keyword search: documents whose keyword list or title
+    /// contains `keyword` (case-insensitive).
+    #[must_use]
+    pub fn search(&self, keyword: &str) -> Vec<StructValue> {
+        let needle = keyword.to_ascii_lowercase();
+        self.documents
+            .iter()
+            .filter(|d| {
+                d.keywords
+                    .iter()
+                    .any(|k| k.to_ascii_lowercase() == needle)
+                    || d.title.to_ascii_lowercase().contains(&needle)
+            })
+            .map(Document::to_row)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> DocumentStore {
+        let mut s = DocumentStore::new();
+        s.add(
+            Document::new(1, "Water quality in the Seine", "ph and turbidity readings")
+                .with_keyword("water")
+                .with_keyword("seine"),
+        );
+        s.add(
+            Document::new(2, "Staff salaries 1995", "annual salary report")
+                .with_keyword("salary"),
+        );
+        s
+    }
+
+    #[test]
+    fn scan_exposes_rows_with_schema() {
+        let rows = store().scan();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].field("id").unwrap(), &Value::Int(1));
+        assert!(rows[0].field("keyword").unwrap().as_str().unwrap().contains("water"));
+    }
+
+    #[test]
+    fn keyword_search_matches_keywords_and_titles() {
+        let s = store();
+        assert_eq!(s.search("water").len(), 1);
+        assert_eq!(s.search("SALARY").len(), 1);
+        assert_eq!(s.search("salaries").len(), 1, "title substring match");
+        assert_eq!(s.search("nothing").len(), 0);
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = DocumentStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.scan().is_empty());
+    }
+}

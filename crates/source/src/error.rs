@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Errors produced by simulated data sources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// The named table / collection does not exist in the store.
+    UnknownTable(String),
+    /// A row was inserted with a column the table does not declare.
+    UnknownColumn {
+        /// Table name.
+        table: String,
+        /// Offending column.
+        column: String,
+    },
+    /// CSV text could not be parsed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The source (or the simulated network path to it) is unavailable.
+    Unavailable {
+        /// The repository / endpoint name.
+        endpoint: String,
+    },
+    /// A value-level error.
+    Value(disco_value::ValueError),
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            SourceError::UnknownColumn { table, column } => {
+                write!(f, "table {table} has no column {column}")
+            }
+            SourceError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            SourceError::Unavailable { endpoint } => write!(f, "data source unavailable: {endpoint}"),
+            SourceError::Value(err) => write!(f, "value error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SourceError::Value(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<disco_value::ValueError> for SourceError {
+    fn from(err: disco_value::ValueError) -> Self {
+        SourceError::Value(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            SourceError::UnknownTable("person0".into()).to_string(),
+            "unknown table: person0"
+        );
+        assert_eq!(
+            SourceError::Unavailable {
+                endpoint: "r0".into()
+            }
+            .to_string(),
+            "data source unavailable: r0"
+        );
+    }
+}

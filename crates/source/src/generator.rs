@@ -1,0 +1,219 @@
+//! Deterministic synthetic-data generators for the workloads the paper
+//! motivates.
+//!
+//! * `person` / `student` relations — the running example of §1–§2,
+//! * `employee` / `manager` relations — the join-pushdown example of §3.2,
+//! * water-quality measurement relations — the environmental target
+//!   application of §1 ("multiple databases, distributed geographically,
+//!   contain measurements of water quality … all of these measurements have
+//!   the same type"),
+//! * keyword documents — the WAIS-style sources mentioned in §2.2.
+//!
+//! All generators are seeded so experiments are reproducible.
+
+use disco_value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::document::{Document, DocumentStore};
+use crate::relational::Table;
+
+const FIRST_NAMES: &[&str] = &[
+    "Mary", "Sam", "Anthony", "Louiqa", "Patrick", "Daniela", "Olga", "Nicolas", "Catherine",
+    "Eric", "Yannis", "Peter", "Victor", "Alexandre", "Sophie", "Jean", "Claire", "Michel",
+    "Isabelle", "Marc",
+];
+
+const SITES: &[&str] = &[
+    "seine", "loire", "rhone", "garonne", "dordogne", "marne", "oise", "somme", "vilaine",
+    "charente",
+];
+
+/// Generates a `person`-typed table (`name`, `salary`, `id`) with `rows`
+/// rows.  `source_index` offsets ids so different sources hold different
+/// (but overlapping-by-construction) people.
+#[must_use]
+pub fn person_table(name: &str, rows: usize, source_index: u64, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed ^ (source_index.wrapping_mul(0x9E37_79B9)));
+    let mut table = Table::new(name, ["id", "name", "salary"]);
+    for i in 0..rows {
+        let id = i as i64;
+        let person_name = format!(
+            "{}-{}",
+            FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+            source_index * 1_000_000 + i as u64
+        );
+        let salary = rng.gen_range(0..500i64);
+        table
+            .insert_values([
+                ("id", Value::Int(id)),
+                ("name", Value::Str(person_name)),
+                ("salary", Value::Int(salary)),
+            ])
+            .expect("columns match");
+    }
+    table
+}
+
+/// Generates an `employee` table (`name`, `dept`, `salary`).
+#[must_use]
+pub fn employee_table(name: &str, rows: usize, departments: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = Table::new(name, ["id", "name", "dept", "salary"]);
+    for i in 0..rows {
+        table
+            .insert_values([
+                ("id", Value::Int(i as i64)),
+                (
+                    "name",
+                    Value::Str(format!(
+                        "{}-{}",
+                        FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+                        i
+                    )),
+                ),
+                ("dept", Value::Int(rng.gen_range(0..departments.max(1) as i64))),
+                ("salary", Value::Int(rng.gen_range(100..900i64))),
+            ])
+            .expect("columns match");
+    }
+    table
+}
+
+/// Generates a `manager` table (`name`, `dept`) with one manager per
+/// department.
+#[must_use]
+pub fn manager_table(name: &str, departments: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = Table::new(name, ["name", "dept"]);
+    for dept in 0..departments {
+        table
+            .insert_values([
+                (
+                    "name",
+                    Value::Str(format!(
+                        "mgr-{}-{}",
+                        FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+                        dept
+                    )),
+                ),
+                ("dept", Value::Int(dept as i64)),
+            ])
+            .expect("columns match");
+    }
+    table
+}
+
+/// Generates a water-quality measurement table
+/// (`site`, `day`, `ph`, `turbidity`, `dissolved_oxygen`) — the paper's
+/// environmental application.  Each geographically distributed source
+/// measures one site; all sources share the same type, which is exactly
+/// the situation DISCO's multi-extent interfaces are designed for.
+#[must_use]
+pub fn water_quality_table(name: &str, site_index: usize, days: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed ^ (site_index as u64).wrapping_mul(0x85EB_CA6B));
+    let site = format!(
+        "{}-{:02}",
+        SITES[site_index % SITES.len()],
+        site_index / SITES.len() + 1
+    );
+    let mut table = Table::new(
+        name,
+        ["site", "day", "ph", "turbidity", "dissolved_oxygen"],
+    );
+    for day in 0..days {
+        let ph: f64 = 6.5 + rng.gen_range(0.0..2.0);
+        let turbidity = rng.gen_range(0..40i64);
+        let oxygen: f64 = 5.0 + rng.gen_range(0.0..7.0);
+        table
+            .insert_values([
+                ("site", Value::Str(site.clone())),
+                ("day", Value::Int(day as i64)),
+                ("ph", Value::Float((ph * 100.0).round() / 100.0)),
+                ("turbidity", Value::Int(turbidity)),
+                (
+                    "dissolved_oxygen",
+                    Value::Float((oxygen * 100.0).round() / 100.0),
+                ),
+            ])
+            .expect("columns match");
+    }
+    table
+}
+
+/// Generates a keyword-document store with `count` documents.
+#[must_use]
+pub fn document_store(count: usize, seed: u64) -> DocumentStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topics = ["water", "salary", "pollution", "schema", "mediator", "wrapper"];
+    let mut store = DocumentStore::new();
+    for i in 0..count {
+        let topic = topics[rng.gen_range(0..topics.len())];
+        let doc = Document::new(
+            i as i64,
+            format!("Report {i} on {topic}"),
+            format!("Synthetic body text about {topic} number {i}."),
+        )
+        .with_keyword(topic)
+        .with_keyword(format!("report-{}", i % 7));
+        store.add(doc);
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn person_tables_are_deterministic_and_sized() {
+        let a = person_table("person0", 50, 0, 7);
+        let b = person_table("person0", 50, 0, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a.columns(), &["id", "name", "salary"]);
+        // Different source index ⇒ different contents.
+        let c = person_table("person1", 50, 1, 7);
+        assert_ne!(a.rows()[0], c.rows()[0]);
+    }
+
+    #[test]
+    fn employees_reference_valid_departments_and_managers_cover_them() {
+        let employees = employee_table("employee0", 200, 8, 3);
+        let managers = manager_table("manager0", 8, 3);
+        assert_eq!(managers.len(), 8);
+        for row in employees.rows() {
+            let dept = row.field("dept").unwrap().as_int().unwrap();
+            assert!((0..8).contains(&dept));
+        }
+    }
+
+    #[test]
+    fn water_quality_measurements_are_plausible() {
+        let t = water_quality_table("m0", 3, 30, 11);
+        assert_eq!(t.len(), 30);
+        for row in t.rows() {
+            let ph = row.field("ph").unwrap().as_float().unwrap();
+            assert!((6.0..9.0).contains(&ph), "ph out of range: {ph}");
+            let site = row.field("site").unwrap().as_str().unwrap().to_owned();
+            assert!(site.starts_with("garonne"));
+        }
+    }
+
+    #[test]
+    fn distinct_sites_for_distinct_source_indexes() {
+        let a = water_quality_table("m0", 0, 1, 5);
+        let b = water_quality_table("m1", 1, 1, 5);
+        assert_ne!(
+            a.rows()[0].field("site").unwrap(),
+            b.rows()[0].field("site").unwrap()
+        );
+    }
+
+    #[test]
+    fn document_store_generation() {
+        let docs = document_store(25, 9);
+        assert_eq!(docs.len(), 25);
+        assert!(!docs.search("water").is_empty() || !docs.search("salary").is_empty());
+    }
+}

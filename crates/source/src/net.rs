@@ -1,0 +1,283 @@
+//! Simulated network path to a data source.
+//!
+//! DISCO targets a wide-area environment where "it is likely that some of
+//! the data sources will be unavailable" (§4) and where per-source access
+//! cost varies widely (§3.3).  The real paper ran against remote servers;
+//! this reproduction substitutes a deterministic simulator: every
+//! repository gets a [`NetworkProfile`] describing its availability and
+//! latency, and the wrapper consults the profile before answering.
+//!
+//! The simulator produces both *simulated* costs (returned as numbers, fed
+//! to the calibrating cost model) and, optionally, *real* delays (short
+//! sleeps) so that the runtime's deadline-based partial evaluation is
+//! exercised with genuine wall-clock behaviour.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Availability state of a simulated source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Availability {
+    /// The source answers normally.
+    Available,
+    /// The source does not answer at all (calls block until the deadline).
+    Unavailable,
+    /// The source answers, but only after an extra fixed delay — useful for
+    /// deadline-boundary experiments.
+    Slow {
+        /// Extra delay in milliseconds.
+        extra_ms: u64,
+    },
+}
+
+/// The latency/availability profile of the path to one repository.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkProfile {
+    /// Fixed per-call latency in microseconds.
+    pub base_latency_us: u64,
+    /// Additional latency per row transferred, in microseconds.
+    pub per_row_us: u64,
+    /// Relative jitter (0.0–1.0) applied to the total latency.
+    pub jitter: f64,
+    /// Availability state.
+    pub availability: Availability,
+    /// When `true`, [`SimulatedLink::call_delay`] actually sleeps; when
+    /// `false` it only reports the simulated duration.
+    pub real_sleep: bool,
+}
+
+impl Default for NetworkProfile {
+    fn default() -> Self {
+        NetworkProfile {
+            base_latency_us: 500,
+            per_row_us: 5,
+            jitter: 0.1,
+            availability: Availability::Available,
+            real_sleep: false,
+        }
+    }
+}
+
+impl NetworkProfile {
+    /// A fast, local-area profile.
+    #[must_use]
+    pub fn fast() -> Self {
+        NetworkProfile {
+            base_latency_us: 100,
+            per_row_us: 1,
+            ..NetworkProfile::default()
+        }
+    }
+
+    /// A slow, wide-area profile.
+    #[must_use]
+    pub fn wide_area() -> Self {
+        NetworkProfile {
+            base_latency_us: 20_000,
+            per_row_us: 50,
+            ..NetworkProfile::default()
+        }
+    }
+
+    /// Marks the source unavailable.
+    #[must_use]
+    pub fn unavailable() -> Self {
+        NetworkProfile {
+            availability: Availability::Unavailable,
+            ..NetworkProfile::default()
+        }
+    }
+
+    /// Sets the availability state.
+    #[must_use]
+    pub fn with_availability(mut self, availability: Availability) -> Self {
+        self.availability = availability;
+        self
+    }
+
+    /// Enables real sleeping for wall-clock experiments.
+    #[must_use]
+    pub fn with_real_sleep(mut self, real_sleep: bool) -> Self {
+        self.real_sleep = real_sleep;
+        self
+    }
+}
+
+/// The simulated link to one repository.
+///
+/// Thread-safe: `exec` calls run in parallel.
+#[derive(Debug)]
+pub struct SimulatedLink {
+    endpoint: String,
+    profile: Mutex<NetworkProfile>,
+    rng: Mutex<StdRng>,
+    calls: Mutex<u64>,
+}
+
+impl SimulatedLink {
+    /// Creates a link with a deterministic jitter seed.
+    pub fn new(endpoint: impl Into<String>, profile: NetworkProfile, seed: u64) -> Self {
+        SimulatedLink {
+            endpoint: endpoint.into(),
+            profile: Mutex::new(profile),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            calls: Mutex::new(0),
+        }
+    }
+
+    /// The endpoint (repository) name.
+    #[must_use]
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Replaces the profile (e.g. to fail or recover a source mid-test).
+    pub fn set_profile(&self, profile: NetworkProfile) {
+        *self.profile.lock() = profile;
+    }
+
+    /// Changes only the availability state.
+    pub fn set_availability(&self, availability: Availability) {
+        self.profile.lock().availability = availability;
+    }
+
+    /// The current availability state.
+    #[must_use]
+    pub fn availability(&self) -> Availability {
+        self.profile.lock().availability
+    }
+
+    /// Returns `true` when the source currently answers.
+    #[must_use]
+    pub fn is_available(&self) -> bool {
+        !matches!(self.profile.lock().availability, Availability::Unavailable)
+    }
+
+    /// Number of calls made over this link.
+    #[must_use]
+    pub fn call_count(&self) -> u64 {
+        *self.calls.lock()
+    }
+
+    /// Simulates one call transferring `rows` rows: returns the simulated
+    /// latency, sleeping for it when the profile asks for real sleeps.
+    ///
+    /// Returns `None` when the source is unavailable (the caller decides
+    /// whether to block, error, or mark the source unavailable for partial
+    /// evaluation).
+    #[must_use]
+    pub fn call_delay(&self, rows: usize) -> Option<Duration> {
+        let profile = self.profile.lock().clone();
+        *self.calls.lock() += 1;
+        match profile.availability {
+            Availability::Unavailable => None,
+            Availability::Available | Availability::Slow { .. } => {
+                let extra_ms = match profile.availability {
+                    Availability::Slow { extra_ms } => extra_ms,
+                    _ => 0,
+                };
+                let raw_us = profile.base_latency_us as f64
+                    + profile.per_row_us as f64 * rows as f64
+                    + extra_ms as f64 * 1000.0;
+                let jitter_factor = if profile.jitter > 0.0 {
+                    let j: f64 = self.rng.lock().gen_range(-profile.jitter..=profile.jitter);
+                    1.0 + j
+                } else {
+                    1.0
+                };
+                let us = (raw_us * jitter_factor).max(0.0);
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let duration = Duration::from_micros(us as u64);
+                if profile.real_sleep {
+                    std::thread::sleep(duration);
+                }
+                Some(duration)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn available_links_report_latency_scaling_with_rows() {
+        let link = SimulatedLink::new(
+            "r0",
+            NetworkProfile {
+                base_latency_us: 1000,
+                per_row_us: 10,
+                jitter: 0.0,
+                availability: Availability::Available,
+                real_sleep: false,
+            },
+            42,
+        );
+        let small = link.call_delay(10).unwrap();
+        let large = link.call_delay(10_000).unwrap();
+        assert!(large > small);
+        assert_eq!(small, Duration::from_micros(1000 + 100));
+        assert_eq!(link.call_count(), 2);
+    }
+
+    #[test]
+    fn unavailable_links_return_none() {
+        let link = SimulatedLink::new("r0", NetworkProfile::unavailable(), 1);
+        assert!(!link.is_available());
+        assert!(link.call_delay(5).is_none());
+        // Recovery.
+        link.set_availability(Availability::Available);
+        assert!(link.is_available());
+        assert!(link.call_delay(5).is_some());
+    }
+
+    #[test]
+    fn slow_links_add_extra_delay() {
+        let mk = |availability| {
+            SimulatedLink::new(
+                "r0",
+                NetworkProfile {
+                    base_latency_us: 100,
+                    per_row_us: 0,
+                    jitter: 0.0,
+                    availability,
+                    real_sleep: false,
+                },
+                7,
+            )
+        };
+        let normal = mk(Availability::Available).call_delay(1).unwrap();
+        let slow = mk(Availability::Slow { extra_ms: 5 }).call_delay(1).unwrap();
+        assert!(slow >= normal + Duration::from_millis(5));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_for_a_seed() {
+        let a = SimulatedLink::new("r0", NetworkProfile::default(), 99);
+        let b = SimulatedLink::new("r0", NetworkProfile::default(), 99);
+        assert_eq!(a.call_delay(100), b.call_delay(100));
+    }
+
+    #[test]
+    fn real_sleep_actually_sleeps() {
+        let link = SimulatedLink::new(
+            "r0",
+            NetworkProfile {
+                base_latency_us: 2000,
+                per_row_us: 0,
+                jitter: 0.0,
+                availability: Availability::Available,
+                real_sleep: true,
+            },
+            3,
+        );
+        let start = std::time::Instant::now();
+        let _ = link.call_delay(1);
+        assert!(start.elapsed() >= Duration::from_micros(1500));
+    }
+}

@@ -1,0 +1,242 @@
+//! A small in-memory relational store — the stand-in for the remote
+//! relational DBMSs (the paper's `WrapperPostgres` targets).
+//!
+//! The store is deliberately simple: named tables with declared columns and
+//! rows of [`StructValue`]s.  The DISCO wrapper evaluates pushed algebra
+//! expressions against it; the store itself only offers scans and simple
+//! native filters, which is all a wrapper needs.
+
+use std::collections::BTreeMap;
+
+use disco_value::{StructValue, Value};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, SourceError};
+
+/// One relation: declared columns plus rows.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<StructValue>,
+}
+
+impl Table {
+    /// Creates an empty table with declared columns.
+    pub fn new<I, S>(name: impl Into<String>, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            name: name.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared columns, in order.
+    #[must_use]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a row.  Missing declared columns are filled with `null`;
+    /// undeclared columns are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SourceError::UnknownColumn`] if the row has a field the
+    /// table does not declare.
+    pub fn insert(&mut self, row: StructValue) -> Result<()> {
+        for (field, _) in row.iter() {
+            if !self.columns.iter().any(|c| c == field) {
+                return Err(SourceError::UnknownColumn {
+                    table: self.name.clone(),
+                    column: field.to_owned(),
+                });
+            }
+        }
+        let mut complete = Vec::with_capacity(self.columns.len());
+        for column in &self.columns {
+            let value = row.field(column).cloned().unwrap_or(Value::Null);
+            complete.push((column.clone(), value));
+        }
+        self.rows
+            .push(StructValue::new(complete).expect("columns are unique"));
+        Ok(())
+    }
+
+    /// Inserts a row built from `(column, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Table::insert`], plus duplicate-field errors.
+    pub fn insert_values<N, I>(&mut self, values: I) -> Result<()>
+    where
+        N: Into<String>,
+        I: IntoIterator<Item = (N, Value)>,
+    {
+        let row = StructValue::new(values)?;
+        self.insert(row)
+    }
+
+    /// The rows, in insertion order.
+    #[must_use]
+    pub fn rows(&self) -> &[StructValue] {
+        &self.rows
+    }
+
+    /// Total number of scalar cells (rows × columns) — a proxy for data
+    /// volume used by the cost experiments.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.rows.len() * self.columns.len()
+    }
+}
+
+/// A collection of tables behind one repository address.
+///
+/// Thread-safe: the runtime issues `exec` calls in parallel (§4), so
+/// wrappers may scan concurrently.
+#[derive(Debug, Default)]
+pub struct RelationalStore {
+    tables: RwLock<BTreeMap<String, Table>>,
+}
+
+impl RelationalStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        RelationalStore::default()
+    }
+
+    /// Creates or replaces a table.
+    pub fn put_table(&self, table: Table) {
+        self.tables.write().insert(table.name().to_owned(), table);
+    }
+
+    /// Returns a clone of the named table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SourceError::UnknownTable`] when absent.
+    pub fn table(&self, name: &str) -> Result<Table> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SourceError::UnknownTable(name.to_owned()))
+    }
+
+    /// Scans all rows of a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SourceError::UnknownTable`] when absent.
+    pub fn scan(&self, name: &str) -> Result<Vec<StructValue>> {
+        Ok(self.table(name)?.rows().to_vec())
+    }
+
+    /// Inserts a row into an existing table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SourceError::UnknownTable`] or [`SourceError::UnknownColumn`].
+    pub fn insert(&self, table: &str, row: StructValue) -> Result<()> {
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(table)
+            .ok_or_else(|| SourceError::UnknownTable(table.to_owned()))?;
+        t.insert(row)
+    }
+
+    /// The table names, sorted.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Number of rows in a table (0 when the table is unknown).
+    #[must_use]
+    pub fn row_count(&self, table: &str) -> usize {
+        self.tables.read().get(table).map_or(0, Table::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person_table() -> Table {
+        let mut t = Table::new("person0", ["name", "salary"]);
+        t.insert_values([("name", Value::from("Mary")), ("salary", Value::Int(200))])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let store = RelationalStore::new();
+        store.put_table(person_table());
+        let rows = store.scan("person0").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].field("name").unwrap(), &Value::from("Mary"));
+        assert!(store.scan("missing").is_err());
+    }
+
+    #[test]
+    fn missing_columns_become_null_and_unknown_columns_are_rejected() {
+        let mut t = Table::new("t", ["a", "b"]);
+        t.insert_values([("a", Value::Int(1))]).unwrap();
+        assert_eq!(t.rows()[0].field("b").unwrap(), &Value::Null);
+        let err = t
+            .insert_values([("z", Value::Int(1))])
+            .unwrap_err();
+        assert!(matches!(err, SourceError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn rows_are_normalised_to_declared_column_order() {
+        let mut t = Table::new("t", ["a", "b"]);
+        t.insert_values([("b", Value::Int(2)), ("a", Value::Int(1))])
+            .unwrap();
+        let names: Vec<&str> = t.rows()[0].field_names().collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn store_level_insert_and_counts() {
+        let store = RelationalStore::new();
+        store.put_table(Table::new("t", ["a"]));
+        store
+            .insert("t", StructValue::new(vec![("a", Value::Int(1))]).unwrap())
+            .unwrap();
+        assert_eq!(store.row_count("t"), 1);
+        assert_eq!(store.row_count("missing"), 0);
+        assert_eq!(store.table_names(), vec!["t"]);
+        assert!(store
+            .insert("missing", StructValue::default())
+            .is_err());
+        assert_eq!(store.table("t").unwrap().cell_count(), 1);
+    }
+}

@@ -1,0 +1,265 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Value;
+
+/// An unordered multiset of [`Value`]s — the canonical OQL collection.
+///
+/// The DISCO paper evaluates every query to a bag: the introductory query
+/// returns `Bag("Mary", "Sam")`, and partial answers combine residual
+/// queries with bags of data using bag union ("In DISCO, the union of two
+/// bags is a bag").  `Bag` preserves insertion order internally (useful for
+/// debugging and stable display after [`Bag::sorted`]) but equality is
+/// multiset equality.
+///
+/// # Examples
+///
+/// ```
+/// use disco_value::{Bag, Value};
+///
+/// let r0: Bag = [Value::from("Mary")].into_iter().collect();
+/// let r1: Bag = [Value::from("Sam")].into_iter().collect();
+/// let all = r0.union(&r1);
+/// assert_eq!(all.len(), 2);
+/// assert!(all.contains(&Value::from("Mary")));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Bag {
+    items: Vec<Value>,
+}
+
+impl Bag {
+    /// Creates an empty bag.
+    #[must_use]
+    pub fn new() -> Self {
+        Bag { items: Vec::new() }
+    }
+
+    /// Creates an empty bag with room for `capacity` elements.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Bag {
+            items: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of elements (counting duplicates).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the bag holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Adds one element to the bag.
+    pub fn insert(&mut self, value: Value) {
+        self.items.push(value);
+    }
+
+    /// Number of occurrences of `value` in the bag.
+    #[must_use]
+    pub fn count(&self, value: &Value) -> usize {
+        self.items.iter().filter(|v| *v == value).count()
+    }
+
+    /// Returns `true` if at least one element equals `value`.
+    #[must_use]
+    pub fn contains(&self, value: &Value) -> bool {
+        self.items.iter().any(|v| v == value)
+    }
+
+    /// Iterates over the elements in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.items.iter()
+    }
+
+    /// Bag union: the result contains every element of `self` and `other`,
+    /// with multiplicities added (ODMG bag union semantics).
+    #[must_use]
+    pub fn union(&self, other: &Bag) -> Bag {
+        let mut items = Vec::with_capacity(self.len() + other.len());
+        items.extend(self.items.iter().cloned());
+        items.extend(other.items.iter().cloned());
+        Bag { items }
+    }
+
+    /// Returns a new bag with duplicates removed (OQL `distinct`).
+    #[must_use]
+    pub fn distinct(&self) -> Bag {
+        let mut seen: Vec<&Value> = Vec::new();
+        let mut items = Vec::new();
+        for v in &self.items {
+            if !seen.iter().any(|s| *s == v) {
+                seen.push(v);
+                items.push(v.clone());
+            }
+        }
+        Bag { items }
+    }
+
+    /// Flattens a bag of bags into a single bag (OQL `flatten`).
+    ///
+    /// Non-bag elements are kept as-is, matching the permissive behaviour
+    /// the paper relies on when `flatten` is applied to the meta-extent
+    /// query that collects per-source extents.
+    #[must_use]
+    pub fn flatten(&self) -> Bag {
+        let mut items = Vec::new();
+        for v in &self.items {
+            match v {
+                Value::Bag(inner) => items.extend(inner.items.iter().cloned()),
+                Value::List(inner) => items.extend(inner.iter().cloned()),
+                other => items.push(other.clone()),
+            }
+        }
+        Bag { items }
+    }
+
+    /// Returns the elements sorted by the total value order.
+    ///
+    /// Useful for deterministic assertions and display; the bag itself is
+    /// unordered.
+    #[must_use]
+    pub fn sorted(&self) -> Vec<Value> {
+        let mut v = self.items.clone();
+        v.sort();
+        v
+    }
+
+    /// Consumes the bag and returns its elements in insertion order.
+    #[must_use]
+    pub fn into_values(self) -> Vec<Value> {
+        self.items
+    }
+
+    /// Views the elements as a slice in insertion order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Value] {
+        &self.items
+    }
+}
+
+impl PartialEq for Bag {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        self.sorted() == other.sorted()
+    }
+}
+
+impl Eq for Bag {}
+
+impl FromIterator<Value> for Bag {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Bag {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Value> for Bag {
+    fn extend<T: IntoIterator<Item = Value>>(&mut self, iter: T) {
+        self.items.extend(iter);
+    }
+}
+
+impl IntoIterator for Bag {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bag {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl From<Vec<Value>> for Bag {
+    fn from(items: Vec<Value>) -> Self {
+        Bag { items }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(xs: &[i64]) -> Bag {
+        xs.iter().map(|i| Value::Int(*i)).collect()
+    }
+
+    #[test]
+    fn union_adds_multiplicities() {
+        let a = ints(&[1, 2, 2]);
+        let b = ints(&[2, 3]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 5);
+        assert_eq!(u.count(&Value::Int(2)), 3);
+    }
+
+    #[test]
+    fn union_matches_paper_intro_example() {
+        // person0 yields Mary, person1 yields Sam; union over the two
+        // extents gives Bag("Mary", "Sam").
+        let person0: Bag = [Value::from("Mary")].into_iter().collect();
+        let person1: Bag = [Value::from("Sam")].into_iter().collect();
+        let answer = person0.union(&person1);
+        assert_eq!(
+            answer,
+            [Value::from("Sam"), Value::from("Mary")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn distinct_removes_duplicates_preserving_first_occurrence() {
+        let b = ints(&[3, 1, 3, 2, 1]);
+        let d = b.distinct();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.as_slice()[0], Value::Int(3));
+    }
+
+    #[test]
+    fn flatten_unnests_one_level() {
+        let inner1 = ints(&[1, 2]);
+        let inner2 = ints(&[3]);
+        let nested: Bag = [Value::Bag(inner1), Value::Bag(inner2), Value::Int(9)]
+            .into_iter()
+            .collect();
+        let flat = nested.flatten();
+        assert_eq!(flat, ints(&[1, 2, 3, 9]));
+    }
+
+    #[test]
+    fn equality_is_order_insensitive() {
+        assert_eq!(ints(&[1, 2, 3]), ints(&[3, 2, 1]));
+        assert_ne!(ints(&[1, 2]), ints(&[1, 2, 2]));
+    }
+
+    #[test]
+    fn empty_bag_properties() {
+        let b = Bag::new();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.union(&b), Bag::new());
+        assert_eq!(b.distinct(), Bag::new());
+        assert_eq!(b.flatten(), Bag::new());
+    }
+
+    #[test]
+    fn extend_and_from_vec() {
+        let mut b = Bag::from(vec![Value::Int(1)]);
+        b.extend([Value::Int(2), Value::Int(3)]);
+        assert_eq!(b.len(), 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! `From` conversions into [`Value`] for Rust primitives.
+
+use crate::{Bag, StructValue, Value};
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<StructValue> for Value {
+    fn from(s: StructValue) -> Self {
+        Value::Struct(s)
+    }
+}
+
+impl From<Bag> for Value {
+    fn from(b: Bag) -> Self {
+        Value::Bag(b)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_conversions() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(7i32), Value::Int(7));
+        assert_eq!(Value::from(7u32), Value::Int(7));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::from(String::from("hi")), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn option_conversion_maps_none_to_null() {
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(3i64)), Value::Int(3));
+    }
+
+    #[test]
+    fn collection_conversions() {
+        let b: Bag = [Value::Int(1)].into_iter().collect();
+        assert_eq!(Value::from(b.clone()), Value::Bag(b));
+        assert_eq!(
+            Value::from(vec![Value::Int(1)]),
+            Value::List(vec![Value::Int(1)])
+        );
+        let s = StructValue::new(vec![("a", Value::Int(1))]).unwrap();
+        assert_eq!(Value::from(s.clone()), Value::Struct(s));
+    }
+}

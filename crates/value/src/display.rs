@@ -1,0 +1,135 @@
+//! OQL-style display of values.
+//!
+//! Values print in the notation used by the paper's examples:
+//! `Bag("Mary", "Sam")`, `struct(name: "Mary", salary: 200)`, string
+//! literals with double quotes.  The output is valid OQL literal syntax so
+//! that data embedded in a partial answer can be re-parsed by
+//! `disco-oql`.
+
+use std::fmt;
+
+use crate::{Bag, StructValue, Value};
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "nil"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    // Keep a trailing ".0" so the literal re-parses as a float.
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "\"{}\"", escape(s)),
+            Value::Struct(s) => write!(f, "{s}"),
+            Value::List(items) => {
+                write!(f, "list(")?;
+                write_joined(f, items.iter())?;
+                write!(f, ")")
+            }
+            Value::Bag(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl fmt::Display for StructValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "struct(")?;
+        let mut first = true;
+        for (name, value) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{name}: {value}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Bag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bag(")?;
+        write_joined(f, self.iter())?;
+        write!(f, ")")
+    }
+}
+
+fn write_joined<'a, I>(f: &mut fmt::Formatter<'_>, items: I) -> fmt::Result
+where
+    I: Iterator<Item = &'a Value>,
+{
+    let mut first = true;
+    for item in items {
+        if !first {
+            write!(f, ", ")?;
+        }
+        first = false;
+        write!(f, "{item}")?;
+    }
+    Ok(())
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            other => vec![other],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bag_of_strings_prints_like_the_paper() {
+        let answer: Bag = [Value::from("Mary"), Value::from("Sam")].into_iter().collect();
+        assert_eq!(answer.to_string(), r#"Bag("Mary", "Sam")"#);
+    }
+
+    #[test]
+    fn struct_prints_in_oql_notation() {
+        let s = Value::new_struct(vec![
+            ("name", Value::from("Mary")),
+            ("salary", Value::Int(200)),
+        ])
+        .unwrap();
+        assert_eq!(s.to_string(), r#"struct(name: "Mary", salary: 200)"#);
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Value::from("a\"b").to_string(), r#""a\"b""#);
+        assert_eq!(Value::from("a\\b").to_string(), r#""a\\b""#);
+    }
+
+    #[test]
+    fn null_and_bool_and_list() {
+        assert_eq!(Value::Null.to_string(), "nil");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "list(1, 2)"
+        );
+    }
+
+    #[test]
+    fn empty_collections_print_nonempty_debug() {
+        assert_eq!(Value::Bag(Bag::new()).to_string(), "Bag()");
+        assert_eq!(format!("{:?}", Bag::new()), "Bag { items: [] }");
+    }
+}

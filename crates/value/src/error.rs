@@ -1,0 +1,85 @@
+use std::fmt;
+
+/// Error produced by value conversions and field access.
+///
+/// # Examples
+///
+/// ```
+/// use disco_value::{Value, ValueError};
+///
+/// let v = Value::from("Mary");
+/// let err = v.as_int().unwrap_err();
+/// assert!(matches!(err, ValueError::TypeMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueError {
+    /// The value had a different runtime type than the one requested.
+    TypeMismatch {
+        /// The type that was requested (e.g. `"int"`).
+        expected: &'static str,
+        /// The type the value actually has (e.g. `"string"`).
+        found: &'static str,
+    },
+    /// A struct field was requested that does not exist.
+    NoSuchField {
+        /// Name of the missing field.
+        field: String,
+    },
+    /// A field access was attempted on a value that is not a struct.
+    NotAStruct {
+        /// The runtime type of the value the access was attempted on.
+        found: &'static str,
+    },
+    /// Two structs being merged define the same field.
+    DuplicateField {
+        /// Name of the duplicated field.
+        field: String,
+    },
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ValueError::NoSuchField { field } => write!(f, "no such field: {field}"),
+            ValueError::NotAStruct { found } => {
+                write!(f, "field access on non-struct value of type {found}")
+            }
+            ValueError::DuplicateField { field } => write!(f, "duplicate field: {field}"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ValueError::TypeMismatch {
+            expected: "int",
+            found: "string",
+        };
+        assert_eq!(e.to_string(), "type mismatch: expected int, found string");
+        let e = ValueError::NoSuchField {
+            field: "salary".into(),
+        };
+        assert_eq!(e.to_string(), "no such field: salary");
+        let e = ValueError::NotAStruct { found: "bag" };
+        assert_eq!(e.to_string(), "field access on non-struct value of type bag");
+        let e = ValueError::DuplicateField {
+            field: "name".into(),
+        };
+        assert_eq!(e.to_string(), "duplicate field: name");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ValueError>();
+    }
+}

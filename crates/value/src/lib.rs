@@ -1,0 +1,47 @@
+//! # disco-value
+//!
+//! Value model for the DISCO heterogeneous-database mediator reproduction.
+//!
+//! The DISCO paper (Tomasic, Raschid, Valduriez, 1995/1996) is built on the
+//! ODMG-93 object model and the OQL query language.  Queries produce *bags*
+//! of values — literals, structs, or nested bags — and, under DISCO's
+//! partial-evaluation semantics, an answer may even embed another query.
+//! This crate provides the runtime representation of such values:
+//!
+//! * [`Value`] — a dynamically typed value (null, bool, int, float, string,
+//!   struct, list, bag),
+//! * [`StructValue`] — an ordered record of named fields, the result of the
+//!   OQL `struct(...)` constructor,
+//! * [`Bag`] — an unordered multiset, the canonical OQL collection, with
+//!   multiset equality and the bag union used throughout the paper
+//!   ("In DISCO, the union of two bags is a bag"),
+//! * [`ValueError`] — error type for conversions and field access.
+//!
+//! # Examples
+//!
+//! ```
+//! use disco_value::{Value, Bag};
+//!
+//! // The answer of the paper's introductory query:
+//! //   select x.name from x in person where x.salary > 10
+//! let answer: Bag = ["Mary", "Sam"].into_iter().map(Value::from).collect();
+//! assert_eq!(answer.len(), 2);
+//! assert_eq!(answer.to_string(), r#"Bag("Mary", "Sam")"#);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bag;
+mod convert;
+mod display;
+mod error;
+mod ord;
+mod value;
+
+pub use bag::Bag;
+pub use error::ValueError;
+pub use value::{StructValue, Value};
+
+/// Convenience result alias for fallible value operations.
+pub type Result<T> = std::result::Result<T, ValueError>;

@@ -1,0 +1,267 @@
+//! Total ordering, equality and hashing for [`Value`].
+//!
+//! DISCO answers are bags; to make test assertions and benchmark output
+//! deterministic we give values a *total* order: variants are ranked, floats
+//! use [`f64::total_cmp`], structs compare as sorted field lists, and bags
+//! compare as sorted multisets.  Equality is consistent with this order.
+
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+
+use crate::{StructValue, Value};
+
+fn variant_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) => 2,
+        Value::Float(_) => 3,
+        Value::Str(_) => 4,
+        Value::Struct(_) => 5,
+        Value::List(_) => 6,
+        Value::Bag(_) => 7,
+    }
+}
+
+fn cmp_numeric(a: &Value, b: &Value) -> Option<Ordering> {
+    let af = match a {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }?;
+    let bf = match b {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }?;
+    Some(af.total_cmp(&bf))
+}
+
+impl Value {
+    /// Compares two values with the total order used for deterministic
+    /// output.  Numeric values of different variants (`Int` vs `Float`)
+    /// compare numerically, matching OQL comparison semantics.
+    #[must_use]
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        if let Some(ord) = cmp_numeric(self, other) {
+            // Numeric cross-variant comparison: 2 == 2.0, as in OQL.
+            return ord;
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Struct(a), Value::Struct(b)) => cmp_struct(a, b),
+            (Value::List(a), Value::List(b)) => cmp_seq(a, b),
+            (Value::Bag(a), Value::Bag(b)) => {
+                let mut av: Vec<&Value> = a.iter().collect();
+                let mut bv: Vec<&Value> = b.iter().collect();
+                av.sort_by(|x, y| x.total_cmp(y));
+                bv.sort_by(|x, y| x.total_cmp(y));
+                cmp_ref_seq(&av, &bv)
+            }
+            _ => variant_rank(self).cmp(&variant_rank(other)),
+        }
+    }
+}
+
+fn cmp_seq(a: &[Value], b: &[Value]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let ord = x.total_cmp(y);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+fn cmp_ref_seq(a: &[&Value], b: &[&Value]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let ord = x.total_cmp(y);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+fn cmp_struct(a: &StructValue, b: &StructValue) -> Ordering {
+    // Compare as name-sorted field lists so that field declaration order
+    // does not affect equality.
+    let mut af: Vec<(&str, &Value)> = a.iter().collect();
+    let mut bf: Vec<(&str, &Value)> = b.iter().collect();
+    af.sort_by(|x, y| x.0.cmp(y.0));
+    bf.sort_by(|x, y| x.0.cmp(y.0));
+    for ((an, av), (bn, bv)) in af.iter().zip(bf.iter()) {
+        let ord = an.cmp(bn);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+        let ord = av.total_cmp(bv);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    af.len().cmp(&bf.len())
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl PartialEq for StructValue {
+    fn eq(&self, other: &Self) -> bool {
+        cmp_struct(self, other) == Ordering::Equal
+    }
+}
+
+impl Eq for StructValue {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and floats that are numerically equal must hash equally
+            // because they compare equal.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+            Value::Struct(s) => {
+                5u8.hash(state);
+                let mut fields: Vec<(&str, &Value)> = s.iter().collect();
+                fields.sort_by(|a, b| a.0.cmp(b.0));
+                for (n, v) in fields {
+                    n.hash(state);
+                    v.hash(state);
+                }
+            }
+            Value::List(l) => {
+                6u8.hash(state);
+                for v in l {
+                    v.hash(state);
+                }
+            }
+            Value::Bag(b) => {
+                7u8.hash(state);
+                let mut items: Vec<&Value> = b.iter().collect();
+                items.sort();
+                for v in items {
+                    v.hash(state);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bag;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn numeric_cross_variant_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_eq!(hash_of(&Value::Int(2)), hash_of(&Value::Float(2.0)));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn struct_equality_ignores_field_order() {
+        let a = Value::new_struct(vec![("x", Value::Int(1)), ("y", Value::Int(2))]).unwrap();
+        let b = Value::new_struct(vec![("y", Value::Int(2)), ("x", Value::Int(1))]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn bag_equality_is_multiset_equality() {
+        let a = Value::Bag(Bag::from_iter([Value::Int(1), Value::Int(2), Value::Int(2)]));
+        let b = Value::Bag(Bag::from_iter([Value::Int(2), Value::Int(1), Value::Int(2)]));
+        let c = Value::Bag(Bag::from_iter([Value::Int(1), Value::Int(2)]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn ordering_is_total_and_antisymmetric_on_samples() {
+        let samples = vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-3),
+            Value::Int(0),
+            Value::Float(0.5),
+            Value::from("a"),
+            Value::from("b"),
+            Value::List(vec![Value::Int(1)]),
+            Value::Bag(Bag::from_iter([Value::Int(1)])),
+            Value::new_struct(vec![("k", Value::Int(1))]).unwrap(),
+        ];
+        for a in &samples {
+            for b in &samples {
+                let ab = a.total_cmp(b);
+                let ba = b.total_cmp(a);
+                assert_eq!(ab, ba.reverse(), "antisymmetry violated for {a:?} vs {b:?}");
+                if ab == Ordering::Equal {
+                    assert_eq!(hash_of(a), hash_of(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_has_a_defined_position() {
+        let nan = Value::Float(f64::NAN);
+        // total_cmp puts NaN after all finite numbers; what matters is that
+        // the comparison is stable and equality is reflexive.
+        assert_eq!(nan, nan.clone());
+        assert!(Value::Float(1.0) < nan);
+    }
+
+    #[test]
+    fn lists_compare_lexicographically() {
+        let a = Value::List(vec![Value::Int(1), Value::Int(2)]);
+        let b = Value::List(vec![Value::Int(1), Value::Int(3)]);
+        let c = Value::List(vec![Value::Int(1)]);
+        assert!(a < b);
+        assert!(c < a);
+    }
+}

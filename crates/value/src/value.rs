@@ -1,0 +1,504 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Bag, Result, ValueError};
+
+/// A dynamically typed runtime value in the DISCO mediator.
+///
+/// `Value` is the common currency exchanged between data sources, wrappers,
+/// the mediator run-time system and applications.  It covers the literal
+/// types of the paper's examples (`String name`, `Short salary`), the OQL
+/// `struct(...)` constructor, lists, and bags (the canonical OQL
+/// collection).
+///
+/// Ordering and equality are total: floats are compared with
+/// [`f64::total_cmp`], bags with multiset semantics, and values of distinct
+/// variants are ordered by variant rank.  This makes query output
+/// deterministic, which the test-suite and benchmark harness rely on.
+///
+/// # Examples
+///
+/// ```
+/// use disco_value::Value;
+///
+/// let mary = Value::new_struct(vec![
+///     ("name", Value::from("Mary")),
+///     ("salary", Value::from(200i64)),
+/// ]).unwrap();
+/// assert_eq!(mary.field("salary").unwrap(), &Value::Int(200));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// The absence of a value (SQL `NULL` / OQL `nil`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.  The paper's `Short` attributes map here.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// An ordered record of named fields (`struct(name: ..., salary: ...)`).
+    Struct(StructValue),
+    /// An ordered list of values.
+    List(Vec<Value>),
+    /// An unordered multiset of values (`Bag(...)`).
+    Bag(Bag),
+}
+
+impl Value {
+    /// Builds a struct value from `(name, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError::DuplicateField`] if the same field name appears
+    /// twice.
+    pub fn new_struct<N, I>(fields: I) -> Result<Self>
+    where
+        N: Into<String>,
+        I: IntoIterator<Item = (N, Value)>,
+    {
+        Ok(Value::Struct(StructValue::new(fields)?))
+    }
+
+    /// The name of this value's runtime type, used in error messages.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Struct(_) => "struct",
+            Value::List(_) => "list",
+            Value::Bag(_) => "bag",
+        }
+    }
+
+    /// Returns `true` if the value is [`Value::Null`].
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Views the value as a bool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError::TypeMismatch`] if the value is not a bool.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(ValueError::TypeMismatch {
+                expected: "bool",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Views the value as an integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError::TypeMismatch`] if the value is not an int.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(ValueError::TypeMismatch {
+                expected: "int",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Views the value as a float, widening integers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError::TypeMismatch`] for non-numeric values.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(x) => Ok(*x),
+            #[allow(clippy::cast_precision_loss)]
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(ValueError::TypeMismatch {
+                expected: "float",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Views the value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError::TypeMismatch`] if the value is not a string.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(ValueError::TypeMismatch {
+                expected: "string",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Views the value as a struct.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError::TypeMismatch`] if the value is not a struct.
+    pub fn as_struct(&self) -> Result<&StructValue> {
+        match self {
+            Value::Struct(s) => Ok(s),
+            other => Err(ValueError::TypeMismatch {
+                expected: "struct",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Views the value as a bag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError::TypeMismatch`] if the value is not a bag.
+    pub fn as_bag(&self) -> Result<&Bag> {
+        match self {
+            Value::Bag(b) => Ok(b),
+            other => Err(ValueError::TypeMismatch {
+                expected: "bag",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Consumes the value and returns the inner bag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError::TypeMismatch`] if the value is not a bag.
+    pub fn into_bag(self) -> Result<Bag> {
+        match self {
+            Value::Bag(b) => Ok(b),
+            other => Err(ValueError::TypeMismatch {
+                expected: "bag",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Accesses a field of a struct value (the OQL path expression `x.name`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError::NotAStruct`] when applied to a non-struct value
+    /// and [`ValueError::NoSuchField`] when the field does not exist.
+    pub fn field(&self, name: &str) -> Result<&Value> {
+        match self {
+            Value::Struct(s) => s.field(name),
+            other => Err(ValueError::NotAStruct {
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Returns `true` when the value is numerically comparable
+    /// (int or float).
+    #[must_use]
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+/// An ordered record of named fields.
+///
+/// Field order is preserved (it is the declaration order of the OQL
+/// `struct(...)` constructor or of the source schema) but does not
+/// participate in equality: two structs are equal when they bind the same
+/// field names to equal values.
+///
+/// # Examples
+///
+/// ```
+/// use disco_value::{StructValue, Value};
+///
+/// let s = StructValue::new(vec![
+///     ("name", Value::from("Sam")),
+///     ("salary", Value::from(50i64)),
+/// ]).unwrap();
+/// assert_eq!(s.field("name").unwrap().as_str().unwrap(), "Sam");
+/// assert_eq!(s.field_names().collect::<Vec<_>>(), vec!["name", "salary"]);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StructValue {
+    fields: Vec<(String, Value)>,
+}
+
+impl StructValue {
+    /// Builds a struct from `(name, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError::DuplicateField`] if a field name repeats.
+    pub fn new<N, I>(fields: I) -> Result<Self>
+    where
+        N: Into<String>,
+        I: IntoIterator<Item = (N, Value)>,
+    {
+        let mut out: Vec<(String, Value)> = Vec::new();
+        for (name, value) in fields {
+            let name = name.into();
+            if out.iter().any(|(n, _)| *n == name) {
+                return Err(ValueError::DuplicateField { field: name });
+            }
+            out.push((name, value));
+        }
+        Ok(StructValue { fields: out })
+    }
+
+    /// Number of fields.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Returns `true` if the struct has no fields.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Looks up a field by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError::NoSuchField`] when the field is absent.
+    pub fn field(&self, name: &str) -> Result<&Value> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| ValueError::NoSuchField { field: name.into() })
+    }
+
+    /// Returns `true` if the struct defines `name`.
+    #[must_use]
+    pub fn has_field(&self, name: &str) -> bool {
+        self.fields.iter().any(|(n, _)| n == name)
+    }
+
+    /// Iterates over `(name, value)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Iterates over field names in declaration order.
+    pub fn field_names(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Produces a new struct containing only `names`, in the order given.
+    ///
+    /// This is the value-level counterpart of the `project` logical
+    /// operator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError::NoSuchField`] if any requested field is absent.
+    pub fn project<'a, I>(&self, names: I) -> Result<StructValue>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut out = Vec::new();
+        for name in names {
+            let v = self.field(name)?.clone();
+            out.push((name.to_owned(), v));
+        }
+        StructValue::new(out)
+    }
+
+    /// Returns a new struct with every field renamed through `rename`.
+    ///
+    /// Fields for which `rename` returns `None` keep their name.  This is
+    /// the value-level counterpart of applying a DISCO *local
+    /// transformation map* to answers coming back from a data source.
+    #[must_use]
+    pub fn rename_fields<F>(&self, mut rename: F) -> StructValue
+    where
+        F: FnMut(&str) -> Option<String>,
+    {
+        let fields = self
+            .fields
+            .iter()
+            .map(|(n, v)| (rename(n).unwrap_or_else(|| n.clone()), v.clone()))
+            .collect();
+        StructValue { fields }
+    }
+
+    /// Merges two structs into one.
+    ///
+    /// This is used by the mediator-side join: the joined tuple carries the
+    /// fields of both inputs.  On a name clash the *right* field is
+    /// prefixed with `prefix` (e.g. the range-variable name), mirroring how
+    /// the paper's examples disambiguate `x.salary` and `y.salary`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError::DuplicateField`] if even the prefixed name
+    /// clashes.
+    pub fn merge_with_prefix(&self, other: &StructValue, prefix: &str) -> Result<StructValue> {
+        let mut fields = self.fields.clone();
+        for (n, v) in &other.fields {
+            let name = if fields.iter().any(|(existing, _)| existing == n) {
+                format!("{prefix}_{n}")
+            } else {
+                n.clone()
+            };
+            if fields.iter().any(|(existing, _)| *existing == name) {
+                return Err(ValueError::DuplicateField { field: name });
+            }
+            fields.push((name, v.clone()));
+        }
+        Ok(StructValue { fields })
+    }
+
+    /// Consumes the struct and returns its fields in declaration order.
+    #[must_use]
+    pub fn into_fields(self) -> Vec<(String, Value)> {
+        self.fields
+    }
+}
+
+impl<'a> IntoIterator for &'a StructValue {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.fields.iter().map(|(n, v)| (n, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn struct_rejects_duplicate_fields() {
+        let err = StructValue::new(vec![("a", Value::Int(1)), ("a", Value::Int(2))]).unwrap_err();
+        assert_eq!(err, ValueError::DuplicateField { field: "a".into() });
+    }
+
+    #[test]
+    fn field_access_matches_paper_example() {
+        let mary = Value::new_struct(vec![
+            ("name", Value::from("Mary")),
+            ("salary", Value::from(200i64)),
+        ])
+        .unwrap();
+        assert_eq!(mary.field("name").unwrap().as_str().unwrap(), "Mary");
+        assert_eq!(mary.field("salary").unwrap().as_int().unwrap(), 200);
+        assert!(matches!(
+            mary.field("age").unwrap_err(),
+            ValueError::NoSuchField { .. }
+        ));
+    }
+
+    #[test]
+    fn field_access_on_non_struct_fails() {
+        let v = Value::from(3i64);
+        assert!(matches!(
+            v.field("x").unwrap_err(),
+            ValueError::NotAStruct { found: "int" }
+        ));
+    }
+
+    #[test]
+    fn projection_preserves_requested_order() {
+        let s = StructValue::new(vec![
+            ("a", Value::Int(1)),
+            ("b", Value::Int(2)),
+            ("c", Value::Int(3)),
+        ])
+        .unwrap();
+        let p = s.project(["c", "a"]).unwrap();
+        assert_eq!(p.field_names().collect::<Vec<_>>(), vec!["c", "a"]);
+    }
+
+    #[test]
+    fn projection_of_missing_field_errors() {
+        let s = StructValue::new(vec![("a", Value::Int(1))]).unwrap();
+        assert!(s.project(["z"]).is_err());
+    }
+
+    #[test]
+    fn rename_fields_applies_map() {
+        // The §2.2.2 map ((name=n),(salary=s)) applied to answers renames
+        // source attributes into mediator attributes.
+        let s = StructValue::new(vec![
+            ("name", Value::from("Mary")),
+            ("salary", Value::Int(200)),
+        ])
+        .unwrap();
+        let renamed = s.rename_fields(|f| match f {
+            "name" => Some("n".into()),
+            "salary" => Some("s".into()),
+            _ => None,
+        });
+        assert!(renamed.has_field("n"));
+        assert!(renamed.has_field("s"));
+        assert!(!renamed.has_field("name"));
+    }
+
+    #[test]
+    fn merge_with_prefix_disambiguates() {
+        let left = StructValue::new(vec![("name", Value::from("Mary")), ("salary", Value::Int(1))])
+            .unwrap();
+        let right =
+            StructValue::new(vec![("name", Value::from("Mary")), ("dept", Value::Int(7))]).unwrap();
+        let merged = left.merge_with_prefix(&right, "y").unwrap();
+        assert!(merged.has_field("name"));
+        assert!(merged.has_field("y_name"));
+        assert!(merged.has_field("dept"));
+        assert_eq!(merged.len(), 4);
+    }
+
+    #[test]
+    fn as_float_widens_int() {
+        assert_eq!(Value::Int(3).as_float().unwrap(), 3.0);
+        assert_eq!(Value::Float(2.5).as_float().unwrap(), 2.5);
+        assert!(Value::from("x").as_float().is_err());
+    }
+
+    #[test]
+    fn type_names_cover_all_variants() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::Bool(true).type_name(), "bool");
+        assert_eq!(Value::Int(1).type_name(), "int");
+        assert_eq!(Value::Float(1.0).type_name(), "float");
+        assert_eq!(Value::from("s").type_name(), "string");
+        assert_eq!(Value::List(vec![]).type_name(), "list");
+        assert_eq!(Value::Bag(Bag::new()).type_name(), "bag");
+        assert_eq!(
+            Value::new_struct(Vec::<(&str, Value)>::new())
+                .unwrap()
+                .type_name(),
+            "struct"
+        );
+    }
+
+    #[test]
+    fn default_value_is_null() {
+        assert!(Value::default().is_null());
+    }
+}

@@ -1,0 +1,146 @@
+//! Wrapper for flat-file (CSV) sources: the file-system style of
+//! information server.  Its only capability is `get` — every operation
+//! beyond a full fetch happens at the mediator.
+
+use std::sync::Arc;
+
+use disco_algebra::{CapabilitySet, LogicalExpr};
+use disco_source::{CsvSource, SimulatedLink};
+use disco_value::Value;
+
+use crate::interface::{Wrapper, WrapperAnswer};
+use crate::WrapperError;
+
+/// A `get`-only wrapper over a [`CsvSource`].
+pub struct CsvWrapper {
+    name: String,
+    source: CsvSource,
+    link: Arc<SimulatedLink>,
+}
+
+impl CsvWrapper {
+    /// Creates the wrapper.
+    pub fn new(name: impl Into<String>, source: CsvSource, link: Arc<SimulatedLink>) -> Self {
+        CsvWrapper {
+            name: name.into(),
+            source,
+            link,
+        }
+    }
+
+    /// The simulated link (for fail/recover injection in tests).
+    #[must_use]
+    pub fn link(&self) -> &Arc<SimulatedLink> {
+        &self.link
+    }
+}
+
+impl std::fmt::Debug for CsvWrapper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsvWrapper")
+            .field("name", &self.name)
+            .field("table", &self.source.table().name())
+            .finish()
+    }
+}
+
+impl Wrapper for CsvWrapper {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> &str {
+        "csv"
+    }
+
+    fn capabilities(&self) -> CapabilitySet {
+        CapabilitySet::get_only()
+    }
+
+    fn submit(&self, expr: &LogicalExpr) -> Result<WrapperAnswer, WrapperError> {
+        self.capabilities()
+            .accepts_named(expr, &self.name)
+            .map_err(WrapperError::Capability)?;
+        let LogicalExpr::Get { collection } = expr else {
+            return Err(WrapperError::Capability(
+                disco_algebra::AlgebraError::CapabilityViolation {
+                    operator: expr.op_name().to_owned(),
+                    wrapper: self.name.clone(),
+                },
+            ));
+        };
+        if collection != self.source.table().name() {
+            return Err(WrapperError::Source(
+                disco_source::SourceError::UnknownTable(collection.clone()),
+            ));
+        }
+        if !self.link.is_available() {
+            return Err(WrapperError::Unavailable {
+                endpoint: self.link.endpoint().to_owned(),
+            });
+        }
+        let rows = self.source.scan();
+        let count = rows.len();
+        let latency = self
+            .link
+            .call_delay(count)
+            .ok_or_else(|| WrapperError::Unavailable {
+                endpoint: self.link.endpoint().to_owned(),
+            })?;
+        Ok(WrapperAnswer {
+            rows: rows.into_iter().map(Value::Struct).collect(),
+            rows_scanned: count,
+            latency,
+        })
+    }
+
+    fn is_available(&self) -> bool {
+        self.link.is_available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_source::{Availability, NetworkProfile};
+
+    const CSV: &str = "site,ph\nseine-01,7.2\nseine-02,6.9\n";
+
+    fn wrapper() -> CsvWrapper {
+        let source = CsvSource::from_text("measurements0", CSV).unwrap();
+        let link = Arc::new(SimulatedLink::new("r_csv", NetworkProfile::fast(), 5));
+        CsvWrapper::new("w_csv", source, link)
+    }
+
+    #[test]
+    fn get_scans_the_whole_file() {
+        let w = wrapper();
+        let answer = w.submit(&LogicalExpr::get("measurements0")).unwrap();
+        assert_eq!(answer.rows_returned(), 2);
+        assert_eq!(answer.rows_scanned, 2);
+        assert_eq!(w.kind(), "csv");
+    }
+
+    #[test]
+    fn any_pushdown_is_rejected() {
+        let w = wrapper();
+        let err = w
+            .submit(&LogicalExpr::get("measurements0").project(["site"]))
+            .unwrap_err();
+        assert!(matches!(err, WrapperError::Capability(_)));
+    }
+
+    #[test]
+    fn wrong_collection_and_unavailability() {
+        let w = wrapper();
+        assert!(matches!(
+            w.submit(&LogicalExpr::get("other")).unwrap_err(),
+            WrapperError::Source(_)
+        ));
+        w.link().set_availability(Availability::Unavailable);
+        assert!(matches!(
+            w.submit(&LogicalExpr::get("measurements0")).unwrap_err(),
+            WrapperError::Unavailable { .. }
+        ));
+    }
+}

@@ -1,0 +1,221 @@
+//! Wrapper for the keyword-document (WAIS-style) source.
+//!
+//! The source's native operation is a keyword lookup, so the wrapper
+//! advertises `get` plus `select` restricted to equality comparisons and
+//! no composition — the "less powerful query capability" servers that the
+//! paper's related-work section says other systems do not handle.
+
+use std::sync::Arc;
+
+use disco_algebra::{
+    AlgebraError, CapabilitySet, ComparisonKind, LogicalExpr, OperatorKind, ScalarExpr, ScalarOp,
+};
+use disco_source::{DocumentStore, SimulatedLink};
+use disco_value::Value;
+
+use crate::interface::{Wrapper, WrapperAnswer};
+use crate::WrapperError;
+
+/// A wrapper over a [`DocumentStore`], supporting `get` and
+/// equality-only `select` (no composition).
+pub struct DocumentWrapper {
+    name: String,
+    store: Arc<DocumentStore>,
+    link: Arc<SimulatedLink>,
+}
+
+impl DocumentWrapper {
+    /// Creates the wrapper.
+    pub fn new(
+        name: impl Into<String>,
+        store: Arc<DocumentStore>,
+        link: Arc<SimulatedLink>,
+    ) -> Self {
+        DocumentWrapper {
+            name: name.into(),
+            store,
+            link,
+        }
+    }
+
+    /// The simulated link.
+    #[must_use]
+    pub fn link(&self) -> &Arc<SimulatedLink> {
+        &self.link
+    }
+
+    fn capability_violation(&self, operator: &str) -> WrapperError {
+        WrapperError::Capability(AlgebraError::CapabilityViolation {
+            operator: operator.to_owned(),
+            wrapper: self.name.clone(),
+        })
+    }
+
+    /// Extracts `attr = "literal"` from a pushed predicate.
+    fn equality_lookup(predicate: &ScalarExpr) -> Option<(String, Value)> {
+        if let ScalarExpr::Binary {
+            op: ScalarOp::Eq,
+            left,
+            right,
+        } = predicate
+        {
+            match (left.as_ref(), right.as_ref()) {
+                (ScalarExpr::Attr(a), ScalarExpr::Const(v))
+                | (ScalarExpr::Const(v), ScalarExpr::Attr(a)) => Some((a.clone(), v.clone())),
+                _ => None,
+            }
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Debug for DocumentWrapper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DocumentWrapper")
+            .field("name", &self.name)
+            .field("documents", &self.store.len())
+            .finish()
+    }
+}
+
+impl Wrapper for DocumentWrapper {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> &str {
+        "document"
+    }
+
+    fn capabilities(&self) -> CapabilitySet {
+        CapabilitySet::new([OperatorKind::Get, OperatorKind::Select])
+            .with_comparisons([ComparisonKind::Eq])
+    }
+
+    fn submit(&self, expr: &LogicalExpr) -> Result<WrapperAnswer, WrapperError> {
+        self.capabilities()
+            .accepts_named(expr, &self.name)
+            .map_err(WrapperError::Capability)?;
+        if !self.link.is_available() {
+            return Err(WrapperError::Unavailable {
+                endpoint: self.link.endpoint().to_owned(),
+            });
+        }
+        let (rows, scanned) = match expr {
+            LogicalExpr::Get { .. } => {
+                let rows = self.store.scan();
+                let n = rows.len();
+                (rows, n)
+            }
+            LogicalExpr::Filter { input, predicate } => {
+                if !matches!(input.as_ref(), LogicalExpr::Get { .. }) {
+                    return Err(self.capability_violation("select over non-get"));
+                }
+                let Some((attr, value)) = Self::equality_lookup(predicate) else {
+                    return Err(self.capability_violation("non-equality predicate"));
+                };
+                if attr == "keyword" {
+                    // Native keyword index: only matching documents are touched.
+                    let keyword = value.as_str().map_err(AlgebraError::from)?.to_owned();
+                    let rows = self.store.search(&keyword);
+                    let n = rows.len();
+                    (rows, n)
+                } else {
+                    // Equality on another attribute: scan then filter.
+                    let all = self.store.scan();
+                    let scanned = all.len();
+                    let rows: Vec<_> = all
+                        .into_iter()
+                        .filter(|row| row.field(&attr).map(|v| v == &value).unwrap_or(false))
+                        .collect();
+                    (rows, scanned)
+                }
+            }
+            other => return Err(self.capability_violation(other.op_name())),
+        };
+        let latency = self
+            .link
+            .call_delay(rows.len())
+            .ok_or_else(|| WrapperError::Unavailable {
+                endpoint: self.link.endpoint().to_owned(),
+            })?;
+        Ok(WrapperAnswer {
+            rows: rows.into_iter().map(Value::Struct).collect(),
+            rows_scanned: scanned,
+            latency,
+        })
+    }
+
+    fn is_available(&self) -> bool {
+        self.link.is_available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_source::{generator, NetworkProfile};
+
+    fn wrapper() -> DocumentWrapper {
+        let store = Arc::new(generator::document_store(40, 3));
+        let link = Arc::new(SimulatedLink::new("r_doc", NetworkProfile::fast(), 9));
+        DocumentWrapper::new("w_doc", store, link)
+    }
+
+    #[test]
+    fn get_scans_every_document() {
+        let w = wrapper();
+        let answer = w.submit(&LogicalExpr::get("documents")).unwrap();
+        assert_eq!(answer.rows_returned(), 40);
+        assert_eq!(w.kind(), "document");
+    }
+
+    #[test]
+    fn keyword_equality_uses_the_native_index() {
+        let w = wrapper();
+        let expr = LogicalExpr::get("documents").filter(ScalarExpr::binary(
+            ScalarOp::Eq,
+            ScalarExpr::attr("keyword"),
+            ScalarExpr::constant("water"),
+        ));
+        let answer = w.submit(&expr).unwrap();
+        assert!(answer.rows_returned() > 0);
+        assert!(answer.rows_returned() < 40);
+        // Native index: rows_scanned equals the number of hits, not the
+        // collection size.
+        assert_eq!(answer.rows_scanned, answer.rows_returned());
+    }
+
+    #[test]
+    fn equality_on_other_attributes_scans_then_filters() {
+        let w = wrapper();
+        let expr = LogicalExpr::get("documents").filter(ScalarExpr::binary(
+            ScalarOp::Eq,
+            ScalarExpr::attr("id"),
+            ScalarExpr::constant(3i64),
+        ));
+        let answer = w.submit(&expr).unwrap();
+        assert_eq!(answer.rows_returned(), 1);
+        assert_eq!(answer.rows_scanned, 40);
+    }
+
+    #[test]
+    fn range_predicates_and_projections_are_rejected() {
+        let w = wrapper();
+        let range = LogicalExpr::get("documents").filter(ScalarExpr::binary(
+            ScalarOp::Gt,
+            ScalarExpr::attr("id"),
+            ScalarExpr::constant(3i64),
+        ));
+        assert!(matches!(
+            w.submit(&range).unwrap_err(),
+            WrapperError::Capability(_)
+        ));
+        let project = LogicalExpr::get("documents").project(["title"]);
+        assert!(matches!(
+            w.submit(&project).unwrap_err(),
+            WrapperError::Capability(_)
+        ));
+    }
+}

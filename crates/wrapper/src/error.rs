@@ -1,0 +1,106 @@
+use std::fmt;
+
+/// Errors produced by wrappers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WrapperError {
+    /// The data source (or the simulated network path to it) did not
+    /// answer.  The runtime turns this into "unavailable" for partial
+    /// evaluation.
+    Unavailable {
+        /// The repository / endpoint name.
+        endpoint: String,
+    },
+    /// The pushed expression uses an operator the wrapper does not support.
+    Capability(disco_algebra::AlgebraError),
+    /// The type of the objects in the data source does not match the
+    /// mediator type (the §2.2.2 run-time error when no map resolves the
+    /// conflict).
+    TypeConflict {
+        /// The extent being accessed.
+        extent: String,
+        /// The attribute the mediator expected but the source rows lack.
+        missing_attribute: String,
+    },
+    /// An error from the underlying simulated source.
+    Source(disco_source::SourceError),
+    /// An evaluation error inside the wrapper.
+    Algebra(disco_algebra::AlgebraError),
+}
+
+impl fmt::Display for WrapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WrapperError::Unavailable { endpoint } => {
+                write!(f, "data source unavailable: {endpoint}")
+            }
+            WrapperError::Capability(err) => write!(f, "capability violation: {err}"),
+            WrapperError::TypeConflict {
+                extent,
+                missing_attribute,
+            } => write!(
+                f,
+                "type conflict on extent {extent}: source rows lack attribute {missing_attribute}"
+            ),
+            WrapperError::Source(err) => write!(f, "source error: {err}"),
+            WrapperError::Algebra(err) => write!(f, "evaluation error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for WrapperError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WrapperError::Source(err) => Some(err),
+            WrapperError::Capability(err) | WrapperError::Algebra(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<disco_source::SourceError> for WrapperError {
+    fn from(err: disco_source::SourceError) -> Self {
+        match err {
+            disco_source::SourceError::Unavailable { endpoint } => {
+                WrapperError::Unavailable { endpoint }
+            }
+            other => WrapperError::Source(other),
+        }
+    }
+}
+
+impl From<disco_algebra::AlgebraError> for WrapperError {
+    fn from(err: disco_algebra::AlgebraError) -> Self {
+        match err {
+            disco_algebra::AlgebraError::CapabilityViolation { .. } => {
+                WrapperError::Capability(err)
+            }
+            other => WrapperError::Algebra(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = WrapperError::Unavailable {
+            endpoint: "r0".into(),
+        };
+        assert_eq!(e.to_string(), "data source unavailable: r0");
+        let e: WrapperError = disco_source::SourceError::Unavailable {
+            endpoint: "r1".into(),
+        }
+        .into();
+        assert!(matches!(e, WrapperError::Unavailable { .. }));
+        let e: WrapperError = disco_algebra::AlgebraError::CapabilityViolation {
+            operator: "join".into(),
+            wrapper: "w".into(),
+        }
+        .into();
+        assert!(matches!(e, WrapperError::Capability(_)));
+        let e: WrapperError = disco_algebra::AlgebraError::DivisionByZero.into();
+        assert!(matches!(e, WrapperError::Algebra(_)));
+    }
+}

@@ -1,0 +1,199 @@
+//! Evaluation of pushed logical expressions against a row provider.
+//!
+//! Wrappers share this evaluator: the wrapper supplies a function that
+//! fetches the rows of a named collection from its source, and the
+//! evaluator executes the pushable operator subset (`get`, `select`,
+//! `project`, `join`) over those rows.  Anything outside the subset is a
+//! capability violation at run time — a defence in depth behind the
+//! optimizer's static check.
+
+use disco_algebra::{eval_scalar, truthy, AlgebraError, LogicalExpr};
+use disco_value::{Bag, StructValue, Value};
+
+use crate::WrapperError;
+
+/// Fetches all rows of a named collection from the underlying source.
+pub type RowProvider<'a> = dyn Fn(&str) -> Result<Vec<StructValue>, WrapperError> + 'a;
+
+/// The result of evaluating a pushed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushedResult {
+    /// Produced rows.
+    pub rows: Bag,
+    /// Rows touched at the source while answering.
+    pub rows_scanned: usize,
+}
+
+/// Evaluates a pushed expression.
+///
+/// # Errors
+///
+/// Returns [`WrapperError::Capability`] for operators outside the pushable
+/// subset, and propagates provider / evaluation errors.
+pub fn eval_pushed(expr: &LogicalExpr, provider: &RowProvider<'_>) -> Result<PushedResult, WrapperError> {
+    match expr {
+        LogicalExpr::Get { collection } => {
+            let rows = provider(collection)?;
+            let scanned = rows.len();
+            Ok(PushedResult {
+                rows: rows.into_iter().map(Value::Struct).collect(),
+                rows_scanned: scanned,
+            })
+        }
+        LogicalExpr::Filter { input, predicate } => {
+            let inner = eval_pushed(input, provider)?;
+            let mut rows = Bag::with_capacity(inner.rows.len());
+            for row in &inner.rows {
+                let s = row.as_struct().map_err(AlgebraError::from)?;
+                let keep = eval_scalar(predicate, s).map_err(WrapperError::from)?;
+                if truthy(&keep) {
+                    rows.insert(row.clone());
+                }
+            }
+            Ok(PushedResult {
+                rows,
+                rows_scanned: inner.rows_scanned,
+            })
+        }
+        LogicalExpr::Project { input, columns } => {
+            let inner = eval_pushed(input, provider)?;
+            let mut rows = Bag::with_capacity(inner.rows.len());
+            for row in &inner.rows {
+                let s = row.as_struct().map_err(AlgebraError::from)?;
+                let projected = s
+                    .project(columns.iter().map(String::as_str))
+                    .map_err(AlgebraError::from)?;
+                rows.insert(Value::Struct(projected));
+            }
+            Ok(PushedResult {
+                rows,
+                rows_scanned: inner.rows_scanned,
+            })
+        }
+        LogicalExpr::SourceJoin { left, right, on } => {
+            let l = eval_pushed(left, provider)?;
+            let r = eval_pushed(right, provider)?;
+            let mut rows = Bag::new();
+            for lv in &l.rows {
+                let ls = lv.as_struct().map_err(AlgebraError::from)?;
+                for rv in &r.rows {
+                    let rs = rv.as_struct().map_err(AlgebraError::from)?;
+                    let mut matches = true;
+                    for (lattr, rattr) in on {
+                        let lval = ls.field(lattr).map_err(AlgebraError::from)?;
+                        let rval = rs.field(rattr).map_err(AlgebraError::from)?;
+                        if lval != rval {
+                            matches = false;
+                            break;
+                        }
+                    }
+                    if matches {
+                        let merged = ls.merge_with_prefix(rs, "right").map_err(AlgebraError::from)?;
+                        rows.insert(Value::Struct(merged));
+                    }
+                }
+            }
+            Ok(PushedResult {
+                rows,
+                rows_scanned: l.rows_scanned + r.rows_scanned,
+            })
+        }
+        other => Err(WrapperError::Capability(
+            AlgebraError::CapabilityViolation {
+                operator: other.op_name().to_owned(),
+                wrapper: "<pushed evaluator>".to_owned(),
+            },
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_algebra::{ScalarExpr, ScalarOp};
+
+    fn provider(collection: &str) -> Result<Vec<StructValue>, WrapperError> {
+        match collection {
+            "person0" => Ok(vec![
+                StructValue::new(vec![
+                    ("id", Value::Int(1)),
+                    ("name", Value::from("Mary")),
+                    ("salary", Value::Int(200)),
+                ])
+                .unwrap(),
+                StructValue::new(vec![
+                    ("id", Value::Int(2)),
+                    ("name", Value::from("Ann")),
+                    ("salary", Value::Int(5)),
+                ])
+                .unwrap(),
+            ]),
+            "dept0" => Ok(vec![StructValue::new(vec![
+                ("id", Value::Int(1)),
+                ("dept", Value::from("db")),
+            ])
+            .unwrap()]),
+            other => Err(WrapperError::Source(
+                disco_source::SourceError::UnknownTable(other.to_owned()),
+            )),
+        }
+    }
+
+    #[test]
+    fn get_scans_all_rows() {
+        let result = eval_pushed(&LogicalExpr::get("person0"), &provider).unwrap();
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows_scanned, 2);
+        assert!(eval_pushed(&LogicalExpr::get("missing"), &provider).is_err());
+    }
+
+    #[test]
+    fn filter_and_project_compose() {
+        let expr = LogicalExpr::get("person0")
+            .filter(ScalarExpr::binary(
+                ScalarOp::Gt,
+                ScalarExpr::attr("salary"),
+                ScalarExpr::constant(10i64),
+            ))
+            .project(["name"]);
+        let result = eval_pushed(&expr, &provider).unwrap();
+        assert_eq!(result.rows.len(), 1);
+        assert_eq!(result.rows_scanned, 2, "source still scanned both rows");
+        let only = result.rows.iter().next().unwrap().as_struct().unwrap();
+        assert_eq!(only.field("name").unwrap(), &Value::from("Mary"));
+        assert_eq!(only.len(), 1, "projection narrowed the row");
+    }
+
+    #[test]
+    fn source_join_merges_matching_tuples() {
+        let expr = LogicalExpr::SourceJoin {
+            left: Box::new(LogicalExpr::get("person0")),
+            right: Box::new(LogicalExpr::get("dept0")),
+            on: vec![("id".into(), "id".into())],
+        };
+        let result = eval_pushed(&expr, &provider).unwrap();
+        assert_eq!(result.rows.len(), 1);
+        assert_eq!(result.rows_scanned, 3);
+        let merged = result.rows.iter().next().unwrap().as_struct().unwrap();
+        assert_eq!(merged.field("dept").unwrap(), &Value::from("db"));
+        assert_eq!(merged.field("name").unwrap(), &Value::from("Mary"));
+    }
+
+    #[test]
+    fn non_pushable_operators_are_rejected_at_run_time() {
+        let expr = LogicalExpr::get("person0").bind("x");
+        let err = eval_pushed(&expr, &provider).unwrap_err();
+        assert!(matches!(err, WrapperError::Capability(_)));
+    }
+
+    #[test]
+    fn filter_on_missing_attribute_is_an_evaluation_error() {
+        let expr = LogicalExpr::get("person0").filter(ScalarExpr::binary(
+            ScalarOp::Eq,
+            ScalarExpr::attr("nonexistent"),
+            ScalarExpr::constant(1i64),
+        ));
+        let err = eval_pushed(&expr, &provider).unwrap_err();
+        assert!(matches!(err, WrapperError::Algebra(_)));
+    }
+}

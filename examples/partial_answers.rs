@@ -1,0 +1,68 @@
+//! Partial-evaluation query semantics (§1.3, §4): the answer to a query is
+//! another query.
+//!
+//! The example walks through the exact scenario of the paper: the query
+//! ranges over two person sources, `r0` does not respond, DISCO returns
+//! `union(select …, bag("Sam"))`, and once `r0` recovers, resubmitting that
+//! partial answer yields the answer the original query would have produced.
+//!
+//! Run with: `cargo run --example partial_answers`
+
+use disco::core::{Availability, CapabilitySet, Mediator, NetworkProfile, Table, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mediator = Mediator::new("hr");
+    mediator.load_odl(
+        "interface Person (extent person) { attribute String name; attribute Short salary; }",
+    )?;
+
+    let mut t0 = Table::new("person0", ["name", "salary"]);
+    t0.insert_values([("name", Value::from("Mary")), ("salary", Value::Int(200))])?;
+    let mut t1 = Table::new("person1", ["name", "salary"]);
+    t1.insert_values([("name", Value::from("Sam")), ("salary", Value::Int(50))])?;
+
+    let r0_link = mediator.add_relational_source(
+        "person0",
+        "Person",
+        "r0",
+        t0,
+        NetworkProfile::fast(),
+        CapabilitySet::full(),
+    )?;
+    mediator.add_relational_source(
+        "person1",
+        "Person",
+        "r1",
+        t1,
+        NetworkProfile::fast(),
+        CapabilitySet::full(),
+    )?;
+
+    let query = "select x.name from x in person where x.salary > 10";
+    println!("query: {query}");
+
+    println!("\n-- phase 1: every source available ----------------------------");
+    let answer = mediator.query(query)?;
+    println!("answer: {}", answer.as_query_text());
+
+    println!("\n-- phase 2: r0 stops responding --------------------------------");
+    r0_link.set_availability(Availability::Unavailable);
+    let partial = mediator.query(query)?;
+    println!("complete           : {}", partial.is_complete());
+    println!("data obtained      : {}", Value::Bag(partial.data().clone()));
+    println!("unavailable sources: {:?}", partial.unavailable_sources());
+    println!("partial answer     : {}", partial.as_query_text());
+    println!(
+        "residual query     : {}",
+        partial.residual_oql().unwrap_or_default()
+    );
+
+    println!("\n-- phase 3: r0 recovers; resubmit the partial answer ------------");
+    r0_link.set_availability(Availability::Available);
+    let recovered = mediator.resubmit(&partial)?;
+    println!("answer: {}", recovered.as_query_text());
+    assert!(recovered.is_complete());
+    assert_eq!(recovered.data().len(), 2);
+    println!("\nthe resubmitted partial answer produced the original full answer");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! # disco
+//!
+//! Facade crate for the Rust reproduction of **DISCO** — *Scaling
+//! Heterogeneous Databases and the Design of Disco* (Tomasic, Raschid,
+//! Valduriez; INRIA RR-2704, ICDCS 1996).
+//!
+//! DISCO is a distributed mediator architecture for querying a large and
+//! changing collection of heterogeneous, autonomous data sources.  This
+//! workspace implements the complete system described by the paper:
+//!
+//! * [`value`] — the OQL value model (bags, structs, literals),
+//! * [`catalog`] — the ODMG-style mediator schema with DISCO's extensions
+//!   (multiple extents per interface, `MetaExtent`, repositories, wrappers,
+//!   local transformation maps, views, subtyping),
+//! * [`oql`] — the OQL/ODL parser and pretty-printer,
+//! * [`algebra`] — the logical algebra with `submit`, transformation rules,
+//!   wrapper capability grammars and the physical algebra with `exec`,
+//! * [`source`] — simulated heterogeneous data sources plus a
+//!   latency/availability network simulator,
+//! * [`wrapper`] — the wrapper interface and concrete wrappers,
+//! * [`optimizer`] — OQL compilation, capability-constrained rewriting, and
+//!   the self-calibrating cost model,
+//! * [`runtime`] — the parallel executor with deadline-based partial
+//!   evaluation (answers that are themselves queries),
+//! * [`core`] — the [`core::Mediator`] facade tying everything together.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use disco::core::Mediator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut mediator = Mediator::new("demo");
+//!
+//! // Register two person sources exactly as in the paper's introduction.
+//! mediator.register_person_demo()?;
+//!
+//! let answer = mediator.query("select x.name from x in person where x.salary > 10")?;
+//! assert!(answer.is_complete());
+//! assert_eq!(answer.data().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use disco_algebra as algebra;
+pub use disco_catalog as catalog;
+pub use disco_core as core;
+pub use disco_oql as oql;
+pub use disco_optimizer as optimizer;
+pub use disco_runtime as runtime;
+pub use disco_source as source;
+pub use disco_value as value;
+pub use disco_wrapper as wrapper;

@@ -1,0 +1,202 @@
+//! Integration tests for the distributed architecture of Fig. 1: mediators
+//! composed over mediators, the catalog component, and heterogeneous
+//! source kinds (relational, CSV, document) behind one interface.
+
+use std::sync::Arc;
+
+use disco::catalog::CatalogComponent;
+use disco::core::{
+    advertise, Attribute, Availability, CapabilitySet, InterfaceDef, Mediator, MediatorWrapper,
+    MetaExtent, NetworkProfile, Repository, TypeMap, TypeRef, Value,
+};
+use disco::source::generator;
+
+fn hr_mediator() -> Mediator {
+    let mut hr = Mediator::new("hr");
+    hr.define_interface(
+        InterfaceDef::new("Employee")
+            .with_extent_name("employee")
+            .with_attribute(Attribute::new("id", TypeRef::Int))
+            .with_attribute(Attribute::new("name", TypeRef::String))
+            .with_attribute(Attribute::new("dept", TypeRef::Int))
+            .with_attribute(Attribute::new("salary", TypeRef::Int)),
+    )
+    .unwrap();
+    for i in 0..2 {
+        hr.add_relational_source(
+            &format!("employee{i}"),
+            "Employee",
+            &format!("r_hr{i}"),
+            generator::employee_table(&format!("employee{i}"), 100, 5, i as u64),
+            NetworkProfile::fast(),
+            CapabilitySet::full(),
+        )
+        .unwrap();
+    }
+    hr
+}
+
+fn corp_over(hr: Arc<Mediator>) -> Mediator {
+    let mut corp = Mediator::new("corp");
+    corp.define_interface(
+        InterfaceDef::new("Employee")
+            .with_extent_name("employee")
+            .with_attribute(Attribute::new("id", TypeRef::Int))
+            .with_attribute(Attribute::new("name", TypeRef::String))
+            .with_attribute(Attribute::new("dept", TypeRef::Int))
+            .with_attribute(Attribute::new("salary", TypeRef::Int)),
+    )
+    .unwrap();
+    corp.register_repository(Repository::new("r_hr").with_host("hr.example.org"))
+        .unwrap();
+    corp.register_wrapper(Arc::new(MediatorWrapper::new("w_hr", hr)))
+        .unwrap();
+    corp.register_extent(
+        MetaExtent::new("employee_hr", "Employee", "w_hr", "r_hr").with_map(
+            TypeMap::builder()
+                .relation("employee", "employee_hr")
+                .build()
+                .unwrap(),
+        ),
+    )
+    .unwrap();
+    corp
+}
+
+#[test]
+fn two_level_hierarchy_answers_match_direct_access() {
+    let hr = Arc::new(hr_mediator());
+    let corp = corp_over(Arc::clone(&hr));
+    let query = "select e.name from e in employee where e.salary > 850";
+    let via_corp = corp.query(query).unwrap();
+    let direct = hr.query(query).unwrap();
+    assert_eq!(via_corp.data(), direct.data());
+    assert!(via_corp.is_complete());
+}
+
+#[test]
+fn counts_aggregate_across_hierarchy_and_local_sources() {
+    let hr = Arc::new(hr_mediator());
+    let mut corp = corp_over(Arc::clone(&hr));
+    corp.add_relational_source(
+        "employee_corp",
+        "Employee",
+        "r_corp",
+        generator::employee_table("employee_corp", 40, 5, 9),
+        NetworkProfile::fast(),
+        CapabilitySet::full(),
+    )
+    .unwrap();
+    let count = corp
+        .query("count(select e.id from e in employee)")
+        .unwrap();
+    assert_eq!(*count.data(), [Value::Int(240)].into_iter().collect());
+}
+
+#[test]
+fn inner_mediator_failures_propagate_as_partial_answers() {
+    // The hr mediator's own source r_hr0 fails: hr returns partial answers,
+    // so corp sees the hr mediator as unavailable and produces a partial
+    // answer of its own.
+    let mut hr = Mediator::new("hr");
+    hr.define_interface(
+        InterfaceDef::new("Employee")
+            .with_extent_name("employee")
+            .with_attribute(Attribute::new("id", TypeRef::Int))
+            .with_attribute(Attribute::new("name", TypeRef::String))
+            .with_attribute(Attribute::new("dept", TypeRef::Int))
+            .with_attribute(Attribute::new("salary", TypeRef::Int)),
+    )
+    .unwrap();
+    let link = hr
+        .add_relational_source(
+            "employee0",
+            "Employee",
+            "r_hr0",
+            generator::employee_table("employee0", 50, 5, 0),
+            NetworkProfile::fast(),
+            CapabilitySet::full(),
+        )
+        .unwrap();
+    let hr = Arc::new(hr);
+    let mut corp = corp_over(Arc::clone(&hr));
+    corp.add_relational_source(
+        "employee_corp",
+        "Employee",
+        "r_corp",
+        generator::employee_table("employee_corp", 30, 5, 9),
+        NetworkProfile::fast(),
+        CapabilitySet::full(),
+    )
+    .unwrap();
+
+    link.set_availability(Availability::Unavailable);
+    let answer = corp
+        .query("select e.name from e in employee where e.salary > 100")
+        .unwrap();
+    assert!(!answer.is_complete());
+    assert_eq!(answer.unavailable_sources(), &["r_hr".to_owned()]);
+    assert!(!answer.data().is_empty(), "corp's own source still contributes");
+
+    // Recovery at the bottom of the hierarchy restores completeness.
+    link.set_availability(Availability::Available);
+    let recovered = corp.resubmit(&answer).unwrap();
+    assert!(recovered.is_complete());
+}
+
+#[test]
+fn catalog_component_gives_the_system_overview() {
+    let hr = Arc::new(hr_mediator());
+    let corp = corp_over(Arc::clone(&hr));
+    let mut component = CatalogComponent::new();
+    advertise(&hr, &mut component);
+    advertise(&corp, &mut component);
+    assert_eq!(component.len(), 2);
+    assert_eq!(component.mediators_for_interface("Employee").len(), 2);
+    assert!(component.mediators_for_interface("Nothing").is_empty());
+    assert_eq!(component.total_extents(), 3);
+    // Withdrawal removes a mediator from the overview.
+    let mut component = component;
+    component.withdraw("hr").unwrap();
+    assert_eq!(component.mediators_for_interface("Employee").len(), 1);
+}
+
+#[test]
+fn heterogeneous_source_kinds_behind_one_interface() {
+    let mut m = Mediator::new("het");
+    m.define_interface(
+        InterfaceDef::new("Measurement")
+            .with_extent_name("measurement")
+            .with_attribute(Attribute::new("site", TypeRef::String))
+            .with_attribute(Attribute::new("day", TypeRef::Int))
+            .with_attribute(Attribute::new("ph", TypeRef::Float))
+            .with_attribute(Attribute::new("turbidity", TypeRef::Int))
+            .with_attribute(Attribute::new("dissolved_oxygen", TypeRef::Float)),
+    )
+    .unwrap();
+    // Relational station.
+    m.add_relational_source(
+        "measurement0",
+        "Measurement",
+        "r_station0",
+        generator::water_quality_table("measurement0", 0, 10, 3),
+        NetworkProfile::fast(),
+        CapabilitySet::full(),
+    )
+    .unwrap();
+    // Flat-file station (get-only wrapper).
+    m.add_csv_source(
+        "measurement1",
+        "Measurement",
+        "r_station1",
+        "site,day,ph,turbidity,dissolved_oxygen\nloire-99,0,7.5,3,9.1\nloire-99,1,8.6,2,8.8\n",
+        NetworkProfile::fast(),
+    )
+    .unwrap();
+    let answer = m
+        .query("select m.site from m in measurement where m.ph > 8.2")
+        .unwrap();
+    assert!(answer.is_complete());
+    assert!(answer.data().contains(&Value::from("loire-99")));
+    assert_eq!(answer.stats().exec_calls, 2);
+}

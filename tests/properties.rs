@@ -1,0 +1,186 @@
+//! Property-based integration tests: for randomly generated federations
+//! and data, the mediator's answers must equal a naive in-memory
+//! computation, must not depend on wrapper capabilities, and partial
+//! answers followed by resubmission must converge to the full answer.
+
+use disco::core::{
+    Availability, CapabilitySet, InterfaceDef, Mediator, NetworkProfile, Table, Value,
+};
+use proptest::prelude::*;
+
+/// One synthetic person row.
+#[derive(Debug, Clone)]
+struct PersonRow {
+    name: String,
+    salary: i64,
+}
+
+fn person_row_strategy() -> impl Strategy<Value = PersonRow> {
+    ("[a-z]{1,8}", 0i64..500).prop_map(|(name, salary)| PersonRow { name, salary })
+}
+
+/// A federation description: a list of sources, each a list of rows.
+fn federation_strategy() -> impl Strategy<Value = Vec<Vec<PersonRow>>> {
+    prop::collection::vec(prop::collection::vec(person_row_strategy(), 0..12), 1..5)
+}
+
+fn build_mediator(sources: &[Vec<PersonRow>], caps: CapabilitySet) -> Mediator {
+    let mut m = Mediator::new("prop");
+    m.define_interface(
+        InterfaceDef::new("Person")
+            .with_extent_name("person")
+            .with_attribute(disco::catalog::Attribute::new(
+                "name",
+                disco::catalog::TypeRef::String,
+            ))
+            .with_attribute(disco::catalog::Attribute::new(
+                "salary",
+                disco::catalog::TypeRef::Int,
+            )),
+    )
+    .unwrap();
+    for (i, rows) in sources.iter().enumerate() {
+        let mut table = Table::new(format!("person{i}"), ["name", "salary"]);
+        for row in rows {
+            table
+                .insert_values([
+                    ("name", Value::from(row.name.clone())),
+                    ("salary", Value::Int(row.salary)),
+                ])
+                .unwrap();
+        }
+        m.add_relational_source(
+            &format!("person{i}"),
+            "Person",
+            &format!("r{i}"),
+            table,
+            NetworkProfile::fast(),
+            caps.clone(),
+        )
+        .unwrap();
+    }
+    m
+}
+
+/// The reference answer computed naively in memory.
+fn reference_answer(sources: &[Vec<PersonRow>], threshold: i64) -> Vec<String> {
+    let mut names: Vec<String> = sources
+        .iter()
+        .flatten()
+        .filter(|r| r.salary > threshold)
+        .map(|r| r.name.clone())
+        .collect();
+    names.sort();
+    names
+}
+
+fn answer_names(answer: &disco::runtime::Answer) -> Vec<String> {
+    let mut names: Vec<String> = answer
+        .data()
+        .iter()
+        .map(|v| v.as_str().unwrap().to_owned())
+        .collect();
+    names.sort();
+    names
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mediator_answers_match_naive_evaluation(
+        sources in federation_strategy(),
+        threshold in 0i64..500,
+    ) {
+        let m = build_mediator(&sources, CapabilitySet::full());
+        let query = format!("select x.name from x in person where x.salary > {threshold}");
+        let answer = m.query(&query).unwrap();
+        prop_assert!(answer.is_complete());
+        prop_assert_eq!(answer_names(&answer), reference_answer(&sources, threshold));
+    }
+
+    #[test]
+    fn answers_do_not_depend_on_wrapper_capabilities(
+        sources in federation_strategy(),
+        threshold in 0i64..500,
+    ) {
+        let query = format!("select x.name from x in person where x.salary > {threshold}");
+        let full = build_mediator(&sources, CapabilitySet::full());
+        let minimal = build_mediator(&sources, CapabilitySet::get_only());
+        let a = full.query(&query).unwrap();
+        let b = minimal.query(&query).unwrap();
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn partial_plus_resubmission_equals_full_answer(
+        sources in federation_strategy(),
+        threshold in 0i64..500,
+        down_index in 0usize..4,
+    ) {
+        // Re-build the mediator keeping the per-source links.
+        let mut m = Mediator::new("prop");
+        m.define_interface(
+            InterfaceDef::new("Person")
+                .with_extent_name("person")
+                .with_attribute(disco::catalog::Attribute::new(
+                    "name",
+                    disco::catalog::TypeRef::String,
+                ))
+                .with_attribute(disco::catalog::Attribute::new(
+                    "salary",
+                    disco::catalog::TypeRef::Int,
+                )),
+        )
+        .unwrap();
+        let mut links = Vec::new();
+        for (i, rows) in sources.iter().enumerate() {
+            let mut table = Table::new(format!("person{i}"), ["name", "salary"]);
+            for row in rows {
+                table
+                    .insert_values([
+                        ("name", Value::from(row.name.clone())),
+                        ("salary", Value::Int(row.salary)),
+                    ])
+                    .unwrap();
+            }
+            links.push(
+                m.add_relational_source(
+                    &format!("person{i}"),
+                    "Person",
+                    &format!("r{i}"),
+                    table,
+                    NetworkProfile::fast(),
+                    CapabilitySet::full(),
+                )
+                .unwrap(),
+            );
+        }
+        let query = format!("select x.name from x in person where x.salary > {threshold}");
+        let full = m.query(&query).unwrap();
+
+        let down = down_index % links.len();
+        links[down].set_availability(Availability::Unavailable);
+        let partial = m.query(&query).unwrap();
+        // Partial data never invents values.
+        for value in partial.data() {
+            prop_assert!(full.data().contains(value));
+        }
+        links[down].set_availability(Availability::Available);
+        let recovered = m.resubmit(&partial).unwrap();
+        prop_assert!(recovered.is_complete());
+        prop_assert_eq!(answer_names(&recovered), answer_names(&full));
+    }
+
+    #[test]
+    fn aggregates_match_naive_sums(sources in federation_strategy()) {
+        let m = build_mediator(&sources, CapabilitySet::full());
+        let expected: i64 = sources.iter().flatten().map(|r| r.salary).sum();
+        let answer = m.query("sum(select x.salary from x in person)").unwrap();
+        let got = answer.data().iter().next().unwrap().as_int().unwrap();
+        prop_assert_eq!(got, expected);
+        let count = m.query("count(select x.name from x in person)").unwrap();
+        let total: i64 = sources.iter().map(|s| s.len() as i64).sum();
+        prop_assert_eq!(count.data().iter().next().unwrap().as_int().unwrap(), total);
+    }
+}

@@ -1,0 +1,213 @@
+//! Integration tests for capability-driven query processing (§1.4, §3.2):
+//! the optimizer pushes work onto wrappers exactly when their advertised
+//! capabilities allow it, answers are identical either way, and pushing
+//! reduces the data transferred from sources.
+
+use disco::algebra::{CapabilityGrammar, CapabilitySet, LogicalExpr, OperatorKind};
+use disco::core::{Attribute, InterfaceDef, Mediator, NetworkProfile, TypeRef};
+use disco::source::generator;
+
+const ROWS_PER_SOURCE: usize = 200;
+
+fn mediator_with_capabilities(caps: CapabilitySet) -> Mediator {
+    let mut m = Mediator::new("caps");
+    m.define_interface(
+        InterfaceDef::new("Employee")
+            .with_extent_name("employee")
+            .with_attribute(Attribute::new("id", TypeRef::Int))
+            .with_attribute(Attribute::new("name", TypeRef::String))
+            .with_attribute(Attribute::new("dept", TypeRef::Int))
+            .with_attribute(Attribute::new("salary", TypeRef::Int)),
+    )
+    .unwrap();
+    for i in 0..2 {
+        m.add_relational_source(
+            &format!("employee{i}"),
+            "Employee",
+            &format!("r{i}"),
+            generator::employee_table(&format!("employee{i}"), ROWS_PER_SOURCE, 8, i as u64),
+            NetworkProfile::fast(),
+            caps.clone(),
+        )
+        .unwrap();
+    }
+    m
+}
+
+const SELECTIVE_QUERY: &str = "select e.name from e in employee where e.salary > 880";
+
+#[test]
+fn answers_are_identical_regardless_of_wrapper_power() {
+    let full = mediator_with_capabilities(CapabilitySet::full());
+    let minimal = mediator_with_capabilities(CapabilitySet::get_only());
+    let a = full.query(SELECTIVE_QUERY).unwrap();
+    let b = minimal.query(SELECTIVE_QUERY).unwrap();
+    assert_eq!(a.data(), b.data(), "semantics must not depend on capabilities");
+    assert!(a.is_complete() && b.is_complete());
+}
+
+#[test]
+fn pushdown_transfers_fewer_rows_than_get_only() {
+    let full = mediator_with_capabilities(CapabilitySet::full());
+    let minimal = mediator_with_capabilities(CapabilitySet::get_only());
+    let pushed = full.query(SELECTIVE_QUERY).unwrap();
+    let shipped_everything = minimal.query(SELECTIVE_QUERY).unwrap();
+    assert!(
+        pushed.stats().rows_transferred < shipped_everything.stats().rows_transferred,
+        "pushdown {} rows vs full fetch {} rows",
+        pushed.stats().rows_transferred,
+        shipped_everything.stats().rows_transferred
+    );
+    assert_eq!(
+        shipped_everything.stats().rows_transferred,
+        2 * ROWS_PER_SOURCE,
+        "a get-only wrapper must ship whole collections"
+    );
+}
+
+#[test]
+fn plan_shapes_reflect_capabilities() {
+    let full = mediator_with_capabilities(CapabilitySet::full());
+    let minimal = mediator_with_capabilities(CapabilitySet::get_only());
+    let pushed_plan = full.explain(SELECTIVE_QUERY).unwrap();
+    let minimal_plan = minimal.explain(SELECTIVE_QUERY).unwrap();
+    let pushed_text = pushed_plan.logical.to_string();
+    let minimal_text = minimal_plan.logical.to_string();
+    // Full wrappers receive select/project inside the submit…
+    assert!(
+        pushed_text.contains("submit(r0, project(") || pushed_text.contains("submit(r0, select("),
+        "expected pushdown in: {pushed_text}"
+    );
+    // …get-only wrappers receive exactly `get(extent)`.
+    assert!(
+        minimal_text.contains("submit(r0, get(employee0))"),
+        "expected bare get in: {minimal_text}"
+    );
+    assert!(pushed_plan.alternatives.len() >= 2);
+}
+
+#[test]
+fn mixed_capability_federation_pushes_per_source() {
+    let mut m = Mediator::new("mixed");
+    m.define_interface(
+        InterfaceDef::new("Employee")
+            .with_extent_name("employee")
+            .with_attribute(Attribute::new("id", TypeRef::Int))
+            .with_attribute(Attribute::new("name", TypeRef::String))
+            .with_attribute(Attribute::new("dept", TypeRef::Int))
+            .with_attribute(Attribute::new("salary", TypeRef::Int)),
+    )
+    .unwrap();
+    m.add_relational_source(
+        "employee0",
+        "Employee",
+        "r0",
+        generator::employee_table("employee0", ROWS_PER_SOURCE, 8, 0),
+        NetworkProfile::fast(),
+        CapabilitySet::full(),
+    )
+    .unwrap();
+    m.add_relational_source(
+        "employee1",
+        "Employee",
+        "r1",
+        generator::employee_table("employee1", ROWS_PER_SOURCE, 8, 1),
+        NetworkProfile::fast(),
+        CapabilitySet::get_only(),
+    )
+    .unwrap();
+    let plan = m.explain(SELECTIVE_QUERY).unwrap();
+    let text = plan.logical.to_string();
+    assert!(
+        text.contains("submit(r1, get(employee1))"),
+        "legacy source receives only get: {text}"
+    );
+    assert!(
+        text.contains("submit(r0, project(") || text.contains("submit(r0, select("),
+        "capable source receives pushed operators: {text}"
+    );
+    // The answer combines both sources and matches the all-full federation.
+    let answer = m.query(SELECTIVE_QUERY).unwrap();
+    let reference = mediator_with_capabilities(CapabilitySet::full())
+        .query(SELECTIVE_QUERY)
+        .unwrap();
+    assert_eq!(answer.data(), reference.data());
+}
+
+#[test]
+fn join_is_pushed_only_when_both_relations_live_in_the_same_repository() {
+    // Built directly on the algebra, as the §3.2 employee/manager example.
+    use disco::algebra::rules::push_join_into_submit;
+    use std::collections::BTreeMap;
+
+    let mut caps = BTreeMap::new();
+    caps.insert("w0".to_owned(), CapabilitySet::full());
+    let same_repo = LogicalExpr::SourceJoin {
+        left: Box::new(LogicalExpr::get("employee0").submit("r0", "w0", "employee0")),
+        right: Box::new(LogicalExpr::get("manager0").submit("r0", "w0", "manager0")),
+        on: vec![("dept".into(), "dept".into())],
+    };
+    assert!(push_join_into_submit(&same_repo, &caps).is_some());
+    let cross_repo = LogicalExpr::SourceJoin {
+        left: Box::new(LogicalExpr::get("employee0").submit("r0", "w0", "employee0")),
+        right: Box::new(LogicalExpr::get("manager1").submit("r1", "w0", "manager1")),
+        on: vec![("dept".into(), "dept".into())],
+    };
+    assert!(
+        push_join_into_submit(&cross_repo, &caps).is_none(),
+        "submit has RPC semantics: semijoin-style shipping between sources is impossible"
+    );
+}
+
+#[test]
+fn capability_grammars_travel_as_text_between_wrapper_and_mediator() {
+    // §3.2: the wrapper returns a grammar; the mediator reconstructs the
+    // capability set from it and checks expressions against it.
+    let advertised = CapabilitySet::new([OperatorKind::Get, OperatorKind::Project])
+        .with_composition(true);
+    let grammar_text = advertised.to_grammar().to_string();
+    assert!(grammar_text.contains("project OPEN ATTRIBUTE COMMA s CLOSE"));
+    let parsed = CapabilityGrammar::parse(&grammar_text).unwrap();
+    let reconstructed = CapabilitySet::from_grammar(&parsed).unwrap();
+    let pushed = LogicalExpr::get("person0").project(["name"]);
+    assert!(reconstructed.accepts(&pushed).is_ok());
+    let filter = LogicalExpr::get("person0").filter(disco::algebra::ScalarExpr::binary(
+        disco::algebra::ScalarOp::Gt,
+        disco::algebra::ScalarExpr::attr("salary"),
+        disco::algebra::ScalarExpr::constant(10i64),
+    ));
+    assert!(reconstructed.accepts(&filter).is_err());
+}
+
+#[test]
+fn document_sources_expose_restricted_selects_only() {
+    let mut m = Mediator::new("docs");
+    m.define_interface(
+        InterfaceDef::new("Report")
+            .with_extent_name("report")
+            .with_attribute(Attribute::new("id", TypeRef::Int))
+            .with_attribute(Attribute::new("title", TypeRef::String))
+            .with_attribute(Attribute::new("body", TypeRef::String))
+            .with_attribute(Attribute::new("keyword", TypeRef::String)),
+    )
+    .unwrap();
+    m.add_document_source(
+        "report0",
+        "Report",
+        "r_doc",
+        generator::document_store(60, 5),
+        NetworkProfile::fast(),
+    )
+    .unwrap();
+    // Equality on the keyword pseudo-attribute uses the native index and is
+    // pushable; a range predicate on id is not and runs at the mediator.
+    let keyword = m
+        .query("select d.title from d in report where d.keyword = \"water\"")
+        .unwrap();
+    let range = m
+        .query("select d.title from d in report where d.id > 40")
+        .unwrap();
+    assert!(keyword.is_complete() && range.is_complete());
+    assert!(keyword.stats().rows_transferred <= 60);
+    assert_eq!(range.stats().rows_transferred, 60, "range predicates cannot be pushed");
+}

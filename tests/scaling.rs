@@ -1,0 +1,143 @@
+//! Integration tests for the scalability claims (§1, §2): adding a data
+//! source is a single extent declaration, query text never changes, the
+//! catalog and plan cache track the growth, and answers keep covering the
+//! enlarged federation.
+
+use disco::core::{CapabilitySet, InterfaceDef, Mediator, NetworkProfile, Value};
+use disco::source::generator;
+
+fn water_mediator(sources: usize) -> Mediator {
+    let mut m = Mediator::new("environment");
+    m.define_interface(
+        InterfaceDef::new("Measurement")
+            .with_extent_name("measurement")
+            .with_attribute(disco::catalog::Attribute::new(
+                "site",
+                disco::catalog::TypeRef::String,
+            ))
+            .with_attribute(disco::catalog::Attribute::new(
+                "day",
+                disco::catalog::TypeRef::Int,
+            ))
+            .with_attribute(disco::catalog::Attribute::new(
+                "ph",
+                disco::catalog::TypeRef::Float,
+            ))
+            .with_attribute(disco::catalog::Attribute::new(
+                "turbidity",
+                disco::catalog::TypeRef::Int,
+            ))
+            .with_attribute(disco::catalog::Attribute::new(
+                "dissolved_oxygen",
+                disco::catalog::TypeRef::Float,
+            )),
+    )
+    .unwrap();
+    for i in 0..sources {
+        add_station(&mut m, i);
+    }
+    m
+}
+
+fn add_station(m: &mut Mediator, index: usize) {
+    m.add_relational_source(
+        &format!("measurement{index}"),
+        "Measurement",
+        &format!("r_station{index}"),
+        generator::water_quality_table(&format!("measurement{index}"), index, 20, 17),
+        NetworkProfile::fast(),
+        CapabilitySet::full(),
+    )
+    .unwrap();
+}
+
+const QUERY: &str = "count(select m.day from m in measurement where m.ph > 7.5)";
+
+#[test]
+fn the_query_text_never_changes_as_sources_are_added() {
+    let mut m = water_mediator(2);
+    let mut previous_count = 0i64;
+    for next_station in 2..10 {
+        let answer = m.query(QUERY).unwrap();
+        assert!(answer.is_complete());
+        assert_eq!(answer.stats().exec_calls, next_station, "one call per registered station");
+        let count = answer.data().iter().next().unwrap().as_int().unwrap();
+        assert!(count >= previous_count, "coverage only grows");
+        previous_count = count;
+        add_station(&mut m, next_station);
+    }
+}
+
+#[test]
+fn registration_is_one_catalog_operation_per_source() {
+    let mut m = water_mediator(0);
+    for i in 0..32 {
+        let before = m.catalog().stats();
+        add_station(&mut m, i);
+        let after = m.catalog().stats();
+        assert_eq!(after.extents, before.extents + 1);
+        assert_eq!(after.interfaces, before.interfaces, "no schema change needed");
+    }
+    assert_eq!(m.catalog().stats().extents, 32);
+    // Every extent is visible through the meta-extent collection.
+    assert_eq!(m.catalog().meta_extents().count(), 32);
+}
+
+#[test]
+fn plan_cache_is_invalidated_when_the_federation_grows() {
+    let mut m = water_mediator(3);
+    let a1 = m.query(QUERY).unwrap();
+    let a2 = m.query(QUERY).unwrap();
+    assert_eq!(a1.data(), a2.data());
+    let (hits_before, _) = m.plan_cache_stats();
+    assert!(hits_before >= 1, "second identical query hits the plan cache");
+    add_station(&mut m, 3);
+    let a3 = m.query(QUERY).unwrap();
+    // The new plan covers four sources.
+    assert_eq!(a3.stats().exec_calls, 4);
+}
+
+#[test]
+fn removing_a_source_shrinks_coverage() {
+    let mut m = water_mediator(4);
+    let before = m.query(QUERY).unwrap();
+    assert_eq!(before.stats().exec_calls, 4);
+    m.remove_extent("measurement2").unwrap();
+    let after = m.query(QUERY).unwrap();
+    assert_eq!(after.stats().exec_calls, 3);
+    let count_before = before.data().iter().next().unwrap().as_int().unwrap();
+    let count_after = after.data().iter().next().unwrap().as_int().unwrap();
+    assert!(count_after <= count_before);
+}
+
+#[test]
+fn large_federation_remains_queryable() {
+    let m = water_mediator(64);
+    let answer = m.query("select distinct m.site from m in measurement").unwrap();
+    assert!(answer.is_complete());
+    assert_eq!(answer.stats().exec_calls, 64);
+    assert_eq!(answer.data().len(), 64, "each station reports a distinct site");
+    // Spot-check a value.
+    assert!(answer
+        .data()
+        .iter()
+        .all(|v| matches!(v, Value::Str(_))));
+}
+
+#[test]
+fn views_extend_transparently_over_new_sources() {
+    let mut m = water_mediator(2);
+    m.define_view(
+        "alkaline",
+        "select struct(site: m.site, ph: m.ph) from m in measurement where m.ph > 8.0",
+    )
+    .unwrap();
+    let before = m.query("count(select a.site from a in alkaline)").unwrap();
+    add_station(&mut m, 2);
+    add_station(&mut m, 3);
+    let after = m.query("count(select a.site from a in alkaline)").unwrap();
+    let count_before = before.data().iter().next().unwrap().as_int().unwrap();
+    let count_after = after.data().iter().next().unwrap().as_int().unwrap();
+    assert!(count_after >= count_before);
+    assert_eq!(after.stats().exec_calls, 4, "the view now ranges over four stations");
+}
