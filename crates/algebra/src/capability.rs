@@ -157,7 +157,10 @@ impl CapabilitySet {
 
     /// Restricts selection predicates to the given comparison operators.
     #[must_use]
-    pub fn with_comparisons<I: IntoIterator<Item = ComparisonKind>>(mut self, comparisons: I) -> Self {
+    pub fn with_comparisons<I: IntoIterator<Item = ComparisonKind>>(
+        mut self,
+        comparisons: I,
+    ) -> Self {
         self.comparisons = Some(comparisons.into_iter().collect());
         self
     }
@@ -237,10 +240,9 @@ impl CapabilitySet {
                 for op in predicate.comparison_ops() {
                     if let Some(cmp) = ComparisonKind::from_scalar(op) {
                         if !self.supports_comparison(cmp) {
-                            return Err(self.violation(
-                                &format!("comparison {}", op.symbol()),
-                                wrapper,
-                            ));
+                            return Err(
+                                self.violation(&format!("comparison {}", op.symbol()), wrapper)
+                            );
                         }
                     }
                 }
@@ -268,10 +270,7 @@ impl CapabilitySet {
         // applied directly to a get — i.e. at most one operator above the
         // source (the paper's grammar with `SOURCE` in place of `s`).
         if !self.compose && !matches!(child, LogicalExpr::Get { .. }) {
-            return Err(self.violation(
-                &format!("composition over {}", child.op_name()),
-                wrapper,
-            ));
+            return Err(self.violation(&format!("composition over {}", child.op_name()), wrapper));
         }
         let _ = parent_is_top;
         self.check(child, wrapper, false)
@@ -401,11 +400,15 @@ impl CapabilityGrammar {
                 .ok_or_else(|| AlgebraError::InvalidGrammar(format!("missing ':-' in: {line}")))?;
             let lhs = lhs.trim().to_owned();
             if lhs.is_empty() {
-                return Err(AlgebraError::InvalidGrammar(format!("empty lhs in: {line}")));
+                return Err(AlgebraError::InvalidGrammar(format!(
+                    "empty lhs in: {line}"
+                )));
             }
             let rhs: Vec<String> = rhs.split_whitespace().map(ToOwned::to_owned).collect();
             if rhs.is_empty() {
-                return Err(AlgebraError::InvalidGrammar(format!("empty rhs in: {line}")));
+                return Err(AlgebraError::InvalidGrammar(format!(
+                    "empty rhs in: {line}"
+                )));
             }
             productions.push((lhs, rhs));
         }
@@ -438,7 +441,9 @@ mod tests {
     fn get_only_wrapper_rejects_everything_else() {
         let caps = CapabilitySet::get_only();
         assert!(caps.accepts(&LogicalExpr::get("person0")).is_ok());
-        assert!(caps.accepts(&name_project(LogicalExpr::get("person0"))).is_err());
+        assert!(caps
+            .accepts(&name_project(LogicalExpr::get("person0")))
+            .is_err());
         let filter = LogicalExpr::get("person0").filter(ScalarExpr::binary(
             ScalarOp::Gt,
             ScalarExpr::attr("salary"),
@@ -450,8 +455,8 @@ mod tests {
     #[test]
     fn paper_section_3_2_example() {
         // r0: {get, project, compose}; r1: {get} only.
-        let r0 = CapabilitySet::new([OperatorKind::Get, OperatorKind::Project])
-            .with_composition(true);
+        let r0 =
+            CapabilitySet::new([OperatorKind::Get, OperatorKind::Project]).with_composition(true);
         let r1 = CapabilitySet::get_only();
         let pushed = name_project(LogicalExpr::get("person0"));
         assert!(r0.accepts(&pushed).is_ok());
@@ -558,7 +563,10 @@ mod tests {
             let parsed_text = CapabilityGrammar::parse(&grammar.to_string()).unwrap();
             let recovered = CapabilitySet::from_grammar(&parsed_text).unwrap();
             assert_eq!(recovered.operators(), caps.operators());
-            assert_eq!(recovered.supports_composition(), caps.supports_composition());
+            assert_eq!(
+                recovered.supports_composition(),
+                caps.supports_composition()
+            );
         }
     }
 

@@ -87,10 +87,7 @@ mod tests {
 
     #[test]
     fn value_error_converts() {
-        let err: AlgebraError = disco_value::ValueError::NoSuchField {
-            field: "x".into(),
-        }
-        .into();
+        let err: AlgebraError = disco_value::ValueError::NoSuchField { field: "x".into() }.into();
         assert!(matches!(err, AlgebraError::Value(_)));
     }
 }

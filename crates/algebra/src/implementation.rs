@@ -285,7 +285,9 @@ mod tests {
         };
         match lower(&join).unwrap() {
             PhysicalExpr::HashJoin {
-                left_key, right_key, ..
+                left_key,
+                right_key,
+                ..
             } => {
                 assert_eq!(left_key, ScalarExpr::var_field("x", "id"));
                 assert_eq!(right_key, ScalarExpr::var_field("y", "id"));
@@ -360,7 +362,10 @@ mod tests {
             )))),
         };
         let physical = lower(&plan).unwrap();
-        assert_eq!(physical.to_string(), "mkagg(sum, mkdistinct(mkflatten(memscan(Bag()))))");
+        assert_eq!(
+            physical.to_string(),
+            "mkagg(sum, mkdistinct(mkflatten(memscan(Bag()))))"
+        );
         assert_eq!(physical.to_logical(), plan);
     }
 

@@ -676,14 +676,9 @@ mod tests {
             "select"
         );
         assert_eq!(LogicalExpr::get("x").project(["a"]).op_name(), "project");
+        assert_eq!(LogicalExpr::get("x").bind("v").op_name(), "bind");
         assert_eq!(
-            LogicalExpr::get("x").bind("v").op_name(),
-            "bind"
-        );
-        assert_eq!(
-            LogicalExpr::get("x")
-                .submit("r", "w", "x")
-                .op_name(),
+            LogicalExpr::get("x").submit("r", "w", "x").op_name(),
             "submit"
         );
     }

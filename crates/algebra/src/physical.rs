@@ -321,7 +321,9 @@ impl std::fmt::Display for PhysicalExpr {
             }
             PhysicalExpr::MkFlatten(inner) => write!(f, "mkflatten({inner})"),
             PhysicalExpr::MkDistinct(inner) => write!(f, "mkdistinct({inner})"),
-            PhysicalExpr::MkAggregate { func, input } => write!(f, "mkagg({}, {input})", func.name()),
+            PhysicalExpr::MkAggregate { func, input } => {
+                write!(f, "mkagg({}, {input})", func.name())
+            }
         }
     }
 }
@@ -390,7 +392,13 @@ mod tests {
         match hj.to_logical() {
             LogicalExpr::Join { predicate, .. } => {
                 let p = predicate.unwrap();
-                assert!(matches!(p, ScalarExpr::Binary { op: ScalarOp::Eq, .. }));
+                assert!(matches!(
+                    p,
+                    ScalarExpr::Binary {
+                        op: ScalarOp::Eq,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }

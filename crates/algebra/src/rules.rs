@@ -422,9 +422,8 @@ pub fn push_to_wrappers(expr: &LogicalExpr, lookup: &dyn CapabilityLookup) -> Lo
                     // A projection blocked by a non-pushable filter may
                     // still reach the wrapper by commuting below it first.
                     let swapped = push_project_below_filter(e)?;
-                    let rewritten = swapped.rewrite_bottom_up(&|inner| {
-                        push_project_into_submit(inner, lookup)
-                    });
+                    let rewritten =
+                        swapped.rewrite_bottom_up(&|inner| push_project_into_submit(inner, lookup));
                     (rewritten != swapped).then_some(rewritten)
                 })
         });
@@ -652,8 +651,12 @@ mod tests {
         let mut lookup = BTreeMap::new();
         lookup.insert(
             "w_full".to_owned(),
-            CapabilitySet::new([OperatorKind::Get, OperatorKind::Select, OperatorKind::Project])
-                .with_composition(true),
+            CapabilitySet::new([
+                OperatorKind::Get,
+                OperatorKind::Select,
+                OperatorKind::Project,
+            ])
+            .with_composition(true),
         );
         lookup.insert("w_min".to_owned(), CapabilitySet::get_only());
         let plan = LogicalExpr::Union(vec![

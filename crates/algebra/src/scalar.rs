@@ -51,7 +51,12 @@ impl ScalarOp {
     pub fn is_comparison(&self) -> bool {
         matches!(
             self,
-            ScalarOp::Eq | ScalarOp::NotEq | ScalarOp::Lt | ScalarOp::Le | ScalarOp::Gt | ScalarOp::Ge
+            ScalarOp::Eq
+                | ScalarOp::NotEq
+                | ScalarOp::Lt
+                | ScalarOp::Le
+                | ScalarOp::Gt
+                | ScalarOp::Ge
         )
     }
 
@@ -119,9 +124,9 @@ impl AggKind {
                     if matches!(v, Value::Float(_)) {
                         all_int = false;
                     }
-                    acc += v
-                        .as_float()
-                        .map_err(|_| AlgebraError::Type(format!("sum over non-numeric value {v}")))?;
+                    acc += v.as_float().map_err(|_| {
+                        AlgebraError::Type(format!("sum over non-numeric value {v}"))
+                    })?;
                 }
                 #[allow(clippy::cast_possible_truncation)]
                 Ok(if all_int {
@@ -136,15 +141,23 @@ impl AggKind {
                 }
                 let mut acc = 0.0;
                 for v in bag {
-                    acc += v
-                        .as_float()
-                        .map_err(|_| AlgebraError::Type(format!("avg over non-numeric value {v}")))?;
+                    acc += v.as_float().map_err(|_| {
+                        AlgebraError::Type(format!("avg over non-numeric value {v}"))
+                    })?;
                 }
                 #[allow(clippy::cast_precision_loss)]
                 Ok(Value::Float(acc / bag.len() as f64))
             }
-            AggKind::Min => Ok(bag.sorted().into_iter().next().unwrap_or(Value::Null)),
-            AggKind::Max => Ok(bag.sorted().into_iter().next_back().unwrap_or(Value::Null)),
+            AggKind::Min => Ok(bag
+                .iter()
+                .min_by(|a, b| a.total_cmp(b))
+                .cloned()
+                .unwrap_or(Value::Null)),
+            AggKind::Max => Ok(bag
+                .iter()
+                .max_by(|a, b| a.total_cmp(b))
+                .cloned()
+                .unwrap_or(Value::Null)),
         }
     }
 }
@@ -178,8 +191,10 @@ pub enum ScalarExpr {
     },
     /// Logical negation.
     Not(Box<ScalarExpr>),
-    /// Struct construction (`struct(name: …, salary: …)`).
-    StructLit(Vec<(String, ScalarExpr)>),
+    /// Struct construction (`struct(name: …, salary: …)`).  Field names
+    /// are `Arc<str>` so per-row evaluation shares them instead of
+    /// allocating fresh name strings for every output row.
+    StructLit(Vec<(std::sync::Arc<str>, ScalarExpr)>),
     /// An aggregate over a (possibly correlated) sub-query.  Evaluated by
     /// the mediator run-time through the sub-query callback.
     Agg(AggKind, Box<LogicalExpr>),
@@ -284,7 +299,10 @@ impl ScalarExpr {
                     a.walk(f);
                 }
             }
-            ScalarExpr::Const(_) | ScalarExpr::Attr(_) | ScalarExpr::Var(_) | ScalarExpr::Agg(..) => {}
+            ScalarExpr::Const(_)
+            | ScalarExpr::Attr(_)
+            | ScalarExpr::Var(_)
+            | ScalarExpr::Agg(..) => {}
         }
     }
 
@@ -323,9 +341,119 @@ impl ScalarExpr {
     }
 }
 
+/// One scope layer of the evaluator's row environment.
+#[derive(Debug, Clone, Copy, Default)]
+enum Scope<'a> {
+    /// No bindings (the root scope).
+    #[default]
+    Empty,
+    /// A struct row: every field is a binding.
+    Row(&'a StructValue),
+    /// A non-struct row, exposed under the name `it`.
+    It(&'a Value),
+}
+
+/// A layered, allocation-free row environment.
+///
+/// The evaluator used to materialise one merged `StructValue` per row (and
+/// per join pair) just to give scalar expressions a place to look up
+/// variables — a `Vec` rebuild plus `String` clones on every row.  `Env`
+/// replaces that with a chain of borrowed scopes: the innermost scope is
+/// the current row, outer scopes are enclosing rows (join partner, outer
+/// query of a correlated sub-query).  Name lookup walks inward-out, so
+/// inner scopes shadow outer ones — exactly the shadowing the old
+/// merge-based code implemented by overwriting fields.
+///
+/// `Env` is `Copy` (two words: a scope and a parent pointer); stacking a
+/// scope for a row costs nothing and allocates nothing.
+///
+/// # Examples
+///
+/// ```
+/// use disco_algebra::{Env, ScalarExpr, eval_scalar_env};
+/// use disco_value::{StructValue, Value};
+///
+/// let row = StructValue::new(vec![("salary", Value::Int(200))]).unwrap();
+/// let root = Env::root();
+/// let env = root.with_row(&row);
+/// let v = eval_scalar_env(&ScalarExpr::attr("salary"), &env).unwrap();
+/// assert_eq!(v, Value::Int(200));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Env<'a> {
+    scope: Scope<'a>,
+    outer: Option<&'a Env<'a>>,
+}
+
+impl<'a> Env<'a> {
+    /// The empty root environment.
+    #[must_use]
+    pub fn root() -> Env<'static> {
+        Env {
+            scope: Scope::Empty,
+            outer: None,
+        }
+    }
+
+    /// An environment whose only scope is `row`.
+    #[must_use]
+    pub fn of_row(row: &'a StructValue) -> Env<'a> {
+        Env {
+            scope: Scope::Row(row),
+            outer: None,
+        }
+    }
+
+    /// Stacks a struct-row scope on top of `self`; the row's fields shadow
+    /// same-named outer bindings.
+    #[must_use]
+    pub fn with_row(&'a self, row: &'a StructValue) -> Env<'a> {
+        Env {
+            scope: Scope::Row(row),
+            outer: Some(self),
+        }
+    }
+
+    /// Stacks a value scope: struct rows bind their fields, any other value
+    /// is exposed under the name `it`.
+    #[must_use]
+    pub fn with_value(&'a self, value: &'a Value) -> Env<'a> {
+        match value {
+            Value::Struct(s) => self.with_row(s),
+            other => Env {
+                scope: Scope::It(other),
+                outer: Some(self),
+            },
+        }
+    }
+
+    /// Looks a name up through the scope chain, innermost scope first.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<&'a Value> {
+        let mut env = Some(self);
+        while let Some(e) = env {
+            match e.scope {
+                Scope::Row(row) => {
+                    if let Some(v) = row.get(name) {
+                        return Some(v);
+                    }
+                }
+                Scope::It(v) => {
+                    if name == "it" {
+                        return Some(v);
+                    }
+                }
+                Scope::Empty => {}
+            }
+            env = e.outer;
+        }
+        None
+    }
+}
+
 /// Callback used to evaluate sub-query aggregates: given a logical plan and
-/// the current environment row, produce the bag of values of the sub-query.
-pub type SubqueryEval<'a> = dyn Fn(&LogicalExpr, &StructValue) -> Result<Bag> + 'a;
+/// the current environment, produce the bag of values of the sub-query.
+pub type SubqueryEval<'a> = dyn Fn(&LogicalExpr, &Env<'_>) -> Result<Bag> + 'a;
 
 /// Evaluates a scalar expression against a row with no sub-query support
 /// (used by wrappers and data sources).
@@ -335,11 +463,22 @@ pub type SubqueryEval<'a> = dyn Fn(&LogicalExpr, &StructValue) -> Result<Bag> + 
 /// Returns [`AlgebraError::SubqueryNotSupported`] if the expression
 /// contains an aggregate sub-query, plus the usual attribute/type errors.
 pub fn eval_scalar(expr: &ScalarExpr, row: &StructValue) -> Result<Value> {
-    eval_scalar_with(expr, row, &|_, _| Err(AlgebraError::SubqueryNotSupported))
+    let env = Env::of_row(row);
+    eval_scalar_with(expr, &env, &|_, _| Err(AlgebraError::SubqueryNotSupported))
 }
 
-/// Evaluates a scalar expression against a row, delegating aggregate
-/// sub-queries to `subquery`.
+/// Evaluates a scalar expression against an environment with no sub-query
+/// support.
+///
+/// # Errors
+///
+/// See [`eval_scalar`].
+pub fn eval_scalar_env(expr: &ScalarExpr, env: &Env<'_>) -> Result<Value> {
+    eval_scalar_with(expr, env, &|_, _| Err(AlgebraError::SubqueryNotSupported))
+}
+
+/// Evaluates a scalar expression against an environment, delegating
+/// aggregate sub-queries to `subquery`.
 ///
 /// # Errors
 ///
@@ -347,21 +486,36 @@ pub fn eval_scalar(expr: &ScalarExpr, row: &StructValue) -> Result<Value> {
 /// error produced by the sub-query callback.
 pub fn eval_scalar_with(
     expr: &ScalarExpr,
-    row: &StructValue,
+    env: &Env<'_>,
     subquery: &SubqueryEval<'_>,
 ) -> Result<Value> {
     match expr {
         ScalarExpr::Const(v) => Ok(v.clone()),
-        ScalarExpr::Attr(name) => row
-            .field(name)
+        ScalarExpr::Attr(name) => env
+            .lookup(name)
             .cloned()
-            .map_err(|_| AlgebraError::UnknownAttribute(name.clone())),
-        ScalarExpr::Var(name) => row
-            .field(name)
+            .ok_or_else(|| AlgebraError::UnknownAttribute(name.clone())),
+        ScalarExpr::Var(name) => env
+            .lookup(name)
             .cloned()
-            .map_err(|_| AlgebraError::UnknownVariable(name.clone())),
+            .ok_or_else(|| AlgebraError::UnknownVariable(name.clone())),
         ScalarExpr::Field(inner, field) => {
-            let base = eval_scalar_with(inner, row, subquery)?;
+            // Fast path `x.field`: borrow through the environment without
+            // cloning the intermediate struct.
+            if let ScalarExpr::Var(var) = inner.as_ref() {
+                return match env.lookup(var) {
+                    None => Err(AlgebraError::UnknownVariable(var.clone())),
+                    Some(Value::Struct(s)) => s
+                        .get(field)
+                        .cloned()
+                        .ok_or_else(|| AlgebraError::UnknownAttribute(field.clone())),
+                    Some(Value::Null) => Ok(Value::Null),
+                    Some(other) => Err(AlgebraError::Type(format!(
+                        "field access .{field} on non-struct value {other}"
+                    ))),
+                };
+            }
+            let base = eval_scalar_with(inner, env, subquery)?;
             match base {
                 Value::Struct(s) => s
                     .field(field)
@@ -374,29 +528,33 @@ pub fn eval_scalar_with(
             }
         }
         ScalarExpr::Binary { op, left, right } => {
-            let l = eval_scalar_with(left, row, subquery)?;
-            let r = eval_scalar_with(right, row, subquery)?;
+            let l = eval_scalar_with(left, env, subquery)?;
+            let r = eval_scalar_with(right, env, subquery)?;
             eval_binary(*op, &l, &r)
         }
         ScalarExpr::Not(inner) => {
-            let v = eval_scalar_with(inner, row, subquery)?;
+            let v = eval_scalar_with(inner, env, subquery)?;
             Ok(Value::Bool(!truthy(&v)))
         }
         ScalarExpr::StructLit(fields) => {
             let mut out = Vec::with_capacity(fields.len());
             for (name, e) in fields {
-                out.push((name.clone(), eval_scalar_with(e, row, subquery)?));
+                // Arc bump: the output row shares the literal's name storage.
+                out.push((
+                    std::sync::Arc::clone(name),
+                    eval_scalar_with(e, env, subquery)?,
+                ));
             }
             Ok(Value::Struct(StructValue::new(out)?))
         }
         ScalarExpr::Agg(kind, plan) => {
-            let bag = subquery(plan, row)?;
+            let bag = subquery(plan, env)?;
             kind.apply(&bag)
         }
         ScalarExpr::Call(name, args) => {
             let mut values = Vec::with_capacity(args.len());
             for a in args {
-                values.push(eval_scalar_with(a, row, subquery)?);
+                values.push(eval_scalar_with(a, env, subquery)?);
             }
             eval_builtin_call(name, &values)
         }
@@ -414,7 +572,7 @@ fn eval_builtin_call(name: &str, args: &[Value]) -> Result<Value> {
                     other => out.push_str(&other.to_string()),
                 }
             }
-            Ok(Value::Str(out))
+            Ok(Value::Str(out.into()))
         }
         "coalesce" => Ok(args
             .iter()
@@ -457,7 +615,7 @@ pub fn eval_binary(op: ScalarOp, left: &Value, right: &Value) -> Result<Value> {
             // String concatenation with `+`.
             if op == Add {
                 if let (Value::Str(a), Value::Str(b)) = (left, right) {
-                    return Ok(Value::Str(format!("{a}{b}")));
+                    return Ok(Value::Str(format!("{a}{b}").into()));
                 }
             }
             if left.is_null() || right.is_null() {
@@ -626,8 +784,11 @@ mod tests {
     #[test]
     fn arithmetic_and_division_by_zero() {
         let row = StructValue::default();
-        let div =
-            ScalarExpr::binary(ScalarOp::Div, ScalarExpr::constant(4i64), ScalarExpr::constant(0i64));
+        let div = ScalarExpr::binary(
+            ScalarOp::Div,
+            ScalarExpr::constant(4i64),
+            ScalarExpr::constant(0i64),
+        );
         assert!(matches!(
             eval_scalar(&div, &row),
             Err(AlgebraError::DivisionByZero)
@@ -669,7 +830,11 @@ mod tests {
         let row = mary();
         let e = ScalarExpr::binary(
             ScalarOp::And,
-            ScalarExpr::binary(ScalarOp::Gt, ScalarExpr::attr("salary"), ScalarExpr::constant(10i64)),
+            ScalarExpr::binary(
+                ScalarOp::Gt,
+                ScalarExpr::attr("salary"),
+                ScalarExpr::constant(10i64),
+            ),
             ScalarExpr::binary(
                 ScalarOp::Eq,
                 ScalarExpr::attr("name"),
@@ -683,7 +848,9 @@ mod tests {
 
     #[test]
     fn aggregates_apply() {
-        let bag: Bag = [Value::Int(1), Value::Int(2), Value::Int(3)].into_iter().collect();
+        let bag: Bag = [Value::Int(1), Value::Int(2), Value::Int(3)]
+            .into_iter()
+            .collect();
         assert_eq!(AggKind::Sum.apply(&bag).unwrap(), Value::Int(6));
         assert_eq!(AggKind::Count.apply(&bag).unwrap(), Value::Int(3));
         assert_eq!(AggKind::Avg.apply(&bag).unwrap(), Value::Float(2.0));

@@ -235,7 +235,7 @@ pub fn scalar_to_oql(expr: &ScalarExpr, attr_var: Option<&str>) -> OqlExpr {
         ScalarExpr::StructLit(fields) => OqlExpr::StructConstruct(
             fields
                 .iter()
-                .map(|(n, e)| (n.clone(), scalar_to_oql(e, attr_var)))
+                .map(|(n, e)| (n.as_ref().to_owned(), scalar_to_oql(e, attr_var)))
                 .collect(),
         ),
         ScalarExpr::Agg(kind, plan) => {
@@ -359,10 +359,7 @@ mod tests {
         }
         .map_project(ScalarExpr::var_field("x", "name"));
         let text = print_expr(&logical_to_oql(&plan));
-        assert_eq!(
-            text,
-            "select x.name from x in person0 where x.salary > 10"
-        );
+        assert_eq!(text, "select x.name from x in person0 where x.salary > 10");
     }
 
     #[test]
@@ -383,8 +380,16 @@ mod tests {
     #[test]
     fn joins_render_with_all_bindings_and_predicates() {
         let plan = LogicalExpr::Join {
-            left: Box::new(LogicalExpr::get("person0").submit("r0", "w0", "person0").bind("x")),
-            right: Box::new(LogicalExpr::get("person1").submit("r1", "w0", "person1").bind("y")),
+            left: Box::new(
+                LogicalExpr::get("person0")
+                    .submit("r0", "w0", "person0")
+                    .bind("x"),
+            ),
+            right: Box::new(
+                LogicalExpr::get("person1")
+                    .submit("r1", "w0", "person1")
+                    .bind("y"),
+            ),
             predicate: Some(ScalarExpr::binary(
                 ScalarOp::Eq,
                 ScalarExpr::var_field("x", "id"),
@@ -465,7 +470,13 @@ mod tests {
         ] {
             assert_eq!(scalar_op_from_oql(scalar_op_to_oql(op)), op);
         }
-        for agg in [AggKind::Sum, AggKind::Count, AggKind::Avg, AggKind::Min, AggKind::Max] {
+        for agg in [
+            AggKind::Sum,
+            AggKind::Count,
+            AggKind::Avg,
+            AggKind::Min,
+            AggKind::Max,
+        ] {
             assert_eq!(agg_from_oql(agg_to_oql(agg)), agg);
         }
     }

@@ -14,9 +14,13 @@ fn bench_pushdown(c: &mut Criterion) {
     group.sample_size(20);
     for (label, caps) in capability_levels() {
         let federation = person_federation(2, 400, caps);
-        group.bench_with_input(BenchmarkId::new("selective_query", label), &label, |b, _| {
-            b.iter(|| federation.mediator.query(QUERY).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("selective_query", label),
+            &label,
+            |b, _| {
+                b.iter(|| federation.mediator.query(QUERY).unwrap());
+            },
+        );
     }
     group.finish();
 }

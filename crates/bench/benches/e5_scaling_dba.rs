@@ -34,9 +34,19 @@ fn bench_scaling(c: &mut Criterion) {
             );
         });
         let federation = water_federation(n, 10);
-        group.bench_with_input(BenchmarkId::new("resolve_implicit_extent", n), &n, |b, _| {
-            b.iter(|| federation.mediator.catalog().resolve("measurement").unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("resolve_implicit_extent", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    federation
+                        .mediator
+                        .catalog()
+                        .resolve("measurement")
+                        .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

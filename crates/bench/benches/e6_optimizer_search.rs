@@ -11,8 +11,16 @@ fn bench_optimizer(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_optimizer_search");
     group.sample_size(30);
     let cases = [
-        ("point", 2, "select x.name from x in person0 where x.salary > 400"),
-        ("union_8_sources", 8, "select x.name from x in person where x.salary > 400"),
+        (
+            "point",
+            2,
+            "select x.name from x in person0 where x.salary > 400",
+        ),
+        (
+            "union_8_sources",
+            8,
+            "select x.name from x in person where x.salary > 400",
+        ),
         (
             "join",
             2,

@@ -24,7 +24,11 @@ fn bench_pipeline(c: &mut Criterion) {
     let plan = federation.mediator.explain(QUERY).unwrap();
     let executor = Executor::new(federation.mediator.registry().clone());
     group.bench_function("execute", |b| {
-        b.iter(|| executor.execute(&plan.physical, federation.mediator.catalog()).unwrap());
+        b.iter(|| {
+            executor
+                .execute(&plan.physical, federation.mediator.catalog())
+                .unwrap()
+        });
     });
     group.bench_function("end_to_end", |b| {
         b.iter(|| federation.mediator.query(QUERY).unwrap());

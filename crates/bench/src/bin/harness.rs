@@ -8,6 +8,10 @@
 //! cargo run -p disco-bench --release --bin harness -- all --quick
 //! cargo run -p disco-bench --release --bin harness -- e1 --json
 //! ```
+//!
+//! Whenever E9 (evaluator throughput) runs, its report is also written to
+//! `BENCH_e9.json` in the current directory so the perf trajectory of the
+//! mediator combine step is tracked from PR to PR.
 
 use disco_bench::experiments::{self, Scale};
 use disco_bench::report::Report;
@@ -25,7 +29,9 @@ fn main() {
 
     let wanted = |id: &str| -> bool {
         selection.is_empty()
-            || selection.iter().any(|s| s == "all" || s.eq_ignore_ascii_case(id))
+            || selection
+                .iter()
+                .any(|s| s == "all" || s.eq_ignore_ascii_case(id))
     };
 
     let mut reports: Vec<Report> = Vec::new();
@@ -53,9 +59,16 @@ fn main() {
     if wanted("e8") {
         reports.push(experiments::e8_semijoin_gap(scale));
     }
+    if wanted("e9") {
+        let report = experiments::e9_evaluator_throughput(scale);
+        if let Err(err) = std::fs::write("BENCH_e9.json", report.to_json()) {
+            eprintln!("warning: could not write BENCH_e9.json: {err}");
+        }
+        reports.push(report);
+    }
 
     if reports.is_empty() {
-        eprintln!("unknown experiment selection {selection:?}; use e1..e8 or all");
+        eprintln!("unknown experiment selection {selection:?}; use e1..e9 or all");
         std::process::exit(2);
     }
     for report in &reports {

@@ -152,7 +152,10 @@ pub fn e2_partial_eval(scale: Scale) -> Report {
     let mut report = Report::new(
         "E2",
         "partial answers as k of N sources are unavailable",
-        &format!("{n} person sources of {} rows; k sources taken down, then recovered", scale.rows),
+        &format!(
+            "{n} person sources of {} rows; k sources taken down, then recovered",
+            scale.rows
+        ),
         &[
             "unavailable k",
             "data fraction",
@@ -173,7 +176,10 @@ pub fn e2_partial_eval(scale: Scale) -> Report {
         let answer = federation.mediator.query(PERSON_QUERY).expect("query runs");
         let fraction = answer.data().len() as f64 / full_rows;
         let (residual_extents, residual_chars) = match answer.residual() {
-            Some(residual) => (residual.collections().len(), answer.residual_oql().unwrap().len()),
+            Some(residual) => (
+                residual.collections().len(),
+                answer.residual_oql().unwrap().len(),
+            ),
             None => (0, 0),
         };
         // Recover everything and resubmit until complete.
@@ -183,7 +189,10 @@ pub fn e2_partial_eval(scale: Scale) -> Report {
         let mut steps = 0usize;
         let mut current = answer.clone();
         while !current.is_complete() && steps < 5 {
-            current = federation.mediator.resubmit(&current).expect("resubmission runs");
+            current = federation
+                .mediator
+                .resubmit(&current)
+                .expect("resubmission runs");
             steps += 1;
         }
         let converged = current.data() == full.data();
@@ -234,8 +243,7 @@ pub fn e3_pushdown(scale: Scale) -> Report {
     for (label, caps) in capability_levels() {
         for &threshold in &thresholds {
             let federation = person_federation(2, scale.rows, caps.clone());
-            let query =
-                format!("select x.name from x in person where x.salary > {threshold}");
+            let query = format!("select x.name from x in person where x.salary > {threshold}");
             // Inspect the plan before executing so the (cold) cost model the
             // execution will use is also the one whose pushdown decisions we
             // report.
@@ -298,8 +306,7 @@ pub fn e4_calibration(scale: Scale) -> Report {
         availability: Availability::Available,
         real_sleep: false,
     };
-    let federation =
-        person_federation_with_profile(1, scale.rows, CapabilitySet::full(), profile);
+    let federation = person_federation_with_profile(1, scale.rows, CapabilitySet::full(), profile);
     let mediator = &federation.mediator;
     let query = "select x.name from x in person0 where x.salary > 250";
     let mut report = Report::new(
@@ -484,7 +491,8 @@ pub fn e6_optimizer_search(scale: Scale) -> Report {
             "canonical cost",
         ],
     );
-    let cases: Vec<(&str, usize, String)> = vec![
+    let cases: Vec<(&str, usize, String)> =
+        vec![
         ("point select", 2, "select x.name from x in person where x.salary > 400".to_owned()),
         ("multi-source union", 8, "select x.name from x in person where x.salary > 400".to_owned()),
         (
@@ -541,8 +549,14 @@ pub fn e6_optimizer_search(scale: Scale) -> Report {
 pub fn e7_pipeline(scale: Scale) -> Report {
     let federation = person_federation(4, scale.rows, CapabilitySet::full());
     let queries = [
-        ("point", "select x.name from x in person0 where x.salary > 400"),
-        ("union", "select x.name from x in person where x.salary > 400"),
+        (
+            "point",
+            "select x.name from x in person0 where x.salary > 400",
+        ),
+        (
+            "union",
+            "select x.name from x in person where x.salary > 400",
+        ),
         (
             "join",
             "select struct(a: x.name, b: y.name) from x in person0, y in person1 where x.id = y.id",
@@ -612,7 +626,9 @@ pub fn e7_pipeline(scale: Scale) -> Report {
 /// bound quantifies what the restriction costs.
 #[must_use]
 pub fn e8_semijoin_gap(scale: Scale) -> Report {
-    use disco_catalog::{Attribute, Catalog, InterfaceDef, MetaExtent, Repository, TypeRef, WrapperDef};
+    use disco_catalog::{
+        Attribute, Catalog, InterfaceDef, MetaExtent, Repository, TypeRef, WrapperDef,
+    };
     use disco_source::{generator, RelationalStore, SimulatedLink};
     use disco_wrapper::{RelationalWrapper, WrapperRegistry};
     use std::sync::Arc;
@@ -655,10 +671,18 @@ pub fn e8_semijoin_gap(scale: Scale) -> Report {
                 .with_attribute(Attribute::new("dept", TypeRef::Int)),
         )
         .expect("fresh catalog");
-    catalog.add_repository(Repository::new("r0")).expect("fresh");
-    catalog.add_repository(Repository::new("r1")).expect("fresh");
-    catalog.add_wrapper(WrapperDef::new("w0", "relational")).expect("fresh");
-    catalog.add_wrapper(WrapperDef::new("w1", "relational")).expect("fresh");
+    catalog
+        .add_repository(Repository::new("r0"))
+        .expect("fresh");
+    catalog
+        .add_repository(Repository::new("r1"))
+        .expect("fresh");
+    catalog
+        .add_wrapper(WrapperDef::new("w0", "relational"))
+        .expect("fresh");
+    catalog
+        .add_wrapper(WrapperDef::new("w1", "relational"))
+        .expect("fresh");
 
     let registry = WrapperRegistry::new();
     let employee_table = generator::employee_table("employee0", scale.rows, departments, 11);
@@ -669,19 +693,27 @@ pub fn e8_semijoin_gap(scale: Scale) -> Report {
             row.field("dept")
                 .ok()
                 .and_then(|v| v.as_int().ok())
-                .map_or(false, |d| (d as usize) < managed_departments)
+                .is_some_and(|d| (d as usize) < managed_departments)
         })
         .count();
     let store0 = Arc::new(RelationalStore::new());
     store0.put_table(employee_table);
-    store0.put_table(generator::manager_table("manager0", managed_departments, 11));
+    store0.put_table(generator::manager_table(
+        "manager0",
+        managed_departments,
+        11,
+    ));
     registry.register(Arc::new(RelationalWrapper::new(
         "w0",
         store0,
         Arc::new(SimulatedLink::new("r0", NetworkProfile::fast(), 1)),
     )));
     let store1 = Arc::new(RelationalStore::new());
-    store1.put_table(generator::manager_table("manager1", managed_departments, 11));
+    store1.put_table(generator::manager_table(
+        "manager1",
+        managed_departments,
+        11,
+    ));
     registry.register(Arc::new(RelationalWrapper::new(
         "w1",
         store1,
@@ -711,8 +743,16 @@ pub fn e8_semijoin_gap(scale: Scale) -> Report {
 
     // (b) Cross repository: both inputs ship to the mediator.
     let cross = LogicalExpr::Join {
-        left: Box::new(LogicalExpr::get("employee0").submit("r0", "w0", "employee0").bind("x")),
-        right: Box::new(LogicalExpr::get("manager1").submit("r1", "w1", "manager1").bind("y")),
+        left: Box::new(
+            LogicalExpr::get("employee0")
+                .submit("r0", "w0", "employee0")
+                .bind("x"),
+        ),
+        right: Box::new(
+            LogicalExpr::get("manager1")
+                .submit("r1", "w1", "manager1")
+                .bind("y"),
+        ),
         predicate: Some(ScalarExpr::binary(
             ScalarOp::Eq,
             ScalarExpr::var_field("x", "dept"),
@@ -757,6 +797,73 @@ pub fn e8_semijoin_gap(scale: Scale) -> Report {
     report
 }
 
+// ---------------------------------------------------------------------
+// E9 — mediator evaluator throughput (the combine step)
+// ---------------------------------------------------------------------
+
+/// E9: throughput of the mediator-side evaluator over in-memory bags — no
+/// wrappers, no simulated network.  This isolates the combine step the
+/// zero-clone value plane (Arc-backed rows, hash join on a real `HashMap`,
+/// layered row environment) optimises; the numbers are the before/after
+/// yardstick recorded in `BENCH_e9.json` and `ROADMAP.md`.  The workloads
+/// come from [`crate::workloads`] and are shared with the criterion bench.
+#[must_use]
+pub fn e9_evaluator_throughput(scale: Scale) -> Report {
+    use crate::workloads::{
+        e9_distinct_plan, e9_filter_project_plan, e9_hash_join_plan, e9_person_bag,
+    };
+    use disco_runtime::{evaluate_physical, ResolvedExecs};
+
+    let rows = if scale.trials >= 40 { 100_000 } else { 10_000 };
+    let trials = scale.trials.clamp(3, 10);
+    let mut report = Report::new(
+        "E9",
+        "mediator evaluator throughput (combine step)",
+        &format!("{rows}-row in-memory person bags, best of {trials} trials per pipeline"),
+        &["pipeline", "rows in", "rows out", "best ms", "Mrows/s"],
+    );
+
+    let resolved = ResolvedExecs::default();
+    let mut run = |name: &str, rows_in: usize, plan: &LogicalExpr| {
+        let physical = lower(plan).expect("plan lowers");
+        let mut best = f64::INFINITY;
+        let mut rows_out = 0usize;
+        for _ in 0..trials {
+            let started = Instant::now();
+            let out = evaluate_physical(&physical, &resolved).expect("evaluates");
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+            rows_out = out.len();
+            if elapsed_ms < best {
+                best = elapsed_ms;
+            }
+        }
+        let mrows_per_s = rows_in as f64 / (best / 1000.0) / 1.0e6;
+        report.push_row([
+            name.to_owned(),
+            rows_in.to_string(),
+            rows_out.to_string(),
+            fmt_f64(best),
+            fmt_f64(mrows_per_s),
+        ]);
+    };
+
+    run("filter_project", rows, &e9_filter_project_plan(rows));
+    run("hash_join", rows + rows / 10, &e9_hash_join_plan(rows));
+    run("distinct", rows, &e9_distinct_plan(rows));
+
+    let union_bags: Vec<LogicalExpr> = (0..8)
+        .map(|_| LogicalExpr::Data(e9_person_bag(rows / 8, 1024)))
+        .collect();
+    let union_distinct = LogicalExpr::Distinct(Box::new(LogicalExpr::Union(union_bags)));
+    run("union8_distinct", rows, &union_distinct);
+
+    report.push_note(
+        "evaluator only: bags are in memory, so this is the mediator combine cost that \
+         dominates once wrappers answer in parallel",
+    );
+    report
+}
+
 /// Runs every experiment at the given scale.
 #[must_use]
 pub fn run_all(scale: Scale) -> Vec<Report> {
@@ -769,6 +876,7 @@ pub fn run_all(scale: Scale) -> Vec<Report> {
         e6_optimizer_search(scale),
         e7_pipeline(scale),
         e8_semijoin_gap(scale),
+        e9_evaluator_throughput(scale),
     ]
 }
 
@@ -808,11 +916,17 @@ mod tests {
         let report = e3_pushdown(Scale::quick());
         for row in &report.rows {
             if row[0] == "get" {
-                assert_eq!(row[5], "100.0%", "get-only wrappers ship all values: {row:?}");
+                assert_eq!(
+                    row[5], "100.0%",
+                    "get-only wrappers ship all values: {row:?}"
+                );
             }
             if row[0] == "get+project" {
                 let pct: f64 = row[5].trim_end_matches('%').parse().unwrap();
-                assert!(pct < 100.0, "project-capable wrappers narrow tuples: {row:?}");
+                assert!(
+                    pct < 100.0,
+                    "project-capable wrappers narrow tuples: {row:?}"
+                );
             }
         }
     }

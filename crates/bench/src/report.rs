@@ -5,10 +5,8 @@
 //! aligned text table (the "rows/series the paper reports"); `--json`
 //! emits machine-readable records for plotting.
 
-use serde::Serialize;
-
 /// One experiment report: a table plus metadata.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Experiment identifier (e.g. `E1`).
     pub id: String,
@@ -99,11 +97,52 @@ impl Report {
         out
     }
 
-    /// Renders the report as JSON.
+    /// Renders the report as JSON (hand-rolled: the build environment has
+    /// no serde, and the report shape is just strings and string arrays).
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_owned())
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str(&format!("  \"workload\": {},\n", json_str(&self.workload)));
+        out.push_str(&format!(
+            "  \"columns\": {},\n",
+            json_str_array(&self.columns)
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let sep = if i + 1 == self.rows.len() { "" } else { "," };
+            out.push_str(&format!("    {}{sep}\n", json_str_array(row)));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"notes\": {}\n", json_str_array(&self.notes)));
+        out.push('}');
+        out
     }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", cells.join(", "))
 }
 
 /// Formats a float with three decimals.

@@ -117,44 +117,112 @@ pub fn employee_federation(rows: usize, departments: usize) -> Federation {
                 .with_attribute(Attribute::new("dept", TypeRef::Int)),
         )
         .expect("fresh catalog");
-    let mut links = Vec::new();
-    links.push(
-        mediator
-            .add_relational_source(
-                "employee0",
-                "Employee",
-                "r0",
-                generator::employee_table("employee0", rows, departments, 11),
-                NetworkProfile::fast(),
-                CapabilitySet::full(),
-            )
-            .expect("registration succeeds"),
-    );
-    links.push(
-        mediator
-            .add_relational_source(
-                "manager0",
-                "Manager",
-                "r0_managers",
-                generator::manager_table("manager0", departments, 11),
-                NetworkProfile::fast(),
-                CapabilitySet::full(),
-            )
-            .expect("registration succeeds"),
-    );
-    links.push(
-        mediator
-            .add_relational_source(
-                "employee1",
-                "Employee",
-                "r1",
-                generator::employee_table("employee1", rows, departments, 13),
-                NetworkProfile::fast(),
-                CapabilitySet::full(),
-            )
-            .expect("registration succeeds"),
-    );
+    let employee0 = mediator
+        .add_relational_source(
+            "employee0",
+            "Employee",
+            "r0",
+            generator::employee_table("employee0", rows, departments, 11),
+            NetworkProfile::fast(),
+            CapabilitySet::full(),
+        )
+        .expect("registration succeeds");
+    let manager0 = mediator
+        .add_relational_source(
+            "manager0",
+            "Manager",
+            "r0_managers",
+            generator::manager_table("manager0", departments, 11),
+            NetworkProfile::fast(),
+            CapabilitySet::full(),
+        )
+        .expect("registration succeeds");
+    let employee1 = mediator
+        .add_relational_source(
+            "employee1",
+            "Employee",
+            "r1",
+            generator::employee_table("employee1", rows, departments, 13),
+            NetworkProfile::fast(),
+            CapabilitySet::full(),
+        )
+        .expect("registration succeeds");
+    let links = vec![employee0, manager0, employee1];
     Federation { mediator, links }
+}
+
+/// Deterministic person bag for the E9 evaluator pipelines: `id` cycles
+/// over `id_space`, salary over a 0-999 spread.  Shared by the criterion
+/// bench and the harness experiment so their workloads cannot drift
+/// apart.
+#[must_use]
+pub fn e9_person_bag(rows: usize, id_space: i64) -> disco_value::Bag {
+    use disco_value::{Bag, StructValue, Value};
+    let mut bag = Bag::with_capacity(rows);
+    for i in 0..rows {
+        let i64i = i as i64;
+        bag.insert(Value::Struct(
+            StructValue::new(vec![
+                ("id", Value::Int(i64i % id_space)),
+                ("name", Value::from(format!("person-{}", i64i % id_space))),
+                ("salary", Value::Int((i64i * 37) % 1000)),
+            ])
+            .expect("distinct fields"),
+        ));
+    }
+    bag
+}
+
+/// E9 pipeline: filter salary > 500, project the name.
+#[must_use]
+pub fn e9_filter_project_plan(rows: usize) -> disco_algebra::LogicalExpr {
+    use disco_algebra::{LogicalExpr, ScalarExpr, ScalarOp};
+    LogicalExpr::Data(e9_person_bag(rows, 1024))
+        .bind("x")
+        .filter(ScalarExpr::binary(
+            ScalarOp::Gt,
+            ScalarExpr::var_field("x", "salary"),
+            ScalarExpr::constant(500i64),
+        ))
+        .map_project(ScalarExpr::var_field("x", "name"))
+}
+
+/// E9 pipeline: equi-join `rows` left rows against `rows / 10` right rows
+/// on a shared id space, projecting a computed struct.
+#[must_use]
+pub fn e9_hash_join_plan(rows: usize) -> disco_algebra::LogicalExpr {
+    use disco_algebra::{LogicalExpr, ScalarExpr, ScalarOp};
+    LogicalExpr::Join {
+        left: Box::new(LogicalExpr::Data(e9_person_bag(rows, 1024)).bind("x")),
+        right: Box::new(LogicalExpr::Data(e9_person_bag(rows / 10, 1024)).bind("y")),
+        predicate: Some(ScalarExpr::binary(
+            ScalarOp::Eq,
+            ScalarExpr::var_field("x", "id"),
+            ScalarExpr::var_field("y", "id"),
+        )),
+    }
+    .map_project(ScalarExpr::StructLit(vec![
+        ("name".into(), ScalarExpr::var_field("x", "name")),
+        (
+            "total".into(),
+            ScalarExpr::binary(
+                ScalarOp::Add,
+                ScalarExpr::var_field("x", "salary"),
+                ScalarExpr::var_field("y", "salary"),
+            ),
+        ),
+    ]))
+}
+
+/// E9 pipeline: project the (cycling) name, then distinct.
+#[must_use]
+pub fn e9_distinct_plan(rows: usize) -> disco_algebra::LogicalExpr {
+    use disco_algebra::{LogicalExpr, ScalarExpr};
+    LogicalExpr::Distinct(Box::new(
+        LogicalExpr::Data(e9_person_bag(rows, 1024))
+            .bind("x")
+            .map_project(ScalarExpr::var_field("x", "name")),
+    ))
 }
 
 /// The standard capability levels compared by the pushdown experiment.

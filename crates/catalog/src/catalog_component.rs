@@ -1,12 +1,10 @@
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{CatalogError, Result};
 
 /// What one mediator advertises to the catalog component: the interfaces it
 /// exposes and the number of data sources behind each.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MediatorAdvertisement {
     mediator: String,
     interfaces: Vec<String>,
@@ -64,7 +62,7 @@ impl MediatorAdvertisement {
 ///
 /// Mediators register advertisements; applications and other mediators ask
 /// the catalog which mediators can answer queries over a given interface.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CatalogComponent {
     advertisements: BTreeMap<String, MediatorAdvertisement>,
 }
@@ -132,7 +130,10 @@ impl CatalogComponent {
     /// "overview of the entire system" the paper mentions.
     #[must_use]
     pub fn total_extents(&self) -> usize {
-        self.advertisements.values().map(MediatorAdvertisement::extent_count).sum()
+        self.advertisements
+            .values()
+            .map(MediatorAdvertisement::extent_count)
+            .sum()
     }
 }
 

@@ -65,7 +65,10 @@ impl fmt::Display for CatalogError {
             CatalogError::UnknownSupertype {
                 interface,
                 supertype,
-            } => write!(f, "interface {interface} names unknown supertype {supertype}"),
+            } => write!(
+                f,
+                "interface {interface} names unknown supertype {supertype}"
+            ),
             CatalogError::CyclicSubtype(n) => write!(f, "cyclic subtype relationship at {n}"),
             CatalogError::UnknownAttribute {
                 interface,

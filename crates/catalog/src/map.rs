@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{CatalogError, Result};
 
 /// One equivalence in a local transformation map.
@@ -8,7 +6,7 @@ use crate::{CatalogError, Result};
 /// equivalences: either the data-source relation name equated with the
 /// mediator extent name, or a source attribute equated with a mediator
 /// attribute.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MapEntry {
     /// Name on the data-source side.
     source: String,
@@ -69,7 +67,7 @@ impl MapEntry {
 /// assert_eq!(map.mediator_to_source("n"), "name");
 /// assert_eq!(map.source_to_mediator("salary"), "s");
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TypeMap {
     relation: Option<MapEntry>,
     attributes: Vec<MapEntry>,
@@ -171,7 +169,9 @@ impl TypeMap {
         let inner = trimmed
             .strip_prefix('(')
             .and_then(|s| s.strip_suffix(')'))
-            .ok_or_else(|| CatalogError::InvalidMap(format!("expected outer parentheses: {text}")))?;
+            .ok_or_else(|| {
+                CatalogError::InvalidMap(format!("expected outer parentheses: {text}"))
+            })?;
         let mut builder = TypeMap::builder();
         for raw_pair in split_pairs(inner) {
             let pair = raw_pair.trim();
@@ -338,8 +338,11 @@ mod tests {
 
     #[test]
     fn parse_paper_syntax() {
-        let m =
-            TypeMap::parse("((person0=personprime0),(name=n),(salary=s))", "personprime0").unwrap();
+        let m = TypeMap::parse(
+            "((person0=personprime0),(name=n),(salary=s))",
+            "personprime0",
+        )
+        .unwrap();
         assert_eq!(m, paper_map());
     }
 

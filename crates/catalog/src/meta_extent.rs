@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::TypeMap;
 
 /// One instance of the paper's `MetaExtent` meta-data type (§2.1).
@@ -23,7 +21,7 @@ use crate::TypeMap;
 /// ```
 ///
 /// creates one of these records.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetaExtent {
     extent_name: String,
     interface: String,

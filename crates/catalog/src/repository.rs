@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// A repository object — "essentially the address of a database or some
 /// other type of repository" (§2).
 ///
@@ -13,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// attributes which describe the maintainer of the data source, the cost
 /// of accessing the data source, etc., can be added"), so arbitrary extra
 /// properties are supported.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Repository {
     name: String,
     host: Option<String>,
@@ -98,7 +96,9 @@ impl Repository {
 
     /// Iterates over all extra properties.
     pub fn properties(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.properties.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+        self.properties
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
     }
 }
 

@@ -1,7 +1,5 @@
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{
     Attribute, CatalogError, InterfaceDef, MetaExtent, Repository, Result, ViewDef, WrapperDef,
 };
@@ -39,7 +37,7 @@ pub enum NameBinding {
 /// cached query plans can be invalidated, as required by §3.3 ("the
 /// mediator must monitor updates to extents, and modify or recompute plans
 /// that are affected").
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Catalog {
     interfaces: BTreeMap<String, InterfaceDef>,
     extents: BTreeMap<String, MetaExtent>,
@@ -257,19 +255,24 @@ impl Catalog {
     /// interface, wrapper or repository it references is unknown.
     pub fn add_extent(&mut self, extent: MetaExtent) -> Result<()> {
         if self.extents.contains_key(extent.extent_name()) {
-            return Err(CatalogError::DuplicateExtent(extent.extent_name().to_owned()));
+            return Err(CatalogError::DuplicateExtent(
+                extent.extent_name().to_owned(),
+            ));
         }
         if !self.interfaces.contains_key(extent.interface()) {
-            return Err(CatalogError::UnknownInterface(extent.interface().to_owned()));
+            return Err(CatalogError::UnknownInterface(
+                extent.interface().to_owned(),
+            ));
         }
         if !self.wrappers.contains_key(extent.wrapper()) {
             return Err(CatalogError::UnknownWrapper(extent.wrapper().to_owned()));
         }
         if !self.repositories.contains_key(extent.repository()) {
-            return Err(CatalogError::UnknownRepository(extent.repository().to_owned()));
+            return Err(CatalogError::UnknownRepository(
+                extent.repository().to_owned(),
+            ));
         }
-        self.extents
-            .insert(extent.extent_name().to_owned(), extent);
+        self.extents.insert(extent.extent_name().to_owned(), extent);
         self.bump();
         Ok(())
     }
@@ -420,10 +423,7 @@ impl Catalog {
         if let Some(stripped) = name.strip_suffix('*') {
             if let Some(interface) = self.interface_by_extent_name(stripped) {
                 let extents = self.extents_of_interface(&interface, true)?;
-                return Ok(NameBinding::RecursiveExtent {
-                    interface,
-                    extents,
-                });
+                return Ok(NameBinding::RecursiveExtent { interface, extents });
             }
             if self.interfaces.contains_key(stripped) {
                 let extents = self.extents_of_interface(stripped, true)?;
@@ -474,7 +474,7 @@ impl Catalog {
 }
 
 /// Size of each catalog section.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CatalogStats {
     /// Number of interfaces.
     pub interfaces: usize,
@@ -533,7 +533,10 @@ mod tests {
     #[test]
     fn resolve_extent_interface_and_star() {
         let c = paper_catalog();
-        assert!(matches!(c.resolve("person0").unwrap(), NameBinding::Extent(_)));
+        assert!(matches!(
+            c.resolve("person0").unwrap(),
+            NameBinding::Extent(_)
+        ));
         match c.resolve("person").unwrap() {
             NameBinding::InterfaceExtent { interface, extents } => {
                 assert_eq!(interface, "Person");

@@ -1,10 +1,8 @@
-use serde::{Deserialize, Serialize};
-
 /// A reference to a type in the mediator schema.
 ///
 /// Covers the ODMG literal types used by the paper's examples (`String`,
 /// `Short`) plus collections and named interface types.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum TypeRef {
     /// Character string (`attribute String name`).
     String,
@@ -54,7 +52,7 @@ impl std::fmt::Display for TypeRef {
 }
 
 /// A named, typed attribute of an interface.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
     name: String,
     ty: TypeRef,
@@ -96,7 +94,7 @@ impl Attribute {
 /// interface; the extents themselves are registered separately as
 /// [`crate::MetaExtent`] objects, while the `extent person` clause here only
 /// names the implicit union extent.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InterfaceDef {
     name: String,
     supertype: Option<String>,

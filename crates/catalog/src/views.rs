@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// A view definition — the paper's `define <name> as <query>` (§2.2.3).
 ///
 /// "Views do not have explicit objects associated with them.  The objects
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// expands it at query time.  The list of referenced names is recorded so
 /// the catalog can reject cyclic view definitions ("a view can reference
 /// other views, as long as the references are not cyclic").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ViewDef {
     name: String,
     body: String,
@@ -70,7 +68,10 @@ mod tests {
         )
         .with_references(["person0", "person1"]);
         assert_eq!(v.name(), "double");
-        assert_eq!(v.references(), &["person0".to_owned(), "person1".to_owned()]);
+        assert_eq!(
+            v.references(),
+            &["person0".to_owned(), "person1".to_owned()]
+        );
         assert!(v.body().contains("x.salary + y.salary"));
     }
 }

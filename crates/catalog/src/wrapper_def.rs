@@ -1,12 +1,10 @@
-use serde::{Deserialize, Serialize};
-
 /// The catalog-level record of a wrapper object (§2, second step).
 ///
 /// The paper's DBA writes `w0 := WrapperPostgres();` — the catalog records
 /// that a wrapper named `w0` of kind `postgres` exists.  The executable
 /// wrapper implementation itself lives in the `disco-wrapper` crate and is
 /// bound to this name by the mediator at registration time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WrapperDef {
     name: String,
     kind: String,

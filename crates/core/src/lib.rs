@@ -26,8 +26,7 @@ pub use multi::{advertise, MediatorWrapper};
 // without depending on every crate individually.
 pub use disco_algebra::CapabilitySet;
 pub use disco_catalog::{
-    Attribute, Catalog, InterfaceDef, MetaExtent, Repository, TypeMap, TypeRef, ViewDef,
-    WrapperDef,
+    Attribute, Catalog, InterfaceDef, MetaExtent, Repository, TypeMap, TypeRef, ViewDef, WrapperDef,
 };
 pub use disco_optimizer::{CostParams, Plan};
 pub use disco_runtime::{Answer, ExecutionStats};

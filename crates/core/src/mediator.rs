@@ -7,14 +7,12 @@ use std::time::Duration;
 
 use disco_algebra::CapabilitySet;
 use disco_catalog::{Catalog, InterfaceDef, MetaExtent, Repository, TypeMap, ViewDef, WrapperDef};
-use disco_oql::{parse_query, parse_statements, OdlStatement};
 use disco_optimizer::{CalibrationStore, CostParams, Optimizer, Plan, PlanCache};
+use disco_oql::{parse_query, parse_statements, OdlStatement};
 use disco_runtime::{Answer, Executor};
 use disco_source::{NetworkProfile, RelationalStore, SimulatedLink, Table};
 use disco_value::Value;
-use disco_wrapper::{
-    CsvWrapper, DocumentWrapper, RelationalWrapper, Wrapper, WrapperRegistry,
-};
+use disco_wrapper::{CsvWrapper, DocumentWrapper, RelationalWrapper, Wrapper, WrapperRegistry};
 
 use crate::{MediatorError, Result};
 
@@ -257,7 +255,7 @@ impl Mediator {
                 let mut repo = Repository::new(name);
                 for (field, value) in fields {
                     let text = match value {
-                        Value::Str(s) => s,
+                        Value::Str(s) => s.as_ref().to_owned(),
                         other => other.to_string(),
                     };
                     repo = match field.as_str() {
@@ -310,18 +308,19 @@ impl Mediator {
         let wrapper_name = format!("w_{extent}");
         let store = Arc::new(RelationalStore::new());
         store.put_table(table);
-        let link = Arc::new(SimulatedLink::new(
-            repository,
-            profile,
-            seed_from(extent),
-        ));
+        let link = Arc::new(SimulatedLink::new(repository, profile, seed_from(extent)));
         let wrapper = RelationalWrapper::new(&wrapper_name, store, Arc::clone(&link))
             .with_capabilities(capabilities);
         if self.catalog.repository(repository).is_err() {
             self.register_repository(Repository::new(repository))?;
         }
         self.register_wrapper(Arc::new(wrapper))?;
-        self.register_extent(MetaExtent::new(extent, interface, &wrapper_name, repository))?;
+        self.register_extent(MetaExtent::new(
+            extent,
+            interface,
+            &wrapper_name,
+            repository,
+        ))?;
         Ok(link)
     }
 
@@ -348,7 +347,12 @@ impl Mediator {
             self.register_repository(Repository::new(repository))?;
         }
         self.register_wrapper(Arc::new(wrapper))?;
-        self.register_extent(MetaExtent::new(extent, interface, &wrapper_name, repository))?;
+        self.register_extent(MetaExtent::new(
+            extent,
+            interface,
+            &wrapper_name,
+            repository,
+        ))?;
         Ok(link)
     }
 
@@ -372,7 +376,12 @@ impl Mediator {
             self.register_repository(Repository::new(repository))?;
         }
         self.register_wrapper(Arc::new(wrapper))?;
-        self.register_extent(MetaExtent::new(extent, interface, &wrapper_name, repository))?;
+        self.register_extent(MetaExtent::new(
+            extent,
+            interface,
+            &wrapper_name,
+            repository,
+        ))?;
         Ok(link)
     }
 
@@ -504,7 +513,9 @@ mod tests {
         assert!(answer.is_complete());
         assert_eq!(
             *answer.data(),
-            [Value::from("Mary"), Value::from("Sam")].into_iter().collect()
+            [Value::from("Mary"), Value::from("Sam")]
+                .into_iter()
+                .collect()
         );
     }
 
@@ -603,7 +614,9 @@ mod tests {
         assert!(complete.is_complete());
         assert_eq!(
             *complete.data(),
-            [Value::from("Mary"), Value::from("Sam")].into_iter().collect()
+            [Value::from("Mary"), Value::from("Sam")]
+                .into_iter()
+                .collect()
         );
     }
 
@@ -700,7 +713,10 @@ mod tests {
         let answer = m
             .query("select x.site from x in measurement where x.ph > 7.0")
             .unwrap();
-        assert_eq!(*answer.data(), [Value::from("seine-01")].into_iter().collect());
+        assert_eq!(
+            *answer.data(),
+            [Value::from("seine-01")].into_iter().collect()
+        );
 
         m.define_interface(
             InterfaceDef::new("Report")

@@ -65,8 +65,12 @@ impl Wrapper for MediatorWrapper {
     }
 
     fn capabilities(&self) -> CapabilitySet {
-        CapabilitySet::new([OperatorKind::Get, OperatorKind::Select, OperatorKind::Project])
-            .with_composition(true)
+        CapabilitySet::new([
+            OperatorKind::Get,
+            OperatorKind::Select,
+            OperatorKind::Project,
+        ])
+        .with_composition(true)
     }
 
     fn submit(&self, expr: &LogicalExpr) -> Result<WrapperAnswer, WrapperError> {
@@ -128,8 +132,7 @@ fn pushed_expr_to_oql(expr: &LogicalExpr) -> String {
                         predicate,
                     } => {
                         let base = render(inner)?;
-                        let pred =
-                            print_expr(&disco_algebra::scalar_to_oql(predicate, Some("t")));
+                        let pred = print_expr(&disco_algebra::scalar_to_oql(predicate, Some("t")));
                         Some(format!(
                             "select struct({fields}) from t in {base} where {pred}"
                         ))
@@ -211,7 +214,9 @@ mod tests {
         assert!(answer.is_complete());
         assert_eq!(
             *answer.data(),
-            [Value::from("Mary"), Value::from("Sam")].into_iter().collect()
+            [Value::from("Mary"), Value::from("Sam")]
+                .into_iter()
+                .collect()
         );
     }
 

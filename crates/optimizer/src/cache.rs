@@ -88,7 +88,9 @@ mod tests {
     use super::*;
     use crate::planner::Optimizer;
     use disco_algebra::CapabilitySet;
-    use disco_catalog::{Attribute, Catalog, InterfaceDef, MetaExtent, Repository, TypeRef, WrapperDef};
+    use disco_catalog::{
+        Attribute, Catalog, InterfaceDef, MetaExtent, Repository, TypeRef, WrapperDef,
+    };
     use std::collections::BTreeMap;
 
     fn catalog() -> Catalog {

@@ -21,14 +21,13 @@ use std::collections::BTreeMap;
 
 use disco_algebra::LogicalExpr;
 use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 
 /// How many exactly-matching observations are kept per call shape
 /// ("only a fixed number of exactly matching calls are recorded").
 const MAX_OBSERVATIONS: usize = 8;
 
 /// One recorded `exec` call.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Observation {
     /// Wall-clock (or simulated) time of the call, in milliseconds.
     pub time_ms: f64,
@@ -37,7 +36,7 @@ pub struct Observation {
 }
 
 /// The source of a cost estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MatchKind {
     /// An exactly matching previous call was found.
     Exact,
@@ -48,7 +47,7 @@ pub enum MatchKind {
 }
 
 /// A cost estimate for an `exec` call.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostEstimate {
     /// Estimated time in milliseconds.
     pub time_ms: f64,
@@ -235,7 +234,10 @@ mod tests {
     fn different_repository_or_structure_falls_back_to_default() {
         let store = CalibrationStore::new();
         store.record("r0", &filter_plan(10), 12.0, 40);
-        assert_eq!(store.estimate("r1", &filter_plan(10)).source, MatchKind::Default);
+        assert_eq!(
+            store.estimate("r1", &filter_plan(10)).source,
+            MatchKind::Default
+        );
         let other = LogicalExpr::get("person0").project(["name"]);
         assert_eq!(store.estimate("r0", &other).source, MatchKind::Default);
     }
@@ -260,6 +262,9 @@ mod tests {
         store.record("r0", &filter_plan(10), 5.0, 3);
         store.clear();
         assert_eq!(store.exact_shapes(), 0);
-        assert_eq!(store.estimate("r0", &filter_plan(10)).source, MatchKind::Default);
+        assert_eq!(
+            store.estimate("r0", &filter_plan(10)).source,
+            MatchKind::Default
+        );
     }
 }

@@ -14,9 +14,7 @@ use disco_oql::ast::{Expr as OqlExpr, FromBinding, SelectExpr};
 use disco_oql::parse_query;
 use disco_oql::resolve::resolve_query;
 
-use disco_algebra::{
-    agg_from_oql, data_of, scalar_op_from_oql, LogicalExpr, ScalarExpr,
-};
+use disco_algebra::{agg_from_oql, data_of, scalar_op_from_oql, LogicalExpr, ScalarExpr};
 
 use crate::{OptimizerError, Result};
 
@@ -211,7 +209,7 @@ impl Compiler<'_> {
                     // An unbound identifier in scalar position is treated as
                     // a symbolic constant (e.g. `x.interface = Person` in the
                     // meta-extent query); it compares by name.
-                    Ok(ScalarExpr::Const(disco_value::Value::Str(name.clone())))
+                    Ok(ScalarExpr::Const(disco_value::Value::from(name.clone())))
                 }
             }
             OqlExpr::Path(base, field) => {
@@ -227,7 +225,7 @@ impl Compiler<'_> {
             OqlExpr::StructConstruct(fields) => {
                 let mut out = Vec::with_capacity(fields.len());
                 for (name, e) in fields {
-                    out.push((name.clone(), self.compile_scalar(e)?));
+                    out.push((name.clone().into(), self.compile_scalar(e)?));
                 }
                 Ok(ScalarExpr::StructLit(out))
             }
@@ -244,8 +242,11 @@ impl Compiler<'_> {
                 }
                 Ok(ScalarExpr::Call(name.clone(), out))
             }
-            OqlExpr::Select(_) | OqlExpr::Union(_) | OqlExpr::BagConstruct(_)
-            | OqlExpr::ListConstruct(_) | OqlExpr::Flatten(_) => Err(OptimizerError::Unsupported(
+            OqlExpr::Select(_)
+            | OqlExpr::Union(_)
+            | OqlExpr::BagConstruct(_)
+            | OqlExpr::ListConstruct(_)
+            | OqlExpr::Flatten(_) => Err(OptimizerError::Unsupported(
                 "collection-valued expression used as a scalar (wrap it in an aggregate)".into(),
             )),
             OqlExpr::Element(inner) => {
@@ -319,14 +320,18 @@ fn collect_var_usage(
             collect_var_usage(left, vars, out);
             collect_var_usage(right, vars, out);
         }
-        OqlExpr::Not(inner) | OqlExpr::Flatten(inner) | OqlExpr::Element(inner)
+        OqlExpr::Not(inner)
+        | OqlExpr::Flatten(inner)
+        | OqlExpr::Element(inner)
         | OqlExpr::Aggregate(_, inner) => collect_var_usage(inner, vars, out),
         OqlExpr::StructConstruct(fields) => {
             for (_, e) in fields {
                 collect_var_usage(e, vars, out);
             }
         }
-        OqlExpr::Call(_, args) | OqlExpr::Union(args) | OqlExpr::BagConstruct(args)
+        OqlExpr::Call(_, args)
+        | OqlExpr::Union(args)
+        | OqlExpr::BagConstruct(args)
         | OqlExpr::ListConstruct(args) => {
             for a in args {
                 collect_var_usage(a, vars, out);
@@ -424,14 +429,23 @@ mod tests {
     #[test]
     fn intro_query_compiles_to_canonical_plan() {
         let catalog = paper_catalog();
-        let plan =
-            compile_text("select x.name from x in person where x.salary > 10", &catalog).unwrap();
+        let plan = compile_text(
+            "select x.name from x in person where x.salary > 10",
+            &catalog,
+        )
+        .unwrap();
         let text = plan.to_string();
         // One submit per source, narrowing projections inserted above them
         // (the optimizer decides later whether they can be pushed), bind,
         // filter and map on top.
-        assert!(text.contains("project(name, salary, submit(r0, get(person0)))"), "{text}");
-        assert!(text.contains("project(name, salary, submit(r1, get(person1)))"), "{text}");
+        assert!(
+            text.contains("project(name, salary, submit(r0, get(person0)))"),
+            "{text}"
+        );
+        assert!(
+            text.contains("project(name, salary, submit(r1, get(person1)))"),
+            "{text}"
+        );
         assert!(text.starts_with("map("), "{text}");
         assert!(text.contains("select((x.salary > 10)"), "{text}");
     }
@@ -447,9 +461,13 @@ mod tests {
     #[test]
     fn select_star_variable_disables_narrowing() {
         let catalog = paper_catalog();
-        let plan = compile_text("select x from x in person0 where x.salary > 10", &catalog).unwrap();
+        let plan =
+            compile_text("select x from x in person0 where x.salary > 10", &catalog).unwrap();
         let text = plan.to_string();
-        assert!(!text.contains("project("), "whole-row use must not narrow: {text}");
+        assert!(
+            !text.contains("project("),
+            "whole-row use must not narrow: {text}"
+        );
     }
 
     #[test]

@@ -12,12 +12,11 @@
 use std::sync::Arc;
 
 use disco_algebra::PhysicalExpr;
-use serde::{Deserialize, Serialize};
 
 use crate::calibration::CalibrationStore;
 
 /// Tunable constants of the mediator-side cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostParams {
     /// Cost of processing one row in a mediator-side operator, in ms.
     pub mediator_per_row_ms: f64,
@@ -41,7 +40,7 @@ impl Default for CostParams {
 }
 
 /// The estimated cost of a (sub)plan.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlanCost {
     /// Estimated total time in milliseconds.
     pub time_ms: f64,
@@ -206,11 +205,10 @@ fn default_exec_rows(logical: &disco_algebra::LogicalExpr, params: &CostParams) 
         L::Get { .. } => 1.0,
         L::Filter { input, .. } => default_exec_rows(input, params) * params.filter_selectivity,
         L::Project { input, .. } => default_exec_rows(input, params),
-        L::SourceJoin { left, right, .. } => {
-            (default_exec_rows(left, params) * default_exec_rows(right, params)
-                * params.join_selectivity)
-                .max(1.0)
-        }
+        L::SourceJoin { left, right, .. } => (default_exec_rows(left, params)
+            * default_exec_rows(right, params)
+            * params.join_selectivity)
+            .max(1.0),
         other => other
             .children()
             .iter()

@@ -139,14 +139,18 @@ impl Optimizer {
     /// # Errors
     ///
     /// Returns lowering errors (e.g. a bare `get` outside `submit`).
-    pub fn optimize_logical(&self, compiled: &LogicalExpr, catalog_generation: u64) -> Result<Plan> {
+    pub fn optimize_logical(
+        &self,
+        compiled: &LogicalExpr,
+        catalog_generation: u64,
+    ) -> Result<Plan> {
         let normalized = rules::normalize(compiled);
         let lookup = self.capabilities.as_ref();
 
         let mut alternatives: Vec<PlanAlternative> = Vec::new();
         let push_alternative = |strategy: &'static str,
-                                    logical: LogicalExpr,
-                                    alternatives: &mut Vec<PlanAlternative>|
+                                logical: LogicalExpr,
+                                alternatives: &mut Vec<PlanAlternative>|
          -> Result<()> {
             if alternatives.iter().any(|a| a.logical == logical) {
                 return Ok(());
@@ -227,8 +231,8 @@ fn apply_subset(
                 // still reach the wrapper by commuting below the filter.
                 result = result.or_else(|| {
                     let swapped = rules::push_project_below_filter(e)?;
-                    let rewritten = swapped
-                        .rewrite_bottom_up(&|inner| push_project_into_submit(inner, lookup));
+                    let rewritten =
+                        swapped.rewrite_bottom_up(&|inner| push_project_into_submit(inner, lookup));
                     (rewritten != swapped).then_some(rewritten)
                 });
             }
@@ -265,7 +269,8 @@ mod tests {
                 .with_attribute(Attribute::new("salary", TypeRef::Int)),
         )
         .unwrap();
-        c.add_wrapper(WrapperDef::new("w_full", "relational")).unwrap();
+        c.add_wrapper(WrapperDef::new("w_full", "relational"))
+            .unwrap();
         c.add_wrapper(WrapperDef::new("w_min", "csv")).unwrap();
         c.add_repository(Repository::new("r0")).unwrap();
         c.add_repository(Repository::new("r1")).unwrap();
@@ -280,8 +285,12 @@ mod tests {
         let mut m = BTreeMap::new();
         m.insert(
             "w_full".to_owned(),
-            CapabilitySet::new([OperatorKind::Get, OperatorKind::Select, OperatorKind::Project])
-                .with_composition(true),
+            CapabilitySet::new([
+                OperatorKind::Get,
+                OperatorKind::Select,
+                OperatorKind::Project,
+            ])
+            .with_composition(true),
         );
         m.insert("w_min".to_owned(), CapabilitySet::get_only());
         m
@@ -300,8 +309,12 @@ mod tests {
         let text = plan.logical.to_string();
         assert!(
             text.contains("submit(r0, project(name, select((salary > 10), get(person0))))")
-                || text.contains("submit(r0, select((salary > 10), project(name, salary, get(person0))))")
-                || text.contains("submit(r0, project(name, salary, select((salary > 10), get(person0))))"),
+                || text.contains(
+                    "submit(r0, select((salary > 10), project(name, salary, get(person0))))"
+                )
+                || text.contains(
+                    "submit(r0, project(name, salary, select((salary > 10), get(person0))))"
+                ),
             "capable wrapper branch should be pushed: {text}"
         );
         assert!(
@@ -317,7 +330,10 @@ mod tests {
         let catalog = catalog_with_two_sources();
         let optimizer = Optimizer::new(capability_map());
         let plan = optimizer
-            .optimize_text("select x.name from x in person0 where x.salary > 10", &catalog)
+            .optimize_text(
+                "select x.name from x in person0 where x.salary > 10",
+                &catalog,
+            )
             .unwrap();
         assert!(plan
             .alternatives
@@ -348,7 +364,10 @@ mod tests {
             ));
         store.record("r0", &pushed_shape, 500.0, 10);
         let plan = optimizer
-            .optimize_text("select x.name from x in person0 where x.salary > 10", &catalog)
+            .optimize_text(
+                "select x.name from x in person0 where x.salary > 10",
+                &catalog,
+            )
             .unwrap();
         // With the pushed shape now known to be expensive the optimizer may
         // keep work at the mediator; either way the chosen cost must be the
@@ -370,7 +389,10 @@ mod tests {
             .unwrap();
         assert!(!plan.chosen_strategy().is_empty());
         assert_eq!(plan.catalog_generation, catalog.generation());
-        assert_eq!(plan.query.as_deref(), Some("select x.name from x in person0"));
+        assert_eq!(
+            plan.query.as_deref(),
+            Some("select x.name from x in person0")
+        );
     }
 
     #[test]

@@ -268,11 +268,7 @@ mod tests {
     use super::*;
 
     fn toks(s: &str) -> Vec<Token> {
-        tokenize(s)
-            .unwrap()
-            .into_iter()
-            .map(|t| t.token)
-            .collect()
+        tokenize(s).unwrap().into_iter().map(|t| t.token).collect()
     }
 
     #[test]
@@ -366,7 +362,10 @@ mod tests {
     #[test]
     fn lex_errors() {
         assert!(matches!(tokenize("#"), Err(OqlError::Lex { .. })));
-        assert!(matches!(tokenize("\"unterminated"), Err(OqlError::Lex { .. })));
+        assert!(matches!(
+            tokenize("\"unterminated"),
+            Err(OqlError::Lex { .. })
+        ));
         assert!(matches!(tokenize("!x"), Err(OqlError::Lex { .. })));
     }
 }

@@ -2,9 +2,7 @@
 
 use disco_value::Value;
 
-use crate::ast::{
-    AggFunc, BinaryOp, Expr, FromBinding, OdlAttribute, OdlStatement, SelectExpr,
-};
+use crate::ast::{AggFunc, BinaryOp, Expr, FromBinding, OdlAttribute, OdlStatement, SelectExpr};
 use crate::lexer::tokenize;
 use crate::token::{SpannedToken, Token};
 use crate::OqlError;
@@ -124,7 +122,10 @@ impl Parser {
             self.advance();
             Ok(())
         } else {
-            self.error(format!("expected keyword '{kw}', found {:?}", self.peek().token))
+            self.error(format!(
+                "expected keyword '{kw}', found {:?}",
+                self.peek().token
+            ))
         }
     }
 
@@ -282,10 +283,12 @@ impl Parser {
             let field = self.expect_ident("field name")?;
             self.expect(&Token::Eq, "=")?;
             let value = match self.advance().token {
-                Token::Str(s) => Value::Str(s),
+                Token::Str(s) => Value::Str(s.into()),
                 Token::Int(i) => Value::Int(i),
                 Token::Float(x) => Value::Float(x),
-                other => return self.error(format!("expected literal field value, found {other:?}")),
+                other => {
+                    return self.error(format!("expected literal field value, found {other:?}"))
+                }
             };
             fields.push((field, value));
             if self.peek_is(&Token::Comma) {
@@ -405,11 +408,7 @@ impl Parser {
                     .iter()
                     .any(|kw| name.eq_ignore_ascii_case(kw))
             }
-            Token::Int(_)
-            | Token::Float(_)
-            | Token::Str(_)
-            | Token::LParen
-            | Token::Minus => true,
+            Token::Int(_) | Token::Float(_) | Token::Str(_) | Token::LParen | Token::Minus => true,
             _ => false,
         }
     }
@@ -432,11 +431,7 @@ impl Parser {
                 _ => {}
             }
             let inner = self.parse_unary()?;
-            return Ok(Expr::binary(
-                BinaryOp::Sub,
-                Expr::literal(0i64),
-                inner,
-            ));
+            return Ok(Expr::binary(BinaryOp::Sub, Expr::literal(0i64), inner));
         }
         self.parse_postfix()
     }
@@ -687,10 +682,8 @@ mod tests {
 
     #[test]
     fn parses_union_of_extents() {
-        let q = parse_query(
-            "select x.name from x in union(person0, person1) where x.salary > 10",
-        )
-        .unwrap();
+        let q = parse_query("select x.name from x in union(person0, person1) where x.salary > 10")
+            .unwrap();
         match q {
             Expr::Select(sel) => match &sel.bindings[0].collection {
                 Expr::Union(items) => assert_eq!(items.len(), 2),
@@ -703,10 +696,9 @@ mod tests {
     #[test]
     fn parses_partial_answer_shape() {
         // The §1.3 partial answer: a union of a residual query and data.
-        let q = parse_query(
-            "union(select y.name from y in person0 where y.salary > 10, bag(\"Sam\"))",
-        )
-        .unwrap();
+        let q =
+            parse_query("union(select y.name from y in person0 where y.salary > 10, bag(\"Sam\"))")
+                .unwrap();
         match q {
             Expr::Union(items) => {
                 assert_eq!(items.len(), 2);
@@ -776,7 +768,11 @@ mod tests {
             Expr::Select(sel) => {
                 let w = sel.where_clause.unwrap();
                 match *w {
-                    Expr::Binary { op: BinaryOp::Gt, left, .. } => {
+                    Expr::Binary {
+                        op: BinaryOp::Gt,
+                        left,
+                        ..
+                    } => {
                         assert!(matches!(
                             *left,
                             Expr::Binary {
@@ -795,10 +791,8 @@ mod tests {
     #[test]
     fn parses_flatten_of_meta_extent_query() {
         // The §2.1 implicit-extent definition.
-        let q = parse_query(
-            "flatten(select x.e from x in metaextent where x.interface = Person)",
-        )
-        .unwrap();
+        let q = parse_query("flatten(select x.e from x in metaextent where x.interface = Person)")
+            .unwrap();
         assert!(matches!(q, Expr::Flatten(_)));
     }
 
@@ -821,12 +815,19 @@ mod tests {
 
     #[test]
     fn parses_logical_connectives_with_precedence() {
-        let q = parse_query("select x from x in r where x.a > 1 and x.b < 2 or not x.c = 3").unwrap();
+        let q =
+            parse_query("select x from x in r where x.a > 1 and x.b < 2 or not x.c = 3").unwrap();
         match q {
             Expr::Select(sel) => {
                 let w = *sel.where_clause.unwrap();
                 // Top level must be `or`.
-                assert!(matches!(w, Expr::Binary { op: BinaryOp::Or, .. }));
+                assert!(matches!(
+                    w,
+                    Expr::Binary {
+                        op: BinaryOp::Or,
+                        ..
+                    }
+                ));
             }
             other => panic!("expected select, got {other:?}"),
         }
@@ -960,7 +961,13 @@ mod tests {
                 let w = *sel.where_clause.unwrap();
                 match w {
                     Expr::Binary { left, .. } => {
-                        assert!(matches!(*left, Expr::Binary { op: BinaryOp::Sub, .. }));
+                        assert!(matches!(
+                            *left,
+                            Expr::Binary {
+                                op: BinaryOp::Sub,
+                                ..
+                            }
+                        ));
                     }
                     other => panic!("unexpected {other:?}"),
                 }

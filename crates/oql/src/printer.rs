@@ -34,7 +34,10 @@ fn write_expr(out: &mut String, expr: &Expr) {
             let needs_parens_left = precedence(left) < precedence_of_op(*op)
                 || (op.is_comparison() && precedence(left) == precedence_of_op(*op));
             let needs_parens_right = precedence(right) <= precedence_of_op(*op)
-                && !matches!(right.as_ref(), Expr::Literal(_) | Expr::Ident(_) | Expr::Path(..));
+                && !matches!(
+                    right.as_ref(),
+                    Expr::Literal(_) | Expr::Ident(_) | Expr::Path(..)
+                );
             if needs_parens_left {
                 out.push('(');
                 write_expr(out, left);
@@ -141,7 +144,12 @@ fn precedence_of_op(op: BinaryOp) -> u8 {
     match op {
         BinaryOp::Or => 1,
         BinaryOp::And => 2,
-        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => 4,
+        BinaryOp::Eq
+        | BinaryOp::NotEq
+        | BinaryOp::Lt
+        | BinaryOp::Le
+        | BinaryOp::Gt
+        | BinaryOp::Ge => 4,
         BinaryOp::Add | BinaryOp::Sub => 5,
         BinaryOp::Mul | BinaryOp::Div => 6,
     }
@@ -164,14 +172,16 @@ mod tests {
     #[test]
     fn prints_intro_query() {
         let printed = round_trip("select x.name from x in person where x.salary > 10");
-        assert_eq!(printed, "select x.name from x in person where x.salary > 10");
+        assert_eq!(
+            printed,
+            "select x.name from x in person where x.salary > 10"
+        );
     }
 
     #[test]
     fn prints_partial_answer() {
-        let printed = round_trip(
-            "union(select y.name from y in person0 where y.salary > 10, bag(\"Sam\"))",
-        );
+        let printed =
+            round_trip("union(select y.name from y in person0 where y.salary > 10, bag(\"Sam\"))");
         assert!(printed.starts_with("union(select y.name"));
         assert!(printed.ends_with("bag(\"Sam\"))"));
     }

@@ -264,11 +264,8 @@ mod tests {
     fn view_bodies_are_substituted() {
         let mut c = paper_catalog();
         c.define_view(
-            ViewDef::new(
-                "rich",
-                "select x from x in person where x.salary > 100",
-            )
-            .with_references(["person"]),
+            ViewDef::new("rich", "select x from x in person where x.salary > 100")
+                .with_references(["person"]),
         )
         .unwrap();
         let q = parse_query("select y.name from y in rich").unwrap();
@@ -299,10 +296,8 @@ mod tests {
     #[test]
     fn interface_with_no_sources_expands_to_empty_bag() {
         let mut c = paper_catalog();
-        c.define_interface(
-            InterfaceDef::new("Empty").with_extent_name("empty"),
-        )
-        .unwrap();
+        c.define_interface(InterfaceDef::new("Empty").with_extent_name("empty"))
+            .unwrap();
         let q = parse_query("select x from x in empty").unwrap();
         let resolved = resolve_query(&q, &c).unwrap();
         assert!(print_expr(&resolved).contains("bag()"));

@@ -3,129 +3,209 @@
 //! The central invariant: printing any AST produces text that re-parses to
 //! the same AST.  Partial answers rely on this — the residual query DISCO
 //! returns must be resubmittable verbatim.
+//!
+//! ASTs are generated with a seeded deterministic RNG (the offline `rand`
+//! shim) rather than proptest — the build environment has no crates.io
+//! access.  Every failure reproduces from its printed seed.
 
 use disco_oql::ast::{BinaryOp, Expr, FromBinding, SelectExpr};
 use disco_oql::{parse_query, print_expr};
 use disco_value::Value;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn ident_strategy() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,8}".prop_filter("avoid keywords", |s| {
-        ![
-            "select", "from", "in", "where", "union", "bag", "list", "struct", "flatten",
-            "element", "define", "as", "and", "or", "not", "nil", "null", "true", "false",
-            "sum", "count", "avg", "min", "max", "distinct", "interface", "extent",
-            "attribute", "of", "wrapper", "repository", "map",
-        ]
-        .contains(&s.as_str())
-    })
+const KEYWORDS: &[&str] = &[
+    "select",
+    "from",
+    "in",
+    "where",
+    "union",
+    "bag",
+    "list",
+    "struct",
+    "flatten",
+    "element",
+    "define",
+    "as",
+    "and",
+    "or",
+    "not",
+    "nil",
+    "null",
+    "true",
+    "false",
+    "sum",
+    "count",
+    "avg",
+    "min",
+    "max",
+    "distinct",
+    "interface",
+    "extent",
+    "attribute",
+    "of",
+    "wrapper",
+    "repository",
+    "map",
+];
+
+fn random_ident(rng: &mut StdRng) -> String {
+    loop {
+        let len = rng.gen_range(1..9usize);
+        let mut s = String::new();
+        s.push(char::from(
+            b'a' + u8::try_from(rng.gen_range(0..26u32)).unwrap(),
+        ));
+        for _ in 1..len {
+            let c = match rng.gen_range(0..4u32) {
+                0 => char::from(b'0' + u8::try_from(rng.gen_range(0..10u32)).unwrap()),
+                1 => '_',
+                _ => char::from(b'a' + u8::try_from(rng.gen_range(0..26u32)).unwrap()),
+            };
+            s.push(c);
+        }
+        if !KEYWORDS.contains(&s.as_str()) {
+            return s;
+        }
+    }
 }
 
-fn literal_strategy() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        any::<i32>().prop_map(|i| Expr::Literal(Value::Int(i64::from(i)))),
-        "[a-zA-Z ]{0,10}".prop_map(|s| Expr::Literal(Value::Str(s))),
-        any::<bool>().prop_map(|b| Expr::Literal(Value::Bool(b))),
-        Just(Expr::Literal(Value::Null)),
-    ]
-}
-
-fn scalar_expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        literal_strategy(),
-        ident_strategy().prop_map(Expr::Ident),
-        (ident_strategy(), ident_strategy()).prop_map(|(v, f)| Expr::ident(v).path(f)),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(BinaryOp::Add),
-                    Just(BinaryOp::Sub),
-                    Just(BinaryOp::Mul),
-                    Just(BinaryOp::Eq),
-                    Just(BinaryOp::Lt),
-                    Just(BinaryOp::Gt),
-                    Just(BinaryOp::And),
-                    Just(BinaryOp::Or),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            prop::collection::vec((ident_strategy(), inner.clone()), 1..3).prop_filter_map(
-                "distinct struct field names",
-                |fields| {
-                    let mut names: Vec<&String> = fields.iter().map(|(n, _)| n).collect();
-                    names.sort();
-                    names.dedup();
-                    if names.len() == fields.len() {
-                        Some(Expr::StructConstruct(fields))
+fn random_literal(rng: &mut StdRng) -> Expr {
+    match rng.gen_range(0..4u32) {
+        0 => Expr::Literal(Value::Int(rng.gen_range(-1_000_000..1_000_000i64))),
+        1 => {
+            let len = rng.gen_range(0..11usize);
+            let s: String = (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.2) {
+                        ' '
+                    } else if rng.gen_bool(0.5) {
+                        char::from(b'a' + u8::try_from(rng.gen_range(0..26u32)).unwrap())
                     } else {
-                        None
+                        char::from(b'A' + u8::try_from(rng.gen_range(0..26u32)).unwrap())
                     }
+                })
+                .collect();
+            Expr::Literal(Value::Str(s.into()))
+        }
+        2 => Expr::Literal(Value::Bool(rng.gen_bool(0.5))),
+        _ => Expr::Literal(Value::Null),
+    }
+}
+
+fn random_scalar(rng: &mut StdRng, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return match rng.gen_range(0..3u32) {
+            0 => random_literal(rng),
+            1 => Expr::Ident(random_ident(rng)),
+            _ => Expr::ident(random_ident(rng)).path(random_ident(rng)),
+        };
+    }
+    match rng.gen_range(0..3u32) {
+        0 => {
+            let op = match rng.gen_range(0..8u32) {
+                0 => BinaryOp::Add,
+                1 => BinaryOp::Sub,
+                2 => BinaryOp::Mul,
+                3 => BinaryOp::Eq,
+                4 => BinaryOp::Lt,
+                5 => BinaryOp::Gt,
+                6 => BinaryOp::And,
+                _ => BinaryOp::Or,
+            };
+            Expr::binary(
+                op,
+                random_scalar(rng, depth - 1),
+                random_scalar(rng, depth - 1),
+            )
+        }
+        1 => Expr::Not(Box::new(random_scalar(rng, depth - 1))),
+        _ => {
+            // Struct construction with distinct field names.
+            let n = rng.gen_range(1..3usize);
+            let mut fields: Vec<(String, Expr)> = Vec::new();
+            while fields.len() < n {
+                let name = random_ident(rng);
+                if fields.iter().all(|(existing, _)| *existing != name) {
+                    fields.push((name, random_scalar(rng, depth - 1)));
                 }
-            ),
-        ]
+            }
+            Expr::StructConstruct(fields)
+        }
+    }
+}
+
+fn random_select(rng: &mut StdRng) -> Expr {
+    let projection = random_scalar(rng, 2);
+    let n_bindings = rng.gen_range(1..3usize);
+    let bindings = (0..n_bindings)
+        .map(|_| FromBinding {
+            var: random_ident(rng),
+            collection: Expr::Ident(random_ident(rng)),
+        })
+        .collect();
+    let where_clause = if rng.gen_bool(0.5) {
+        Some(Box::new(random_scalar(rng, 2)))
+    } else {
+        None
+    };
+    Expr::Select(SelectExpr {
+        distinct: rng.gen_bool(0.5),
+        projection: Box::new(projection),
+        bindings,
+        where_clause,
     })
 }
 
-fn select_strategy() -> impl Strategy<Value = Expr> {
-    (
-        scalar_expr_strategy(),
-        prop::collection::vec((ident_strategy(), ident_strategy()), 1..3),
-        prop::option::of(scalar_expr_strategy()),
-        any::<bool>(),
-    )
-        .prop_map(|(projection, bindings, where_clause, distinct)| {
-            Expr::Select(SelectExpr {
-                distinct,
-                projection: Box::new(projection),
-                bindings: bindings
-                    .into_iter()
-                    .map(|(var, coll)| FromBinding {
-                        var,
-                        collection: Expr::Ident(coll),
-                    })
-                    .collect(),
-                where_clause: where_clause.map(Box::new),
-            })
-        })
+fn random_query(rng: &mut StdRng) -> Expr {
+    match rng.gen_range(0..4u32) {
+        0 => random_select(rng),
+        1 => {
+            let n = rng.gen_range(1..3usize);
+            Expr::Union((0..n).map(|_| random_select(rng)).collect())
+        }
+        2 => {
+            let n = rng.gen_range(0..4usize);
+            Expr::BagConstruct((0..n).map(|_| random_literal(rng)).collect())
+        }
+        _ => Expr::Flatten(Box::new(random_select(rng))),
+    }
 }
 
-fn query_strategy() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        select_strategy(),
-        prop::collection::vec(select_strategy(), 1..3).prop_map(Expr::Union),
-        prop::collection::vec(literal_strategy(), 0..4).prop_map(Expr::BagConstruct),
-        select_strategy().prop_map(|s| Expr::Flatten(Box::new(s))),
-    ]
+#[test]
+fn print_then_parse_is_identity() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let expr = random_query(&mut rng);
+        let printed = print_expr(&expr);
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("seed {seed}: failed to reparse {printed:?}: {e}"));
+        assert_eq!(expr, reparsed, "seed {seed}, printed form: {printed}");
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn print_then_parse_is_identity(expr in query_strategy()) {
+#[test]
+fn scalar_print_then_parse_is_identity() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x5CA1A8 + seed);
+        let expr = random_scalar(&mut rng, 3);
         let printed = print_expr(&expr);
         let reparsed = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
-        prop_assert_eq!(expr, reparsed, "printed form: {}", printed);
+            .unwrap_or_else(|e| panic!("seed {seed}: failed to reparse {printed:?}: {e}"));
+        assert_eq!(expr, reparsed, "seed {seed}, printed form: {printed}");
     }
+}
 
-    #[test]
-    fn scalar_print_then_parse_is_identity(expr in scalar_expr_strategy()) {
-        let printed = print_expr(&expr);
-        let reparsed = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
-        prop_assert_eq!(expr, reparsed, "printed form: {}", printed);
-    }
-
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(input in "[ -~]{0,60}") {
-        // Fuzz: any printable-ASCII input must either parse or produce a
-        // structured error, never panic.
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    // Fuzz: any printable-ASCII input must either parse or produce a
+    // structured error, never panic.
+    for seed in 0..512u64 {
+        let mut rng = StdRng::seed_from_u64(0xF022 + seed);
+        let len = rng.gen_range(0..61usize);
+        let input: String = (0..len)
+            .map(|_| char::from(b' ' + u8::try_from(rng.gen_range(0..95u32)).unwrap()))
+            .collect();
         let _ = parse_query(&input);
     }
 }

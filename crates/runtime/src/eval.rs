@@ -5,12 +5,23 @@
 //! `mkproj`, nested-loop and hash joins, …) over bags of values.
 //! Correlated aggregate sub-queries in projections are evaluated through a
 //! sub-query callback that re-enters the evaluator with the current
-//! environment row as outer context.
+//! environment as outer context.
+//!
+//! # Zero-clone row plane
+//!
+//! Rows are `Arc`-backed [`Value`]s, so passing a row from one operator to
+//! the next is a reference-count bump.  Scalar expressions are evaluated
+//! against a layered [`Env`] — a chain of borrowed scopes (outer query,
+//! left join side, right join side) resolved by name lookup — instead of a
+//! merged `StructValue` materialised per row.  The hash join keys a real
+//! `HashMap` with the canonical `Value` hash, and probes it with borrowed
+//! rows; joined output rows are only constructed for pairs that survive
+//! the residual predicate.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 use disco_algebra::{
-    eval_scalar_with, lower, truthy, AlgebraError, LogicalExpr, PhysicalExpr, ScalarExpr,
+    eval_scalar_with, lower, truthy, AlgebraError, Env, LogicalExpr, PhysicalExpr, ScalarExpr,
 };
 use disco_value::{Bag, StructValue, Value};
 
@@ -25,7 +36,7 @@ use crate::{Result, RuntimeError};
 /// `exec` call (the partial-evaluation path must be used instead), or on
 /// evaluation errors.
 pub fn evaluate_physical(plan: &PhysicalExpr, resolved: &ResolvedExecs) -> Result<Bag> {
-    evaluate_with_outer(plan, resolved, &StructValue::default())
+    evaluate_with_outer(plan, resolved, &Env::root())
 }
 
 /// Evaluates a physical plan with an outer environment (used for
@@ -37,7 +48,7 @@ pub fn evaluate_physical(plan: &PhysicalExpr, resolved: &ResolvedExecs) -> Resul
 pub fn evaluate_with_outer(
     plan: &PhysicalExpr,
     resolved: &ResolvedExecs,
-    outer: &StructValue,
+    outer: &Env<'_>,
 ) -> Result<Bag> {
     match plan {
         PhysicalExpr::Exec {
@@ -62,9 +73,10 @@ pub fn evaluate_with_outer(
             let rows = evaluate_with_outer(input, resolved, outer)?;
             let mut out = Bag::with_capacity(rows.len());
             for row in &rows {
-                let env = merged_env(outer, row)?;
+                let env = outer.with_value(row);
                 let keep = eval_row_scalar(predicate, &env, resolved)?;
                 if truthy(&keep) {
+                    // Arc bump, not a deep copy: the output shares the row.
                     out.insert(row.clone());
                 }
             }
@@ -86,7 +98,7 @@ pub fn evaluate_with_outer(
             let rows = evaluate_with_outer(input, resolved, outer)?;
             let mut out = Bag::with_capacity(rows.len());
             for row in &rows {
-                let env = merged_env(outer, row)?;
+                let env = outer.with_value(row);
                 out.insert(eval_row_scalar(projection, &env, resolved)?);
             }
             Ok(out)
@@ -94,8 +106,9 @@ pub fn evaluate_with_outer(
         PhysicalExpr::BindOp { var, input } => {
             let rows = evaluate_with_outer(input, resolved, outer)?;
             let mut out = Bag::with_capacity(rows.len());
+            let name: std::sync::Arc<str> = std::sync::Arc::from(var.as_str());
             for row in &rows {
-                let env = StructValue::new(vec![(var.clone(), row.clone())])
+                let env = StructValue::new(vec![(std::sync::Arc::clone(&name), row.clone())])
                     .map_err(AlgebraError::from)?;
                 out.insert(Value::Struct(env));
             }
@@ -111,18 +124,19 @@ pub fn evaluate_with_outer(
             let mut out = Bag::new();
             for l in &left_rows {
                 let ls = l.as_struct().map_err(AlgebraError::from)?;
+                let lenv = outer.with_row(ls);
                 for r in &right_rows {
                     let rs = r.as_struct().map_err(AlgebraError::from)?;
-                    let merged = merge_envs(ls, rs)?;
                     let keep = match predicate {
                         Some(p) => {
-                            let env = merge_envs(outer, &merged)?;
+                            let env = lenv.with_row(rs);
                             truthy(&eval_row_scalar(p, &env, resolved)?)
                         }
                         None => true,
                     };
                     if keep {
-                        out.insert(Value::Struct(merged));
+                        // The merged output row is only built for matches.
+                        out.insert(Value::Struct(ls.merged(rs)));
                     }
                 }
             }
@@ -137,31 +151,32 @@ pub fn evaluate_with_outer(
         } => {
             let left_rows = evaluate_with_outer(left, resolved, outer)?;
             let right_rows = evaluate_with_outer(right, resolved, outer)?;
-            // Build a hash table on the right input.
-            let mut table: BTreeMap<Value, Vec<StructValue>> = BTreeMap::new();
+            // Build a hash table of borrowed rows on the right input,
+            // keyed by the canonical `Value` hash.
+            let mut table: HashMap<Value, Vec<&StructValue>> =
+                HashMap::with_capacity(right_rows.len());
             for r in &right_rows {
                 let rs = r.as_struct().map_err(AlgebraError::from)?;
-                let env = merge_envs(outer, rs)?;
+                let env = outer.with_row(rs);
                 let key = eval_row_scalar(right_key, &env, resolved)?;
-                table.entry(key).or_default().push(rs.clone());
+                table.entry(key).or_default().push(rs);
             }
             let mut out = Bag::new();
             for l in &left_rows {
                 let ls = l.as_struct().map_err(AlgebraError::from)?;
-                let lenv = merge_envs(outer, ls)?;
+                let lenv = outer.with_row(ls);
                 let key = eval_row_scalar(left_key, &lenv, resolved)?;
                 if let Some(matches) = table.get(&key) {
                     for rs in matches {
-                        let merged = merge_envs(ls, rs)?;
                         let keep = match residual {
                             Some(p) => {
-                                let env = merge_envs(outer, &merged)?;
+                                let env = lenv.with_row(rs);
                                 truthy(&eval_row_scalar(p, &env, resolved)?)
                             }
                             None => true,
                         };
                         if keep {
-                            out.insert(Value::Struct(merged));
+                            out.insert(Value::Struct(ls.merged(rs)));
                         }
                     }
                 }
@@ -186,7 +201,9 @@ pub fn evaluate_with_outer(
                         }
                     }
                     if matches {
-                        let merged = ls.merge_with_prefix(rs, "right").map_err(AlgebraError::from)?;
+                        let merged = ls
+                            .merge_with_prefix(rs, "right")
+                            .map_err(AlgebraError::from)?;
                         out.insert(Value::Struct(merged));
                     }
                 }
@@ -196,7 +213,13 @@ pub fn evaluate_with_outer(
         PhysicalExpr::MkUnion(items) => {
             let mut out = Bag::new();
             for item in items {
-                out.extend(evaluate_with_outer(item, resolved, outer)?);
+                let bag = evaluate_with_outer(item, resolved, outer)?;
+                if out.is_empty() {
+                    // Adopt the first branch's storage outright.
+                    out = bag;
+                } else {
+                    out.extend(bag);
+                }
             }
             Ok(out)
         }
@@ -224,51 +247,20 @@ pub fn evaluate_with_outer(
 pub fn evaluate_logical(
     plan: &LogicalExpr,
     resolved: &ResolvedExecs,
-    outer: &StructValue,
+    outer: &Env<'_>,
 ) -> Result<Bag> {
     let physical = lower(plan).map_err(RuntimeError::Algebra)?;
     evaluate_with_outer(&physical, resolved, outer)
 }
 
-/// Evaluates a scalar expression against an environment row, resolving
+/// Evaluates a scalar expression against a row environment, resolving
 /// aggregate sub-queries through the evaluator.
-fn eval_row_scalar(
-    expr: &ScalarExpr,
-    env: &StructValue,
-    resolved: &ResolvedExecs,
-) -> Result<Value> {
-    let callback = |plan: &LogicalExpr, outer_row: &StructValue| {
-        evaluate_logical(plan, resolved, outer_row)
+fn eval_row_scalar(expr: &ScalarExpr, env: &Env<'_>, resolved: &ResolvedExecs) -> Result<Value> {
+    let callback = |plan: &LogicalExpr, outer: &Env<'_>| {
+        evaluate_logical(plan, resolved, outer)
             .map_err(|e| AlgebraError::Unsupported(e.to_string()))
     };
     eval_scalar_with(expr, env, &callback).map_err(RuntimeError::Algebra)
-}
-
-/// Merges an outer environment with a row.  Struct rows merge field-wise
-/// (row fields win); non-struct rows are exposed under the name `it`.
-fn merged_env(outer: &StructValue, row: &Value) -> Result<StructValue> {
-    match row {
-        Value::Struct(s) => merge_envs(outer, s),
-        other => {
-            let mut fields: Vec<(String, Value)> = outer
-                .iter()
-                .map(|(n, v)| (n.to_owned(), v.clone()))
-                .collect();
-            fields.push(("it".to_owned(), other.clone()));
-            StructValue::new(fields).map_err(|e| RuntimeError::Algebra(e.into()))
-        }
-    }
-}
-
-/// Merges two environments; fields of `b` shadow fields of `a`.
-fn merge_envs(a: &StructValue, b: &StructValue) -> Result<StructValue> {
-    let mut fields: Vec<(String, Value)> = a
-        .iter()
-        .filter(|(n, _)| !b.has_field(n))
-        .map(|(n, v)| (n.to_owned(), v.clone()))
-        .collect();
-    fields.extend(b.iter().map(|(n, v)| (n.to_owned(), v.clone())));
-    StructValue::new(fields).map_err(|e| RuntimeError::Algebra(e.into()))
 }
 
 #[cfg(test)]
@@ -292,16 +284,20 @@ mod tests {
     }
 
     fn eval(plan: &LogicalExpr) -> Bag {
-        evaluate_logical(plan, &empty_resolved(), &StructValue::default()).unwrap()
+        evaluate_logical(plan, &empty_resolved(), &Env::root()).unwrap()
     }
 
     #[test]
     fn intro_query_pipeline_over_data() {
         // map(x.name, select(x.salary > 10, bind(x, data)))
         let data = LogicalExpr::Data(
-            [person("Mary", 200, 1), person("Sam", 50, 2), person("Low", 5, 3)]
-                .into_iter()
-                .collect(),
+            [
+                person("Mary", 200, 1),
+                person("Sam", 50, 2),
+                person("Low", 5, 3),
+            ]
+            .into_iter()
+            .collect(),
         );
         let plan = data
             .bind("x")
@@ -314,14 +310,20 @@ mod tests {
         let result = eval(&plan);
         assert_eq!(
             result,
-            [Value::from("Mary"), Value::from("Sam")].into_iter().collect()
+            [Value::from("Mary"), Value::from("Sam")]
+                .into_iter()
+                .collect()
         );
     }
 
     #[test]
     fn hash_join_combines_sources_on_equal_keys() {
-        let left = LogicalExpr::Data([person("Mary", 200, 1), person("Sam", 50, 2)].into_iter().collect())
-            .bind("x");
+        let left = LogicalExpr::Data(
+            [person("Mary", 200, 1), person("Sam", 50, 2)]
+                .into_iter()
+                .collect(),
+        )
+        .bind("x");
         let right = LogicalExpr::Data([person("Mary2", 30, 1)].into_iter().collect()).bind("y");
         let join = LogicalExpr::Join {
             left: Box::new(left),
@@ -353,9 +355,13 @@ mod tests {
     fn correlated_aggregate_uses_outer_row() {
         // The §2.2.3 `multiple` view shape over data:
         // select struct(name: x.name, salary: sum(select z.salary from z in all where x.id = z.id))
-        let all: Bag = [person("Mary", 200, 1), person("Mary-b", 30, 1), person("Sam", 50, 2)]
-            .into_iter()
-            .collect();
+        let all: Bag = [
+            person("Mary", 200, 1),
+            person("Mary-b", 30, 1),
+            person("Sam", 50, 2),
+        ]
+        .into_iter()
+        .collect();
         let subplan = LogicalExpr::Data(all.clone())
             .bind("z")
             .filter(ScalarExpr::binary(
@@ -368,7 +374,10 @@ mod tests {
             .bind("x")
             .map_project(ScalarExpr::StructLit(vec![
                 ("name".into(), ScalarExpr::var_field("x", "name")),
-                ("salary".into(), ScalarExpr::Agg(AggKind::Sum, Box::new(subplan))),
+                (
+                    "salary".into(),
+                    ScalarExpr::Agg(AggKind::Sum, Box::new(subplan)),
+                ),
             ]));
         let result = eval(&plan);
         let row = result.iter().next().unwrap().as_struct().unwrap();
@@ -396,14 +405,16 @@ mod tests {
     fn source_join_at_mediator_merges_tuples() {
         let employees = LogicalExpr::Data(
             [Value::Struct(
-                StructValue::new(vec![("name", Value::from("Mary")), ("dept", Value::Int(1))]).unwrap(),
+                StructValue::new(vec![("name", Value::from("Mary")), ("dept", Value::Int(1))])
+                    .unwrap(),
             )]
             .into_iter()
             .collect(),
         );
         let managers = LogicalExpr::Data(
             [Value::Struct(
-                StructValue::new(vec![("mgr", Value::from("Sam")), ("dept", Value::Int(1))]).unwrap(),
+                StructValue::new(vec![("mgr", Value::from("Sam")), ("dept", Value::Int(1))])
+                    .unwrap(),
             )]
             .into_iter()
             .collect(),
@@ -422,14 +433,14 @@ mod tests {
     #[test]
     fn unresolved_exec_is_an_error() {
         let plan = LogicalExpr::get("person0").submit("r0", "w0", "person0");
-        let err = evaluate_logical(&plan, &empty_resolved(), &StructValue::default()).unwrap_err();
+        let err = evaluate_logical(&plan, &empty_resolved(), &Env::root()).unwrap_err();
         assert!(matches!(err, RuntimeError::Unsupported(_)));
     }
 
     #[test]
     fn projection_of_scalar_rows_fails_cleanly() {
         let plan = data_of([1i64, 2i64]).project(["name"]);
-        let err = evaluate_logical(&plan, &empty_resolved(), &StructValue::default()).unwrap_err();
+        let err = evaluate_logical(&plan, &empty_resolved(), &Env::root()).unwrap_err();
         assert!(matches!(err, RuntimeError::Algebra(_)));
     }
 }

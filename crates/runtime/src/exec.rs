@@ -356,11 +356,14 @@ pub fn resolve_execs(
 
     for (index, (key, _, shipped)) in calls.iter().enumerate() {
         match received.remove(&index) {
-            Some((CallResult::Ok {
-                rows,
-                rows_scanned,
-                latency,
-            }, elapsed_ms)) => {
+            Some((
+                CallResult::Ok {
+                    rows,
+                    rows_scanned,
+                    latency,
+                },
+                elapsed_ms,
+            )) => {
                 if let Some(store) = &config.calibration {
                     // Record both the wall-clock elapsed time and the
                     // simulated latency — the simulated latency dominates.
@@ -413,7 +416,9 @@ mod tests {
                     .with_attribute(Attribute::new("salary", TypeRef::Int)),
             )
             .unwrap();
-        catalog.add_wrapper(WrapperDef::new("w0", "relational")).unwrap();
+        catalog
+            .add_wrapper(WrapperDef::new("w0", "relational"))
+            .unwrap();
         catalog.add_repository(Repository::new("r0")).unwrap();
         catalog.add_repository(Repository::new("r1")).unwrap();
         catalog
@@ -473,8 +478,10 @@ mod tests {
     #[test]
     fn unknown_wrapper_is_a_hard_error() {
         let (catalog, registry) = setup();
-        let plan = lower(&LogicalExpr::get("person0").submit("r0", "w_missing", "person0")).unwrap();
-        let err = resolve_execs(&plan, &registry, &catalog, &ExecutionConfig::default()).unwrap_err();
+        let plan =
+            lower(&LogicalExpr::get("person0").submit("r0", "w_missing", "person0")).unwrap();
+        let err =
+            resolve_execs(&plan, &registry, &catalog, &ExecutionConfig::default()).unwrap_err();
         assert!(matches!(err, RuntimeError::UnknownWrapper(_)));
     }
 
@@ -503,6 +510,10 @@ mod tests {
             ));
         let plan = lower(&logical).unwrap();
         let calls = collect_exec_calls(&plan);
-        assert_eq!(calls.len(), 2, "both the outer and the nested submit are seen");
+        assert_eq!(
+            calls.len(),
+            2,
+            "both the outer and the nested submit are seen"
+        );
     }
 }

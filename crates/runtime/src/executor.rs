@@ -125,7 +125,12 @@ mod tests {
 
     /// Builds the paper's introductory scenario: r0 holds Mary (salary 200),
     /// r1 holds Sam (salary 50); separate stores and links per repository.
-    fn paper_setup() -> (Catalog, WrapperRegistry, Arc<SimulatedLink>, Arc<SimulatedLink>) {
+    fn paper_setup() -> (
+        Catalog,
+        WrapperRegistry,
+        Arc<SimulatedLink>,
+        Arc<SimulatedLink>,
+    ) {
         let mut catalog = Catalog::new();
         catalog
             .define_interface(
@@ -135,9 +140,15 @@ mod tests {
                     .with_attribute(Attribute::new("salary", TypeRef::Int)),
             )
             .unwrap();
-        catalog.add_wrapper(WrapperDef::new("w_r0", "relational")).unwrap();
-        catalog.add_wrapper(WrapperDef::new("w_r1", "relational")).unwrap();
-        catalog.add_repository(Repository::new("r0").with_host("rodin")).unwrap();
+        catalog
+            .add_wrapper(WrapperDef::new("w_r0", "relational"))
+            .unwrap();
+        catalog
+            .add_wrapper(WrapperDef::new("w_r1", "relational"))
+            .unwrap();
+        catalog
+            .add_repository(Repository::new("r0").with_host("rodin"))
+            .unwrap();
         catalog.add_repository(Repository::new("r1")).unwrap();
         catalog
             .add_extent(MetaExtent::new("person0", "Person", "w_r0", "r0"))
@@ -201,7 +212,9 @@ mod tests {
         assert!(answer.is_complete());
         assert_eq!(
             *answer.data(),
-            [Value::from("Mary"), Value::from("Sam")].into_iter().collect()
+            [Value::from("Mary"), Value::from("Sam")]
+                .into_iter()
+                .collect()
         );
         assert_eq!(answer.stats().exec_calls, 2);
         assert!(answer.unavailable_sources().is_empty());
@@ -242,7 +255,9 @@ mod tests {
         assert!(complete.is_complete());
         assert_eq!(
             *complete.data(),
-            [Value::from("Mary"), Value::from("Sam")].into_iter().collect()
+            [Value::from("Mary"), Value::from("Sam")]
+                .into_iter()
+                .collect()
         );
     }
 

@@ -10,6 +10,28 @@
 //! sources>, <data from the available sources>)`.
 //!
 //! The central types are [`Executor`] and [`Answer`].
+//!
+//! # Row environments and the zero-clone evaluator
+//!
+//! The evaluator never deep-copies rows: values are `Arc`-backed
+//! (`disco_value`), so moving a row from one operator to the next is a
+//! reference-count bump.  Scalar expressions (filter predicates, join
+//! keys, projections) are evaluated against a layered
+//! [`disco_algebra::Env`] instead of a merged row struct:
+//!
+//! * the **outer scope** carries the enclosing query's bindings (used by
+//!   correlated aggregate sub-queries),
+//! * the **row scope** exposes the current row — a struct row binds its
+//!   fields, a non-struct row is bound as `it`,
+//! * joins stack the left row, then the right row; lookup walks
+//!   innermost-out, so inner scopes shadow outer ones exactly as the old
+//!   merged-struct environments did.
+//!
+//! Stacking a scope is allocation-free (an `Env` is a scope plus a parent
+//! pointer), so per-row evaluation does no environment work at all.  The
+//! hash join builds a real `HashMap` keyed by the canonical `Value` hash
+//! over *borrowed* build-side rows and materialises a joined output row
+//! only for probe pairs that survive the residual predicate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -8,9 +8,9 @@
 //! The answer is then `union(<residual query>, <data>)` — a legal OQL
 //! expression that can be resubmitted verbatim once the sources recover.
 
-use disco_algebra::{logical_to_oql, LogicalExpr, ScalarExpr};
+use disco_algebra::{logical_to_oql, Env, LogicalExpr, ScalarExpr};
 use disco_oql::print_expr;
-use disco_value::{Bag, StructValue};
+use disco_value::Bag;
 
 use crate::eval::evaluate_logical;
 use crate::exec::{ExecKey, ExecOutcome, ResolvedExecs, SourceCallStats};
@@ -197,7 +197,9 @@ pub fn is_fully_resolved(plan: &LogicalExpr) -> bool {
     fn scalar_resolved(expr: &ScalarExpr) -> bool {
         match expr {
             ScalarExpr::Agg(_, plan) => is_fully_resolved(plan),
-            ScalarExpr::Binary { left, right, .. } => scalar_resolved(left) && scalar_resolved(right),
+            ScalarExpr::Binary { left, right, .. } => {
+                scalar_resolved(left) && scalar_resolved(right)
+            }
             ScalarExpr::Not(inner) | ScalarExpr::Field(inner, _) => scalar_resolved(inner),
             ScalarExpr::StructLit(fields) => fields.iter().all(|(_, e)| scalar_resolved(e)),
             ScalarExpr::Call(_, args) => args.iter().all(scalar_resolved),
@@ -255,7 +257,7 @@ pub fn partial_evaluate(
 /// Bottom-up reduction: fully resolved subtrees collapse to `Data`.
 fn reduce(plan: &LogicalExpr, resolved: &ResolvedExecs) -> Result<LogicalExpr> {
     if is_fully_resolved(plan) {
-        let bag = evaluate_logical(plan, resolved, &StructValue::default())?;
+        let bag = evaluate_logical(plan, resolved, &Env::root())?;
         return Ok(LogicalExpr::Data(bag));
     }
     match plan {
@@ -298,7 +300,7 @@ mod tests {
     use super::*;
     use crate::exec::{ExecOutcome, SourceCallStats};
     use disco_algebra::{data_of, ScalarOp};
-    use disco_value::Value;
+    use disco_value::{StructValue, Value};
 
     fn person(name: &str, salary: i64) -> Value {
         Value::Struct(
@@ -369,10 +371,7 @@ mod tests {
         assert_eq!(data, [Value::from("Sam")].into_iter().collect());
         let residual = residual.expect("residual query over r0");
         let text = print_expr(&logical_to_oql(&residual));
-        assert_eq!(
-            text,
-            "select y.name from y in person0 where y.salary > 10"
-        );
+        assert_eq!(text, "select y.name from y in person0 where y.salary > 10");
         // The combined answer is the §1.3 form.
         let answer = Answer::partial(
             data,
@@ -426,14 +425,18 @@ mod tests {
         assert!(residual.is_none());
         assert_eq!(
             data,
-            [Value::from("Mary"), Value::from("Sam")].into_iter().collect()
+            [Value::from("Mary"), Value::from("Sam")]
+                .into_iter()
+                .collect()
         );
     }
 
     #[test]
     fn complete_answers_print_as_data() {
         let answer = Answer::complete(
-            [Value::from("Mary"), Value::from("Sam")].into_iter().collect(),
+            [Value::from("Mary"), Value::from("Sam")]
+                .into_iter()
+                .collect(),
             ExecutionStats::default(),
         );
         assert!(answer.is_complete());

@@ -105,7 +105,7 @@ fn infer_value(raw: &str) -> Value {
     match raw {
         "true" => Value::Bool(true),
         "false" => Value::Bool(false),
-        other => Value::Str(other.to_owned()),
+        other => Value::from(other),
     }
 }
 
@@ -113,7 +113,8 @@ fn infer_value(raw: &str) -> Value {
 mod tests {
     use super::*;
 
-    const WATER_CSV: &str = "site,ph,turbidity,flag\nseine-01,7.2,3,true\nseine-02,6.9,5,false\nloire-01,,2,true\n";
+    const WATER_CSV: &str =
+        "site,ph,turbidity,flag\nseine-01,7.2,3,true\nseine-02,6.9,5,false\nloire-01,,2,true\n";
 
     #[test]
     fn parses_header_and_rows_with_type_inference() {

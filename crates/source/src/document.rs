@@ -7,10 +7,9 @@
 //! less powerful query capability".
 
 use disco_value::{StructValue, Value};
-use serde::{Deserialize, Serialize};
 
 /// One document in the store.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Document {
     /// Stable identifier.
     pub id: i64,
@@ -46,16 +45,16 @@ impl Document {
     pub fn to_row(&self) -> StructValue {
         StructValue::new(vec![
             ("id", Value::Int(self.id)),
-            ("title", Value::Str(self.title.clone())),
-            ("body", Value::Str(self.body.clone())),
-            ("keyword", Value::Str(self.keywords.join(","))),
+            ("title", Value::from(self.title.clone())),
+            ("body", Value::from(self.body.clone())),
+            ("keyword", Value::from(self.keywords.join(","))),
         ])
         .expect("distinct fields")
     }
 }
 
 /// A keyword-indexed document collection.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DocumentStore {
     documents: Vec<Document>,
 }
@@ -98,9 +97,7 @@ impl DocumentStore {
         self.documents
             .iter()
             .filter(|d| {
-                d.keywords
-                    .iter()
-                    .any(|k| k.to_ascii_lowercase() == needle)
+                d.keywords.iter().any(|k| k.to_ascii_lowercase() == needle)
                     || d.title.to_ascii_lowercase().contains(&needle)
             })
             .map(Document::to_row)
@@ -120,8 +117,7 @@ mod tests {
                 .with_keyword("seine"),
         );
         s.add(
-            Document::new(2, "Staff salaries 1995", "annual salary report")
-                .with_keyword("salary"),
+            Document::new(2, "Staff salaries 1995", "annual salary report").with_keyword("salary"),
         );
         s
     }
@@ -131,7 +127,12 @@ mod tests {
         let rows = store().scan();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].field("id").unwrap(), &Value::Int(1));
-        assert!(rows[0].field("keyword").unwrap().as_str().unwrap().contains("water"));
+        assert!(rows[0]
+            .field("keyword")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("water"));
     }
 
     #[test]

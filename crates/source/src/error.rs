@@ -35,8 +35,12 @@ impl fmt::Display for SourceError {
             SourceError::UnknownColumn { table, column } => {
                 write!(f, "table {table} has no column {column}")
             }
-            SourceError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
-            SourceError::Unavailable { endpoint } => write!(f, "data source unavailable: {endpoint}"),
+            SourceError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
+            SourceError::Unavailable { endpoint } => {
+                write!(f, "data source unavailable: {endpoint}")
+            }
             SourceError::Value(err) => write!(f, "value error: {err}"),
         }
     }

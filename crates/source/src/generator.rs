@@ -19,9 +19,26 @@ use crate::document::{Document, DocumentStore};
 use crate::relational::Table;
 
 const FIRST_NAMES: &[&str] = &[
-    "Mary", "Sam", "Anthony", "Louiqa", "Patrick", "Daniela", "Olga", "Nicolas", "Catherine",
-    "Eric", "Yannis", "Peter", "Victor", "Alexandre", "Sophie", "Jean", "Claire", "Michel",
-    "Isabelle", "Marc",
+    "Mary",
+    "Sam",
+    "Anthony",
+    "Louiqa",
+    "Patrick",
+    "Daniela",
+    "Olga",
+    "Nicolas",
+    "Catherine",
+    "Eric",
+    "Yannis",
+    "Peter",
+    "Victor",
+    "Alexandre",
+    "Sophie",
+    "Jean",
+    "Claire",
+    "Michel",
+    "Isabelle",
+    "Marc",
 ];
 
 const SITES: &[&str] = &[
@@ -47,7 +64,7 @@ pub fn person_table(name: &str, rows: usize, source_index: u64, seed: u64) -> Ta
         table
             .insert_values([
                 ("id", Value::Int(id)),
-                ("name", Value::Str(person_name)),
+                ("name", Value::from(person_name)),
                 ("salary", Value::Int(salary)),
             ])
             .expect("columns match");
@@ -66,13 +83,16 @@ pub fn employee_table(name: &str, rows: usize, departments: usize, seed: u64) ->
                 ("id", Value::Int(i as i64)),
                 (
                     "name",
-                    Value::Str(format!(
+                    Value::from(format!(
                         "{}-{}",
                         FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
                         i
                     )),
                 ),
-                ("dept", Value::Int(rng.gen_range(0..departments.max(1) as i64))),
+                (
+                    "dept",
+                    Value::Int(rng.gen_range(0..departments.max(1) as i64)),
+                ),
                 ("salary", Value::Int(rng.gen_range(100..900i64))),
             ])
             .expect("columns match");
@@ -91,7 +111,7 @@ pub fn manager_table(name: &str, departments: usize, seed: u64) -> Table {
             .insert_values([
                 (
                     "name",
-                    Value::Str(format!(
+                    Value::from(format!(
                         "mgr-{}-{}",
                         FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
                         dept
@@ -117,17 +137,14 @@ pub fn water_quality_table(name: &str, site_index: usize, days: usize, seed: u64
         SITES[site_index % SITES.len()],
         site_index / SITES.len() + 1
     );
-    let mut table = Table::new(
-        name,
-        ["site", "day", "ph", "turbidity", "dissolved_oxygen"],
-    );
+    let mut table = Table::new(name, ["site", "day", "ph", "turbidity", "dissolved_oxygen"]);
     for day in 0..days {
         let ph: f64 = 6.5 + rng.gen_range(0.0..2.0);
         let turbidity = rng.gen_range(0..40i64);
         let oxygen: f64 = 5.0 + rng.gen_range(0.0..7.0);
         table
             .insert_values([
-                ("site", Value::Str(site.clone())),
+                ("site", Value::from(site.clone())),
                 ("day", Value::Int(day as i64)),
                 ("ph", Value::Float((ph * 100.0).round() / 100.0)),
                 ("turbidity", Value::Int(turbidity)),
@@ -145,7 +162,14 @@ pub fn water_quality_table(name: &str, site_index: usize, days: usize, seed: u64
 #[must_use]
 pub fn document_store(count: usize, seed: u64) -> DocumentStore {
     let mut rng = StdRng::seed_from_u64(seed);
-    let topics = ["water", "salary", "pollution", "schema", "mediator", "wrapper"];
+    let topics = [
+        "water",
+        "salary",
+        "pollution",
+        "schema",
+        "mediator",
+        "wrapper",
+    ];
     let mut store = DocumentStore::new();
     for i in 0..count {
         let topic = topics[rng.gen_range(0..topics.len())];

@@ -17,10 +17,9 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Availability state of a simulated source.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Availability {
     /// The source answers normally.
     Available,
@@ -35,7 +34,7 @@ pub enum Availability {
 }
 
 /// The latency/availability profile of the path to one repository.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkProfile {
     /// Fixed per-call latency in microseconds.
     pub base_latency_us: u64,
@@ -252,7 +251,9 @@ mod tests {
             )
         };
         let normal = mk(Availability::Available).call_delay(1).unwrap();
-        let slow = mk(Availability::Slow { extra_ms: 5 }).call_delay(1).unwrap();
+        let slow = mk(Availability::Slow { extra_ms: 5 })
+            .call_delay(1)
+            .unwrap();
         assert!(slow >= normal + Duration::from_millis(5));
     }
 

@@ -10,12 +10,11 @@ use std::collections::BTreeMap;
 
 use disco_value::{StructValue, Value};
 use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 
 use crate::{Result, SourceError};
 
 /// One relation: declared columns plus rows.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Table {
     name: String,
     columns: Vec<String>,
@@ -93,7 +92,7 @@ impl Table {
     /// Same as [`Table::insert`], plus duplicate-field errors.
     pub fn insert_values<N, I>(&mut self, values: I) -> Result<()>
     where
-        N: Into<String>,
+        N: Into<std::sync::Arc<str>>,
         I: IntoIterator<Item = (N, Value)>,
     {
         let row = StructValue::new(values)?;
@@ -209,9 +208,7 @@ mod tests {
         let mut t = Table::new("t", ["a", "b"]);
         t.insert_values([("a", Value::Int(1))]).unwrap();
         assert_eq!(t.rows()[0].field("b").unwrap(), &Value::Null);
-        let err = t
-            .insert_values([("z", Value::Int(1))])
-            .unwrap_err();
+        let err = t.insert_values([("z", Value::Int(1))]).unwrap_err();
         assert!(matches!(err, SourceError::UnknownColumn { .. }));
     }
 
@@ -234,9 +231,7 @@ mod tests {
         assert_eq!(store.row_count("t"), 1);
         assert_eq!(store.row_count("missing"), 0);
         assert_eq!(store.table_names(), vec!["t"]);
-        assert!(store
-            .insert("missing", StructValue::default())
-            .is_err());
+        assert!(store.insert("missing", StructValue::default()).is_err());
         assert_eq!(store.table("t").unwrap().cell_count(), 1);
     }
 }

@@ -1,4 +1,5 @@
-use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use crate::Value;
 
@@ -11,6 +12,19 @@ use crate::Value;
 /// debugging and stable display after [`Bag::sorted`]) but equality is
 /// multiset equality.
 ///
+/// # Shared storage
+///
+/// The element vector lives behind an [`Arc`]: cloning a bag — which
+/// happens every time a source's cached rows are fed into a plan, or a
+/// `Data` node is evaluated — is a reference-count bump.  Mutating methods
+/// ([`Bag::insert`], [`Bag::extend`]) are copy-on-write: they mutate in
+/// place while the storage is uniquely owned and clone it only when it is
+/// shared.
+///
+/// Multiset equality and [`Bag::distinct`] are hash-based (O(n) expected),
+/// relying on `Value`'s canonical `Hash`, which is consistent with
+/// `total_cmp` equality.
+///
 /// # Examples
 ///
 /// ```
@@ -22,23 +36,31 @@ use crate::Value;
 /// assert_eq!(all.len(), 2);
 /// assert!(all.contains(&Value::from("Mary")));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Bag {
-    items: Vec<Value>,
+    items: Arc<Vec<Value>>,
+}
+
+impl Default for Bag {
+    fn default() -> Self {
+        Bag::new()
+    }
 }
 
 impl Bag {
     /// Creates an empty bag.
     #[must_use]
     pub fn new() -> Self {
-        Bag { items: Vec::new() }
+        Bag {
+            items: Arc::new(Vec::new()),
+        }
     }
 
     /// Creates an empty bag with room for `capacity` elements.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         Bag {
-            items: Vec::with_capacity(capacity),
+            items: Arc::new(Vec::with_capacity(capacity)),
         }
     }
 
@@ -54,9 +76,16 @@ impl Bag {
         self.items.is_empty()
     }
 
-    /// Adds one element to the bag.
+    /// Returns `true` when `self` and `other` share the same underlying
+    /// element storage (clones of the same bag).
+    #[must_use]
+    pub fn ptr_eq(&self, other: &Bag) -> bool {
+        Arc::ptr_eq(&self.items, &other.items)
+    }
+
+    /// Adds one element to the bag (copy-on-write).
     pub fn insert(&mut self, value: Value) {
-        self.items.push(value);
+        Arc::make_mut(&mut self.items).push(value);
     }
 
     /// Number of occurrences of `value` in the bag.
@@ -78,26 +107,41 @@ impl Bag {
 
     /// Bag union: the result contains every element of `self` and `other`,
     /// with multiplicities added (ODMG bag union semantics).
+    ///
+    /// Elements are shared with the inputs (Arc bumps, no deep copies);
+    /// a union with an empty bag shares the other side's storage outright.
     #[must_use]
     pub fn union(&self, other: &Bag) -> Bag {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
         let mut items = Vec::with_capacity(self.len() + other.len());
         items.extend(self.items.iter().cloned());
         items.extend(other.items.iter().cloned());
-        Bag { items }
+        Bag {
+            items: Arc::new(items),
+        }
     }
 
-    /// Returns a new bag with duplicates removed (OQL `distinct`).
+    /// Returns a new bag with duplicates removed (OQL `distinct`),
+    /// preserving first occurrence order.
+    ///
+    /// Hash-based: O(n) expected, using `Value`'s canonical `Hash`.
     #[must_use]
     pub fn distinct(&self) -> Bag {
-        let mut seen: Vec<&Value> = Vec::new();
+        let mut seen: HashSet<&Value> = HashSet::with_capacity(self.len());
         let mut items = Vec::new();
-        for v in &self.items {
-            if !seen.iter().any(|s| *s == v) {
-                seen.push(v);
+        for v in self.items.iter() {
+            if seen.insert(v) {
                 items.push(v.clone());
             }
         }
-        Bag { items }
+        Bag {
+            items: Arc::new(items),
+        }
     }
 
     /// Flattens a bag of bags into a single bag (OQL `flatten`).
@@ -108,31 +152,59 @@ impl Bag {
     #[must_use]
     pub fn flatten(&self) -> Bag {
         let mut items = Vec::new();
-        for v in &self.items {
+        for v in self.items.iter() {
             match v {
                 Value::Bag(inner) => items.extend(inner.items.iter().cloned()),
                 Value::List(inner) => items.extend(inner.iter().cloned()),
                 other => items.push(other.clone()),
             }
         }
-        Bag { items }
+        Bag {
+            items: Arc::new(items),
+        }
     }
 
     /// Returns the elements sorted by the total value order.
     ///
     /// Useful for deterministic assertions and display; the bag itself is
-    /// unordered.
+    /// unordered.  The returned values share storage with the bag.
     #[must_use]
     pub fn sorted(&self) -> Vec<Value> {
-        let mut v = self.items.clone();
+        let mut v: Vec<Value> = self.items.iter().cloned().collect();
         v.sort();
         v
+    }
+
+    /// The elements as references, sorted by the total value order.
+    ///
+    /// This is the allocation-light path used by ordered bag comparison:
+    /// only a vector of references is built and sorted — the elements
+    /// themselves are never cloned.
+    #[must_use]
+    pub fn sorted_refs(&self) -> Vec<&Value> {
+        let mut v: Vec<&Value> = self.items.iter().collect();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v
+    }
+
+    /// Counts occurrences per distinct element (the multiset view used by
+    /// hash-based equality).
+    #[must_use]
+    pub fn counts(&self) -> HashMap<&Value, usize> {
+        let mut counts: HashMap<&Value, usize> = HashMap::with_capacity(self.len());
+        for v in self.items.iter() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        counts
     }
 
     /// Consumes the bag and returns its elements in insertion order.
     #[must_use]
     pub fn into_values(self) -> Vec<Value> {
-        self.items
+        match Arc::try_unwrap(self.items) {
+            Ok(items) => items,
+            Err(shared) => (*shared).clone(),
+        }
     }
 
     /// Views the elements as a slice in insertion order.
@@ -143,11 +215,25 @@ impl Bag {
 }
 
 impl PartialEq for Bag {
+    /// Multiset equality, hash-based: O(n) expected instead of the
+    /// clone-sort-compare with deep copies it replaces.
     fn eq(&self, other: &Self) -> bool {
+        if self.ptr_eq(other) {
+            return true;
+        }
         if self.len() != other.len() {
             return false;
         }
-        self.sorted() == other.sorted()
+        let mut counts = self.counts();
+        for v in other.items.iter() {
+            match counts.get_mut(v) {
+                Some(c) if *c > 0 => *c -= 1,
+                _ => return false,
+            }
+        }
+        // Lengths are equal and every element of `other` consumed one
+        // occurrence, so all counts are zero.
+        true
     }
 }
 
@@ -156,14 +242,14 @@ impl Eq for Bag {}
 impl FromIterator<Value> for Bag {
     fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
         Bag {
-            items: iter.into_iter().collect(),
+            items: Arc::new(iter.into_iter().collect()),
         }
     }
 }
 
 impl Extend<Value> for Bag {
     fn extend<T: IntoIterator<Item = Value>>(&mut self, iter: T) {
-        self.items.extend(iter);
+        Arc::make_mut(&mut self.items).extend(iter);
     }
 }
 
@@ -172,7 +258,7 @@ impl IntoIterator for Bag {
     type IntoIter = std::vec::IntoIter<Value>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.items.into_iter()
+        self.into_values().into_iter()
     }
 }
 
@@ -187,7 +273,9 @@ impl<'a> IntoIterator for &'a Bag {
 
 impl From<Vec<Value>> for Bag {
     fn from(items: Vec<Value>) -> Self {
-        Bag { items }
+        Bag {
+            items: Arc::new(items),
+        }
     }
 }
 
@@ -217,8 +305,28 @@ mod tests {
         let answer = person0.union(&person1);
         assert_eq!(
             answer,
-            [Value::from("Sam"), Value::from("Mary")].into_iter().collect()
+            [Value::from("Sam"), Value::from("Mary")]
+                .into_iter()
+                .collect()
         );
+    }
+
+    #[test]
+    fn union_with_empty_shares_storage() {
+        let a = ints(&[1, 2]);
+        assert!(a.union(&Bag::new()).ptr_eq(&a));
+        assert!(Bag::new().union(&a).ptr_eq(&a));
+    }
+
+    #[test]
+    fn clone_is_shared_and_cow_detaches() {
+        let a = ints(&[1, 2]);
+        let mut b = a.clone();
+        assert!(a.ptr_eq(&b));
+        b.insert(Value::Int(3));
+        assert!(!a.ptr_eq(&b));
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 3);
     }
 
     #[test]
@@ -227,6 +335,13 @@ mod tests {
         let d = b.distinct();
         assert_eq!(d.len(), 3);
         assert_eq!(d.as_slice()[0], Value::Int(3));
+    }
+
+    #[test]
+    fn distinct_is_consistent_with_numeric_equality() {
+        // 2 and 2.0 are equal under total_cmp, so distinct keeps one.
+        let b: Bag = [Value::Int(2), Value::Float(2.0)].into_iter().collect();
+        assert_eq!(b.distinct().len(), 1);
     }
 
     #[test]
@@ -244,6 +359,7 @@ mod tests {
     fn equality_is_order_insensitive() {
         assert_eq!(ints(&[1, 2, 3]), ints(&[3, 2, 1]));
         assert_ne!(ints(&[1, 2]), ints(&[1, 2, 2]));
+        assert_ne!(ints(&[1, 1, 2]), ints(&[1, 2, 2]));
     }
 
     #[test]
@@ -261,5 +377,12 @@ mod tests {
         let mut b = Bag::from(vec![Value::Int(1)]);
         b.extend([Value::Int(2), Value::Int(3)]);
         assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn sorted_refs_matches_sorted() {
+        let b = ints(&[3, 1, 2]);
+        let by_ref: Vec<Value> = b.sorted_refs().into_iter().cloned().collect();
+        assert_eq!(by_ref, b.sorted());
     }
 }

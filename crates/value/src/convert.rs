@@ -34,12 +34,18 @@ impl From<f64> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_owned())
+        Value::Str(std::sync::Arc::from(s))
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
+        Value::Str(s.into())
+    }
+}
+
+impl From<std::sync::Arc<str>> for Value {
+    fn from(s: std::sync::Arc<str>) -> Self {
         Value::Str(s)
     }
 }
@@ -58,7 +64,7 @@ impl From<Bag> for Value {
 
 impl From<Vec<Value>> for Value {
     fn from(v: Vec<Value>) -> Self {
-        Value::List(v)
+        Value::list(v)
     }
 }
 
@@ -98,7 +104,7 @@ mod tests {
         assert_eq!(Value::from(b.clone()), Value::Bag(b));
         assert_eq!(
             Value::from(vec![Value::Int(1)]),
-            Value::List(vec![Value::Int(1)])
+            Value::list(vec![Value::Int(1)])
         );
         let s = StructValue::new(vec![("a", Value::Int(1))]).unwrap();
         assert_eq!(Value::from(s.clone()), Value::Struct(s));

@@ -91,7 +91,9 @@ mod tests {
 
     #[test]
     fn bag_of_strings_prints_like_the_paper() {
-        let answer: Bag = [Value::from("Mary"), Value::from("Sam")].into_iter().collect();
+        let answer: Bag = [Value::from("Mary"), Value::from("Sam")]
+            .into_iter()
+            .collect();
         assert_eq!(answer.to_string(), r#"Bag("Mary", "Sam")"#);
     }
 
@@ -122,7 +124,7 @@ mod tests {
         assert_eq!(Value::Null.to_string(), "nil");
         assert_eq!(Value::Bool(true).to_string(), "true");
         assert_eq!(
-            Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            Value::list(vec![Value::Int(1), Value::Int(2)]).to_string(),
             "list(1, 2)"
         );
     }

@@ -70,7 +70,10 @@ mod tests {
         };
         assert_eq!(e.to_string(), "no such field: salary");
         let e = ValueError::NotAStruct { found: "bag" };
-        assert_eq!(e.to_string(), "field access on non-struct value of type bag");
+        assert_eq!(
+            e.to_string(),
+            "field access on non-struct value of type bag"
+        );
         let e = ValueError::DuplicateField {
             field: "name".into(),
         };

@@ -17,6 +17,31 @@
 //!   ("In DISCO, the union of two bags is a bag"),
 //! * [`ValueError`] — error type for conversions and field access.
 //!
+//! # Shared (zero-clone) representation
+//!
+//! The mediator's job is to *combine* bags produced by many autonomous
+//! sources, so rows are copied between operators constantly.  To make that
+//! combine step O(1) per row, every heap-carrying variant is backed by an
+//! [`std::sync::Arc`]:
+//!
+//! * `Value::Str` holds `Arc<str>`,
+//! * [`StructValue`] holds `Arc<Vec<(Arc<str>, Value)>>` — field names are
+//!   shared too, so projecting/renaming/merging rows reuses name storage,
+//! * `Value::List` holds `Arc<Vec<Value>>`,
+//! * [`Bag`] holds `Arc<Vec<Value>>` with copy-on-write mutation
+//!   ([`Bag::insert`]/[`Bag::extend`] mutate in place while unique, clone
+//!   only when shared).
+//!
+//! `Value::clone` is therefore always a reference-count bump, never a deep
+//! copy.  Equality, ordering and hashing form a consistent triangle:
+//! `total_cmp` is a total order (floats via [`f64::total_cmp`], structs as
+//! field sets, bags as multisets), `Eq` is `total_cmp == Equal`, and
+//! `Hash` is canonical with respect to it — numerically equal ints and
+//! floats hash identically, and struct/bag hashes are order-independent
+//! (commutative combine, no sorting, no clones).  That canonical hash is
+//! what lets the runtime build hash joins and hash distinct directly on
+//! `Value` keys.
+//!
 //! # Examples
 //!
 //! ```

@@ -2,10 +2,24 @@
 //!
 //! DISCO answers are bags; to make test assertions and benchmark output
 //! deterministic we give values a *total* order: variants are ranked, floats
-//! use [`f64::total_cmp`], structs compare as sorted field lists, and bags
-//! compare as sorted multisets.  Equality is consistent with this order.
+//! use [`f64::total_cmp`], structs compare as field sets, and bags compare
+//! as sorted multisets.  Equality is consistent with this order, and `Hash`
+//! is canonical with respect to equality:
+//!
+//! * numerically equal `Int`/`Float` values hash identically (both hash the
+//!   `f64` bit pattern of their numeric value),
+//! * struct hashes are independent of field declaration order,
+//! * bag hashes are independent of element order.
+//!
+//! Order independence is achieved by combining per-element hashes with a
+//! commutative `wrapping_add` instead of sorting — hashing a bag is O(n)
+//! with no allocation and no element clones.  Bag *comparison* sorts
+//! references once per side ([`Bag::sorted_refs`]); the previous
+//! implementation deep-cloned and re-sorted both bags on every comparison,
+//! which made nested-bag comparison quadratic in practice.
 
 use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 use crate::{StructValue, Value};
@@ -23,18 +37,55 @@ fn variant_rank(v: &Value) -> u8 {
     }
 }
 
+/// 2^63 as `f64` (exactly representable); the first float ≥ every `i64`.
+const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0;
+
+/// Exact comparison of an `i64` against an `f64` — no precision loss for
+/// integers beyond 2^53.  Numerically equal pairs tie-break through the
+/// IEEE total order of `(a as f64, f)`, which keeps the overall order
+/// transitive: `Int(0) > Float(-0.0)` just like `Float(0.0) > Float(-0.0)`,
+/// and `Int(a) == Float(f)` exactly when `f` represents `a`.
+#[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+fn cmp_int_float(a: i64, f: f64) -> Ordering {
+    if f.is_nan() {
+        // NaNs take their IEEE total-order position (above/below all
+        // finite numbers depending on sign bit).
+        return (a as f64).total_cmp(&f);
+    }
+    if f >= TWO_POW_63 {
+        return Ordering::Less;
+    }
+    if f < -TWO_POW_63 {
+        return Ordering::Greater;
+    }
+    // f is finite and within [-2^63, 2^63): its truncation converts to
+    // i64 exactly.
+    let t = f.trunc();
+    let ti = t as i64;
+    match a.cmp(&ti) {
+        Ordering::Equal => {
+            let fraction = f - t;
+            if fraction == 0.0 {
+                // Real values are equal; settle -0.0 et al. by total order.
+                (a as f64).total_cmp(&f)
+            } else if fraction > 0.0 {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        }
+        other => other,
+    }
+}
+
 fn cmp_numeric(a: &Value, b: &Value) -> Option<Ordering> {
-    let af = match a {
-        Value::Int(i) => Some(*i as f64),
-        Value::Float(f) => Some(*f),
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Some(x.cmp(y)),
+        (Value::Int(x), Value::Float(y)) => Some(cmp_int_float(*x, *y)),
+        (Value::Float(x), Value::Int(y)) => Some(cmp_int_float(*y, *x).reverse()),
+        (Value::Float(x), Value::Float(y)) => Some(x.total_cmp(y)),
         _ => None,
-    }?;
-    let bf = match b {
-        Value::Int(i) => Some(*i as f64),
-        Value::Float(f) => Some(*f),
-        _ => None,
-    }?;
-    Some(af.total_cmp(&bf))
+    }
 }
 
 impl Value {
@@ -54,11 +105,11 @@ impl Value {
             (Value::Struct(a), Value::Struct(b)) => cmp_struct(a, b),
             (Value::List(a), Value::List(b)) => cmp_seq(a, b),
             (Value::Bag(a), Value::Bag(b)) => {
-                let mut av: Vec<&Value> = a.iter().collect();
-                let mut bv: Vec<&Value> = b.iter().collect();
-                av.sort_by(|x, y| x.total_cmp(y));
-                bv.sort_by(|x, y| x.total_cmp(y));
-                cmp_ref_seq(&av, &bv)
+                if a.ptr_eq(b) {
+                    return Ordering::Equal;
+                }
+                // Sort references once per side — elements are never cloned.
+                cmp_ref_seq(&a.sorted_refs(), &b.sorted_refs())
             }
             _ => variant_rank(self).cmp(&variant_rank(other)),
         }
@@ -86,8 +137,25 @@ fn cmp_ref_seq(a: &[&Value], b: &[&Value]) -> Ordering {
 }
 
 fn cmp_struct(a: &StructValue, b: &StructValue) -> Ordering {
-    // Compare as name-sorted field lists so that field declaration order
-    // does not affect equality.
+    if a.ptr_eq(b) {
+        return Ordering::Equal;
+    }
+    // Fast path: rows flowing through an operator pipeline almost always
+    // share one schema, so field names line up positionally.  Positional
+    // comparison is only *order-consistent* with the name-sorted general
+    // path when the shared declaration order is itself name-sorted —
+    // otherwise mixing the two paths would break transitivity.
+    if a.len() == b.len() && same_sorted_field_names(a, b) {
+        for ((_, av), (_, bv)) in a.iter().zip(b.iter()) {
+            let ord = av.total_cmp(bv);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        return Ordering::Equal;
+    }
+    // General path: compare as name-sorted field lists so that field
+    // declaration order does not affect equality.
     let mut af: Vec<(&str, &Value)> = a.iter().collect();
     let mut bf: Vec<(&str, &Value)> = b.iter().collect();
     af.sort_by(|x, y| x.0.cmp(y.0));
@@ -105,6 +173,24 @@ fn cmp_struct(a: &StructValue, b: &StructValue) -> Ordering {
     af.len().cmp(&bf.len())
 }
 
+/// `true` when both structs declare identical field names in identical
+/// positions *and* that declaration order is ascending by name.
+fn same_sorted_field_names(a: &StructValue, b: &StructValue) -> bool {
+    let mut prev: Option<&str> = None;
+    for (an, bn) in a.field_names().zip(b.field_names()) {
+        if an != bn {
+            return false;
+        }
+        if let Some(p) = prev {
+            if p >= an {
+                return false;
+            }
+        }
+        prev = Some(an);
+    }
+    true
+}
+
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
         self.total_cmp(other) == Ordering::Equal
@@ -115,7 +201,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -133,7 +219,21 @@ impl PartialEq for StructValue {
 
 impl Eq for StructValue {}
 
+/// The standalone hash of one value, used as the element of commutative
+/// (order-independent) multiset combines.  `DefaultHasher::new()` uses
+/// fixed keys, so this is deterministic within a process — all a hash
+/// table needs.
+fn element_hash<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
 impl Hash for Value {
+    /// Canonical hash, consistent with `total_cmp` equality:
+    /// `a == b` implies `hash(a) == hash(b)`, including the cross-variant
+    /// `Int`/`Float` case, permuted struct fields and permuted bags.
+    #[allow(clippy::cast_possible_truncation)]
     fn hash<H: Hasher>(&self, state: &mut H) {
         match self {
             Value::Null => 0u8.hash(state),
@@ -141,44 +241,63 @@ impl Hash for Value {
                 1u8.hash(state);
                 b.hash(state);
             }
-            // Ints and floats that are numerically equal must hash equally
-            // because they compare equal.
+            // An `Int` and a `Float` compare equal exactly when the float
+            // represents the integer (see `cmp_int_float`), so integers
+            // hash their `i64` value and exactly-integral in-range floats
+            // hash the same `i64`; every other float hashes its bits.
             Value::Int(i) => {
                 2u8.hash(state);
-                (*i as f64).to_bits().hash(state);
+                i.hash(state);
             }
             Value::Float(f) => {
                 2u8.hash(state);
-                f.to_bits().hash(state);
+                if f.is_finite() && f.fract() == 0.0 && (-TWO_POW_63..TWO_POW_63).contains(f) {
+                    (*f as i64).hash(state);
+                } else {
+                    f.to_bits().hash(state);
+                }
             }
             Value::Str(s) => {
                 4u8.hash(state);
-                s.hash(state);
+                s.as_ref().hash(state);
             }
             Value::Struct(s) => {
                 5u8.hash(state);
-                let mut fields: Vec<(&str, &Value)> = s.iter().collect();
-                fields.sort_by(|a, b| a.0.cmp(b.0));
-                for (n, v) in fields {
-                    n.hash(state);
-                    v.hash(state);
-                }
+                s.hash(state);
             }
             Value::List(l) => {
                 6u8.hash(state);
-                for v in l {
+                for v in l.iter() {
                     v.hash(state);
                 }
             }
             Value::Bag(b) => {
                 7u8.hash(state);
-                let mut items: Vec<&Value> = b.iter().collect();
-                items.sort();
-                for v in items {
-                    v.hash(state);
+                b.len().hash(state);
+                // Commutative combine: order-independent without sorting.
+                let mut acc = 0u64;
+                for v in b.iter() {
+                    acc = acc.wrapping_add(element_hash(v));
                 }
+                acc.hash(state);
             }
         }
+    }
+}
+
+impl Hash for StructValue {
+    /// Field-order-independent struct hash (commutative combine over
+    /// `(name, value)` pair hashes).
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.len().hash(state);
+        let mut acc = 0u64;
+        for (name, value) in self.iter() {
+            let mut h = DefaultHasher::new();
+            name.hash(&mut h);
+            value.hash(&mut h);
+            acc = acc.wrapping_add(h.finish());
+        }
+        acc.hash(state);
     }
 }
 
@@ -186,7 +305,6 @@ impl Hash for Value {
 mod tests {
     use super::*;
     use crate::Bag;
-    use std::collections::hash_map::DefaultHasher;
 
     fn hash_of(v: &Value) -> u64 {
         let mut h = DefaultHasher::new();
@@ -212,8 +330,16 @@ mod tests {
 
     #[test]
     fn bag_equality_is_multiset_equality() {
-        let a = Value::Bag(Bag::from_iter([Value::Int(1), Value::Int(2), Value::Int(2)]));
-        let b = Value::Bag(Bag::from_iter([Value::Int(2), Value::Int(1), Value::Int(2)]));
+        let a = Value::Bag(Bag::from_iter([
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(2),
+        ]));
+        let b = Value::Bag(Bag::from_iter([
+            Value::Int(2),
+            Value::Int(1),
+            Value::Int(2),
+        ]));
         let c = Value::Bag(Bag::from_iter([Value::Int(1), Value::Int(2)]));
         assert_eq!(a, b);
         assert_ne!(a, c);
@@ -231,7 +357,7 @@ mod tests {
             Value::Float(0.5),
             Value::from("a"),
             Value::from("b"),
-            Value::List(vec![Value::Int(1)]),
+            Value::list(vec![Value::Int(1)]),
             Value::Bag(Bag::from_iter([Value::Int(1)])),
             Value::new_struct(vec![("k", Value::Int(1))]).unwrap(),
         ];
@@ -254,14 +380,91 @@ mod tests {
         // the comparison is stable and equality is reflexive.
         assert_eq!(nan, nan.clone());
         assert!(Value::Float(1.0) < nan);
+        assert_eq!(hash_of(&nan), hash_of(&nan.clone()));
+    }
+
+    #[test]
+    fn negative_zero_is_distinct_but_consistent() {
+        // total_cmp orders -0.0 before 0.0 (IEEE total order), so they are
+        // *not* equal under the canonical order — and their hashes are
+        // free to differ.  What must hold: equal values hash equal.
+        let neg = Value::Float(-0.0);
+        let pos = Value::Float(0.0);
+        assert_ne!(neg, pos);
+        assert_eq!(neg, neg.clone());
+        // Int(0) is numerically 0.0 (positive zero).
+        assert_eq!(Value::Int(0), pos);
+        assert_eq!(hash_of(&Value::Int(0)), hash_of(&pos));
+    }
+
+    #[test]
+    fn large_ints_compare_exactly() {
+        // 2^53 and 2^53 + 1 collapse to the same f64; they must stay
+        // distinct as ints (the hash join and distinct rely on it).
+        let a = Value::Int(9_007_199_254_740_992);
+        let b = Value::Int(9_007_199_254_740_993);
+        assert_ne!(a, b);
+        assert!(a < b);
+        assert_ne!(hash_of(&a), hash_of(&b));
+        // A float that exactly represents a huge int equals it and hashes
+        // with it; the next int up is strictly greater.
+        #[allow(clippy::cast_precision_loss)]
+        let f = Value::Float(9_007_199_254_740_992u64 as f64);
+        assert_eq!(a, f);
+        assert_eq!(hash_of(&a), hash_of(&f));
+        assert!(f < b);
+        // i64 extremes against out-of-range floats.
+        assert!(Value::Int(i64::MAX) < Value::Float(TWO_POW_63));
+        assert!(Value::Int(i64::MIN) > Value::Float(-TWO_POW_63 * 2.0));
+        assert_eq!(
+            Value::Int(i64::MIN),
+            Value::Float(-TWO_POW_63),
+            "-2^63 is exactly representable"
+        );
+        assert_eq!(
+            hash_of(&Value::Int(i64::MIN)),
+            hash_of(&Value::Float(-TWO_POW_63))
+        );
+        // Fractional floats order strictly between neighbouring ints.
+        assert!(Value::Float(2.5) > Value::Int(2));
+        assert!(Value::Float(2.5) < Value::Int(3));
+        assert!(Value::Float(-2.5) < Value::Int(-2));
+        assert!(Value::Float(-2.5) > Value::Int(-3));
+    }
+
+    #[test]
+    fn distinct_keeps_large_ints_apart() {
+        let bag: crate::Bag = [
+            Value::Int(9_007_199_254_740_992),
+            Value::Int(9_007_199_254_740_993),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(bag.distinct().len(), 2);
     }
 
     #[test]
     fn lists_compare_lexicographically() {
-        let a = Value::List(vec![Value::Int(1), Value::Int(2)]);
-        let b = Value::List(vec![Value::Int(1), Value::Int(3)]);
-        let c = Value::List(vec![Value::Int(1)]);
+        let a = Value::list(vec![Value::Int(1), Value::Int(2)]);
+        let b = Value::list(vec![Value::Int(1), Value::Int(3)]);
+        let c = Value::list(vec![Value::Int(1)]);
         assert!(a < b);
         assert!(c < a);
+    }
+
+    #[test]
+    fn struct_fast_path_and_general_path_agree() {
+        let same_order_a =
+            Value::new_struct(vec![("a", Value::Int(1)), ("b", Value::Int(2))]).unwrap();
+        let same_order_b =
+            Value::new_struct(vec![("a", Value::Int(1)), ("b", Value::Int(3))]).unwrap();
+        let permuted = Value::new_struct(vec![("b", Value::Int(3)), ("a", Value::Int(1))]).unwrap();
+        assert_eq!(
+            same_order_a.total_cmp(&same_order_b),
+            same_order_a.total_cmp(&permuted),
+            "fast path (same field order) and general path (permuted) must agree"
+        );
+        assert_eq!(same_order_b, permuted);
+        assert_eq!(hash_of(&same_order_b), hash_of(&permuted));
     }
 }

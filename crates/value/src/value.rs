@@ -1,4 +1,4 @@
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 use crate::{Bag, Result, ValueError};
 
@@ -10,10 +10,23 @@ use crate::{Bag, Result, ValueError};
 /// `struct(...)` constructor, lists, and bags (the canonical OQL
 /// collection).
 ///
+/// # Shared storage
+///
+/// Every variant with a heap payload ([`Value::Str`], [`Value::Struct`],
+/// [`Value::List`], [`Value::Bag`]) stores it behind an [`Arc`], so
+/// `Value::clone` is a reference-count bump — O(1) and allocation-free
+/// regardless of how deep the value nests.  The mediator's combine step
+/// (unions, joins, distinct over bags from many sources) relies on this:
+/// rows flow through operator pipelines by pointer, never by deep copy.
+/// Mutating constructors ([`Bag::insert`] etc.) use copy-on-write: they
+/// mutate in place while the value is uniquely owned and clone only when
+/// the storage is actually shared.
+///
 /// Ordering and equality are total: floats are compared with
 /// [`f64::total_cmp`], bags with multiset semantics, and values of distinct
-/// variants are ordered by variant rank.  This makes query output
-/// deterministic, which the test-suite and benchmark harness rely on.
+/// variants are ordered by variant rank.  `Hash` is canonical with respect
+/// to this equality (see `ord.rs`), so values can key a `HashMap` — the
+/// hash join and hash distinct build on that.
 ///
 /// # Examples
 ///
@@ -26,9 +39,10 @@ use crate::{Bag, Result, ValueError};
 /// ]).unwrap();
 /// assert_eq!(mary.field("salary").unwrap(), &Value::Int(200));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub enum Value {
     /// The absence of a value (SQL `NULL` / OQL `nil`).
+    #[default]
     Null,
     /// A boolean.
     Bool(bool),
@@ -36,12 +50,12 @@ pub enum Value {
     Int(i64),
     /// A 64-bit float.
     Float(f64),
-    /// A UTF-8 string.
-    Str(String),
+    /// A UTF-8 string, shared.
+    Str(Arc<str>),
     /// An ordered record of named fields (`struct(name: ..., salary: ...)`).
     Struct(StructValue),
-    /// An ordered list of values.
-    List(Vec<Value>),
+    /// An ordered list of values, shared.
+    List(Arc<Vec<Value>>),
     /// An unordered multiset of values (`Bag(...)`).
     Bag(Bag),
 }
@@ -55,10 +69,16 @@ impl Value {
     /// twice.
     pub fn new_struct<N, I>(fields: I) -> Result<Self>
     where
-        N: Into<String>,
+        N: Into<Arc<str>>,
         I: IntoIterator<Item = (N, Value)>,
     {
         Ok(Value::Struct(StructValue::new(fields)?))
+    }
+
+    /// Builds a list value.
+    #[must_use]
+    pub fn list(items: Vec<Value>) -> Self {
+        Value::List(Arc::new(items))
     }
 
     /// The name of this value's runtime type, used in error messages.
@@ -136,7 +156,7 @@ impl Value {
     /// Returns [`ValueError::TypeMismatch`] if the value is not a string.
     pub fn as_str(&self) -> Result<&str> {
         match self {
-            Value::Str(s) => Ok(s),
+            Value::Str(s) => Ok(s.as_ref()),
             other => Err(ValueError::TypeMismatch {
                 expected: "string",
                 found: other.type_name(),
@@ -212,18 +232,17 @@ impl Value {
     }
 }
 
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
-    }
-}
-
 /// An ordered record of named fields.
 ///
 /// Field order is preserved (it is the declaration order of the OQL
 /// `struct(...)` constructor or of the source schema) but does not
 /// participate in equality: two structs are equal when they bind the same
 /// field names to equal values.
+///
+/// The field vector is stored behind an [`Arc`], so cloning a struct — the
+/// dominant operation when rows flow through mediator pipelines — is a
+/// reference-count bump.  Field names are `Arc<str>` as well: projecting,
+/// renaming or merging rows shares the name storage of the input rows.
 ///
 /// # Examples
 ///
@@ -237,9 +256,9 @@ impl Default for Value {
 /// assert_eq!(s.field("name").unwrap().as_str().unwrap(), "Sam");
 /// assert_eq!(s.field_names().collect::<Vec<_>>(), vec!["name", "salary"]);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StructValue {
-    fields: Vec<(String, Value)>,
+    fields: Arc<Vec<(Arc<str>, Value)>>,
 }
 
 impl StructValue {
@@ -250,18 +269,22 @@ impl StructValue {
     /// Returns [`ValueError::DuplicateField`] if a field name repeats.
     pub fn new<N, I>(fields: I) -> Result<Self>
     where
-        N: Into<String>,
+        N: Into<Arc<str>>,
         I: IntoIterator<Item = (N, Value)>,
     {
-        let mut out: Vec<(String, Value)> = Vec::new();
+        let mut out: Vec<(Arc<str>, Value)> = Vec::new();
         for (name, value) in fields {
             let name = name.into();
             if out.iter().any(|(n, _)| *n == name) {
-                return Err(ValueError::DuplicateField { field: name });
+                return Err(ValueError::DuplicateField {
+                    field: name.as_ref().to_owned(),
+                });
             }
             out.push((name, value));
         }
-        Ok(StructValue { fields: out })
+        Ok(StructValue {
+            fields: Arc::new(out),
+        })
     }
 
     /// Number of fields.
@@ -282,47 +305,71 @@ impl StructValue {
     ///
     /// Returns [`ValueError::NoSuchField`] when the field is absent.
     pub fn field(&self, name: &str) -> Result<&Value> {
+        self.get(name)
+            .ok_or_else(|| ValueError::NoSuchField { field: name.into() })
+    }
+
+    /// Looks up a field by name, returning `None` when absent.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Value> {
         self.fields
             .iter()
-            .find(|(n, _)| n == name)
+            .find(|(n, _)| n.as_ref() == name)
             .map(|(_, v)| v)
-            .ok_or_else(|| ValueError::NoSuchField { field: name.into() })
     }
 
     /// Returns `true` if the struct defines `name`.
     #[must_use]
     pub fn has_field(&self, name: &str) -> bool {
-        self.fields.iter().any(|(n, _)| n == name)
+        self.get(name).is_some()
     }
 
     /// Iterates over `(name, value)` pairs in declaration order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
-        self.fields.iter().map(|(n, v)| (n.as_str(), v))
+        self.fields.iter().map(|(n, v)| (n.as_ref(), v))
     }
 
     /// Iterates over field names in declaration order.
     pub fn field_names(&self) -> impl Iterator<Item = &str> {
-        self.fields.iter().map(|(n, _)| n.as_str())
+        self.fields.iter().map(|(n, _)| n.as_ref())
+    }
+
+    /// Returns `true` when `self` and `other` share the same underlying
+    /// field storage (a clone of the same row).
+    #[must_use]
+    pub fn ptr_eq(&self, other: &StructValue) -> bool {
+        Arc::ptr_eq(&self.fields, &other.fields)
     }
 
     /// Produces a new struct containing only `names`, in the order given.
     ///
     /// This is the value-level counterpart of the `project` logical
-    /// operator.
+    /// operator.  Field names and values are shared with `self`, not
+    /// copied.
     ///
     /// # Errors
     ///
-    /// Returns [`ValueError::NoSuchField`] if any requested field is absent.
+    /// Returns [`ValueError::NoSuchField`] if any requested field is absent
+    /// and [`ValueError::DuplicateField`] if a name is requested twice.
     pub fn project<'a, I>(&self, names: I) -> Result<StructValue>
     where
         I: IntoIterator<Item = &'a str>,
     {
-        let mut out = Vec::new();
+        let mut out: Vec<(Arc<str>, Value)> = Vec::new();
         for name in names {
-            let v = self.field(name)?.clone();
-            out.push((name.to_owned(), v));
+            if out.iter().any(|(existing, _)| existing.as_ref() == name) {
+                return Err(ValueError::DuplicateField { field: name.into() });
+            }
+            let (n, v) = self
+                .fields
+                .iter()
+                .find(|(n, _)| n.as_ref() == name)
+                .ok_or_else(|| ValueError::NoSuchField { field: name.into() })?;
+            out.push((Arc::clone(n), v.clone()));
         }
-        StructValue::new(out)
+        Ok(StructValue {
+            fields: Arc::new(out),
+        })
     }
 
     /// Returns a new struct with every field renamed through `rename`.
@@ -338,9 +385,17 @@ impl StructValue {
         let fields = self
             .fields
             .iter()
-            .map(|(n, v)| (rename(n).unwrap_or_else(|| n.clone()), v.clone()))
+            .map(|(n, v)| {
+                let name = match rename(n.as_ref()) {
+                    Some(new_name) => Arc::from(new_name),
+                    None => Arc::clone(n),
+                };
+                (name, v.clone())
+            })
             .collect();
-        StructValue { fields }
+        StructValue {
+            fields: Arc::new(fields),
+        }
     }
 
     /// Merges two structs into one.
@@ -355,37 +410,68 @@ impl StructValue {
     /// Returns [`ValueError::DuplicateField`] if even the prefixed name
     /// clashes.
     pub fn merge_with_prefix(&self, other: &StructValue, prefix: &str) -> Result<StructValue> {
-        let mut fields = self.fields.clone();
-        for (n, v) in &other.fields {
-            let name = if fields.iter().any(|(existing, _)| existing == n) {
-                format!("{prefix}_{n}")
+        let mut fields: Vec<(Arc<str>, Value)> = (*self.fields).clone();
+        for (n, v) in other.fields.iter() {
+            let name: Arc<str> = if fields.iter().any(|(existing, _)| existing == n) {
+                Arc::from(format!("{prefix}_{n}"))
             } else {
-                n.clone()
+                Arc::clone(n)
             };
             if fields.iter().any(|(existing, _)| *existing == name) {
-                return Err(ValueError::DuplicateField { field: name });
+                return Err(ValueError::DuplicateField {
+                    field: name.as_ref().to_owned(),
+                });
             }
             fields.push((name, v.clone()));
         }
-        Ok(StructValue { fields })
+        Ok(StructValue {
+            fields: Arc::new(fields),
+        })
+    }
+
+    /// Merges two structs; fields of `other` replace (shadow) same-named
+    /// fields of `self`.  This is the row-construction counterpart of the
+    /// evaluator's layered environment: the joined output row carries
+    /// `self`'s fields first, then `other`'s.
+    #[must_use]
+    pub fn merged(&self, other: &StructValue) -> StructValue {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut fields: Vec<(Arc<str>, Value)> = self
+            .fields
+            .iter()
+            .filter(|(n, _)| !other.has_field(n.as_ref()))
+            .map(|(n, v)| (Arc::clone(n), v.clone()))
+            .collect();
+        fields.extend(other.fields.iter().map(|(n, v)| (Arc::clone(n), v.clone())));
+        StructValue {
+            fields: Arc::new(fields),
+        }
     }
 
     /// Consumes the struct and returns its fields in declaration order.
     #[must_use]
-    pub fn into_fields(self) -> Vec<(String, Value)> {
-        self.fields
+    pub fn into_fields(self) -> Vec<(Arc<str>, Value)> {
+        match Arc::try_unwrap(self.fields) {
+            Ok(fields) => fields,
+            Err(shared) => (*shared).clone(),
+        }
     }
 }
 
 impl<'a> IntoIterator for &'a StructValue {
-    type Item = (&'a String, &'a Value);
+    type Item = (&'a str, &'a Value);
     type IntoIter = std::iter::Map<
-        std::slice::Iter<'a, (String, Value)>,
-        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+        std::slice::Iter<'a, (Arc<str>, Value)>,
+        fn(&'a (Arc<str>, Value)) -> (&'a str, &'a Value),
     >;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.fields.iter().map(|(n, v)| (n, v))
+        self.fields.iter().map(|(n, v)| (n.as_ref(), v))
     }
 }
 
@@ -424,6 +510,19 @@ mod tests {
     }
 
     #[test]
+    fn clone_shares_storage() {
+        let s = StructValue::new(vec![("a", Value::from("payload"))]).unwrap();
+        let c = s.clone();
+        assert!(s.ptr_eq(&c));
+        let v = Value::from("shared");
+        let w = v.clone();
+        match (&v, &w) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
     fn projection_preserves_requested_order() {
         let s = StructValue::new(vec![
             ("a", Value::Int(1)),
@@ -439,6 +538,15 @@ mod tests {
     fn projection_of_missing_field_errors() {
         let s = StructValue::new(vec![("a", Value::Int(1))]).unwrap();
         assert!(s.project(["z"]).is_err());
+    }
+
+    #[test]
+    fn projection_rejects_duplicate_names() {
+        let s = StructValue::new(vec![("a", Value::Int(1)), ("b", Value::Int(2))]).unwrap();
+        assert_eq!(
+            s.project(["a", "a"]).unwrap_err(),
+            ValueError::DuplicateField { field: "a".into() }
+        );
     }
 
     #[test]
@@ -462,8 +570,11 @@ mod tests {
 
     #[test]
     fn merge_with_prefix_disambiguates() {
-        let left = StructValue::new(vec![("name", Value::from("Mary")), ("salary", Value::Int(1))])
-            .unwrap();
+        let left = StructValue::new(vec![
+            ("name", Value::from("Mary")),
+            ("salary", Value::Int(1)),
+        ])
+        .unwrap();
         let right =
             StructValue::new(vec![("name", Value::from("Mary")), ("dept", Value::Int(7))]).unwrap();
         let merged = left.merge_with_prefix(&right, "y").unwrap();
@@ -471,6 +582,20 @@ mod tests {
         assert!(merged.has_field("y_name"));
         assert!(merged.has_field("dept"));
         assert_eq!(merged.len(), 4);
+    }
+
+    #[test]
+    fn merged_lets_right_shadow_left() {
+        let left = StructValue::new(vec![("a", Value::Int(1)), ("b", Value::Int(2))]).unwrap();
+        let right = StructValue::new(vec![("b", Value::Int(20)), ("c", Value::Int(3))]).unwrap();
+        let m = left.merged(&right);
+        assert_eq!(m.field("a").unwrap(), &Value::Int(1));
+        assert_eq!(m.field("b").unwrap(), &Value::Int(20));
+        assert_eq!(m.field("c").unwrap(), &Value::Int(3));
+        assert_eq!(m.len(), 3);
+        // Merging with an empty side shares storage outright.
+        assert!(left.merged(&StructValue::default()).ptr_eq(&left));
+        assert!(StructValue::default().merged(&right).ptr_eq(&right));
     }
 
     #[test]
@@ -487,7 +612,7 @@ mod tests {
         assert_eq!(Value::Int(1).type_name(), "int");
         assert_eq!(Value::Float(1.0).type_name(), "float");
         assert_eq!(Value::from("s").type_name(), "string");
-        assert_eq!(Value::List(vec![]).type_name(), "list");
+        assert_eq!(Value::list(vec![]).type_name(), "list");
         assert_eq!(Value::Bag(Bag::new()).type_name(), "bag");
         assert_eq!(
             Value::new_struct(Vec::<(&str, Value)>::new())

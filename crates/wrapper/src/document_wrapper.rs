@@ -134,12 +134,12 @@ impl Wrapper for DocumentWrapper {
             }
             other => return Err(self.capability_violation(other.op_name())),
         };
-        let latency = self
-            .link
-            .call_delay(rows.len())
-            .ok_or_else(|| WrapperError::Unavailable {
-                endpoint: self.link.endpoint().to_owned(),
-            })?;
+        let latency =
+            self.link
+                .call_delay(rows.len())
+                .ok_or_else(|| WrapperError::Unavailable {
+                    endpoint: self.link.endpoint().to_owned(),
+                })?;
         Ok(WrapperAnswer {
             rows: rows.into_iter().map(Value::Struct).collect(),
             rows_scanned: scanned,

@@ -30,7 +30,10 @@ pub struct PushedResult {
 ///
 /// Returns [`WrapperError::Capability`] for operators outside the pushable
 /// subset, and propagates provider / evaluation errors.
-pub fn eval_pushed(expr: &LogicalExpr, provider: &RowProvider<'_>) -> Result<PushedResult, WrapperError> {
+pub fn eval_pushed(
+    expr: &LogicalExpr,
+    provider: &RowProvider<'_>,
+) -> Result<PushedResult, WrapperError> {
     match expr {
         LogicalExpr::Get { collection } => {
             let rows = provider(collection)?;
@@ -88,7 +91,9 @@ pub fn eval_pushed(expr: &LogicalExpr, provider: &RowProvider<'_>) -> Result<Pus
                         }
                     }
                     if matches {
-                        let merged = ls.merge_with_prefix(rs, "right").map_err(AlgebraError::from)?;
+                        let merged = ls
+                            .merge_with_prefix(rs, "right")
+                            .map_err(AlgebraError::from)?;
                         rows.insert(Value::Struct(merged));
                     }
                 }

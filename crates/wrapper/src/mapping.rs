@@ -56,9 +56,7 @@ pub fn map_rows_to_mediator(rows: &Bag, map: &TypeMap) -> Bag {
     }
     rows.iter()
         .map(|v| match v {
-            Value::Struct(s) => {
-                Value::Struct(s.rename_fields(|f| Some(map.source_to_mediator(f))))
-            }
+            Value::Struct(s) => Value::Struct(s.rename_fields(|f| Some(map.source_to_mediator(f)))),
             other => other.clone(),
         })
         .collect()

@@ -96,12 +96,12 @@ impl Wrapper for RelationalWrapper {
         let result = eval_pushed(expr, &move |collection: &str| {
             store.scan(collection).map_err(WrapperError::from)
         })?;
-        let latency = self
-            .link
-            .call_delay(result.rows.len())
-            .ok_or_else(|| WrapperError::Unavailable {
-                endpoint: self.link.endpoint().to_owned(),
-            })?;
+        let latency =
+            self.link
+                .call_delay(result.rows.len())
+                .ok_or_else(|| WrapperError::Unavailable {
+                    endpoint: self.link.endpoint().to_owned(),
+                })?;
         Ok(WrapperAnswer {
             rows: result.rows,
             rows_scanned: result.rows_scanned,
@@ -119,8 +119,8 @@ mod tests {
     use super::*;
     use disco_algebra::{OperatorKind, ScalarExpr, ScalarOp};
     use disco_source::{generator, Availability, NetworkProfile};
-    use std::time::Duration;
     use disco_value::Value;
+    use std::time::Duration;
 
     fn setup(caps: CapabilitySet) -> RelationalWrapper {
         let store = Arc::new(RelationalStore::new());

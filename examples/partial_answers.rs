@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     r0_link.set_availability(Availability::Unavailable);
     let partial = mediator.query(query)?;
     println!("complete           : {}", partial.is_complete());
-    println!("data obtained      : {}", Value::Bag(partial.data().clone()));
+    println!(
+        "data obtained      : {}",
+        Value::Bag(partial.data().clone())
+    );
     println!("unavailable sources: {:?}", partial.unavailable_sources());
     println!("partial answer     : {}", partial.as_query_text());
     println!(

@@ -41,7 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for site in 10..12 {
         let csv = "site,day,ph,turbidity,dissolved_oxygen\n".to_owned()
             + &(0..30)
-                .map(|day| format!("station-{site},{day},{:.2},{},{:.2}\n", 7.0 + (day % 5) as f64 * 0.1, day % 20, 8.0))
+                .map(|day| {
+                    format!(
+                        "station-{site},{day},{:.2},{},{:.2}\n",
+                        7.0 + (day % 5) as f64 * 0.1,
+                        day % 20,
+                        8.0
+                    )
+                })
                 .collect::<String>();
         mediator.add_csv_source(
             &format!("measurement{site}"),
@@ -64,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let queries = [
-        ("sites with alkaline readings", "select distinct a.site from a in alerts"),
+        (
+            "sites with alkaline readings",
+            "select distinct a.site from a in alerts",
+        ),
         (
             "average turbidity across the federation",
             "avg(select m.turbidity from m in measurement)",

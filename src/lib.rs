@@ -45,8 +45,8 @@
 pub use disco_algebra as algebra;
 pub use disco_catalog as catalog;
 pub use disco_core as core;
-pub use disco_oql as oql;
 pub use disco_optimizer as optimizer;
+pub use disco_oql as oql;
 pub use disco_runtime as runtime;
 pub use disco_source as source;
 pub use disco_value as value;

@@ -87,9 +87,7 @@ fn counts_aggregate_across_hierarchy_and_local_sources() {
         CapabilitySet::full(),
     )
     .unwrap();
-    let count = corp
-        .query("count(select e.id from e in employee)")
-        .unwrap();
+    let count = corp.query("count(select e.id from e in employee)").unwrap();
     assert_eq!(*count.data(), [Value::Int(240)].into_iter().collect());
 }
 
@@ -136,7 +134,10 @@ fn inner_mediator_failures_propagate_as_partial_answers() {
         .unwrap();
     assert!(!answer.is_complete());
     assert_eq!(answer.unavailable_sources(), &["r_hr".to_owned()]);
-    assert!(!answer.data().is_empty(), "corp's own source still contributes");
+    assert!(
+        !answer.data().is_empty(),
+        "corp's own source still contributes"
+    );
 
     // Recovery at the bottom of the hierarchy restores completeness.
     link.set_availability(Availability::Available);
@@ -156,7 +157,6 @@ fn catalog_component_gives_the_system_overview() {
     assert!(component.mediators_for_interface("Nothing").is_empty());
     assert_eq!(component.total_extents(), 3);
     // Withdrawal removes a mediator from the overview.
-    let mut component = component;
     component.withdraw("hr").unwrap();
     assert_eq!(component.mediators_for_interface("Employee").len(), 1);
 }

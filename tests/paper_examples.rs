@@ -69,7 +69,9 @@ fn section_1_2_intro_query_over_the_implicit_extent() {
     assert!(answer.is_complete());
     assert_eq!(
         *answer.data(),
-        [Value::from("Mary"), Value::from("Sam")].into_iter().collect()
+        [Value::from("Mary"), Value::from("Sam")]
+            .into_iter()
+            .collect()
     );
 }
 
@@ -279,7 +281,10 @@ fn section_2_3_personnew_view_over_dissimilar_structures() {
     .unwrap();
     let answer = m.query("select p.salary from p in personnew").unwrap();
     assert_eq!(answer.data().len(), 3);
-    assert!(answer.data().contains(&Value::Int(140)), "Yannis' reconciled salary");
+    assert!(
+        answer.data().contains(&Value::Int(140)),
+        "Yannis' reconciled salary"
+    );
     assert!(answer.data().contains(&Value::Int(200)));
     assert!(answer.data().contains(&Value::Int(50)));
 }

@@ -2,9 +2,7 @@
 //! unavailable sources produce answers that are queries, and resubmission
 //! after recovery converges to the full answer.
 
-use disco::core::{
-    Availability, CapabilitySet, InterfaceDef, Mediator, NetworkProfile, Value,
-};
+use disco::core::{Availability, CapabilitySet, InterfaceDef, Mediator, NetworkProfile, Value};
 use disco::source::generator;
 use std::sync::Arc;
 use std::time::Duration;
@@ -61,7 +59,10 @@ fn partial_answers_retain_data_from_every_available_source() {
     links[4].set_availability(Availability::Unavailable);
     let partial = m.query(QUERY).unwrap();
     assert!(!partial.is_complete());
-    assert_eq!(partial.unavailable_sources(), &["r1".to_owned(), "r4".to_owned()]);
+    assert_eq!(
+        partial.unavailable_sources(),
+        &["r1".to_owned(), "r4".to_owned()]
+    );
     // Every value in the partial data also appears in the full answer.
     for value in partial.data() {
         assert!(full.data().contains(value), "{value} not in full answer");
@@ -87,7 +88,11 @@ fn resubmission_after_recovery_equals_the_original_answer() {
     links[2].set_availability(Availability::Available);
     let recovered = m.resubmit(&partial).unwrap();
     assert!(recovered.is_complete());
-    assert_eq!(recovered.data(), full.data(), "resubmission converges to the full answer");
+    assert_eq!(
+        recovered.data(),
+        full.data(),
+        "resubmission converges to the full answer"
+    );
 }
 
 #[test]
@@ -104,7 +109,11 @@ fn repeated_resubmission_converges_as_sources_recover_one_by_one() {
         link.set_availability(Availability::Available);
         answer = m.resubmit(&answer).unwrap();
         if i + 1 < links.len() {
-            assert!(!answer.is_complete(), "still missing {} sources", links.len() - i - 1);
+            assert!(
+                !answer.is_complete(),
+                "still missing {} sources",
+                links.len() - i - 1
+            );
         }
     }
     assert!(answer.is_complete());
@@ -165,9 +174,7 @@ fn aggregates_over_partially_available_federations_stay_residual() {
     // A sum over all sources cannot be answered partially without changing
     // its meaning; the answer keeps an aggregate over a residual union but
     // still evaluates the available branches to data.
-    let answer = m
-        .query("sum(select x.salary from x in person)")
-        .unwrap();
+    let answer = m.query("sum(select x.salary from x in person)").unwrap();
     assert!(!answer.is_complete());
     let residual = answer.residual_oql().unwrap();
     assert!(residual.contains("sum("));
@@ -201,6 +208,8 @@ fn value_level_check_mary_sam_partial_shape() {
         .unwrap();
     assert_eq!(
         *full.data(),
-        [Value::from("Mary"), Value::from("Sam")].into_iter().collect()
+        [Value::from("Mary"), Value::from("Sam")]
+            .into_iter()
+            .collect()
     );
 }

@@ -42,7 +42,11 @@ fn answers_are_identical_regardless_of_wrapper_power() {
     let minimal = mediator_with_capabilities(CapabilitySet::get_only());
     let a = full.query(SELECTIVE_QUERY).unwrap();
     let b = minimal.query(SELECTIVE_QUERY).unwrap();
-    assert_eq!(a.data(), b.data(), "semantics must not depend on capabilities");
+    assert_eq!(
+        a.data(),
+        b.data(),
+        "semantics must not depend on capabilities"
+    );
     assert!(a.is_complete() && b.is_complete());
 }
 
@@ -163,8 +167,8 @@ fn join_is_pushed_only_when_both_relations_live_in_the_same_repository() {
 fn capability_grammars_travel_as_text_between_wrapper_and_mediator() {
     // §3.2: the wrapper returns a grammar; the mediator reconstructs the
     // capability set from it and checks expressions against it.
-    let advertised = CapabilitySet::new([OperatorKind::Get, OperatorKind::Project])
-        .with_composition(true);
+    let advertised =
+        CapabilitySet::new([OperatorKind::Get, OperatorKind::Project]).with_composition(true);
     let grammar_text = advertised.to_grammar().to_string();
     assert!(grammar_text.contains("project OPEN ATTRIBUTE COMMA s CLOSE"));
     let parsed = CapabilityGrammar::parse(&grammar_text).unwrap();
@@ -209,5 +213,9 @@ fn document_sources_expose_restricted_selects_only() {
         .unwrap();
     assert!(keyword.is_complete() && range.is_complete());
     assert!(keyword.stats().rows_transferred <= 60);
-    assert_eq!(range.stats().rows_transferred, 60, "range predicates cannot be pushed");
+    assert_eq!(
+        range.stats().rows_transferred,
+        60,
+        "range predicates cannot be pushed"
+    );
 }

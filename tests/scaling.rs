@@ -60,7 +60,11 @@ fn the_query_text_never_changes_as_sources_are_added() {
     for next_station in 2..10 {
         let answer = m.query(QUERY).unwrap();
         assert!(answer.is_complete());
-        assert_eq!(answer.stats().exec_calls, next_station, "one call per registered station");
+        assert_eq!(
+            answer.stats().exec_calls,
+            next_station,
+            "one call per registered station"
+        );
         let count = answer.data().iter().next().unwrap().as_int().unwrap();
         assert!(count >= previous_count, "coverage only grows");
         previous_count = count;
@@ -76,7 +80,10 @@ fn registration_is_one_catalog_operation_per_source() {
         add_station(&mut m, i);
         let after = m.catalog().stats();
         assert_eq!(after.extents, before.extents + 1);
-        assert_eq!(after.interfaces, before.interfaces, "no schema change needed");
+        assert_eq!(
+            after.interfaces, before.interfaces,
+            "no schema change needed"
+        );
     }
     assert_eq!(m.catalog().stats().extents, 32);
     // Every extent is visible through the meta-extent collection.
@@ -90,7 +97,10 @@ fn plan_cache_is_invalidated_when_the_federation_grows() {
     let a2 = m.query(QUERY).unwrap();
     assert_eq!(a1.data(), a2.data());
     let (hits_before, _) = m.plan_cache_stats();
-    assert!(hits_before >= 1, "second identical query hits the plan cache");
+    assert!(
+        hits_before >= 1,
+        "second identical query hits the plan cache"
+    );
     add_station(&mut m, 3);
     let a3 = m.query(QUERY).unwrap();
     // The new plan covers four sources.
@@ -113,15 +123,18 @@ fn removing_a_source_shrinks_coverage() {
 #[test]
 fn large_federation_remains_queryable() {
     let m = water_mediator(64);
-    let answer = m.query("select distinct m.site from m in measurement").unwrap();
+    let answer = m
+        .query("select distinct m.site from m in measurement")
+        .unwrap();
     assert!(answer.is_complete());
     assert_eq!(answer.stats().exec_calls, 64);
-    assert_eq!(answer.data().len(), 64, "each station reports a distinct site");
+    assert_eq!(
+        answer.data().len(),
+        64,
+        "each station reports a distinct site"
+    );
     // Spot-check a value.
-    assert!(answer
-        .data()
-        .iter()
-        .all(|v| matches!(v, Value::Str(_))));
+    assert!(answer.data().iter().all(|v| matches!(v, Value::Str(_))));
 }
 
 #[test]
@@ -139,5 +152,9 @@ fn views_extend_transparently_over_new_sources() {
     let count_before = before.data().iter().next().unwrap().as_int().unwrap();
     let count_after = after.data().iter().next().unwrap().as_int().unwrap();
     assert!(count_after >= count_before);
-    assert_eq!(after.stats().exec_calls, 4, "the view now ranges over four stations");
+    assert_eq!(
+        after.stats().exec_calls,
+        4,
+        "the view now ranges over four stations"
+    );
 }
