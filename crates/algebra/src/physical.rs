@@ -17,6 +17,29 @@ use disco_value::Bag;
 use crate::logical::LogicalExpr;
 use crate::scalar::{AggKind, ScalarExpr};
 
+/// How a physical operator consumes its inputs in the streaming
+/// (pull-based cursor) engine.
+///
+/// The streaming engine evaluates plans operator-at-a-time: rows are
+/// *pulled* through the pipeline and only the operators classified here as
+/// pipeline breakers ever buffer rows.  Everything else forwards each row
+/// as soon as it is produced, so intermediate state stays bounded no
+/// matter how deep the pipeline is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineBehavior {
+    /// Emits rows as it pulls them; holds no per-row state
+    /// (scan, filter, project, map, bind, union, flatten).
+    Streaming,
+    /// Buffers exactly one input up front, then streams the other through
+    /// it (the hash-join build side, the re-scanned inner of a nested-loop
+    /// or merge-tuples join).
+    BlockingBuild,
+    /// Buffers state proportional to its output before (or while)
+    /// emitting: `distinct` keeps the set of values seen, an aggregate
+    /// folds its whole input into one value.
+    Blocking,
+}
+
 /// A physical query plan node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalExpr {
@@ -129,6 +152,29 @@ impl PhysicalExpr {
             PhysicalExpr::MkFlatten(_) => "mkflatten",
             PhysicalExpr::MkDistinct(_) => "mkdistinct",
             PhysicalExpr::MkAggregate { .. } => "mkagg",
+        }
+    }
+
+    /// How this operator consumes its inputs in the streaming engine:
+    /// whether it forwards rows one at a time or is a pipeline breaker
+    /// that buffers them (see [`PipelineBehavior`]).
+    #[must_use]
+    pub fn pipeline_behavior(&self) -> PipelineBehavior {
+        match self {
+            PhysicalExpr::Exec { .. }
+            | PhysicalExpr::MemScan(_)
+            | PhysicalExpr::FilterOp { .. }
+            | PhysicalExpr::ProjectOp { .. }
+            | PhysicalExpr::MapOp { .. }
+            | PhysicalExpr::BindOp { .. }
+            | PhysicalExpr::MkUnion(_)
+            | PhysicalExpr::MkFlatten(_) => PipelineBehavior::Streaming,
+            PhysicalExpr::NestedLoopJoin { .. }
+            | PhysicalExpr::HashJoin { .. }
+            | PhysicalExpr::MergeTuplesJoin { .. } => PipelineBehavior::BlockingBuild,
+            PhysicalExpr::MkDistinct(_) | PhysicalExpr::MkAggregate { .. } => {
+                PipelineBehavior::Blocking
+            }
         }
     }
 
@@ -402,6 +448,43 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn pipeline_behavior_classifies_breakers() {
+        let scan = PhysicalExpr::MemScan(Bag::new());
+        assert_eq!(scan.pipeline_behavior(), PipelineBehavior::Streaming);
+        assert_eq!(
+            PhysicalExpr::FilterOp {
+                input: Box::new(scan.clone()),
+                predicate: ScalarExpr::constant(true),
+            }
+            .pipeline_behavior(),
+            PipelineBehavior::Streaming
+        );
+        assert_eq!(
+            PhysicalExpr::HashJoin {
+                left: Box::new(scan.clone()),
+                right: Box::new(scan.clone()),
+                left_key: ScalarExpr::attr("id"),
+                right_key: ScalarExpr::attr("id"),
+                residual: None,
+            }
+            .pipeline_behavior(),
+            PipelineBehavior::BlockingBuild
+        );
+        assert_eq!(
+            PhysicalExpr::MkDistinct(Box::new(scan.clone())).pipeline_behavior(),
+            PipelineBehavior::Blocking
+        );
+        assert_eq!(
+            PhysicalExpr::MkAggregate {
+                func: AggKind::Count,
+                input: Box::new(scan),
+            }
+            .pipeline_behavior(),
+            PipelineBehavior::Blocking
+        );
     }
 
     #[test]

@@ -7,14 +7,17 @@
 //! and distinct over 10k–100k-row person bags, built by the same
 //! [`disco_bench::workloads`] helpers the harness E9 experiment uses.
 //!
-//! This bench is the before/after yardstick for the zero-clone value
-//! plane: Arc-backed rows, a real `HashMap` join table, and the layered
-//! row environment.
+//! This bench is the before/after yardstick for the combine-step
+//! optimisations: the zero-clone value plane (Arc-backed rows, a real
+//! `HashMap` join table, the layered row environment) and the streaming
+//! cursor engine (pull-based pipelines that only materialize at pipeline
+//! breakers, lazy hash-join output rows).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use disco_algebra::{lower, LogicalExpr, ScalarExpr, ScalarOp};
 use disco_bench::workloads::{
-    e9_distinct_plan, e9_filter_project_plan, e9_hash_join_plan, e9_person_bag,
+    e9_deep_pipeline_plan, e9_distinct_plan, e9_filter_project_plan, e9_hash_join_plan,
+    e9_person_bag,
 };
 use disco_runtime::{evaluate_physical, ResolvedExecs};
 
@@ -42,6 +45,16 @@ fn bench_evaluator(c: &mut Criterion) {
     for &rows in &[10_000usize, 100_000] {
         let plan = lower(&e9_distinct_plan(rows)).expect("lowers");
         group.bench_with_input(BenchmarkId::new("distinct", rows), &rows, |b, _| {
+            b.iter(|| evaluate_physical(&plan, &resolved).unwrap());
+        });
+    }
+
+    // Deep pipeline (filter → hash-join → project → distinct): four
+    // chained operators, of which only the join build side and the
+    // distinct seen-set buffer rows under the streaming engine.
+    for &rows in &[10_000usize, 100_000] {
+        let plan = lower(&e9_deep_pipeline_plan(rows)).expect("lowers");
+        group.bench_with_input(BenchmarkId::new("deep_pipeline", rows), &rows, |b, _| {
             b.iter(|| evaluate_physical(&plan, &resolved).unwrap());
         });
     }

@@ -1,0 +1,103 @@
+//! One-off comparison of the streaming engine vs. the reference
+//! (bag-at-a-time) evaluator over the E9 pipelines, on this machine.
+//! Used to refresh the ROADMAP performance table.
+
+use std::time::Instant;
+
+use disco_algebra::lower;
+use disco_bench::workloads::{
+    e9_deep_pipeline_plan, e9_distinct_plan, e9_filter_project_plan, e9_hash_join_plan,
+};
+use disco_runtime::{evaluate_physical, reference, ResolvedExecs};
+
+fn main() {
+    let resolved = ResolvedExecs::default();
+    let trials = 7;
+    let run = |name: &str, plan: &disco_algebra::LogicalExpr| {
+        let physical = lower(plan).expect("lowers");
+        let mut best_ref = f64::INFINITY;
+        let mut best_stream = f64::INFINITY;
+        for _ in 0..trials {
+            let t = Instant::now();
+            let a = reference::evaluate_physical(&physical, &resolved).unwrap();
+            best_ref = best_ref.min(t.elapsed().as_secs_f64() * 1000.0);
+            let t = Instant::now();
+            let b = evaluate_physical(&physical, &resolved).unwrap();
+            best_stream = best_stream.min(t.elapsed().as_secs_f64() * 1000.0);
+            assert_eq!(a.len(), b.len());
+        }
+        println!("{name:<24} reference {best_ref:>10.3} ms   streaming {best_stream:>10.3} ms   speedup {:>5.2}x", best_ref / best_stream);
+    };
+
+    for &rows in &[10_000usize, 100_000] {
+        run(
+            &format!("filter_project {rows}"),
+            &e9_filter_project_plan(rows),
+        );
+    }
+    for &rows in &[10_000usize, 100_000] {
+        run(&format!("hash_join {rows}"), &e9_hash_join_plan(rows));
+    }
+    for &rows in &[10_000usize, 100_000] {
+        run(&format!("distinct {rows}"), &e9_distinct_plan(rows));
+    }
+    for &rows in &[10_000usize, 100_000] {
+        run(
+            &format!("deep_pipeline {rows}"),
+            &e9_deep_pipeline_plan(rows),
+        );
+    }
+
+    // Isolation probes: where does the streaming tax come from?
+    use disco_algebra::{LogicalExpr, ScalarExpr};
+    use disco_bench::workloads::e9_person_bag;
+    // (a) map-only pipeline (no distinct sink)
+    let map_only = LogicalExpr::Data(e9_person_bag(100_000, 1024))
+        .bind("x")
+        .map_project(ScalarExpr::var_field("x", "name"));
+    run("map_only 100000", &map_only);
+    // (b) distinct directly over data (no upstream operators)
+    let names: disco_value::Bag = e9_person_bag(100_000, 1024)
+        .iter()
+        .map(|p| p.as_struct().unwrap().field("name").unwrap().clone())
+        .collect();
+    let distinct_only = LogicalExpr::Distinct(Box::new(LogicalExpr::Data(names)));
+    run("distinct_only 100000", &distinct_only);
+    // (e) union8_distinct and nested_loop, the remaining E9 pipelines
+    let union_bags: Vec<LogicalExpr> = (0..8)
+        .map(|_| LogicalExpr::Data(e9_person_bag(100_000 / 8, 1024)))
+        .collect();
+    run(
+        "union8_distinct 100000",
+        &LogicalExpr::Distinct(Box::new(LogicalExpr::Union(union_bags))),
+    );
+    let nl = LogicalExpr::Join {
+        left: Box::new(LogicalExpr::Data(e9_person_bag(1_000, 1024)).bind("x")),
+        right: Box::new(LogicalExpr::Data(e9_person_bag(100, 1024)).bind("y")),
+        predicate: Some(ScalarExpr::binary(
+            disco_algebra::ScalarOp::Lt,
+            ScalarExpr::var_field("x", "id"),
+            ScalarExpr::var_field("y", "id"),
+        )),
+    }
+    .map_project(ScalarExpr::var_field("x", "name"));
+    run("nested_loop 1000x100", &nl);
+    // (c) the deep pipeline without its distinct sink
+    let deep = e9_deep_pipeline_plan(100_000);
+    if let LogicalExpr::Distinct(inner) = deep {
+        run("deep_nodistinct 100000", &inner);
+    }
+    // (d) distinct over the struct rows the deep pipeline deduplicates
+    let structs = {
+        let resolved = disco_runtime::ResolvedExecs::default();
+        let inner = match e9_deep_pipeline_plan(100_000) {
+            LogicalExpr::Distinct(inner) => *inner,
+            other => other,
+        };
+        let physical = lower(&inner).unwrap();
+        evaluate_physical(&physical, &resolved).unwrap()
+    };
+    println!("struct rows: {}", structs.len());
+    let distinct_structs = LogicalExpr::Distinct(Box::new(LogicalExpr::Data(structs)));
+    run("distinct_structs", &distinct_structs);
+}

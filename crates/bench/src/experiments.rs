@@ -803,16 +803,23 @@ pub fn e8_semijoin_gap(scale: Scale) -> Report {
 
 /// E9: throughput of the mediator-side evaluator over in-memory bags — no
 /// wrappers, no simulated network.  This isolates the combine step the
-/// zero-clone value plane (Arc-backed rows, hash join on a real `HashMap`,
-/// layered row environment) optimises; the numbers are the before/after
-/// yardstick recorded in `BENCH_e9.json` and `ROADMAP.md`.  The workloads
-/// come from [`crate::workloads`] and are shared with the criterion bench.
+/// zero-clone value plane and the streaming cursor engine optimise; the
+/// numbers are the before/after yardstick recorded in `BENCH_e9.json` and
+/// `ROADMAP.md`.  The workloads come from [`crate::workloads`] and are
+/// shared with the criterion bench.
+///
+/// Besides wall-clock, every pipeline reports **rows materialized** — the
+/// rows buffered by pipeline breakers (hash-join build side, distinct
+/// seen-set) during one evaluation.  Under the seed bag-at-a-time
+/// evaluator this number was the sum of every intermediate bag; under the
+/// streaming engine it is bounded by the breakers alone.
 #[must_use]
 pub fn e9_evaluator_throughput(scale: Scale) -> Report {
     use crate::workloads::{
-        e9_distinct_plan, e9_filter_project_plan, e9_hash_join_plan, e9_person_bag,
+        e9_deep_pipeline_plan, e9_distinct_plan, e9_filter_project_plan, e9_hash_join_plan,
+        e9_person_bag,
     };
-    use disco_runtime::{evaluate_physical, ResolvedExecs};
+    use disco_runtime::{evaluate_physical_with_metrics, PipelineMetrics, ResolvedExecs};
 
     let rows = if scale.trials >= 40 { 100_000 } else { 10_000 };
     let trials = scale.trials.clamp(3, 10);
@@ -820,7 +827,9 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
         "E9",
         "mediator evaluator throughput (combine step)",
         &format!("{rows}-row in-memory person bags, best of {trials} trials per pipeline"),
-        &["pipeline", "rows in", "rows out", "best ms", "Mrows/s"],
+        &[
+            "pipeline", "rows in", "rows out", "rows mat", "best ms", "Mrows/s",
+        ],
     );
 
     let resolved = ResolvedExecs::default();
@@ -828,11 +837,15 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
         let physical = lower(plan).expect("plan lowers");
         let mut best = f64::INFINITY;
         let mut rows_out = 0usize;
+        let mut rows_materialized = 0usize;
         for _ in 0..trials {
+            let metrics = PipelineMetrics::new();
             let started = Instant::now();
-            let out = evaluate_physical(&physical, &resolved).expect("evaluates");
+            let out =
+                evaluate_physical_with_metrics(&physical, &resolved, &metrics).expect("evaluates");
             let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
             rows_out = out.len();
+            rows_materialized = metrics.rows_materialized();
             if elapsed_ms < best {
                 best = elapsed_ms;
             }
@@ -842,6 +855,7 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
             name.to_owned(),
             rows_in.to_string(),
             rows_out.to_string(),
+            rows_materialized.to_string(),
             fmt_f64(best),
             fmt_f64(mrows_per_s),
         ]);
@@ -850,6 +864,11 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
     run("filter_project", rows, &e9_filter_project_plan(rows));
     run("hash_join", rows + rows / 10, &e9_hash_join_plan(rows));
     run("distinct", rows, &e9_distinct_plan(rows));
+    run(
+        "deep_pipeline",
+        rows + rows / 10,
+        &e9_deep_pipeline_plan(rows),
+    );
 
     let union_bags: Vec<LogicalExpr> = (0..8)
         .map(|_| LogicalExpr::Data(e9_person_bag(rows / 8, 1024)))
@@ -860,6 +879,10 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
     report.push_note(
         "evaluator only: bags are in memory, so this is the mediator combine cost that \
          dominates once wrappers answer in parallel",
+    );
+    report.push_note(
+        "rows mat = rows buffered by pipeline breakers (hash-join build side, distinct \
+         seen-set) per evaluation; streaming operators buffer nothing",
     );
     report
 }

@@ -225,6 +225,46 @@ pub fn e9_distinct_plan(rows: usize) -> disco_algebra::LogicalExpr {
     ))
 }
 
+/// E9 deep pipeline: filter → hash-join → computed projection → distinct.
+///
+/// The streaming engine's showcase shape: four chained operators of which
+/// only the join build side (`rows / 10` rows) and the distinct seen-set
+/// buffer anything; the seed evaluator materialized a full intermediate
+/// bag at every one of the four boundaries.
+#[must_use]
+pub fn e9_deep_pipeline_plan(rows: usize) -> disco_algebra::LogicalExpr {
+    use disco_algebra::{LogicalExpr, ScalarExpr, ScalarOp};
+    let joined = LogicalExpr::Join {
+        left: Box::new(
+            LogicalExpr::Data(e9_person_bag(rows, 1024))
+                .bind("x")
+                .filter(ScalarExpr::binary(
+                    ScalarOp::Gt,
+                    ScalarExpr::var_field("x", "salary"),
+                    ScalarExpr::constant(250i64),
+                )),
+        ),
+        right: Box::new(LogicalExpr::Data(e9_person_bag(rows / 10, 1024)).bind("y")),
+        predicate: Some(ScalarExpr::binary(
+            ScalarOp::Eq,
+            ScalarExpr::var_field("x", "id"),
+            ScalarExpr::var_field("y", "id"),
+        )),
+    }
+    .map_project(ScalarExpr::StructLit(vec![
+        ("name".into(), ScalarExpr::var_field("x", "name")),
+        (
+            "total".into(),
+            ScalarExpr::binary(
+                ScalarOp::Add,
+                ScalarExpr::var_field("x", "salary"),
+                ScalarExpr::var_field("y", "salary"),
+            ),
+        ),
+    ]));
+    LogicalExpr::Distinct(Box::new(joined))
+}
+
 /// The standard capability levels compared by the pushdown experiment.
 #[must_use]
 pub fn capability_levels() -> Vec<(&'static str, CapabilitySet)> {

@@ -1,34 +1,25 @@
-//! The mediator-side evaluator: executes a physical plan once every `exec`
-//! call has been resolved.
+//! The mediator-side evaluator entry points.
 //!
-//! The evaluator implements the physical algorithms of §3.3 (`mkunion`,
-//! `mkproj`, nested-loop and hash joins, …) over bags of values.
-//! Correlated aggregate sub-queries in projections are evaluated through a
-//! sub-query callback that re-enters the evaluator with the current
-//! environment as outer context.
+//! Since the streaming refactor these are thin shims over the pull-based
+//! cursor engine in [`crate::pipeline`]: a plan is opened into a cursor
+//! tree and drained into the answer bag.  The public signatures are
+//! unchanged from the materializing evaluator they replace — callers that
+//! want per-execution instrumentation (or control over the hash-join
+//! build side) use [`crate::pipeline::open_with`] /
+//! [`evaluate_physical_with_metrics`] directly.
 //!
-//! # Zero-clone row plane
-//!
-//! Rows are `Arc`-backed [`Value`]s, so passing a row from one operator to
-//! the next is a reference-count bump.  Scalar expressions are evaluated
-//! against a layered [`Env`] — a chain of borrowed scopes (outer query,
-//! left join side, right join side) resolved by name lookup — instead of a
-//! merged `StructValue` materialised per row.  The hash join keys a real
-//! `HashMap` with the canonical `Value` hash, and probes it with borrowed
-//! rows; joined output rows are only constructed for pairs that survive
-//! the residual predicate.
+//! The old bag-at-a-time evaluator survives as [`crate::reference`], used
+//! by the differential test-suite only.
 
-use std::collections::HashMap;
+use disco_algebra::{Env, LogicalExpr, PhysicalExpr};
+use disco_value::Bag;
 
-use disco_algebra::{
-    eval_scalar_with, lower, truthy, AlgebraError, Env, LogicalExpr, PhysicalExpr, ScalarExpr,
-};
-use disco_value::{Bag, StructValue, Value};
+use crate::exec::ResolvedExecs;
+use crate::pipeline::{self, PipelineMetrics, PipelineOptions};
+use crate::Result;
 
-use crate::exec::{ExecKey, ExecOutcome, ResolvedExecs};
-use crate::{Result, RuntimeError};
-
-/// Evaluates a physical plan against resolved `exec` outcomes.
+/// Evaluates a physical plan against resolved `exec` outcomes by
+/// streaming it through the cursor pipeline.
 ///
 /// # Errors
 ///
@@ -37,6 +28,26 @@ use crate::{Result, RuntimeError};
 /// evaluation errors.
 pub fn evaluate_physical(plan: &PhysicalExpr, resolved: &ResolvedExecs) -> Result<Bag> {
     evaluate_with_outer(plan, resolved, &Env::root())
+}
+
+/// Evaluates a physical plan, recording pipeline counters (rows buffered
+/// by pipeline breakers, join rows merged, rows emitted) into `metrics`.
+///
+/// # Errors
+///
+/// See [`evaluate_physical`].
+pub fn evaluate_physical_with_metrics(
+    plan: &PhysicalExpr,
+    resolved: &ResolvedExecs,
+    metrics: &PipelineMetrics,
+) -> Result<Bag> {
+    pipeline::evaluate_physical_streamed(
+        plan,
+        resolved,
+        &Env::root(),
+        metrics,
+        PipelineOptions::default(),
+    )
 }
 
 /// Evaluates a physical plan with an outer environment (used for
@@ -50,196 +61,18 @@ pub fn evaluate_with_outer(
     resolved: &ResolvedExecs,
     outer: &Env<'_>,
 ) -> Result<Bag> {
-    match plan {
-        PhysicalExpr::Exec {
-            repository,
-            extent,
-            logical,
-            ..
-        } => {
-            let key = ExecKey::new(repository, extent, logical);
-            match resolved.outcome(&key) {
-                Some(ExecOutcome::Rows(rows)) => Ok(rows.clone()),
-                Some(ExecOutcome::Unavailable) => Err(RuntimeError::Unsupported(format!(
-                    "exec call to unavailable source {repository} reached the evaluator"
-                ))),
-                None => Err(RuntimeError::Unsupported(format!(
-                    "unresolved exec call to {repository} ({extent})"
-                ))),
-            }
-        }
-        PhysicalExpr::MemScan(bag) => Ok(bag.clone()),
-        PhysicalExpr::FilterOp { input, predicate } => {
-            let rows = evaluate_with_outer(input, resolved, outer)?;
-            let mut out = Bag::with_capacity(rows.len());
-            for row in &rows {
-                let env = outer.with_value(row);
-                let keep = eval_row_scalar(predicate, &env, resolved)?;
-                if truthy(&keep) {
-                    // Arc bump, not a deep copy: the output shares the row.
-                    out.insert(row.clone());
-                }
-            }
-            Ok(out)
-        }
-        PhysicalExpr::ProjectOp { input, columns } => {
-            let rows = evaluate_with_outer(input, resolved, outer)?;
-            let mut out = Bag::with_capacity(rows.len());
-            for row in &rows {
-                let s = row.as_struct().map_err(AlgebraError::from)?;
-                let projected = s
-                    .project(columns.iter().map(String::as_str))
-                    .map_err(AlgebraError::from)?;
-                out.insert(Value::Struct(projected));
-            }
-            Ok(out)
-        }
-        PhysicalExpr::MapOp { input, projection } => {
-            let rows = evaluate_with_outer(input, resolved, outer)?;
-            let mut out = Bag::with_capacity(rows.len());
-            for row in &rows {
-                let env = outer.with_value(row);
-                out.insert(eval_row_scalar(projection, &env, resolved)?);
-            }
-            Ok(out)
-        }
-        PhysicalExpr::BindOp { var, input } => {
-            let rows = evaluate_with_outer(input, resolved, outer)?;
-            let mut out = Bag::with_capacity(rows.len());
-            let name: std::sync::Arc<str> = std::sync::Arc::from(var.as_str());
-            for row in &rows {
-                let env = StructValue::new(vec![(std::sync::Arc::clone(&name), row.clone())])
-                    .map_err(AlgebraError::from)?;
-                out.insert(Value::Struct(env));
-            }
-            Ok(out)
-        }
-        PhysicalExpr::NestedLoopJoin {
-            left,
-            right,
-            predicate,
-        } => {
-            let left_rows = evaluate_with_outer(left, resolved, outer)?;
-            let right_rows = evaluate_with_outer(right, resolved, outer)?;
-            let mut out = Bag::new();
-            for l in &left_rows {
-                let ls = l.as_struct().map_err(AlgebraError::from)?;
-                let lenv = outer.with_row(ls);
-                for r in &right_rows {
-                    let rs = r.as_struct().map_err(AlgebraError::from)?;
-                    let keep = match predicate {
-                        Some(p) => {
-                            let env = lenv.with_row(rs);
-                            truthy(&eval_row_scalar(p, &env, resolved)?)
-                        }
-                        None => true,
-                    };
-                    if keep {
-                        // The merged output row is only built for matches.
-                        out.insert(Value::Struct(ls.merged(rs)));
-                    }
-                }
-            }
-            Ok(out)
-        }
-        PhysicalExpr::HashJoin {
-            left,
-            right,
-            left_key,
-            right_key,
-            residual,
-        } => {
-            let left_rows = evaluate_with_outer(left, resolved, outer)?;
-            let right_rows = evaluate_with_outer(right, resolved, outer)?;
-            // Build a hash table of borrowed rows on the right input,
-            // keyed by the canonical `Value` hash.
-            let mut table: HashMap<Value, Vec<&StructValue>> =
-                HashMap::with_capacity(right_rows.len());
-            for r in &right_rows {
-                let rs = r.as_struct().map_err(AlgebraError::from)?;
-                let env = outer.with_row(rs);
-                let key = eval_row_scalar(right_key, &env, resolved)?;
-                table.entry(key).or_default().push(rs);
-            }
-            let mut out = Bag::new();
-            for l in &left_rows {
-                let ls = l.as_struct().map_err(AlgebraError::from)?;
-                let lenv = outer.with_row(ls);
-                let key = eval_row_scalar(left_key, &lenv, resolved)?;
-                if let Some(matches) = table.get(&key) {
-                    for rs in matches {
-                        let keep = match residual {
-                            Some(p) => {
-                                let env = lenv.with_row(rs);
-                                truthy(&eval_row_scalar(p, &env, resolved)?)
-                            }
-                            None => true,
-                        };
-                        if keep {
-                            out.insert(Value::Struct(ls.merged(rs)));
-                        }
-                    }
-                }
-            }
-            Ok(out)
-        }
-        PhysicalExpr::MergeTuplesJoin { left, right, on } => {
-            let left_rows = evaluate_with_outer(left, resolved, outer)?;
-            let right_rows = evaluate_with_outer(right, resolved, outer)?;
-            let mut out = Bag::new();
-            for l in &left_rows {
-                let ls = l.as_struct().map_err(AlgebraError::from)?;
-                for r in &right_rows {
-                    let rs = r.as_struct().map_err(AlgebraError::from)?;
-                    let mut matches = true;
-                    for (lattr, rattr) in on {
-                        let lv = ls.field(lattr).map_err(AlgebraError::from)?;
-                        let rv = rs.field(rattr).map_err(AlgebraError::from)?;
-                        if lv != rv {
-                            matches = false;
-                            break;
-                        }
-                    }
-                    if matches {
-                        let merged = ls
-                            .merge_with_prefix(rs, "right")
-                            .map_err(AlgebraError::from)?;
-                        out.insert(Value::Struct(merged));
-                    }
-                }
-            }
-            Ok(out)
-        }
-        PhysicalExpr::MkUnion(items) => {
-            let mut out = Bag::new();
-            for item in items {
-                let bag = evaluate_with_outer(item, resolved, outer)?;
-                if out.is_empty() {
-                    // Adopt the first branch's storage outright.
-                    out = bag;
-                } else {
-                    out.extend(bag);
-                }
-            }
-            Ok(out)
-        }
-        PhysicalExpr::MkFlatten(inner) => {
-            Ok(evaluate_with_outer(inner, resolved, outer)?.flatten())
-        }
-        PhysicalExpr::MkDistinct(inner) => {
-            Ok(evaluate_with_outer(inner, resolved, outer)?.distinct())
-        }
-        PhysicalExpr::MkAggregate { func, input } => {
-            let rows = evaluate_with_outer(input, resolved, outer)?;
-            Ok([func.apply(&rows).map_err(RuntimeError::Algebra)?]
-                .into_iter()
-                .collect())
-        }
-    }
+    let metrics = PipelineMetrics::new();
+    pipeline::evaluate_physical_streamed(
+        plan,
+        resolved,
+        outer,
+        &metrics,
+        PipelineOptions::default(),
+    )
 }
 
 /// Evaluates a logical plan (typically a data-only residual subtree or a
-/// correlated sub-plan) by lowering it and running the physical evaluator.
+/// correlated sub-plan) by lowering it and streaming the physical plan.
 ///
 /// # Errors
 ///
@@ -249,24 +82,16 @@ pub fn evaluate_logical(
     resolved: &ResolvedExecs,
     outer: &Env<'_>,
 ) -> Result<Bag> {
-    let physical = lower(plan).map_err(RuntimeError::Algebra)?;
-    evaluate_with_outer(&physical, resolved, outer)
-}
-
-/// Evaluates a scalar expression against a row environment, resolving
-/// aggregate sub-queries through the evaluator.
-fn eval_row_scalar(expr: &ScalarExpr, env: &Env<'_>, resolved: &ResolvedExecs) -> Result<Value> {
-    let callback = |plan: &LogicalExpr, outer: &Env<'_>| {
-        evaluate_logical(plan, resolved, outer)
-            .map_err(|e| AlgebraError::Unsupported(e.to_string()))
-    };
-    eval_scalar_with(expr, env, &callback).map_err(RuntimeError::Algebra)
+    let metrics = PipelineMetrics::new();
+    pipeline::evaluate_logical_streamed(plan, resolved, outer, &metrics, PipelineOptions::default())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use disco_algebra::{data_of, AggKind, ScalarOp};
+    use crate::RuntimeError;
+    use disco_algebra::{data_of, AggKind, ScalarExpr, ScalarOp};
+    use disco_value::{StructValue, Value};
 
     fn person(name: &str, salary: i64, id: i64) -> Value {
         Value::Struct(
@@ -442,5 +267,74 @@ mod tests {
         let plan = data_of([1i64, 2i64]).project(["name"]);
         let err = evaluate_logical(&plan, &empty_resolved(), &Env::root()).unwrap_err();
         assert!(matches!(err, RuntimeError::Algebra(_)));
+    }
+
+    #[test]
+    fn metrics_show_streaming_operators_buffer_nothing() {
+        // filter → map over 3 rows: no pipeline breaker, so nothing is
+        // buffered and nothing is merged; 2 rows reach the sink.
+        let plan = LogicalExpr::Data(
+            [
+                person("Mary", 200, 1),
+                person("Sam", 50, 2),
+                person("Low", 5, 3),
+            ]
+            .into_iter()
+            .collect(),
+        )
+        .bind("x")
+        .filter(ScalarExpr::binary(
+            ScalarOp::Gt,
+            ScalarExpr::var_field("x", "salary"),
+            ScalarExpr::constant(10i64),
+        ))
+        .map_project(ScalarExpr::var_field("x", "name"));
+        let physical = disco_algebra::lower(&plan).unwrap();
+        let metrics = PipelineMetrics::new();
+        let out = evaluate_physical_with_metrics(&physical, &empty_resolved(), &metrics).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(metrics.rows_materialized(), 0);
+        assert_eq!(metrics.rows_merged(), 0);
+        assert_eq!(metrics.rows_emitted(), 2);
+    }
+
+    #[test]
+    fn metrics_deep_pipeline_only_breakers_materialize() {
+        // filter → hash-join → map-project → distinct: the only buffered
+        // rows are the join build side (the smaller input) and the distinct
+        // seen-set; the projection consumes join rows frame-wise, so no
+        // join row is ever merged into a struct.
+        let left: Bag = (0..20)
+            .map(|i| person(&format!("p{}", i % 4), 100 + i, i % 8))
+            .collect();
+        let right: Bag = (0..4).map(|i| person(&format!("r{i}"), 50, i)).collect();
+        let right_len = right.len();
+        let plan = LogicalExpr::Join {
+            left: Box::new(LogicalExpr::Data(left).bind("x").filter(ScalarExpr::binary(
+                ScalarOp::Gt,
+                ScalarExpr::var_field("x", "salary"),
+                ScalarExpr::constant(0i64),
+            ))),
+            right: Box::new(LogicalExpr::Data(right).bind("y")),
+            predicate: Some(ScalarExpr::binary(
+                ScalarOp::Eq,
+                ScalarExpr::var_field("x", "id"),
+                ScalarExpr::var_field("y", "id"),
+            )),
+        }
+        .map_project(ScalarExpr::var_field("x", "name"));
+        let plan = LogicalExpr::Distinct(Box::new(plan));
+        let physical = disco_algebra::lower(&plan).unwrap();
+        let metrics = PipelineMetrics::new();
+        let out = evaluate_physical_with_metrics(&physical, &empty_resolved(), &metrics).unwrap();
+        assert!(!out.is_empty());
+        // Only pipeline breakers buffered rows: the build side (4 rows,
+        // the smaller input) and one seen-set entry per distinct value.
+        assert_eq!(metrics.rows_materialized(), right_len + out.len());
+        assert_eq!(
+            metrics.rows_merged(),
+            0,
+            "projection must consume join rows frame-wise"
+        );
     }
 }

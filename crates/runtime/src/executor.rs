@@ -9,9 +9,10 @@ use disco_catalog::Catalog;
 use disco_optimizer::CalibrationStore;
 use disco_wrapper::WrapperRegistry;
 
-use crate::eval::evaluate_physical;
+use crate::eval::evaluate_physical_with_metrics;
 use crate::exec::{resolve_execs, ExecutionConfig};
 use crate::partial::{partial_evaluate, substitute_resolved, Answer, ExecutionStats};
+use crate::pipeline::PipelineMetrics;
 use crate::Result;
 
 /// Executes physical plans against the registered wrappers.
@@ -92,12 +93,17 @@ impl Executor {
         let mut stats = ExecutionStats {
             exec_calls: resolved.call_count(),
             rows_transferred: resolved.rows_transferred(),
+            rows_materialized: 0,
             unavailable: resolved.unavailable_repositories(),
             elapsed: std::time::Duration::ZERO,
             source_calls: resolved.stats().to_vec(),
         };
         let answer = if resolved.all_available() {
-            let data = evaluate_physical(plan, &resolved)?;
+            // The answer bag is drawn from the streaming pipeline's final
+            // sink; the metrics record what the pipeline actually buffered.
+            let metrics = PipelineMetrics::new();
+            let data = evaluate_physical_with_metrics(plan, &resolved, &metrics)?;
+            stats.rows_materialized = metrics.rows_materialized();
             stats.elapsed = started.elapsed();
             Answer::complete(data, stats)
         } else {

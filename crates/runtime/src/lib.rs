@@ -11,27 +11,47 @@
 //!
 //! The central types are [`Executor`] and [`Answer`].
 //!
-//! # Row environments and the zero-clone evaluator
+//! # The streaming cursor engine
 //!
-//! The evaluator never deep-copies rows: values are `Arc`-backed
-//! (`disco_value`), so moving a row from one operator to the next is a
-//! reference-count bump.  Scalar expressions (filter predicates, join
-//! keys, projections) are evaluated against a layered
-//! [`disco_algebra::Env`] instead of a merged row struct:
+//! Mediator-side operators execute through a **pull-based cursor
+//! pipeline** ([`pipeline`]): a physical plan is opened into a tree of
+//! [`pipeline::RowStream`] cursors and rows are pulled through it one at
+//! a time.  Operators come in two kinds:
 //!
-//! * the **outer scope** carries the enclosing query's bindings (used by
-//!   correlated aggregate sub-queries),
-//! * the **row scope** exposes the current row — a struct row binds its
-//!   fields, a non-struct row is bound as `it`,
-//! * joins stack the left row, then the right row; lookup walks
-//!   innermost-out, so inner scopes shadow outer ones exactly as the old
-//!   merged-struct environments did.
+//! * **Streaming** — scan, filter, project, map, bind, union, flatten.
+//!   These forward each row as soon as it is produced and hold no per-row
+//!   state, so a `filter → join → project` chain moves rows end to end
+//!   without any intermediate bag.
+//! * **Pipeline breakers** — the hash-join *build side* (the smaller
+//!   input, picked from resolved `exec` cardinalities and literal bag
+//!   lengths), the re-scanned inner of a nested-loop or merge-tuples
+//!   join, the `distinct` seen-set, and aggregates (which fold their
+//!   input with O(1) state).  Only these ever buffer rows; the final
+//!   answer bag is produced by the pipeline's collect sink.
 //!
-//! Stacking a scope is allocation-free (an `Env` is a scope plus a parent
-//! pointer), so per-row evaluation does no environment work at all.  The
-//! hash join builds a real `HashMap` keyed by the canonical `Value` hash
-//! over *borrowed* build-side rows and materialises a joined output row
-//! only for probe pairs that survive the residual predicate.
+//! The classification is part of the physical algebra
+//! (`disco_algebra::PhysicalExpr::pipeline_behavior`), and
+//! [`pipeline::PipelineMetrics`] counts what each execution actually
+//! buffered, so the claim is enforced by tests rather than asserted in
+//! prose.
+//!
+//! Join output is **lazy**: a join match yields the (left, right) row
+//! frames, not a merged struct.  Downstream scalar evaluation layers the
+//! frames onto the [`disco_algebra::Env`] scope chain — a struct row
+//! binds its fields, join frames stack left-to-right so right fields
+//! shadow left ones, and correlated sub-queries see the enclosing scopes.
+//! A merged output struct is only built if an unmerged join row reaches a
+//! consumer that needs one value (distinct, a column projection, the
+//! final sink).
+//!
+//! Partial evaluation is unchanged by the streaming engine: fully
+//! resolved subtrees are streamed to data, and plans that still touch
+//! unavailable sources stay residual, exactly as in §4.  The seed
+//! bag-at-a-time evaluator is preserved as [`reference`] and used by the
+//! differential tests to pin the streaming engine's semantics.
+//!
+//! [`evaluate_physical`] remains the convenience entry point: it opens a
+//! pipeline, drains it, and returns the bag.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,17 +61,23 @@ mod eval;
 mod exec;
 mod executor;
 mod partial;
+pub mod pipeline;
+pub mod reference;
 
 pub use error::RuntimeError;
-pub use eval::{evaluate_logical, evaluate_physical, evaluate_with_outer};
+pub use eval::{
+    evaluate_logical, evaluate_physical, evaluate_physical_with_metrics, evaluate_with_outer,
+};
 pub use exec::{
     collect_exec_calls, resolve_execs, ExecKey, ExecOutcome, ExecutionConfig, ResolvedExecs,
     SourceCallStats,
 };
 pub use executor::Executor;
 pub use partial::{
-    is_fully_resolved, partial_evaluate, substitute_resolved, Answer, ExecutionStats,
+    is_fully_resolved, partial_evaluate, partial_evaluate_reference, substitute_resolved, Answer,
+    ExecutionStats,
 };
+pub use pipeline::{BuildSide, PipelineMetrics, PipelineOptions};
 
 /// Convenience result alias for runtime operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -23,6 +23,11 @@ pub struct ExecutionStats {
     pub exec_calls: usize,
     /// Total rows transferred from sources to the mediator.
     pub rows_transferred: usize,
+    /// Rows buffered by pipeline breakers (hash-join build side, the inner
+    /// side of nested-loop joins, the distinct seen-set) while streaming
+    /// the combine step.  Zero for partial answers, whose resolved
+    /// subtrees are reduced piecemeal.
+    pub rows_materialized: usize,
     /// Repositories classified unavailable during this execution.
     pub unavailable: Vec<String>,
     /// Wall-clock time of the whole execution.
@@ -218,9 +223,17 @@ pub fn is_fully_resolved(plan: &LogicalExpr) -> bool {
     structurally && plan.children().iter().all(|c| is_fully_resolved(c))
 }
 
+/// The evaluator used to collapse fully resolved subtrees to data: the
+/// streaming engine in production, the reference evaluator in the
+/// differential tests.
+type SubtreeEval = dyn Fn(&LogicalExpr, &ResolvedExecs, &Env<'_>) -> Result<Bag>;
+
 /// Partially evaluates a substituted plan: every fully resolved subtree is
-/// evaluated to data; unions separate into residual branches plus one data
-/// branch; anything else keeps its unresolved shape.
+/// **streamed** to data through the cursor pipeline; unions separate into
+/// residual branches plus one data branch; anything else keeps its
+/// unresolved shape.  Plans that touch unavailable sources are never
+/// opened, so partial evaluation reduces *around* unavailable-source
+/// streams exactly as the materializing evaluator did.
 ///
 /// Returns the data obtained and the residual plan (if any work remains).
 ///
@@ -231,7 +244,32 @@ pub fn partial_evaluate(
     plan: &LogicalExpr,
     resolved: &ResolvedExecs,
 ) -> Result<(Bag, Option<LogicalExpr>)> {
-    let reduced = reduce(plan, resolved)?;
+    partial_evaluate_with(plan, resolved, &evaluate_logical)
+}
+
+/// [`partial_evaluate`] driven by the bag-at-a-time reference evaluator
+/// ([`crate::reference`]) instead of the streaming engine.
+///
+/// Exists so the differential test-suite can assert that both engines
+/// produce identical partial answers (data *and* residual); production
+/// code should call [`partial_evaluate`].
+///
+/// # Errors
+///
+/// See [`partial_evaluate`].
+pub fn partial_evaluate_reference(
+    plan: &LogicalExpr,
+    resolved: &ResolvedExecs,
+) -> Result<(Bag, Option<LogicalExpr>)> {
+    partial_evaluate_with(plan, resolved, &crate::reference::evaluate_logical)
+}
+
+fn partial_evaluate_with(
+    plan: &LogicalExpr,
+    resolved: &ResolvedExecs,
+    eval: &SubtreeEval,
+) -> Result<(Bag, Option<LogicalExpr>)> {
+    let reduced = reduce(plan, resolved, eval)?;
     match reduced {
         LogicalExpr::Data(bag) => Ok((bag, None)),
         LogicalExpr::Union(items) => {
@@ -255,9 +293,9 @@ pub fn partial_evaluate(
 }
 
 /// Bottom-up reduction: fully resolved subtrees collapse to `Data`.
-fn reduce(plan: &LogicalExpr, resolved: &ResolvedExecs) -> Result<LogicalExpr> {
+fn reduce(plan: &LogicalExpr, resolved: &ResolvedExecs, eval: &SubtreeEval) -> Result<LogicalExpr> {
     if is_fully_resolved(plan) {
-        let bag = evaluate_logical(plan, resolved, &Env::root())?;
+        let bag = eval(plan, resolved, &Env::root())?;
         return Ok(LogicalExpr::Data(bag));
     }
     match plan {
@@ -265,7 +303,7 @@ fn reduce(plan: &LogicalExpr, resolved: &ResolvedExecs) -> Result<LogicalExpr> {
             let mut reduced_items = Vec::with_capacity(items.len());
             let mut data = Bag::new();
             for item in items {
-                match reduce(item, resolved)? {
+                match reduce(item, resolved, eval)? {
                     LogicalExpr::Data(bag) => data.extend(bag),
                     other => reduced_items.push(other),
                 }
@@ -282,7 +320,7 @@ fn reduce(plan: &LogicalExpr, resolved: &ResolvedExecs) -> Result<LogicalExpr> {
             let reduced_children: Vec<LogicalExpr> = other
                 .children()
                 .into_iter()
-                .map(|child| reduce(child, resolved))
+                .map(|child| reduce(child, resolved, eval))
                 .collect::<Result<_>>()?;
             let index = std::cell::Cell::new(0usize);
             let rebuilt = other.map_children(&|_child| {

@@ -1,0 +1,391 @@
+//! Join cursors.
+//!
+//! The hash join buffers exactly one input (the *build side* — by default
+//! the smaller one by estimated cardinality) into a hash table keyed by
+//! the canonical `Value` hash, then streams the other input through it.
+//! Output rows are **lazy**: a match yields a [`Row`] carrying the frames
+//! of both sides, and the merged struct is only constructed if a
+//! downstream consumer needs one value.  The nested-loop and merge-tuples
+//! joins buffer their right input (it is re-scanned once per left row)
+//! and stream the left.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use disco_algebra::{truthy, AlgebraError, ScalarExpr};
+use disco_value::Value;
+
+use super::{eval_in_pair, eval_in_row, BoxedRowStream, PipelineCtx, Result, Row, RowStream};
+
+/// Which hash-join input to buffer as the build side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BuildSide {
+    /// Pick the smaller input by estimated cardinality (resolved `exec`
+    /// row counts and literal bag lengths); unknowns fall back to `Right`.
+    #[default]
+    Auto,
+    /// Always buffer the left input and probe with the right.
+    Left,
+    /// Always buffer the right input and probe with the left.
+    Right,
+}
+
+/// Validates that every frame a join consumes is a struct row, mirroring
+/// the materializing evaluator's `as_struct` checks at join boundaries.
+fn check_struct_frames(row: &Row<'_>) -> Result<()> {
+    for frame in row.frames() {
+        frame.value().as_struct().map_err(AlgebraError::from)?;
+    }
+    Ok(())
+}
+
+/// Hash join with lazy output rows.
+pub(crate) struct HashJoinCursor<'a> {
+    build_input: Option<BoxedRowStream<'a>>,
+    probe_input: BoxedRowStream<'a>,
+    build_key: &'a ScalarExpr,
+    probe_key: &'a ScalarExpr,
+    residual: Option<&'a ScalarExpr>,
+    /// `true` when the build side is the plan's *left* input; output
+    /// frames are always ordered left-then-right regardless.
+    build_on_left: bool,
+    ctx: PipelineCtx<'a>,
+    table: Option<HashMap<Value, Rc<Vec<Row<'a>>>>>,
+    /// Probe rows pulled in batches into a reused buffer and handed out
+    /// one at a time from `probe_pos`.
+    probe_buf: Vec<Row<'a>>,
+    probe_pos: usize,
+    probe_exhausted: bool,
+    /// The probe row currently being expanded, its matches, and the next
+    /// match index.
+    current: Option<(Row<'a>, Rc<Vec<Row<'a>>>, usize)>,
+}
+
+impl<'a> HashJoinCursor<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        left: BoxedRowStream<'a>,
+        right: BoxedRowStream<'a>,
+        left_key: &'a ScalarExpr,
+        right_key: &'a ScalarExpr,
+        residual: Option<&'a ScalarExpr>,
+        build_on_left: bool,
+        ctx: PipelineCtx<'a>,
+    ) -> Self {
+        let (build_input, probe_input, build_key, probe_key) = if build_on_left {
+            (left, right, left_key, right_key)
+        } else {
+            (right, left, right_key, left_key)
+        };
+        HashJoinCursor {
+            build_input: Some(build_input),
+            probe_input,
+            build_key,
+            probe_key,
+            residual,
+            build_on_left,
+            ctx,
+            table: None,
+            probe_buf: Vec::new(),
+            probe_pos: 0,
+            probe_exhausted: false,
+            current: None,
+        }
+    }
+
+    /// Drains the build input into the hash table (the one materialization
+    /// this operator performs).
+    fn build_table(&mut self) -> Result<()> {
+        let mut input = self
+            .build_input
+            .take()
+            .expect("build side is consumed exactly once");
+        let mut table: HashMap<Value, Vec<Row<'a>>> = HashMap::new();
+        let mut buf = Vec::with_capacity(super::BATCH_ROWS);
+        loop {
+            let more = input.next_batch(&mut buf, super::BATCH_ROWS)?;
+            for row in buf.drain(..) {
+                check_struct_frames(&row)?;
+                let key = eval_in_row(self.build_key, &row, self.ctx)?;
+                self.ctx.metrics.bump_materialized();
+                table.entry(key).or_default().push(row);
+            }
+            if !more {
+                break;
+            }
+        }
+        self.table = Some(
+            table
+                .into_iter()
+                .map(|(key, rows)| (key, Rc::new(rows)))
+                .collect(),
+        );
+        Ok(())
+    }
+
+    /// The next probe row, refilling the (reused) probe buffer as needed.
+    fn pull_probe(&mut self) -> Result<Option<Row<'a>>> {
+        loop {
+            if self.probe_pos < self.probe_buf.len() {
+                // Move the row out, leaving a free placeholder behind; the
+                // buffer is cleared wholesale on the next refill.
+                let row =
+                    std::mem::replace(&mut self.probe_buf[self.probe_pos], Row::owned(Value::Null));
+                self.probe_pos += 1;
+                return Ok(Some(row));
+            }
+            if self.probe_exhausted {
+                return Ok(None);
+            }
+            self.probe_buf.clear();
+            self.probe_pos = 0;
+            let more = self
+                .probe_input
+                .next_batch(&mut self.probe_buf, super::BATCH_ROWS)?;
+            if !more {
+                self.probe_exhausted = true;
+            }
+        }
+    }
+
+    /// Produces the next joined row, or `None` when the probe side is
+    /// exhausted.  Shared by the row-at-a-time and batched pulls.
+    fn produce(&mut self) -> Result<Option<Row<'a>>> {
+        loop {
+            // Expand the current probe row's remaining matches.
+            if let Some((probe, matches, index)) = &mut self.current {
+                while *index < matches.len() {
+                    let candidate = &matches[*index];
+                    *index += 1;
+                    let (lrow, rrow) = if self.build_on_left {
+                        (candidate, &*probe)
+                    } else {
+                        (&*probe, candidate)
+                    };
+                    let keep = match self.residual {
+                        Some(p) => truthy(&eval_in_pair(p, lrow, rrow, self.ctx)?),
+                        None => true,
+                    };
+                    if keep {
+                        // Only surviving pairs construct an output row.
+                        return Ok(Some(Row::joined(lrow.clone(), rrow.clone())));
+                    }
+                }
+                self.current = None;
+            }
+            // Pull the next probe row that has matches.
+            let Some(probe) = self.pull_probe()? else {
+                return Ok(None);
+            };
+            check_struct_frames(&probe)?;
+            let key = eval_in_row(self.probe_key, &probe, self.ctx)?;
+            let table = self.table.as_ref().expect("table built before probing");
+            if let Some(matches) = table.get(&key) {
+                self.current = Some((probe, Rc::clone(matches), 0));
+            }
+        }
+    }
+}
+
+impl<'a> RowStream<'a> for HashJoinCursor<'a> {
+    fn next_row(&mut self) -> Option<Result<Row<'a>>> {
+        if self.table.is_none() {
+            if let Err(err) = self.build_table() {
+                return Some(Err(err));
+            }
+        }
+        self.produce().transpose()
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Row<'a>>, max: usize) -> Result<bool> {
+        if self.table.is_none() {
+            self.build_table()?;
+        }
+        for _ in 0..max {
+            match self.produce()? {
+                Some(row) => out.push(row),
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Materializes a cursor into a vector of rows, validating struct frames
+/// and counting the buffered rows.
+fn buffer_rows<'a>(mut input: BoxedRowStream<'a>, ctx: PipelineCtx<'a>) -> Result<Vec<Row<'a>>> {
+    let mut rows = Vec::new();
+    loop {
+        let start = rows.len();
+        let more = input.next_batch(&mut rows, super::BATCH_ROWS)?;
+        for row in &rows[start..] {
+            check_struct_frames(row)?;
+            ctx.metrics.bump_materialized();
+        }
+        if !more {
+            return Ok(rows);
+        }
+    }
+}
+
+/// Nested-loop join: streams the left input, buffering the right (which is
+/// re-scanned once per left row).
+pub(crate) struct NestedLoopCursor<'a> {
+    left: BoxedRowStream<'a>,
+    right_input: Option<BoxedRowStream<'a>>,
+    right_rows: Vec<Row<'a>>,
+    predicate: Option<&'a ScalarExpr>,
+    ctx: PipelineCtx<'a>,
+    current_left: Option<Row<'a>>,
+    right_index: usize,
+}
+
+impl<'a> NestedLoopCursor<'a> {
+    pub(crate) fn new(
+        left: BoxedRowStream<'a>,
+        right: BoxedRowStream<'a>,
+        predicate: Option<&'a ScalarExpr>,
+        ctx: PipelineCtx<'a>,
+    ) -> Self {
+        NestedLoopCursor {
+            left,
+            right_input: Some(right),
+            right_rows: Vec::new(),
+            predicate,
+            ctx,
+            current_left: None,
+            right_index: 0,
+        }
+    }
+}
+
+impl<'a> RowStream<'a> for NestedLoopCursor<'a> {
+    fn next_row(&mut self) -> Option<Result<Row<'a>>> {
+        if let Some(right) = self.right_input.take() {
+            match buffer_rows(right, self.ctx) {
+                Ok(rows) => self.right_rows = rows,
+                Err(err) => return Some(Err(err)),
+            }
+        }
+        loop {
+            if self.current_left.is_none() {
+                let left = match self.left.next_row()? {
+                    Ok(row) => row,
+                    Err(err) => return Some(Err(err)),
+                };
+                if let Err(err) = check_struct_frames(&left) {
+                    return Some(Err(err));
+                }
+                self.current_left = Some(left);
+                self.right_index = 0;
+            }
+            let left = self.current_left.as_ref().expect("set above");
+            while self.right_index < self.right_rows.len() {
+                let right = &self.right_rows[self.right_index];
+                self.right_index += 1;
+                let keep = match self.predicate {
+                    Some(p) => match eval_in_pair(p, left, right, self.ctx) {
+                        Ok(v) => truthy(&v),
+                        Err(err) => return Some(Err(err)),
+                    },
+                    None => true,
+                };
+                if keep {
+                    // Only surviving pairs construct an output row.
+                    return Some(Ok(Row::joined(left.clone(), right.clone())));
+                }
+            }
+            self.current_left = None;
+        }
+    }
+}
+
+/// Source-style equi-join executed at the mediator: merges the raw source
+/// tuples with a disambiguating prefix (the `MergeTuplesJoin` semantics),
+/// so its output rows are materialized structs by construction.
+pub(crate) struct MergeTuplesCursor<'a> {
+    left: BoxedRowStream<'a>,
+    right_input: Option<BoxedRowStream<'a>>,
+    right_values: Vec<Value>,
+    on: &'a [(String, String)],
+    ctx: PipelineCtx<'a>,
+    current_left: Option<Value>,
+    right_index: usize,
+}
+
+impl<'a> MergeTuplesCursor<'a> {
+    pub(crate) fn new(
+        left: BoxedRowStream<'a>,
+        right: BoxedRowStream<'a>,
+        on: &'a [(String, String)],
+        ctx: PipelineCtx<'a>,
+    ) -> Self {
+        MergeTuplesCursor {
+            left,
+            right_input: Some(right),
+            right_values: Vec::new(),
+            on,
+            ctx,
+            current_left: None,
+            right_index: 0,
+        }
+    }
+
+    fn merge(&self, left: &Value, right: &Value) -> Result<Option<Row<'a>>> {
+        let ls = left.as_struct().map_err(AlgebraError::from)?;
+        let rs = right.as_struct().map_err(AlgebraError::from)?;
+        for (lattr, rattr) in self.on {
+            let lv = ls.field(lattr).map_err(AlgebraError::from)?;
+            let rv = rs.field(rattr).map_err(AlgebraError::from)?;
+            if lv != rv {
+                return Ok(None);
+            }
+        }
+        let merged = ls
+            .merge_with_prefix(rs, "right")
+            .map_err(AlgebraError::from)?;
+        Ok(Some(Row::owned(Value::Struct(merged))))
+    }
+}
+
+impl<'a> RowStream<'a> for MergeTuplesCursor<'a> {
+    fn next_row(&mut self) -> Option<Result<Row<'a>>> {
+        if let Some(mut right) = self.right_input.take() {
+            let mut values = Vec::new();
+            while let Some(row) = right.next_row() {
+                let value = match row.and_then(|r| r.materialize(self.ctx.metrics)) {
+                    Ok(value) => value,
+                    Err(err) => return Some(Err(err)),
+                };
+                self.ctx.metrics.bump_materialized();
+                values.push(value);
+            }
+            self.right_values = values;
+        }
+        loop {
+            if self.current_left.is_none() {
+                let left = match self.left.next_row()? {
+                    Ok(row) => row,
+                    Err(err) => return Some(Err(err)),
+                };
+                let left = match left.materialize(self.ctx.metrics) {
+                    Ok(value) => value,
+                    Err(err) => return Some(Err(err)),
+                };
+                self.current_left = Some(left);
+                self.right_index = 0;
+            }
+            let left = self.current_left.as_ref().expect("set above");
+            while self.right_index < self.right_values.len() {
+                let right = &self.right_values[self.right_index];
+                self.right_index += 1;
+                match self.merge(left, right) {
+                    Ok(Some(row)) => return Some(Ok(row)),
+                    Ok(None) => {}
+                    Err(err) => return Some(Err(err)),
+                }
+            }
+            self.current_left = None;
+        }
+    }
+}

@@ -1,0 +1,671 @@
+//! The streaming operator engine: a pull-based cursor pipeline.
+//!
+//! The seed evaluator materialized a full [`Bag`] at **every** operator
+//! boundary — a deep pipeline paid one intermediate bag per operator, and
+//! a hash join constructed every merged output row up front.  This module
+//! replaces that with operator-at-a-time execution: a physical plan is
+//! opened into a tree of cursors ([`RowStream`]s), and rows are *pulled*
+//! through the tree one at a time.  Only pipeline breakers ever buffer
+//! rows:
+//!
+//! * the **hash-join build side** (the smaller input, chosen from resolved
+//!   cardinalities) and the re-scanned inner of a nested-loop or
+//!   merge-tuples join,
+//! * **distinct**, which keeps the set of values already emitted,
+//! * **aggregates**, which fold their input into one value (O(1) state —
+//!   no input bag is ever built),
+//! * the **final sink** that turns the root cursor into the answer bag.
+//!
+//! Everything else — scan, filter, project, map, bind, union, flatten —
+//! forwards rows as soon as they are produced, so intermediate state stays
+//! bounded no matter how deep the pipeline is.
+//!
+//! # Lazy join rows
+//!
+//! A join does not merge its matching rows into an output struct.  It
+//! yields a [`Row`] carrying the *frames* of both sides; scalar expressions
+//! downstream (a projection, a residual predicate, another join key) are
+//! evaluated against a layered [`Env`] built from the frames, so the merged
+//! struct is only constructed if an unmerged join row reaches a consumer
+//! that genuinely needs a single value (distinct, the final sink).  A
+//! `join → project` pipeline therefore never calls `StructValue::merged`
+//! at all — the projection reads `x.name` straight out of the frames.
+//!
+//! [`PipelineMetrics`] counts what actually got buffered
+//! ([`PipelineMetrics::rows_materialized`]) and how many join rows had to
+//! be merged ([`PipelineMetrics::rows_merged`]), making the streaming
+//! claim testable.
+
+mod filter;
+mod join;
+mod scan;
+mod sink;
+mod union;
+
+use std::cell::Cell;
+
+use disco_algebra::{
+    eval_scalar_with, lower, AlgebraError, Env, LogicalExpr, PhysicalExpr, ScalarExpr,
+};
+use disco_value::{Bag, StructValue, Value};
+
+use crate::exec::{ExecKey, ExecOutcome, ResolvedExecs};
+use crate::{Result, RuntimeError};
+
+pub use join::BuildSide;
+
+/// One environment frame of a [`Row`]: a value that is either owned by
+/// the pipeline (computed by an operator) or borrowed straight out of the
+/// plan's literal data / a resolved source answer.
+///
+/// The borrowed form is what makes scans free: a scan over a bag yields
+/// one pointer per row, and the value is cloned (an `Arc` bump) only if
+/// the row survives to a consumer that needs ownership — a join build
+/// table, the distinct seen-set, the final sink.  Rows that a filter
+/// drops cost nothing at all.
+#[derive(Debug, Clone)]
+pub enum Frame<'a> {
+    /// A value owned by the pipeline.
+    Owned(Value),
+    /// A value borrowed from plan or resolved-source storage.
+    Borrowed(&'a Value),
+}
+
+impl<'a> Frame<'a> {
+    /// The value behind the frame.
+    #[must_use]
+    pub fn value(&self) -> &Value {
+        match self {
+            Frame::Owned(v) => v,
+            Frame::Borrowed(v) => v,
+        }
+    }
+
+    /// Takes ownership: a move for owned frames, an `Arc`-bump clone for
+    /// borrowed ones.
+    #[must_use]
+    pub fn into_value(self) -> Value {
+        match self {
+            Frame::Owned(v) => v,
+            Frame::Borrowed(v) => v.clone(),
+        }
+    }
+}
+
+/// One row flowing through the pipeline.
+///
+/// Scans produce single (borrowed) values; joins produce *frame
+/// sequences* — the environment rows of both sides, stacked left to
+/// right, with later frames shadowing earlier ones (exactly the
+/// layered-[`Env`] shadowing the evaluator uses).  A frame sequence is
+/// merged into one struct only on demand ([`Row::materialize`]); until
+/// then, passing a join row to the next operator moves a couple of
+/// pointers.
+#[derive(Debug, Clone)]
+pub enum Row<'a> {
+    /// A single value.
+    One(Frame<'a>),
+    /// A join row of two frames (the overwhelmingly common join shape).
+    Two([Frame<'a>; 2]),
+    /// A join row of three or more frames (joins over joins).
+    Many(Vec<Frame<'a>>),
+}
+
+impl<'a> Row<'a> {
+    /// A row owning `value`.
+    #[must_use]
+    pub fn owned(value: Value) -> Row<'a> {
+        Row::One(Frame::Owned(value))
+    }
+
+    /// A row borrowing `value` from plan or source storage.
+    #[must_use]
+    pub fn borrowed(value: &'a Value) -> Row<'a> {
+        Row::One(Frame::Borrowed(value))
+    }
+
+    /// The environment frames of the row, outermost first.
+    #[must_use]
+    pub fn frames(&self) -> &[Frame<'a>] {
+        match self {
+            Row::One(f) => std::slice::from_ref(f),
+            Row::Two(pair) => pair,
+            Row::Many(frames) => frames,
+        }
+    }
+
+    /// The row's value, when it is a single frame (not a join row).
+    /// Borrow-only: no clone happens.
+    #[must_use]
+    pub fn single_value(&self) -> Option<&Value> {
+        match self {
+            Row::One(f) => Some(f.value()),
+            _ => None,
+        }
+    }
+
+    /// Consumes the row into its frames.
+    fn into_frame_vec(self) -> Vec<Frame<'a>> {
+        match self {
+            Row::One(f) => vec![f],
+            Row::Two([l, r]) => vec![l, r],
+            Row::Many(frames) => frames,
+        }
+    }
+
+    /// Joins two rows into one by concatenating their frames (left frames
+    /// first, so right fields shadow left fields downstream).
+    #[must_use]
+    pub fn joined(left: Row<'a>, right: Row<'a>) -> Row<'a> {
+        match (left, right) {
+            (Row::One(l), Row::One(r)) => Row::Two([l, r]),
+            (l, r) => {
+                let mut frames = l.into_frame_vec();
+                frames.extend(r.into_frame_vec());
+                Row::Many(frames)
+            }
+        }
+    }
+
+    /// Collapses the row into one owned value.
+    ///
+    /// Single-frame rows are returned as-is (borrowed frames cost one
+    /// `Arc` bump); join rows merge their frames left to right (later
+    /// frames win on name clashes, mirroring [`StructValue::merged`] and
+    /// the environment shadowing).  Each merge is counted in
+    /// [`PipelineMetrics::rows_merged`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error if a join frame is not a struct.
+    pub fn materialize(self, metrics: &PipelineMetrics) -> Result<Value> {
+        match self {
+            Row::One(f) => Ok(f.into_value()),
+            row => {
+                let frames = row.into_frame_vec();
+                let mut iter = frames.iter();
+                let first = iter
+                    .next()
+                    .expect("join rows have at least two frames")
+                    .value()
+                    .as_struct()
+                    .map_err(AlgebraError::from)?;
+                let mut acc: StructValue = first.clone();
+                for frame in iter {
+                    acc = acc.merged(frame.value().as_struct().map_err(AlgebraError::from)?);
+                }
+                metrics.rows_merged.set(metrics.rows_merged.get() + 1);
+                Ok(Value::Struct(acc))
+            }
+        }
+    }
+}
+
+/// Rows pulled per [`RowStream::next_batch`] call: large enough to
+/// amortize the per-batch virtual dispatch, small enough that a batch of
+/// `Row`s stays cache-resident.
+pub const BATCH_ROWS: usize = 256;
+
+/// A pull-based cursor over [`Row`]s — the operator interface of the
+/// streaming engine.  The lifetime is the plan/resolved-sources borrow
+/// rows may point into.
+///
+/// Operators are driven either row-at-a-time ([`RowStream::next_row`]) or
+/// in vectorized batches ([`RowStream::next_batch`]); both may be mixed
+/// freely on one stream.  The batched form exists purely for throughput —
+/// it amortizes the per-operator virtual call and row move over
+/// [`BATCH_ROWS`] rows — and must be observably identical to repeated
+/// `next_row` calls.
+pub trait RowStream<'a> {
+    /// Pulls the next row; `None` when the stream is exhausted.  After an
+    /// `Err` the stream state is unspecified and it should be dropped.
+    fn next_row(&mut self) -> Option<Result<Row<'a>>>;
+
+    /// Appends up to `max` rows to `out`.
+    ///
+    /// Returns `Ok(false)` once the stream is exhausted (no future call
+    /// will produce rows).  A `true` return with fewer than `max` rows
+    /// appended — even zero, e.g. a filter batch in which nothing matched
+    /// — just means "call again".
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first row error; the stream should then be dropped.
+    fn next_batch(&mut self, out: &mut Vec<Row<'a>>, max: usize) -> Result<bool> {
+        for _ in 0..max {
+            match self.next_row() {
+                Some(Ok(row)) => out.push(row),
+                Some(Err(err)) => return Err(err),
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// A boxed cursor borrowing the plan it executes.
+pub type BoxedRowStream<'a> = Box<dyn RowStream<'a> + 'a>;
+
+/// Counters recording where a pipeline execution actually buffered or
+/// merged rows.
+///
+/// `Cell`-based so the cursors (which hold shared borrows of the plan and
+/// of these counters) can bump them without interior `RefCell` locking;
+/// one `PipelineMetrics` instance tracks one plan execution, including any
+/// correlated sub-queries it evaluates.
+#[derive(Debug, Default)]
+pub struct PipelineMetrics {
+    rows_materialized: Cell<usize>,
+    rows_merged: Cell<usize>,
+    rows_emitted: Cell<usize>,
+}
+
+impl PipelineMetrics {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        PipelineMetrics::default()
+    }
+
+    /// Rows buffered by pipeline breakers: the hash-join build side, the
+    /// inner side of a nested-loop or merge-tuples join, and the distinct
+    /// seen-set.  Streaming operators never contribute here — that is the
+    /// invariant the streaming engine exists for.
+    #[must_use]
+    pub fn rows_materialized(&self) -> usize {
+        self.rows_materialized.get()
+    }
+
+    /// Join rows whose frames had to be merged into a single struct
+    /// (because they reached distinct, a column projection, or the final
+    /// sink unprojected).  A `join → map-project` pipeline keeps this at
+    /// zero.
+    #[must_use]
+    pub fn rows_merged(&self) -> usize {
+        self.rows_merged.get()
+    }
+
+    /// Rows delivered to the final collect sink (the answer size).
+    #[must_use]
+    pub fn rows_emitted(&self) -> usize {
+        self.rows_emitted.get()
+    }
+
+    pub(crate) fn bump_materialized(&self) {
+        self.rows_materialized.set(self.rows_materialized.get() + 1);
+    }
+
+    pub(crate) fn bump_emitted(&self) {
+        self.rows_emitted.set(self.rows_emitted.get() + 1);
+    }
+
+    pub(crate) fn add_emitted(&self, n: usize) {
+        self.rows_emitted.set(self.rows_emitted.get() + n);
+    }
+}
+
+/// Options steering cursor construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineOptions {
+    /// Which hash-join input to buffer as the build side.  `Auto` (the
+    /// default) picks the smaller input by estimated cardinality.
+    pub build_side: BuildSide,
+}
+
+/// Shared, `Copy` context threaded through every cursor of one execution.
+#[derive(Clone, Copy)]
+pub(crate) struct PipelineCtx<'a> {
+    pub resolved: &'a ResolvedExecs,
+    pub outer: &'a Env<'a>,
+    pub metrics: &'a PipelineMetrics,
+    pub options: PipelineOptions,
+}
+
+/// Opens a physical plan into a cursor tree with default options.
+///
+/// # Errors
+///
+/// Returns an error if the plan references an unresolved or unavailable
+/// `exec` call; evaluation errors surface lazily from
+/// [`RowStream::next_row`].
+pub fn open<'a>(
+    plan: &'a PhysicalExpr,
+    resolved: &'a ResolvedExecs,
+    outer: &'a Env<'a>,
+    metrics: &'a PipelineMetrics,
+) -> Result<BoxedRowStream<'a>> {
+    open_with(plan, resolved, outer, metrics, PipelineOptions::default())
+}
+
+/// Opens a physical plan into a cursor tree.
+///
+/// # Errors
+///
+/// See [`open`].
+pub fn open_with<'a>(
+    plan: &'a PhysicalExpr,
+    resolved: &'a ResolvedExecs,
+    outer: &'a Env<'a>,
+    metrics: &'a PipelineMetrics,
+    options: PipelineOptions,
+) -> Result<BoxedRowStream<'a>> {
+    build(
+        plan,
+        PipelineCtx {
+            resolved,
+            outer,
+            metrics,
+            options,
+        },
+    )
+}
+
+/// Drains a cursor into a bag — the final sink of every pipeline.
+///
+/// Join rows reaching the sink unmerged are materialized here (counted in
+/// [`PipelineMetrics::rows_merged`]).
+///
+/// # Errors
+///
+/// Propagates the first row error.
+pub fn collect(mut cursor: BoxedRowStream<'_>, metrics: &PipelineMetrics) -> Result<Bag> {
+    let mut out = Bag::new();
+    let mut buf = Vec::with_capacity(BATCH_ROWS);
+    loop {
+        let more = cursor.next_batch(&mut buf, BATCH_ROWS)?;
+        for row in buf.drain(..) {
+            let value = row.materialize(metrics)?;
+            metrics.bump_emitted();
+            out.insert(value);
+        }
+        if !more {
+            return Ok(out);
+        }
+    }
+}
+
+/// Recursively builds the cursor for one plan node.
+pub(crate) fn build<'a>(
+    plan: &'a PhysicalExpr,
+    ctx: PipelineCtx<'a>,
+) -> Result<BoxedRowStream<'a>> {
+    match plan {
+        PhysicalExpr::Exec {
+            repository,
+            extent,
+            logical,
+            ..
+        } => {
+            let key = ExecKey::new(repository, extent, logical);
+            match ctx.resolved.outcome(&key) {
+                Some(ExecOutcome::Rows(rows)) => Ok(Box::new(scan::ScanCursor::new(rows))),
+                Some(ExecOutcome::Unavailable) => Err(RuntimeError::Unsupported(format!(
+                    "exec call to unavailable source {repository} reached the evaluator"
+                ))),
+                None => Err(RuntimeError::Unsupported(format!(
+                    "unresolved exec call to {repository} ({extent})"
+                ))),
+            }
+        }
+        PhysicalExpr::MemScan(bag) => Ok(Box::new(scan::ScanCursor::new(bag))),
+        PhysicalExpr::FilterOp { input, predicate } => Ok(Box::new(filter::FilterCursor::new(
+            build(input, ctx)?,
+            predicate,
+            ctx,
+        ))),
+        PhysicalExpr::ProjectOp { input, columns } => Ok(Box::new(filter::ProjectCursor::new(
+            build(input, ctx)?,
+            columns,
+            ctx,
+        ))),
+        PhysicalExpr::MapOp { input, projection } => Ok(Box::new(filter::MapCursor::new(
+            build(input, ctx)?,
+            projection,
+            ctx,
+        ))),
+        PhysicalExpr::BindOp { var, input } => Ok(Box::new(filter::BindCursor::new(
+            build(input, ctx)?,
+            var,
+            ctx,
+        ))),
+        PhysicalExpr::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => Ok(Box::new(join::NestedLoopCursor::new(
+            build(left, ctx)?,
+            build(right, ctx)?,
+            predicate.as_ref(),
+            ctx,
+        ))),
+        PhysicalExpr::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => {
+            let build_on_left = match ctx.options.build_side {
+                BuildSide::Left => true,
+                BuildSide::Right => false,
+                BuildSide::Auto => {
+                    // Buffer the smaller input; ties and unknowns keep the
+                    // conventional right-side build.
+                    match (
+                        estimated_rows(left, ctx.resolved),
+                        estimated_rows(right, ctx.resolved),
+                    ) {
+                        (Some(l), Some(r)) => l < r,
+                        _ => false,
+                    }
+                }
+            };
+            Ok(Box::new(join::HashJoinCursor::new(
+                build(left, ctx)?,
+                build(right, ctx)?,
+                left_key,
+                right_key,
+                residual.as_ref(),
+                build_on_left,
+                ctx,
+            )))
+        }
+        PhysicalExpr::MergeTuplesJoin { left, right, on } => Ok(Box::new(
+            join::MergeTuplesCursor::new(build(left, ctx)?, build(right, ctx)?, on, ctx),
+        )),
+        PhysicalExpr::MkUnion(items) => {
+            let cursors = items
+                .iter()
+                .map(|item| build(item, ctx))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(Box::new(union::UnionCursor::new(cursors)))
+        }
+        PhysicalExpr::MkFlatten(inner) => {
+            Ok(Box::new(union::FlattenCursor::new(build(inner, ctx)?, ctx)))
+        }
+        PhysicalExpr::MkDistinct(inner) => {
+            Ok(Box::new(sink::DistinctCursor::new(build(inner, ctx)?, ctx)))
+        }
+        PhysicalExpr::MkAggregate { func, input } => Ok(Box::new(sink::AggregateCursor::new(
+            build(input, ctx)?,
+            *func,
+            ctx,
+        ))),
+    }
+}
+
+/// Static cardinality estimate of a physical plan, from resolved `exec`
+/// outcomes and literal bag lengths.
+///
+/// Filters, projections and distinct report their input size (an upper
+/// bound); joins multiply; an unavailable or unresolved source is
+/// unknown.  Used to pick the hash-join build side.
+#[must_use]
+pub fn estimated_rows(plan: &PhysicalExpr, resolved: &ResolvedExecs) -> Option<usize> {
+    match plan {
+        PhysicalExpr::MemScan(bag) => Some(bag.len()),
+        PhysicalExpr::Exec {
+            repository,
+            extent,
+            logical,
+            ..
+        } => {
+            let key = ExecKey::new(repository, extent, logical);
+            match resolved.outcome(&key) {
+                Some(ExecOutcome::Rows(rows)) => Some(rows.len()),
+                _ => None,
+            }
+        }
+        PhysicalExpr::FilterOp { input, .. }
+        | PhysicalExpr::ProjectOp { input, .. }
+        | PhysicalExpr::MapOp { input, .. }
+        | PhysicalExpr::BindOp { input, .. } => estimated_rows(input, resolved),
+        PhysicalExpr::MkFlatten(inner) | PhysicalExpr::MkDistinct(inner) => {
+            estimated_rows(inner, resolved)
+        }
+        PhysicalExpr::MkUnion(items) => items
+            .iter()
+            .map(|item| estimated_rows(item, resolved))
+            .try_fold(0usize, |acc, n| n.map(|n| acc + n)),
+        PhysicalExpr::NestedLoopJoin { left, right, .. }
+        | PhysicalExpr::HashJoin { left, right, .. }
+        | PhysicalExpr::MergeTuplesJoin { left, right, .. } => {
+            let l = estimated_rows(left, resolved)?;
+            let r = estimated_rows(right, resolved)?;
+            l.checked_mul(r)
+        }
+        PhysicalExpr::MkAggregate { .. } => Some(1),
+    }
+}
+
+/// Evaluates a logical plan through the streaming engine, sharing the
+/// caller's metrics (used for correlated aggregate sub-queries).
+pub(crate) fn evaluate_logical_streamed(
+    plan: &LogicalExpr,
+    resolved: &ResolvedExecs,
+    outer: &Env<'_>,
+    metrics: &PipelineMetrics,
+    options: PipelineOptions,
+) -> Result<Bag> {
+    let physical = lower(plan).map_err(RuntimeError::Algebra)?;
+    evaluate_physical_streamed(&physical, resolved, outer, metrics, options)
+}
+
+/// Evaluates a physical plan through the streaming engine into a bag.
+pub(crate) fn evaluate_physical_streamed(
+    plan: &PhysicalExpr,
+    resolved: &ResolvedExecs,
+    outer: &Env<'_>,
+    metrics: &PipelineMetrics,
+    options: PipelineOptions,
+) -> Result<Bag> {
+    // Pass-through roots keep the O(1) bag-adoption fast path the
+    // materializing evaluator had: the answer *is* the (shared) bag, so
+    // cloning it is one Arc bump instead of an element-by-element copy
+    // through the sink.  Partial evaluation leans on this when collapsing
+    // fully-resolved `Data` subtrees.
+    match plan {
+        PhysicalExpr::MemScan(bag) => {
+            metrics.add_emitted(bag.len());
+            return Ok(bag.clone());
+        }
+        PhysicalExpr::Exec {
+            repository,
+            extent,
+            logical,
+            ..
+        } => {
+            let key = ExecKey::new(repository, extent, logical);
+            if let Some(ExecOutcome::Rows(rows)) = resolved.outcome(&key) {
+                metrics.add_emitted(rows.len());
+                return Ok(rows.clone());
+            }
+            // Fall through to `open_with`, which reports the precise
+            // unavailable/unresolved error for this node.
+        }
+        _ => {}
+    }
+    let cursor = open_with(plan, resolved, outer, metrics, options)?;
+    collect(cursor, metrics)
+}
+
+/// Builds the layered environment of a row's frames on top of `outer` and
+/// hands it to `f`.
+///
+/// Continuation-passing because an [`Env`] chains borrowed scopes: each
+/// frame's scope lives on this call stack, so the environment can only be
+/// used inside the callback.  The one- and two-frame cases (every row
+/// except joins-over-joins) are statically dispatched; deeper frame
+/// stacks fall back to a dynamic recursion so the compiler does not
+/// instantiate a closure type per depth.
+pub(crate) fn with_row_env<R>(
+    frames: &[Frame<'_>],
+    outer: &Env<'_>,
+    f: impl FnOnce(&Env<'_>) -> R,
+) -> R {
+    match frames {
+        [] => f(outer),
+        [a] => f(&outer.with_value(a.value())),
+        [a, b] => {
+            let inner = outer.with_value(a.value());
+            f(&inner.with_value(b.value()))
+        }
+        [first, rest @ ..] => {
+            let env = outer.with_value(first.value());
+            let mut f = Some(f);
+            let mut result = None;
+            with_row_env_dyn(rest, &env, &mut |env| {
+                result = Some(f.take().expect("called once")(env));
+            });
+            result.expect("callback ran")
+        }
+    }
+}
+
+/// Dynamic-dispatch tail of [`with_row_env`] for 3+ frame rows.
+fn with_row_env_dyn(frames: &[Frame<'_>], outer: &Env<'_>, f: &mut dyn FnMut(&Env<'_>)) {
+    match frames.split_first() {
+        None => f(outer),
+        Some((first, rest)) => {
+            let env = outer.with_value(first.value());
+            with_row_env_dyn(rest, &env, f);
+        }
+    }
+}
+
+/// Evaluates a scalar expression against an environment, resolving
+/// aggregate sub-queries through a nested streaming pipeline that shares
+/// this execution's metrics.
+pub(crate) fn eval_row_scalar(
+    expr: &ScalarExpr,
+    env: &Env<'_>,
+    ctx: PipelineCtx<'_>,
+) -> Result<Value> {
+    let callback = |plan: &LogicalExpr, outer: &Env<'_>| {
+        evaluate_logical_streamed(plan, ctx.resolved, outer, ctx.metrics, ctx.options)
+            .map_err(|e| AlgebraError::Unsupported(e.to_string()))
+    };
+    eval_scalar_with(expr, env, &callback).map_err(RuntimeError::Algebra)
+}
+
+/// Evaluates a scalar expression in the environment of a row's frames.
+pub(crate) fn eval_in_row(expr: &ScalarExpr, row: &Row<'_>, ctx: PipelineCtx<'_>) -> Result<Value> {
+    with_row_env(row.frames(), ctx.outer, |env| {
+        eval_row_scalar(expr, env, ctx)
+    })
+}
+
+/// Evaluates a scalar expression in the environment of a candidate join
+/// pair — left frames stacked first, right frames shadowing — **without**
+/// constructing the joined row.  Joins use this for predicates and
+/// residuals so that only surviving pairs pay for a [`Row::joined`].
+pub(crate) fn eval_in_pair(
+    expr: &ScalarExpr,
+    left: &Row<'_>,
+    right: &Row<'_>,
+    ctx: PipelineCtx<'_>,
+) -> Result<Value> {
+    with_row_env(left.frames(), ctx.outer, |lenv| {
+        with_row_env(right.frames(), lenv, |env| eval_row_scalar(expr, env, ctx))
+    })
+}

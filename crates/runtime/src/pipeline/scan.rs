@@ -1,0 +1,40 @@
+//! Leaf cursors: scans over in-memory bags.
+
+use disco_value::Bag;
+
+use super::{Result, Row, RowStream};
+
+/// Streams the elements of a bag **by reference**: the bag lives in the
+/// plan (`memscan` literal data) or in the resolved `exec` outcomes, both
+/// of which outlive the pipeline, so the scan yields one borrowed frame
+/// per row — no clone, no collect, not even a reference-count bump.  A
+/// value is cloned only if its row survives to a consumer that needs
+/// ownership (join build table, distinct seen-set, the final sink).
+pub(crate) struct ScanCursor<'a> {
+    items: &'a [disco_value::Value],
+    index: usize,
+}
+
+impl<'a> ScanCursor<'a> {
+    pub(crate) fn new(bag: &'a Bag) -> Self {
+        ScanCursor {
+            items: bag.as_slice(),
+            index: 0,
+        }
+    }
+}
+
+impl<'a> RowStream<'a> for ScanCursor<'a> {
+    fn next_row(&mut self) -> Option<Result<Row<'a>>> {
+        let item = self.items.get(self.index)?;
+        self.index += 1;
+        Some(Ok(Row::borrowed(item)))
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Row<'a>>, max: usize) -> Result<bool> {
+        let end = (self.index + max).min(self.items.len());
+        out.extend(self.items[self.index..end].iter().map(Row::borrowed));
+        self.index = end;
+        Ok(self.index < self.items.len())
+    }
+}

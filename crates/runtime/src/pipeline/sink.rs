@@ -1,0 +1,267 @@
+//! Pipeline-breaking sinks: distinct and aggregates.
+//!
+//! Distinct streams its *output* — a row is emitted the moment it turns
+//! out to be new — but buffers the set of values already seen, which is
+//! what makes it a (partial) pipeline breaker.  Duplicate rows are
+//! rejected on a borrowed hash lookup without ever cloning the value.
+//! Aggregates fold their whole input into one value with O(1) state; no
+//! input bag is ever collected, so the only "materialized" row is the
+//! single result.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, Hasher, RandomState};
+
+use disco_algebra::{AggKind, AlgebraError};
+use disco_value::Value;
+
+use super::{BoxedRowStream, PipelineCtx, Result, Row, RowStream};
+
+/// Pass-through hasher for keys that already *are* hashes.
+#[derive(Default)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("identity hasher is only fed u64 keys");
+    }
+
+    fn write_u64(&mut self, hash: u64) {
+        self.0 = hash;
+    }
+}
+
+/// One seen-set bucket: values sharing a 64-bit hash (almost always one).
+enum Bucket {
+    One(Value),
+    Many(Vec<Value>),
+}
+
+impl Bucket {
+    fn contains(&self, value: &Value) -> bool {
+        match self {
+            Bucket::One(v) => v == value,
+            Bucket::Many(vs) => vs.iter().any(|v| v == value),
+        }
+    }
+
+    fn push(&mut self, value: Value) {
+        match self {
+            Bucket::One(first) => {
+                *self = Bucket::Many(vec![std::mem::take(first), value]);
+            }
+            Bucket::Many(vs) => vs.push(value),
+        }
+    }
+}
+
+/// A set of values that computes each value's canonical hash — which
+/// walks strings and structs, so it is the expensive part — exactly once
+/// per probed row.  Buckets are keyed by the 64-bit hash through an
+/// identity hasher; equality is only checked within a bucket.  A plain
+/// `HashSet<Value>` hashes every *new* value twice (miss, then insert),
+/// which dominates distinct-over-structs pipelines whose rows are mostly
+/// unique.
+#[derive(Default)]
+struct SeenSet {
+    hasher: RandomState,
+    buckets: HashMap<u64, Bucket, BuildHasherDefault<IdentityHasher>>,
+}
+
+impl SeenSet {
+    /// Returns the value's hash when it has not been seen, `None` when it
+    /// is a duplicate.  Borrow-only — no clone either way.
+    fn check(&self, value: &Value) -> Option<u64> {
+        let hash = self.hasher.hash_one(value);
+        match self.buckets.get(&hash) {
+            Some(bucket) if bucket.contains(value) => None,
+            _ => Some(hash),
+        }
+    }
+
+    /// Records a value under the hash [`SeenSet::check`] returned for it.
+    fn insert_hashed(&mut self, hash: u64, value: Value) {
+        match self.buckets.entry(hash) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => entry.get_mut().push(value),
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(Bucket::One(value));
+            }
+        }
+    }
+}
+
+/// Emits each distinct value once, preserving first-occurrence order.
+pub(crate) struct DistinctCursor<'a> {
+    input: BoxedRowStream<'a>,
+    seen: SeenSet,
+    ctx: PipelineCtx<'a>,
+    scratch: Vec<Row<'a>>,
+}
+
+impl<'a> DistinctCursor<'a> {
+    pub(crate) fn new(input: BoxedRowStream<'a>, ctx: PipelineCtx<'a>) -> Self {
+        DistinctCursor {
+            input,
+            seen: SeenSet::default(),
+            ctx,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Admits a row if its value has not been seen: every row pays one
+    /// hash computation; duplicates are rejected on a borrowed lookup
+    /// without any clone; new values are copied once into the seen-set
+    /// (an `Arc` bump).
+    fn admit(&mut self, row: Row<'a>) -> Result<Option<Row<'a>>> {
+        let (hash, value) = if let Some(value) = row.single_value() {
+            let Some(hash) = self.seen.check(value) else {
+                return Ok(None);
+            };
+            (hash, row.materialize(self.ctx.metrics)?)
+        } else {
+            // Join rows must be merged before they can be compared.
+            let value = row.materialize(self.ctx.metrics)?;
+            let Some(hash) = self.seen.check(&value) else {
+                return Ok(None);
+            };
+            (hash, value)
+        };
+        // The seen-set keeps one copy per distinct value — the operator's
+        // entire buffered state.
+        self.seen.insert_hashed(hash, value.clone());
+        self.ctx.metrics.bump_materialized();
+        Ok(Some(Row::owned(value)))
+    }
+}
+
+impl<'a> RowStream<'a> for DistinctCursor<'a> {
+    fn next_row(&mut self) -> Option<Result<Row<'a>>> {
+        loop {
+            let row = match self.input.next_row()? {
+                Ok(row) => row,
+                Err(err) => return Some(Err(err)),
+            };
+            match self.admit(row) {
+                Ok(Some(row)) => return Some(Ok(row)),
+                Ok(None) => {}
+                Err(err) => return Some(Err(err)),
+            }
+        }
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Row<'a>>, max: usize) -> Result<bool> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let more = self.input.next_batch(&mut scratch, max)?;
+        for row in scratch.drain(..) {
+            if let Some(row) = self.admit(row)? {
+                out.push(row);
+            }
+        }
+        self.scratch = scratch;
+        Ok(more)
+    }
+}
+
+/// Folds the whole input into one aggregate value (`mkagg`).
+pub(crate) struct AggregateCursor<'a> {
+    input: Option<BoxedRowStream<'a>>,
+    func: AggKind,
+    ctx: PipelineCtx<'a>,
+}
+
+impl<'a> AggregateCursor<'a> {
+    pub(crate) fn new(input: BoxedRowStream<'a>, func: AggKind, ctx: PipelineCtx<'a>) -> Self {
+        AggregateCursor {
+            input: Some(input),
+            func,
+            ctx,
+        }
+    }
+}
+
+impl<'a> RowStream<'a> for AggregateCursor<'a> {
+    fn next_row(&mut self) -> Option<Result<Row<'a>>> {
+        let input = self.input.take()?;
+        Some(fold_aggregate(self.func, input, self.ctx).map(Row::owned))
+    }
+}
+
+/// Incrementally computes an aggregate over a stream, mirroring
+/// `AggKind::apply`'s semantics (numeric promotion, empty-input results,
+/// first-minimum / last-maximum tie-breaking) without building the input
+/// bag.  Rows are consumed by reference; only a min/max champion is ever
+/// cloned.
+fn fold_aggregate(
+    func: AggKind,
+    mut input: BoxedRowStream<'_>,
+    ctx: PipelineCtx<'_>,
+) -> Result<Value> {
+    let mut count = 0usize;
+    let mut acc = 0.0f64;
+    let mut all_int = true;
+    let mut best: Option<Value> = None;
+    let mut buf = Vec::with_capacity(super::BATCH_ROWS);
+    loop {
+        let more = input.next_batch(&mut buf, super::BATCH_ROWS)?;
+        for row in buf.drain(..) {
+            let merged;
+            let value: &Value = match row.single_value() {
+                Some(value) => value,
+                None => {
+                    merged = row.materialize(ctx.metrics)?;
+                    &merged
+                }
+            };
+            count += 1;
+            match func {
+                AggKind::Count => {}
+                AggKind::Sum => {
+                    if matches!(value, Value::Float(_)) {
+                        all_int = false;
+                    }
+                    acc += value.as_float().map_err(|_| {
+                        AlgebraError::Type(format!("sum over non-numeric value {value}"))
+                    })?;
+                }
+                AggKind::Avg => {
+                    acc += value.as_float().map_err(|_| {
+                        AlgebraError::Type(format!("avg over non-numeric value {value}"))
+                    })?;
+                }
+                AggKind::Min => match &best {
+                    Some(b) if value.total_cmp(b) != std::cmp::Ordering::Less => {}
+                    _ => best = Some(value.clone()),
+                },
+                AggKind::Max => match &best {
+                    Some(b) if value.total_cmp(b) == std::cmp::Ordering::Less => {}
+                    _ => best = Some(value.clone()),
+                },
+            }
+        }
+        if !more {
+            break;
+        }
+    }
+    match func {
+        AggKind::Count => Ok(Value::Int(i64::try_from(count).unwrap_or(i64::MAX))),
+        #[allow(clippy::cast_possible_truncation)]
+        AggKind::Sum => Ok(if all_int {
+            Value::Int(acc as i64)
+        } else {
+            Value::Float(acc)
+        }),
+        AggKind::Avg => {
+            if count == 0 {
+                Ok(Value::Null)
+            } else {
+                #[allow(clippy::cast_precision_loss)]
+                Ok(Value::Float(acc / count as f64))
+            }
+        }
+        AggKind::Min | AggKind::Max => Ok(best.unwrap_or(Value::Null)),
+    }
+}

@@ -1,0 +1,88 @@
+//! Streaming union and flatten.
+
+use disco_value::{Bag, BagCursor, Value};
+
+use super::{BoxedRowStream, PipelineCtx, Result, Row, RowStream};
+
+/// Streams each branch in turn (`mkunion`) — no branch result is ever
+/// collected into an intermediate bag.
+pub(crate) struct UnionCursor<'a> {
+    items: Vec<BoxedRowStream<'a>>,
+    index: usize,
+}
+
+impl<'a> UnionCursor<'a> {
+    pub(crate) fn new(items: Vec<BoxedRowStream<'a>>) -> Self {
+        UnionCursor { items, index: 0 }
+    }
+}
+
+impl<'a> RowStream<'a> for UnionCursor<'a> {
+    fn next_row(&mut self) -> Option<Result<Row<'a>>> {
+        while let Some(current) = self.items.get_mut(self.index) {
+            match current.next_row() {
+                Some(row) => return Some(row),
+                None => self.index += 1,
+            }
+        }
+        None
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Row<'a>>, max: usize) -> Result<bool> {
+        match self.items.get_mut(self.index) {
+            None => Ok(false),
+            Some(current) => {
+                let more = current.next_batch(out, max)?;
+                if !more {
+                    self.index += 1;
+                }
+                Ok(more || self.index < self.items.len())
+            }
+        }
+    }
+}
+
+/// Unnests one level of bags (`mkflatten`): bag- and list-valued rows are
+/// expanded element by element through a shared-storage cursor, everything
+/// else passes through — matching `Bag::flatten`'s permissive behaviour.
+pub(crate) struct FlattenCursor<'a> {
+    input: BoxedRowStream<'a>,
+    ctx: PipelineCtx<'a>,
+    inner: Option<BagCursor>,
+}
+
+impl<'a> FlattenCursor<'a> {
+    pub(crate) fn new(input: BoxedRowStream<'a>, ctx: PipelineCtx<'a>) -> Self {
+        FlattenCursor {
+            input,
+            ctx,
+            inner: None,
+        }
+    }
+}
+
+impl<'a> RowStream<'a> for FlattenCursor<'a> {
+    fn next_row(&mut self) -> Option<Result<Row<'a>>> {
+        loop {
+            if let Some(inner) = &mut self.inner {
+                match inner.next() {
+                    Some(value) => return Some(Ok(Row::owned(value))),
+                    None => self.inner = None,
+                }
+            }
+            let row = match self.input.next_row()? {
+                Ok(row) => row,
+                Err(err) => return Some(Err(err)),
+            };
+            let value = match row.materialize(self.ctx.metrics) {
+                Ok(value) => value,
+                Err(err) => return Some(Err(err)),
+            };
+            match value {
+                Value::Bag(inner) => self.inner = Some(inner.into_cursor()),
+                Value::List(items) => self.inner = Some(Bag::from_shared(items).into_cursor()),
+                other => return Some(Ok(Row::owned(other))),
+            }
+        }
+    }
+}

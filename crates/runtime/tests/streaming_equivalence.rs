@@ -1,0 +1,408 @@
+//! Differential tests: the streaming cursor engine against the
+//! bag-at-a-time reference evaluator (`disco_runtime::reference`), over
+//! seeded randomized plans.
+//!
+//! Three claims are pinned here:
+//!
+//! 1. **Full evaluation**: for random pipelines (filter, map, project,
+//!    hash/nested-loop join, union, distinct, aggregates) the streaming
+//!    engine is multiset-equal to the reference evaluator.
+//! 2. **Build-side selection**: forcing the hash-join build side to
+//!    either input yields identical answers, and `Auto` buffers the
+//!    smaller input.
+//! 3. **Partial evaluation**: with random subsets of sources unavailable,
+//!    the streaming path produces the *identical* `Answer` data and
+//!    residual plan as the seed materializing path.
+
+use disco_algebra::{lower, Env, LogicalExpr, ScalarExpr, ScalarOp};
+use disco_runtime::pipeline::{self, PipelineMetrics, PipelineOptions};
+use disco_runtime::{
+    evaluate_physical, partial_evaluate, partial_evaluate_reference, reference,
+    substitute_resolved, BuildSide, ExecKey, ExecOutcome, ResolvedExecs, SourceCallStats,
+};
+use disco_value::{Bag, StructValue, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn person(id: i64, name: &str, salary: i64) -> Value {
+    Value::Struct(
+        StructValue::new(vec![
+            ("id", Value::Int(id)),
+            ("name", Value::from(name)),
+            ("salary", Value::Int(salary)),
+        ])
+        .unwrap(),
+    )
+}
+
+fn random_people(rng: &mut StdRng, rows: usize, id_space: i64) -> Bag {
+    (0..rows)
+        .map(|_| {
+            person(
+                rng.gen_range(0..id_space),
+                &format!("p{}", rng.gen_range(0..id_space)),
+                rng.gen_range(0..100i64),
+            )
+        })
+        .collect()
+}
+
+/// A random source pipeline bound to `var`: data, optionally filtered.
+fn random_branch(rng: &mut StdRng, var: &str) -> LogicalExpr {
+    let rows = rng.gen_range(0..30);
+    let source = LogicalExpr::Data(random_people(rng, rows, 8)).bind(var);
+    if rng.gen_bool(0.5) {
+        source.filter(ScalarExpr::binary(
+            ScalarOp::Gt,
+            ScalarExpr::var_field(var, "salary"),
+            ScalarExpr::constant(rng.gen_range(0..100i64)),
+        ))
+    } else {
+        source
+    }
+}
+
+/// One random plan out of the shape families the mediator produces.
+fn random_plan(rng: &mut StdRng) -> LogicalExpr {
+    match rng.gen_range(0..6) {
+        // filter → map
+        0 => random_branch(rng, "x").map_project(ScalarExpr::var_field("x", "name")),
+        // union of branches, optionally distinct
+        1 => {
+            let n = rng.gen_range(2..4);
+            let branches = (0..n)
+                .map(|_| random_branch(rng, "x").map_project(ScalarExpr::var_field("x", "name")))
+                .collect();
+            let union = LogicalExpr::Union(branches);
+            if rng.gen_bool(0.5) {
+                LogicalExpr::Distinct(Box::new(union))
+            } else {
+                union
+            }
+        }
+        // equi-join (lowers to a hash join) → computed projection
+        2 => LogicalExpr::Join {
+            left: Box::new(random_branch(rng, "x")),
+            right: Box::new(random_branch(rng, "y")),
+            predicate: Some(ScalarExpr::binary(
+                ScalarOp::Eq,
+                ScalarExpr::var_field("x", "id"),
+                ScalarExpr::var_field("y", "id"),
+            )),
+        }
+        .map_project(ScalarExpr::StructLit(vec![
+            ("name".into(), ScalarExpr::var_field("x", "name")),
+            (
+                "total".into(),
+                ScalarExpr::binary(
+                    ScalarOp::Add,
+                    ScalarExpr::var_field("x", "salary"),
+                    ScalarExpr::var_field("y", "salary"),
+                ),
+            ),
+        ])),
+        // non-equi join (lowers to a nested loop)
+        3 => LogicalExpr::Join {
+            left: Box::new(random_branch(rng, "x")),
+            right: Box::new(random_branch(rng, "y")),
+            predicate: Some(ScalarExpr::binary(
+                ScalarOp::Lt,
+                ScalarExpr::var_field("x", "id"),
+                ScalarExpr::var_field("y", "id"),
+            )),
+        }
+        .map_project(ScalarExpr::var_field("x", "name")),
+        // aggregate over a mapped, filtered source
+        4 => {
+            let func = [
+                disco_algebra::AggKind::Sum,
+                disco_algebra::AggKind::Count,
+                disco_algebra::AggKind::Min,
+                disco_algebra::AggKind::Max,
+                disco_algebra::AggKind::Avg,
+            ][rng.gen_range(0..5usize)];
+            LogicalExpr::Aggregate {
+                func,
+                input: Box::new(
+                    random_branch(rng, "x").map_project(ScalarExpr::var_field("x", "salary")),
+                ),
+            }
+        }
+        // distinct over a join projection (the deep-pipeline shape)
+        _ => LogicalExpr::Distinct(Box::new(
+            LogicalExpr::Join {
+                left: Box::new(random_branch(rng, "x")),
+                right: Box::new(random_branch(rng, "y")),
+                predicate: Some(ScalarExpr::binary(
+                    ScalarOp::Eq,
+                    ScalarExpr::var_field("x", "id"),
+                    ScalarExpr::var_field("y", "id"),
+                )),
+            }
+            .map_project(ScalarExpr::var_field("y", "name")),
+        )),
+    }
+}
+
+#[test]
+fn streaming_engine_matches_reference_on_random_plans() {
+    let resolved = ResolvedExecs::default();
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EED + seed);
+        let plan = random_plan(&mut rng);
+        let physical = lower(&plan).expect("plan lowers");
+        let streamed = evaluate_physical(&physical, &resolved).expect("streaming evaluates");
+        let reference =
+            reference::evaluate_physical(&physical, &resolved).expect("reference evaluates");
+        assert_eq!(
+            streamed, reference,
+            "seed {seed}: streaming and reference answers must be multiset-equal for {physical}"
+        );
+    }
+}
+
+/// The equi-join plan over two bags; `lower` picks `HashJoin` for it.
+fn equi_join_plan(left: Bag, right: Bag) -> LogicalExpr {
+    LogicalExpr::Join {
+        left: Box::new(LogicalExpr::Data(left).bind("x")),
+        right: Box::new(LogicalExpr::Data(right).bind("y")),
+        predicate: Some(ScalarExpr::binary(
+            ScalarOp::Eq,
+            ScalarExpr::var_field("x", "id"),
+            ScalarExpr::var_field("y", "id"),
+        )),
+    }
+    .map_project(ScalarExpr::StructLit(vec![
+        ("lname".into(), ScalarExpr::var_field("x", "name")),
+        ("rname".into(), ScalarExpr::var_field("y", "name")),
+    ]))
+}
+
+fn evaluate_with_build_side(
+    plan: &disco_algebra::PhysicalExpr,
+    side: BuildSide,
+) -> (Bag, PipelineMetrics) {
+    let resolved = ResolvedExecs::default();
+    let metrics = PipelineMetrics::new();
+    let root = Env::root();
+    let cursor = pipeline::open_with(
+        plan,
+        &resolved,
+        &root,
+        &metrics,
+        PipelineOptions { build_side: side },
+    )
+    .expect("opens");
+    let bag = pipeline::collect(cursor, &metrics).expect("collects");
+    (bag, metrics)
+}
+
+#[test]
+fn hash_join_output_is_identical_for_both_build_orientations() {
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(0xB51D + seed);
+        let left_rows = rng.gen_range(0..40);
+        let left = random_people(&mut rng, left_rows, 8);
+        let right_rows = rng.gen_range(0..40);
+        let right = random_people(&mut rng, right_rows, 8);
+        let physical = lower(&equi_join_plan(left, right)).expect("lowers");
+        assert!(format!("{physical}").contains("hashjoin"));
+        let (build_left, _) = evaluate_with_build_side(&physical, BuildSide::Left);
+        let (build_right, _) = evaluate_with_build_side(&physical, BuildSide::Right);
+        assert_eq!(
+            build_left, build_right,
+            "seed {seed}: build-side orientation must not change the answer"
+        );
+        let (auto, _) = evaluate_with_build_side(&physical, BuildSide::Auto);
+        assert_eq!(auto, build_right, "seed {seed}");
+    }
+}
+
+#[test]
+fn auto_build_side_buffers_the_smaller_input() {
+    let mut rng = StdRng::seed_from_u64(0xA070);
+    let small = random_people(&mut rng, 7, 8);
+    let large = random_people(&mut rng, 40, 8);
+
+    // Small input on the left: Auto must build on the left (7 rows), not
+    // the conventional right.
+    let physical = lower(&equi_join_plan(small.clone(), large.clone())).expect("lowers");
+    let (_, metrics) = evaluate_with_build_side(&physical, BuildSide::Auto);
+    assert_eq!(metrics.rows_materialized(), small.len());
+
+    // Small input on the right: Auto keeps the right-side build.
+    let physical = lower(&equi_join_plan(large.clone(), small.clone())).expect("lowers");
+    let (_, metrics) = evaluate_with_build_side(&physical, BuildSide::Auto);
+    assert_eq!(metrics.rows_materialized(), small.len());
+
+    // Forcing the large side buffers the large side.
+    let (_, metrics) = evaluate_with_build_side(&physical, BuildSide::Left);
+    assert_eq!(metrics.rows_materialized(), large.len());
+}
+
+#[test]
+fn pipeline_behavior_classification_matches_engine_buffering() {
+    // The algebra's streaming/breaker classification must agree with what
+    // the engine actually buffers: plans built purely from operators
+    // classified `Streaming` record zero materialized rows, and any plan
+    // containing a breaker records at least one.  This pins
+    // `PhysicalExpr::pipeline_behavior` to the cursor implementations so
+    // the two cannot silently drift apart.
+    use disco_algebra::PipelineBehavior;
+    let mut rng = StdRng::seed_from_u64(0xC1A5);
+    let plans = vec![
+        // streaming-only shapes
+        random_branch(&mut rng, "x").map_project(ScalarExpr::var_field("x", "name")),
+        LogicalExpr::Union(vec![
+            LogicalExpr::Data(random_people(&mut rng, 10, 4)).project(["name"]),
+            LogicalExpr::Data(random_people(&mut rng, 10, 4)).project(["name"]),
+        ]),
+        // breaker-containing shapes
+        equi_join_plan(
+            random_people(&mut rng, 12, 4),
+            random_people(&mut rng, 6, 4),
+        ),
+        LogicalExpr::Distinct(Box::new(
+            random_branch(&mut rng, "x").map_project(ScalarExpr::var_field("x", "name")),
+        )),
+    ];
+    let resolved = ResolvedExecs::default();
+    for plan in plans {
+        let physical = lower(&plan).expect("lowers");
+        let mut streaming_only = true;
+        physical.walk(&mut |node| {
+            if node.pipeline_behavior() != PipelineBehavior::Streaming {
+                streaming_only = false;
+            }
+        });
+        let metrics = PipelineMetrics::new();
+        let root = Env::root();
+        let cursor = pipeline::open(&physical, &resolved, &root, &metrics).expect("opens");
+        let out = pipeline::collect(cursor, &metrics).expect("collects");
+        if streaming_only {
+            assert_eq!(
+                metrics.rows_materialized(),
+                0,
+                "streaming-classified plan must buffer nothing: {physical}"
+            );
+        } else if !out.is_empty() {
+            assert!(
+                metrics.rows_materialized() > 0,
+                "breaker-classified plan must record its buffered rows: {physical}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Partial evaluation: streaming vs. the seed materializing path
+// ---------------------------------------------------------------------
+
+fn stats_for(repo: &str, extent: &str, available: bool, rows: usize) -> SourceCallStats {
+    SourceCallStats {
+        repository: repo.to_owned(),
+        extent: extent.to_owned(),
+        available,
+        rows_returned: rows,
+        rows_scanned: rows,
+        latency: std::time::Duration::ZERO,
+    }
+}
+
+/// Builds a random federation query over `n` submit branches and a random
+/// resolution in which each source independently answered or not.
+fn random_partial_scenario(rng: &mut StdRng) -> (LogicalExpr, ResolvedExecs) {
+    let n = rng.gen_range(1..5usize);
+    let mut resolved = ResolvedExecs::default();
+    let mut branches = Vec::with_capacity(n);
+    for i in 0..n {
+        let extent = format!("person{i}");
+        let repo = format!("r{i}");
+        let shipped = LogicalExpr::get(&extent);
+        let branch = shipped
+            .clone()
+            .submit(&repo, "w0", &extent)
+            .filter(ScalarExpr::binary(
+                ScalarOp::Gt,
+                ScalarExpr::attr("salary"),
+                ScalarExpr::constant(rng.gen_range(0..100i64)),
+            ))
+            .bind("x")
+            .map_project(ScalarExpr::var_field("x", "name"));
+        branches.push(branch);
+        let key = ExecKey::new(&repo, &extent, &shipped);
+        if rng.gen_bool(0.6) {
+            let n_rows = rng.gen_range(0..10);
+            let rows = random_people(rng, n_rows, 6);
+            let len = rows.len();
+            resolved.insert(
+                key,
+                ExecOutcome::Rows(rows),
+                stats_for(&repo, &extent, true, len),
+            );
+        } else {
+            resolved.insert(
+                key,
+                ExecOutcome::Unavailable,
+                stats_for(&repo, &extent, false, 0),
+            );
+        }
+    }
+    let plan = if branches.len() == 1 {
+        branches.into_iter().next().unwrap()
+    } else {
+        LogicalExpr::Union(branches)
+    };
+    (plan, resolved)
+}
+
+#[test]
+fn partial_evaluation_matches_reference_on_random_availability() {
+    for seed in 0..80u64 {
+        let mut rng = StdRng::seed_from_u64(0x9A47 + seed);
+        let (plan, resolved) = random_partial_scenario(&mut rng);
+        let substituted = substitute_resolved(&plan, &resolved);
+        let (data_s, residual_s) =
+            partial_evaluate(&substituted, &resolved).expect("streaming partial eval");
+        let (data_r, residual_r) =
+            partial_evaluate_reference(&substituted, &resolved).expect("reference partial eval");
+        assert_eq!(
+            data_s, data_r,
+            "seed {seed}: partial answer data must match"
+        );
+        assert_eq!(
+            residual_s, residual_r,
+            "seed {seed}: residual plans must be identical"
+        );
+    }
+}
+
+#[test]
+fn join_with_unavailable_side_stays_residual_in_both_engines() {
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    let available_rows = random_people(&mut rng, 5, 4);
+    let mut resolved = ResolvedExecs::default();
+    let shipped = LogicalExpr::get("person0");
+    resolved.insert(
+        ExecKey::new("r0", "person0", &shipped),
+        ExecOutcome::Unavailable,
+        stats_for("r0", "person0", false, 0),
+    );
+    let plan = LogicalExpr::Join {
+        left: Box::new(shipped.submit("r0", "w0", "person0").bind("x")),
+        right: Box::new(LogicalExpr::Data(available_rows).bind("y")),
+        predicate: Some(ScalarExpr::binary(
+            ScalarOp::Eq,
+            ScalarExpr::var_field("x", "id"),
+            ScalarExpr::var_field("y", "id"),
+        )),
+    }
+    .map_project(ScalarExpr::var_field("x", "name"));
+    let substituted = substitute_resolved(&plan, &resolved);
+    let (data_s, residual_s) = partial_evaluate(&substituted, &resolved).unwrap();
+    let (data_r, residual_r) = partial_evaluate_reference(&substituted, &resolved).unwrap();
+    assert!(data_s.is_empty());
+    assert_eq!(data_s, data_r);
+    assert_eq!(residual_s, residual_r);
+    assert!(residual_s.is_some(), "the join must stay residual");
+}

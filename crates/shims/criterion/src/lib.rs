@@ -9,12 +9,35 @@
 //! printed in a `name  time: [..]` line, grep-compatible with real
 //! Criterion output.
 
+//!
+//! Like real Criterion, the harness understands a `--test` argument
+//! (`cargo bench -- --test`): every benchmark routine runs exactly once
+//! and no timing statistics are collected.  CI uses this as a bitrot
+//! guard — the benches keep compiling and running without paying for a
+//! measurement.
+
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Smoke mode: run each routine once, skip warm-up and sampling.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables `--test` smoke mode (set by [`criterion_main!`]
+/// when the binary receives a `--test` argument).
+pub fn set_test_mode(enabled: bool) {
+    TEST_MODE.store(enabled, Ordering::Relaxed);
+}
+
+/// Returns `true` when running in `--test` smoke mode.
+#[must_use]
+pub fn test_mode() -> bool {
+    TEST_MODE.load(Ordering::Relaxed)
+}
 
 /// Batch sizes for [`Bencher::iter_batched`] (accepted, not tuned).
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +94,12 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, storing the median per-iteration duration.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if test_mode() {
+            let started = Instant::now();
+            black_box(routine());
+            self.result = Some(started.elapsed());
+            return;
+        }
         // Warm-up + calibration: find an iteration count that takes ≥ ~2 ms
         // per sample so timer resolution does not dominate.
         let mut iters_per_sample = 1usize;
@@ -103,6 +132,13 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        if test_mode() {
+            let input = setup();
+            let started = Instant::now();
+            black_box(routine(input));
+            self.result = Some(started.elapsed());
+            return;
+        }
         let mut iters_per_sample = 1usize;
         loop {
             let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
@@ -263,8 +299,10 @@ macro_rules! criterion_main {
     ($($group:ident),+ $(,)?) => {
         fn main() {
             // Cargo passes `--bench` (and possibly filters); accept and
-            // ignore them — the shim always runs every benchmark.
-            let _args: Vec<String> = std::env::args().collect();
+            // ignore them.  `--test` (as in real Criterion) switches to
+            // smoke mode: each routine runs once, untimed statistics.
+            let args: Vec<String> = std::env::args().collect();
+            $crate::set_test_mode(args.iter().any(|a| a == "--test"));
             $( $group(); )+
         }
     };
@@ -274,14 +312,35 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// `TEST_MODE` is process-global, so tests that read or toggle it must
+    /// not run concurrently with each other.
+    static TEST_MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn bench_function_produces_a_measurement() {
+        let _guard = TEST_MODE_LOCK.lock().unwrap();
         let mut c = Criterion::default().sample_size(3);
         c.bench_function("shim_smoke", |b| b.iter(|| black_box(1 + 1)));
     }
 
     #[test]
+    fn smoke_mode_runs_each_routine_once() {
+        let _guard = TEST_MODE_LOCK.lock().unwrap();
+        set_test_mode(true);
+        let mut calls = 0usize;
+        let mut c = Criterion::default().sample_size(10);
+        c.bench_function("smoke_once", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        set_test_mode(false);
+        assert_eq!(calls, 1, "--test mode must run the routine exactly once");
+    }
+
+    #[test]
     fn groups_and_ids_compose() {
+        let _guard = TEST_MODE_LOCK.lock().unwrap();
         let mut c = Criterion::default().sample_size(2);
         let mut group = c.benchmark_group("g");
         group.sample_size(2);

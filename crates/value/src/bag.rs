@@ -64,6 +64,13 @@ impl Bag {
         }
     }
 
+    /// Wraps shared element storage (e.g. a `Value::List` payload) into a
+    /// bag without copying the vector.
+    #[must_use]
+    pub fn from_shared(items: Arc<Vec<Value>>) -> Self {
+        Bag { items }
+    }
+
     /// Number of elements (counting duplicates).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -207,12 +214,66 @@ impl Bag {
         }
     }
 
+    /// Consumes the bag into a cursor over its elements.
+    ///
+    /// Unlike [`Bag::into_values`], this never copies the element vector:
+    /// the cursor keeps the `Arc` storage alive and yields each element as
+    /// an `Arc`-bump clone on demand.  This is the scan primitive of the
+    /// streaming evaluator — a scan over a shared bag (cached source rows,
+    /// a `Data` literal) costs one reference-count bump up front and one
+    /// per row pulled, independent of how many clones of the bag exist.
+    #[must_use]
+    pub fn into_cursor(self) -> BagCursor {
+        BagCursor {
+            items: self.items,
+            index: 0,
+        }
+    }
+
+    /// A borrowing cursor over the bag's elements.
+    ///
+    /// Equivalent to `self.clone().into_cursor()`: the bag stays usable and
+    /// the cursor shares its storage (no element is cloned until pulled).
+    #[must_use]
+    pub fn cursor(&self) -> BagCursor {
+        self.clone().into_cursor()
+    }
+
     /// Views the elements as a slice in insertion order.
     #[must_use]
     pub fn as_slice(&self) -> &[Value] {
         &self.items
     }
 }
+
+/// A cursor over a bag's elements that shares the bag's storage.
+///
+/// Produced by [`Bag::into_cursor`] (consuming) and [`Bag::cursor`]
+/// (borrowing).  Yields `Arc`-bump clones of the elements in insertion
+/// order; the underlying vector is never copied, even when the storage is
+/// shared with other clones of the bag.
+#[derive(Debug, Clone)]
+pub struct BagCursor {
+    items: Arc<Vec<Value>>,
+    index: usize,
+}
+
+impl Iterator for BagCursor {
+    type Item = Value;
+
+    fn next(&mut self) -> Option<Value> {
+        let item = self.items.get(self.index)?.clone();
+        self.index += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.items.len() - self.index;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for BagCursor {}
 
 impl PartialEq for Bag {
     /// Multiset equality, hash-based: O(n) expected instead of the
@@ -377,6 +438,32 @@ mod tests {
         let mut b = Bag::from(vec![Value::Int(1)]);
         b.extend([Value::Int(2), Value::Int(3)]);
         assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn cursor_shares_storage_and_yields_every_element() {
+        let b = ints(&[1, 2, 3]);
+        let shared = b.clone();
+        // The consuming cursor walks the shared storage without copying it.
+        let collected: Vec<Value> = b.into_cursor().collect();
+        assert_eq!(collected, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        // The borrowing cursor leaves the bag usable.
+        let mut cur = shared.cursor();
+        assert_eq!(cur.len(), 3);
+        assert_eq!(cur.next(), Some(Value::Int(1)));
+        assert_eq!(cur.len(), 2);
+        assert_eq!(shared.len(), 3);
+    }
+
+    #[test]
+    fn cursor_elements_share_value_storage() {
+        let b: Bag = [Value::from("Mary")].into_iter().collect();
+        let original = b.iter().next().unwrap().clone();
+        let yielded = b.into_cursor().next().unwrap();
+        match (&yielded, &original) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            other => panic!("unexpected values {other:?}"),
+        }
     }
 
     #[test]

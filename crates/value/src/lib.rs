@@ -64,7 +64,7 @@ mod error;
 mod ord;
 mod value;
 
-pub use bag::Bag;
+pub use bag::{Bag, BagCursor};
 pub use error::ValueError;
 pub use value::{StructValue, Value};
 
