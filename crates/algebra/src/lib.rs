@@ -52,7 +52,7 @@ pub use capability::{CapabilityGrammar, CapabilitySet, ComparisonKind, OperatorK
 pub use error::AlgebraError;
 pub use implementation::{bound_vars, lower, referenced_vars};
 pub use logical::{data_of, LogicalExpr};
-pub use physical::{PhysicalExpr, PipelineBehavior};
+pub use physical::{ExchangeBehavior, PhysicalExpr, PipelineBehavior};
 pub use rules::CapabilityLookup;
 pub use scalar::{
     eval_binary, eval_scalar, eval_scalar_env, eval_scalar_with, truthy, AggKind, Env, ScalarExpr,

@@ -564,6 +564,21 @@ pub fn eval_scalar_with(
 /// Built-in reconciliation functions available to view definitions.
 fn eval_builtin_call(name: &str, args: &[Value]) -> Result<Value> {
     match name {
+        // Fail point for fault-injection tests (only with the
+        // `test-failpoints` feature, which the runtime's dev-dependencies
+        // enable — production builds treat the name as any other unknown
+        // function): panics (not errors) when its argument is truthy, so
+        // the poison-safety tests of the parallel engine can make a
+        // cursor die mid-batch at a chosen row.  Evaluates to `true`
+        // otherwise, so it composes as a filter predicate.  Never
+        // produced by the OQL front end.
+        #[cfg(feature = "test-failpoints")]
+        "__disco_panic_if__" => {
+            if args.iter().any(truthy) {
+                panic!("injected panic (__disco_panic_if__ fail point)");
+            }
+            Ok(Value::Bool(true))
+        }
         "concat" => {
             let mut out = String::new();
             for a in args {

@@ -1,6 +1,8 @@
 //! One-off comparison of the streaming engine vs. the reference
-//! (bag-at-a-time) evaluator over the E9 pipelines, on this machine.
-//! Used to refresh the ROADMAP performance table.
+//! (bag-at-a-time) evaluator over the E9 pipelines, on this machine,
+//! plus a parallel column: the morsel-driven engine at
+//! `COMPARE_THREADS` workers (default 4).  Used to refresh the ROADMAP
+//! performance table.
 
 use std::time::Instant;
 
@@ -8,15 +10,26 @@ use disco_algebra::lower;
 use disco_bench::workloads::{
     e9_deep_pipeline_plan, e9_distinct_plan, e9_filter_project_plan, e9_hash_join_plan,
 };
-use disco_runtime::{evaluate_physical, reference, ResolvedExecs};
+use disco_runtime::{
+    evaluate_physical, evaluate_physical_with_options, reference, PipelineOptions, ResolvedExecs,
+};
 
 fn main() {
     let resolved = ResolvedExecs::default();
     let trials = 7;
+    let threads = std::env::var("COMPARE_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4usize);
+    let parallel_options = PipelineOptions {
+        threads,
+        ..PipelineOptions::default()
+    };
     let run = |name: &str, plan: &disco_algebra::LogicalExpr| {
         let physical = lower(plan).expect("lowers");
         let mut best_ref = f64::INFINITY;
         let mut best_stream = f64::INFINITY;
+        let mut best_par = f64::INFINITY;
         for _ in 0..trials {
             let t = Instant::now();
             let a = reference::evaluate_physical(&physical, &resolved).unwrap();
@@ -24,9 +37,17 @@ fn main() {
             let t = Instant::now();
             let b = evaluate_physical(&physical, &resolved).unwrap();
             best_stream = best_stream.min(t.elapsed().as_secs_f64() * 1000.0);
+            let t = Instant::now();
+            let c = evaluate_physical_with_options(&physical, &resolved, parallel_options).unwrap();
+            best_par = best_par.min(t.elapsed().as_secs_f64() * 1000.0);
             assert_eq!(a.len(), b.len());
+            assert_eq!(a.len(), c.len());
         }
-        println!("{name:<24} reference {best_ref:>10.3} ms   streaming {best_stream:>10.3} ms   speedup {:>5.2}x", best_ref / best_stream);
+        println!(
+            "{name:<24} reference {best_ref:>9.3} ms   serial {best_stream:>9.3} ms   \
+             parallel({threads}t) {best_par:>9.3} ms   serial/par {:>5.2}x",
+            best_stream / best_par
+        );
     };
 
     for &rows in &[10_000usize, 100_000] {

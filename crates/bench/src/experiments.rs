@@ -819,7 +819,9 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
         e9_deep_pipeline_plan, e9_distinct_plan, e9_filter_project_plan, e9_hash_join_plan,
         e9_person_bag,
     };
-    use disco_runtime::{evaluate_physical_with_metrics, PipelineMetrics, ResolvedExecs};
+    use disco_runtime::{PipelineMetrics, ResolvedExecs};
+
+    use disco_runtime::{evaluate_physical_with, PipelineOptions};
 
     let rows = if scale.trials >= 40 { 100_000 } else { 10_000 };
     let trials = scale.trials.clamp(3, 10);
@@ -828,13 +830,17 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
         "mediator evaluator throughput (combine step)",
         &format!("{rows}-row in-memory person bags, best of {trials} trials per pipeline"),
         &[
-            "pipeline", "rows in", "rows out", "rows mat", "best ms", "Mrows/s",
+            "pipeline", "threads", "rows in", "rows out", "rows mat", "best ms", "Mrows/s",
         ],
     );
 
     let resolved = ResolvedExecs::default();
-    let mut run = |name: &str, rows_in: usize, plan: &LogicalExpr| {
+    let mut run_t = |name: &str, threads: usize, rows_in: usize, plan: &LogicalExpr| {
         let physical = lower(plan).expect("plan lowers");
+        let options = PipelineOptions {
+            threads,
+            ..PipelineOptions::default()
+        };
         let mut best = f64::INFINITY;
         let mut rows_out = 0usize;
         let mut rows_materialized = 0usize;
@@ -842,7 +848,7 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
             let metrics = PipelineMetrics::new();
             let started = Instant::now();
             let out =
-                evaluate_physical_with_metrics(&physical, &resolved, &metrics).expect("evaluates");
+                evaluate_physical_with(&physical, &resolved, &metrics, options).expect("evaluates");
             let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
             rows_out = out.len();
             rows_materialized = metrics.rows_materialized();
@@ -853,12 +859,16 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
         let mrows_per_s = rows_in as f64 / (best / 1000.0) / 1.0e6;
         report.push_row([
             name.to_owned(),
+            threads.to_string(),
             rows_in.to_string(),
             rows_out.to_string(),
             rows_materialized.to_string(),
             fmt_f64(best),
             fmt_f64(mrows_per_s),
         ]);
+    };
+    let mut run = |name: &str, rows_in: usize, plan: &LogicalExpr| {
+        run_t(name, 1, rows_in, plan);
     };
 
     run("filter_project", rows, &e9_filter_project_plan(rows));
@@ -876,6 +886,24 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
     let union_distinct = LogicalExpr::Distinct(Box::new(LogicalExpr::Union(union_bags)));
     run("union8_distinct", rows, &union_distinct);
 
+    // Thread-scaling rows (the morsel-driven parallel engine) for the two
+    // heaviest pipelines; `rows mat` must be identical at every thread
+    // count — per-worker metrics merge exactly.
+    for threads in [2usize, 4] {
+        run_t(
+            "hash_join",
+            threads,
+            rows + rows / 10,
+            &e9_hash_join_plan(rows),
+        );
+        run_t(
+            "deep_pipeline",
+            threads,
+            rows + rows / 10,
+            &e9_deep_pipeline_plan(rows),
+        );
+    }
+
     report.push_note(
         "evaluator only: bags are in memory, so this is the mediator combine cost that \
          dominates once wrappers answer in parallel",
@@ -883,6 +911,10 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
     report.push_note(
         "rows mat = rows buffered by pipeline breakers (hash-join build side, distinct \
          seen-set) per evaluation; streaming operators buffer nothing",
+    );
+    report.push_note(
+        "threads > 1 rows run the morsel-driven parallel engine (DISCO_THREADS / \
+         PipelineOptions::threads); threads = 1 is the serial cursor path",
     );
     report
 }

@@ -19,6 +19,12 @@ pub enum RuntimeError {
     UnknownWrapper(String),
     /// The plan has a shape the executor cannot evaluate.
     Unsupported(String),
+    /// A worker of the parallel engine panicked while executing its share
+    /// of a pipeline.  The panic is contained (`catch_unwind` plus an
+    /// abort flag that stops the rest of the pool), converted to this
+    /// error, and surfaced from `evaluate_physical` like any evaluation
+    /// failure — never a hang, never a process abort.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -29,6 +35,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Catalog(err) => write!(f, "catalog error: {err}"),
             RuntimeError::UnknownWrapper(name) => write!(f, "no wrapper registered under: {name}"),
             RuntimeError::Unsupported(msg) => write!(f, "unsupported plan shape: {msg}"),
+            RuntimeError::WorkerPanic(msg) => {
+                write!(f, "parallel worker panicked during evaluation: {msg}")
+            }
         }
     }
 }

@@ -41,13 +41,40 @@ pub fn evaluate_physical_with_metrics(
     resolved: &ResolvedExecs,
     metrics: &PipelineMetrics,
 ) -> Result<Bag> {
-    pipeline::evaluate_physical_streamed(
-        plan,
-        resolved,
-        &Env::root(),
-        metrics,
-        PipelineOptions::default(),
-    )
+    evaluate_physical_with(plan, resolved, metrics, PipelineOptions::default())
+}
+
+/// Evaluates a physical plan with explicit [`PipelineOptions`] — the entry
+/// point for choosing the hash-join build side or the worker-thread count
+/// (`options.threads`; `1` is the serial path, `0` defers to the
+/// `DISCO_THREADS` environment variable) — recording pipeline counters
+/// into `metrics`.
+///
+/// # Errors
+///
+/// See [`evaluate_physical`].
+pub fn evaluate_physical_with(
+    plan: &PhysicalExpr,
+    resolved: &ResolvedExecs,
+    metrics: &PipelineMetrics,
+    options: PipelineOptions,
+) -> Result<Bag> {
+    pipeline::evaluate_physical_streamed(plan, resolved, &Env::root(), metrics, options)
+}
+
+/// Evaluates a physical plan with explicit [`PipelineOptions`], without
+/// instrumentation (convenience for benches and thread-scaling tests).
+///
+/// # Errors
+///
+/// See [`evaluate_physical`].
+pub fn evaluate_physical_with_options(
+    plan: &PhysicalExpr,
+    resolved: &ResolvedExecs,
+    options: PipelineOptions,
+) -> Result<Bag> {
+    let metrics = PipelineMetrics::new();
+    evaluate_physical_with(plan, resolved, &metrics, options)
 }
 
 /// Evaluates a physical plan with an outer environment (used for

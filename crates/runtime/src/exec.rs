@@ -88,6 +88,12 @@ pub struct ExecutionConfig {
     pub deadline: Option<Duration>,
     /// Record finished calls into the calibration store.
     pub calibration: Option<Arc<CalibrationStore>>,
+    /// Worker threads for the mediator-side combine step (the
+    /// morsel-driven parallel engine).  `0` (the default) defers to the
+    /// `DISCO_THREADS` environment variable; `1` is the serial path.
+    /// This is independent of the wrapper calls, which are always issued
+    /// in parallel (one thread per source call).
+    pub threads: usize,
 }
 
 impl Default for ExecutionConfig {
@@ -95,6 +101,7 @@ impl Default for ExecutionConfig {
         ExecutionConfig {
             deadline: Some(Duration::from_millis(500)),
             calibration: None,
+            threads: 0,
         }
     }
 }
@@ -470,6 +477,7 @@ mod tests {
         let config = ExecutionConfig {
             deadline: None,
             calibration: Some(Arc::clone(&store)),
+            ..ExecutionConfig::default()
         };
         resolve_execs(&union_plan(), &registry, &catalog, &config).unwrap();
         assert_eq!(store.exact_shapes(), 2);

@@ -9,10 +9,10 @@ use disco_catalog::Catalog;
 use disco_optimizer::CalibrationStore;
 use disco_wrapper::WrapperRegistry;
 
-use crate::eval::evaluate_physical_with_metrics;
+use crate::eval::evaluate_physical_with;
 use crate::exec::{resolve_execs, ExecutionConfig};
-use crate::partial::{partial_evaluate, substitute_resolved, Answer, ExecutionStats};
-use crate::pipeline::PipelineMetrics;
+use crate::partial::{partial_evaluate_opts, substitute_resolved, Answer, ExecutionStats};
+use crate::pipeline::{PipelineMetrics, PipelineOptions};
 use crate::Result;
 
 /// Executes physical plans against the registered wrappers.
@@ -63,6 +63,15 @@ impl Executor {
         self
     }
 
+    /// Sets the worker-thread count of the mediator-side combine step
+    /// (the morsel-driven parallel engine).  `1` is the serial path; `0`
+    /// (the default) defers to the `DISCO_THREADS` environment variable.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// The wrapper registry.
     #[must_use]
     pub fn registry(&self) -> &WrapperRegistry {
@@ -98,18 +107,24 @@ impl Executor {
             elapsed: std::time::Duration::ZERO,
             source_calls: resolved.stats().to_vec(),
         };
+        let options = PipelineOptions {
+            threads: self.config.threads,
+            ..PipelineOptions::default()
+        };
         let answer = if resolved.all_available() {
             // The answer bag is drawn from the streaming pipeline's final
-            // sink; the metrics record what the pipeline actually buffered.
+            // sink; the metrics record what the pipeline actually
+            // buffered — per-worker counters merged exactly, so the
+            // number is the same at every thread count.
             let metrics = PipelineMetrics::new();
-            let data = evaluate_physical_with_metrics(plan, &resolved, &metrics)?;
+            let data = evaluate_physical_with(plan, &resolved, &metrics, options)?;
             stats.rows_materialized = metrics.rows_materialized();
             stats.elapsed = started.elapsed();
             Answer::complete(data, stats)
         } else {
             let logical = plan.to_logical();
             let substituted = substitute_resolved(&logical, &resolved);
-            let (data, residual) = partial_evaluate(&substituted, &resolved)?;
+            let (data, residual) = partial_evaluate_opts(&substituted, &resolved, options)?;
             stats.elapsed = started.elapsed();
             match residual {
                 Some(residual) => Answer::partial(data, residual, stats),

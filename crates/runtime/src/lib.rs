@@ -52,6 +52,24 @@
 //!
 //! [`evaluate_physical`] remains the convenience entry point: it opens a
 //! pipeline, drains it, and returns the bag.
+//!
+//! # Morsel-driven parallel execution
+//!
+//! The combine step can run on a fixed pool of worker threads
+//! ([`pipeline::parallel`]): set `DISCO_THREADS`, [`PipelineOptions`]'
+//! `threads` field, or [`Executor::with_threads`].  The scheduler splits
+//! the streaming pipeline into claimable morsels (leaf-scan sub-ranges,
+//! union branches — including the per-source resolved scans of a
+//! federated query), stages hash-join builds as hash-sharded scatter
+//! phases probed through a shared read-only table, dedups distinct
+//! shard-wise, and folds aggregates per morsel with an ordered merge.
+//! `threads = 1` (the default) is the unchanged serial path; at any
+//! thread count the answer multiset, residual plans, and
+//! [`PipelineMetrics`] are identical — per-worker counters merge exactly
+//! at the barrier ([`PipelineMetrics::merge`]) — and a panicking cursor
+//! on a worker surfaces as [`RuntimeError::WorkerPanic`] rather than a
+//! hang or abort.  Plans the scheduler cannot decompose (nested-loop
+//! spines, unresolved sources) fall back to the serial engine unchanged.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,7 +84,8 @@ pub mod reference;
 
 pub use error::RuntimeError;
 pub use eval::{
-    evaluate_logical, evaluate_physical, evaluate_physical_with_metrics, evaluate_with_outer,
+    evaluate_logical, evaluate_physical, evaluate_physical_with, evaluate_physical_with_metrics,
+    evaluate_physical_with_options, evaluate_with_outer,
 };
 pub use exec::{
     collect_exec_calls, resolve_execs, ExecKey, ExecOutcome, ExecutionConfig, ResolvedExecs,
@@ -74,8 +93,8 @@ pub use exec::{
 };
 pub use executor::Executor;
 pub use partial::{
-    is_fully_resolved, partial_evaluate, partial_evaluate_reference, substitute_resolved, Answer,
-    ExecutionStats,
+    is_fully_resolved, partial_evaluate, partial_evaluate_opts, partial_evaluate_reference,
+    substitute_resolved, Answer, ExecutionStats,
 };
 pub use pipeline::{BuildSide, PipelineMetrics, PipelineOptions};
 

@@ -264,6 +264,27 @@ pub fn partial_evaluate_reference(
     partial_evaluate_with(plan, resolved, &crate::reference::evaluate_logical)
 }
 
+/// [`partial_evaluate`] with explicit [`crate::PipelineOptions`]: fully
+/// resolved subtrees stream through the (possibly parallel) engine with
+/// these options, while the residual-plan construction — which never
+/// evaluates anything — is untouched, so residual plans are identical at
+/// every thread count.
+///
+/// # Errors
+///
+/// See [`partial_evaluate`].
+pub fn partial_evaluate_opts(
+    plan: &LogicalExpr,
+    resolved: &ResolvedExecs,
+    options: crate::PipelineOptions,
+) -> Result<(Bag, Option<LogicalExpr>)> {
+    let eval = move |plan: &LogicalExpr, resolved: &ResolvedExecs, outer: &Env<'_>| {
+        let metrics = crate::PipelineMetrics::new();
+        crate::pipeline::evaluate_logical_streamed(plan, resolved, outer, &metrics, options)
+    };
+    partial_evaluate_with(plan, resolved, &eval)
+}
+
 fn partial_evaluate_with(
     plan: &LogicalExpr,
     resolved: &ResolvedExecs,

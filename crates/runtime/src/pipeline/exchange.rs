@@ -1,0 +1,303 @@
+//! Exchange-style data movement for the parallel engine: morsel queues,
+//! hash-partitioned scatter grids, and the shared-table probe cursor.
+//!
+//! The parallel scheduler ([`super::parallel`]) splits pipeline work into
+//! *morsels* (sub-ranges of a leaf scan, or whole union branches) that
+//! workers claim from a [`MorselQueue`].  Pipeline-breaker state moves
+//! between phases through *scatter grids*: each task writes its rows into
+//! per-shard vectors selected by key hash, and the next phase assembles
+//! shard `s` by concatenating every task's shard-`s` vector **in task
+//! order** — so the assembled state is identical no matter which worker
+//! ran which task, which is what makes the engine's results and metrics
+//! reproducible run over run.
+//!
+//! Shard routing and in-shard bucketing share one hash computation: the
+//! scatter side stores the canonical 64-bit value hash next to each row,
+//! and the assembly side buckets by that stored hash through the
+//! identity hasher (exactly the [`super::sink::SeenSet`] trick).
+
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use disco_algebra::ScalarExpr;
+use disco_value::Value;
+
+use super::sink::IdentityHasher;
+use super::{eval_in_pair, eval_in_row, BoxedRowStream, PipelineCtx, Result, Row, RowStream};
+
+/// Preferred rows per morsel.  Small enough that a 100k-row scan yields
+/// ~25 units of claimable work for a 4-thread pool, large enough that the
+/// per-morsel cursor construction and queue claim are noise.
+pub(crate) const MORSEL_ROWS: usize = 4096;
+
+/// Splits `len` rows into morsel ranges for a pool of `threads` workers.
+///
+/// Purely a function of `(len, threads)` — never of scheduling — so the
+/// morsel boundaries, and with them every per-morsel partial result, are
+/// the same on every run at a fixed thread count.  Small inputs shrink
+/// the morsel so each worker still gets a few claims (keeping the
+/// differential tests genuinely concurrent); large inputs cap at
+/// [`MORSEL_ROWS`].
+pub(crate) fn morsel_ranges(len: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let per_claim = len.div_ceil(threads.max(1) * 4);
+    let size = per_claim.clamp(16, MORSEL_ROWS);
+    (0..len.div_ceil(size))
+        .map(|i| i * size..((i + 1) * size).min(len))
+        .collect()
+}
+
+/// A claim-by-counter work list: task indexes `0..total` are handed out
+/// exactly once, in order, to whichever worker asks next.
+pub(crate) struct MorselQueue {
+    next: AtomicUsize,
+    total: usize,
+}
+
+impl MorselQueue {
+    pub(crate) fn new(total: usize) -> Self {
+        MorselQueue {
+            next: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    /// Claims the next task index; `None` when the list is drained.
+    pub(crate) fn claim(&self) -> Option<usize> {
+        let index = self.next.fetch_add(1, Ordering::Relaxed);
+        (index < self.total).then_some(index)
+    }
+}
+
+/// Shards per partitioned pipeline breaker.  More shards than workers so
+/// the assembly phase load-balances even when the key distribution is
+/// skewed across shards.
+pub(crate) fn shard_count(threads: usize) -> usize {
+    (threads * 4).next_power_of_two()
+}
+
+/// Routes a canonical value hash to a shard.  Uses the *high* bits: the
+/// in-shard hash maps consume the low bits, and using disjoint bits keeps
+/// shard routing and bucket placement uncorrelated.
+pub(crate) fn shard_of(hash: u64, shards: usize) -> usize {
+    ((hash >> 48) as usize) & (shards - 1)
+}
+
+/// One scatter grid row: what a single task emitted for each shard.
+pub(crate) type ShardVecs<T> = Vec<Vec<T>>;
+
+/// Per-task scatter outputs, tagged with the task index so the barrier
+/// can restore task order before assembly.
+pub(crate) type Scattered<T> = Vec<(usize, ShardVecs<T>)>;
+
+/// A build-side row ready for table assembly: its key's canonical hash,
+/// the key, and the row itself.
+pub(crate) type KeyedRow<'a> = (u64, Value, Row<'a>);
+
+/// Allocates a task's empty per-shard scatter vectors.
+pub(crate) fn empty_shards<T>(shards: usize) -> ShardVecs<T> {
+    (0..shards).map(|_| Vec::new()).collect()
+}
+
+/// All rows of one join key within a shard of a [`JoinTable`] (bucketed by
+/// full 64-bit hash, so a bucket nearly always holds exactly one group).
+pub(crate) struct KeyGroup<'a> {
+    pub(crate) key: Value,
+    pub(crate) rows: Vec<Row<'a>>,
+}
+
+type Shard<'a> = HashMap<u64, Vec<KeyGroup<'a>>, BuildHasherDefault<IdentityHasher>>;
+
+/// A hash-join build table partitioned into shards by key hash.
+///
+/// Built once at the build barrier from the scatter grids of the build
+/// phase; read-only (lock-free) while every worker probes it during the
+/// probe phase.
+pub(crate) struct JoinTable<'a> {
+    hasher: std::hash::RandomState,
+    shards: Vec<Shard<'a>>,
+}
+
+impl<'a> JoinTable<'a> {
+    /// Assembles the table from per-task scatter outputs (sorted by task
+    /// index).  Insertion visits rows in task order, so the per-key match
+    /// lists equal a serial build over the same input partitioning.
+    pub(crate) fn assemble(
+        hasher: std::hash::RandomState,
+        shards: usize,
+        outputs: &mut Scattered<KeyedRow<'a>>,
+    ) -> Self {
+        let mut table = JoinTable {
+            hasher,
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+        };
+        for s in 0..shards {
+            let shard = &mut table.shards[s];
+            for (_, grid) in outputs.iter_mut() {
+                for (hash, key, row) in std::mem::take(&mut grid[s]) {
+                    let groups = shard.entry(hash).or_default();
+                    match groups.iter_mut().find(|g| g.key == key) {
+                        Some(group) => group.rows.push(row),
+                        None => groups.push(KeyGroup {
+                            key,
+                            rows: vec![row],
+                        }),
+                    }
+                }
+            }
+        }
+        table
+    }
+
+    /// The canonical hash probe keys must be routed by.
+    pub(crate) fn hash_of(&self, key: &Value) -> u64 {
+        use std::hash::BuildHasher;
+        self.hasher.hash_one(key)
+    }
+
+    /// The matching rows for `key`, if any.
+    pub(crate) fn lookup(&self, key: &Value) -> Option<&[Row<'a>]> {
+        let hash = self.hash_of(key);
+        let shard = &self.shards[shard_of(hash, self.shards.len())];
+        shard
+            .get(&hash)?
+            .iter()
+            .find(|g| g.key == *key)
+            .map(|g| g.rows.as_slice())
+    }
+}
+
+/// The probe half of a hash join whose build table was constructed at a
+/// previous phase barrier and is shared (read-only) by every worker.
+///
+/// Mirrors [`super::join::HashJoinCursor`]'s probe loop exactly — lazy
+/// (left, right) output rows, residual predicate after the key match —
+/// minus the build step.
+pub(crate) struct SharedProbeCursor<'a> {
+    probe: BoxedRowStream<'a>,
+    table: &'a JoinTable<'a>,
+    probe_key: &'a ScalarExpr,
+    residual: Option<&'a ScalarExpr>,
+    /// `true` when the table buffers the plan's *left* input; output
+    /// frames are always ordered left-then-right regardless.
+    build_on_left: bool,
+    ctx: PipelineCtx<'a>,
+    /// The probe row currently being expanded, its matches, and the next
+    /// match index.
+    current: Option<(Row<'a>, &'a [Row<'a>], usize)>,
+}
+
+impl<'a> SharedProbeCursor<'a> {
+    pub(crate) fn new(
+        probe: BoxedRowStream<'a>,
+        table: &'a JoinTable<'a>,
+        probe_key: &'a ScalarExpr,
+        residual: Option<&'a ScalarExpr>,
+        build_on_left: bool,
+        ctx: PipelineCtx<'a>,
+    ) -> Self {
+        SharedProbeCursor {
+            probe,
+            table,
+            probe_key,
+            residual,
+            build_on_left,
+            ctx,
+            current: None,
+        }
+    }
+
+    fn produce(&mut self) -> Result<Option<Row<'a>>> {
+        use disco_algebra::{truthy, AlgebraError};
+        loop {
+            if let Some((probe, matches, index)) = &mut self.current {
+                while *index < matches.len() {
+                    let candidate = &matches[*index];
+                    *index += 1;
+                    let (lrow, rrow) = if self.build_on_left {
+                        (candidate, &*probe)
+                    } else {
+                        (&*probe, candidate)
+                    };
+                    let keep = match self.residual {
+                        Some(p) => truthy(&eval_in_pair(p, lrow, rrow, self.ctx)?),
+                        None => true,
+                    };
+                    if keep {
+                        return Ok(Some(Row::joined(lrow.clone(), rrow.clone())));
+                    }
+                }
+                self.current = None;
+            }
+            let Some(probe) = self.probe.next_row().transpose()? else {
+                return Ok(None);
+            };
+            for frame in probe.frames() {
+                frame.value().as_struct().map_err(AlgebraError::from)?;
+            }
+            let key = eval_in_row(self.probe_key, &probe, self.ctx)?;
+            if let Some(matches) = self.table.lookup(&key) {
+                self.current = Some((probe, matches, 0));
+            }
+        }
+    }
+}
+
+impl<'a> RowStream<'a> for SharedProbeCursor<'a> {
+    fn next_row(&mut self) -> Option<Result<Row<'a>>> {
+        self.produce().transpose()
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Row<'a>>, max: usize) -> Result<bool> {
+        for _ in 0..max {
+            match self.produce()? {
+                Some(row) => out.push(row),
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsel_ranges_cover_exactly_and_deterministically() {
+        for &(len, threads) in &[(0usize, 4usize), (1, 4), (100, 1), (4096, 2), (100_000, 4)] {
+            let ranges = morsel_ranges(len, threads);
+            assert_eq!(ranges, morsel_ranges(len, threads), "deterministic");
+            let mut covered = 0usize;
+            for (i, r) in ranges.iter().enumerate() {
+                assert_eq!(r.start, covered, "range {i} contiguous");
+                assert!(r.end > r.start);
+                covered = r.end;
+            }
+            assert_eq!(covered, len, "ranges cover len={len}");
+        }
+    }
+
+    #[test]
+    fn morsel_queue_hands_out_each_task_once() {
+        let queue = MorselQueue::new(5);
+        let mut seen = Vec::new();
+        while let Some(t) = queue.claim() {
+            seen.push(t);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(queue.claim(), None);
+    }
+
+    #[test]
+    fn shard_routing_is_in_range() {
+        let shards = shard_count(4);
+        assert!(shards.is_power_of_two());
+        for h in [0u64, 1, u64::MAX, 0xdead_beef_cafe_f00d] {
+            assert!(shard_of(h, shards) < shards);
+        }
+    }
+}

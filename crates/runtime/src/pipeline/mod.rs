@@ -36,13 +36,15 @@
 //! be merged ([`PipelineMetrics::rows_merged`]), making the streaming
 //! claim testable.
 
+mod exchange;
 mod filter;
 mod join;
+pub mod parallel;
 mod scan;
 mod sink;
 mod union;
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use disco_algebra::{
     eval_scalar_with, lower, AlgebraError, Env, LogicalExpr, PhysicalExpr, ScalarExpr,
@@ -194,12 +196,24 @@ impl<'a> Row<'a> {
                 for frame in iter {
                     acc = acc.merged(frame.value().as_struct().map_err(AlgebraError::from)?);
                 }
-                metrics.rows_merged.set(metrics.rows_merged.get() + 1);
+                metrics.rows_merged.fetch_add(1, Ordering::Relaxed);
                 Ok(Value::Struct(acc))
             }
         }
     }
 }
+
+// Compile-time audit for the parallel engine: a borrowed `Row` must be
+// shareable across the worker pool (join-build shards hold rows scattered
+// by one worker and probed by another), and per-worker metrics are read
+// at the merge barrier through shared references.  `disco-value` pins the
+// equivalent guarantee for the value plane itself.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Frame<'static>>();
+    assert_send_sync::<Row<'static>>();
+    assert_send_sync::<PipelineMetrics>();
+};
 
 /// Rows pulled per [`RowStream::next_batch`] call: large enough to
 /// amortize the per-batch virtual dispatch, small enough that a batch of
@@ -249,15 +263,17 @@ pub type BoxedRowStream<'a> = Box<dyn RowStream<'a> + 'a>;
 /// Counters recording where a pipeline execution actually buffered or
 /// merged rows.
 ///
-/// `Cell`-based so the cursors (which hold shared borrows of the plan and
-/// of these counters) can bump them without interior `RefCell` locking;
-/// one `PipelineMetrics` instance tracks one plan execution, including any
-/// correlated sub-queries it evaluates.
+/// Atomic (relaxed) so the counters are `Sync`: the parallel engine gives
+/// every worker of the pool its **own** instance — bumps are uncontended —
+/// and merges them exactly at the end with [`PipelineMetrics::merge`], so
+/// per-worker counts sum to the same totals at every thread count.  One
+/// `PipelineMetrics` instance tracks one plan execution (or one worker's
+/// share of it), including any correlated sub-queries it evaluates.
 #[derive(Debug, Default)]
 pub struct PipelineMetrics {
-    rows_materialized: Cell<usize>,
-    rows_merged: Cell<usize>,
-    rows_emitted: Cell<usize>,
+    rows_materialized: AtomicUsize,
+    rows_merged: AtomicUsize,
+    rows_emitted: AtomicUsize,
 }
 
 impl PipelineMetrics {
@@ -267,13 +283,26 @@ impl PipelineMetrics {
         PipelineMetrics::default()
     }
 
+    /// Adds another instance's counts into `self` — the barrier-side half
+    /// of per-worker metrics: each worker counts into a private instance
+    /// and the scheduler folds them all into the caller's, so
+    /// `rows_materialized` & co. are exact sums, never racy snapshots.
+    pub fn merge(&self, other: &PipelineMetrics) {
+        self.rows_materialized
+            .fetch_add(other.rows_materialized(), Ordering::Relaxed);
+        self.rows_merged
+            .fetch_add(other.rows_merged(), Ordering::Relaxed);
+        self.rows_emitted
+            .fetch_add(other.rows_emitted(), Ordering::Relaxed);
+    }
+
     /// Rows buffered by pipeline breakers: the hash-join build side, the
     /// inner side of a nested-loop or merge-tuples join, and the distinct
     /// seen-set.  Streaming operators never contribute here — that is the
     /// invariant the streaming engine exists for.
     #[must_use]
     pub fn rows_materialized(&self) -> usize {
-        self.rows_materialized.get()
+        self.rows_materialized.load(Ordering::Relaxed)
     }
 
     /// Join rows whose frames had to be merged into a single struct
@@ -282,34 +311,64 @@ impl PipelineMetrics {
     /// zero.
     #[must_use]
     pub fn rows_merged(&self) -> usize {
-        self.rows_merged.get()
+        self.rows_merged.load(Ordering::Relaxed)
     }
 
     /// Rows delivered to the final collect sink (the answer size).
     #[must_use]
     pub fn rows_emitted(&self) -> usize {
-        self.rows_emitted.get()
+        self.rows_emitted.load(Ordering::Relaxed)
     }
 
     pub(crate) fn bump_materialized(&self) {
-        self.rows_materialized.set(self.rows_materialized.get() + 1);
+        self.rows_materialized.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn bump_emitted(&self) {
-        self.rows_emitted.set(self.rows_emitted.get() + 1);
+        self.rows_emitted.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn add_emitted(&self, n: usize) {
-        self.rows_emitted.set(self.rows_emitted.get() + n);
+        self.rows_emitted.fetch_add(n, Ordering::Relaxed);
     }
 }
 
-/// Options steering cursor construction.
+/// `&a + &b` builds a fresh instance holding the exact sums — the
+/// operator form of [`PipelineMetrics::merge`].
+impl std::ops::Add for &PipelineMetrics {
+    type Output = PipelineMetrics;
+
+    fn add(self, rhs: &PipelineMetrics) -> PipelineMetrics {
+        let out = PipelineMetrics::new();
+        out.merge(self);
+        out.merge(rhs);
+        out
+    }
+}
+
+/// Options steering cursor construction and scheduling.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PipelineOptions {
     /// Which hash-join input to buffer as the build side.  `Auto` (the
     /// default) picks the smaller input by estimated cardinality.
     pub build_side: BuildSide,
+    /// Worker threads for the morsel-driven parallel engine.  `0` (the
+    /// default) defers to the `DISCO_THREADS` environment variable, which
+    /// itself defaults to `1`; `1` is today's serial path, byte-identical
+    /// to the PR 2 engine.  Values above [`parallel::MAX_THREADS`] are
+    /// clamped.
+    pub threads: usize,
+}
+
+impl PipelineOptions {
+    /// The same options pinned to the serial path — handed to every
+    /// cursor built *inside* a parallel worker so that nested evaluations
+    /// (correlated sub-queries, union-branch subtrees) never try to
+    /// re-enter the scheduler from a worker thread.
+    #[must_use]
+    pub(crate) fn serial(self) -> PipelineOptions {
+        PipelineOptions { threads: 1, ..self }
+    }
 }
 
 /// Shared, `Copy` context threaded through every cursor of one execution.
@@ -373,9 +432,9 @@ pub fn collect(mut cursor: BoxedRowStream<'_>, metrics: &PipelineMetrics) -> Res
     let mut buf = Vec::with_capacity(BATCH_ROWS);
     loop {
         let more = cursor.next_batch(&mut buf, BATCH_ROWS)?;
+        metrics.add_emitted(buf.len());
         for row in buf.drain(..) {
             let value = row.materialize(metrics)?;
-            metrics.bump_emitted();
             out.insert(value);
         }
         if !more {
@@ -585,6 +644,14 @@ pub(crate) fn evaluate_physical_streamed(
         }
         _ => {}
     }
+    if parallel::effective_threads(options) > 1 {
+        if let Some(result) = parallel::try_evaluate(plan, resolved, outer, metrics, options) {
+            return result;
+        }
+    }
+    // Serial path.  Threads are pinned to 1 so correlated sub-queries
+    // evaluated per row never re-enter the parallel scheduler.
+    let options = options.serial();
     let cursor = open_with(plan, resolved, outer, metrics, options)?;
     collect(cursor, metrics)
 }

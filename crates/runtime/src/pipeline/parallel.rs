@@ -1,0 +1,718 @@
+//! Morsel-driven parallel execution of streaming pipelines.
+//!
+//! The serial engine pulls rows through one cursor tree; this module
+//! executes the same plans on a fixed pool of `std` worker threads.  A
+//! plan is decomposed ([`compile`]) along the physical algebra's
+//! [`ExchangeBehavior`] classification:
+//!
+//! * the chain of `Morsel` operators from the root down to a leaf scan is
+//!   the *partitioned pipeline* — each worker runs its own cursor tree
+//!   over a claimed sub-range (morsel) of the leaf bag,
+//! * a `Branches` operator (union — including the per-source resolved
+//!   scans of a federated query) turns each branch into an independent
+//!   task,
+//! * each `Partitioned` breaker becomes a *phase*: hash-join build sides
+//!   are scattered by key hash into per-worker shard vectors and
+//!   assembled into a shared read-only [`JoinTable`] at the barrier,
+//!   distinct dedups shard-wise after a scatter phase, and aggregates
+//!   fold per-morsel partial states merged in morsel order,
+//! * `Pinned` operators (nested-loop / merge-tuples joins) and any other
+//!   shape the decomposition does not recognise fall back to the serial
+//!   engine unchanged.
+//!
+//! # Determinism
+//!
+//! Workers claim morsels dynamically (an atomic counter), but nothing
+//! observable depends on the claim order: morsel boundaries are a pure
+//! function of input length and thread count, every per-task output is
+//! indexed by task id and merged in task order at the barrier, and shard
+//! routing hashes values, not workers.  The same plan at the same thread
+//! count therefore yields the same answer multiset *and* the same
+//! [`PipelineMetrics`] on every run — and the metrics equal the serial
+//! engine's at every thread count, because breakers buffer exactly the
+//! same rows, just split across workers ([`PipelineMetrics::merge`] sums
+//! the per-worker counts exactly).
+//!
+//! # Poison safety
+//!
+//! A worker that panics mid-batch must not hang the pool or abort the
+//! process: each task runs under `catch_unwind`, a panic is converted to
+//! [`RuntimeError::WorkerPanic`], and an abort flag stops the remaining
+//! workers at their next claim.  `std::thread::scope` guarantees every
+//! worker has exited before the phase returns.
+//!
+//! [`ExchangeBehavior`]: disco_algebra::ExchangeBehavior
+
+use std::hash::{BuildHasher, RandomState};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use disco_algebra::{AggKind, Env, PhysicalExpr, ScalarExpr};
+use disco_value::{Bag, Value};
+use parking_lot::Mutex;
+
+use crate::exec::{ExecKey, ExecOutcome, ResolvedExecs};
+use crate::{Result, RuntimeError};
+
+use super::exchange::{
+    empty_shards, morsel_ranges, shard_count, shard_of, JoinTable, KeyedRow, MorselQueue,
+    Scattered, SharedProbeCursor,
+};
+use super::join::BuildSide;
+use super::sink::{AggState, SeenSet};
+use super::{
+    build, estimated_rows, BoxedRowStream, PipelineCtx, PipelineMetrics, PipelineOptions,
+    BATCH_ROWS,
+};
+
+/// Hard ceiling on the worker pool size.
+pub const MAX_THREADS: usize = 64;
+
+/// The `DISCO_THREADS` default, parsed once per process: unset, empty or
+/// unparsable means `1` (the serial path).
+fn env_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("DISCO_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+            .min(MAX_THREADS)
+    })
+}
+
+/// The worker count an execution with `options` will actually use:
+/// `options.threads` when set, otherwise the `DISCO_THREADS` environment
+/// variable, otherwise `1`.
+#[must_use]
+pub fn effective_threads(options: PipelineOptions) -> usize {
+    match options.threads {
+        0 => env_threads(),
+        n => n.min(MAX_THREADS),
+    }
+}
+
+/// What consumes the partitioned pipeline's output.
+#[derive(Clone, Copy)]
+enum Terminal {
+    /// The final collect sink: per-task value vectors concatenated in
+    /// task order.
+    Collect,
+    /// Hash-partitioned distinct: scatter by value hash, dedup shard-wise.
+    Distinct,
+    /// Per-morsel partial folds merged in morsel order.
+    Aggregate(AggKind),
+}
+
+/// Where the pipeline splits into parallel parts.
+enum PartSource<'a> {
+    /// A leaf scan split into morsel-sized sub-ranges.
+    Slice {
+        node: &'a PhysicalExpr,
+        rows: &'a [Value],
+    },
+    /// A union whose branches are independent tasks.
+    Branches {
+        node: &'a PhysicalExpr,
+        branches: &'a [PhysicalExpr],
+    },
+}
+
+/// One hash join on the probe path, executed as a build phase plus a
+/// shared-table probe inside the partitioned pipeline.
+struct JoinStage<'a> {
+    node: &'a PhysicalExpr,
+    build: &'a PhysicalExpr,
+    probe: &'a PhysicalExpr,
+    build_key: &'a ScalarExpr,
+    probe_key: &'a ScalarExpr,
+    residual: Option<&'a ScalarExpr>,
+    build_on_left: bool,
+}
+
+/// A compiled parallel execution: terminal, probe-path join stages
+/// (outermost first) and the partition source at the bottom.
+struct ParPlan<'a> {
+    terminal: Terminal,
+    body: &'a PhysicalExpr,
+    stages: Vec<JoinStage<'a>>,
+    source: PartSource<'a>,
+}
+
+/// One claimable unit of pipeline work.
+#[derive(Clone)]
+enum Task {
+    /// The whole (un-partitioned) pipeline as a single task.
+    Whole,
+    /// A sub-range of the partition leaf's rows.
+    Range(std::ops::Range<usize>),
+    /// One union branch.
+    Branch(usize),
+}
+
+/// Attempts to evaluate `plan` on the parallel engine; `None` when the
+/// plan has no decomposition (the caller then uses the serial path).
+pub(crate) fn try_evaluate(
+    plan: &PhysicalExpr,
+    resolved: &ResolvedExecs,
+    outer: &Env<'_>,
+    metrics: &PipelineMetrics,
+    options: PipelineOptions,
+) -> Option<Result<Bag>> {
+    let threads = effective_threads(options);
+    let par = compile(plan, resolved, options)?;
+    Some(run(&par, resolved, outer, metrics, options, threads))
+}
+
+/// Decomposes a plan for parallel execution; `None` when no decomposition
+/// applies (pinned joins on the spine, unresolved sources, nested
+/// breakers the scheduler does not stage).
+fn compile<'a>(
+    plan: &'a PhysicalExpr,
+    resolved: &'a ResolvedExecs,
+    options: PipelineOptions,
+) -> Option<ParPlan<'a>> {
+    let (terminal, body) = match plan {
+        PhysicalExpr::MkDistinct(inner) => (Terminal::Distinct, inner.as_ref()),
+        PhysicalExpr::MkAggregate { func, input } => (Terminal::Aggregate(*func), input.as_ref()),
+        other => (Terminal::Collect, other),
+    };
+    let mut stages = Vec::new();
+    let source = descend(body, resolved, options, Some(&mut stages))?;
+    Some(ParPlan {
+        terminal,
+        body,
+        stages,
+        source,
+    })
+}
+
+/// Walks the spine of `Morsel` operators down to a partition source,
+/// staging hash joins along the way when `stages` allows it.
+///
+/// Dispatches on the algebra's [`ExchangeBehavior`] classification, so a
+/// new operator gets scheduled according to how it is classified (and a
+/// `Morsel`/`Branches` claim an operator cannot actually honour shows up
+/// here as an `unreachable!`, not as silent serialization).
+///
+/// [`ExchangeBehavior`]: disco_algebra::ExchangeBehavior
+fn descend<'a>(
+    node: &'a PhysicalExpr,
+    resolved: &'a ResolvedExecs,
+    options: PipelineOptions,
+    stages: Option<&mut Vec<JoinStage<'a>>>,
+) -> Option<PartSource<'a>> {
+    use disco_algebra::ExchangeBehavior;
+    match node.exchange_behavior() {
+        // Stateless per-row operators: leaves partition into slices,
+        // unary transformers ride the spine down to their input's
+        // partition point.
+        ExchangeBehavior::Morsel => match node {
+            PhysicalExpr::MemScan(bag) => Some(PartSource::Slice {
+                node,
+                rows: bag.as_slice(),
+            }),
+            PhysicalExpr::Exec {
+                repository,
+                extent,
+                logical,
+                ..
+            } => {
+                let key = ExecKey::new(repository, extent, logical);
+                match resolved.outcome(&key) {
+                    Some(ExecOutcome::Rows(rows)) => Some(PartSource::Slice {
+                        node,
+                        rows: rows.as_slice(),
+                    }),
+                    // Unresolved / unavailable: leave it to the serial
+                    // path, which reports the precise error for this node.
+                    _ => None,
+                }
+            }
+            PhysicalExpr::FilterOp { input, .. }
+            | PhysicalExpr::ProjectOp { input, .. }
+            | PhysicalExpr::MapOp { input, .. }
+            | PhysicalExpr::BindOp { input, .. } => descend(input, resolved, options, stages),
+            PhysicalExpr::MkFlatten(inner) => descend(inner, resolved, options, stages),
+            other => unreachable!("operator classified Morsel but not schedulable: {other}"),
+        },
+        // Independent subtrees: one task per union branch.
+        ExchangeBehavior::Branches => match node {
+            PhysicalExpr::MkUnion(items) => Some(PartSource::Branches {
+                node,
+                branches: items.as_slice(),
+            }),
+            other => unreachable!("operator classified Branches but not a union: {other}"),
+        },
+        // Hash-partitioned breakers: a hash join becomes a staged
+        // build-then-probe when staging is allowed; distinct and
+        // aggregates partition only at the pipeline root (the terminal),
+        // so meeting one mid-spine ends the decomposition.
+        ExchangeBehavior::Partitioned => match node {
+            PhysicalExpr::HashJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                residual,
+            } => {
+                let stages = stages?;
+                // Same build-side decision as the serial cursor builder,
+                // so `rows_materialized` is identical at every thread
+                // count.
+                let build_on_left = match options.build_side {
+                    BuildSide::Left => true,
+                    BuildSide::Right => false,
+                    BuildSide::Auto => match (
+                        estimated_rows(left, resolved),
+                        estimated_rows(right, resolved),
+                    ) {
+                        (Some(l), Some(r)) => l < r,
+                        _ => false,
+                    },
+                };
+                let (build, probe, build_key, probe_key) = if build_on_left {
+                    (left.as_ref(), right.as_ref(), left_key, right_key)
+                } else {
+                    (right.as_ref(), left.as_ref(), right_key, left_key)
+                };
+                stages.push(JoinStage {
+                    node,
+                    build,
+                    probe,
+                    build_key,
+                    probe_key,
+                    residual: residual.as_ref(),
+                    build_on_left,
+                });
+                descend(probe, resolved, options, Some(stages))
+            }
+            _ => None,
+        },
+        // Single-worker operators stop the decomposition outright.
+        ExchangeBehavior::Pinned => None,
+    }
+}
+
+/// Executes a compiled plan, merging the per-worker metrics into the
+/// caller's exactly once at the end.
+fn run(
+    par: &ParPlan<'_>,
+    resolved: &ResolvedExecs,
+    outer: &Env<'_>,
+    metrics: &PipelineMetrics,
+    options: PipelineOptions,
+    threads: usize,
+) -> Result<Bag> {
+    let worker_metrics: Vec<PipelineMetrics> =
+        (0..threads).map(|_| PipelineMetrics::new()).collect();
+    // Workers run serial cursor trees internally: nested evaluations
+    // (correlated sub-queries, union-branch subtrees) must never re-enter
+    // the scheduler from inside the pool.
+    let result = run_phases(
+        par,
+        resolved,
+        outer,
+        &worker_metrics,
+        options.serial(),
+        threads,
+    );
+    for m in &worker_metrics {
+        metrics.merge(m);
+    }
+    result
+}
+
+/// The phase driver: build every join-stage table, then run the terminal
+/// phase over the partitioned pipeline.
+fn run_phases<'a>(
+    par: &ParPlan<'a>,
+    resolved: &'a ResolvedExecs,
+    outer: &'a Env<'a>,
+    worker_metrics: &'a [PipelineMetrics],
+    options: PipelineOptions,
+    threads: usize,
+) -> Result<Bag> {
+    let shards = shard_count(threads);
+    let ctxs: Vec<PipelineCtx<'a>> = worker_metrics
+        .iter()
+        .map(|m| PipelineCtx {
+            resolved,
+            outer,
+            metrics: m,
+            options,
+        })
+        .collect();
+
+    // Build phases: one shared hash table per staged join, innermost
+    // tables built later but never probed before the terminal phase.
+    let mut tables: Vec<JoinTable<'a>> = Vec::with_capacity(par.stages.len());
+    for stage in &par.stages {
+        tables.push(build_stage_table(
+            stage, resolved, options, &ctxs, threads, shards,
+        )?);
+    }
+
+    // Terminal phase over the partitioned pipeline.
+    let tasks = source_tasks(&par.source, threads);
+    let pipeline = PartPipeline {
+        body: par.body,
+        stages: &par.stages,
+        tables: &tables,
+        source: Some(&par.source),
+    };
+    match par.terminal {
+        Terminal::Collect => {
+            let acc: Mutex<Vec<(usize, Vec<Value>)>> = Mutex::new(Vec::new());
+            for_each_task(threads, tasks.len(), |worker, task| {
+                let ctx = ctxs[worker];
+                let mut cursor = pipeline.open(&tasks[task], ctx)?;
+                let mut out = Vec::new();
+                let mut buf = Vec::with_capacity(BATCH_ROWS);
+                loop {
+                    let more = cursor.next_batch(&mut buf, BATCH_ROWS)?;
+                    ctx.metrics.add_emitted(buf.len());
+                    for row in buf.drain(..) {
+                        let value = row.materialize(ctx.metrics)?;
+                        out.push(value);
+                    }
+                    if !more {
+                        break;
+                    }
+                }
+                acc.lock().push((task, out));
+                Ok(())
+            })?;
+            Ok(concat_in_order(acc.into_inner()))
+        }
+        Terminal::Distinct => {
+            // The seen-set partitions by value hash into shard-local sets
+            // behind per-shard locks; every worker routes each candidate
+            // by the shared hash (computed once, reused for in-shard
+            // bucketing) and checks/inserts under the shard lock only.
+            // The surviving multiset is the set of distinct values — the
+            // same no matter which worker wins which shard — so results
+            // and `rows_materialized` (one bump per insert) are
+            // deterministic and thread-count-invariant.
+            let route = RandomState::new();
+            let seen_shards: Vec<Mutex<SeenSet>> = (0..shards)
+                .map(|_| Mutex::new(SeenSet::with_hasher(route.clone())))
+                .collect();
+            let acc: Mutex<Vec<(usize, Vec<Value>)>> = Mutex::new(Vec::new());
+            for_each_task(threads, tasks.len(), |worker, task| {
+                let ctx = ctxs[worker];
+                let mut cursor = pipeline.open(&tasks[task], ctx)?;
+                let mut out = Vec::new();
+                let mut buf = Vec::with_capacity(BATCH_ROWS);
+                loop {
+                    let more = cursor.next_batch(&mut buf, BATCH_ROWS)?;
+                    for row in buf.drain(..) {
+                        // Mirrors the serial DistinctCursor: single-frame
+                        // rows are hashed and checked borrowed (no clone
+                        // for duplicates), join rows are merged first
+                        // (counted in rows_merged).
+                        let admitted = match row.single_value() {
+                            Some(value) => {
+                                let hash = route.hash_one(value);
+                                let mut seen = seen_shards[shard_of(hash, shards)].lock();
+                                if seen.check_hashed(hash, value) {
+                                    let value = row.materialize(ctx.metrics)?;
+                                    seen.insert_hashed(hash, value.clone());
+                                    Some(value)
+                                } else {
+                                    None
+                                }
+                            }
+                            None => {
+                                let value = row.materialize(ctx.metrics)?;
+                                let hash = route.hash_one(&value);
+                                let mut seen = seen_shards[shard_of(hash, shards)].lock();
+                                if seen.check_hashed(hash, &value) {
+                                    seen.insert_hashed(hash, value.clone());
+                                    Some(value)
+                                } else {
+                                    None
+                                }
+                            }
+                        };
+                        if let Some(value) = admitted {
+                            ctx.metrics.bump_materialized();
+                            ctx.metrics.bump_emitted();
+                            out.push(value);
+                        }
+                    }
+                    if !more {
+                        break;
+                    }
+                }
+                acc.lock().push((task, out));
+                Ok(())
+            })?;
+            Ok(concat_in_order(acc.into_inner()))
+        }
+        Terminal::Aggregate(func) => {
+            let acc: Mutex<Vec<(usize, AggState)>> = Mutex::new(Vec::new());
+            for_each_task(threads, tasks.len(), |worker, task| {
+                let ctx = ctxs[worker];
+                let mut cursor = pipeline.open(&tasks[task], ctx)?;
+                let mut state = AggState::new(func);
+                let mut buf = Vec::with_capacity(BATCH_ROWS);
+                loop {
+                    let more = cursor.next_batch(&mut buf, BATCH_ROWS)?;
+                    for row in buf.drain(..) {
+                        let merged;
+                        let value: &Value = match row.single_value() {
+                            Some(value) => value,
+                            None => {
+                                merged = row.materialize(ctx.metrics)?;
+                                &merged
+                            }
+                        };
+                        state.update(value)?;
+                    }
+                    if !more {
+                        break;
+                    }
+                }
+                acc.lock().push((task, state));
+                Ok(())
+            })?;
+            let mut states = acc.into_inner();
+            states.sort_unstable_by_key(|(task, _)| *task);
+            let mut state = AggState::new(func);
+            for (_, partial) in states {
+                state.merge(partial);
+            }
+            // The single aggregate row reaching the sink.
+            worker_metrics[0].bump_emitted();
+            Ok([state.finish()].into_iter().collect())
+        }
+    }
+}
+
+/// Builds one staged join's shared table: the build subtree runs
+/// partitioned when it is itself a simple streaming pipeline, as a single
+/// task otherwise; every task scatters `(hash, key, row)` into per-shard
+/// vectors and the table is assembled in task order at the barrier.
+fn build_stage_table<'a>(
+    stage: &JoinStage<'a>,
+    resolved: &'a ResolvedExecs,
+    options: PipelineOptions,
+    ctxs: &[PipelineCtx<'a>],
+    threads: usize,
+    shards: usize,
+) -> Result<JoinTable<'a>> {
+    // `stages: None` keeps nested breakers inside one task, so their
+    // buffering happens exactly once, as in the serial engine.
+    let source = descend(stage.build, resolved, options, None);
+    let tasks = match &source {
+        Some(source) => source_tasks(source, threads),
+        None => vec![Task::Whole],
+    };
+    let pipeline = PartPipeline {
+        body: stage.build,
+        stages: &[],
+        tables: &[],
+        source: source.as_ref(),
+    };
+    let hasher = RandomState::new();
+    let acc: Mutex<Scattered<KeyedRow<'a>>> = Mutex::new(Vec::new());
+    for_each_task(threads, tasks.len(), |worker, task| {
+        let ctx = ctxs[worker];
+        let mut cursor = pipeline.open(&tasks[task], ctx)?;
+        let mut grid = empty_shards(shards);
+        let mut buf = Vec::with_capacity(BATCH_ROWS);
+        loop {
+            let more = cursor.next_batch(&mut buf, BATCH_ROWS)?;
+            for row in buf.drain(..) {
+                for frame in row.frames() {
+                    frame
+                        .value()
+                        .as_struct()
+                        .map_err(disco_algebra::AlgebraError::from)?;
+                }
+                let key = super::eval_in_row(stage.build_key, &row, ctx)?;
+                ctx.metrics.bump_materialized();
+                let hash = hasher.hash_one(&key);
+                grid[shard_of(hash, shards)].push((hash, key, row));
+            }
+            if !more {
+                break;
+            }
+        }
+        acc.lock().push((task, grid));
+        Ok(())
+    })?;
+    let mut outputs = acc.into_inner();
+    outputs.sort_unstable_by_key(|(task, _)| *task);
+    Ok(JoinTable::assemble(hasher, shards, &mut outputs))
+}
+
+/// Concatenates per-task output vectors in task order into the answer
+/// bag.  The single-task case adopts the vector outright (no copy).
+fn concat_in_order(mut outs: Vec<(usize, Vec<Value>)>) -> Bag {
+    outs.sort_unstable_by_key(|(task, _)| *task);
+    let total: usize = outs.iter().map(|(_, values)| values.len()).sum();
+    let mut iter = outs.into_iter().map(|(_, values)| values);
+    let mut all = iter.next().unwrap_or_default();
+    all.reserve(total - all.len());
+    for values in iter {
+        all.extend(values);
+    }
+    Bag::from(all)
+}
+
+/// The claimable tasks of a partition source.
+fn source_tasks(source: &PartSource<'_>, threads: usize) -> Vec<Task> {
+    match source {
+        PartSource::Slice { rows, .. } => morsel_ranges(rows.len(), threads)
+            .into_iter()
+            .map(Task::Range)
+            .collect(),
+        PartSource::Branches { branches, .. } => (0..branches.len()).map(Task::Branch).collect(),
+    }
+}
+
+/// A partitioned pipeline: opens one cursor tree per task, substituting
+/// the partition source and staged joins along the spine.
+struct PartPipeline<'p, 'a> {
+    body: &'a PhysicalExpr,
+    stages: &'p [JoinStage<'a>],
+    tables: &'a [JoinTable<'a>],
+    source: Option<&'p PartSource<'a>>,
+}
+
+impl<'p, 'a> PartPipeline<'p, 'a> {
+    fn open(&self, task: &Task, ctx: PipelineCtx<'a>) -> Result<BoxedRowStream<'a>> {
+        match (self.source, task) {
+            (None, _) | (_, Task::Whole) => build(self.body, ctx),
+            _ => self.open_node(self.body, task, ctx),
+        }
+    }
+
+    fn open_node(
+        &self,
+        node: &'a PhysicalExpr,
+        task: &Task,
+        ctx: PipelineCtx<'a>,
+    ) -> Result<BoxedRowStream<'a>> {
+        // The partition point: this task's slice of the leaf, or its
+        // union branch.
+        match (self.source, task) {
+            (Some(PartSource::Slice { node: n, rows }), Task::Range(range))
+                if std::ptr::eq::<PhysicalExpr>(*n, node) =>
+            {
+                return Ok(Box::new(super::scan::ScanCursor::over(
+                    &rows[range.clone()],
+                )));
+            }
+            (Some(PartSource::Branches { node: n, branches }), Task::Branch(index))
+                if std::ptr::eq::<PhysicalExpr>(*n, node) =>
+            {
+                return build(&branches[*index], ctx);
+            }
+            _ => {}
+        }
+        // A staged join: probe this worker's share against the shared
+        // table built at the phase barrier.
+        if let Some(index) = self
+            .stages
+            .iter()
+            .position(|stage| std::ptr::eq::<PhysicalExpr>(stage.node, node))
+        {
+            let stage = &self.stages[index];
+            let probe = self.open_node(stage.probe, task, ctx)?;
+            return Ok(Box::new(SharedProbeCursor::new(
+                probe,
+                &self.tables[index],
+                stage.probe_key,
+                stage.residual,
+                stage.build_on_left,
+                ctx,
+            )));
+        }
+        // Spine operators wrap the partitioned child; anything else is an
+        // off-spine subtree and builds serially.
+        match node {
+            PhysicalExpr::FilterOp { input, predicate } => Ok(Box::new(
+                super::filter::FilterCursor::new(self.open_node(input, task, ctx)?, predicate, ctx),
+            )),
+            PhysicalExpr::ProjectOp { input, columns } => Ok(Box::new(
+                super::filter::ProjectCursor::new(self.open_node(input, task, ctx)?, columns, ctx),
+            )),
+            PhysicalExpr::MapOp { input, projection } => Ok(Box::new(
+                super::filter::MapCursor::new(self.open_node(input, task, ctx)?, projection, ctx),
+            )),
+            PhysicalExpr::BindOp { var, input } => Ok(Box::new(super::filter::BindCursor::new(
+                self.open_node(input, task, ctx)?,
+                var,
+                ctx,
+            ))),
+            PhysicalExpr::MkFlatten(inner) => Ok(Box::new(super::union::FlattenCursor::new(
+                self.open_node(inner, task, ctx)?,
+                ctx,
+            ))),
+            other => build(other, ctx),
+        }
+    }
+}
+
+/// Runs `work(worker, task)` for every task index on a pool of `threads`
+/// scoped workers, claiming tasks from a shared queue.  Panics become
+/// [`RuntimeError::WorkerPanic`]; the first failure (by task order) wins
+/// and flips an abort flag that stops the other workers at their next
+/// claim.
+fn for_each_task<F>(threads: usize, total: usize, work: F) -> Result<()>
+where
+    F: Fn(usize, usize) -> Result<()> + Sync,
+{
+    if total == 0 {
+        return Ok(());
+    }
+    let queue = MorselQueue::new(total);
+    let abort = AtomicBool::new(false);
+    let failure: Mutex<Option<(usize, RuntimeError)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for worker in 0..threads.min(total) {
+            let queue = &queue;
+            let abort = &abort;
+            let failure = &failure;
+            let work = &work;
+            scope.spawn(move || {
+                while let Some(task) = queue.claim() {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let outcome = catch_unwind(AssertUnwindSafe(|| work(worker, task)));
+                    let error = match outcome {
+                        Ok(Ok(())) => continue,
+                        Ok(Err(error)) => error,
+                        Err(payload) => RuntimeError::WorkerPanic(panic_message(&*payload)),
+                    };
+                    let mut slot = failure.lock();
+                    if slot.as_ref().is_none_or(|(first, _)| task < *first) {
+                        *slot = Some((task, error));
+                    }
+                    abort.store(true, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    match failure.into_inner() {
+        Some((_, error)) => Err(error),
+        None => Ok(()),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

@@ -17,10 +17,13 @@ pub(crate) struct ScanCursor<'a> {
 
 impl<'a> ScanCursor<'a> {
     pub(crate) fn new(bag: &'a Bag) -> Self {
-        ScanCursor {
-            items: bag.as_slice(),
-            index: 0,
-        }
+        ScanCursor::over(bag.as_slice())
+    }
+
+    /// A scan over an arbitrary value slice — the parallel engine hands
+    /// each worker one morsel-sized sub-slice of a leaf bag through this.
+    pub(crate) fn over(items: &'a [disco_value::Value]) -> Self {
+        ScanCursor { items, index: 0 }
     }
 }
 

@@ -18,7 +18,7 @@ use super::{BoxedRowStream, PipelineCtx, Result, Row, RowStream};
 
 /// Pass-through hasher for keys that already *are* hashes.
 #[derive(Default)]
-struct IdentityHasher(u64);
+pub(crate) struct IdentityHasher(u64);
 
 impl Hasher for IdentityHasher {
     fn finish(&self) -> u64 {
@@ -66,24 +66,50 @@ impl Bucket {
 /// which dominates distinct-over-structs pipelines whose rows are mostly
 /// unique.
 #[derive(Default)]
-struct SeenSet {
+pub(crate) struct SeenSet {
     hasher: RandomState,
     buckets: HashMap<u64, Bucket, BuildHasherDefault<IdentityHasher>>,
 }
 
 impl SeenSet {
+    /// A seen-set that buckets with a caller-supplied hasher — used by the
+    /// parallel distinct shards, which route rows to shards and bucket
+    /// them inside the shard off one and the same hash computation.
+    pub(crate) fn with_hasher(hasher: RandomState) -> Self {
+        SeenSet {
+            hasher,
+            buckets: HashMap::default(),
+        }
+    }
+
+    /// The canonical hash this set buckets `value` under.
+    pub(crate) fn hash_of(&self, value: &Value) -> u64 {
+        self.hasher.hash_one(value)
+    }
+
     /// Returns the value's hash when it has not been seen, `None` when it
     /// is a duplicate.  Borrow-only — no clone either way.
     fn check(&self, value: &Value) -> Option<u64> {
-        let hash = self.hasher.hash_one(value);
+        let hash = self.hash_of(value);
+        if self.check_hashed(hash, value) {
+            Some(hash)
+        } else {
+            None
+        }
+    }
+
+    /// Like [`SeenSet::check`] with the hash precomputed (`true` = new).
+    /// The hash must come from this set's hasher ([`SeenSet::hash_of`] or
+    /// a clone of the [`RandomState`] it was built with).
+    pub(crate) fn check_hashed(&self, hash: u64, value: &Value) -> bool {
         match self.buckets.get(&hash) {
-            Some(bucket) if bucket.contains(value) => None,
-            _ => Some(hash),
+            Some(bucket) => !bucket.contains(value),
+            None => true,
         }
     }
 
     /// Records a value under the hash [`SeenSet::check`] returned for it.
-    fn insert_hashed(&mut self, hash: u64, value: Value) {
+    pub(crate) fn insert_hashed(&mut self, hash: u64, value: Value) {
         match self.buckets.entry(hash) {
             std::collections::hash_map::Entry::Occupied(mut entry) => entry.get_mut().push(value),
             std::collections::hash_map::Entry::Vacant(entry) => {
@@ -190,20 +216,123 @@ impl<'a> RowStream<'a> for AggregateCursor<'a> {
     }
 }
 
-/// Incrementally computes an aggregate over a stream, mirroring
-/// `AggKind::apply`'s semantics (numeric promotion, empty-input results,
-/// first-minimum / last-maximum tie-breaking) without building the input
-/// bag.  Rows are consumed by reference; only a min/max champion is ever
-/// cloned.
+/// Mergeable aggregate accumulator, mirroring `AggKind::apply`'s
+/// semantics (numeric promotion, empty-input results, first-minimum /
+/// last-maximum tie-breaking) with O(1) state.
+///
+/// The serial [`AggregateCursor`] folds its whole input into one state;
+/// the parallel engine folds one state **per morsel** and merges them in
+/// morsel order at the barrier, which keeps the result independent of
+/// which worker processed which morsel: counts and integer sums are
+/// associative, and the ordered merge preserves the first-minimum /
+/// last-maximum tie-breaking of the serial fold.  (Float sums merge
+/// partial sums, so they can differ from the serial fold in the last
+/// bits — but deterministically so at a fixed thread count.)
+pub(crate) struct AggState {
+    func: AggKind,
+    count: usize,
+    acc: f64,
+    all_int: bool,
+    best: Option<Value>,
+}
+
+impl AggState {
+    pub(crate) fn new(func: AggKind) -> Self {
+        AggState {
+            func,
+            count: 0,
+            acc: 0.0,
+            all_int: true,
+            best: None,
+        }
+    }
+
+    /// Folds one value into the state.
+    pub(crate) fn update(&mut self, value: &Value) -> Result<()> {
+        self.count += 1;
+        match self.func {
+            AggKind::Count => {}
+            AggKind::Sum => {
+                if matches!(value, Value::Float(_)) {
+                    self.all_int = false;
+                }
+                self.acc += value.as_float().map_err(|_| {
+                    AlgebraError::Type(format!("sum over non-numeric value {value}"))
+                })?;
+            }
+            AggKind::Avg => {
+                self.acc += value.as_float().map_err(|_| {
+                    AlgebraError::Type(format!("avg over non-numeric value {value}"))
+                })?;
+            }
+            AggKind::Min => match &self.best {
+                Some(b) if value.total_cmp(b) != std::cmp::Ordering::Less => {}
+                _ => self.best = Some(value.clone()),
+            },
+            AggKind::Max => match &self.best {
+                Some(b) if value.total_cmp(b) == std::cmp::Ordering::Less => {}
+                _ => self.best = Some(value.clone()),
+            },
+        }
+        Ok(())
+    }
+
+    /// Merges a state folded over a **later** stretch of the input into
+    /// `self`.  Merging per-morsel states in morsel order reproduces the
+    /// serial fold's tie-breaking: an equal minimum in a later morsel
+    /// loses, an equal maximum wins.
+    pub(crate) fn merge(&mut self, later: AggState) {
+        self.count += later.count;
+        self.acc += later.acc;
+        self.all_int &= later.all_int;
+        if let Some(candidate) = later.best {
+            match (&self.best, self.func) {
+                (None, _) => self.best = Some(candidate),
+                (Some(b), AggKind::Min) if candidate.total_cmp(b) == std::cmp::Ordering::Less => {
+                    self.best = Some(candidate);
+                }
+                (Some(b), AggKind::Max) if candidate.total_cmp(b) != std::cmp::Ordering::Less => {
+                    self.best = Some(candidate);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The aggregate's final value.
+    pub(crate) fn finish(self) -> Value {
+        match self.func {
+            AggKind::Count => Value::Int(i64::try_from(self.count).unwrap_or(i64::MAX)),
+            #[allow(clippy::cast_possible_truncation)]
+            AggKind::Sum => {
+                if self.all_int {
+                    Value::Int(self.acc as i64)
+                } else {
+                    Value::Float(self.acc)
+                }
+            }
+            AggKind::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    #[allow(clippy::cast_precision_loss)]
+                    Value::Float(self.acc / self.count as f64)
+                }
+            }
+            AggKind::Min | AggKind::Max => self.best.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Incrementally computes an aggregate over a stream without building the
+/// input bag.  Rows are consumed by reference; only a min/max champion is
+/// ever cloned.
 fn fold_aggregate(
     func: AggKind,
     mut input: BoxedRowStream<'_>,
     ctx: PipelineCtx<'_>,
 ) -> Result<Value> {
-    let mut count = 0usize;
-    let mut acc = 0.0f64;
-    let mut all_int = true;
-    let mut best: Option<Value> = None;
+    let mut state = AggState::new(func);
     let mut buf = Vec::with_capacity(super::BATCH_ROWS);
     loop {
         let more = input.next_batch(&mut buf, super::BATCH_ROWS)?;
@@ -216,52 +345,11 @@ fn fold_aggregate(
                     &merged
                 }
             };
-            count += 1;
-            match func {
-                AggKind::Count => {}
-                AggKind::Sum => {
-                    if matches!(value, Value::Float(_)) {
-                        all_int = false;
-                    }
-                    acc += value.as_float().map_err(|_| {
-                        AlgebraError::Type(format!("sum over non-numeric value {value}"))
-                    })?;
-                }
-                AggKind::Avg => {
-                    acc += value.as_float().map_err(|_| {
-                        AlgebraError::Type(format!("avg over non-numeric value {value}"))
-                    })?;
-                }
-                AggKind::Min => match &best {
-                    Some(b) if value.total_cmp(b) != std::cmp::Ordering::Less => {}
-                    _ => best = Some(value.clone()),
-                },
-                AggKind::Max => match &best {
-                    Some(b) if value.total_cmp(b) == std::cmp::Ordering::Less => {}
-                    _ => best = Some(value.clone()),
-                },
-            }
+            state.update(value)?;
         }
         if !more {
             break;
         }
     }
-    match func {
-        AggKind::Count => Ok(Value::Int(i64::try_from(count).unwrap_or(i64::MAX))),
-        #[allow(clippy::cast_possible_truncation)]
-        AggKind::Sum => Ok(if all_int {
-            Value::Int(acc as i64)
-        } else {
-            Value::Float(acc)
-        }),
-        AggKind::Avg => {
-            if count == 0 {
-                Ok(Value::Null)
-            } else {
-                #[allow(clippy::cast_precision_loss)]
-                Ok(Value::Float(acc / count as f64))
-            }
-        }
-        AggKind::Min | AggKind::Max => Ok(best.unwrap_or(Value::Null)),
-    }
+    Ok(state.finish())
 }

@@ -1,0 +1,190 @@
+//! Shared plan/value generators for the differential test suites
+//! (`streaming_equivalence.rs`, `parallel_equivalence.rs`): seeded random
+//! person bags, random mediator-shaped plans, and random partial-answer
+//! scenarios with mixed source availability.
+
+#![allow(dead_code)] // each integration test compiles its own copy
+
+use disco_algebra::{LogicalExpr, ScalarExpr, ScalarOp};
+use disco_runtime::{ExecKey, ExecOutcome, ResolvedExecs, SourceCallStats};
+use disco_value::{Bag, StructValue, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub fn person(id: i64, name: &str, salary: i64) -> Value {
+    Value::Struct(
+        StructValue::new(vec![
+            ("id", Value::Int(id)),
+            ("name", Value::from(name)),
+            ("salary", Value::Int(salary)),
+        ])
+        .unwrap(),
+    )
+}
+
+pub fn random_people(rng: &mut StdRng, rows: usize, id_space: i64) -> Bag {
+    (0..rows)
+        .map(|_| {
+            person(
+                rng.gen_range(0..id_space),
+                &format!("p{}", rng.gen_range(0..id_space)),
+                rng.gen_range(0..100i64),
+            )
+        })
+        .collect()
+}
+
+/// A random source pipeline bound to `var`: data, optionally filtered.
+pub fn random_branch(rng: &mut StdRng, var: &str) -> LogicalExpr {
+    let rows = rng.gen_range(0..30);
+    let source = LogicalExpr::Data(random_people(rng, rows, 8)).bind(var);
+    if rng.gen_bool(0.5) {
+        source.filter(ScalarExpr::binary(
+            ScalarOp::Gt,
+            ScalarExpr::var_field(var, "salary"),
+            ScalarExpr::constant(rng.gen_range(0..100i64)),
+        ))
+    } else {
+        source
+    }
+}
+
+/// One random plan out of the shape families the mediator produces.
+pub fn random_plan(rng: &mut StdRng) -> LogicalExpr {
+    match rng.gen_range(0..6) {
+        // filter → map
+        0 => random_branch(rng, "x").map_project(ScalarExpr::var_field("x", "name")),
+        // union of branches, optionally distinct
+        1 => {
+            let n = rng.gen_range(2..4);
+            let branches = (0..n)
+                .map(|_| random_branch(rng, "x").map_project(ScalarExpr::var_field("x", "name")))
+                .collect();
+            let union = LogicalExpr::Union(branches);
+            if rng.gen_bool(0.5) {
+                LogicalExpr::Distinct(Box::new(union))
+            } else {
+                union
+            }
+        }
+        // equi-join (lowers to a hash join) → computed projection
+        2 => LogicalExpr::Join {
+            left: Box::new(random_branch(rng, "x")),
+            right: Box::new(random_branch(rng, "y")),
+            predicate: Some(ScalarExpr::binary(
+                ScalarOp::Eq,
+                ScalarExpr::var_field("x", "id"),
+                ScalarExpr::var_field("y", "id"),
+            )),
+        }
+        .map_project(ScalarExpr::StructLit(vec![
+            ("name".into(), ScalarExpr::var_field("x", "name")),
+            (
+                "total".into(),
+                ScalarExpr::binary(
+                    ScalarOp::Add,
+                    ScalarExpr::var_field("x", "salary"),
+                    ScalarExpr::var_field("y", "salary"),
+                ),
+            ),
+        ])),
+        // non-equi join (lowers to a nested loop)
+        3 => LogicalExpr::Join {
+            left: Box::new(random_branch(rng, "x")),
+            right: Box::new(random_branch(rng, "y")),
+            predicate: Some(ScalarExpr::binary(
+                ScalarOp::Lt,
+                ScalarExpr::var_field("x", "id"),
+                ScalarExpr::var_field("y", "id"),
+            )),
+        }
+        .map_project(ScalarExpr::var_field("x", "name")),
+        // aggregate over a mapped, filtered source
+        4 => {
+            let func = [
+                disco_algebra::AggKind::Sum,
+                disco_algebra::AggKind::Count,
+                disco_algebra::AggKind::Min,
+                disco_algebra::AggKind::Max,
+                disco_algebra::AggKind::Avg,
+            ][rng.gen_range(0..5usize)];
+            LogicalExpr::Aggregate {
+                func,
+                input: Box::new(
+                    random_branch(rng, "x").map_project(ScalarExpr::var_field("x", "salary")),
+                ),
+            }
+        }
+        // distinct over a join projection (the deep-pipeline shape)
+        _ => LogicalExpr::Distinct(Box::new(
+            LogicalExpr::Join {
+                left: Box::new(random_branch(rng, "x")),
+                right: Box::new(random_branch(rng, "y")),
+                predicate: Some(ScalarExpr::binary(
+                    ScalarOp::Eq,
+                    ScalarExpr::var_field("x", "id"),
+                    ScalarExpr::var_field("y", "id"),
+                )),
+            }
+            .map_project(ScalarExpr::var_field("y", "name")),
+        )),
+    }
+}
+
+pub fn stats_for(repo: &str, extent: &str, available: bool, rows: usize) -> SourceCallStats {
+    SourceCallStats {
+        repository: repo.to_owned(),
+        extent: extent.to_owned(),
+        available,
+        rows_returned: rows,
+        rows_scanned: rows,
+        latency: std::time::Duration::ZERO,
+    }
+}
+
+/// Builds a random federation query over `n` submit branches and a random
+/// resolution in which each source independently answered or not.
+pub fn random_partial_scenario(rng: &mut StdRng) -> (LogicalExpr, ResolvedExecs) {
+    let n = rng.gen_range(1..5usize);
+    let mut resolved = ResolvedExecs::default();
+    let mut branches = Vec::with_capacity(n);
+    for i in 0..n {
+        let extent = format!("person{i}");
+        let repo = format!("r{i}");
+        let shipped = LogicalExpr::get(&extent);
+        let branch = shipped
+            .clone()
+            .submit(&repo, "w0", &extent)
+            .filter(ScalarExpr::binary(
+                ScalarOp::Gt,
+                ScalarExpr::attr("salary"),
+                ScalarExpr::constant(rng.gen_range(0..100i64)),
+            ))
+            .bind("x")
+            .map_project(ScalarExpr::var_field("x", "name"));
+        branches.push(branch);
+        let key = ExecKey::new(&repo, &extent, &shipped);
+        if rng.gen_bool(0.6) {
+            let n_rows = rng.gen_range(0..10);
+            let rows = random_people(rng, n_rows, 6);
+            let len = rows.len();
+            resolved.insert(
+                key,
+                ExecOutcome::Rows(rows),
+                stats_for(&repo, &extent, true, len),
+            );
+        } else {
+            resolved.insert(
+                key,
+                ExecOutcome::Unavailable,
+                stats_for(&repo, &extent, false, 0),
+            );
+        }
+    }
+    let plan = if branches.len() == 1 {
+        branches.into_iter().next().unwrap()
+    } else {
+        LogicalExpr::Union(branches)
+    };
+    (plan, resolved)
+}

@@ -14,135 +14,18 @@
 //!    the streaming path produces the *identical* `Answer` data and
 //!    residual plan as the seed materializing path.
 
+mod common;
+
+use common::{random_branch, random_partial_scenario, random_people, random_plan, stats_for};
 use disco_algebra::{lower, Env, LogicalExpr, ScalarExpr, ScalarOp};
 use disco_runtime::pipeline::{self, PipelineMetrics, PipelineOptions};
 use disco_runtime::{
     evaluate_physical, partial_evaluate, partial_evaluate_reference, reference,
-    substitute_resolved, BuildSide, ExecKey, ExecOutcome, ResolvedExecs, SourceCallStats,
+    substitute_resolved, BuildSide, ExecKey, ExecOutcome, ResolvedExecs,
 };
-use disco_value::{Bag, StructValue, Value};
+use disco_value::Bag;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-fn person(id: i64, name: &str, salary: i64) -> Value {
-    Value::Struct(
-        StructValue::new(vec![
-            ("id", Value::Int(id)),
-            ("name", Value::from(name)),
-            ("salary", Value::Int(salary)),
-        ])
-        .unwrap(),
-    )
-}
-
-fn random_people(rng: &mut StdRng, rows: usize, id_space: i64) -> Bag {
-    (0..rows)
-        .map(|_| {
-            person(
-                rng.gen_range(0..id_space),
-                &format!("p{}", rng.gen_range(0..id_space)),
-                rng.gen_range(0..100i64),
-            )
-        })
-        .collect()
-}
-
-/// A random source pipeline bound to `var`: data, optionally filtered.
-fn random_branch(rng: &mut StdRng, var: &str) -> LogicalExpr {
-    let rows = rng.gen_range(0..30);
-    let source = LogicalExpr::Data(random_people(rng, rows, 8)).bind(var);
-    if rng.gen_bool(0.5) {
-        source.filter(ScalarExpr::binary(
-            ScalarOp::Gt,
-            ScalarExpr::var_field(var, "salary"),
-            ScalarExpr::constant(rng.gen_range(0..100i64)),
-        ))
-    } else {
-        source
-    }
-}
-
-/// One random plan out of the shape families the mediator produces.
-fn random_plan(rng: &mut StdRng) -> LogicalExpr {
-    match rng.gen_range(0..6) {
-        // filter → map
-        0 => random_branch(rng, "x").map_project(ScalarExpr::var_field("x", "name")),
-        // union of branches, optionally distinct
-        1 => {
-            let n = rng.gen_range(2..4);
-            let branches = (0..n)
-                .map(|_| random_branch(rng, "x").map_project(ScalarExpr::var_field("x", "name")))
-                .collect();
-            let union = LogicalExpr::Union(branches);
-            if rng.gen_bool(0.5) {
-                LogicalExpr::Distinct(Box::new(union))
-            } else {
-                union
-            }
-        }
-        // equi-join (lowers to a hash join) → computed projection
-        2 => LogicalExpr::Join {
-            left: Box::new(random_branch(rng, "x")),
-            right: Box::new(random_branch(rng, "y")),
-            predicate: Some(ScalarExpr::binary(
-                ScalarOp::Eq,
-                ScalarExpr::var_field("x", "id"),
-                ScalarExpr::var_field("y", "id"),
-            )),
-        }
-        .map_project(ScalarExpr::StructLit(vec![
-            ("name".into(), ScalarExpr::var_field("x", "name")),
-            (
-                "total".into(),
-                ScalarExpr::binary(
-                    ScalarOp::Add,
-                    ScalarExpr::var_field("x", "salary"),
-                    ScalarExpr::var_field("y", "salary"),
-                ),
-            ),
-        ])),
-        // non-equi join (lowers to a nested loop)
-        3 => LogicalExpr::Join {
-            left: Box::new(random_branch(rng, "x")),
-            right: Box::new(random_branch(rng, "y")),
-            predicate: Some(ScalarExpr::binary(
-                ScalarOp::Lt,
-                ScalarExpr::var_field("x", "id"),
-                ScalarExpr::var_field("y", "id"),
-            )),
-        }
-        .map_project(ScalarExpr::var_field("x", "name")),
-        // aggregate over a mapped, filtered source
-        4 => {
-            let func = [
-                disco_algebra::AggKind::Sum,
-                disco_algebra::AggKind::Count,
-                disco_algebra::AggKind::Min,
-                disco_algebra::AggKind::Max,
-                disco_algebra::AggKind::Avg,
-            ][rng.gen_range(0..5usize)];
-            LogicalExpr::Aggregate {
-                func,
-                input: Box::new(
-                    random_branch(rng, "x").map_project(ScalarExpr::var_field("x", "salary")),
-                ),
-            }
-        }
-        // distinct over a join projection (the deep-pipeline shape)
-        _ => LogicalExpr::Distinct(Box::new(
-            LogicalExpr::Join {
-                left: Box::new(random_branch(rng, "x")),
-                right: Box::new(random_branch(rng, "y")),
-                predicate: Some(ScalarExpr::binary(
-                    ScalarOp::Eq,
-                    ScalarExpr::var_field("x", "id"),
-                    ScalarExpr::var_field("y", "id"),
-                )),
-            }
-            .map_project(ScalarExpr::var_field("y", "name")),
-        )),
-    }
-}
 
 #[test]
 fn streaming_engine_matches_reference_on_random_plans() {
@@ -190,7 +73,10 @@ fn evaluate_with_build_side(
         &resolved,
         &root,
         &metrics,
-        PipelineOptions { build_side: side },
+        PipelineOptions {
+            build_side: side,
+            ..PipelineOptions::default()
+        },
     )
     .expect("opens");
     let bag = pipeline::collect(cursor, &metrics).expect("collects");
@@ -297,64 +183,6 @@ fn pipeline_behavior_classification_matches_engine_buffering() {
 // ---------------------------------------------------------------------
 // Partial evaluation: streaming vs. the seed materializing path
 // ---------------------------------------------------------------------
-
-fn stats_for(repo: &str, extent: &str, available: bool, rows: usize) -> SourceCallStats {
-    SourceCallStats {
-        repository: repo.to_owned(),
-        extent: extent.to_owned(),
-        available,
-        rows_returned: rows,
-        rows_scanned: rows,
-        latency: std::time::Duration::ZERO,
-    }
-}
-
-/// Builds a random federation query over `n` submit branches and a random
-/// resolution in which each source independently answered or not.
-fn random_partial_scenario(rng: &mut StdRng) -> (LogicalExpr, ResolvedExecs) {
-    let n = rng.gen_range(1..5usize);
-    let mut resolved = ResolvedExecs::default();
-    let mut branches = Vec::with_capacity(n);
-    for i in 0..n {
-        let extent = format!("person{i}");
-        let repo = format!("r{i}");
-        let shipped = LogicalExpr::get(&extent);
-        let branch = shipped
-            .clone()
-            .submit(&repo, "w0", &extent)
-            .filter(ScalarExpr::binary(
-                ScalarOp::Gt,
-                ScalarExpr::attr("salary"),
-                ScalarExpr::constant(rng.gen_range(0..100i64)),
-            ))
-            .bind("x")
-            .map_project(ScalarExpr::var_field("x", "name"));
-        branches.push(branch);
-        let key = ExecKey::new(&repo, &extent, &shipped);
-        if rng.gen_bool(0.6) {
-            let n_rows = rng.gen_range(0..10);
-            let rows = random_people(rng, n_rows, 6);
-            let len = rows.len();
-            resolved.insert(
-                key,
-                ExecOutcome::Rows(rows),
-                stats_for(&repo, &extent, true, len),
-            );
-        } else {
-            resolved.insert(
-                key,
-                ExecOutcome::Unavailable,
-                stats_for(&repo, &extent, false, 0),
-            );
-        }
-    }
-    let plan = if branches.len() == 1 {
-        branches.into_iter().next().unwrap()
-    } else {
-        LogicalExpr::Union(branches)
-    };
-    (plan, resolved)
-}
 
 #[test]
 fn partial_evaluation_matches_reference_on_random_availability() {

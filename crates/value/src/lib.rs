@@ -42,6 +42,19 @@
 //! what lets the runtime build hash joins and hash distinct directly on
 //! `Value` keys.
 //!
+//! # Thread safety
+//!
+//! The whole value plane is immutable-after-construction and `Arc`-backed
+//! with **no interior mutability**, so every type in this crate is
+//! [`Send`] `+` [`Sync`]: a `&Value` borrowed from a plan literal or a
+//! resolved source answer can be read from any worker of the runtime's
+//! parallel (morsel-driven) engine, and owned values can move between
+//! workers freely.  This guarantee is load-bearing — the parallel engine
+//! shares borrowed rows across its worker pool — and is pinned by the
+//! compile-time assertions below, so a future variant that introduced
+//! `Rc` or `Cell` storage would fail to build rather than quietly making
+//! the engine unsound.
+//!
 //! # Examples
 //!
 //! ```
@@ -70,3 +83,16 @@ pub use value::{StructValue, Value};
 
 /// Convenience result alias for fallible value operations.
 pub type Result<T> = std::result::Result<T, ValueError>;
+
+// Compile-time `Send + Sync` audit (see the crate docs): the parallel
+// engine shares `&Value` rows across worker threads, so losing either
+// auto-trait on any of these types must be a build error, not a latent
+// data race.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Value>();
+    assert_send_sync::<StructValue>();
+    assert_send_sync::<Bag>();
+    assert_send_sync::<BagCursor>();
+    assert_send_sync::<ValueError>();
+};
