@@ -11,7 +11,9 @@
 //!
 //! Whenever E9 (evaluator throughput) runs, its report is also written to
 //! `BENCH_e9.json` in the current directory so the perf trajectory of the
-//! mediator combine step is tracked from PR to PR.
+//! mediator combine step is tracked from PR to PR; E10 (federation
+//! overlap, streamed vs blocking resolution) is likewise recorded to
+//! `BENCH_e10.json`.
 
 use disco_bench::experiments::{self, Scale};
 use disco_bench::report::Report;
@@ -66,9 +68,16 @@ fn main() {
         }
         reports.push(report);
     }
+    if wanted("e10") {
+        let report = experiments::e10_federation_overlap(scale);
+        if let Err(err) = std::fs::write("BENCH_e10.json", report.to_json()) {
+            eprintln!("warning: could not write BENCH_e10.json: {err}");
+        }
+        reports.push(report);
+    }
 
     if reports.is_empty() {
-        eprintln!("unknown experiment selection {selection:?}; use e1..e9 or all");
+        eprintln!("unknown experiment selection {selection:?}; use e1..e10 or all");
         std::process::exit(2);
     }
     for report in &reports {

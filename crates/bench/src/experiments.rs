@@ -305,6 +305,7 @@ pub fn e4_calibration(scale: Scale) -> Report {
         jitter: 0.1,
         availability: Availability::Available,
         real_sleep: false,
+        chunk_rows: 0,
     };
     let federation = person_federation_with_profile(1, scale.rows, CapabilitySet::full(), profile);
     let mediator = &federation.mediator;
@@ -919,6 +920,140 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
     report
 }
 
+// ---------------------------------------------------------------------
+// E10 — federation overlap under streamed resolution
+// ---------------------------------------------------------------------
+
+/// E10: streamed source resolution under skewed per-source latencies.
+///
+/// A federation of person sources answers over chunked, *really sleeping*
+/// links; one source is ~10× slower than the rest.  The blocking path
+/// waits for the slowest wrapper before the combine step starts, so its
+/// wall-clock is ≈ slowest + combine; the streamed path feeds chunks into
+/// the pipeline as they arrive, so wall-clock collapses to
+/// ≈ max(slowest source, combine) and `time_to_first_row` — when the fast
+/// sources' first rows reach the sink — is far below the total latency.
+#[must_use]
+pub fn e10_federation_overlap(scale: Scale) -> Report {
+    use disco_core::ResolutionMode;
+
+    let sources = 4usize;
+    let rows = scale.rows.max(40);
+    let chunk = (rows / 8).max(1);
+    // Fast sources: base 0.5 ms + 25 µs/row, streamed in ~8 chunks.
+    let fast_ms = 0.5 + rows as f64 * 0.025;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let slow_extra_ms = (fast_ms * 9.0 / 8.0).ceil().max(1.0) as u64;
+    let fast = NetworkProfile {
+        base_latency_us: 500,
+        per_row_us: 25,
+        jitter: 0.0,
+        availability: Availability::Available,
+        real_sleep: true,
+        chunk_rows: chunk,
+    };
+    let trials = scale.trials.clamp(3, 7);
+    let mut report = Report::new(
+        "E10",
+        "federation overlap: streamed vs blocking resolution",
+        &format!(
+            "{sources} person sources x {rows} rows, chunked ({chunk} rows/chunk), real \
+             sleeps; source {} degraded ~10x ({slow_extra_ms} ms extra per chunk); median \
+             of {trials} trials",
+            sources - 1
+        ),
+        &[
+            "mode",
+            "threads",
+            "wall ms",
+            "t_first ms",
+            "slowest src ms",
+            "wall/slowest",
+        ],
+    );
+
+    let federation =
+        person_federation_with_profile(sources, rows, CapabilitySet::full(), fast.clone());
+    federation.links[sources - 1].set_profile(fast.with_availability(Availability::Degraded {
+        chunk_extra_ms: slow_extra_ms,
+    }));
+    // Ship bare `get`s so the union/distinct combine work stays at the
+    // mediator — the step streamed resolution overlaps with source latency.
+    let branches: Vec<LogicalExpr> = (0..sources)
+        .map(|i| {
+            LogicalExpr::get(format!("person{i}"))
+                .submit(
+                    format!("r{i}"),
+                    format!("w_person{i}"),
+                    format!("person{i}"),
+                )
+                .bind("x")
+                .map_project(ScalarExpr::var_field("x", "name"))
+        })
+        .collect();
+    let plan = lower(&LogicalExpr::Distinct(Box::new(LogicalExpr::Union(
+        branches,
+    ))))
+    .expect("plan lowers");
+
+    let median = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    for mode in [ResolutionMode::Blocking, ResolutionMode::Streamed] {
+        for threads in [1usize, 4] {
+            let executor = Executor::new(federation.mediator.registry().clone())
+                .with_resolution(mode)
+                .with_threads(threads)
+                .with_deadline(Some(std::time::Duration::from_secs(30)));
+            let mut walls = Vec::with_capacity(trials);
+            let mut firsts = Vec::with_capacity(trials);
+            let mut slowest_ms = 0.0f64;
+            for _ in 0..trials {
+                let started = Instant::now();
+                let answer = executor
+                    .execute(&plan, federation.mediator.catalog())
+                    .expect("executes");
+                walls.push(started.elapsed().as_secs_f64() * 1000.0);
+                assert!(answer.is_complete(), "no source is unavailable here");
+                if let Some(t) = answer.time_to_first_row() {
+                    firsts.push(t.as_secs_f64() * 1000.0);
+                }
+                slowest_ms = answer
+                    .stats()
+                    .source_calls
+                    .iter()
+                    .map(|c| c.latency.as_secs_f64() * 1000.0)
+                    .fold(slowest_ms, f64::max);
+            }
+            let wall = median(&mut walls);
+            let t_first = if firsts.is_empty() {
+                f64::NAN
+            } else {
+                median(&mut firsts)
+            };
+            report.push_row([
+                format!("{mode:?}").to_lowercase(),
+                threads.to_string(),
+                fmt_f64(wall),
+                fmt_f64(t_first),
+                fmt_f64(slowest_ms),
+                fmt_f64(wall / slowest_ms),
+            ]);
+        }
+    }
+    report.push_note(
+        "blocking: the combine step starts only after the slowest wrapper answers \
+         (wall ~= slowest + combine); streamed: chunks feed the pipeline as they \
+         arrive (wall ~= max(slowest, combine), t_first << wall)",
+    );
+    report.push_note(
+        "t_first = time_to_first_row from ExecutionStats: when the first answer row \
+         reached the final sink",
+    );
+    report
+}
+
 /// Runs every experiment at the given scale.
 #[must_use]
 pub fn run_all(scale: Scale) -> Vec<Report> {
@@ -932,6 +1067,7 @@ pub fn run_all(scale: Scale) -> Vec<Report> {
         e7_pipeline(scale),
         e8_semijoin_gap(scale),
         e9_evaluator_throughput(scale),
+        e10_federation_overlap(scale),
     ]
 }
 

@@ -23,8 +23,17 @@ pub enum RuntimeError {
     /// of a pipeline.  The panic is contained (`catch_unwind` plus an
     /// abort flag that stops the rest of the pool), converted to this
     /// error, and surfaced from `evaluate_physical` like any evaluation
-    /// failure — never a hang, never a process abort.
+    /// failure — never a hang, never a process abort.  A wrapper call
+    /// that panics during streamed resolution is contained the same way.
     WorkerPanic(String),
+    /// A *pending* (still-streaming) source was classified unavailable —
+    /// either its wrapper reported unavailability mid-stream or the
+    /// execution deadline expired while it was still answering.  This is
+    /// the streamed-resolution analogue of `resolve_execs` returning an
+    /// unavailable outcome: the executor catches it, finalizes the
+    /// resolution and falls back to partial evaluation; it is **not** a
+    /// hard error for callers of [`crate::Executor::execute`].
+    PendingUnavailable(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -37,6 +46,13 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Unsupported(msg) => write!(f, "unsupported plan shape: {msg}"),
             RuntimeError::WorkerPanic(msg) => {
                 write!(f, "parallel worker panicked during evaluation: {msg}")
+            }
+            RuntimeError::PendingUnavailable(repository) => {
+                write!(
+                    f,
+                    "source {repository} became unavailable during streamed resolution \
+                     (partial evaluation required)"
+                )
             }
         }
     }

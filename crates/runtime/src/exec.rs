@@ -8,25 +8,50 @@
 //! query evaluation stops" and the sources that have not answered are
 //! classified unavailable.
 //!
+//! # Streamed resolution
+//!
+//! [`resolve_execs_streamed`] returns immediately: every call becomes a
+//! [`PendingSource`] — a spool the wrapper thread fills with mapped,
+//! type-checked row chunks while the cursor pipeline is already pulling
+//! through [`crate::pipeline`]'s pending scans.  The slowest repository
+//! no longer gates the start of the combine step.  At the execution
+//! deadline, spools that are still streaming flip to unavailable, the
+//! wrapper call is cancelled (so a timed-out call does not keep running
+//! detached in the background), and the executor falls back to the same
+//! partial evaluation the blocking path performs.
+//!
+//! [`resolve_execs`] — the blocking form — is now a thin driver over the
+//! streamed one: spawn every call, then wait for all spools (bounded by
+//! the deadline) and finalize them into materialized outcomes, so both
+//! paths share one classification and cancellation logic.
+//!
 //! For every finished call the arguments, the time taken and the amount of
 //! data generated are recorded into the calibration store, feeding the
 //! self-calibrating cost model.
 
 use std::collections::BTreeMap;
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use disco_algebra::{LogicalExpr, PhysicalExpr};
-use disco_catalog::Catalog;
+use disco_catalog::{Catalog, TypeMap};
 use disco_optimizer::CalibrationStore;
-use disco_value::Bag;
+use disco_value::{Bag, Value};
 use disco_wrapper::{
     check_type_conformance, expected_after_expr, map_expr_to_source, map_rows_to_mediator,
-    WrapperError, WrapperRegistry,
+    AnswerSink, Wrapper, WrapperError, WrapperRegistry,
 };
 
 use crate::{Result, RuntimeError};
+
+/// Locks a mutex, ignoring poisoning (the guarded state stays consistent:
+/// producers never panic while holding the lock, and a contained wrapper
+/// panic is surfaced separately as `WorkerPanic`).
+fn lock<T>(mutex: &StdMutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Identity of one `exec` call (used to de-duplicate identical calls and to
 /// join results back into the plan).
@@ -53,7 +78,7 @@ impl ExecKey {
 }
 
 /// The outcome of one `exec` call.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum ExecOutcome {
     /// The source answered with rows (already renamed into the mediator
     /// name space).
@@ -61,6 +86,389 @@ pub enum ExecOutcome {
     /// The source did not answer (unavailable, or still blocked at the
     /// deadline).
     Unavailable,
+    /// The call is still streaming: the wrapper thread pushes mapped,
+    /// type-checked row chunks into the [`PendingSource`] spool while the
+    /// pipeline pulls.  Finalization
+    /// ([`ResolvedExecs::finalize_streamed`]) turns this into
+    /// [`ExecOutcome::Rows`] or [`ExecOutcome::Unavailable`].
+    Pending(Arc<PendingSource>),
+}
+
+impl PartialEq for ExecOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ExecOutcome::Rows(a), ExecOutcome::Rows(b)) => a == b,
+            (ExecOutcome::Unavailable, ExecOutcome::Unavailable) => true,
+            (ExecOutcome::Pending(a), ExecOutcome::Pending(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// How the executor resolves `exec` calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResolutionMode {
+    /// Wrapper answers stream into the combine step as they arrive
+    /// (chunk-level overlap of source latency and mediator work).  The
+    /// production default.
+    #[default]
+    Streamed,
+    /// Wait for every wrapper call (bounded by the deadline) before the
+    /// combine step starts — the pre-streaming behaviour, kept for
+    /// differential testing and A/B measurement.
+    Blocking,
+}
+
+/// Shared wakeup channel of one streamed resolution: every spool bumps the
+/// generation and notifies on any progress (chunk arrival or terminal
+/// status), so consumers waiting on *any* source (a union polling its
+/// branches) park on one condition variable.
+pub(crate) struct ResolutionEvents {
+    generation: StdMutex<u64>,
+    arrived: Condvar,
+    deadline: Option<Instant>,
+}
+
+impl std::fmt::Debug for ResolutionEvents {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResolutionEvents")
+            .field("generation", &*lock(&self.generation))
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
+impl ResolutionEvents {
+    pub(crate) fn new(deadline: Option<Instant>) -> Self {
+        ResolutionEvents {
+            generation: StdMutex::new(0),
+            arrived: Condvar::new(),
+            deadline,
+        }
+    }
+
+    /// The current generation; read **before** inspecting spool state so
+    /// that [`ResolutionEvents::wait_after`] cannot miss a wakeup.
+    pub(crate) fn generation(&self) -> u64 {
+        *lock(&self.generation)
+    }
+
+    /// Whether the execution deadline has already passed.
+    pub(crate) fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|at| Instant::now() >= at)
+    }
+
+    fn notify(&self) {
+        *lock(&self.generation) += 1;
+        self.arrived.notify_all();
+    }
+
+    /// Blocks until the generation moves past `seen` (some source made
+    /// progress) or the deadline passes; returns `false` on deadline.
+    pub(crate) fn wait_after(&self, seen: u64) -> bool {
+        let mut generation = lock(&self.generation);
+        loop {
+            if *generation != seen {
+                return true;
+            }
+            match self.deadline {
+                None => {
+                    generation = self
+                        .arrived
+                        .wait(generation)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(at) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        return false;
+                    }
+                    let (guard, _timeout) = self
+                        .arrived
+                        .wait_timeout(generation, at - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    generation = guard;
+                }
+            }
+        }
+    }
+}
+
+/// Terminal or in-flight state of one streamed call.
+#[derive(Debug)]
+enum SpoolStatus {
+    /// The wrapper is still producing chunks.
+    Streaming,
+    /// Every chunk arrived; the summary fields below are valid.
+    Done,
+    /// The wrapper reported unavailability (or the deadline expired while
+    /// the call was still streaming).
+    Unavailable,
+    /// A hard wrapper error (capability violation, type conflict, …).
+    Failed(WrapperError),
+    /// The wrapper call panicked; contained via `catch_unwind`.
+    Panicked(String),
+}
+
+/// What a consumer observed when asking a spool for progress.
+#[derive(Debug)]
+pub(crate) enum Progress {
+    /// New rows past the consumer's read index.
+    Rows(Vec<Value>),
+    /// The stream completed and the read index is at the end.
+    Done,
+    /// The source is unavailable (reported, or deadline-flipped).
+    Unavailable,
+    /// Hard wrapper error.
+    Failed(WrapperError),
+    /// The wrapper call panicked.
+    Panicked(String),
+}
+
+struct SpoolState {
+    rows: Vec<Value>,
+    status: SpoolStatus,
+    rows_scanned: usize,
+    latency: Duration,
+}
+
+/// A channel-backed *pending answer*: the spool one wrapper thread fills
+/// with mapped, type-checked rows while any number of pipeline cursors
+/// read it (each with its own read index — duplicate scans of the same
+/// `exec` key share one call, exactly as in blocking resolution).
+pub struct PendingSource {
+    repository: String,
+    extent: String,
+    events: Arc<ResolutionEvents>,
+    /// Set at the deadline (or on hard failure): tells the wrapper call to
+    /// stop producing — the fix for timed-out calls running detached
+    /// forever in the background.
+    cancel: AtomicBool,
+    state: StdMutex<SpoolState>,
+}
+
+impl std::fmt::Debug for PendingSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = lock(&self.state);
+        f.debug_struct("PendingSource")
+            .field("repository", &self.repository)
+            .field("extent", &self.extent)
+            .field("rows", &state.rows.len())
+            .field("status", &state.status)
+            .finish()
+    }
+}
+
+impl PendingSource {
+    fn new(repository: String, extent: String, events: Arc<ResolutionEvents>) -> Self {
+        PendingSource {
+            repository,
+            extent,
+            events,
+            cancel: AtomicBool::new(false),
+            state: StdMutex::new(SpoolState {
+                rows: Vec::new(),
+                status: SpoolStatus::Streaming,
+                rows_scanned: 0,
+                latency: Duration::ZERO,
+            }),
+        }
+    }
+
+    /// The repository this call targets.
+    #[must_use]
+    pub fn repository(&self) -> &str {
+        &self.repository
+    }
+
+    /// Whether the consumer side disconnected (deadline or hard error).
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Disconnects the wrapper call: it observes cancellation at its next
+    /// chunk boundary (or sleep slice) and returns.
+    pub(crate) fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+        self.events.notify();
+    }
+
+    /// Producer side: appends one chunk; `false` when cancelled.
+    fn push_chunk(&self, mut rows: Vec<Value>) -> bool {
+        if self.is_cancelled() {
+            return false;
+        }
+        {
+            let mut state = lock(&self.state);
+            state.rows.append(&mut rows);
+        }
+        self.events.notify();
+        !self.is_cancelled()
+    }
+
+    /// Producer side: sets a terminal status.
+    fn finish(&self, status: SpoolStatus) {
+        {
+            let mut state = lock(&self.state);
+            // A deadline flip to `Unavailable` is sticky: a call finishing
+            // after it was classified unavailable stays unavailable, like
+            // an answer arriving after the blocking path's deadline.
+            if matches!(state.status, SpoolStatus::Streaming) {
+                state.status = status;
+            }
+        }
+        self.events.notify();
+    }
+
+    fn finish_done(&self, rows_scanned: usize, latency: Duration) {
+        {
+            let mut state = lock(&self.state);
+            if matches!(state.status, SpoolStatus::Streaming) {
+                state.rows_scanned = rows_scanned;
+                state.latency = latency;
+                state.status = SpoolStatus::Done;
+            }
+        }
+        self.events.notify();
+    }
+
+    /// Interrupts the call from the consumer side (a parallel phase
+    /// aborting on another worker's failure): same classification as a
+    /// deadline overrun, so waiters blocked on this spool wake promptly
+    /// and the wrapper call winds down.
+    pub(crate) fn interrupt(&self) {
+        self.timeout();
+    }
+
+    /// Classifies a deadline overrun: a still-streaming spool flips to
+    /// unavailable and the wrapper call is cancelled.
+    fn timeout(&self) {
+        {
+            let mut state = lock(&self.state);
+            if matches!(state.status, SpoolStatus::Streaming) {
+                state.status = SpoolStatus::Unavailable;
+            }
+        }
+        self.cancel();
+    }
+
+    /// Whether a consumer at read index `from` can make progress without
+    /// blocking (rows available, or a terminal status to report).
+    pub(crate) fn ready(&self, from: usize) -> bool {
+        let state = lock(&self.state);
+        state.rows.len() > from || !matches!(state.status, SpoolStatus::Streaming)
+    }
+
+    /// Row count so far (tests and diagnostics).
+    #[must_use]
+    pub fn rows_arrived(&self) -> usize {
+        lock(&self.state).rows.len()
+    }
+
+    /// The one wait loop every consumer goes through: blocks until
+    /// `inspect` yields a value, with the missed-wakeup protocol (read
+    /// the event generation *before* inspecting state) and one deadline
+    /// policy point — once the deadline passes, a still-streaming spool
+    /// is classified unavailable and its wrapper call cancelled *before*
+    /// the next inspection, whether the consumer was blocked or keeping
+    /// pace with arriving chunks.  §4's "query evaluation stops" applies
+    /// even to a source that trickles just fast enough to never block
+    /// its consumer, exactly as in blocking resolution.
+    fn wait_until<T>(&self, mut inspect: impl FnMut(&mut SpoolState) -> Option<T>) -> T {
+        loop {
+            let seen = self.events.generation();
+            if self.events.deadline_passed() {
+                self.timeout();
+            }
+            {
+                let mut state = lock(&self.state);
+                if let Some(out) = inspect(&mut state) {
+                    return out;
+                }
+            }
+            if !self.events.wait_after(seen) {
+                self.timeout();
+            }
+        }
+    }
+
+    /// Blocks until progress past `from` (bounded by the deadline, which
+    /// flips the spool unavailable), returning at most `max` rows and the
+    /// time spent in the call.
+    pub(crate) fn wait_rows(&self, from: usize, max: usize) -> (Progress, Duration) {
+        let started = Instant::now();
+        let progress = self.wait_until(|state| {
+            // Terminal failures win over buffered rows: once the source
+            // is classified unavailable (deadline or reported), its data
+            // is residual — stop feeding the pipeline immediately.
+            match &state.status {
+                SpoolStatus::Unavailable => return Some(Progress::Unavailable),
+                SpoolStatus::Failed(err) => return Some(Progress::Failed(err.clone())),
+                SpoolStatus::Panicked(msg) => return Some(Progress::Panicked(msg.clone())),
+                SpoolStatus::Streaming | SpoolStatus::Done => {}
+            }
+            if state.rows.len() > from {
+                let end = (from + max.max(1)).min(state.rows.len());
+                return Some(Progress::Rows(state.rows[from..end].to_vec()));
+            }
+            match state.status {
+                SpoolStatus::Done => Some(Progress::Done),
+                _ => None,
+            }
+        });
+        (progress, started.elapsed())
+    }
+
+    /// Blocks until the call completes (bounded by the deadline) and
+    /// returns its final row count — `None` when it did not complete.
+    /// Used for hash-join build-side estimation, so the build/probe
+    /// orientation (and with it `rows_materialized`) is identical to the
+    /// blocking path's.
+    pub(crate) fn await_len(&self) -> Option<usize> {
+        self.wait_until(|state| match &state.status {
+            SpoolStatus::Streaming => None,
+            SpoolStatus::Done => Some(Some(state.rows.len())),
+            _ => Some(None),
+        })
+    }
+
+    /// Waits for a terminal status and renders the final outcome + stats.
+    fn final_outcome(&self) -> (ExecOutcome, SourceCallStats, Option<RuntimeError>) {
+        let (outcome, available, error) = self.wait_until(|state| match &state.status {
+            SpoolStatus::Streaming => None,
+            SpoolStatus::Done => {
+                let rows = std::mem::take(&mut state.rows);
+                Some((ExecOutcome::Rows(Bag::from(rows)), true, None))
+            }
+            SpoolStatus::Unavailable => Some((ExecOutcome::Unavailable, false, None)),
+            SpoolStatus::Failed(err) => Some((
+                ExecOutcome::Unavailable,
+                false,
+                Some(RuntimeError::Wrapper(err.clone())),
+            )),
+            SpoolStatus::Panicked(msg) => Some((
+                ExecOutcome::Unavailable,
+                false,
+                Some(RuntimeError::WorkerPanic(msg.clone())),
+            )),
+        });
+        let (rows_returned, rows_scanned, latency) = {
+            let state = lock(&self.state);
+            match &outcome {
+                ExecOutcome::Rows(rows) => (rows.len(), state.rows_scanned, state.latency),
+                _ => (0, 0, Duration::ZERO),
+            }
+        };
+        let stats = SourceCallStats {
+            repository: self.repository.clone(),
+            extent: self.extent.clone(),
+            available,
+            rows_returned,
+            rows_scanned,
+            latency,
+        };
+        (outcome, stats, error)
+    }
 }
 
 /// Statistics of one `exec` call, for traces and experiments.
@@ -94,6 +502,10 @@ pub struct ExecutionConfig {
     /// This is independent of the wrapper calls, which are always issued
     /// in parallel (one thread per source call).
     pub threads: usize,
+    /// Whether wrapper answers stream into the combine step as they
+    /// arrive ([`ResolutionMode::Streamed`], the default) or the combine
+    /// step waits for every call ([`ResolutionMode::Blocking`]).
+    pub resolution: ResolutionMode,
 }
 
 impl Default for ExecutionConfig {
@@ -102,18 +514,91 @@ impl Default for ExecutionConfig {
             deadline: Some(Duration::from_millis(500)),
             calibration: None,
             threads: 0,
+            resolution: ResolutionMode::default(),
         }
     }
 }
 
 /// The resolved `exec` calls of one plan execution.
+///
+/// Entries are either materialized ([`ExecOutcome::Rows`] /
+/// [`ExecOutcome::Unavailable`], with stats recorded) or *pending*
+/// ([`ExecOutcome::Pending`]): spools still being filled by wrapper
+/// threads.  [`ResolvedExecs::finalize_streamed`] waits (bounded by the
+/// execution deadline) and materializes every pending entry.
 #[derive(Debug, Clone, Default)]
 pub struct ResolvedExecs {
     outcomes: BTreeMap<ExecKey, ExecOutcome>,
     stats: Vec<SourceCallStats>,
+    /// Pending entries in call-collection order, so finalized stats keep
+    /// the order the blocking path records.
+    pending_order: Vec<ExecKey>,
+    /// The shared wakeup channel of a streamed resolution.
+    events: Option<Arc<ResolutionEvents>>,
 }
 
 impl ResolvedExecs {
+    /// The shared event channel, when this resolution is streamed.
+    pub(crate) fn events(&self) -> Option<&Arc<ResolutionEvents>> {
+        self.events.as_ref()
+    }
+
+    /// Whether any entry is still a pending (streaming) spool.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        self.outcomes
+            .values()
+            .any(|o| matches!(o, ExecOutcome::Pending(_)))
+    }
+
+    /// Disconnects every pending wrapper call (used when an execution
+    /// aborts on a hard error): each call observes cancellation at its
+    /// next chunk boundary and winds down instead of running detached.
+    pub fn cancel_pending(&self) {
+        for outcome in self.outcomes.values() {
+            if let ExecOutcome::Pending(source) = outcome {
+                source.cancel();
+            }
+        }
+    }
+
+    /// Waits (bounded by the execution deadline) for every pending spool
+    /// and materializes it: completed calls become [`ExecOutcome::Rows`]
+    /// with stats, everything else — including calls still streaming at
+    /// the deadline, which are cancelled — becomes
+    /// [`ExecOutcome::Unavailable`], exactly the classification the
+    /// blocking path applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first hard wrapper error or contained wrapper panic,
+    /// after cancelling the remaining calls.
+    pub fn finalize_streamed(&mut self) -> Result<()> {
+        let keys = std::mem::take(&mut self.pending_order);
+        let mut failure: Option<RuntimeError> = None;
+        for key in keys {
+            let Some(ExecOutcome::Pending(source)) = self.outcomes.get(&key) else {
+                continue;
+            };
+            let source = Arc::clone(source);
+            if failure.is_some() {
+                // Already failing: disconnect instead of waiting.
+                source.cancel();
+                self.outcomes.insert(key, ExecOutcome::Unavailable);
+                continue;
+            }
+            let (outcome, stats, error) = source.final_outcome();
+            self.outcomes.insert(key, outcome);
+            self.stats.push(stats);
+            if let Some(error) = error {
+                failure = Some(error);
+            }
+        }
+        match failure {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
+    }
     /// Looks up the outcome for one call.
     #[must_use]
     pub fn outcome(&self, key: &ExecKey) -> Option<&ExecOutcome> {
@@ -260,9 +745,11 @@ where
     walk_plan(plan, report);
 }
 
-/// Issues every `exec` call of the plan in parallel and gathers outcomes,
-/// applying the extent's transformation map in both directions and the
-/// run-time type check.
+/// Issues every `exec` call of the plan in parallel and waits for all of
+/// them (bounded by the deadline) before returning materialized outcomes
+/// — the blocking form, implemented as [`resolve_execs_streamed`] followed
+/// by [`ResolvedExecs::finalize_streamed`] so both paths share one
+/// classification and cancellation logic.
 ///
 /// # Errors
 ///
@@ -274,134 +761,161 @@ pub fn resolve_execs(
     catalog: &Catalog,
     config: &ExecutionConfig,
 ) -> Result<ResolvedExecs> {
+    let mut resolved = resolve_execs_streamed(plan, registry, catalog, config)?;
+    resolved.finalize_streamed()?;
+    Ok(resolved)
+}
+
+/// One spawned wrapper call, ready to run on its own thread.
+struct PreparedCall {
+    key: ExecKey,
+    shipped: LogicalExpr,
+    wrapper: Arc<dyn Wrapper>,
+    map: TypeMap,
+    expected: Vec<String>,
+}
+
+/// Issues every `exec` call of the plan in parallel and returns
+/// immediately: each entry of the result is a [`PendingSource`] spool that
+/// the wrapper thread fills with mapped, type-checked row chunks while the
+/// pipeline pulls (§4's "designated time period" moves into the stream —
+/// at the deadline, still-streaming spools flip to unavailable and the
+/// call is cancelled).
+///
+/// # Errors
+///
+/// Catalog and registry lookups fail before any thread is spawned;
+/// wrapper-side errors surface later, through the spools.
+pub fn resolve_execs_streamed(
+    plan: &PhysicalExpr,
+    registry: &WrapperRegistry,
+    catalog: &Catalog,
+    config: &ExecutionConfig,
+) -> Result<ResolvedExecs> {
     let calls = collect_exec_calls(plan);
     let mut resolved = ResolvedExecs::default();
     if calls.is_empty() {
         return Ok(resolved);
     }
 
-    enum CallResult {
-        Ok {
-            rows: Bag,
-            rows_scanned: usize,
-            latency: Duration,
-        },
-        Unavailable,
-        Failed(WrapperError),
-    }
-
-    let (tx, rx) = mpsc::channel::<(usize, CallResult, f64)>();
-    let mut handles = Vec::new();
-    let mut call_meta = Vec::new();
-
-    for (index, (key, wrapper_name, shipped)) in calls.iter().enumerate() {
+    // Look everything up before spawning anything, so a hard lookup error
+    // never leaves half the calls running.
+    let mut prepared = Vec::with_capacity(calls.len());
+    for (key, wrapper_name, shipped) in calls {
         let extent_meta = catalog.extent(&key.extent)?.clone();
         let expected: Vec<String> = catalog
             .attributes_of(extent_meta.interface())?
             .iter()
             .map(|a| a.name().to_owned())
             .collect();
-        let expected = expected_after_expr(shipped, &expected);
+        let expected = expected_after_expr(&shipped, &expected);
         let wrapper = registry
-            .wrapper(wrapper_name)
+            .wrapper(&wrapper_name)
             .ok_or_else(|| RuntimeError::UnknownWrapper(wrapper_name.clone()))?;
-        let map = extent_meta.map().clone();
-        let shipped = shipped.clone();
-        let key_clone = key.clone();
-        let tx = tx.clone();
-        call_meta.push((key.clone(), key_clone.extent.clone()));
-        let handle = std::thread::spawn(move || {
-            let started = Instant::now();
-            let source_expr = map_expr_to_source(&shipped, &map);
-            let outcome = match wrapper.submit(&source_expr) {
-                Ok(answer) => {
-                    let rows = map_rows_to_mediator(&answer.rows, &map);
-                    match check_type_conformance(&rows, &expected, &key_clone.extent) {
-                        Ok(()) => CallResult::Ok {
-                            rows,
-                            rows_scanned: answer.rows_scanned,
-                            latency: answer.latency,
-                        },
-                        Err(err) => CallResult::Failed(err),
-                    }
-                }
-                Err(WrapperError::Unavailable { .. }) => CallResult::Unavailable,
-                Err(other) => CallResult::Failed(other),
-            };
-            let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
-            // The receiver may have given up at the deadline; ignore send errors.
-            let _ = tx.send((index, outcome, elapsed_ms));
+        prepared.push(PreparedCall {
+            key,
+            shipped,
+            wrapper,
+            map: extent_meta.map().clone(),
+            expected,
         });
-        handles.push(handle);
     }
-    drop(tx);
 
     let deadline_at = config.deadline.map(|d| Instant::now() + d);
-    let mut received: BTreeMap<usize, (CallResult, f64)> = BTreeMap::new();
-    loop {
-        if received.len() == calls.len() {
-            break;
-        }
-        let timeout = match deadline_at {
-            Some(at) => {
-                let now = Instant::now();
-                if now >= at {
-                    break;
-                }
-                at - now
-            }
-            None => Duration::from_secs(3600),
-        };
-        match rx.recv_timeout(timeout) {
-            Ok((index, outcome, elapsed_ms)) => {
-                received.insert(index, (outcome, elapsed_ms));
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => break,
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
-        }
-    }
-
-    for (index, (key, _, shipped)) in calls.iter().enumerate() {
-        match received.remove(&index) {
-            Some((
-                CallResult::Ok {
-                    rows,
-                    rows_scanned,
-                    latency,
-                },
-                elapsed_ms,
-            )) => {
-                if let Some(store) = &config.calibration {
-                    // Record both the wall-clock elapsed time and the
-                    // simulated latency — the simulated latency dominates.
-                    let time_ms = latency.as_secs_f64() * 1000.0 + elapsed_ms.min(1.0);
-                    store.record(&key.repository, shipped, time_ms, rows.len());
-                }
-                let stats = SourceCallStats {
-                    repository: key.repository.clone(),
-                    extent: key.extent.clone(),
-                    available: true,
-                    rows_returned: rows.len(),
-                    rows_scanned,
-                    latency,
-                };
-                resolved.insert(key.clone(), ExecOutcome::Rows(rows), stats);
-            }
-            Some((CallResult::Unavailable, _)) | None => {
-                let stats = SourceCallStats {
-                    repository: key.repository.clone(),
-                    extent: key.extent.clone(),
-                    available: false,
-                    rows_returned: 0,
-                    rows_scanned: 0,
-                    latency: Duration::ZERO,
-                };
-                resolved.insert(key.clone(), ExecOutcome::Unavailable, stats);
-            }
-            Some((CallResult::Failed(err), _)) => return Err(RuntimeError::Wrapper(err)),
-        }
+    let events = Arc::new(ResolutionEvents::new(deadline_at));
+    resolved.events = Some(Arc::clone(&events));
+    for call in prepared {
+        let source = Arc::new(PendingSource::new(
+            call.key.repository.clone(),
+            call.key.extent.clone(),
+            Arc::clone(&events),
+        ));
+        resolved.pending_order.push(call.key.clone());
+        resolved
+            .outcomes
+            .insert(call.key.clone(), ExecOutcome::Pending(Arc::clone(&source)));
+        let calibration = config.calibration.clone();
+        std::thread::spawn(move || run_wrapper_call(&source, call, calibration.as_deref()));
     }
     Ok(resolved)
+}
+
+/// The [`AnswerSink`] a wrapper call streams into: chunks are renamed into
+/// the mediator name space, type-checked, and appended to the spool.
+struct SpoolSink<'a> {
+    spool: &'a PendingSource,
+    map: &'a TypeMap,
+    expected: &'a [String],
+    extent: &'a str,
+    /// A per-chunk type-conformance failure, reported after the call.
+    conformance: Option<WrapperError>,
+    rows_pushed: usize,
+}
+
+impl AnswerSink for SpoolSink<'_> {
+    fn push(&mut self, rows: Bag) -> bool {
+        if self.conformance.is_some() {
+            return false;
+        }
+        let mapped = map_rows_to_mediator(&rows, self.map);
+        if let Err(err) = check_type_conformance(&mapped, self.expected, self.extent) {
+            self.conformance = Some(err);
+            return false;
+        }
+        self.rows_pushed += mapped.len();
+        self.spool.push_chunk(mapped.into_values())
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.spool.is_cancelled()
+    }
+}
+
+/// Body of one wrapper-call thread: stream the answer into the spool,
+/// contain panics, and record the finished call into the calibration
+/// store.
+fn run_wrapper_call(
+    spool: &PendingSource,
+    call: PreparedCall,
+    calibration: Option<&CalibrationStore>,
+) {
+    let started = Instant::now();
+    let source_expr = map_expr_to_source(&call.shipped, &call.map);
+    let mut sink = SpoolSink {
+        spool,
+        map: &call.map,
+        expected: &call.expected,
+        extent: &call.key.extent,
+        conformance: None,
+        rows_pushed: 0,
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        call.wrapper.submit_streaming(&source_expr, &mut sink)
+    }));
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let rows_pushed = sink.rows_pushed;
+    let conformance = sink.conformance.take();
+    match outcome {
+        Err(payload) => spool.finish(SpoolStatus::Panicked(
+            crate::pipeline::parallel::panic_message(&*payload),
+        )),
+        Ok(_) if conformance.is_some() => {
+            spool.finish(SpoolStatus::Failed(conformance.expect("checked")));
+        }
+        Ok(Ok(summary)) => {
+            if !spool.is_cancelled() {
+                if let Some(store) = calibration {
+                    // Record both the wall-clock elapsed time and the
+                    // simulated latency — the simulated latency dominates.
+                    let time_ms = summary.latency.as_secs_f64() * 1000.0 + elapsed_ms.min(1.0);
+                    store.record(&call.key.repository, &call.shipped, time_ms, rows_pushed);
+                }
+            }
+            spool.finish_done(summary.rows_scanned, summary.latency);
+        }
+        Ok(Err(WrapperError::Unavailable { .. })) => spool.finish(SpoolStatus::Unavailable),
+        Ok(Err(other)) => spool.finish(SpoolStatus::Failed(other)),
+    }
 }
 
 #[cfg(test)]
@@ -504,6 +1018,28 @@ mod tests {
         let resolved =
             resolve_execs(&plan, &registry, &catalog, &ExecutionConfig::default()).unwrap();
         assert_eq!(resolved.call_count(), 1);
+    }
+
+    #[test]
+    fn streamed_resolution_returns_pending_spools_then_finalizes() {
+        let (catalog, registry) = setup();
+        let mut resolved = resolve_execs_streamed(
+            &union_plan(),
+            &registry,
+            &catalog,
+            &ExecutionConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            resolved.has_pending(),
+            "entries start as pending spools, not materialized outcomes"
+        );
+        assert_eq!(resolved.call_count(), 0, "no stats before finalization");
+        resolved.finalize_streamed().unwrap();
+        assert!(!resolved.has_pending());
+        assert!(resolved.all_available());
+        assert_eq!(resolved.call_count(), 2);
+        assert_eq!(resolved.rows_transferred(), 20);
     }
 
     #[test]

@@ -10,10 +10,12 @@ use disco_optimizer::CalibrationStore;
 use disco_wrapper::WrapperRegistry;
 
 use crate::eval::evaluate_physical_with;
-use crate::exec::{resolve_execs, ExecutionConfig};
+use crate::exec::{
+    resolve_execs, resolve_execs_streamed, ExecutionConfig, ResolutionMode, ResolvedExecs,
+};
 use crate::partial::{partial_evaluate_opts, substitute_resolved, Answer, ExecutionStats};
 use crate::pipeline::{PipelineMetrics, PipelineOptions};
-use crate::Result;
+use crate::{Result, RuntimeError};
 
 /// Executes physical plans against the registered wrappers.
 ///
@@ -72,6 +74,17 @@ impl Executor {
         self
     }
 
+    /// Chooses how wrapper answers meet the combine step:
+    /// [`ResolutionMode::Streamed`] (the default) feeds row chunks into
+    /// the pipeline as they arrive; [`ResolutionMode::Blocking`] waits
+    /// for every call first (the pre-streaming behaviour, kept for
+    /// differential testing and A/B measurement).
+    #[must_use]
+    pub fn with_resolution(mut self, resolution: ResolutionMode) -> Self {
+        self.config.resolution = resolution;
+        self
+    }
+
     /// The wrapper registry.
     #[must_use]
     pub fn registry(&self) -> &WrapperRegistry {
@@ -97,41 +110,126 @@ impl Executor {
     /// Hard errors only: capability violations, type conflicts, unknown
     /// wrappers/tables, evaluation errors.  Unavailability is not an error.
     pub fn execute(&self, plan: &PhysicalExpr, catalog: &Catalog) -> Result<Answer> {
+        match self.config.resolution {
+            ResolutionMode::Streamed => self.execute_streamed(plan, catalog),
+            ResolutionMode::Blocking => self.execute_blocking(plan, catalog),
+        }
+    }
+
+    /// The pre-streaming execution path: wait for every wrapper call
+    /// (bounded by the deadline), then combine.
+    fn execute_blocking(&self, plan: &PhysicalExpr, catalog: &Catalog) -> Result<Answer> {
         let started = Instant::now();
         let resolved = resolve_execs(plan, &self.registry, catalog, &self.config)?;
-        let mut stats = ExecutionStats {
-            exec_calls: resolved.call_count(),
-            rows_transferred: resolved.rows_transferred(),
-            rows_materialized: 0,
-            unavailable: resolved.unavailable_repositories(),
-            elapsed: std::time::Duration::ZERO,
-            source_calls: resolved.stats().to_vec(),
-        };
         let options = PipelineOptions {
             threads: self.config.threads,
             ..PipelineOptions::default()
         };
-        let answer = if resolved.all_available() {
+        if resolved.all_available() {
             // The answer bag is drawn from the streaming pipeline's final
             // sink; the metrics record what the pipeline actually
             // buffered — per-worker counters merged exactly, so the
             // number is the same at every thread count.
             let metrics = PipelineMetrics::new();
             let data = evaluate_physical_with(plan, &resolved, &metrics, options)?;
-            stats.rows_materialized = metrics.rows_materialized();
-            stats.elapsed = started.elapsed();
-            Answer::complete(data, stats)
+            let stats = ExecutionStats {
+                exec_calls: resolved.call_count(),
+                rows_transferred: resolved.rows_transferred(),
+                rows_materialized: metrics.rows_materialized(),
+                unavailable: resolved.unavailable_repositories(),
+                elapsed: started.elapsed(),
+                source_calls: resolved.stats().to_vec(),
+                time_to_first_row: metrics.time_to_first_row_since(started),
+                source_wait: metrics.source_wait(),
+            };
+            Ok(Answer::complete(data, stats))
         } else {
-            let logical = plan.to_logical();
-            let substituted = substitute_resolved(&logical, &resolved);
-            let (data, residual) = partial_evaluate_opts(&substituted, &resolved, options)?;
-            stats.elapsed = started.elapsed();
-            match residual {
-                Some(residual) => Answer::partial(data, residual, stats),
-                None => Answer::complete(data, stats),
-            }
+            self.partial_answer(plan, &resolved, options, started, None)
+        }
+    }
+
+    /// The streamed execution path: spawn every wrapper call, evaluate
+    /// optimistically while chunks arrive, and fall back to partial
+    /// evaluation when a source turns out (or is deadline-classified)
+    /// unavailable.
+    fn execute_streamed(&self, plan: &PhysicalExpr, catalog: &Catalog) -> Result<Answer> {
+        let started = Instant::now();
+        let mut resolved = resolve_execs_streamed(plan, &self.registry, catalog, &self.config)?;
+        let options = PipelineOptions {
+            threads: self.config.threads,
+            ..PipelineOptions::default()
         };
-        Ok(answer)
+        let metrics = PipelineMetrics::new();
+        match evaluate_physical_with(plan, &resolved, &metrics, options) {
+            Ok(data) => {
+                // Drained every source the plan touches.  Wait for the
+                // (rare) spools evaluation never pulled — e.g. a nested
+                // sub-plan guarded by an empty outer — so classification
+                // matches the blocking path's exactly.
+                resolved.finalize_streamed()?;
+                if resolved.all_available() {
+                    let stats = ExecutionStats {
+                        exec_calls: resolved.call_count(),
+                        rows_transferred: resolved.rows_transferred(),
+                        rows_materialized: metrics.rows_materialized(),
+                        unavailable: Vec::new(),
+                        elapsed: started.elapsed(),
+                        source_calls: resolved.stats().to_vec(),
+                        time_to_first_row: metrics.time_to_first_row_since(started),
+                        source_wait: metrics.source_wait(),
+                    };
+                    Ok(Answer::complete(data, stats))
+                } else {
+                    // An undrained source missed the deadline: produce the
+                    // same partial answer the blocking path would.
+                    self.partial_answer(plan, &resolved, options, started, Some(&metrics))
+                }
+            }
+            Err(RuntimeError::PendingUnavailable(_)) => {
+                resolved.finalize_streamed()?;
+                self.partial_answer(plan, &resolved, options, started, Some(&metrics))
+            }
+            Err(other) => {
+                // Hard error: disconnect the remaining wrapper calls so
+                // they wind down instead of running detached.
+                resolved.cancel_pending();
+                Err(other)
+            }
+        }
+    }
+
+    /// Partial evaluation over finalized outcomes: data from the sources
+    /// that answered plus the residual plan over the ones that did not.
+    /// `streamed` carries the optimistic attempt's metrics, whose
+    /// first-row timestamp is genuine — the row reached the sink while
+    /// sources were still answering.
+    fn partial_answer(
+        &self,
+        plan: &PhysicalExpr,
+        resolved: &ResolvedExecs,
+        options: PipelineOptions,
+        started: Instant,
+        streamed: Option<&PipelineMetrics>,
+    ) -> Result<Answer> {
+        let logical = plan.to_logical();
+        let substituted = substitute_resolved(&logical, resolved);
+        let (data, residual) = partial_evaluate_opts(&substituted, resolved, options)?;
+        let stats = ExecutionStats {
+            exec_calls: resolved.call_count(),
+            rows_transferred: resolved.rows_transferred(),
+            rows_materialized: 0,
+            unavailable: resolved.unavailable_repositories(),
+            elapsed: started.elapsed(),
+            source_calls: resolved.stats().to_vec(),
+            time_to_first_row: streamed.and_then(|m| m.time_to_first_row_since(started)),
+            source_wait: streamed
+                .map(PipelineMetrics::source_wait)
+                .unwrap_or_default(),
+        };
+        Ok(match residual {
+            Some(residual) => Answer::partial(data, residual, stats),
+            None => Answer::complete(data, stats),
+        })
     }
 }
 

@@ -88,8 +88,8 @@ pub use eval::{
     evaluate_physical_with_options, evaluate_with_outer,
 };
 pub use exec::{
-    collect_exec_calls, resolve_execs, ExecKey, ExecOutcome, ExecutionConfig, ResolvedExecs,
-    SourceCallStats,
+    collect_exec_calls, resolve_execs, resolve_execs_streamed, ExecKey, ExecOutcome,
+    ExecutionConfig, PendingSource, ResolutionMode, ResolvedExecs, SourceCallStats,
 };
 pub use executor::Executor;
 pub use partial::{

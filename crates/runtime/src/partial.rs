@@ -34,6 +34,17 @@ pub struct ExecutionStats {
     pub elapsed: std::time::Duration,
     /// Per-call details.
     pub source_calls: Vec<SourceCallStats>,
+    /// How long after the query started the first answer row reached the
+    /// final sink.  Under streamed resolution this is typically far below
+    /// [`ExecutionStats::elapsed`]: fast sources' rows are combined while
+    /// slow sources are still answering.  `None` for empty answers and
+    /// for blocking partial evaluation (which only combines at the end).
+    pub time_to_first_row: Option<std::time::Duration>,
+    /// Total time the combine step spent blocked waiting on
+    /// still-streaming sources (summed across workers).  The complement
+    /// of overlap: time inside the execution window *not* spent here was
+    /// useful mediator-side work.
+    pub source_wait: std::time::Duration,
 }
 
 /// The answer to a query: data plus, when sources were unavailable, the
@@ -112,6 +123,14 @@ impl Answer {
     #[must_use]
     pub fn unavailable_sources(&self) -> &[String] {
         &self.stats.unavailable
+    }
+
+    /// How long after the query started the first answer row reached the
+    /// final sink (the streamed-resolution latency win; `None` when no
+    /// row was produced before the combine finished).
+    #[must_use]
+    pub fn time_to_first_row(&self) -> Option<std::time::Duration> {
+        self.stats.time_to_first_row
     }
 
     /// Execution statistics.

@@ -66,6 +66,10 @@ impl<'a> RowStream<'a> for FilterCursor<'a> {
         self.scratch = scratch;
         Ok(more)
     }
+
+    fn ready(&self) -> bool {
+        self.input.ready()
+    }
 }
 
 /// Projects struct rows onto named columns (`mkproj`).
@@ -132,6 +136,10 @@ impl<'a> RowStream<'a> for ProjectCursor<'a> {
         self.scratch = scratch;
         Ok(more)
     }
+
+    fn ready(&self) -> bool {
+        self.input.ready()
+    }
 }
 
 /// Evaluates a scalar projection per row (`mkmap`).  Join rows are
@@ -178,6 +186,10 @@ impl<'a> RowStream<'a> for MapCursor<'a> {
         }
         self.scratch = scratch;
         Ok(more)
+    }
+
+    fn ready(&self) -> bool {
+        self.input.ready()
     }
 }
 
@@ -226,5 +238,9 @@ impl<'a> RowStream<'a> for BindCursor<'a> {
         }
         self.scratch = scratch;
         Ok(more)
+    }
+
+    fn ready(&self) -> bool {
+        self.input.ready()
     }
 }

@@ -44,7 +44,9 @@ mod scan;
 mod sink;
 mod union;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 use disco_algebra::{
     eval_scalar_with, lower, AlgebraError, Env, LogicalExpr, PhysicalExpr, ScalarExpr,
@@ -235,6 +237,19 @@ pub trait RowStream<'a> {
     /// `Err` the stream state is unspecified and it should be dropped.
     fn next_row(&mut self) -> Option<Result<Row<'a>>>;
 
+    /// Whether a pull would make progress *without blocking on a
+    /// still-streaming source*.  Cursors over materialized inputs are
+    /// always ready; a pending scan reports its spool state, and
+    /// streaming transformers (filter, map, bind, project, flatten)
+    /// delegate to their input.  Unions use this to pull from whichever
+    /// branch has data while slower sources are still answering.
+    ///
+    /// `true` is always a *safe* answer (the pull may still block); it
+    /// only costs overlap, never correctness.
+    fn ready(&self) -> bool {
+        true
+    }
+
     /// Appends up to `max` rows to `out`.
     ///
     /// Returns `Ok(false)` once the stream is exhausted (no future call
@@ -269,11 +284,44 @@ pub type BoxedRowStream<'a> = Box<dyn RowStream<'a> + 'a>;
 /// per-worker counts sum to the same totals at every thread count.  One
 /// `PipelineMetrics` instance tracks one plan execution (or one worker's
 /// share of it), including any correlated sub-queries it evaluates.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PipelineMetrics {
     rows_materialized: AtomicUsize,
     rows_merged: AtomicUsize,
     rows_emitted: AtomicUsize,
+    /// Nanoseconds since [`metrics_epoch`] at which the first row reached
+    /// a sink through this instance; `u64::MAX` = no row yet.
+    first_row_ns: AtomicU64,
+    /// Nanoseconds a consumer of this instance spent blocked waiting for
+    /// a still-streaming source (pending-scan waits).  The complement of
+    /// overlap: execution-window time not spent here was useful combine
+    /// work (or idle workers).
+    source_wait_ns: AtomicU64,
+}
+
+impl Default for PipelineMetrics {
+    fn default() -> Self {
+        PipelineMetrics {
+            rows_materialized: AtomicUsize::new(0),
+            rows_merged: AtomicUsize::new(0),
+            rows_emitted: AtomicUsize::new(0),
+            first_row_ns: AtomicU64::new(u64::MAX),
+            source_wait_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The process-wide epoch first-row timestamps are measured against
+/// (fixed at first use, so offsets from different metrics instances are
+/// comparable and `merge` can take a plain minimum).
+fn metrics_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn since_epoch_ns() -> u64 {
+    metrics_epoch().elapsed().as_nanos() as u64
 }
 
 impl PipelineMetrics {
@@ -287,6 +335,8 @@ impl PipelineMetrics {
     /// of per-worker metrics: each worker counts into a private instance
     /// and the scheduler folds them all into the caller's, so
     /// `rows_materialized` & co. are exact sums, never racy snapshots.
+    /// First-row timestamps merge by minimum; source-wait times sum (they
+    /// are per-consumer blocked time, not wall-clock).
     pub fn merge(&self, other: &PipelineMetrics) {
         self.rows_materialized
             .fetch_add(other.rows_materialized(), Ordering::Relaxed);
@@ -294,6 +344,14 @@ impl PipelineMetrics {
             .fetch_add(other.rows_merged(), Ordering::Relaxed);
         self.rows_emitted
             .fetch_add(other.rows_emitted(), Ordering::Relaxed);
+        self.first_row_ns.fetch_min(
+            other.first_row_ns.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.source_wait_ns.fetch_add(
+            other.source_wait_ns.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
     }
 
     /// Rows buffered by pipeline breakers: the hash-join build side, the
@@ -320,16 +378,55 @@ impl PipelineMetrics {
         self.rows_emitted.load(Ordering::Relaxed)
     }
 
+    /// When the first row reached a sink, as an elapsed time since
+    /// `started` — the *time-to-first-row* of the execution.  `None` when
+    /// no row was emitted (empty answers) or `started` is after the first
+    /// row.
+    #[must_use]
+    pub fn time_to_first_row_since(&self, started: Instant) -> Option<Duration> {
+        let ns = self.first_row_ns.load(Ordering::Relaxed);
+        if ns == u64::MAX {
+            return None;
+        }
+        let at = metrics_epoch() + Duration::from_nanos(ns);
+        Some(at.saturating_duration_since(started))
+    }
+
+    /// Total time consumers spent blocked waiting on still-streaming
+    /// sources (summed across workers).
+    #[must_use]
+    pub fn source_wait(&self) -> Duration {
+        Duration::from_nanos(self.source_wait_ns.load(Ordering::Relaxed))
+    }
+
+    fn note_first_row(&self) {
+        if self.first_row_ns.load(Ordering::Relaxed) == u64::MAX {
+            self.first_row_ns
+                .fetch_min(since_epoch_ns(), Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn add_source_wait(&self, blocked: Duration) {
+        #[allow(clippy::cast_possible_truncation)]
+        self.source_wait_ns
+            .fetch_add(blocked.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     pub(crate) fn bump_materialized(&self) {
         self.rows_materialized.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn bump_emitted(&self) {
         self.rows_emitted.fetch_add(1, Ordering::Relaxed);
+        self.note_first_row();
     }
 
     pub(crate) fn add_emitted(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
         self.rows_emitted.fetch_add(n, Ordering::Relaxed);
+        self.note_first_row();
     }
 }
 
@@ -458,6 +555,10 @@ pub(crate) fn build<'a>(
             let key = ExecKey::new(repository, extent, logical);
             match ctx.resolved.outcome(&key) {
                 Some(ExecOutcome::Rows(rows)) => Ok(Box::new(scan::ScanCursor::new(rows))),
+                Some(ExecOutcome::Pending(source)) => Ok(Box::new(scan::PendingScanCursor::new(
+                    std::sync::Arc::clone(source),
+                    ctx.metrics,
+                ))),
                 Some(ExecOutcome::Unavailable) => Err(RuntimeError::Unsupported(format!(
                     "exec call to unavailable source {repository} reached the evaluator"
                 ))),
@@ -537,7 +638,7 @@ pub(crate) fn build<'a>(
                 .iter()
                 .map(|item| build(item, ctx))
                 .collect::<Result<Vec<_>>>()?;
-            Ok(Box::new(union::UnionCursor::new(cursors)))
+            Ok(Box::new(union::UnionCursor::new(cursors, ctx)))
         }
         PhysicalExpr::MkFlatten(inner) => {
             Ok(Box::new(union::FlattenCursor::new(build(inner, ctx)?, ctx)))
@@ -572,6 +673,12 @@ pub fn estimated_rows(plan: &PhysicalExpr, resolved: &ResolvedExecs) -> Option<u
             let key = ExecKey::new(repository, extent, logical);
             match resolved.outcome(&key) {
                 Some(ExecOutcome::Rows(rows)) => Some(rows.len()),
+                // A pending source blocks until its call completes (bounded
+                // by the deadline): hash-join build-side choices — and with
+                // them `rows_materialized` — stay identical to the blocking
+                // path's.  Union/branch shapes never ask, so the federated
+                // overlap path is unaffected.
+                Some(ExecOutcome::Pending(source)) => source.await_len(),
                 _ => None,
             }
         }

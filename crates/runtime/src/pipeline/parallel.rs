@@ -48,16 +48,18 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
+use std::sync::Arc;
+
 use disco_algebra::{AggKind, Env, PhysicalExpr, ScalarExpr};
 use disco_value::{Bag, Value};
 use parking_lot::Mutex;
 
-use crate::exec::{ExecKey, ExecOutcome, ResolvedExecs};
+use crate::exec::{ExecKey, ExecOutcome, PendingSource, Progress, ResolvedExecs};
 use crate::{Result, RuntimeError};
 
 use super::exchange::{
     empty_shards, morsel_ranges, shard_count, shard_of, JoinTable, KeyedRow, MorselQueue,
-    Scattered, SharedProbeCursor,
+    Scattered, SharedProbeCursor, MORSEL_ROWS,
 };
 use super::join::BuildSide;
 use super::sink::{AggState, SeenSet};
@@ -118,6 +120,14 @@ enum PartSource<'a> {
         node: &'a PhysicalExpr,
         branches: &'a [PhysicalExpr],
     },
+    /// A still-resolving `exec` leaf: a morsel source that *grows* as the
+    /// wrapper pushes chunks.  Workers claim chunks of arrived rows from
+    /// the spool, so the combine step overlaps source latency at every
+    /// thread count.
+    Stream {
+        node: &'a PhysicalExpr,
+        source: &'a Arc<PendingSource>,
+    },
 }
 
 /// One hash join on the probe path, executed as a build phase plus a
@@ -141,15 +151,154 @@ struct ParPlan<'a> {
     source: PartSource<'a>,
 }
 
-/// One claimable unit of pipeline work.
+/// One claimable unit of pipeline work, tagged with its merge id so
+/// per-task outputs can be re-ordered deterministically at the barrier.
 #[derive(Clone)]
 enum Task {
     /// The whole (un-partitioned) pipeline as a single task.
     Whole,
     /// A sub-range of the partition leaf's rows.
-    Range(std::ops::Range<usize>),
+    Range {
+        id: usize,
+        range: std::ops::Range<usize>,
+    },
     /// One union branch.
-    Branch(usize),
+    Branch { id: usize, index: usize },
+    /// One chunk of rows claimed from a growing (pending) source; `id` is
+    /// the claim sequence number, which equals the chunk's position in
+    /// the spool's arrival order.
+    Chunk { id: usize, rows: Arc<Vec<Value>> },
+}
+
+impl Task {
+    fn id(&self) -> usize {
+        match self {
+            Task::Whole => 0,
+            Task::Range { id, .. } | Task::Branch { id, .. } | Task::Chunk { id, .. } => *id,
+        }
+    }
+}
+
+/// Claim state of a [`TaskQueue::Stream`].
+struct StreamClaim {
+    /// Spool rows already handed out as chunks.
+    offset: usize,
+    /// Next chunk id.
+    seq: usize,
+}
+
+/// Hands out tasks to workers: either a fixed, precomputed list (leaf
+/// ranges, union branches) or a stream of chunks claimed from a pending
+/// source as its rows arrive.
+enum TaskQueue<'q> {
+    Fixed {
+        queue: MorselQueue,
+        tasks: Vec<Task>,
+    },
+    Stream {
+        source: &'q Arc<PendingSource>,
+        claim: Mutex<StreamClaim>,
+        /// Where blocked claim time is charged (`PipelineMetrics::
+        /// source_wait`).  One shared instance is enough: waits are
+        /// summed at the merge barrier, not attributed per worker.
+        wait_metrics: &'q PipelineMetrics,
+    },
+}
+
+impl<'q> TaskQueue<'q> {
+    fn fixed(tasks: Vec<Task>) -> Self {
+        TaskQueue::Fixed {
+            queue: MorselQueue::new(tasks.len()),
+            tasks,
+        }
+    }
+
+    fn for_source<'a>(
+        source: &'q PartSource<'a>,
+        threads: usize,
+        wait_metrics: &'q PipelineMetrics,
+    ) -> Self {
+        match source {
+            PartSource::Slice { rows, .. } => TaskQueue::fixed(
+                morsel_ranges(rows.len(), threads)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(id, range)| Task::Range { id, range })
+                    .collect(),
+            ),
+            PartSource::Branches { branches, .. } => TaskQueue::fixed(
+                (0..branches.len())
+                    .map(|index| Task::Branch { id: index, index })
+                    .collect(),
+            ),
+            PartSource::Stream { source, .. } => TaskQueue::Stream {
+                source,
+                claim: Mutex::new(StreamClaim { offset: 0, seq: 0 }),
+                wait_metrics,
+            },
+        }
+    }
+
+    /// Wakes workers blocked in [`TaskQueue::claim`] when the phase
+    /// aborts: the pending source is classified unavailable and its
+    /// wrapper call cancelled, so a blocked claimer returns promptly
+    /// instead of waiting out the stream (or the deadline).  The abort's
+    /// own error has a real task id and outranks the claimer's, so the
+    /// surfaced failure is unchanged.  No-op for fixed queues, whose
+    /// claims never block.
+    fn interrupt(&self) {
+        if let TaskQueue::Stream { source, .. } = self {
+            source.interrupt();
+        }
+    }
+
+    /// An upper bound on useful workers; `None` when unknown (stream).
+    fn task_hint(&self) -> Option<usize> {
+        match self {
+            TaskQueue::Fixed { tasks, .. } => Some(tasks.len()),
+            TaskQueue::Stream { .. } => None,
+        }
+    }
+
+    /// Claims the next task; blocks on a stream source until rows arrive.
+    ///
+    /// # Errors
+    ///
+    /// Stream sources propagate unavailability (deadline / reported),
+    /// hard wrapper failures and contained wrapper panics.
+    fn claim(&self) -> Result<Option<Task>> {
+        match self {
+            TaskQueue::Fixed { queue, tasks } => Ok(queue.claim().map(|i| tasks[i].clone())),
+            TaskQueue::Stream {
+                source,
+                claim,
+                wait_metrics,
+            } => {
+                let mut claim = claim.lock();
+                let (progress, blocked) = source.wait_rows(claim.offset, MORSEL_ROWS);
+                if !blocked.is_zero() {
+                    wait_metrics.add_source_wait(blocked);
+                }
+                match progress {
+                    Progress::Rows(rows) => {
+                        claim.offset += rows.len();
+                        let id = claim.seq;
+                        claim.seq += 1;
+                        Ok(Some(Task::Chunk {
+                            id,
+                            rows: Arc::new(rows),
+                        }))
+                    }
+                    Progress::Done => Ok(None),
+                    Progress::Unavailable => Err(RuntimeError::PendingUnavailable(
+                        source.repository().to_owned(),
+                    )),
+                    Progress::Failed(err) => Err(RuntimeError::Wrapper(err)),
+                    Progress::Panicked(msg) => Err(RuntimeError::WorkerPanic(msg)),
+                }
+            }
+        }
+    }
 }
 
 /// Attempts to evaluate `plan` on the parallel engine; `None` when the
@@ -226,6 +375,9 @@ fn descend<'a>(
                         node,
                         rows: rows.as_slice(),
                     }),
+                    // A still-streaming call is a *growing* morsel source:
+                    // workers claim chunks as the wrapper pushes them.
+                    Some(ExecOutcome::Pending(source)) => Some(PartSource::Stream { node, source }),
                     // Unresolved / unavailable: leave it to the serial
                     // path, which reports the precise error for this node.
                     _ => None,
@@ -356,7 +508,7 @@ fn run_phases<'a>(
     }
 
     // Terminal phase over the partitioned pipeline.
-    let tasks = source_tasks(&par.source, threads);
+    let tasks = TaskQueue::for_source(&par.source, threads, &worker_metrics[0]);
     let pipeline = PartPipeline {
         body: par.body,
         stages: &par.stages,
@@ -366,9 +518,9 @@ fn run_phases<'a>(
     match par.terminal {
         Terminal::Collect => {
             let acc: Mutex<Vec<(usize, Vec<Value>)>> = Mutex::new(Vec::new());
-            for_each_task(threads, tasks.len(), |worker, task| {
+            for_each_task(threads, &tasks, |worker, task| {
                 let ctx = ctxs[worker];
-                let mut cursor = pipeline.open(&tasks[task], ctx)?;
+                let mut cursor = pipeline.open(task, ctx)?;
                 let mut out = Vec::new();
                 let mut buf = Vec::with_capacity(BATCH_ROWS);
                 loop {
@@ -382,7 +534,7 @@ fn run_phases<'a>(
                         break;
                     }
                 }
-                acc.lock().push((task, out));
+                acc.lock().push((task.id(), out));
                 Ok(())
             })?;
             Ok(concat_in_order(acc.into_inner()))
@@ -401,9 +553,9 @@ fn run_phases<'a>(
                 .map(|_| Mutex::new(SeenSet::with_hasher(route.clone())))
                 .collect();
             let acc: Mutex<Vec<(usize, Vec<Value>)>> = Mutex::new(Vec::new());
-            for_each_task(threads, tasks.len(), |worker, task| {
+            for_each_task(threads, &tasks, |worker, task| {
                 let ctx = ctxs[worker];
-                let mut cursor = pipeline.open(&tasks[task], ctx)?;
+                let mut cursor = pipeline.open(task, ctx)?;
                 let mut out = Vec::new();
                 let mut buf = Vec::with_capacity(BATCH_ROWS);
                 loop {
@@ -447,16 +599,16 @@ fn run_phases<'a>(
                         break;
                     }
                 }
-                acc.lock().push((task, out));
+                acc.lock().push((task.id(), out));
                 Ok(())
             })?;
             Ok(concat_in_order(acc.into_inner()))
         }
         Terminal::Aggregate(func) => {
             let acc: Mutex<Vec<(usize, AggState)>> = Mutex::new(Vec::new());
-            for_each_task(threads, tasks.len(), |worker, task| {
+            for_each_task(threads, &tasks, |worker, task| {
                 let ctx = ctxs[worker];
-                let mut cursor = pipeline.open(&tasks[task], ctx)?;
+                let mut cursor = pipeline.open(task, ctx)?;
                 let mut state = AggState::new(func);
                 let mut buf = Vec::with_capacity(BATCH_ROWS);
                 loop {
@@ -476,7 +628,7 @@ fn run_phases<'a>(
                         break;
                     }
                 }
-                acc.lock().push((task, state));
+                acc.lock().push((task.id(), state));
                 Ok(())
             })?;
             let mut states = acc.into_inner();
@@ -508,8 +660,8 @@ fn build_stage_table<'a>(
     // buffering happens exactly once, as in the serial engine.
     let source = descend(stage.build, resolved, options, None);
     let tasks = match &source {
-        Some(source) => source_tasks(source, threads),
-        None => vec![Task::Whole],
+        Some(source) => TaskQueue::for_source(source, threads, ctxs[0].metrics),
+        None => TaskQueue::fixed(vec![Task::Whole]),
     };
     let pipeline = PartPipeline {
         body: stage.build,
@@ -519,9 +671,9 @@ fn build_stage_table<'a>(
     };
     let hasher = RandomState::new();
     let acc: Mutex<Scattered<KeyedRow<'a>>> = Mutex::new(Vec::new());
-    for_each_task(threads, tasks.len(), |worker, task| {
+    for_each_task(threads, &tasks, |worker, task| {
         let ctx = ctxs[worker];
-        let mut cursor = pipeline.open(&tasks[task], ctx)?;
+        let mut cursor = pipeline.open(task, ctx)?;
         let mut grid = empty_shards(shards);
         let mut buf = Vec::with_capacity(BATCH_ROWS);
         loop {
@@ -542,7 +694,7 @@ fn build_stage_table<'a>(
                 break;
             }
         }
-        acc.lock().push((task, grid));
+        acc.lock().push((task.id(), grid));
         Ok(())
     })?;
     let mut outputs = acc.into_inner();
@@ -562,17 +714,6 @@ fn concat_in_order(mut outs: Vec<(usize, Vec<Value>)>) -> Bag {
         all.extend(values);
     }
     Bag::from(all)
-}
-
-/// The claimable tasks of a partition source.
-fn source_tasks(source: &PartSource<'_>, threads: usize) -> Vec<Task> {
-    match source {
-        PartSource::Slice { rows, .. } => morsel_ranges(rows.len(), threads)
-            .into_iter()
-            .map(Task::Range)
-            .collect(),
-        PartSource::Branches { branches, .. } => (0..branches.len()).map(Task::Branch).collect(),
-    }
 }
 
 /// A partitioned pipeline: opens one cursor tree per task, substituting
@@ -601,17 +742,24 @@ impl<'p, 'a> PartPipeline<'p, 'a> {
         // The partition point: this task's slice of the leaf, or its
         // union branch.
         match (self.source, task) {
-            (Some(PartSource::Slice { node: n, rows }), Task::Range(range))
+            (Some(PartSource::Slice { node: n, rows }), Task::Range { range, .. })
                 if std::ptr::eq::<PhysicalExpr>(*n, node) =>
             {
                 return Ok(Box::new(super::scan::ScanCursor::over(
                     &rows[range.clone()],
                 )));
             }
-            (Some(PartSource::Branches { node: n, branches }), Task::Branch(index))
+            (Some(PartSource::Branches { node: n, branches }), Task::Branch { index, .. })
                 if std::ptr::eq::<PhysicalExpr>(*n, node) =>
             {
                 return build(&branches[*index], ctx);
+            }
+            (Some(PartSource::Stream { node: n, .. }), Task::Chunk { rows, .. })
+                if std::ptr::eq::<PhysicalExpr>(*n, node) =>
+            {
+                return Ok(Box::new(super::scan::ChunkScanCursor::new(Arc::clone(
+                    rows,
+                ))));
             }
             _ => {}
         }
@@ -659,44 +807,57 @@ impl<'p, 'a> PartPipeline<'p, 'a> {
     }
 }
 
-/// Runs `work(worker, task)` for every task index on a pool of `threads`
-/// scoped workers, claiming tasks from a shared queue.  Panics become
-/// [`RuntimeError::WorkerPanic`]; the first failure (by task order) wins
-/// and flips an abort flag that stops the other workers at their next
-/// claim.
-fn for_each_task<F>(threads: usize, total: usize, work: F) -> Result<()>
+/// Runs `work(worker, task)` for every task of `queue` on a pool of
+/// `threads` scoped workers.  Panics become
+/// [`RuntimeError::WorkerPanic`]; the first failure (by task id) wins and
+/// flips an abort flag that stops the other workers at their next claim.
+/// Stream queues block claims until chunks arrive, so workers drain a
+/// growing source until its spool reports a terminal status.
+fn for_each_task<F>(threads: usize, queue: &TaskQueue<'_>, work: F) -> Result<()>
 where
-    F: Fn(usize, usize) -> Result<()> + Sync,
+    F: Fn(usize, &Task) -> Result<()> + Sync,
 {
-    if total == 0 {
+    if queue.task_hint() == Some(0) {
         return Ok(());
     }
-    let queue = MorselQueue::new(total);
+    let workers = match queue.task_hint() {
+        Some(total) => threads.min(total),
+        None => threads,
+    };
     let abort = AtomicBool::new(false);
     let failure: Mutex<Option<(usize, RuntimeError)>> = Mutex::new(None);
     std::thread::scope(|scope| {
-        for worker in 0..threads.min(total) {
-            let queue = &queue;
+        for worker in 0..workers {
             let abort = &abort;
             let failure = &failure;
             let work = &work;
-            scope.spawn(move || {
-                while let Some(task) = queue.claim() {
-                    if abort.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let outcome = catch_unwind(AssertUnwindSafe(|| work(worker, task)));
-                    let error = match outcome {
-                        Ok(Ok(())) => continue,
-                        Ok(Err(error)) => error,
-                        Err(payload) => RuntimeError::WorkerPanic(panic_message(&*payload)),
-                    };
-                    let mut slot = failure.lock();
-                    if slot.as_ref().is_none_or(|(first, _)| task < *first) {
-                        *slot = Some((task, error));
-                    }
-                    abort.store(true, Ordering::Relaxed);
+            scope.spawn(move || loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
                 }
+                let (id, error) = match queue.claim() {
+                    Ok(Some(task)) => {
+                        let id = task.id();
+                        match catch_unwind(AssertUnwindSafe(|| work(worker, &task))) {
+                            Ok(Ok(())) => continue,
+                            Ok(Err(error)) => (id, error),
+                            Err(payload) => {
+                                (id, RuntimeError::WorkerPanic(panic_message(&*payload)))
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    // A claim error (unavailable / failed / panicked
+                    // source) outranks nothing: any work error with a
+                    // task id wins the deterministic-first slot.
+                    Err(error) => (usize::MAX, error),
+                };
+                let mut slot = failure.lock();
+                if slot.as_ref().is_none_or(|(first, _)| id < *first) {
+                    *slot = Some((id, error));
+                }
+                abort.store(true, Ordering::Relaxed);
+                queue.interrupt();
             });
         }
     });
@@ -707,7 +868,7 @@ where
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

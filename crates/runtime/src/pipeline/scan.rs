@@ -1,8 +1,15 @@
-//! Leaf cursors: scans over in-memory bags.
+//! Leaf cursors: scans over in-memory bags and over still-streaming
+//! pending sources.
 
-use disco_value::Bag;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
-use super::{Result, Row, RowStream};
+use disco_value::{Bag, Value};
+
+use crate::exec::{PendingSource, Progress};
+use crate::RuntimeError;
+
+use super::{PipelineMetrics, Result, Row, RowStream, BATCH_ROWS};
 
 /// Streams the elements of a bag **by reference**: the bag lives in the
 /// plan (`memscan` literal data) or in the resolved `exec` outcomes, both
@@ -39,5 +46,131 @@ impl<'a> RowStream<'a> for ScanCursor<'a> {
         out.extend(self.items[self.index..end].iter().map(Row::borrowed));
         self.index = end;
         Ok(self.index < self.items.len())
+    }
+}
+
+/// Streams a still-resolving `exec` call: rows are pulled out of the
+/// [`PendingSource`] spool as the wrapper thread pushes chunks, so the
+/// pipeline above combines data while slower sources are still answering.
+/// The cursor blocks only when *its own* source is behind; the blocked
+/// time is charged to [`PipelineMetrics::source_wait`].
+///
+/// Rows are cloned out of the spool (`Arc` bumps), so the cursor owns its
+/// rows and several scans of the same deduplicated call can read one
+/// spool independently, each with its own index.
+///
+/// At the execution deadline a blocked wait flips the spool to
+/// unavailable; the cursor then surfaces
+/// [`RuntimeError::PendingUnavailable`], which the executor catches to
+/// fall back to partial evaluation.
+pub(crate) struct PendingScanCursor<'a> {
+    source: Arc<PendingSource>,
+    metrics: &'a PipelineMetrics,
+    /// Read index into the spool (rows consumed into `buf`).
+    index: usize,
+    /// Rows fetched but not yet handed out (feeds `next_row`).
+    buf: VecDeque<Value>,
+    exhausted: bool,
+}
+
+impl<'a> PendingScanCursor<'a> {
+    pub(crate) fn new(source: Arc<PendingSource>, metrics: &'a PipelineMetrics) -> Self {
+        PendingScanCursor {
+            source,
+            metrics,
+            index: 0,
+            buf: VecDeque::new(),
+            exhausted: false,
+        }
+    }
+
+    /// Waits for up to `max` more rows; `None` when the stream completed.
+    fn fetch(&mut self, max: usize) -> Result<Option<Vec<Value>>> {
+        if self.exhausted {
+            return Ok(None);
+        }
+        let (progress, blocked) = self.source.wait_rows(self.index, max);
+        if !blocked.is_zero() {
+            self.metrics.add_source_wait(blocked);
+        }
+        match progress {
+            Progress::Rows(rows) => {
+                self.index += rows.len();
+                Ok(Some(rows))
+            }
+            Progress::Done => {
+                self.exhausted = true;
+                Ok(None)
+            }
+            Progress::Unavailable => Err(RuntimeError::PendingUnavailable(
+                self.source.repository().to_owned(),
+            )),
+            Progress::Failed(err) => Err(RuntimeError::Wrapper(err)),
+            Progress::Panicked(msg) => Err(RuntimeError::WorkerPanic(msg)),
+        }
+    }
+}
+
+impl<'a> RowStream<'a> for PendingScanCursor<'a> {
+    fn next_row(&mut self) -> Option<Result<Row<'a>>> {
+        if let Some(value) = self.buf.pop_front() {
+            return Some(Ok(Row::owned(value)));
+        }
+        match self.fetch(BATCH_ROWS) {
+            Ok(Some(rows)) => {
+                self.buf.extend(rows);
+                self.buf.pop_front().map(|value| Ok(Row::owned(value)))
+            }
+            Ok(None) => None,
+            Err(err) => Some(Err(err)),
+        }
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Row<'a>>, max: usize) -> Result<bool> {
+        if !self.buf.is_empty() {
+            let take = self.buf.len().min(max);
+            out.extend(self.buf.drain(..take).map(Row::owned));
+            return Ok(true);
+        }
+        match self.fetch(max)? {
+            Some(rows) => {
+                out.extend(rows.into_iter().map(Row::owned));
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn ready(&self) -> bool {
+        !self.buf.is_empty() || self.exhausted || self.source.ready(self.index)
+    }
+}
+
+/// A scan over an owned chunk of rows — the parallel engine's morsel unit
+/// for *growing* (pending) sources: workers claim chunks as they land in
+/// the spool and run their cursor tree over each.
+pub(crate) struct ChunkScanCursor {
+    rows: Arc<Vec<Value>>,
+    index: usize,
+}
+
+impl ChunkScanCursor {
+    pub(crate) fn new(rows: Arc<Vec<Value>>) -> Self {
+        ChunkScanCursor { rows, index: 0 }
+    }
+}
+
+impl<'a> RowStream<'a> for ChunkScanCursor {
+    fn next_row(&mut self) -> Option<Result<Row<'a>>> {
+        let value = self.rows.get(self.index)?.clone();
+        self.index += 1;
+        Some(Ok(Row::owned(value)))
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Row<'a>>, max: usize) -> Result<bool> {
+        let end = (self.index + max).min(self.rows.len());
+        out.extend(self.rows[self.index..end].iter().cloned().map(Row::owned));
+        self.index = end;
+        Ok(self.index < self.rows.len())
     }
 }

@@ -1,44 +1,106 @@
 //! Streaming union and flatten.
 
+use std::sync::Arc;
+
 use disco_value::{Bag, BagCursor, Value};
+
+use crate::exec::ResolutionEvents;
 
 use super::{BoxedRowStream, PipelineCtx, Result, Row, RowStream};
 
-/// Streams each branch in turn (`mkunion`) — no branch result is ever
+/// Streams union branches (`mkunion`) — no branch result is ever
 /// collected into an intermediate bag.
+///
+/// With materialized inputs every branch is always [`RowStream::ready`],
+/// so branches drain in order, exactly the pre-streaming behaviour.  With
+/// *pending* (still-resolving) sources among the branches, the cursor
+/// polls readiness and pulls from whichever branch has data: the
+/// per-source scans of a federated extent emit rows as each wrapper
+/// answers, instead of the slowest branch gating all the ones behind it.
+/// When no branch is ready it parks on the resolution's shared event
+/// channel until any source makes progress (bounded by the deadline).
+/// Union output is a bag, so the arrival-dependent order never changes
+/// the answer multiset or any metric.
 pub(crate) struct UnionCursor<'a> {
     items: Vec<BoxedRowStream<'a>>,
-    index: usize,
+    /// Indexes into `items` that are not yet exhausted.
+    active: Vec<usize>,
+    events: Option<Arc<ResolutionEvents>>,
 }
 
 impl<'a> UnionCursor<'a> {
-    pub(crate) fn new(items: Vec<BoxedRowStream<'a>>) -> Self {
-        UnionCursor { items, index: 0 }
+    pub(crate) fn new(items: Vec<BoxedRowStream<'a>>, ctx: PipelineCtx<'a>) -> Self {
+        let active = (0..items.len()).collect();
+        UnionCursor {
+            items,
+            active,
+            events: ctx.resolved.events().cloned(),
+        }
+    }
+
+    /// The next branch to pull from: the first active branch that is
+    /// ready, blocking on the event channel while none is.  `None` when
+    /// every branch is exhausted.
+    fn pick(&mut self) -> Option<usize> {
+        loop {
+            if self.active.is_empty() {
+                return None;
+            }
+            // Read the generation before polling readiness so a chunk
+            // landing between the poll and the wait cannot be missed.
+            let seen = self.events.as_ref().map(|e| e.generation());
+            if let Some(pos) = self
+                .active
+                .iter()
+                .position(|&index| self.items[index].ready())
+            {
+                return Some(pos);
+            }
+            match (&self.events, seen) {
+                (Some(events), Some(seen)) => {
+                    if events.deadline_passed() || !events.wait_after(seen) {
+                        // Deadline: pull from the first active branch; its
+                        // own wait classifies the source and surfaces the
+                        // pending-unavailable error.
+                        return Some(0);
+                    }
+                }
+                // No streamed resolution: every cursor defaults to ready,
+                // so this is unreachable; pull in order as a safe fallback.
+                _ => return Some(0),
+            }
+        }
     }
 }
 
 impl<'a> RowStream<'a> for UnionCursor<'a> {
     fn next_row(&mut self) -> Option<Result<Row<'a>>> {
-        while let Some(current) = self.items.get_mut(self.index) {
-            match current.next_row() {
+        loop {
+            let pos = self.pick()?;
+            let index = self.active[pos];
+            match self.items[index].next_row() {
                 Some(row) => return Some(row),
-                None => self.index += 1,
+                None => {
+                    self.active.remove(pos);
+                }
             }
         }
-        None
     }
 
     fn next_batch(&mut self, out: &mut Vec<Row<'a>>, max: usize) -> Result<bool> {
-        match self.items.get_mut(self.index) {
-            None => Ok(false),
-            Some(current) => {
-                let more = current.next_batch(out, max)?;
-                if !more {
-                    self.index += 1;
-                }
-                Ok(more || self.index < self.items.len())
-            }
+        let Some(pos) = self.pick() else {
+            return Ok(false);
+        };
+        let index = self.active[pos];
+        let more = self.items[index].next_batch(out, max)?;
+        if !more {
+            self.active.remove(pos);
         }
+        Ok(more || !self.active.is_empty())
+    }
+
+    fn ready(&self) -> bool {
+        self.active.is_empty() || self.active.iter().any(|&index| self.items[index].ready())
     }
 }
 
@@ -84,5 +146,9 @@ impl<'a> RowStream<'a> for FlattenCursor<'a> {
                 other => return Some(Ok(Row::owned(other))),
             }
         }
+    }
+
+    fn ready(&self) -> bool {
+        self.inner.is_some() || self.input.ready()
     }
 }

@@ -51,6 +51,11 @@ pub fn evaluate_with_outer(
             let key = ExecKey::new(repository, extent, logical);
             match resolved.outcome(&key) {
                 Some(ExecOutcome::Rows(rows)) => Ok(rows.clone()),
+                // The reference evaluator predates streamed resolution and
+                // only consumes finalized outcomes.
+                Some(ExecOutcome::Pending(_)) => Err(RuntimeError::Unsupported(format!(
+                    "pending (streaming) exec call to {repository} reached the reference evaluator"
+                ))),
                 Some(ExecOutcome::Unavailable) => Err(RuntimeError::Unsupported(format!(
                     "exec call to unavailable source {repository} reached the evaluator"
                 ))),

@@ -31,6 +31,15 @@ pub enum Availability {
         /// Extra delay in milliseconds.
         extra_ms: u64,
     },
+    /// The source answers, but its throughput is degraded: every *chunk*
+    /// of a streamed answer pays an extra fixed delay.  With chunking
+    /// disabled (one chunk per call) this behaves like [`Availability::Slow`];
+    /// with chunking enabled it models a link that trickles data out —
+    /// the shape the streamed-resolution fault-injection tests exercise.
+    Degraded {
+        /// Extra delay per chunk, in milliseconds.
+        chunk_extra_ms: u64,
+    },
 }
 
 /// The latency/availability profile of the path to one repository.
@@ -47,6 +56,11 @@ pub struct NetworkProfile {
     /// When `true`, [`SimulatedLink::call_delay`] actually sleeps; when
     /// `false` it only reports the simulated duration.
     pub real_sleep: bool,
+    /// Rows per streamed answer chunk.  `0` (the default) disables
+    /// chunking: a streamed call delivers its whole answer as one chunk,
+    /// which makes [`SimulatedLink::chunk_delay`] equivalent to
+    /// [`SimulatedLink::call_delay`].
+    pub chunk_rows: usize,
 }
 
 impl Default for NetworkProfile {
@@ -57,6 +71,7 @@ impl Default for NetworkProfile {
             jitter: 0.1,
             availability: Availability::Available,
             real_sleep: false,
+            chunk_rows: 0,
         }
     }
 }
@@ -104,6 +119,23 @@ impl NetworkProfile {
         self.real_sleep = real_sleep;
         self
     }
+
+    /// Sets the rows-per-chunk of streamed answers (`0` disables chunking).
+    #[must_use]
+    pub fn with_chunk_rows(mut self, chunk_rows: usize) -> Self {
+        self.chunk_rows = chunk_rows;
+        self
+    }
+
+    /// Number of chunks an answer of `rows` rows is delivered in.
+    #[must_use]
+    pub fn chunks_for(&self, rows: usize) -> usize {
+        if self.chunk_rows == 0 || rows <= self.chunk_rows {
+            1
+        } else {
+            rows.div_ceil(self.chunk_rows)
+        }
+    }
 }
 
 /// The simulated link to one repository.
@@ -115,6 +147,7 @@ pub struct SimulatedLink {
     profile: Mutex<NetworkProfile>,
     rng: Mutex<StdRng>,
     calls: Mutex<u64>,
+    chunks: Mutex<u64>,
 }
 
 impl SimulatedLink {
@@ -125,6 +158,7 @@ impl SimulatedLink {
             profile: Mutex::new(profile),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             calls: Mutex::new(0),
+            chunks: Mutex::new(0),
         }
     }
 
@@ -162,6 +196,46 @@ impl SimulatedLink {
         *self.calls.lock()
     }
 
+    /// Number of streamed chunks delivered over this link (bumped once per
+    /// [`SimulatedLink::chunk_delay`]) — lets tests observe whether a
+    /// cancelled call actually stopped producing chunks.
+    #[must_use]
+    pub fn chunk_count(&self) -> u64 {
+        *self.chunks.lock()
+    }
+
+    /// Applies the profile's jitter to a raw microsecond latency.
+    fn jittered(&self, profile: &NetworkProfile, raw_us: f64) -> Duration {
+        let jitter_factor = if profile.jitter > 0.0 {
+            let j: f64 = self.rng.lock().gen_range(-profile.jitter..=profile.jitter);
+            1.0 + j
+        } else {
+            1.0
+        };
+        let us = (raw_us * jitter_factor).max(0.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        Duration::from_micros(us as u64)
+    }
+
+    /// Sleeps for `duration` in short slices, returning early (with `false`)
+    /// as soon as `cancelled` reports the consumer disconnected.  This is
+    /// what lets a deadline-cancelled wrapper call wind down instead of
+    /// blocking detached in the background.
+    fn sleep_cancellable(duration: Duration, cancelled: &dyn Fn() -> bool) -> bool {
+        const SLICE: Duration = Duration::from_millis(2);
+        let end = std::time::Instant::now() + duration;
+        loop {
+            if cancelled() {
+                return false;
+            }
+            let now = std::time::Instant::now();
+            if now >= end {
+                return true;
+            }
+            std::thread::sleep((end - now).min(SLICE));
+        }
+    }
+
     /// Simulates one call transferring `rows` rows: returns the simulated
     /// latency, sleeping for it when the profile asks for real sleeps.
     ///
@@ -174,25 +248,85 @@ impl SimulatedLink {
         *self.calls.lock() += 1;
         match profile.availability {
             Availability::Unavailable => None,
-            Availability::Available | Availability::Slow { .. } => {
+            Availability::Available | Availability::Slow { .. } | Availability::Degraded { .. } => {
                 let extra_ms = match profile.availability {
                     Availability::Slow { extra_ms } => extra_ms,
-                    _ => 0,
+                    // A whole-answer call pays the per-chunk penalty for
+                    // every chunk the answer would have streamed in.
+                    Availability::Degraded { chunk_extra_ms } => {
+                        chunk_extra_ms * profile.chunks_for(rows) as u64
+                    }
+                    Availability::Available | Availability::Unavailable => 0,
                 };
                 let raw_us = profile.base_latency_us as f64
                     + profile.per_row_us as f64 * rows as f64
                     + extra_ms as f64 * 1000.0;
-                let jitter_factor = if profile.jitter > 0.0 {
-                    let j: f64 = self.rng.lock().gen_range(-profile.jitter..=profile.jitter);
-                    1.0 + j
-                } else {
-                    1.0
-                };
-                let us = (raw_us * jitter_factor).max(0.0);
-                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                let duration = Duration::from_micros(us as u64);
+                let duration = self.jittered(&profile, raw_us);
                 if profile.real_sleep {
                     std::thread::sleep(duration);
+                }
+                Some(duration)
+            }
+        }
+    }
+
+    /// The chunk sizes an answer of `rows` rows streams in under the
+    /// current profile.  Always at least one chunk, so even empty answers
+    /// pay (and report) the base latency.
+    #[must_use]
+    pub fn chunk_sizes(&self, rows: usize) -> Vec<usize> {
+        let profile = self.profile.lock().clone();
+        let chunks = profile.chunks_for(rows);
+        if chunks <= 1 {
+            return vec![rows];
+        }
+        let size = profile.chunk_rows;
+        (0..chunks)
+            .map(|i| {
+                let start = i * size;
+                ((i + 1) * size).min(rows) - start
+            })
+            .collect()
+    }
+
+    /// Simulates the delivery of one streamed chunk of `rows` rows; the
+    /// first chunk of a call additionally pays the base latency (and bumps
+    /// the call counter), mirroring [`SimulatedLink::call_delay`].
+    ///
+    /// When the profile asks for real sleeps the delay is slept in short
+    /// slices, polling `cancelled` between slices so a deadline-cancelled
+    /// call stops promptly.  Returns `None` when the source is
+    /// unavailable; cancellation still returns the simulated duration (the
+    /// caller checks `cancelled` itself).
+    #[must_use]
+    pub fn chunk_delay(
+        &self,
+        rows: usize,
+        first: bool,
+        cancelled: &dyn Fn() -> bool,
+    ) -> Option<Duration> {
+        let profile = self.profile.lock().clone();
+        if first {
+            *self.calls.lock() += 1;
+        }
+        *self.chunks.lock() += 1;
+        match profile.availability {
+            Availability::Unavailable => None,
+            Availability::Available | Availability::Slow { .. } | Availability::Degraded { .. } => {
+                let extra_ms = match profile.availability {
+                    // The whole-call penalty lands on the first chunk.
+                    Availability::Slow { extra_ms } if first => extra_ms,
+                    Availability::Slow { .. } => 0,
+                    Availability::Degraded { chunk_extra_ms } => chunk_extra_ms,
+                    Availability::Available | Availability::Unavailable => 0,
+                };
+                let base_us = if first { profile.base_latency_us } else { 0 };
+                let raw_us = base_us as f64
+                    + profile.per_row_us as f64 * rows as f64
+                    + extra_ms as f64 * 1000.0;
+                let duration = self.jittered(&profile, raw_us);
+                if profile.real_sleep {
+                    Self::sleep_cancellable(duration, cancelled);
                 }
                 Some(duration)
             }
@@ -214,6 +348,7 @@ mod tests {
                 jitter: 0.0,
                 availability: Availability::Available,
                 real_sleep: false,
+                chunk_rows: 0,
             },
             42,
         );
@@ -246,6 +381,7 @@ mod tests {
                     jitter: 0.0,
                     availability,
                     real_sleep: false,
+                    chunk_rows: 0,
                 },
                 7,
             )
@@ -274,6 +410,7 @@ mod tests {
                 jitter: 0.0,
                 availability: Availability::Available,
                 real_sleep: true,
+                chunk_rows: 0,
             },
             3,
         );

@@ -38,6 +38,38 @@ impl WrapperAnswer {
     }
 }
 
+/// What a streamed `submit` call reports once every chunk has been
+/// delivered: [`WrapperAnswer`] minus the rows, which already went through
+/// the sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnswerSummary {
+    /// How many rows the source had to touch to answer.
+    pub rows_scanned: usize,
+    /// Total simulated network + processing latency across all chunks.
+    pub latency: Duration,
+}
+
+/// The consumer side of a streamed `submit` call.
+///
+/// The runtime hands one of these to [`Wrapper::submit_streaming`]; the
+/// wrapper pushes row chunks as the (simulated) source produces them.  A
+/// `false` return from [`AnswerSink::push`] — or a `true` from
+/// [`AnswerSink::is_cancelled`], which wrappers should poll between units
+/// of source-side work — means the consumer has disconnected (typically
+/// the query's deadline expired): the wrapper should stop producing and
+/// return, so a timed-out call never keeps running in the background.
+pub trait AnswerSink {
+    /// Delivers one chunk of rows (source name space).  Returns `false`
+    /// when the consumer has disconnected and the wrapper should stop.
+    fn push(&mut self, rows: Bag) -> bool;
+
+    /// Whether the consumer has disconnected.  Wrappers poll this between
+    /// chunks (and, for simulated links, between sleep slices).
+    fn is_cancelled(&self) -> bool {
+        false
+    }
+}
+
 /// The wrapper interface.
 ///
 /// A wrapper translates between the mediator's algebraic machine and one
@@ -64,6 +96,34 @@ pub trait Wrapper: Send + Sync {
     /// answer, [`WrapperError::Capability`] when the expression exceeds the
     /// advertised capabilities, and evaluation errors otherwise.
     fn submit(&self, expr: &LogicalExpr) -> Result<WrapperAnswer, WrapperError>;
+
+    /// The streaming form of [`Wrapper::submit`]: row chunks are pushed
+    /// into `sink` as the source produces them, and the call summary
+    /// (rows scanned, total latency) is returned at the end.
+    ///
+    /// The default implementation is a shim over [`Wrapper::submit`] that
+    /// delivers the whole answer as one chunk — correct for any wrapper,
+    /// just without intra-call overlap.  Wrappers over chunk-capable
+    /// links (e.g. [`crate::RelationalWrapper`]) override it to emit
+    /// chunks under the link's latency profile and to honour
+    /// cancellation between chunks.
+    ///
+    /// # Errors
+    ///
+    /// Same error contract as [`Wrapper::submit`].
+    fn submit_streaming(
+        &self,
+        expr: &LogicalExpr,
+        sink: &mut dyn AnswerSink,
+    ) -> Result<AnswerSummary, WrapperError> {
+        let answer = self.submit(expr)?;
+        let summary = AnswerSummary {
+            rows_scanned: answer.rows_scanned,
+            latency: answer.latency,
+        };
+        sink.push(answer.rows);
+        Ok(summary)
+    }
 
     /// Whether the source currently answers (used by experiments to probe
     /// without paying for a full call).

@@ -26,7 +26,7 @@ pub use csv_wrapper::CsvWrapper;
 pub use document_wrapper::DocumentWrapper;
 pub use error::WrapperError;
 pub use eval::{eval_pushed, PushedResult, RowProvider};
-pub use interface::{Wrapper, WrapperAnswer, WrapperRegistry};
+pub use interface::{AnswerSink, AnswerSummary, Wrapper, WrapperAnswer, WrapperRegistry};
 pub use mapping::{
     check_type_conformance, expected_after_expr, map_expr_to_source, map_rows_to_mediator,
 };

@@ -7,7 +7,7 @@ use disco_algebra::{CapabilitySet, LogicalExpr};
 use disco_source::{RelationalStore, SimulatedLink};
 
 use crate::eval::eval_pushed;
-use crate::interface::{Wrapper, WrapperAnswer};
+use crate::interface::{AnswerSink, AnswerSummary, Wrapper, WrapperAnswer};
 use crate::WrapperError;
 
 /// A wrapper exposing a [`RelationalStore`] behind a simulated network
@@ -104,6 +104,51 @@ impl Wrapper for RelationalWrapper {
                 })?;
         Ok(WrapperAnswer {
             rows: result.rows,
+            rows_scanned: result.rows_scanned,
+            latency,
+        })
+    }
+
+    fn submit_streaming(
+        &self,
+        expr: &LogicalExpr,
+        sink: &mut dyn AnswerSink,
+    ) -> Result<AnswerSummary, WrapperError> {
+        self.capabilities
+            .accepts_named(expr, &self.name)
+            .map_err(WrapperError::Capability)?;
+        if !self.link.is_available() {
+            return Err(WrapperError::Unavailable {
+                endpoint: self.link.endpoint().to_owned(),
+            });
+        }
+        let store = Arc::clone(&self.store);
+        let result = eval_pushed(expr, &move |collection: &str| {
+            store.scan(collection).map_err(WrapperError::from)
+        })?;
+        let rows = result.rows.into_values();
+        let mut offset = 0usize;
+        let mut latency = std::time::Duration::ZERO;
+        let mut first = true;
+        for size in self.link.chunk_sizes(rows.len()) {
+            if sink.is_cancelled() {
+                break;
+            }
+            let delay = self
+                .link
+                .chunk_delay(size, first, &|| sink.is_cancelled())
+                .ok_or_else(|| WrapperError::Unavailable {
+                    endpoint: self.link.endpoint().to_owned(),
+                })?;
+            latency += delay;
+            first = false;
+            let chunk: disco_value::Bag = rows[offset..offset + size].iter().cloned().collect();
+            offset += size;
+            if !sink.push(chunk) {
+                break;
+            }
+        }
+        Ok(AnswerSummary {
             rows_scanned: result.rows_scanned,
             latency,
         })
