@@ -1,0 +1,520 @@
+//! Vectorized scalar kernels over columnar chunks.
+//!
+//! A [`Kernel`] is a scalar expression compiled against the field layout
+//! of a scan: attribute references become column slots, and evaluation
+//! runs over whole columns of a [`ColumnarChunk`] instead of building a
+//! row [`Env`](crate::Env) per value.  The kernel set is deliberately a
+//! *subset* of the evaluator — constants, column references, the binary
+//! operators and `not`.  Everything else (struct literals, sub-query
+//! aggregates, function calls, whole-row variables) refuses to compile,
+//! and the engine evaluates those expressions through the per-row path.
+//!
+//! Two invariants keep the kernels exactly equivalent to
+//! [`eval_binary`](crate::eval_binary) / `eval_scalar_with`:
+//!
+//! * Typed fast paths exist only where the scalar semantics are a plain
+//!   machine operation (`i64` comparisons and arithmetic on null-free
+//!   columns).  Every other element pair funnels through the *actual*
+//!   [`eval_binary`], so `total_cmp` ordering, NaN handling, null
+//!   propagation and string concatenation cannot drift.
+//! * A kernel never reports an evaluation error.  Any error — division
+//!   by zero, a type mismatch — makes evaluation *bail* (`None`), and
+//!   the engine re-runs that batch per-row, which reproduces the exact
+//!   row-path error at the exact row it would have occurred.
+
+use std::sync::Arc;
+
+use disco_value::{Column, ColumnarChunk, Value};
+
+use crate::scalar::{eval_binary, truthy, ScalarExpr, ScalarOp};
+
+/// A compiled kernel expression tree.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    node: KernelNode,
+}
+
+#[derive(Debug, Clone)]
+enum KernelNode {
+    Const(Value),
+    Col(usize),
+    Binary {
+        op: ScalarOp,
+        left: Box<KernelNode>,
+        right: Box<KernelNode>,
+    },
+    Not(Box<KernelNode>),
+}
+
+/// Compiles scalar expressions into [`Kernel`]s against one scan's field
+/// layout.
+///
+/// The builder accumulates the set of referenced fields across every
+/// kernel of a fused pipeline stretch (one filter chain plus projection),
+/// so the chunk decoder materializes each referenced column exactly once.
+/// Column slots index into [`KernelBuilder::fields`] order.
+#[derive(Debug, Default)]
+pub struct KernelBuilder {
+    binding: Option<String>,
+    fields: Vec<Arc<str>>,
+}
+
+impl KernelBuilder {
+    /// A builder for rows bound under `binding` (`bind x` pipelines read
+    /// fields as `x.field`), or for raw struct rows (`None`: fields are
+    /// plain attributes).
+    #[must_use]
+    pub fn new(binding: Option<&str>) -> Self {
+        KernelBuilder {
+            binding: binding.map(str::to_owned),
+            fields: Vec::new(),
+        }
+    }
+
+    /// The referenced field names, in column-slot order.
+    #[must_use]
+    pub fn fields(&self) -> &[Arc<str>] {
+        &self.fields
+    }
+
+    /// Compiles `expr`; `None` when any part of it is outside the kernel
+    /// subset (the caller then keeps the per-row evaluator for it).
+    pub fn compile(&mut self, expr: &ScalarExpr) -> Option<Kernel> {
+        self.node(expr).map(|node| Kernel { node })
+    }
+
+    fn node(&mut self, expr: &ScalarExpr) -> Option<KernelNode> {
+        match expr {
+            ScalarExpr::Const(v) => Some(KernelNode::Const(v.clone())),
+            // Unbound rows: a name resolves in the row scope itself.
+            // The chunk decoder guarantees the field is present in every
+            // row, so the innermost scope always wins the lookup — outer
+            // environments can never shadow it.
+            ScalarExpr::Attr(name) | ScalarExpr::Var(name) if self.binding.is_none() => {
+                Some(KernelNode::Col(self.slot(name)))
+            }
+            // Bound rows `{b: row}`: only `b.field` paths touch the row.
+            ScalarExpr::Field(base, field) => match (base.as_ref(), &self.binding) {
+                (ScalarExpr::Var(v) | ScalarExpr::Attr(v), Some(b)) if v == b => {
+                    Some(KernelNode::Col(self.slot(field)))
+                }
+                _ => None,
+            },
+            ScalarExpr::Binary { op, left, right } => Some(KernelNode::Binary {
+                op: *op,
+                left: Box::new(self.node(left)?),
+                right: Box::new(self.node(right)?),
+            }),
+            ScalarExpr::Not(inner) => Some(KernelNode::Not(Box::new(self.node(inner)?))),
+            ScalarExpr::Attr(_)
+            | ScalarExpr::Var(_)
+            | ScalarExpr::StructLit(_)
+            | ScalarExpr::Agg(..)
+            | ScalarExpr::Call(..) => None,
+        }
+    }
+
+    fn slot(&mut self, name: &str) -> usize {
+        if let Some(i) = self.fields.iter().position(|f| f.as_ref() == name) {
+            return i;
+        }
+        self.fields.push(Arc::from(name));
+        self.fields.len() - 1
+    }
+}
+
+/// A dense result vector, aligned with the *selected* rows of a chunk
+/// (element `i` is the result for the `i`-th selected row).
+pub enum EvalVec {
+    /// Integer results; null slots hold `0` under the mask.
+    Int {
+        /// Result values.
+        data: Vec<i64>,
+        /// Null mask (`Some` only when nulls are present).
+        nulls: Option<Vec<bool>>,
+    },
+    /// Boolean results; null slots hold `false` under the mask.
+    Bool {
+        /// Result values.
+        data: Vec<bool>,
+        /// Null mask (`Some` only when nulls are present).
+        nulls: Option<Vec<bool>>,
+    },
+    /// String results with optional dictionary codes from the scan's
+    /// dictionary; null slots hold an empty string / `NULL_CODE`.
+    Str {
+        /// Result values.
+        values: Vec<Arc<str>>,
+        /// Dictionary codes (equal string ⇔ equal code) when the source
+        /// column was dictionary-encoded.
+        codes: Option<Vec<u32>>,
+        /// Null mask (`Some` only when nulls are present).
+        nulls: Option<Vec<bool>>,
+    },
+    /// One value broadcast over every selected row.
+    Const(Value),
+    /// Boxed per-element results (mixed types, generic operator path).
+    Values(Vec<Value>),
+}
+
+impl EvalVec {
+    /// The result for the `i`-th selected row as an owned [`Value`]
+    /// (`Arc` bump for strings, copy for scalars).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is outside the selection the vector was computed
+    /// for.
+    #[must_use]
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            EvalVec::Int { data, nulls } => {
+                if is_null(nulls, i) {
+                    Value::Null
+                } else {
+                    Value::Int(data[i])
+                }
+            }
+            EvalVec::Bool { data, nulls } => {
+                if is_null(nulls, i) {
+                    Value::Null
+                } else {
+                    Value::Bool(data[i])
+                }
+            }
+            EvalVec::Str { values, nulls, .. } => {
+                if is_null(nulls, i) {
+                    Value::Null
+                } else {
+                    Value::Str(Arc::clone(&values[i]))
+                }
+            }
+            EvalVec::Const(v) => v.clone(),
+            EvalVec::Values(vs) => vs[i].clone(),
+        }
+    }
+
+    /// OQL truthiness of each of the `n` selected results (only a
+    /// non-null `true` is true) — the filter's selection update.
+    #[must_use]
+    pub fn truthy_mask(&self, n: usize) -> Vec<bool> {
+        match self {
+            EvalVec::Bool { data, nulls } => {
+                (0..n).map(|i| data[i] && !is_null(nulls, i)).collect()
+            }
+            EvalVec::Const(v) => vec![truthy(v); n],
+            EvalVec::Values(vs) => vs.iter().map(truthy).collect(),
+            _ => vec![false; n],
+        }
+    }
+}
+
+fn is_null(nulls: &Option<Vec<bool>>, i: usize) -> bool {
+    nulls.as_ref().is_some_and(|m| m[i])
+}
+
+impl Kernel {
+    /// Evaluates the kernel over the selected rows of `chunk`
+    /// (`selection` holds in-chunk row indexes).  `None` means *bail*:
+    /// an unsupported type combination or a would-be evaluation error —
+    /// the caller must re-evaluate the batch per-row.
+    #[must_use]
+    pub fn eval(&self, chunk: &ColumnarChunk, selection: &[u32]) -> Option<EvalVec> {
+        eval_node(&self.node, chunk, selection)
+    }
+
+    /// When the kernel is a bare column read, returns its column slot.
+    ///
+    /// Bare reads are worth special-casing by the engine: the projected
+    /// value can be borrowed straight from the source row, skipping both
+    /// the column decode and the [`EvalVec`] gather.
+    #[must_use]
+    pub fn as_col(&self) -> Option<usize> {
+        match self.node {
+            KernelNode::Col(slot) => Some(slot),
+            _ => None,
+        }
+    }
+}
+
+fn eval_node(node: &KernelNode, chunk: &ColumnarChunk, sel: &[u32]) -> Option<EvalVec> {
+    match node {
+        KernelNode::Const(v) => Some(EvalVec::Const(v.clone())),
+        KernelNode::Col(slot) => Some(gather(chunk.column(*slot), sel)),
+        KernelNode::Not(inner) => {
+            let v = eval_node(inner, chunk, sel)?;
+            let mut data = v.truthy_mask(sel.len());
+            for b in &mut data {
+                *b = !*b;
+            }
+            Some(EvalVec::Bool { data, nulls: None })
+        }
+        KernelNode::Binary { op, left, right } => {
+            // Both operands are always evaluated first — `and`/`or` do
+            // not short-circuit in the row evaluator either.
+            let l = eval_node(left, chunk, sel)?;
+            let r = eval_node(right, chunk, sel)?;
+            eval_binary_vec(*op, &l, &r, sel.len())
+        }
+    }
+}
+
+/// Gathers one column over the selection into a dense vector.
+fn gather(column: &Column, sel: &[u32]) -> EvalVec {
+    let pick = |m: &Option<Vec<bool>>| -> Option<Vec<bool>> {
+        m.as_ref()
+            .map(|m| sel.iter().map(|&i| m[i as usize]).collect())
+    };
+    match column {
+        Column::Int { data, nulls } => EvalVec::Int {
+            data: sel.iter().map(|&i| data[i as usize]).collect(),
+            nulls: pick(nulls),
+        },
+        Column::Float { data, nulls } => EvalVec::Values(
+            sel.iter()
+                .map(|&i| {
+                    if nulls.as_ref().is_some_and(|m| m[i as usize]) {
+                        Value::Null
+                    } else {
+                        Value::Float(data[i as usize])
+                    }
+                })
+                .collect(),
+        ),
+        Column::Bool { data, nulls } => EvalVec::Bool {
+            data: sel.iter().map(|&i| data[i as usize]).collect(),
+            nulls: pick(nulls),
+        },
+        Column::Str {
+            values,
+            codes,
+            nulls,
+        } => EvalVec::Str {
+            values: sel
+                .iter()
+                .map(|&i| Arc::clone(&values[i as usize]))
+                .collect(),
+            codes: codes
+                .as_ref()
+                .map(|c| sel.iter().map(|&i| c[i as usize]).collect()),
+            nulls: pick(nulls),
+        },
+        Column::Values(vs) => {
+            EvalVec::Values(sel.iter().map(|&i| vs[i as usize].clone()).collect())
+        }
+    }
+}
+
+/// Vectorized [`eval_binary`]: typed fast paths where semantics are plain
+/// `i64` machine ops, the real `eval_binary` element-wise everywhere
+/// else, and `None` (bail to the row path) on any would-be error.
+fn eval_binary_vec(op: ScalarOp, l: &EvalVec, r: &EvalVec, n: usize) -> Option<EvalVec> {
+    use ScalarOp::{Add, And, Div, Mul, Or, Sub};
+    match op {
+        And => {
+            let (lt, rt) = (l.truthy_mask(n), r.truthy_mask(n));
+            Some(EvalVec::Bool {
+                data: lt.iter().zip(&rt).map(|(a, b)| *a && *b).collect(),
+                nulls: None,
+            })
+        }
+        Or => {
+            let (lt, rt) = (l.truthy_mask(n), r.truthy_mask(n));
+            Some(EvalVec::Bool {
+                data: lt.iter().zip(&rt).map(|(a, b)| *a || *b).collect(),
+                nulls: None,
+            })
+        }
+        _ if op.is_comparison() => match (l, r) {
+            (EvalVec::Int { data, nulls: None }, EvalVec::Const(Value::Int(c))) => {
+                Some(EvalVec::Bool {
+                    data: data.iter().map(|&a| int_cmp(op, a, *c)).collect(),
+                    nulls: None,
+                })
+            }
+            (EvalVec::Const(Value::Int(c)), EvalVec::Int { data, nulls: None }) => {
+                Some(EvalVec::Bool {
+                    data: data.iter().map(|&b| int_cmp(op, *c, b)).collect(),
+                    nulls: None,
+                })
+            }
+            (
+                EvalVec::Int {
+                    data: a,
+                    nulls: None,
+                },
+                EvalVec::Int {
+                    data: b,
+                    nulls: None,
+                },
+            ) => Some(EvalVec::Bool {
+                data: a.iter().zip(b).map(|(&a, &b)| int_cmp(op, a, b)).collect(),
+                nulls: None,
+            }),
+            _ => generic_binary(op, l, r, n),
+        },
+        Add | Sub | Mul | Div => match (l, r) {
+            (EvalVec::Int { data, nulls: None }, EvalVec::Const(Value::Int(c))) => {
+                int_arith(op, data.iter().copied(), std::iter::repeat(*c), n)
+            }
+            (EvalVec::Const(Value::Int(c)), EvalVec::Int { data, nulls: None }) => {
+                int_arith(op, std::iter::repeat(*c), data.iter().copied(), n)
+            }
+            (
+                EvalVec::Int {
+                    data: a,
+                    nulls: None,
+                },
+                EvalVec::Int {
+                    data: b,
+                    nulls: None,
+                },
+            ) => int_arith(op, a.iter().copied(), b.iter().copied(), n),
+            _ => generic_binary(op, l, r, n),
+        },
+        _ => generic_binary(op, l, r, n),
+    }
+}
+
+/// `i64` comparison with `eval_binary`'s semantics (null-free operands:
+/// `total_cmp` on two ints is the machine comparison, `Eq` included).
+fn int_cmp(op: ScalarOp, a: i64, b: i64) -> bool {
+    match op {
+        ScalarOp::Eq => a == b,
+        ScalarOp::NotEq => a != b,
+        ScalarOp::Lt => a < b,
+        ScalarOp::Le => a <= b,
+        ScalarOp::Gt => a > b,
+        ScalarOp::Ge => a >= b,
+        _ => unreachable!("comparison operator"),
+    }
+}
+
+/// Null-free `i64` arithmetic.  Division bails on any zero divisor so the
+/// row path reports [`crate::AlgebraError::DivisionByZero`] at the exact
+/// offending row.  The non-division ops use the same plain operators as
+/// `eval_binary` (identical overflow behaviour in every build profile).
+fn int_arith(
+    op: ScalarOp,
+    a: impl Iterator<Item = i64>,
+    b: impl Iterator<Item = i64>,
+    n: usize,
+) -> Option<EvalVec> {
+    let mut data = Vec::with_capacity(n);
+    for (a, b) in a.zip(b).take(n) {
+        data.push(match op {
+            ScalarOp::Add => a + b,
+            ScalarOp::Sub => a - b,
+            ScalarOp::Mul => a * b,
+            ScalarOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                a / b
+            }
+            _ => unreachable!("arithmetic operator"),
+        });
+    }
+    Some(EvalVec::Int { data, nulls: None })
+}
+
+/// The exactness anchor: element pairs outside the typed fast paths run
+/// through the row evaluator's own [`eval_binary`], so floats (NaN,
+/// `total_cmp`, int/float promotion), nulls, strings and type errors
+/// behave identically by construction.  Errors bail the whole batch.
+fn generic_binary(op: ScalarOp, l: &EvalVec, r: &EvalVec, n: usize) -> Option<EvalVec> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = l.value_at(i);
+        let b = r.value_at(i);
+        out.push(eval_binary(op, &a, &b).ok()?);
+    }
+    Some(EvalVec::Values(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_value::{ChunkBuilder, StructValue};
+
+    fn rows(values: Vec<Value>) -> Vec<Value> {
+        values
+            .into_iter()
+            .map(|v| Value::Struct(StructValue::new(vec![("v", v)]).unwrap()))
+            .collect()
+    }
+
+    fn eval_over(
+        expr: &ScalarExpr,
+        binding: Option<&str>,
+        data: Vec<Value>,
+    ) -> Option<(EvalVec, usize)> {
+        let mut kb = KernelBuilder::new(binding);
+        let kernel = kb.compile(expr)?;
+        let mut cb = ChunkBuilder::new();
+        for f in kb.fields() {
+            cb.add_field(Arc::clone(f));
+        }
+        let rows = rows(data);
+        let chunk = cb.build(&rows)?;
+        let sel: Vec<u32> = (0..rows.len() as u32).collect();
+        let n = sel.len();
+        kernel.eval(&chunk, &sel).map(|v| (v, n))
+    }
+
+    #[test]
+    fn int_comparison_fast_path_matches_eval_binary() {
+        let expr = ScalarExpr::binary(
+            ScalarOp::Gt,
+            ScalarExpr::attr("v"),
+            ScalarExpr::constant(5i64),
+        );
+        let data = vec![Value::Int(3), Value::Int(5), Value::Int(9)];
+        let (vec, n) = eval_over(&expr, None, data).unwrap();
+        assert_eq!(vec.truthy_mask(n), vec![false, false, true]);
+    }
+
+    #[test]
+    fn nulls_route_through_the_generic_path_and_compare_false() {
+        let expr = ScalarExpr::binary(
+            ScalarOp::Gt,
+            ScalarExpr::attr("v"),
+            ScalarExpr::constant(5i64),
+        );
+        let data = vec![Value::Null, Value::Int(9)];
+        let (vec, n) = eval_over(&expr, None, data).unwrap();
+        assert_eq!(vec.truthy_mask(n), vec![false, true]);
+    }
+
+    #[test]
+    fn division_by_zero_bails_instead_of_erroring() {
+        let expr = ScalarExpr::binary(
+            ScalarOp::Div,
+            ScalarExpr::constant(10i64),
+            ScalarExpr::attr("v"),
+        );
+        assert!(eval_over(&expr, None, vec![Value::Int(2), Value::Int(0)]).is_none());
+    }
+
+    #[test]
+    fn bound_field_paths_compile_and_unbound_names_do_not_under_binding() {
+        let mut kb = KernelBuilder::new(Some("x"));
+        assert!(kb.compile(&ScalarExpr::var_field("x", "salary")).is_some());
+        assert!(kb.compile(&ScalarExpr::var_field("y", "salary")).is_none());
+        assert!(kb.compile(&ScalarExpr::attr("salary")).is_none());
+        assert_eq!(kb.fields().len(), 1);
+    }
+
+    #[test]
+    fn float_semantics_funnel_through_eval_binary() {
+        // NaN under total_cmp sorts above every float: NaN > 1e300 holds.
+        let expr = ScalarExpr::binary(
+            ScalarOp::Gt,
+            ScalarExpr::attr("v"),
+            ScalarExpr::constant(1e300f64),
+        );
+        let data = vec![Value::Float(f64::NAN), Value::Float(1.0)];
+        let (vec, n) = eval_over(&expr, None, data).unwrap();
+        assert_eq!(vec.truthy_mask(n), vec![true, false]);
+    }
+}

@@ -42,6 +42,7 @@
 mod capability;
 mod error;
 mod implementation;
+pub mod kernel;
 mod logical;
 mod physical;
 pub mod rules;
@@ -51,6 +52,7 @@ mod to_oql;
 pub use capability::{CapabilityGrammar, CapabilitySet, ComparisonKind, OperatorKind};
 pub use error::AlgebraError;
 pub use implementation::{bound_vars, lower, referenced_vars};
+pub use kernel::{EvalVec, Kernel, KernelBuilder};
 pub use logical::{data_of, LogicalExpr};
 pub use physical::{ExchangeBehavior, PhysicalExpr, PipelineBehavior};
 pub use rules::CapabilityLookup;

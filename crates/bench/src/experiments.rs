@@ -820,7 +820,7 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
         e9_deep_pipeline_plan, e9_distinct_plan, e9_filter_project_plan, e9_hash_join_plan,
         e9_person_bag,
     };
-    use disco_runtime::{PipelineMetrics, ResolvedExecs};
+    use disco_runtime::{ColumnarMode, PipelineMetrics, ResolvedExecs};
 
     use disco_runtime::{evaluate_physical_with, PipelineOptions};
 
@@ -831,52 +831,110 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
         "mediator evaluator throughput (combine step)",
         &format!("{rows}-row in-memory person bags, best of {trials} trials per pipeline"),
         &[
-            "pipeline", "threads", "rows in", "rows out", "rows mat", "best ms", "Mrows/s",
+            "pipeline",
+            "mode",
+            "threads",
+            "rows in",
+            "rows out",
+            "rows mat",
+            "rows kernel",
+            "best ms",
+            "Mrows/s",
         ],
     );
 
     let resolved = ResolvedExecs::default();
-    let mut run_t = |name: &str, threads: usize, rows_in: usize, plan: &LogicalExpr| {
-        let physical = lower(plan).expect("plan lowers");
-        let options = PipelineOptions {
-            threads,
-            ..PipelineOptions::default()
-        };
-        let mut best = f64::INFINITY;
-        let mut rows_out = 0usize;
-        let mut rows_materialized = 0usize;
-        for _ in 0..trials {
-            let metrics = PipelineMetrics::new();
-            let started = Instant::now();
-            let out =
-                evaluate_physical_with(&physical, &resolved, &metrics, options).expect("evaluates");
-            let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
-            rows_out = out.len();
-            rows_materialized = metrics.rows_materialized();
-            if elapsed_ms < best {
-                best = elapsed_ms;
+    let mut run_m =
+        |name: &str, mode: ColumnarMode, threads: usize, rows_in: usize, plan: &LogicalExpr| {
+            let physical = lower(plan).expect("plan lowers");
+            let options = PipelineOptions {
+                threads,
+                columnar: mode,
+                ..PipelineOptions::default()
+            };
+            let mut best = f64::INFINITY;
+            let mut rows_out = 0usize;
+            let mut rows_materialized = 0usize;
+            let mut rows_kernel = 0usize;
+            for _ in 0..trials {
+                let metrics = PipelineMetrics::new();
+                let started = Instant::now();
+                let out = evaluate_physical_with(&physical, &resolved, &metrics, options)
+                    .expect("evaluates");
+                let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+                rows_out = out.len();
+                rows_materialized = metrics.rows_materialized();
+                rows_kernel = metrics.rows_kernel();
+                if elapsed_ms < best {
+                    best = elapsed_ms;
+                }
             }
-        }
-        let mrows_per_s = rows_in as f64 / (best / 1000.0) / 1.0e6;
-        report.push_row([
-            name.to_owned(),
-            threads.to_string(),
-            rows_in.to_string(),
-            rows_out.to_string(),
-            rows_materialized.to_string(),
-            fmt_f64(best),
-            fmt_f64(mrows_per_s),
-        ]);
-    };
-    let mut run = |name: &str, rows_in: usize, plan: &LogicalExpr| {
-        run_t(name, 1, rows_in, plan);
-    };
+            let mrows_per_s = rows_in as f64 / (best / 1000.0) / 1.0e6;
+            let mode_label = match mode {
+                ColumnarMode::Off => "row",
+                _ => "col",
+            };
+            report.push_row([
+                name.to_owned(),
+                mode_label.to_owned(),
+                threads.to_string(),
+                rows_in.to_string(),
+                rows_out.to_string(),
+                rows_materialized.to_string(),
+                rows_kernel.to_string(),
+                fmt_f64(best),
+                fmt_f64(mrows_per_s),
+            ]);
+        };
 
-    run("filter_project", rows, &e9_filter_project_plan(rows));
-    run("hash_join", rows + rows / 10, &e9_hash_join_plan(rows));
-    run("distinct", rows, &e9_distinct_plan(rows));
-    run(
+    // Each vectorized pipeline gets a row-path (columnar off) twin — the
+    // before/after column this engine is judged on.
+    run_m(
+        "filter_project",
+        ColumnarMode::On,
+        1,
+        rows,
+        &e9_filter_project_plan(rows),
+    );
+    run_m(
+        "filter_project",
+        ColumnarMode::Off,
+        1,
+        rows,
+        &e9_filter_project_plan(rows),
+    );
+    run_m(
+        "hash_join",
+        ColumnarMode::On,
+        1,
+        rows + rows / 10,
+        &e9_hash_join_plan(rows),
+    );
+    run_m(
+        "distinct",
+        ColumnarMode::On,
+        1,
+        rows,
+        &e9_distinct_plan(rows),
+    );
+    run_m(
+        "distinct",
+        ColumnarMode::Off,
+        1,
+        rows,
+        &e9_distinct_plan(rows),
+    );
+    run_m(
         "deep_pipeline",
+        ColumnarMode::On,
+        1,
+        rows + rows / 10,
+        &e9_deep_pipeline_plan(rows),
+    );
+    run_m(
+        "deep_pipeline",
+        ColumnarMode::Off,
+        1,
         rows + rows / 10,
         &e9_deep_pipeline_plan(rows),
     );
@@ -885,20 +943,28 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
         .map(|_| LogicalExpr::Data(e9_person_bag(rows / 8, 1024)))
         .collect();
     let union_distinct = LogicalExpr::Distinct(Box::new(LogicalExpr::Union(union_bags)));
-    run("union8_distinct", rows, &union_distinct);
+    run_m(
+        "union8_distinct",
+        ColumnarMode::On,
+        1,
+        rows,
+        &union_distinct,
+    );
 
     // Thread-scaling rows (the morsel-driven parallel engine) for the two
     // heaviest pipelines; `rows mat` must be identical at every thread
     // count — per-worker metrics merge exactly.
     for threads in [2usize, 4] {
-        run_t(
+        run_m(
             "hash_join",
+            ColumnarMode::On,
             threads,
             rows + rows / 10,
             &e9_hash_join_plan(rows),
         );
-        run_t(
+        run_m(
             "deep_pipeline",
+            ColumnarMode::On,
             threads,
             rows + rows / 10,
             &e9_deep_pipeline_plan(rows),
@@ -916,6 +982,11 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
     report.push_note(
         "threads > 1 rows run the morsel-driven parallel engine (DISCO_THREADS / \
          PipelineOptions::threads); threads = 1 is the serial cursor path",
+    );
+    report.push_note(
+        "mode col = columnar batches + vectorized kernels (ColumnarMode::On); mode row = \
+         per-row cursor fallback (ColumnarMode::Off); rows kernel = rows whose scalar \
+         work ran vectorized",
     );
     report
 }

@@ -141,6 +141,8 @@ impl Executor {
                 source_calls: resolved.stats().to_vec(),
                 time_to_first_row: metrics.time_to_first_row_since(started),
                 source_wait: metrics.source_wait(),
+                rows_kernel: metrics.rows_kernel(),
+                rows_fallback: metrics.rows_fallback(),
             };
             Ok(Answer::complete(data, stats))
         } else {
@@ -177,6 +179,8 @@ impl Executor {
                         source_calls: resolved.stats().to_vec(),
                         time_to_first_row: metrics.time_to_first_row_since(started),
                         source_wait: metrics.source_wait(),
+                        rows_kernel: metrics.rows_kernel(),
+                        rows_fallback: metrics.rows_fallback(),
                     };
                     Ok(Answer::complete(data, stats))
                 } else {
@@ -225,6 +229,8 @@ impl Executor {
             source_wait: streamed
                 .map(PipelineMetrics::source_wait)
                 .unwrap_or_default(),
+            rows_kernel: streamed.map(PipelineMetrics::rows_kernel).unwrap_or(0),
+            rows_fallback: streamed.map(PipelineMetrics::rows_fallback).unwrap_or(0),
         };
         Ok(match residual {
             Some(residual) => Answer::partial(data, residual, stats),

@@ -96,7 +96,7 @@ pub use partial::{
     is_fully_resolved, partial_evaluate, partial_evaluate_opts, partial_evaluate_reference,
     substitute_resolved, Answer, ExecutionStats,
 };
-pub use pipeline::{BuildSide, PipelineMetrics, PipelineOptions};
+pub use pipeline::{BuildSide, ColumnarMode, PipelineMetrics, PipelineOptions};
 
 /// Convenience result alias for runtime operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -45,6 +45,16 @@ pub struct ExecutionStats {
     /// of overlap: time inside the execution window *not* spent here was
     /// useful mediator-side work.
     pub source_wait: std::time::Duration,
+    /// Rows whose scalar work ran through vectorized columnar kernels
+    /// (merged across workers like the other counters).  Together with
+    /// [`ExecutionStats::rows_fallback`] this makes kernel coverage
+    /// observable per execution.
+    pub rows_kernel: usize,
+    /// Rows a columnar stretch evaluated through the per-row `Env` path
+    /// instead (irregular batches, expressions the kernel set does not
+    /// cover at runtime).  Rows outside any columnar stretch count in
+    /// neither bucket.
+    pub rows_fallback: usize,
 }
 
 /// The answer to a query: data plus, when sources were unavailable, the

@@ -1,0 +1,653 @@
+//! Columnar execution of fused pipeline stretches.
+//!
+//! The row cursors move one `Row` at a time; this module intercepts the
+//! shapes the mediator's combine step actually spends its time on — a
+//! *spine* of `map? → filter* → bind? → scan` over a fully-materialized
+//! input — and runs them batch-at-a-time: the scan decodes one
+//! [`ChunkBuilder`] chunk per batch, compiled [`Kernel`]s evaluate the
+//! filter predicates and the map projection over whole columns, and a
+//! selection vector marks surviving rows instead of copying them.
+//! Distinct and aggregate breakers consume the fused spine's batches
+//! directly (distinct gets a dictionary-code fast path for string keys).
+//!
+//! # Fallback rule
+//!
+//! Columnar execution must be *observably identical* to the row cursors.
+//! Three levels guarantee that:
+//!
+//! * **Fusion** is all-or-nothing per stretch: every filter predicate
+//!   (and the map projection, when present) must compile to a kernel,
+//!   and the source must be a resolved scan.  Anything else builds row
+//!   cursors as before — with fusable *inner* stretches still
+//!   intercepted, so partial coverage composes.
+//! * **Decoding** is strict: a batch containing a non-struct row or a
+//!   row lacking a referenced field refuses to decode, and that batch
+//!   runs through the per-row [`Env`](disco_algebra::Env) path (counted
+//!   in [`PipelineMetrics::rows_fallback`](super::PipelineMetrics)).
+//!   Strictness is what makes kernel column reads equal to environment
+//!   lookups: a decoded field is present in every row, so the innermost
+//!   scope always wins the lookup.
+//! * **Evaluation** never reports an error from a kernel: a would-be
+//!   error (division by zero, a type mismatch) bails the batch to the
+//!   same per-row path, which reproduces the row engine's exact error at
+//!   the exact row.  The per-row fallback applies each operator across
+//!   the whole batch before the next operator — the same order the
+//!   batched row cursors stack — so even error *ordering* within a batch
+//!   matches.
+//!
+//! Metric invariants: spine operators bump neither `rows_materialized`
+//! nor `rows_merged` (just like the row cursors they replace — bind's
+//! single-frame materialize is uncounted, and spine rows are never join
+//! rows), and the columnar distinct bumps `rows_materialized` exactly
+//! once per admitted row.  `rows_kernel`/`rows_fallback` count each
+//! scanned row into exactly one bucket.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use disco_algebra::{
+    kernel::{EvalVec, Kernel, KernelBuilder},
+    truthy, AggKind, AlgebraError, PhysicalExpr, ScalarExpr,
+};
+use disco_value::{ChunkBuilder, StrDict, StructValue, Value};
+
+use crate::exec::{ExecKey, ExecOutcome};
+
+use super::sink::{AggState, SeenSet};
+use super::{eval_in_row, BoxedRowStream, PipelineCtx, Result, Row, RowStream};
+
+/// Attempts to intercept `plan` with a columnar cursor; `None` means "not
+/// fusable here" and the caller builds row cursors (recursing into this
+/// function for inner subtrees).
+pub(crate) fn try_build<'a>(
+    plan: &'a PhysicalExpr,
+    ctx: PipelineCtx<'a>,
+) -> Option<BoxedRowStream<'a>> {
+    match plan {
+        // Breakers consume the fused spine's batches directly; distinct
+        // interns bare-column string keys in its own dictionary so equal
+        // keys can be skipped on a dense code bitmap.
+        PhysicalExpr::MkDistinct(inner) => {
+            let spine = FusedSpine::fuse(inner, ctx)?;
+            Some(Box::new(ColumnarDistinctCursor::new(spine)))
+        }
+        PhysicalExpr::MkAggregate { func, input } => {
+            let spine = FusedSpine::fuse(input, ctx)?;
+            Some(Box::new(ColumnarAggregateCursor::new(spine, *func)))
+        }
+        _ => {
+            let spine = FusedSpine::fuse(plan, ctx)?;
+            Some(Box::new(SpineCursor::new(spine)))
+        }
+    }
+}
+
+/// The fusable plan shape: `map? → filter* → bind? → (resolved scan)`.
+struct SpineShape<'a> {
+    map: Option<&'a ScalarExpr>,
+    /// Filter predicates in execution (innermost-first) order.
+    filters: Vec<&'a ScalarExpr>,
+    binding: Option<&'a str>,
+    rows: &'a [Value],
+}
+
+fn spine_shape<'a>(plan: &'a PhysicalExpr, ctx: &PipelineCtx<'a>) -> Option<SpineShape<'a>> {
+    let mut node = plan;
+    let mut map = None;
+    if let PhysicalExpr::MapOp { input, projection } = node {
+        map = Some(projection);
+        node = input;
+    }
+    let mut filters = Vec::new();
+    while let PhysicalExpr::FilterOp { input, predicate } = node {
+        filters.push(predicate);
+        node = input;
+    }
+    filters.reverse();
+    let mut binding = None;
+    if let PhysicalExpr::BindOp { var, input } = node {
+        binding = Some(var.as_str());
+        node = input;
+    }
+    let rows: &'a [Value] = match node {
+        PhysicalExpr::MemScan(bag) => bag.as_slice(),
+        PhysicalExpr::Exec {
+            repository,
+            extent,
+            logical,
+            ..
+        } => {
+            let key = ExecKey::new(repository, extent, logical);
+            match ctx.resolved.outcome(&key) {
+                Some(ExecOutcome::Rows(rows)) => rows.as_slice(),
+                // Pending spools and unresolved/unavailable sources keep
+                // the row path (which reports the precise error).
+                _ => return None,
+            }
+        }
+        _ => return None,
+    };
+    if map.is_none() && filters.is_empty() {
+        // Bare scans and bind-only stretches have no scalar work to
+        // vectorize; the row path is already optimal for them.
+        return None;
+    }
+    Some(SpineShape {
+        map,
+        filters,
+        binding,
+        rows,
+    })
+}
+
+/// A bare-column map projection, gathered lazily: the projected value is
+/// borrowed straight from the surviving source rows, so neither a column
+/// decode nor an [`EvalVec`] gather (both of which clone) ever runs.
+struct GatherPlan {
+    name: Arc<str>,
+    /// Positional guess, updated on the fly (rows from one source share
+    /// their layout, so after the first row every lookup is one indexed
+    /// access plus a name check).
+    guess: usize,
+}
+
+/// Field lookup with the positional fast path.
+fn gather_lookup<'v>(row: &'v StructValue, plan: &mut GatherPlan) -> Option<&'v Value> {
+    if let Some((name, value)) = row.field_at(plan.guess) {
+        if name == plan.name.as_ref() {
+            return Some(value);
+        }
+    }
+    let (index, value) = row.position(plan.name.as_ref())?;
+    plan.guess = index;
+    Some(value)
+}
+
+/// A fused spine: compiled kernels, the chunk decoder, and the original
+/// expressions for the per-batch fallback.
+struct FusedSpine<'a> {
+    rows: &'a [Value],
+    pos: usize,
+    builder: ChunkBuilder,
+    filter_kernels: Vec<Kernel>,
+    /// Compound map projections evaluate through this kernel; bare column
+    /// reads use `gather` instead (and leave this `None`).
+    map_kernel: Option<Kernel>,
+    gather: Option<GatherPlan>,
+    filter_exprs: Vec<&'a ScalarExpr>,
+    map_expr: Option<&'a ScalarExpr>,
+    bind_name: Option<Arc<str>>,
+    /// Default chunk size for row-at-a-time pulls.
+    batch_rows: usize,
+    ctx: PipelineCtx<'a>,
+}
+
+/// One batch of spine output.
+enum SpineBatch<'a> {
+    /// Kernel-evaluated map results for `n` surviving rows.
+    Mapped(EvalVec, usize),
+    /// Bare-column map results borrowed from the surviving source rows.
+    Proj(Vec<&'a Value>),
+    /// Surviving rows (no map stage, or the per-row fallback ran).
+    Rows(Vec<Row<'a>>),
+}
+
+impl<'a> FusedSpine<'a> {
+    /// Fuses `plan` when its shape matches and every scalar stage
+    /// compiles to a kernel.
+    fn fuse(plan: &'a PhysicalExpr, ctx: PipelineCtx<'a>) -> Option<FusedSpine<'a>> {
+        let shape = spine_shape(plan, &ctx)?;
+        let mut kb = KernelBuilder::new(shape.binding);
+        let mut filter_kernels = Vec::with_capacity(shape.filters.len());
+        for predicate in &shape.filters {
+            filter_kernels.push(kb.compile(predicate)?);
+        }
+        // Slots allocated so far are referenced by filter kernels and
+        // must decode; a slot the map alone reads is gathered lazily and
+        // needs no column at all.
+        let filter_slots = kb.fields().len();
+        let mut map_kernel = None;
+        let mut gather = None;
+        if let Some(projection) = shape.map {
+            let kernel = kb.compile(projection)?;
+            match kernel.as_col() {
+                Some(slot) => {
+                    gather = Some(GatherPlan {
+                        name: Arc::clone(&kb.fields()[slot]),
+                        guess: 0,
+                    });
+                }
+                None => map_kernel = Some(kernel),
+            }
+        }
+        let decoded_slots = if map_kernel.is_none() {
+            filter_slots
+        } else {
+            kb.fields().len()
+        };
+        let mut builder = ChunkBuilder::new();
+        for field in &kb.fields()[..decoded_slots] {
+            builder.add_field(Arc::clone(field));
+        }
+        Some(FusedSpine {
+            rows: shape.rows,
+            pos: 0,
+            builder,
+            filter_kernels,
+            map_kernel,
+            gather,
+            filter_exprs: shape.filters,
+            map_expr: shape.map,
+            bind_name: shape.binding.map(Arc::from),
+            batch_rows: ctx.options.effective_batch_rows(),
+            ctx,
+        })
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.rows.len()
+    }
+
+    /// Produces the next batch of at most `hint` source rows; `None` when
+    /// the scan is exhausted.
+    fn next_chunk(&mut self, hint: usize) -> Result<Option<SpineBatch<'a>>> {
+        if self.done() {
+            return Ok(None);
+        }
+        let rows = self.rows;
+        let take = hint.clamp(1, 1 << 20).min(rows.len() - self.pos);
+        let slice = &rows[self.pos..self.pos + take];
+        self.pos += take;
+        match self.kernel_chunk(slice)? {
+            Some(batch) => Ok(Some(batch)),
+            None => {
+                self.ctx.metrics.add_fallback(slice.len());
+                Ok(Some(SpineBatch::Rows(self.fallback_chunk(slice)?)))
+            }
+        }
+    }
+
+    /// The vectorized path; `Ok(None)` bails the batch to the fallback
+    /// (undecodable chunk, or a kernel hit an unsupported combination /
+    /// would-be error).
+    fn kernel_chunk(&mut self, slice: &'a [Value]) -> Result<Option<SpineBatch<'a>>> {
+        let Some(chunk) = self.builder.build(slice) else {
+            return Ok(None);
+        };
+        let len = u32::try_from(slice.len()).expect("chunk size is clamped below u32::MAX");
+        let mut sel: Vec<u32> = (0..len).collect();
+        for kernel in &self.filter_kernels {
+            if sel.is_empty() {
+                break;
+            }
+            let Some(result) = kernel.eval(&chunk, &sel) else {
+                return Ok(None);
+            };
+            let mask = result.truthy_mask(sel.len());
+            let mut kept = Vec::with_capacity(sel.len());
+            for (i, keep) in mask.into_iter().enumerate() {
+                if keep {
+                    kept.push(sel[i]);
+                }
+            }
+            sel = kept;
+        }
+        if let Some(plan) = &mut self.gather {
+            // Bare-column map: borrow the field from each surviving row.
+            // A survivor that is not a struct or lacks the field bails the
+            // whole batch (nothing was emitted or counted yet), and the
+            // per-row path reproduces the exact row-engine behaviour.
+            let mut out = Vec::with_capacity(sel.len());
+            for &i in &sel {
+                let Value::Struct(row) = &slice[i as usize] else {
+                    return Ok(None);
+                };
+                let Some(value) = gather_lookup(row, plan) else {
+                    return Ok(None);
+                };
+                out.push(value);
+            }
+            self.ctx.metrics.add_kernel(slice.len());
+            return Ok(Some(SpineBatch::Proj(out)));
+        }
+        let batch = match &self.map_kernel {
+            Some(kernel) => {
+                let Some(result) = kernel.eval(&chunk, &sel) else {
+                    return Ok(None);
+                };
+                SpineBatch::Mapped(result, sel.len())
+            }
+            None => {
+                let mut out = Vec::with_capacity(sel.len());
+                match &self.bind_name {
+                    // Survivors of a bound spine come out as the same
+                    // `{var: row}` structs `BindCursor` builds — but only
+                    // for survivors, after the filters ran on raw columns.
+                    Some(name) => {
+                        for &i in &sel {
+                            let env_row = StructValue::new(vec![(
+                                Arc::clone(name),
+                                slice[i as usize].clone(),
+                            )])
+                            .map_err(AlgebraError::from)?;
+                            out.push(Row::owned(Value::Struct(env_row)));
+                        }
+                    }
+                    None => {
+                        for &i in &sel {
+                            out.push(Row::borrowed(&slice[i as usize]));
+                        }
+                    }
+                }
+                SpineBatch::Rows(out)
+            }
+        };
+        self.ctx.metrics.add_kernel(slice.len());
+        Ok(Some(batch))
+    }
+
+    /// The per-row path for one batch, stacked operator-by-operator
+    /// across the whole batch — exactly how the row cursors' `next_batch`
+    /// implementations compose, so results, errors and error order match.
+    fn fallback_chunk(&self, slice: &'a [Value]) -> Result<Vec<Row<'a>>> {
+        let mut rows: Vec<Row<'a>> = slice.iter().map(Row::borrowed).collect();
+        if let Some(name) = &self.bind_name {
+            let mut bound = Vec::with_capacity(rows.len());
+            for row in rows {
+                let value = row.materialize(self.ctx.metrics)?;
+                let env_row = StructValue::new(vec![(Arc::clone(name), value)])
+                    .map_err(AlgebraError::from)?;
+                bound.push(Row::owned(Value::Struct(env_row)));
+            }
+            rows = bound;
+        }
+        for predicate in &self.filter_exprs {
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                if truthy(&eval_in_row(predicate, &row, self.ctx)?) {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+        }
+        if let Some(projection) = self.map_expr {
+            let mut mapped = Vec::with_capacity(rows.len());
+            for row in rows {
+                mapped.push(Row::owned(eval_in_row(projection, &row, self.ctx)?));
+            }
+            rows = mapped;
+        }
+        Ok(rows)
+    }
+}
+
+/// Queues one spine batch's rows for row-at-a-time consumers.
+fn enqueue<'a>(pending: &mut VecDeque<Row<'a>>, batch: SpineBatch<'a>) {
+    match batch {
+        SpineBatch::Mapped(result, n) => {
+            for i in 0..n {
+                pending.push_back(Row::owned(result.value_at(i)));
+            }
+        }
+        SpineBatch::Proj(values) => pending.extend(values.into_iter().map(Row::borrowed)),
+        SpineBatch::Rows(rows) => pending.extend(rows),
+    }
+}
+
+/// A fused spine exposed as an ordinary [`RowStream`] — what the rest of
+/// the engine (joins, unions, the collect sink) consumes.
+pub(crate) struct SpineCursor<'a> {
+    spine: FusedSpine<'a>,
+    pending: VecDeque<Row<'a>>,
+}
+
+impl<'a> SpineCursor<'a> {
+    fn new(spine: FusedSpine<'a>) -> Self {
+        SpineCursor {
+            spine,
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+impl<'a> RowStream<'a> for SpineCursor<'a> {
+    fn next_row(&mut self) -> Option<Result<Row<'a>>> {
+        loop {
+            if let Some(row) = self.pending.pop_front() {
+                return Some(Ok(row));
+            }
+            match self.spine.next_chunk(self.spine.batch_rows) {
+                Ok(Some(batch)) => enqueue(&mut self.pending, batch),
+                Ok(None) => return None,
+                Err(err) => return Some(Err(err)),
+            }
+        }
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Row<'a>>, max: usize) -> Result<bool> {
+        if !self.pending.is_empty() {
+            let take = self.pending.len().min(max);
+            out.extend(self.pending.drain(..take));
+            return Ok(true);
+        }
+        match self.spine.next_chunk(max)? {
+            Some(SpineBatch::Mapped(result, n)) => {
+                for i in 0..n {
+                    out.push(Row::owned(result.value_at(i)));
+                }
+                Ok(true)
+            }
+            Some(SpineBatch::Proj(values)) => {
+                out.extend(values.into_iter().map(Row::borrowed));
+                Ok(true)
+            }
+            Some(SpineBatch::Rows(rows)) => {
+                out.extend(rows);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+}
+
+/// Distinct over a fused spine.
+///
+/// Mirrors `DistinctCursor` (one canonical hash per probed row, borrowed
+/// duplicate rejection, one `rows_materialized` bump per admitted row)
+/// and adds a fast path for bare-column string keys: the cursor interns
+/// each key in its own [`StrDict`] (FNV, cheap on the short strings that
+/// make up attribute values) and skips repeated codes on a dense
+/// `code → seen` bitmap without ever paying the seen-set's canonical
+/// `Value` hash.  The bitmap is only ever a shortcut — admission always
+/// goes through the shared [`SeenSet`], so gathered, kernel-mapped and
+/// fallback batches stay mutually consistent.
+pub(crate) struct ColumnarDistinctCursor<'a> {
+    spine: FusedSpine<'a>,
+    seen: SeenSet,
+    dict: StrDict,
+    code_seen: Vec<bool>,
+    pending: VecDeque<Row<'a>>,
+}
+
+impl<'a> ColumnarDistinctCursor<'a> {
+    fn new(spine: FusedSpine<'a>) -> Self {
+        ColumnarDistinctCursor {
+            spine,
+            seen: SeenSet::default(),
+            dict: StrDict::new(),
+            code_seen: Vec::new(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Admits an owned candidate value: `None` for duplicates, the output
+    /// row (plus the seen-set copy and metrics bump) for new values.
+    fn admit_owned(&mut self, value: Value) -> Option<Row<'a>> {
+        let hash = self.seen.check(&value)?;
+        self.seen.insert_hashed(hash, value.clone());
+        self.spine.ctx.metrics.bump_materialized();
+        Some(Row::owned(value))
+    }
+
+    /// Like [`ColumnarDistinctCursor::admit_owned`], but rejects
+    /// duplicates on the borrowed value without cloning it.
+    fn admit_borrowed(&mut self, value: &Value) -> Option<Row<'a>> {
+        let hash = self.seen.check(value)?;
+        let value = value.clone();
+        self.seen.insert_hashed(hash, value.clone());
+        self.spine.ctx.metrics.bump_materialized();
+        Some(Row::owned(value))
+    }
+
+    fn process(&mut self, batch: SpineBatch<'a>) -> Result<()> {
+        match batch {
+            SpineBatch::Proj(values) => {
+                for value in values {
+                    if let Value::Str(s) = value {
+                        if let Some(code) = self.dict.code(s) {
+                            let slot = code as usize;
+                            if self.code_seen.get(slot).copied().unwrap_or(false) {
+                                continue;
+                            }
+                            if self.code_seen.len() <= slot {
+                                self.code_seen.resize(slot + 1, false);
+                            }
+                            self.code_seen[slot] = true;
+                        }
+                        // A full dictionary (or a fresh code) falls
+                        // through to the seen-set, which stays the one
+                        // source of truth.
+                    }
+                    if let Some(row) = self.admit_borrowed(value) {
+                        self.pending.push_back(row);
+                    }
+                }
+            }
+            SpineBatch::Mapped(result, n) => {
+                for i in 0..n {
+                    if let Some(row) = self.admit_owned(result.value_at(i)) {
+                        self.pending.push_back(row);
+                    }
+                }
+            }
+            SpineBatch::Rows(rows) => {
+                for row in rows {
+                    // The exact `DistinctCursor::admit` dance, including
+                    // the borrowed duplicate check for single-frame rows.
+                    let (hash, value) = if let Some(value) = row.single_value() {
+                        let Some(hash) = self.seen.check(value) else {
+                            continue;
+                        };
+                        (hash, row.materialize(self.spine.ctx.metrics)?)
+                    } else {
+                        let value = row.materialize(self.spine.ctx.metrics)?;
+                        let Some(hash) = self.seen.check(&value) else {
+                            continue;
+                        };
+                        (hash, value)
+                    };
+                    self.seen.insert_hashed(hash, value.clone());
+                    self.spine.ctx.metrics.bump_materialized();
+                    self.pending.push_back(Row::owned(value));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'a> RowStream<'a> for ColumnarDistinctCursor<'a> {
+    fn next_row(&mut self) -> Option<Result<Row<'a>>> {
+        loop {
+            if let Some(row) = self.pending.pop_front() {
+                return Some(Ok(row));
+            }
+            match self.spine.next_chunk(self.spine.batch_rows) {
+                Ok(Some(batch)) => {
+                    if let Err(err) = self.process(batch) {
+                        return Some(Err(err));
+                    }
+                }
+                Ok(None) => return None,
+                Err(err) => return Some(Err(err)),
+            }
+        }
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Row<'a>>, max: usize) -> Result<bool> {
+        loop {
+            if !self.pending.is_empty() {
+                let take = self.pending.len().min(max);
+                out.extend(self.pending.drain(..take));
+                return Ok(true);
+            }
+            match self.spine.next_chunk(max)? {
+                Some(batch) => self.process(batch)?,
+                None => return Ok(false),
+            }
+        }
+    }
+}
+
+/// Aggregate over a fused spine: folds batch values straight into an
+/// [`AggState`] in row order, mirroring the serial `fold_aggregate`
+/// (which bumps no metrics).
+pub(crate) struct ColumnarAggregateCursor<'a> {
+    spine: Option<FusedSpine<'a>>,
+    func: AggKind,
+}
+
+impl<'a> ColumnarAggregateCursor<'a> {
+    fn new(spine: FusedSpine<'a>, func: AggKind) -> Self {
+        ColumnarAggregateCursor {
+            spine: Some(spine),
+            func,
+        }
+    }
+}
+
+impl<'a> RowStream<'a> for ColumnarAggregateCursor<'a> {
+    fn next_row(&mut self) -> Option<Result<Row<'a>>> {
+        let mut spine = self.spine.take()?;
+        let mut state = AggState::new(self.func);
+        let batch_rows = spine.batch_rows;
+        loop {
+            match spine.next_chunk(batch_rows) {
+                Ok(Some(SpineBatch::Mapped(result, n))) => {
+                    for i in 0..n {
+                        if let Err(err) = state.update(&result.value_at(i)) {
+                            return Some(Err(err));
+                        }
+                    }
+                }
+                Ok(Some(SpineBatch::Proj(values))) => {
+                    for value in values {
+                        if let Err(err) = state.update(value) {
+                            return Some(Err(err));
+                        }
+                    }
+                }
+                Ok(Some(SpineBatch::Rows(rows))) => {
+                    for row in rows {
+                        let merged;
+                        let value: &Value = match row.single_value() {
+                            Some(value) => value,
+                            None => {
+                                merged = match row.materialize(spine.ctx.metrics) {
+                                    Ok(value) => value,
+                                    Err(err) => return Some(Err(err)),
+                                };
+                                &merged
+                            }
+                        };
+                        if let Err(err) = state.update(value) {
+                            return Some(Err(err));
+                        }
+                    }
+                }
+                Ok(None) => return Some(Ok(Row::owned(state.finish()))),
+                Err(err) => return Some(Err(err)),
+            }
+        }
+    }
+}

@@ -36,6 +36,7 @@
 //! be merged ([`PipelineMetrics::rows_merged`]), making the streaming
 //! claim testable.
 
+mod columnar;
 mod exchange;
 mod filter;
 mod join;
@@ -289,6 +290,8 @@ pub struct PipelineMetrics {
     rows_materialized: AtomicUsize,
     rows_merged: AtomicUsize,
     rows_emitted: AtomicUsize,
+    rows_kernel: AtomicUsize,
+    rows_fallback: AtomicUsize,
     /// Nanoseconds since [`metrics_epoch`] at which the first row reached
     /// a sink through this instance; `u64::MAX` = no row yet.
     first_row_ns: AtomicU64,
@@ -305,6 +308,8 @@ impl Default for PipelineMetrics {
             rows_materialized: AtomicUsize::new(0),
             rows_merged: AtomicUsize::new(0),
             rows_emitted: AtomicUsize::new(0),
+            rows_kernel: AtomicUsize::new(0),
+            rows_fallback: AtomicUsize::new(0),
             first_row_ns: AtomicU64::new(u64::MAX),
             source_wait_ns: AtomicU64::new(0),
         }
@@ -344,6 +349,10 @@ impl PipelineMetrics {
             .fetch_add(other.rows_merged(), Ordering::Relaxed);
         self.rows_emitted
             .fetch_add(other.rows_emitted(), Ordering::Relaxed);
+        self.rows_kernel
+            .fetch_add(other.rows_kernel(), Ordering::Relaxed);
+        self.rows_fallback
+            .fetch_add(other.rows_fallback(), Ordering::Relaxed);
         self.first_row_ns.fetch_min(
             other.first_row_ns.load(Ordering::Relaxed),
             Ordering::Relaxed,
@@ -376,6 +385,26 @@ impl PipelineMetrics {
     #[must_use]
     pub fn rows_emitted(&self) -> usize {
         self.rows_emitted.load(Ordering::Relaxed)
+    }
+
+    /// Rows whose scalar work (filter predicates, map projections) ran
+    /// through vectorized columnar kernels.  Together with
+    /// [`PipelineMetrics::rows_fallback`] this makes kernel *coverage*
+    /// observable: a pipeline the kernel set fully covers reports zero
+    /// fallback rows.
+    #[must_use]
+    pub fn rows_kernel(&self) -> usize {
+        self.rows_kernel.load(Ordering::Relaxed)
+    }
+
+    /// Rows a columnar stretch had to evaluate through the per-row
+    /// [`Env`] path instead — an irregular batch (non-struct rows, missing
+    /// fields, mixed types hitting a typed fast path) or a would-be
+    /// evaluation error that the row evaluator must report.  Rows outside
+    /// any columnar stretch count in neither bucket.
+    #[must_use]
+    pub fn rows_fallback(&self) -> usize {
+        self.rows_fallback.load(Ordering::Relaxed)
     }
 
     /// When the first row reached a sink, as an elapsed time since
@@ -428,6 +457,18 @@ impl PipelineMetrics {
         self.rows_emitted.fetch_add(n, Ordering::Relaxed);
         self.note_first_row();
     }
+
+    pub(crate) fn add_kernel(&self, n: usize) {
+        if n != 0 {
+            self.rows_kernel.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn add_fallback(&self, n: usize) {
+        if n != 0 {
+            self.rows_fallback.fetch_add(n, Ordering::Relaxed);
+        }
+    }
 }
 
 /// `&a + &b` builds a fresh instance holding the exact sums — the
@@ -443,6 +484,20 @@ impl std::ops::Add for &PipelineMetrics {
     }
 }
 
+/// Whether fused pipeline stretches execute through the columnar
+/// (batch-at-a-time, vectorized-kernel) engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ColumnarMode {
+    /// Defer to the `DISCO_COLUMNAR` environment variable (`0`/`false`/
+    /// `off` disable; anything else — including unset — enables).
+    #[default]
+    Auto,
+    /// Force the columnar engine on, regardless of the environment.
+    On,
+    /// Force every operator through the row-at-a-time path.
+    Off,
+}
+
 /// Options steering cursor construction and scheduling.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PipelineOptions {
@@ -455,6 +510,13 @@ pub struct PipelineOptions {
     /// to the PR 2 engine.  Values above [`parallel::MAX_THREADS`] are
     /// clamped.
     pub threads: usize,
+    /// Rows per pipeline batch (and per columnar chunk).  `0` (the
+    /// default) defers to the `DISCO_BATCH_ROWS` environment variable,
+    /// which itself defaults to [`BATCH_ROWS`].  Clamped to
+    /// `1..=1_048_576`.
+    pub batch_rows: usize,
+    /// Columnar-engine switch; see [`ColumnarMode`].
+    pub columnar: ColumnarMode,
 }
 
 impl PipelineOptions {
@@ -466,6 +528,54 @@ impl PipelineOptions {
     pub(crate) fn serial(self) -> PipelineOptions {
         PipelineOptions { threads: 1, ..self }
     }
+
+    /// The batch/chunk size this execution actually uses, with the `0 →
+    /// environment → default` resolution applied.
+    #[must_use]
+    pub fn effective_batch_rows(self) -> usize {
+        let rows = if self.batch_rows == 0 {
+            env_batch_rows()
+        } else {
+            self.batch_rows
+        };
+        rows.clamp(1, 1 << 20)
+    }
+
+    /// Whether the columnar engine is active under these options.
+    #[must_use]
+    pub fn columnar_enabled(self) -> bool {
+        match self.columnar {
+            ColumnarMode::On => true,
+            ColumnarMode::Off => false,
+            ColumnarMode::Auto => env_columnar_default(),
+        }
+    }
+}
+
+/// `DISCO_BATCH_ROWS` (cached at first use; invalid or unset falls back
+/// to [`BATCH_ROWS`]).
+fn env_batch_rows() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("DISCO_BATCH_ROWS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(BATCH_ROWS)
+    })
+}
+
+/// `DISCO_COLUMNAR` (cached at first use; the columnar engine defaults to
+/// **on** and is disabled by `0`, `false` or `off`).
+fn env_columnar_default() -> bool {
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| match std::env::var("DISCO_COLUMNAR") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off"
+        ),
+        Err(_) => true,
+    })
 }
 
 /// Shared, `Copy` context threaded through every cursor of one execution.
@@ -524,11 +634,21 @@ pub fn open_with<'a>(
 /// # Errors
 ///
 /// Propagates the first row error.
-pub fn collect(mut cursor: BoxedRowStream<'_>, metrics: &PipelineMetrics) -> Result<Bag> {
+pub fn collect(cursor: BoxedRowStream<'_>, metrics: &PipelineMetrics) -> Result<Bag> {
+    collect_with(cursor, metrics, BATCH_ROWS)
+}
+
+/// [`collect`] with an explicit batch size (the engine threads
+/// [`PipelineOptions::effective_batch_rows`] through here).
+pub(crate) fn collect_with(
+    mut cursor: BoxedRowStream<'_>,
+    metrics: &PipelineMetrics,
+    batch_rows: usize,
+) -> Result<Bag> {
     let mut out = Bag::new();
-    let mut buf = Vec::with_capacity(BATCH_ROWS);
+    let mut buf = Vec::with_capacity(batch_rows);
     loop {
-        let more = cursor.next_batch(&mut buf, BATCH_ROWS)?;
+        let more = cursor.next_batch(&mut buf, batch_rows)?;
         metrics.add_emitted(buf.len());
         for row in buf.drain(..) {
             let value = row.materialize(metrics)?;
@@ -545,6 +665,15 @@ pub(crate) fn build<'a>(
     plan: &'a PhysicalExpr,
     ctx: PipelineCtx<'a>,
 ) -> Result<BoxedRowStream<'a>> {
+    // Columnar interception: when a stretch of this subtree fuses into a
+    // vectorized kernel pipeline, run it batch-at-a-time.  `None` simply
+    // means "not fusable here" — recursion below still intercepts fusable
+    // *inner* subtrees (partial fusion).
+    if ctx.options.columnar_enabled() {
+        if let Some(cursor) = columnar::try_build(plan, ctx) {
+            return Ok(cursor);
+        }
+    }
     match plan {
         PhysicalExpr::Exec {
             repository,
@@ -760,7 +889,7 @@ pub(crate) fn evaluate_physical_streamed(
     // evaluated per row never re-enter the parallel scheduler.
     let options = options.serial();
     let cursor = open_with(plan, resolved, outer, metrics, options)?;
-    collect(cursor, metrics)
+    collect_with(cursor, metrics, options.effective_batch_rows())
 }
 
 /// Builds the layered environment of a row's frames on top of `outer` and

@@ -89,7 +89,7 @@ impl SeenSet {
 
     /// Returns the value's hash when it has not been seen, `None` when it
     /// is a duplicate.  Borrow-only — no clone either way.
-    fn check(&self, value: &Value) -> Option<u64> {
+    pub(crate) fn check(&self, value: &Value) -> Option<u64> {
         let hash = self.hash_of(value);
         if self.check_hashed(hash, value) {
             Some(hash)

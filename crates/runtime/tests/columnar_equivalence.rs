@@ -1,0 +1,347 @@
+//! Differential tests: the columnar (vectorized-kernel) engine against
+//! the row-at-a-time cursor path.
+//!
+//! Every test runs the same plan with `ColumnarMode::On` and
+//! `ColumnarMode::Off` and asserts multiset-equal answers plus identical
+//! breaker metrics (`rows_materialized`, `rows_merged`, `rows_emitted`).
+//! The value-plane edge cases the kernels must preserve are pinned
+//! explicitly: NaN under `total_cmp`, null propagation through
+//! comparisons and arithmetic, dictionary-column equality for
+//! content-equal strings from distinct allocations, empty and
+//! all-filtered selections, irregular (mixed-type / missing-field)
+//! batches, and error identity between the kernel bail-out path and the
+//! row evaluator.
+
+mod common;
+
+use common::random_plan;
+use disco_algebra::{lower, LogicalExpr, ScalarExpr, ScalarOp};
+use disco_runtime::{
+    evaluate_physical_with, ColumnarMode, PipelineMetrics, PipelineOptions, ResolvedExecs,
+};
+use disco_value::{Bag, StructValue, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn options(mode: ColumnarMode) -> PipelineOptions {
+    // Serial: kernel-coverage counts are asserted per-plan below, and the
+    // parallel engine's partitioned tasks intentionally keep the row path.
+    PipelineOptions {
+        threads: 1,
+        columnar: mode,
+        ..PipelineOptions::default()
+    }
+}
+
+fn run(plan: &LogicalExpr, mode: ColumnarMode) -> (Bag, PipelineMetrics) {
+    let physical = lower(plan).expect("plan lowers");
+    let resolved = ResolvedExecs::default();
+    let metrics = PipelineMetrics::new();
+    let bag = evaluate_physical_with(&physical, &resolved, &metrics, options(mode))
+        .expect("plan evaluates");
+    (bag, metrics)
+}
+
+/// Runs both modes, asserts equivalence, and returns the columnar run.
+fn assert_modes_agree(plan: &LogicalExpr) -> (Bag, PipelineMetrics) {
+    let (on, m_on) = run(plan, ColumnarMode::On);
+    let (off, m_off) = run(plan, ColumnarMode::Off);
+    assert_eq!(on, off, "columnar answer must equal the row-path answer");
+    assert_eq!(
+        m_on.rows_materialized(),
+        m_off.rows_materialized(),
+        "breakers must buffer identical row counts in both modes"
+    );
+    assert_eq!(m_on.rows_merged(), m_off.rows_merged());
+    assert_eq!(m_on.rows_emitted(), m_off.rows_emitted());
+    assert_eq!(m_off.rows_kernel(), 0, "row path reports no kernel rows");
+    assert_eq!(m_off.rows_fallback(), 0, "row path reports no fallback");
+    (on, m_on)
+}
+
+fn row(fields: Vec<(&str, Value)>) -> Value {
+    Value::Struct(StructValue::new(fields).expect("distinct field names"))
+}
+
+fn people(rows: i64) -> Bag {
+    (0..rows)
+        .map(|i| {
+            row(vec![
+                ("id", Value::Int(i % 16)),
+                ("name", Value::from(format!("p-{}", i % 16))),
+                ("salary", Value::Int((i * 37) % 100)),
+            ])
+        })
+        .collect()
+}
+
+fn salary_gt(limit: i64) -> ScalarExpr {
+    ScalarExpr::binary(
+        ScalarOp::Gt,
+        ScalarExpr::var_field("x", "salary"),
+        ScalarExpr::constant(limit),
+    )
+}
+
+#[test]
+fn columnar_matches_row_path_on_random_plans() {
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0xC01A + seed);
+        let plan = random_plan(&mut rng);
+        assert_modes_agree(&plan);
+    }
+}
+
+#[test]
+fn e9_pipelines_run_fully_kernel_covered() {
+    let rows = 500i64;
+    let filter_project = LogicalExpr::Data(people(rows))
+        .bind("x")
+        .filter(salary_gt(50))
+        .map_project(ScalarExpr::var_field("x", "name"));
+    let (_, metrics) = assert_modes_agree(&filter_project);
+    assert_eq!(
+        metrics.rows_kernel(),
+        rows as usize,
+        "every scanned row vectorized"
+    );
+    assert_eq!(metrics.rows_fallback(), 0, "no per-row fallback");
+
+    let distinct = LogicalExpr::Distinct(Box::new(
+        LogicalExpr::Data(people(rows))
+            .bind("x")
+            .map_project(ScalarExpr::var_field("x", "name")),
+    ));
+    let (answer, metrics) = assert_modes_agree(&distinct);
+    assert_eq!(answer.len(), 16);
+    assert_eq!(metrics.rows_kernel(), rows as usize);
+    assert_eq!(metrics.rows_fallback(), 0);
+}
+
+#[test]
+fn nan_ordering_matches_total_cmp_in_both_modes() {
+    let bag: Bag = [
+        Value::Float(f64::NAN),
+        Value::Float(f64::INFINITY),
+        Value::Float(1.0),
+        Value::Float(-0.0),
+        Value::Float(0.0),
+        Value::Int(2),
+        Value::Null,
+    ]
+    .into_iter()
+    .map(|v| row(vec![("v", v)]))
+    .collect();
+    // Under `total_cmp` NaN sorts above +inf, and -0.0 below 0.0.
+    let gt_zero = LogicalExpr::Data(bag.clone())
+        .bind("x")
+        .filter(ScalarExpr::binary(
+            ScalarOp::Gt,
+            ScalarExpr::var_field("x", "v"),
+            ScalarExpr::Const(Value::Float(0.0)),
+        ));
+    let (answer, _) = assert_modes_agree(&gt_zero);
+    assert_eq!(answer.len(), 4, "NaN, +inf, 1.0 and Int(2) exceed 0.0");
+
+    // NaN == NaN and -0.0 != 0.0 under the value plane's equality.
+    let eq_nan = LogicalExpr::Data(bag).bind("x").filter(ScalarExpr::binary(
+        ScalarOp::Eq,
+        ScalarExpr::var_field("x", "v"),
+        ScalarExpr::Const(Value::Float(f64::NAN)),
+    ));
+    let (answer, _) = assert_modes_agree(&eq_nan);
+    assert_eq!(answer.len(), 1);
+}
+
+#[test]
+fn null_masks_propagate_through_comparisons_and_arithmetic() {
+    let bag: Bag = (0..50)
+        .map(|i| {
+            let v = if i % 5 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i)
+            };
+            row(vec![("salary", v)])
+        })
+        .collect();
+    // Ordered comparisons on null are false; nulls must never survive.
+    let cmp = LogicalExpr::Data(bag.clone())
+        .bind("x")
+        .filter(salary_gt(-1));
+    let (answer, _) = assert_modes_agree(&cmp);
+    assert_eq!(answer.len(), 40, "the 10 null salaries compare false");
+
+    // Arithmetic on null yields null, and `Null == Null` is true, so the
+    // null rows survive this self-comparison — in both modes.
+    let arith = LogicalExpr::Data(bag).bind("x").filter(ScalarExpr::binary(
+        ScalarOp::Eq,
+        ScalarExpr::binary(
+            ScalarOp::Add,
+            ScalarExpr::var_field("x", "salary"),
+            ScalarExpr::constant(0i64),
+        ),
+        ScalarExpr::var_field("x", "salary"),
+    ));
+    let (answer, _) = assert_modes_agree(&arith);
+    assert_eq!(answer.len(), 50, "null + 0 is null and Null == Null holds");
+}
+
+#[test]
+fn dictionary_columns_dedup_content_equal_strings_from_distinct_allocations() {
+    // Every row allocates its own string: equal content, different Arcs.
+    // The dictionary must code by content, exactly like `Value` equality.
+    let bag: Bag = (0..300)
+        .map(|i| row(vec![("name", Value::from(format!("dup-{}", i % 7)))]))
+        .collect();
+    let plan = LogicalExpr::Distinct(Box::new(
+        LogicalExpr::Data(bag)
+            .bind("x")
+            .map_project(ScalarExpr::var_field("x", "name")),
+    ));
+    let (answer, metrics) = assert_modes_agree(&plan);
+    assert_eq!(answer.len(), 7);
+    assert_eq!(
+        metrics.rows_materialized(),
+        7,
+        "one seen-set copy per distinct value"
+    );
+    assert_eq!(metrics.rows_kernel(), 300);
+}
+
+#[test]
+fn empty_and_all_filtered_selections_are_sound() {
+    let empty = LogicalExpr::Data(Bag::new())
+        .bind("x")
+        .filter(salary_gt(0))
+        .map_project(ScalarExpr::var_field("x", "name"));
+    let (answer, metrics) = assert_modes_agree(&empty);
+    assert!(answer.is_empty());
+    assert_eq!(metrics.rows_kernel() + metrics.rows_fallback(), 0);
+
+    let all_filtered = LogicalExpr::Data(people(200))
+        .bind("x")
+        .filter(salary_gt(1_000_000))
+        .map_project(ScalarExpr::var_field("x", "name"));
+    let (answer, metrics) = assert_modes_agree(&all_filtered);
+    assert!(answer.is_empty());
+    assert_eq!(
+        metrics.rows_kernel(),
+        200,
+        "all-filtered batches still vectorize"
+    );
+    assert_eq!(metrics.rows_emitted(), 0);
+}
+
+#[test]
+fn mixed_type_columns_and_cross_type_comparisons_agree() {
+    // `salary` mixes ints, floats and strings: the column decodes as
+    // boxed values and every comparison runs element-wise through
+    // `eval_binary` (`total_cmp` is a total order across types).
+    let bag: Bag = (0..60)
+        .map(|i| {
+            let v = match i % 3 {
+                0 => Value::Int(i),
+                1 => Value::Float(i as f64 + 0.5),
+                _ => Value::from(format!("s{i}")),
+            };
+            row(vec![("salary", v)])
+        })
+        .collect();
+    let plan = LogicalExpr::Data(bag).bind("x").filter(salary_gt(10));
+    assert_modes_agree(&plan);
+}
+
+#[test]
+fn missing_fields_report_the_row_paths_exact_error() {
+    // Row 3 lacks `salary`: the kernel path must refuse the batch and let
+    // the row evaluator produce its precise error.
+    let bag: Bag = (0..5)
+        .map(|i| {
+            if i == 3 {
+                row(vec![("id", Value::Int(i))])
+            } else {
+                row(vec![("id", Value::Int(i)), ("salary", Value::Int(i))])
+            }
+        })
+        .collect();
+    let plan = LogicalExpr::Data(bag).bind("x").filter(salary_gt(0));
+    let physical = lower(&plan).expect("plan lowers");
+    let resolved = ResolvedExecs::default();
+    let on = evaluate_physical_with(
+        &physical,
+        &resolved,
+        &PipelineMetrics::new(),
+        options(ColumnarMode::On),
+    )
+    .expect_err("missing field errors");
+    let off = evaluate_physical_with(
+        &physical,
+        &resolved,
+        &PipelineMetrics::new(),
+        options(ColumnarMode::Off),
+    )
+    .expect_err("missing field errors");
+    assert_eq!(on.to_string(), off.to_string(), "identical error text");
+}
+
+#[test]
+fn division_by_zero_bails_to_the_row_paths_exact_error() {
+    let bag: Bag = (0..10)
+        .map(|i| row(vec![("d", Value::Int(i % 3))]))
+        .collect();
+    let plan = LogicalExpr::Data(bag)
+        .bind("x")
+        .map_project(ScalarExpr::binary(
+            ScalarOp::Div,
+            ScalarExpr::constant(100i64),
+            ScalarExpr::var_field("x", "d"),
+        ));
+    let physical = lower(&plan).expect("plan lowers");
+    let resolved = ResolvedExecs::default();
+    let on = evaluate_physical_with(
+        &physical,
+        &resolved,
+        &PipelineMetrics::new(),
+        options(ColumnarMode::On),
+    )
+    .expect_err("division by zero");
+    let off = evaluate_physical_with(
+        &physical,
+        &resolved,
+        &PipelineMetrics::new(),
+        options(ColumnarMode::Off),
+    )
+    .expect_err("division by zero");
+    assert_eq!(on.to_string(), off.to_string());
+}
+
+#[test]
+fn batch_size_does_not_change_answers_or_metrics() {
+    let plan = LogicalExpr::Distinct(Box::new(
+        LogicalExpr::Data(people(333))
+            .bind("x")
+            .filter(salary_gt(20))
+            .map_project(ScalarExpr::var_field("x", "name")),
+    ));
+    let physical = lower(&plan).expect("plan lowers");
+    let resolved = ResolvedExecs::default();
+    let mut reference: Option<(Bag, usize, usize)> = None;
+    for batch_rows in [1usize, 7, 64, 4096] {
+        let metrics = PipelineMetrics::new();
+        let opts = PipelineOptions {
+            batch_rows,
+            ..options(ColumnarMode::On)
+        };
+        let bag =
+            evaluate_physical_with(&physical, &resolved, &metrics, opts).expect("plan evaluates");
+        let snapshot = (bag, metrics.rows_materialized(), metrics.rows_emitted());
+        match &reference {
+            None => reference = Some(snapshot),
+            Some(expected) => assert_eq!(
+                expected, &snapshot,
+                "batch_rows={batch_rows} must not change observable behaviour"
+            ),
+        }
+    }
+}

@@ -371,6 +371,7 @@ fn build_side_orientation_is_respected_in_parallel() {
         let options = PipelineOptions {
             build_side: side,
             threads: 4,
+            ..PipelineOptions::default()
         };
         let out =
             evaluate_physical_with(&physical, &resolved, &metrics, options).expect("evaluates");
@@ -380,6 +381,7 @@ fn build_side_orientation_is_respected_in_parallel() {
             PipelineOptions {
                 build_side: side,
                 threads: 1,
+                ..PipelineOptions::default()
             },
         )
         .expect("serial");

@@ -1,0 +1,485 @@
+//! Columnar chunks: the batch-at-a-time value representation of the
+//! mediator's combine step.
+//!
+//! The streaming cursor engine moves rows between operators in batches,
+//! but until now each row stayed a fat tagged [`Value`] evaluated one at
+//! a time.  A [`ColumnarChunk`] decodes one batch of struct rows into
+//! *typed column vectors* — `i64`/`f64`/`bool` data with optional null
+//! masks, dictionary-encoded `Arc<str>` columns — so scalar kernels can
+//! run over whole columns without per-row enum dispatch.  Filters mark
+//! surviving rows in a selection vector (owned by the engine) instead of
+//! copying them.
+//!
+//! Decoding is strict: a chunk is only produced when **every** row of the
+//! batch is a struct carrying **every** requested field.  Anything else —
+//! a missing field, a non-struct row — makes [`ChunkBuilder::build`]
+//! return `None`, and the engine evaluates that batch through the exact
+//! per-row [`Value`] path instead.  A column whose values mix types stays
+//! usable as a [`Column::Values`] vector, so only genuinely irregular
+//! batches fall back.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+use crate::{StructValue, Value};
+
+/// FNV-1a, the classic tiny-string hasher: the dictionary interns short
+/// attribute values (names, categories), for which FNV beats SipHash by a
+/// wide margin and needs no external crate.
+#[derive(Default)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0 ^ 0xcbf2_9ce4_8422_2325
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // The state starts at 0 and the offset basis is folded in at
+        // `finish`, so `Default` stays derivable.
+        let mut hash = self.0 ^ 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = hash ^ 0xcbf2_9ce4_8422_2325;
+    }
+}
+
+/// Code used in dictionary columns for null slots (never a valid code:
+/// the dictionary refuses to grow that far).
+pub const NULL_CODE: u32 = u32::MAX;
+
+/// A string dictionary shared by every chunk of one scan: equal strings
+/// get equal codes, so downstream consumers (hash distinct, equality
+/// probes) can work on dense `u32`s and hash each *distinct* string once
+/// instead of once per row.
+#[derive(Default)]
+pub struct StrDict {
+    map: HashMap<Arc<str>, u32, BuildHasherDefault<FnvHasher>>,
+}
+
+impl StrDict {
+    /// An empty dictionary.
+    #[must_use]
+    pub fn new() -> Self {
+        StrDict::default()
+    }
+
+    /// Number of distinct strings interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Interns `s`, returning its stable code.  Equal strings (by
+    /// content) always return the same code.  `None` only when the
+    /// dictionary is full (`u32` codes exhausted, [`NULL_CODE`] reserved).
+    pub fn code(&mut self, s: &Arc<str>) -> Option<u32> {
+        if let Some(&code) = self.map.get(s.as_ref()) {
+            return Some(code);
+        }
+        let next = u32::try_from(self.map.len()).ok()?;
+        if next == NULL_CODE {
+            return None;
+        }
+        self.map.insert(Arc::clone(s), next);
+        Some(next)
+    }
+}
+
+/// One decoded column of a [`ColumnarChunk`].
+///
+/// Typed variants carry plain data vectors plus an optional null mask
+/// (`Some` only when the batch actually contained nulls; masked slots
+/// hold an arbitrary placeholder in the data vector).  Batches mixing
+/// value types in one field decode to [`Column::Values`], which keeps
+/// the column kernel-evaluable element-wise.
+pub enum Column {
+    /// All-integer (or null) values.
+    Int {
+        /// Row values; null slots hold `0`.
+        data: Vec<i64>,
+        /// Null mask, present only when the chunk has nulls in this column.
+        nulls: Option<Vec<bool>>,
+    },
+    /// All-float (or null) values.
+    Float {
+        /// Row values; null slots hold `0.0`.
+        data: Vec<f64>,
+        /// Null mask, present only when the chunk has nulls in this column.
+        nulls: Option<Vec<bool>>,
+    },
+    /// All-boolean (or null) values.
+    Bool {
+        /// Row values; null slots hold `false`.
+        data: Vec<bool>,
+        /// Null mask, present only when the chunk has nulls in this column.
+        nulls: Option<Vec<bool>>,
+    },
+    /// All-string (or null) values, optionally dictionary-encoded.
+    Str {
+        /// Row values (`Arc` bumps of the original strings); null slots
+        /// hold an empty string.
+        values: Vec<Arc<str>>,
+        /// Dictionary codes from the scan's [`StrDict`] (equal string ⇔
+        /// equal code); null slots hold [`NULL_CODE`].  `None` when the
+        /// builder was not asked to encode this field (or the dictionary
+        /// overflowed).
+        codes: Option<Vec<u32>>,
+        /// Null mask, present only when the chunk has nulls in this column.
+        nulls: Option<Vec<bool>>,
+    },
+    /// Mixed-type values kept as boxed [`Value`]s (`Arc` bumps).
+    Values(Vec<Value>),
+}
+
+/// One batch of rows decoded into columns.
+///
+/// Column order matches the field order the [`ChunkBuilder`] was
+/// configured with; every column has exactly [`ColumnarChunk::len`]
+/// slots.
+pub struct ColumnarChunk {
+    len: usize,
+    columns: Vec<Column>,
+}
+
+impl ColumnarChunk {
+    /// Number of rows in the chunk.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` for an empty chunk.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The decoded column at builder field index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range — column slots correspond
+    /// one-to-one to the fields registered on the builder.
+    #[must_use]
+    pub fn column(&self, index: usize) -> &Column {
+        &self.columns[index]
+    }
+}
+
+/// Per-field decode state of a [`ChunkBuilder`].
+struct FieldPlan {
+    name: Arc<str>,
+    /// Dictionary for [`Column::Str`] codes; `None` = plain strings.
+    dict: Option<StrDict>,
+    /// Guessed declaration-order position of the field, updated on the
+    /// fly: rows from one source share their layout, so after the first
+    /// row every lookup is a single indexed access plus a name check.
+    guess: usize,
+}
+
+/// Decodes batches of struct rows into [`ColumnarChunk`]s.
+///
+/// One builder serves one scan: it is configured once with the fields the
+/// compiled kernels reference and then fed consecutive row batches.  The
+/// builder owns per-field dictionaries, so codes stay consistent across
+/// every chunk of the scan.
+///
+/// # Examples
+///
+/// ```
+/// use disco_value::{ChunkBuilder, Column, StructValue, Value};
+///
+/// let rows: Vec<Value> = (0..3)
+///     .map(|i| {
+///         Value::Struct(StructValue::new(vec![("salary", Value::Int(i * 100))]).unwrap())
+///     })
+///     .collect();
+/// let mut builder = ChunkBuilder::new();
+/// let salary = builder.add_field("salary");
+/// let chunk = builder.build(&rows).expect("uniform struct rows decode");
+/// match chunk.column(salary) {
+///     Column::Int { data, nulls } => {
+///         assert_eq!(data, &[0, 100, 200]);
+///         assert!(nulls.is_none());
+///     }
+///     _ => panic!("salary decodes as an int column"),
+/// }
+/// ```
+#[derive(Default)]
+pub struct ChunkBuilder {
+    fields: Vec<FieldPlan>,
+}
+
+impl ChunkBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        ChunkBuilder::default()
+    }
+
+    /// Registers a field to decode; returns its column index.
+    pub fn add_field(&mut self, name: impl Into<Arc<str>>) -> usize {
+        self.fields.push(FieldPlan {
+            name: name.into(),
+            dict: None,
+            guess: 0,
+        });
+        self.fields.len() - 1
+    }
+
+    /// Registers a field to decode with dictionary-encoded string codes;
+    /// returns its column index.
+    pub fn add_dict_field(&mut self, name: impl Into<Arc<str>>) -> usize {
+        let index = self.add_field(name);
+        self.fields[index].dict = Some(StrDict::new());
+        index
+    }
+
+    /// Number of registered fields.
+    #[must_use]
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Decodes one batch of rows into a chunk, or `None` when the batch
+    /// cannot be decoded strictly — some row is not a struct, or lacks a
+    /// registered field.  (`None` is the fallback signal, not an error:
+    /// the caller evaluates the batch per-row instead, which reproduces
+    /// the exact row-path behaviour including its error reporting.)
+    pub fn build(&mut self, rows: &[Value]) -> Option<ColumnarChunk> {
+        let mut columns = Vec::with_capacity(self.fields.len());
+        let mut scratch: Vec<&Value> = Vec::with_capacity(rows.len());
+        for plan in &mut self.fields {
+            scratch.clear();
+            for row in rows {
+                let Value::Struct(s) = row else {
+                    return None;
+                };
+                scratch.push(lookup_field(s, plan)?);
+            }
+            columns.push(encode_column(&scratch, plan.dict.as_mut()));
+        }
+        Some(ColumnarChunk {
+            len: rows.len(),
+            columns,
+        })
+    }
+}
+
+/// Field lookup with a positional fast path (see [`FieldPlan::guess`]).
+fn lookup_field<'v>(row: &'v StructValue, plan: &mut FieldPlan) -> Option<&'v Value> {
+    if let Some((name, value)) = row.field_at(plan.guess) {
+        if name == plan.name.as_ref() {
+            return Some(value);
+        }
+    }
+    let (index, value) = row.position(plan.name.as_ref())?;
+    plan.guess = index;
+    Some(value)
+}
+
+/// Classifies and encodes one column's values.
+fn encode_column(values: &[&Value], dict: Option<&mut StrDict>) -> Column {
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    enum Kind {
+        Unknown,
+        Int,
+        Float,
+        Bool,
+        Str,
+        Mixed,
+    }
+    let mut kind = Kind::Unknown;
+    let mut has_null = false;
+    for v in values {
+        let this = match v {
+            Value::Null => {
+                has_null = true;
+                continue;
+            }
+            Value::Int(_) => Kind::Int,
+            Value::Float(_) => Kind::Float,
+            Value::Bool(_) => Kind::Bool,
+            Value::Str(_) => Kind::Str,
+            _ => Kind::Mixed,
+        };
+        kind = match kind {
+            Kind::Unknown => this,
+            k if k == this => k,
+            _ => Kind::Mixed,
+        };
+        if kind == Kind::Mixed {
+            break;
+        }
+    }
+    let nulls = || {
+        if has_null {
+            Some(values.iter().map(|v| v.is_null()).collect())
+        } else {
+            None
+        }
+    };
+    match kind {
+        Kind::Int => Column::Int {
+            data: values
+                .iter()
+                .map(|v| if let Value::Int(i) = v { *i } else { 0 })
+                .collect(),
+            nulls: nulls(),
+        },
+        Kind::Float => Column::Float {
+            data: values
+                .iter()
+                .map(|v| if let Value::Float(f) = v { *f } else { 0.0 })
+                .collect(),
+            nulls: nulls(),
+        },
+        Kind::Bool => Column::Bool {
+            data: values
+                .iter()
+                .map(|v| matches!(v, Value::Bool(true)))
+                .collect(),
+            nulls: nulls(),
+        },
+        Kind::Str => {
+            let empty: Arc<str> = Arc::from("");
+            let strs: Vec<Arc<str>> = values
+                .iter()
+                .map(|v| {
+                    if let Value::Str(s) = v {
+                        Arc::clone(s)
+                    } else {
+                        Arc::clone(&empty)
+                    }
+                })
+                .collect();
+            let codes = dict.and_then(|d| {
+                let mut codes = Vec::with_capacity(values.len());
+                for (s, v) in strs.iter().zip(values) {
+                    if v.is_null() {
+                        codes.push(NULL_CODE);
+                    } else {
+                        codes.push(d.code(s)?);
+                    }
+                }
+                Some(codes)
+            });
+            Column::Str {
+                values: strs,
+                codes,
+                nulls: nulls(),
+            }
+        }
+        // All-null columns land here too: boxed values keep the exact
+        // per-element semantics without a dedicated all-null encoding.
+        Kind::Unknown | Kind::Mixed => {
+            Column::Values(values.iter().map(|v| (*v).clone()).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person(id: i64, name: &str) -> Value {
+        Value::Struct(
+            StructValue::new(vec![("id", Value::Int(id)), ("name", Value::from(name))]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn decodes_typed_columns_with_dictionary_codes() {
+        let rows = vec![person(1, "ann"), person(2, "bob"), person(3, "ann")];
+        let mut b = ChunkBuilder::new();
+        let id = b.add_field("id");
+        let name = b.add_dict_field("name");
+        let chunk = b.build(&rows).unwrap();
+        assert_eq!(chunk.len(), 3);
+        match chunk.column(id) {
+            Column::Int { data, nulls } => {
+                assert_eq!(data, &[1, 2, 3]);
+                assert!(nulls.is_none());
+            }
+            _ => panic!("id is an int column"),
+        }
+        match chunk.column(name) {
+            Column::Str { values, codes, .. } => {
+                assert_eq!(values[0].as_ref(), "ann");
+                let codes = codes.as_ref().unwrap();
+                assert_eq!(codes[0], codes[2]);
+                assert_ne!(codes[0], codes[1]);
+            }
+            _ => panic!("name is a str column"),
+        }
+    }
+
+    #[test]
+    fn dictionary_codes_are_stable_across_chunks() {
+        let mut b = ChunkBuilder::new();
+        let name = b.add_dict_field("name");
+        let first = b.build(&[person(1, "ann"), person(2, "bob")]).unwrap();
+        let second = b.build(&[person(3, "bob"), person(4, "cay")]).unwrap();
+        let (
+            Column::Str {
+                codes: Some(c1), ..
+            },
+            Column::Str {
+                codes: Some(c2), ..
+            },
+        ) = (first.column(name), second.column(name))
+        else {
+            panic!("dictionary columns");
+        };
+        assert_eq!(c1[1], c2[0], "equal strings share a code across chunks");
+        assert_ne!(c2[0], c2[1]);
+    }
+
+    #[test]
+    fn null_masks_mark_null_slots() {
+        let rows = vec![
+            Value::Struct(StructValue::new(vec![("x", Value::Int(1))]).unwrap()),
+            Value::Struct(StructValue::new(vec![("x", Value::Null)]).unwrap()),
+        ];
+        let mut b = ChunkBuilder::new();
+        let x = b.add_field("x");
+        let chunk = b.build(&rows).unwrap();
+        match chunk.column(x) {
+            Column::Int { data, nulls } => {
+                assert_eq!(data, &[1, 0]);
+                assert_eq!(nulls.as_deref(), Some(&[false, true][..]));
+            }
+            _ => panic!("int column with nulls"),
+        }
+    }
+
+    #[test]
+    fn missing_field_or_non_struct_rows_refuse_to_decode() {
+        let mut b = ChunkBuilder::new();
+        b.add_field("salary");
+        assert!(b.build(&[person(1, "ann")]).is_none(), "missing field");
+        assert!(b.build(&[Value::Int(7)]).is_none(), "non-struct row");
+    }
+
+    #[test]
+    fn mixed_types_fall_back_to_boxed_values() {
+        let rows = vec![
+            Value::Struct(StructValue::new(vec![("x", Value::Int(1))]).unwrap()),
+            Value::Struct(StructValue::new(vec![("x", Value::from("one"))]).unwrap()),
+        ];
+        let mut b = ChunkBuilder::new();
+        let x = b.add_field("x");
+        let chunk = b.build(&rows).unwrap();
+        assert!(matches!(chunk.column(x), Column::Values(vs) if vs.len() == 2));
+    }
+}

@@ -71,6 +71,7 @@
 #![warn(missing_docs)]
 
 mod bag;
+mod chunk;
 mod convert;
 mod display;
 mod error;
@@ -78,6 +79,7 @@ mod ord;
 mod value;
 
 pub use bag::{Bag, BagCursor};
+pub use chunk::{ChunkBuilder, Column, ColumnarChunk, FnvHasher, StrDict, NULL_CODE};
 pub use error::ValueError;
 pub use value::{StructValue, Value};
 
@@ -95,4 +97,7 @@ const _: () = {
     assert_send_sync::<Bag>();
     assert_send_sync::<BagCursor>();
     assert_send_sync::<ValueError>();
+    assert_send_sync::<ColumnarChunk>();
+    assert_send_sync::<Column>();
+    assert_send_sync::<ChunkBuilder>();
 };

@@ -324,6 +324,26 @@ impl StructValue {
         self.get(name).is_some()
     }
 
+    /// The `(name, value)` pair at declaration position `index`, or
+    /// `None` past the end.  Columnar decoding uses this as a positional
+    /// fast path: rows from one source share their field layout, so a
+    /// cached position plus one name check replaces the linear scan of
+    /// [`StructValue::get`].
+    #[must_use]
+    pub fn field_at(&self, index: usize) -> Option<(&str, &Value)> {
+        self.fields.get(index).map(|(n, v)| (n.as_ref(), v))
+    }
+
+    /// Looks up a field by name, returning its declaration position and
+    /// value.
+    #[must_use]
+    pub fn position(&self, name: &str) -> Option<(usize, &Value)> {
+        self.fields
+            .iter()
+            .position(|(n, _)| n.as_ref() == name)
+            .map(|i| (i, &self.fields[i].1))
+    }
+
     /// Iterates over `(name, value)` pairs in declaration order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
         self.fields.iter().map(|(n, v)| (n.as_ref(), v))
