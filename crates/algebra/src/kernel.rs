@@ -24,7 +24,7 @@
 
 use std::sync::Arc;
 
-use disco_value::{Column, ColumnarChunk, Value};
+use disco_value::{Column, ColumnarChunk, StructValue, Value};
 
 use crate::scalar::{eval_binary, truthy, ScalarExpr, ScalarOp};
 
@@ -44,6 +44,19 @@ enum KernelNode {
         right: Box<KernelNode>,
     },
     Not(Box<KernelNode>),
+    /// A struct-literal projection: per-field kernels assemble one output
+    /// struct per selected row.  Field names are verified distinct at
+    /// compile time, so assembly skips the duplicate scan.
+    Struct(Vec<(Arc<str>, KernelNode)>),
+}
+
+/// Refuses struct literals whose field names repeat — the row evaluator
+/// reports `DuplicateField` for those, so they must stay on the row path.
+fn distinct_names(fields: &[(Arc<str>, ScalarExpr)]) -> bool {
+    fields
+        .iter()
+        .enumerate()
+        .all(|(i, (n, _))| fields[..i].iter().all(|(m, _)| m != n))
 }
 
 /// Compiles scalar expressions into [`Kernel`]s against one scan's field
@@ -106,6 +119,13 @@ impl KernelBuilder {
                 right: Box::new(self.node(right)?),
             }),
             ScalarExpr::Not(inner) => Some(KernelNode::Not(Box::new(self.node(inner)?))),
+            ScalarExpr::StructLit(fields) if distinct_names(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (name, e) in fields {
+                    out.push((Arc::clone(name), self.node(e)?));
+                }
+                Some(KernelNode::Struct(out))
+            }
             ScalarExpr::Attr(_)
             | ScalarExpr::Var(_)
             | ScalarExpr::StructLit(_)
@@ -256,7 +276,28 @@ fn eval_node(node: &KernelNode, chunk: &ColumnarChunk, sel: &[u32]) -> Option<Ev
             let r = eval_node(right, chunk, sel)?;
             eval_binary_vec(*op, &l, &r, sel.len())
         }
+        KernelNode::Struct(fields) => {
+            let mut evaluated = Vec::with_capacity(fields.len());
+            for (name, node) in fields {
+                evaluated.push((Arc::clone(name), eval_node(node, chunk, sel)?));
+            }
+            Some(assemble_structs(&evaluated, sel.len()))
+        }
     }
+}
+
+/// Assembles one output struct per selected row from per-field result
+/// vectors.  Field names were verified distinct at compile time.
+fn assemble_structs(fields: &[(Arc<str>, EvalVec)], n: usize) -> EvalVec {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let fs: Vec<(Arc<str>, Value)> = fields
+            .iter()
+            .map(|(name, vec)| (Arc::clone(name), vec.value_at(i)))
+            .collect();
+        out.push(Value::Struct(StructValue::from_distinct_fields(fs)));
+    }
+    EvalVec::Values(out)
 }
 
 /// Gathers one column over the selection into a dense vector.
@@ -418,6 +459,193 @@ fn int_arith(
     Some(EvalVec::Int { data, nulls: None })
 }
 
+/// A kernel expression over *pairs* of rows from two chunks — the shape a
+/// hash join's fused output projection needs: `struct(name: x.name,
+/// total: x.salary + y.salary)` reads the probe-side chunk through one
+/// binding and the build-side payload chunk through the other.
+///
+/// Evaluation takes two parallel selection vectors (`i`-th pair =
+/// `left_sel[i]`-th row of the left chunk joined with `right_sel[i]`-th
+/// row of the right chunk), so one matched probe row fanning out to many
+/// build rows is just a repeated index — no row materialization at all.
+#[derive(Debug, Clone)]
+pub struct PairKernel {
+    node: PairNode,
+}
+
+#[derive(Debug, Clone)]
+enum PairNode {
+    Const(Value),
+    Left(usize),
+    Right(usize),
+    Binary {
+        op: ScalarOp,
+        left: Box<PairNode>,
+        right: Box<PairNode>,
+    },
+    Not(Box<PairNode>),
+    Struct(Vec<(Arc<str>, PairNode)>),
+}
+
+/// Compiles scalar expressions against the field layouts of *two* bound
+/// sides (the join's left and right binding variables).
+///
+/// Like [`KernelBuilder`], the builder accumulates each side's referenced
+/// fields so the engine decodes exactly those columns; the left/right
+/// field lists may be seeded with fields another kernel already claimed
+/// (e.g. the side's filter/key columns) so every kernel of one side
+/// shares a single chunk layout.
+#[derive(Debug)]
+pub struct PairKernelBuilder {
+    left: String,
+    right: String,
+    left_fields: Vec<Arc<str>>,
+    right_fields: Vec<Arc<str>>,
+}
+
+impl PairKernelBuilder {
+    /// A builder for pair rows `{left: …, right: …}`.  `None` when the
+    /// two bindings collide — shadowing rules make such pairs ambiguous,
+    /// so they stay on the per-row evaluator.
+    #[must_use]
+    pub fn new(left: &str, right: &str) -> Option<Self> {
+        if left == right {
+            return None;
+        }
+        Some(PairKernelBuilder {
+            left: left.to_owned(),
+            right: right.to_owned(),
+            left_fields: Vec::new(),
+            right_fields: Vec::new(),
+        })
+    }
+
+    /// Pre-claims column slots on the left side (slots `0..fields.len()`
+    /// map to `fields` in order).
+    pub fn seed_left(&mut self, fields: &[Arc<str>]) {
+        self.left_fields = fields.to_vec();
+    }
+
+    /// Pre-claims column slots on the right side.
+    pub fn seed_right(&mut self, fields: &[Arc<str>]) {
+        self.right_fields = fields.to_vec();
+    }
+
+    /// The left side's referenced fields, in column-slot order.
+    #[must_use]
+    pub fn left_fields(&self) -> &[Arc<str>] {
+        &self.left_fields
+    }
+
+    /// The right side's referenced fields, in column-slot order.
+    #[must_use]
+    pub fn right_fields(&self) -> &[Arc<str>] {
+        &self.right_fields
+    }
+
+    /// Compiles `expr`; `None` when any part of it falls outside the
+    /// kernel subset or reads anything but the two bound sides.
+    pub fn compile(&mut self, expr: &ScalarExpr) -> Option<PairKernel> {
+        self.node(expr).map(|node| PairKernel { node })
+    }
+
+    fn node(&mut self, expr: &ScalarExpr) -> Option<PairNode> {
+        match expr {
+            ScalarExpr::Const(v) => Some(PairNode::Const(v.clone())),
+            ScalarExpr::Field(base, field) => match base.as_ref() {
+                ScalarExpr::Var(v) | ScalarExpr::Attr(v) if *v == self.left => {
+                    Some(PairNode::Left(slot_in(&mut self.left_fields, field)))
+                }
+                ScalarExpr::Var(v) | ScalarExpr::Attr(v) if *v == self.right => {
+                    Some(PairNode::Right(slot_in(&mut self.right_fields, field)))
+                }
+                _ => None,
+            },
+            ScalarExpr::Binary { op, left, right } => Some(PairNode::Binary {
+                op: *op,
+                left: Box::new(self.node(left)?),
+                right: Box::new(self.node(right)?),
+            }),
+            ScalarExpr::Not(inner) => Some(PairNode::Not(Box::new(self.node(inner)?))),
+            ScalarExpr::StructLit(fields) if distinct_names(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (name, e) in fields {
+                    out.push((Arc::clone(name), self.node(e)?));
+                }
+                Some(PairNode::Struct(out))
+            }
+            ScalarExpr::Attr(_)
+            | ScalarExpr::Var(_)
+            | ScalarExpr::StructLit(_)
+            | ScalarExpr::Agg(..)
+            | ScalarExpr::Call(..) => None,
+        }
+    }
+}
+
+fn slot_in(fields: &mut Vec<Arc<str>>, name: &str) -> usize {
+    if let Some(i) = fields.iter().position(|f| f.as_ref() == name) {
+        return i;
+    }
+    fields.push(Arc::from(name));
+    fields.len() - 1
+}
+
+impl PairKernel {
+    /// Evaluates the kernel over `left_sel.len()` pairs.  `None` bails
+    /// the batch to the per-row path, exactly like [`Kernel::eval`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) when the two selection vectors disagree in
+    /// length — they must index pairs in lock-step.
+    #[must_use]
+    pub fn eval(
+        &self,
+        left: &ColumnarChunk,
+        left_sel: &[u32],
+        right: &ColumnarChunk,
+        right_sel: &[u32],
+    ) -> Option<EvalVec> {
+        debug_assert_eq!(left_sel.len(), right_sel.len());
+        eval_pair_node(&self.node, left, left_sel, right, right_sel)
+    }
+}
+
+fn eval_pair_node(
+    node: &PairNode,
+    lc: &ColumnarChunk,
+    ls: &[u32],
+    rc: &ColumnarChunk,
+    rs: &[u32],
+) -> Option<EvalVec> {
+    match node {
+        PairNode::Const(v) => Some(EvalVec::Const(v.clone())),
+        PairNode::Left(slot) => Some(gather(lc.column(*slot), ls)),
+        PairNode::Right(slot) => Some(gather(rc.column(*slot), rs)),
+        PairNode::Not(inner) => {
+            let v = eval_pair_node(inner, lc, ls, rc, rs)?;
+            let mut data = v.truthy_mask(ls.len());
+            for b in &mut data {
+                *b = !*b;
+            }
+            Some(EvalVec::Bool { data, nulls: None })
+        }
+        PairNode::Binary { op, left, right } => {
+            let l = eval_pair_node(left, lc, ls, rc, rs)?;
+            let r = eval_pair_node(right, lc, ls, rc, rs)?;
+            eval_binary_vec(*op, &l, &r, ls.len())
+        }
+        PairNode::Struct(fields) => {
+            let mut evaluated = Vec::with_capacity(fields.len());
+            for (name, node) in fields {
+                evaluated.push((Arc::clone(name), eval_pair_node(node, lc, ls, rc, rs)?));
+            }
+            Some(assemble_structs(&evaluated, ls.len()))
+        }
+    }
+}
+
 /// The exactness anchor: element pairs outside the typed fast paths run
 /// through the row evaluator's own [`eval_binary`], so floats (NaN,
 /// `total_cmp`, int/float promotion), nulls, strings and type errors
@@ -503,6 +731,99 @@ mod tests {
         assert!(kb.compile(&ScalarExpr::var_field("y", "salary")).is_none());
         assert!(kb.compile(&ScalarExpr::attr("salary")).is_none());
         assert_eq!(kb.fields().len(), 1);
+    }
+
+    #[test]
+    fn struct_literal_maps_compile_to_per_field_kernels() {
+        let expr = ScalarExpr::StructLit(vec![
+            ("v".into(), ScalarExpr::var_field("x", "v")),
+            (
+                "twice".into(),
+                ScalarExpr::binary(
+                    ScalarOp::Mul,
+                    ScalarExpr::var_field("x", "v"),
+                    ScalarExpr::constant(2i64),
+                ),
+            ),
+        ]);
+        let mut kb = KernelBuilder::new(Some("x"));
+        let kernel = kb.compile(&expr).expect("struct literal compiles");
+        let mut cb = ChunkBuilder::new();
+        for f in kb.fields() {
+            cb.add_field(Arc::clone(f));
+        }
+        let rows = rows(vec![Value::Int(3), Value::Int(5)]);
+        let chunk = cb.build(&rows).unwrap();
+        let out = kernel.eval(&chunk, &[0, 1]).unwrap();
+        let Value::Struct(s) = out.value_at(1) else {
+            panic!("struct output");
+        };
+        assert_eq!(s.field("v").unwrap(), &Value::Int(5));
+        assert_eq!(s.field("twice").unwrap(), &Value::Int(10));
+    }
+
+    #[test]
+    fn duplicate_struct_field_names_refuse_to_compile() {
+        let expr = ScalarExpr::StructLit(vec![
+            ("a".into(), ScalarExpr::constant(1i64)),
+            ("a".into(), ScalarExpr::constant(2i64)),
+        ]);
+        assert!(KernelBuilder::new(Some("x")).compile(&expr).is_none());
+    }
+
+    #[test]
+    fn pair_kernel_projects_across_two_chunks() {
+        // struct(name: x.v, total: x.v + y.v) over pairs of (x, y) rows.
+        let expr = ScalarExpr::StructLit(vec![
+            ("l".into(), ScalarExpr::var_field("x", "v")),
+            (
+                "total".into(),
+                ScalarExpr::binary(
+                    ScalarOp::Add,
+                    ScalarExpr::var_field("x", "v"),
+                    ScalarExpr::var_field("y", "v"),
+                ),
+            ),
+        ]);
+        let mut pb = PairKernelBuilder::new("x", "y").unwrap();
+        let kernel = pb.compile(&expr).expect("pair projection compiles");
+        let build_chunk = |data: Vec<Value>, fields: &[Arc<str>]| {
+            let mut cb = ChunkBuilder::new();
+            for f in fields {
+                cb.add_field(Arc::clone(f));
+            }
+            cb.build(&rows(data)).unwrap()
+        };
+        let lc = build_chunk(vec![Value::Int(10), Value::Int(20)], pb.left_fields());
+        let rc = build_chunk(vec![Value::Int(1), Value::Int(2)], pb.right_fields());
+        // Pairs: (left 0, right 1), (left 1, right 0), (left 1, right 1).
+        let out = kernel.eval(&lc, &[0, 1, 1], &rc, &[1, 0, 1]).unwrap();
+        let totals: Vec<Value> = (0..3)
+            .map(|i| {
+                let Value::Struct(s) = out.value_at(i) else {
+                    panic!("struct output");
+                };
+                s.field("total").unwrap().clone()
+            })
+            .collect();
+        assert_eq!(totals, vec![Value::Int(12), Value::Int(21), Value::Int(22)]);
+    }
+
+    #[test]
+    fn pair_kernel_refuses_colliding_bindings_and_foreign_vars() {
+        assert!(PairKernelBuilder::new("x", "x").is_none());
+        let mut pb = PairKernelBuilder::new("x", "y").unwrap();
+        assert!(pb.compile(&ScalarExpr::var_field("z", "v")).is_none());
+        assert!(pb.compile(&ScalarExpr::attr("v")).is_none());
+    }
+
+    #[test]
+    fn pair_kernel_seeded_slots_align_with_preclaimed_fields() {
+        let mut pb = PairKernelBuilder::new("x", "y").unwrap();
+        pb.seed_left(&[Arc::from("id"), Arc::from("v")]);
+        pb.compile(&ScalarExpr::var_field("x", "v")).unwrap();
+        // "v" reuses the pre-claimed slot instead of appending.
+        assert_eq!(pb.left_fields().len(), 2);
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod to_oql;
 pub use capability::{CapabilityGrammar, CapabilitySet, ComparisonKind, OperatorKind};
 pub use error::AlgebraError;
 pub use implementation::{bound_vars, lower, referenced_vars};
-pub use kernel::{EvalVec, Kernel, KernelBuilder};
+pub use kernel::{EvalVec, Kernel, KernelBuilder, PairKernel, PairKernelBuilder};
 pub use logical::{data_of, LogicalExpr};
 pub use physical::{ExchangeBehavior, PhysicalExpr, PipelineBehavior};
 pub use rules::CapabilityLookup;

@@ -911,6 +911,13 @@ pub fn e9_evaluator_throughput(scale: Scale) -> Report {
         &e9_hash_join_plan(rows),
     );
     run_m(
+        "hash_join",
+        ColumnarMode::Off,
+        1,
+        rows + rows / 10,
+        &e9_hash_join_plan(rows),
+    );
+    run_m(
         "distinct",
         ColumnarMode::On,
         1,

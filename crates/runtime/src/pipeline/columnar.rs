@@ -42,19 +42,21 @@
 //! once per admitted row.  `rows_kernel`/`rows_fallback` count each
 //! scanned row into exactly one bucket.
 
+use std::collections::hash_map::RandomState;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use disco_algebra::{
-    kernel::{EvalVec, Kernel, KernelBuilder},
+    kernel::{EvalVec, Kernel, KernelBuilder, PairKernel, PairKernelBuilder},
     truthy, AggKind, AlgebraError, PhysicalExpr, ScalarExpr,
 };
-use disco_value::{ChunkBuilder, StrDict, StructValue, Value};
+use disco_value::{ChunkBuilder, Column, ColumnarChunk, KeyHasher, StrDict, StructValue, Value};
 
 use crate::exec::{ExecKey, ExecOutcome};
 
+use super::join::{check_struct_frames, BuildSide, ColumnarJoinTable};
 use super::sink::{AggState, SeenSet};
-use super::{eval_in_row, BoxedRowStream, PipelineCtx, Result, Row, RowStream};
+use super::{estimated_rows, eval_in_row, BoxedRowStream, PipelineCtx, Result, Row, RowStream};
 
 /// Attempts to intercept `plan` with a columnar cursor; `None` means "not
 /// fusable here" and the caller builds row cursors (recursing into this
@@ -64,20 +66,63 @@ pub(crate) fn try_build<'a>(
     ctx: PipelineCtx<'a>,
 ) -> Option<BoxedRowStream<'a>> {
     match plan {
-        // Breakers consume the fused spine's batches directly; distinct
+        // Breakers consume the fused source's batches directly; distinct
         // interns bare-column string keys in its own dictionary so equal
         // keys can be skipped on a dense code bitmap.
         PhysicalExpr::MkDistinct(inner) => {
-            let spine = FusedSpine::fuse(inner, ctx)?;
-            Some(Box::new(ColumnarDistinctCursor::new(spine)))
+            let source = fuse_source(inner, ctx)?;
+            Some(Box::new(ColumnarDistinctCursor::new(source)))
         }
         PhysicalExpr::MkAggregate { func, input } => {
-            let spine = FusedSpine::fuse(input, ctx)?;
-            Some(Box::new(ColumnarAggregateCursor::new(spine, *func)))
+            let source = fuse_source(input, ctx)?;
+            Some(Box::new(ColumnarAggregateCursor::new(source, *func)))
         }
         _ => {
-            let spine = FusedSpine::fuse(plan, ctx)?;
-            Some(Box::new(SpineCursor::new(spine)))
+            let source = fuse_source(plan, ctx)?;
+            Some(Box::new(SpineCursor::new(source)))
+        }
+    }
+}
+
+/// Fuses `plan` into a columnar batch source: a vectorized hash join when
+/// the plan is a (possibly mapped) equi-join over fusable sides, else a
+/// plain fused spine.
+fn fuse_source<'a>(plan: &'a PhysicalExpr, ctx: PipelineCtx<'a>) -> Option<ColumnarSource<'a>> {
+    if let Some(join) = FusedJoin::fuse(plan, ctx) {
+        return Some(ColumnarSource::Join(Box::new(join)));
+    }
+    FusedSpine::fuse(plan, ctx)
+        .map(Box::new)
+        .map(ColumnarSource::Spine)
+}
+
+/// A columnar batch producer: either a fused scan spine or a fused join.
+/// Both variants are boxed — the source lives behind a cursor for a whole
+/// execution, and the spine alone is a couple hundred bytes.
+pub(crate) enum ColumnarSource<'a> {
+    Spine(Box<FusedSpine<'a>>),
+    Join(Box<FusedJoin<'a>>),
+}
+
+impl<'a> ColumnarSource<'a> {
+    fn next_chunk(&mut self, hint: usize) -> Result<Option<SpineBatch<'a>>> {
+        match self {
+            ColumnarSource::Spine(spine) => spine.next_chunk(hint),
+            ColumnarSource::Join(join) => join.next_out(hint),
+        }
+    }
+
+    fn batch_rows(&self) -> usize {
+        match self {
+            ColumnarSource::Spine(spine) => spine.batch_rows,
+            ColumnarSource::Join(join) => join.batch_rows,
+        }
+    }
+
+    fn ctx(&self) -> PipelineCtx<'a> {
+        match self {
+            ColumnarSource::Spine(spine) => spine.ctx,
+            ColumnarSource::Join(join) => join.ctx,
         }
     }
 }
@@ -91,7 +136,15 @@ struct SpineShape<'a> {
     rows: &'a [Value],
 }
 
-fn spine_shape<'a>(plan: &'a PhysicalExpr, ctx: &PipelineCtx<'a>) -> Option<SpineShape<'a>> {
+/// Peels `map? → filter* → bind?` off `plan`, leaving the source node.
+fn peel_ops(
+    plan: &PhysicalExpr,
+) -> (
+    Option<&ScalarExpr>,
+    Vec<&ScalarExpr>,
+    Option<&str>,
+    &PhysicalExpr,
+) {
     let mut node = plan;
     let mut map = None;
     if let PhysicalExpr::MapOp { input, projection } = node {
@@ -109,6 +162,19 @@ fn spine_shape<'a>(plan: &'a PhysicalExpr, ctx: &PipelineCtx<'a>) -> Option<Spin
         binding = Some(var.as_str());
         node = input;
     }
+    (map, filters, binding, node)
+}
+
+/// `allow_bare = false` refuses map-less filter-less stretches (bare
+/// scans and bind-only stretches have no scalar work to vectorize, and
+/// the row path is already optimal for them).  Join sides pass `true`:
+/// the join key itself is the scalar work.
+fn spine_shape<'a>(
+    plan: &'a PhysicalExpr,
+    ctx: &PipelineCtx<'a>,
+    allow_bare: bool,
+) -> Option<SpineShape<'a>> {
+    let (map, filters, binding, node) = peel_ops(plan);
     let rows: &'a [Value] = match node {
         PhysicalExpr::MemScan(bag) => bag.as_slice(),
         PhysicalExpr::Exec {
@@ -127,9 +193,7 @@ fn spine_shape<'a>(plan: &'a PhysicalExpr, ctx: &PipelineCtx<'a>) -> Option<Spin
         }
         _ => return None,
     };
-    if map.is_none() && filters.is_empty() {
-        // Bare scans and bind-only stretches have no scalar work to
-        // vectorize; the row path is already optimal for them.
+    if !allow_bare && map.is_none() && filters.is_empty() {
         return None;
     }
     Some(SpineShape {
@@ -138,6 +202,66 @@ fn spine_shape<'a>(plan: &'a PhysicalExpr, ctx: &PipelineCtx<'a>) -> Option<Spin
         binding,
         rows,
     })
+}
+
+/// [`spine_shape`] for a parallel morsel: the stretch must bottom out at
+/// the scheduler's partition node (`leaf`, matched by pointer identity,
+/// exactly like `PartPipeline::open_node` does), and the rows are the
+/// worker's claimed slice instead of the leaf's full extent.
+fn partition_shape<'a>(
+    plan: &'a PhysicalExpr,
+    leaf: &'a PhysicalExpr,
+    rows: &'a [Value],
+    allow_bare: bool,
+) -> Option<SpineShape<'a>> {
+    let (map, filters, binding, node) = peel_ops(plan);
+    if !std::ptr::eq(node, leaf) {
+        return None;
+    }
+    if !allow_bare && map.is_none() && filters.is_empty() {
+        return None;
+    }
+    Some(SpineShape {
+        map,
+        filters,
+        binding,
+        rows,
+    })
+}
+
+/// Columnar interception for one parallel morsel: fuses the spine stretch
+/// from `plan` down to the scheduler's partition `leaf` over the morsel's
+/// row slice.  `None` keeps the worker on the row path for this stretch.
+pub(crate) fn try_build_partition<'a>(
+    plan: &'a PhysicalExpr,
+    leaf: &'a PhysicalExpr,
+    rows: &'a [Value],
+    ctx: PipelineCtx<'a>,
+) -> Option<BoxedRowStream<'a>> {
+    let shape = partition_shape(plan, leaf, rows, false)?;
+    let spine = FusedSpine::from_shape(shape, ctx)?;
+    Some(Box::new(SpineCursor::new(ColumnarSource::Spine(Box::new(
+        spine,
+    )))))
+}
+
+/// Columnar interception for a parallel join-build morsel: fuses
+/// `filter* → bind? → leaf` over the morsel's slice together with the
+/// stage's build key, hashing through a clone of the stage table's
+/// `RandomState` so batch-computed hashes agree with the row path's
+/// `hash_one` inserts.  `None` keeps the worker's scatter on the row path.
+pub(crate) fn keyed_partition<'a>(
+    plan: &'a PhysicalExpr,
+    leaf: &'a PhysicalExpr,
+    rows: &'a [Value],
+    key: &'a ScalarExpr,
+    state: RandomState,
+    ctx: PipelineCtx<'a>,
+) -> Option<KeyedSpine<'a>> {
+    let shape = partition_shape(plan, leaf, rows, true)?;
+    let draft = KeyedSpineDraft::compile(shape, key)?;
+    let fields = draft.fields().to_vec();
+    Some(draft.finalize(&fields, state, ctx))
 }
 
 /// A bare-column map projection, gathered lazily: the projected value is
@@ -165,7 +289,7 @@ fn gather_lookup<'v>(row: &'v StructValue, plan: &mut GatherPlan) -> Option<&'v 
 
 /// A fused spine: compiled kernels, the chunk decoder, and the original
 /// expressions for the per-batch fallback.
-struct FusedSpine<'a> {
+pub(crate) struct FusedSpine<'a> {
     rows: &'a [Value],
     pos: usize,
     builder: ChunkBuilder,
@@ -196,7 +320,12 @@ impl<'a> FusedSpine<'a> {
     /// Fuses `plan` when its shape matches and every scalar stage
     /// compiles to a kernel.
     fn fuse(plan: &'a PhysicalExpr, ctx: PipelineCtx<'a>) -> Option<FusedSpine<'a>> {
-        let shape = spine_shape(plan, &ctx)?;
+        let shape = spine_shape(plan, &ctx, false)?;
+        FusedSpine::from_shape(shape, ctx)
+    }
+
+    /// Compiles an already-matched shape into a fused spine.
+    fn from_shape(shape: SpineShape<'a>, ctx: PipelineCtx<'a>) -> Option<FusedSpine<'a>> {
         let mut kb = KernelBuilder::new(shape.binding);
         let mut filter_kernels = Vec::with_capacity(shape.filters.len());
         for predicate in &shape.filters {
@@ -255,7 +384,9 @@ impl<'a> FusedSpine<'a> {
             return Ok(None);
         }
         let rows = self.rows;
-        let take = hint.clamp(1, 1 << 20).min(rows.len() - self.pos);
+        let take = hint
+            .clamp(1, super::MAX_BATCH_ROWS)
+            .min(rows.len() - self.pos);
         let slice = &rows[self.pos..self.pos + take];
         self.pos += take;
         match self.kernel_chunk(slice)? {
@@ -381,6 +512,547 @@ impl<'a> FusedSpine<'a> {
     }
 }
 
+/// A compiled-but-not-finalized keyed spine: filter and key kernels exist
+/// and the referenced fields are known, but the chunk layout is still
+/// open so a pair-projection kernel can claim extra columns (the probe
+/// chunk then serves the filters, the key *and* the output projection
+/// from one decode).
+pub(crate) struct KeyedSpineDraft<'a> {
+    rows: &'a [Value],
+    filter_kernels: Vec<Kernel>,
+    key_kernel: Kernel,
+    key_slot: Option<usize>,
+    fields: Vec<Arc<str>>,
+    filter_exprs: Vec<&'a ScalarExpr>,
+    key_expr: &'a ScalarExpr,
+    binding: Option<&'a str>,
+}
+
+impl<'a> KeyedSpineDraft<'a> {
+    /// Compiles a join side's `filter* → bind? → scan` stretch together
+    /// with its key expression.  `None` (a map-bearing side, or any stage
+    /// outside the kernel subset) keeps the whole join on the row path.
+    fn compile(shape: SpineShape<'a>, key: &'a ScalarExpr) -> Option<Self> {
+        if shape.map.is_some() {
+            return None;
+        }
+        let mut kb = KernelBuilder::new(shape.binding);
+        let mut filter_kernels = Vec::with_capacity(shape.filters.len());
+        for predicate in &shape.filters {
+            filter_kernels.push(kb.compile(predicate)?);
+        }
+        let key_kernel = kb.compile(key)?;
+        let key_slot = key_kernel.as_col();
+        Some(KeyedSpineDraft {
+            rows: shape.rows,
+            filter_kernels,
+            key_kernel,
+            key_slot,
+            fields: kb.fields().to_vec(),
+            filter_exprs: shape.filters,
+            key_expr: key,
+            binding: shape.binding,
+        })
+    }
+
+    fn binding(&self) -> Option<&'a str> {
+        self.binding
+    }
+
+    /// The fields the filters and key reference, in column-slot order.
+    fn fields(&self) -> &[Arc<str>] {
+        &self.fields
+    }
+
+    /// Freezes the chunk layout (`fields` must extend [`Self::fields`] in
+    /// order) and attaches the hash state the key hashes must agree with.
+    /// The key's own column decodes dictionary-encoded so repeated string
+    /// keys hash once per distinct code.
+    fn finalize(
+        self,
+        fields: &[Arc<str>],
+        state: RandomState,
+        ctx: PipelineCtx<'a>,
+    ) -> KeyedSpine<'a> {
+        debug_assert!(fields[..self.fields.len()]
+            .iter()
+            .zip(&self.fields)
+            .all(|(a, b)| a == b));
+        let mut builder = ChunkBuilder::new();
+        for (i, field) in fields.iter().enumerate() {
+            if Some(i) == self.key_slot {
+                builder.add_dict_field(Arc::clone(field));
+            } else {
+                builder.add_field(Arc::clone(field));
+            }
+        }
+        KeyedSpine {
+            rows: self.rows,
+            pos: 0,
+            builder,
+            filter_kernels: self.filter_kernels,
+            key_kernel: self.key_kernel,
+            key_slot: self.key_slot,
+            filter_exprs: self.filter_exprs,
+            key_expr: self.key_expr,
+            bind_name: self.binding.map(Arc::from),
+            hasher: KeyHasher::with_state(state),
+            ctx,
+        }
+    }
+}
+
+/// A join side fused with its key: `filter* → bind? → scan` plus a
+/// vectorized key evaluation whose hashes are bit-identical to
+/// `RandomState::hash_one` over the row path's key values.
+pub(crate) struct KeyedSpine<'a> {
+    rows: &'a [Value],
+    pos: usize,
+    builder: ChunkBuilder,
+    filter_kernels: Vec<Kernel>,
+    key_kernel: Kernel,
+    /// The key's chunk slot when it is a bare column read — hashed
+    /// straight off the (dictionary-coded) column.
+    key_slot: Option<usize>,
+    filter_exprs: Vec<&'a ScalarExpr>,
+    pub(crate) key_expr: &'a ScalarExpr,
+    bind_name: Option<Arc<str>>,
+    hasher: KeyHasher,
+    ctx: PipelineCtx<'a>,
+}
+
+/// One batch of keyed spine output.
+pub(crate) enum KeyedBatch<'a> {
+    /// Vectorized: survivors of the filters with their key values and key
+    /// hashes (`keys`/`hashes[j]` belong to chunk row `sel[j]`).
+    Kernel {
+        slice: &'a [Value],
+        chunk: ColumnarChunk,
+        sel: Vec<u32>,
+        keys: EvalVec,
+        hashes: Vec<u64>,
+    },
+    /// The batch must run per-row (decode failure, mixed-type key column,
+    /// or a would-be evaluation error): see [`KeyedSpine::fallback_rows`].
+    Fallback { slice: &'a [Value] },
+}
+
+impl<'a> KeyedSpine<'a> {
+    /// Produces the next batch of at most `hint` source rows (`None` when
+    /// exhausted), counting every scanned row into exactly one of
+    /// `rows_kernel`/`rows_fallback`.
+    pub(crate) fn next_keyed(&mut self, hint: usize) -> Option<KeyedBatch<'a>> {
+        if self.pos >= self.rows.len() {
+            return None;
+        }
+        let take = hint
+            .clamp(1, super::MAX_BATCH_ROWS)
+            .min(self.rows.len() - self.pos);
+        let slice = &self.rows[self.pos..self.pos + take];
+        self.pos += take;
+        match self.kernel_batch(slice) {
+            Some(batch) => {
+                self.ctx.metrics.add_kernel(slice.len());
+                Some(batch)
+            }
+            None => {
+                self.ctx.metrics.add_fallback(slice.len());
+                Some(KeyedBatch::Fallback { slice })
+            }
+        }
+    }
+
+    fn kernel_batch(&mut self, slice: &'a [Value]) -> Option<KeyedBatch<'a>> {
+        let chunk = self.builder.build(slice)?;
+        let len = u32::try_from(slice.len()).expect("chunk size is clamped below u32::MAX");
+        let mut sel: Vec<u32> = (0..len).collect();
+        for kernel in &self.filter_kernels {
+            if sel.is_empty() {
+                break;
+            }
+            let result = kernel.eval(&chunk, &sel)?;
+            let mask = result.truthy_mask(sel.len());
+            let mut kept = Vec::with_capacity(sel.len());
+            for (i, keep) in mask.into_iter().enumerate() {
+                if keep {
+                    kept.push(sel[i]);
+                }
+            }
+            sel = kept;
+        }
+        // A mixed-type (or all-null) key column decodes to boxed values;
+        // those batches take the exact row path.
+        if let Some(slot) = self.key_slot {
+            if matches!(chunk.column(slot), Column::Values(_)) {
+                return None;
+            }
+        }
+        let keys = self.key_kernel.eval(&chunk, &sel)?;
+        let mut hashes = Vec::with_capacity(sel.len());
+        match self.key_slot {
+            // Bare key column: hash in one pass, reusing one hash per
+            // distinct dictionary code for string keys.
+            Some(slot) => self
+                .hasher
+                .hash_column(chunk.column(slot), &sel, &mut hashes),
+            None => hash_eval_vec(&self.hasher, &keys, sel.len(), &mut hashes),
+        }
+        Some(KeyedBatch::Kernel {
+            slice,
+            chunk,
+            sel,
+            keys,
+            hashes,
+        })
+    }
+
+    /// The spine's output row for chunk row `i` — exactly what the row
+    /// path's cursor chain would hand the join for that source row.
+    pub(crate) fn make_row(&self, slice: &'a [Value], i: u32) -> Row<'a> {
+        match &self.bind_name {
+            Some(name) => Row::owned(Value::Struct(StructValue::from_distinct_fields(vec![(
+                Arc::clone(name),
+                slice[i as usize].clone(),
+            )]))),
+            None => Row::borrowed(&slice[i as usize]),
+        }
+    }
+
+    /// The per-row path for one batch, stacked operator-by-operator like
+    /// the row cursors' `next_batch` chain (bind across the batch, then
+    /// each filter across the batch), so results, errors and error order
+    /// match.  Each row keeps its source index into `slice` so callers can
+    /// recover the raw (pre-bind) value.
+    pub(crate) fn fallback_rows(&self, slice: &'a [Value]) -> Result<Vec<(u32, Row<'a>)>> {
+        let mut rows: Vec<(u32, Row<'a>)> = slice
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let i = u32::try_from(i).expect("chunk size is clamped below u32::MAX");
+                (i, Row::borrowed(v))
+            })
+            .collect();
+        if let Some(name) = &self.bind_name {
+            let mut bound = Vec::with_capacity(rows.len());
+            for (i, row) in rows {
+                let value = row.materialize(self.ctx.metrics)?;
+                let env_row = StructValue::new(vec![(Arc::clone(name), value)])
+                    .map_err(AlgebraError::from)?;
+                bound.push((i, Row::owned(Value::Struct(env_row))));
+            }
+            rows = bound;
+        }
+        for predicate in &self.filter_exprs {
+            let mut kept = Vec::with_capacity(rows.len());
+            for (i, row) in rows {
+                if truthy(&eval_in_row(predicate, &row, self.ctx)?) {
+                    kept.push((i, row));
+                }
+            }
+            rows = kept;
+        }
+        Ok(rows)
+    }
+}
+
+/// Hashes a computed key vector; hashes funnel through the same canonical
+/// `hash_one` as the row path (a broadcast constant hashes once).
+fn hash_eval_vec(hasher: &KeyHasher, keys: &EvalVec, n: usize, out: &mut Vec<u64>) {
+    if let EvalVec::Const(v) = keys {
+        out.resize(n, hasher.hash_value(v));
+        return;
+    }
+    for i in 0..n {
+        out.push(hasher.hash_value(&keys.value_at(i)));
+    }
+}
+
+/// A vectorized hash join: both sides flow through [`KeyedSpine`]s into /
+/// against a [`ColumnarJoinTable`] keyed by batch-computed hashes, and the
+/// (optional) fused output projection evaluates per *batch of matched
+/// pairs* through a [`PairKernel`] over the probe chunk and a build-side
+/// payload chunk — no joined row is ever constructed on the fast path.
+///
+/// Every bail (undecodable batch, mixed-type keys, would-be errors, a
+/// pair projection outside the kernel subset) lands on the exact row
+/// path: per-row key evaluation hashed through the same [`RandomState`],
+/// per-pair map evaluation over the layered environment — reproducing the
+/// row engine's answers, errors and error order.
+pub(crate) struct FusedJoin<'a> {
+    build: KeyedSpine<'a>,
+    probe: KeyedSpine<'a>,
+    map_expr: Option<&'a ScalarExpr>,
+    /// The fused output projection; disabled (per-pair fallback) when the
+    /// payload chunk cannot decode.
+    pair_kernel: Option<PairKernel>,
+    payload_builder: ChunkBuilder,
+    /// Raw build-side source values in table-index order, drained into the
+    /// payload chunk once the build completes.
+    payload_rows: Vec<Value>,
+    payload: Option<ColumnarChunk>,
+    /// `true` when the build side is the plan's *left* input; output pairs
+    /// are always ordered left-then-right regardless.
+    build_on_left: bool,
+    table: ColumnarJoinTable<'a>,
+    built: bool,
+    batch_rows: usize,
+    ctx: PipelineCtx<'a>,
+}
+
+impl<'a> FusedJoin<'a> {
+    /// Fuses a `map?(hash_join(spine, spine))` plan.  The build side is
+    /// chosen exactly as the row engine's `build` does, so
+    /// `rows_materialized` (one bump per build row) stays bit-identical.
+    fn fuse(plan: &'a PhysicalExpr, ctx: PipelineCtx<'a>) -> Option<FusedJoin<'a>> {
+        let (map_expr, join_node) = match plan {
+            PhysicalExpr::MapOp { input, projection } => match input.as_ref() {
+                join @ PhysicalExpr::HashJoin { .. } => (Some(projection), join),
+                _ => return None,
+            },
+            join @ PhysicalExpr::HashJoin { .. } => (None, join),
+            _ => return None,
+        };
+        let PhysicalExpr::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } = join_node
+        else {
+            return None;
+        };
+        if residual.is_some() {
+            return None;
+        }
+        let left_shape = spine_shape(left, &ctx, true)?;
+        let right_shape = spine_shape(right, &ctx, true)?;
+        let build_on_left = match ctx.options.build_side {
+            BuildSide::Left => true,
+            BuildSide::Right => false,
+            BuildSide::Auto => {
+                match (
+                    estimated_rows(left, ctx.resolved),
+                    estimated_rows(right, ctx.resolved),
+                ) {
+                    (Some(l), Some(r)) => l < r,
+                    _ => false,
+                }
+            }
+        };
+        let (build_shape, probe_shape, build_key, probe_key) = if build_on_left {
+            (left_shape, right_shape, left_key, right_key)
+        } else {
+            (right_shape, left_shape, right_key, left_key)
+        };
+        let build_draft = KeyedSpineDraft::compile(build_shape, build_key)?;
+        let probe_draft = KeyedSpineDraft::compile(probe_shape, probe_key)?;
+        // Fuse the map over matched pairs when both sides are bound with
+        // distinct names and the projection compiles.  The probe side of
+        // the pair kernel is seeded with the probe spine's filter/key
+        // columns so both kernels share the probe chunk layout; the build
+        // side starts empty and claims only the payload columns the
+        // projection reads.
+        let mut pair_kernel = None;
+        let mut payload_builder = ChunkBuilder::new();
+        let mut probe_fields = probe_draft.fields().to_vec();
+        if let Some(projection) = map_expr {
+            let bindings = if build_on_left {
+                build_draft.binding().zip(probe_draft.binding())
+            } else {
+                probe_draft.binding().zip(build_draft.binding())
+            };
+            if let Some(mut pb) = bindings.and_then(|(l, r)| PairKernelBuilder::new(l, r)) {
+                if build_on_left {
+                    pb.seed_right(&probe_fields);
+                } else {
+                    pb.seed_left(&probe_fields);
+                }
+                if let Some(kernel) = pb.compile(projection) {
+                    let (payload_fields, probe_side) = if build_on_left {
+                        (pb.left_fields(), pb.right_fields())
+                    } else {
+                        (pb.right_fields(), pb.left_fields())
+                    };
+                    for field in payload_fields {
+                        payload_builder.add_field(Arc::clone(field));
+                    }
+                    probe_fields = probe_side.to_vec();
+                    pair_kernel = Some(kernel);
+                }
+            }
+        }
+        let table = ColumnarJoinTable::new();
+        let build_fields = build_draft.fields().to_vec();
+        let build = build_draft.finalize(&build_fields, table.state(), ctx);
+        let probe = probe_draft.finalize(&probe_fields, table.state(), ctx);
+        Some(FusedJoin {
+            build,
+            probe,
+            map_expr,
+            pair_kernel,
+            payload_builder,
+            payload_rows: Vec::new(),
+            payload: None,
+            build_on_left,
+            table,
+            built: false,
+            batch_rows: ctx.options.effective_batch_rows(),
+            ctx,
+        })
+    }
+
+    /// Drains the build spine into the hash table (one `rows_materialized`
+    /// bump per build row, like the row engine's `build_table`), then
+    /// freezes the payload chunk.
+    fn ensure_built(&mut self) -> Result<()> {
+        while let Some(batch) = self.build.next_keyed(self.batch_rows) {
+            match batch {
+                // Decoded batches are structs by construction, so the row
+                // path's per-row struct-frame check is a proven no-op here.
+                KeyedBatch::Kernel {
+                    slice,
+                    sel,
+                    keys,
+                    hashes,
+                    ..
+                } => {
+                    for (j, &i) in sel.iter().enumerate() {
+                        let row = self.build.make_row(slice, i);
+                        self.ctx.metrics.bump_materialized();
+                        if self.pair_kernel.is_some() {
+                            self.payload_rows.push(slice[i as usize].clone());
+                        }
+                        self.table.insert(hashes[j], keys.value_at(j), row);
+                    }
+                }
+                KeyedBatch::Fallback { slice } => {
+                    for (i, row) in self.build.fallback_rows(slice)? {
+                        check_struct_frames(&row)?;
+                        let key = eval_in_row(self.build.key_expr, &row, self.ctx)?;
+                        let hash = self.table.hash_value(&key);
+                        self.ctx.metrics.bump_materialized();
+                        if self.pair_kernel.is_some() {
+                            self.payload_rows.push(slice[i as usize].clone());
+                        }
+                        self.table.insert(hash, key, row);
+                    }
+                }
+            }
+        }
+        if self.pair_kernel.is_some() {
+            // An undecodable payload (a build row missing a projected
+            // column) permanently drops to per-pair map evaluation, which
+            // reports the row engine's exact error for the missing field.
+            match self.payload_builder.build(&self.payload_rows) {
+                Some(chunk) => self.payload = Some(chunk),
+                None => self.pair_kernel = None,
+            }
+            self.payload_rows = Vec::new();
+        }
+        Ok(())
+    }
+
+    /// The next batch of join output (matched pairs of one probe batch),
+    /// probe-major with build-insertion order within a key group — the row
+    /// engine's output order.
+    fn next_out(&mut self, hint: usize) -> Result<Option<SpineBatch<'a>>> {
+        if !self.built {
+            self.ensure_built()?;
+            self.built = true;
+        }
+        loop {
+            let Some(batch) = self.probe.next_keyed(hint) else {
+                return Ok(None);
+            };
+            match batch {
+                KeyedBatch::Kernel {
+                    slice,
+                    chunk,
+                    sel,
+                    keys,
+                    hashes,
+                } => {
+                    // Parallel pair-index vectors: pair `p` joins probe
+                    // chunk row `probe_sel[p]` with build table row
+                    // `build_sel[p]`.
+                    let mut probe_sel: Vec<u32> = Vec::new();
+                    let mut build_sel: Vec<u32> = Vec::new();
+                    for (j, &i) in sel.iter().enumerate() {
+                        let key = keys.value_at(j);
+                        for &b in self.table.lookup(hashes[j], &key) {
+                            probe_sel.push(i);
+                            build_sel.push(b);
+                        }
+                    }
+                    if probe_sel.is_empty() {
+                        continue;
+                    }
+                    if let (Some(kernel), Some(payload)) = (&self.pair_kernel, &self.payload) {
+                        let result = if self.build_on_left {
+                            kernel.eval(payload, &build_sel, &chunk, &probe_sel)
+                        } else {
+                            kernel.eval(&chunk, &probe_sel, payload, &build_sel)
+                        };
+                        if let Some(result) = result {
+                            return Ok(Some(SpineBatch::Mapped(result, probe_sel.len())));
+                        }
+                    }
+                    // Pair fallback: construct the joined rows (cloning
+                    // each probe row once per run of matches) and map them
+                    // per pair, reproducing row-engine errors in order.
+                    let mut out = Vec::with_capacity(probe_sel.len());
+                    let mut current: Option<(u32, Row<'a>)> = None;
+                    for (&p, &b) in probe_sel.iter().zip(&build_sel) {
+                        let prow = match &current {
+                            Some((i, row)) if *i == p => row.clone(),
+                            _ => {
+                                let row = self.probe.make_row(slice, p);
+                                current = Some((p, row.clone()));
+                                row
+                            }
+                        };
+                        let brow = self.table.row(b).clone();
+                        let joined = if self.build_on_left {
+                            Row::joined(brow, prow)
+                        } else {
+                            Row::joined(prow, brow)
+                        };
+                        out.push(match self.map_expr {
+                            Some(map) => Row::owned(eval_in_row(map, &joined, self.ctx)?),
+                            None => joined,
+                        });
+                    }
+                    return Ok(Some(SpineBatch::Rows(out)));
+                }
+                KeyedBatch::Fallback { slice } => {
+                    let mut out = Vec::new();
+                    for (_, row) in self.probe.fallback_rows(slice)? {
+                        check_struct_frames(&row)?;
+                        let key = eval_in_row(self.probe.key_expr, &row, self.ctx)?;
+                        for &b in self.table.lookup(self.table.hash_value(&key), &key) {
+                            let brow = self.table.row(b).clone();
+                            let joined = if self.build_on_left {
+                                Row::joined(brow, row.clone())
+                            } else {
+                                Row::joined(row.clone(), brow)
+                            };
+                            out.push(match self.map_expr {
+                                Some(map) => Row::owned(eval_in_row(map, &joined, self.ctx)?),
+                                None => joined,
+                            });
+                        }
+                    }
+                    if out.is_empty() {
+                        continue;
+                    }
+                    return Ok(Some(SpineBatch::Rows(out)));
+                }
+            }
+        }
+    }
+}
+
 /// Queues one spine batch's rows for row-at-a-time consumers.
 fn enqueue<'a>(pending: &mut VecDeque<Row<'a>>, batch: SpineBatch<'a>) {
     match batch {
@@ -397,26 +1069,56 @@ fn enqueue<'a>(pending: &mut VecDeque<Row<'a>>, batch: SpineBatch<'a>) {
 /// A fused spine exposed as an ordinary [`RowStream`] — what the rest of
 /// the engine (joins, unions, the collect sink) consumes.
 pub(crate) struct SpineCursor<'a> {
-    spine: FusedSpine<'a>,
+    source: ColumnarSource<'a>,
     pending: VecDeque<Row<'a>>,
+    /// A kernel-mapped batch larger than the consumer's `max` (a join
+    /// batch fanning out), served incrementally: `(results, next, len)`.
+    /// Rows come straight out of the [`EvalVec`] — no queue round-trip.
+    mapped: Option<(EvalVec, usize, usize)>,
 }
 
 impl<'a> SpineCursor<'a> {
-    fn new(spine: FusedSpine<'a>) -> Self {
+    fn new(source: ColumnarSource<'a>) -> Self {
         SpineCursor {
-            spine,
+            source,
             pending: VecDeque::new(),
+            mapped: None,
         }
+    }
+
+    /// Serves up to `max` rows from the partially-consumed mapped batch.
+    fn drain_mapped(&mut self, out: &mut Vec<Row<'a>>, max: usize) -> bool {
+        let Some((result, next, n)) = &mut self.mapped else {
+            return false;
+        };
+        let take = (*n - *next).min(max);
+        for i in *next..*next + take {
+            out.push(Row::owned(result.value_at(i)));
+        }
+        *next += take;
+        if next >= n {
+            self.mapped = None;
+        }
+        take > 0
     }
 }
 
 impl<'a> RowStream<'a> for SpineCursor<'a> {
     fn next_row(&mut self) -> Option<Result<Row<'a>>> {
         loop {
+            if let Some((result, next, n)) = &mut self.mapped {
+                let row = Row::owned(result.value_at(*next));
+                *next += 1;
+                if next >= n {
+                    self.mapped = None;
+                }
+                return Some(Ok(row));
+            }
             if let Some(row) = self.pending.pop_front() {
                 return Some(Ok(row));
             }
-            match self.spine.next_chunk(self.spine.batch_rows) {
+            match self.source.next_chunk(self.source.batch_rows()) {
+                Ok(Some(SpineBatch::Mapped(result, n))) => self.mapped = Some((result, 0, n)),
                 Ok(Some(batch)) => enqueue(&mut self.pending, batch),
                 Ok(None) => return None,
                 Err(err) => return Some(Err(err)),
@@ -425,27 +1127,35 @@ impl<'a> RowStream<'a> for SpineCursor<'a> {
     }
 
     fn next_batch(&mut self, out: &mut Vec<Row<'a>>, max: usize) -> Result<bool> {
-        if !self.pending.is_empty() {
-            let take = self.pending.len().min(max);
-            out.extend(self.pending.drain(..take));
-            return Ok(true);
-        }
-        match self.spine.next_chunk(max)? {
-            Some(SpineBatch::Mapped(result, n)) => {
-                for i in 0..n {
-                    out.push(Row::owned(result.value_at(i)));
+        loop {
+            if self.drain_mapped(out, max) {
+                return Ok(true);
+            }
+            if !self.pending.is_empty() {
+                let take = self.pending.len().min(max);
+                out.extend(self.pending.drain(..take));
+                return Ok(true);
+            }
+            // A join batch can hold more than `max` rows (one probe batch
+            // fans out to all its matches); the overflow stays in `mapped`
+            // / `pending` for the next pull.
+            match self.source.next_chunk(max)? {
+                Some(SpineBatch::Mapped(result, n)) => {
+                    self.mapped = Some((result, 0, n));
                 }
-                Ok(true)
+                Some(SpineBatch::Proj(values)) => {
+                    out.extend(values.into_iter().map(Row::borrowed));
+                    return Ok(true);
+                }
+                Some(SpineBatch::Rows(mut rows)) => {
+                    if rows.len() > max {
+                        self.pending.extend(rows.drain(max..));
+                    }
+                    out.extend(rows);
+                    return Ok(true);
+                }
+                None => return Ok(false),
             }
-            Some(SpineBatch::Proj(values)) => {
-                out.extend(values.into_iter().map(Row::borrowed));
-                Ok(true)
-            }
-            Some(SpineBatch::Rows(rows)) => {
-                out.extend(rows);
-                Ok(true)
-            }
-            None => Ok(false),
         }
     }
 }
@@ -462,7 +1172,7 @@ impl<'a> RowStream<'a> for SpineCursor<'a> {
 /// goes through the shared [`SeenSet`], so gathered, kernel-mapped and
 /// fallback batches stay mutually consistent.
 pub(crate) struct ColumnarDistinctCursor<'a> {
-    spine: FusedSpine<'a>,
+    source: ColumnarSource<'a>,
     seen: SeenSet,
     dict: StrDict,
     code_seen: Vec<bool>,
@@ -470,9 +1180,9 @@ pub(crate) struct ColumnarDistinctCursor<'a> {
 }
 
 impl<'a> ColumnarDistinctCursor<'a> {
-    fn new(spine: FusedSpine<'a>) -> Self {
+    fn new(source: ColumnarSource<'a>) -> Self {
         ColumnarDistinctCursor {
-            spine,
+            source,
             seen: SeenSet::default(),
             dict: StrDict::new(),
             code_seen: Vec::new(),
@@ -485,7 +1195,7 @@ impl<'a> ColumnarDistinctCursor<'a> {
     fn admit_owned(&mut self, value: Value) -> Option<Row<'a>> {
         let hash = self.seen.check(&value)?;
         self.seen.insert_hashed(hash, value.clone());
-        self.spine.ctx.metrics.bump_materialized();
+        self.source.ctx().metrics.bump_materialized();
         Some(Row::owned(value))
     }
 
@@ -495,7 +1205,7 @@ impl<'a> ColumnarDistinctCursor<'a> {
         let hash = self.seen.check(value)?;
         let value = value.clone();
         self.seen.insert_hashed(hash, value.clone());
-        self.spine.ctx.metrics.bump_materialized();
+        self.source.ctx().metrics.bump_materialized();
         Some(Row::owned(value))
     }
 
@@ -538,16 +1248,16 @@ impl<'a> ColumnarDistinctCursor<'a> {
                         let Some(hash) = self.seen.check(value) else {
                             continue;
                         };
-                        (hash, row.materialize(self.spine.ctx.metrics)?)
+                        (hash, row.materialize(self.source.ctx().metrics)?)
                     } else {
-                        let value = row.materialize(self.spine.ctx.metrics)?;
+                        let value = row.materialize(self.source.ctx().metrics)?;
                         let Some(hash) = self.seen.check(&value) else {
                             continue;
                         };
                         (hash, value)
                     };
                     self.seen.insert_hashed(hash, value.clone());
-                    self.spine.ctx.metrics.bump_materialized();
+                    self.source.ctx().metrics.bump_materialized();
                     self.pending.push_back(Row::owned(value));
                 }
             }
@@ -562,7 +1272,7 @@ impl<'a> RowStream<'a> for ColumnarDistinctCursor<'a> {
             if let Some(row) = self.pending.pop_front() {
                 return Some(Ok(row));
             }
-            match self.spine.next_chunk(self.spine.batch_rows) {
+            match self.source.next_chunk(self.source.batch_rows()) {
                 Ok(Some(batch)) => {
                     if let Err(err) = self.process(batch) {
                         return Some(Err(err));
@@ -581,7 +1291,7 @@ impl<'a> RowStream<'a> for ColumnarDistinctCursor<'a> {
                 out.extend(self.pending.drain(..take));
                 return Ok(true);
             }
-            match self.spine.next_chunk(max)? {
+            match self.source.next_chunk(max)? {
                 Some(batch) => self.process(batch)?,
                 None => return Ok(false),
             }
@@ -593,14 +1303,14 @@ impl<'a> RowStream<'a> for ColumnarDistinctCursor<'a> {
 /// [`AggState`] in row order, mirroring the serial `fold_aggregate`
 /// (which bumps no metrics).
 pub(crate) struct ColumnarAggregateCursor<'a> {
-    spine: Option<FusedSpine<'a>>,
+    source: Option<ColumnarSource<'a>>,
     func: AggKind,
 }
 
 impl<'a> ColumnarAggregateCursor<'a> {
-    fn new(spine: FusedSpine<'a>, func: AggKind) -> Self {
+    fn new(source: ColumnarSource<'a>, func: AggKind) -> Self {
         ColumnarAggregateCursor {
-            spine: Some(spine),
+            source: Some(source),
             func,
         }
     }
@@ -608,11 +1318,11 @@ impl<'a> ColumnarAggregateCursor<'a> {
 
 impl<'a> RowStream<'a> for ColumnarAggregateCursor<'a> {
     fn next_row(&mut self) -> Option<Result<Row<'a>>> {
-        let mut spine = self.spine.take()?;
+        let mut source = self.source.take()?;
         let mut state = AggState::new(self.func);
-        let batch_rows = spine.batch_rows;
+        let batch_rows = source.batch_rows();
         loop {
-            match spine.next_chunk(batch_rows) {
+            match source.next_chunk(batch_rows) {
                 Ok(Some(SpineBatch::Mapped(result, n))) => {
                     for i in 0..n {
                         if let Err(err) = state.update(&result.value_at(i)) {
@@ -633,7 +1343,7 @@ impl<'a> RowStream<'a> for ColumnarAggregateCursor<'a> {
                         let value: &Value = match row.single_value() {
                             Some(value) => value,
                             None => {
-                                merged = match row.materialize(spine.ctx.metrics) {
+                                merged = match row.materialize(source.ctx().metrics) {
                                     Ok(value) => value,
                                     Err(err) => return Some(Err(err)),
                                 };

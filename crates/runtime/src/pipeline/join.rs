@@ -9,12 +9,15 @@
 //! joins buffer their right input (it is re-scanned once per left row)
 //! and stream the left.
 
+use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault};
 use std::rc::Rc;
 
 use disco_algebra::{truthy, AlgebraError, ScalarExpr};
 use disco_value::Value;
 
+use super::sink::IdentityHasher;
 use super::{eval_in_pair, eval_in_row, BoxedRowStream, PipelineCtx, Result, Row, RowStream};
 
 /// Which hash-join input to buffer as the build side.
@@ -32,11 +35,89 @@ pub enum BuildSide {
 
 /// Validates that every frame a join consumes is a struct row, mirroring
 /// the materializing evaluator's `as_struct` checks at join boundaries.
-fn check_struct_frames(row: &Row<'_>) -> Result<()> {
+pub(crate) fn check_struct_frames(row: &Row<'_>) -> Result<()> {
     for frame in row.frames() {
         frame.value().as_struct().map_err(AlgebraError::from)?;
     }
     Ok(())
+}
+
+/// The vectorized hash join's build table.
+///
+/// Unlike [`HashJoinCursor`]'s `HashMap<Value, …>`, the table is bucketed
+/// by *precomputed* canonical hash (identity-hashed buckets, no re-hash on
+/// insert or probe), so the columnar spine can hash a whole key column in
+/// one [`disco_value::KeyHasher`] pass and per-row fallback inserts stay
+/// consistent by hashing the same key values through the same
+/// [`RandomState`].  Groups keep build rows in insertion order and carry
+/// the row's *table index*, which doubles as the row's slot in the
+/// build-side payload chunk used by fused pair projections.
+pub(crate) struct ColumnarJoinTable<'a> {
+    state: RandomState,
+    buckets: HashMap<u64, Vec<ColumnarKeyGroup>, BuildHasherDefault<IdentityHasher>>,
+    rows: Vec<Row<'a>>,
+}
+
+/// Build rows sharing one key value (hash collisions keep separate
+/// groups; equality is the canonical `Value` equality).
+struct ColumnarKeyGroup {
+    key: Value,
+    indices: Vec<u32>,
+}
+
+impl<'a> ColumnarJoinTable<'a> {
+    pub(crate) fn new() -> Self {
+        ColumnarJoinTable {
+            state: RandomState::new(),
+            buckets: HashMap::default(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// A clone of the table's hash state — the key spines hash through
+    /// this so batch-computed hashes agree with [`Self::hash_value`].
+    pub(crate) fn state(&self) -> RandomState {
+        self.state.clone()
+    }
+
+    /// The canonical hash of a key under the table's state (the per-row
+    /// fallback path's hash).
+    pub(crate) fn hash_value(&self, key: &Value) -> u64 {
+        self.state.hash_one(key)
+    }
+
+    /// Inserts one build row under its precomputed key hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table exceeds `u32::MAX` rows (build sides are far
+    /// smaller; the index doubles as a payload-chunk slot).
+    pub(crate) fn insert(&mut self, hash: u64, key: Value, row: Row<'a>) {
+        let index = u32::try_from(self.rows.len()).expect("build side fits u32 indexes");
+        self.rows.push(row);
+        let groups = self.buckets.entry(hash).or_default();
+        match groups.iter_mut().find(|g| g.key == key) {
+            Some(group) => group.indices.push(index),
+            None => groups.push(ColumnarKeyGroup {
+                key,
+                indices: vec![index],
+            }),
+        }
+    }
+
+    /// The table indices of the build rows matching `key` (empty when
+    /// none), in insertion order.
+    pub(crate) fn lookup(&self, hash: u64, key: &Value) -> &[u32] {
+        self.buckets
+            .get(&hash)
+            .and_then(|groups| groups.iter().find(|g| g.key == *key))
+            .map_or(&[], |g| g.indices.as_slice())
+    }
+
+    /// The build row at table index `index`.
+    pub(crate) fn row(&self, index: u32) -> &Row<'a> {
+        &self.rows[index as usize]
+    }
 }
 
 /// Hash join with lazy output rows.

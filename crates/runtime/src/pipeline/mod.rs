@@ -530,15 +530,23 @@ impl PipelineOptions {
     }
 
     /// The batch/chunk size this execution actually uses, with the `0 →
-    /// environment → default` resolution applied.
+    /// environment → default` resolution applied.  Explicit values above
+    /// [`MAX_BATCH_ROWS`] are clamped (warning once per process).
     #[must_use]
     pub fn effective_batch_rows(self) -> usize {
-        let rows = if self.batch_rows == 0 {
-            env_batch_rows()
-        } else {
-            self.batch_rows
-        };
-        rows.clamp(1, 1 << 20)
+        if self.batch_rows == 0 {
+            return env_batch_rows();
+        }
+        if self.batch_rows > MAX_BATCH_ROWS {
+            static WARNED: OnceLock<()> = OnceLock::new();
+            WARNED.get_or_init(|| {
+                eprintln!(
+                    "disco: PipelineOptions::batch_rows {} exceeds the maximum; clamping to {}",
+                    self.batch_rows, MAX_BATCH_ROWS
+                );
+            });
+        }
+        self.batch_rows.clamp(1, MAX_BATCH_ROWS)
     }
 
     /// Whether the columnar engine is active under these options.
@@ -552,16 +560,35 @@ impl PipelineOptions {
     }
 }
 
-/// `DISCO_BATCH_ROWS` (cached at first use; invalid or unset falls back
-/// to [`BATCH_ROWS`]).
+/// Upper bound on the rows-per-batch knob: chunk row indices are `u32`
+/// and anything larger defeats cache-friendly batching anyway.
+pub const MAX_BATCH_ROWS: usize = 1 << 20;
+
+/// `DISCO_BATCH_ROWS`, validated at parse time (cached at first use).
+/// Unset uses [`BATCH_ROWS`]; unparseable or zero values are rejected
+/// with a warning and fall back to the default; values above
+/// [`MAX_BATCH_ROWS`] are clamped with a warning.
 fn env_batch_rows() -> usize {
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
-        std::env::var("DISCO_BATCH_ROWS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or(BATCH_ROWS)
+        let Ok(raw) = std::env::var("DISCO_BATCH_ROWS") else {
+            return BATCH_ROWS;
+        };
+        match raw.trim().parse::<usize>() {
+            Ok(0) | Err(_) => {
+                eprintln!(
+                    "disco: invalid DISCO_BATCH_ROWS {raw:?} (want an integer in 1..={MAX_BATCH_ROWS}); using {BATCH_ROWS}"
+                );
+                BATCH_ROWS
+            }
+            Ok(n) if n > MAX_BATCH_ROWS => {
+                eprintln!(
+                    "disco: DISCO_BATCH_ROWS {n} exceeds the maximum; clamping to {MAX_BATCH_ROWS}"
+                );
+                MAX_BATCH_ROWS
+            }
+            Ok(n) => n,
+        }
     })
 }
 

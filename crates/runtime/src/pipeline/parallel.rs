@@ -57,11 +57,12 @@ use parking_lot::Mutex;
 use crate::exec::{ExecKey, ExecOutcome, PendingSource, Progress, ResolvedExecs};
 use crate::{Result, RuntimeError};
 
+use super::columnar::{self, KeyedBatch};
 use super::exchange::{
     empty_shards, morsel_ranges, shard_count, shard_of, JoinTable, KeyedRow, MorselQueue,
     Scattered, SharedProbeCursor, MORSEL_ROWS,
 };
-use super::join::BuildSide;
+use super::join::{check_struct_frames, BuildSide};
 use super::sink::{AggState, SeenSet};
 use super::{
     build, estimated_rows, BoxedRowStream, PipelineCtx, PipelineMetrics, PipelineOptions,
@@ -673,8 +674,65 @@ fn build_stage_table<'a>(
     let acc: Mutex<Scattered<KeyedRow<'a>>> = Mutex::new(Vec::new());
     for_each_task(threads, &tasks, |worker, task| {
         let ctx = ctxs[worker];
-        let mut cursor = pipeline.open(task, ctx)?;
         let mut grid = empty_shards(shards);
+        // Vectorized scatter: when the build side of this task is a
+        // fusible stretch over a slice morsel, hash the key column in one
+        // pass and scatter by the batch-computed hashes.  The spine's
+        // hasher is a clone of the table hasher, so kernel-computed
+        // hashes agree with the row path's `hasher.hash_one`.
+        if ctx.options.columnar_enabled() {
+            if let (Some(PartSource::Slice { node, rows }), Task::Range { range, .. }) =
+                (&source, task)
+            {
+                if let Some(mut spine) = columnar::keyed_partition(
+                    stage.build,
+                    node,
+                    &rows[range.clone()],
+                    stage.build_key,
+                    hasher.clone(),
+                    ctx,
+                ) {
+                    let batch_rows = ctx.options.effective_batch_rows();
+                    while let Some(batch) = spine.next_keyed(batch_rows) {
+                        match batch {
+                            KeyedBatch::Kernel {
+                                slice,
+                                sel,
+                                keys,
+                                hashes,
+                                ..
+                            } => {
+                                // Decoded rows are structs by construction,
+                                // so the row path's struct-frame check is a
+                                // no-op here.
+                                for (j, &i) in sel.iter().enumerate() {
+                                    let row = spine.make_row(slice, i);
+                                    ctx.metrics.bump_materialized();
+                                    let hash = hashes[j];
+                                    grid[shard_of(hash, shards)].push((
+                                        hash,
+                                        keys.value_at(j),
+                                        row,
+                                    ));
+                                }
+                            }
+                            KeyedBatch::Fallback { slice } => {
+                                for (_, row) in spine.fallback_rows(slice)? {
+                                    check_struct_frames(&row)?;
+                                    let key = super::eval_in_row(stage.build_key, &row, ctx)?;
+                                    ctx.metrics.bump_materialized();
+                                    let hash = hasher.hash_one(&key);
+                                    grid[shard_of(hash, shards)].push((hash, key, row));
+                                }
+                            }
+                        }
+                    }
+                    acc.lock().push((task.id(), grid));
+                    return Ok(());
+                }
+            }
+        }
+        let mut cursor = pipeline.open(task, ctx)?;
         let mut buf = Vec::with_capacity(BATCH_ROWS);
         loop {
             let more = cursor.next_batch(&mut buf, BATCH_ROWS)?;
@@ -739,6 +797,22 @@ impl<'p, 'a> PartPipeline<'p, 'a> {
         task: &Task,
         ctx: PipelineCtx<'a>,
     ) -> Result<BoxedRowStream<'a>> {
+        // Columnar morsel spine: when the stretch from here down to the
+        // partition leaf is a fusible map/filter/bind chain, run the
+        // columnar spine over this task's slice instead of stacking row
+        // cursors.  Bails (returns None) for staged joins, off-spine
+        // nodes, and bare slices, which fall through to the row path.
+        if ctx.options.columnar_enabled() {
+            if let (Some(PartSource::Slice { node: leaf, rows }), Task::Range { range, .. }) =
+                (self.source, task)
+            {
+                if let Some(cursor) =
+                    columnar::try_build_partition(node, leaf, &rows[range.clone()], ctx)
+                {
+                    return Ok(cursor);
+                }
+            }
+        }
         // The partition point: this task's slice of the leaf, or its
         // union branch.
         match (self.source, task) {

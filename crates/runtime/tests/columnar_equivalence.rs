@@ -10,7 +10,10 @@
 //! content-equal strings from distinct allocations, empty and
 //! all-filtered selections, irregular (mixed-type / missing-field)
 //! batches, and error identity between the kernel bail-out path and the
-//! row evaluator.
+//! row evaluator.  The vectorized hash join gets its own section: float
+//! and NaN keys under `total_cmp`, null keys, dictionary and
+//! non-dictionary string keys from distinct allocations, batch-size
+//! invariance across the join boundary, and thread-count × mode parity.
 
 mod common;
 
@@ -24,8 +27,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn options(mode: ColumnarMode) -> PipelineOptions {
-    // Serial: kernel-coverage counts are asserted per-plan below, and the
-    // parallel engine's partitioned tasks intentionally keep the row path.
+    // Serial by default so kernel-coverage counts are exact per plan; the
+    // thread-parity tests below pass explicit thread counts.
     PipelineOptions {
         threads: 1,
         columnar: mode,
@@ -314,6 +317,217 @@ fn division_by_zero_bails_to_the_row_paths_exact_error() {
     )
     .expect_err("division by zero");
     assert_eq!(on.to_string(), off.to_string());
+}
+
+/// An equi-join of `left` and `right` on field `key` of both sides, with
+/// a compound map over the pair — the shape the vectorized join fuses.
+fn join_on(left: Bag, right: Bag, key: &str) -> LogicalExpr {
+    LogicalExpr::Join {
+        left: Box::new(LogicalExpr::Data(left).bind("x")),
+        right: Box::new(LogicalExpr::Data(right).bind("y")),
+        predicate: Some(ScalarExpr::binary(
+            ScalarOp::Eq,
+            ScalarExpr::var_field("x", key),
+            ScalarExpr::var_field("y", key),
+        )),
+    }
+    .map_project(ScalarExpr::StructLit(vec![
+        ("l".into(), ScalarExpr::var_field("x", key)),
+        ("r".into(), ScalarExpr::var_field("y", key)),
+    ]))
+}
+
+#[test]
+fn join_vectorizes_build_and_probe_rows() {
+    let plan = join_on(people(400), people(40), "id");
+    let (answer, metrics) = assert_modes_agree(&plan);
+    assert_eq!(answer.len(), 400 * 40 / 16, "~25 matches per probe row");
+    assert_eq!(
+        metrics.rows_kernel(),
+        440,
+        "every build and probe row vectorized"
+    );
+    assert_eq!(metrics.rows_fallback(), 0);
+    assert_eq!(metrics.rows_materialized(), 40, "build side only");
+}
+
+#[test]
+fn join_float_and_nan_keys_match_under_total_cmp() {
+    // NaN == NaN and -0.0 != 0.0 under the value plane's total order; the
+    // batched hasher and the row path must group keys identically.
+    let keys = [
+        Value::Float(f64::NAN),
+        Value::Float(f64::INFINITY),
+        Value::Float(-0.0),
+        Value::Float(0.0),
+        Value::Float(1.5),
+        Value::Int(1),
+    ];
+    let side = |reps: usize| -> Bag {
+        keys.iter()
+            .cycle()
+            .take(keys.len() * reps)
+            .map(|v| row(vec![("id", v.clone())]))
+            .collect()
+    };
+    let plan = join_on(side(3), side(2), "id");
+    let (answer, _) = assert_modes_agree(&plan);
+    // Every key matches only itself: 6 distinct keys × 3 × 2 pairs.
+    assert_eq!(answer.len(), 36);
+}
+
+#[test]
+fn join_null_keys_match_null_keys_in_both_modes() {
+    // `Null == Null` holds in the value plane, so null keys join with
+    // null keys — the kernel path must not mask them out.
+    let side = |rows: i64| -> Bag {
+        (0..rows)
+            .map(|i| {
+                let v = if i % 4 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 3)
+                };
+                row(vec![("id", v)])
+            })
+            .collect()
+    };
+    let plan = join_on(side(40), side(20), "id");
+    assert_modes_agree(&plan);
+}
+
+#[test]
+fn join_string_keys_hash_by_content_across_allocations() {
+    // Build and probe keys come from distinct allocations (and distinct
+    // dictionaries); low-cardinality sides dictionary-encode while the
+    // high-cardinality probe may not — grouping must stay content-based.
+    let dict_side: Bag = (0..120)
+        .map(|i| row(vec![("id", Value::from(format!("key-{}", i % 6)))]))
+        .collect();
+    let wide_side: Bag = (0..90)
+        .map(|i| row(vec![("id", Value::from(format!("key-{}", i % 45)))]))
+        .collect();
+    let plan = join_on(wide_side, dict_side, "id");
+    let (answer, metrics) = assert_modes_agree(&plan);
+    // Shared keys are key-0..key-5: each appears 2× left and 20× right.
+    assert_eq!(answer.len(), 6 * 2 * 20);
+    assert_eq!(metrics.rows_kernel(), 210, "both sides stay vectorized");
+}
+
+#[test]
+fn join_answers_survive_any_batch_size_across_the_boundary() {
+    let plan = join_on(people(333), people(77), "id");
+    let physical = lower(&plan).expect("plan lowers");
+    let resolved = ResolvedExecs::default();
+    let mut reference: Option<(Bag, usize, usize)> = None;
+    for batch_rows in [1usize, 13, 256, 4096] {
+        let metrics = PipelineMetrics::new();
+        let opts = PipelineOptions {
+            batch_rows,
+            ..options(ColumnarMode::On)
+        };
+        let bag =
+            evaluate_physical_with(&physical, &resolved, &metrics, opts).expect("plan evaluates");
+        let snapshot = (bag, metrics.rows_materialized(), metrics.rows_emitted());
+        match &reference {
+            None => reference = Some(snapshot),
+            Some(expected) => assert_eq!(
+                expected, &snapshot,
+                "batch_rows={batch_rows} must not change the join's behaviour"
+            ),
+        }
+    }
+}
+
+#[test]
+fn join_plans_agree_across_thread_counts_and_modes() {
+    // The deep-pipeline shape (filtered build input, compound map,
+    // distinct sink) exercises the partitioned columnar spine, the
+    // vectorized build scatter and the shared-table probe together.
+    let joined = LogicalExpr::Join {
+        left: Box::new(
+            LogicalExpr::Data(people(600))
+                .bind("x")
+                .filter(salary_gt(30)),
+        ),
+        right: Box::new(LogicalExpr::Data(people(60)).bind("y")),
+        predicate: Some(ScalarExpr::binary(
+            ScalarOp::Eq,
+            ScalarExpr::var_field("x", "id"),
+            ScalarExpr::var_field("y", "id"),
+        )),
+    }
+    .map_project(ScalarExpr::StructLit(vec![
+        ("name".into(), ScalarExpr::var_field("x", "name")),
+        (
+            "total".into(),
+            ScalarExpr::binary(
+                ScalarOp::Add,
+                ScalarExpr::var_field("x", "salary"),
+                ScalarExpr::var_field("y", "salary"),
+            ),
+        ),
+    ]));
+    let plan = LogicalExpr::Distinct(Box::new(joined));
+    let physical = lower(&plan).expect("plan lowers");
+    let resolved = ResolvedExecs::default();
+    let mut reference: Option<(Bag, usize)> = None;
+    for threads in [1usize, 2, 4] {
+        for mode in [ColumnarMode::On, ColumnarMode::Off] {
+            let metrics = PipelineMetrics::new();
+            let opts = PipelineOptions {
+                threads,
+                ..options(mode)
+            };
+            let bag = evaluate_physical_with(&physical, &resolved, &metrics, opts)
+                .expect("plan evaluates");
+            let snapshot = (bag, metrics.rows_materialized());
+            match &reference {
+                None => reference = Some(snapshot),
+                Some(expected) => assert_eq!(
+                    expected, &snapshot,
+                    "threads={threads} mode={mode:?} must match the serial row path"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn join_key_errors_are_identical_across_threads_and_modes() {
+    // Probe row 7 lacks the key field: every engine configuration must
+    // surface the row evaluator's exact error.
+    let probe: Bag = (0..20)
+        .map(|i| {
+            if i == 7 {
+                row(vec![("other", Value::Int(i))])
+            } else {
+                row(vec![("id", Value::Int(i % 4))])
+            }
+        })
+        .collect();
+    let plan = join_on(probe, people(40), "id");
+    let physical = lower(&plan).expect("plan lowers");
+    let resolved = ResolvedExecs::default();
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 4] {
+        for mode in [ColumnarMode::On, ColumnarMode::Off] {
+            let opts = PipelineOptions {
+                threads,
+                ..options(mode)
+            };
+            let err = evaluate_physical_with(&physical, &resolved, &PipelineMetrics::new(), opts)
+                .expect_err("missing key field errors");
+            let text = err.to_string();
+            match &reference {
+                None => reference = Some(text),
+                Some(expected) => assert_eq!(
+                    expected, &text,
+                    "threads={threads} mode={mode:?} must report identical error text"
+                ),
+            }
+        }
+    }
 }
 
 #[test]

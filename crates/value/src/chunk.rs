@@ -18,8 +18,9 @@
 //! usable as a [`Column::Values`] vector, so only genuinely irregular
 //! batches fall back.
 
+use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::{BuildHasher, BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 use crate::{StructValue, Value};
@@ -173,6 +174,185 @@ impl ColumnarChunk {
     #[must_use]
     pub fn column(&self, index: usize) -> &Column {
         &self.columns[index]
+    }
+}
+
+impl Column {
+    /// Re-boxes the value at row `i` as a [`Value`].  Null-masked slots
+    /// come back as [`Value::Null`] regardless of the placeholder stored
+    /// in the data vector, so the result is exactly the value the row
+    /// carried before decoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range for the chunk the column came from.
+    #[must_use]
+    pub fn value_at(&self, i: usize) -> Value {
+        let masked = |nulls: &Option<Vec<bool>>| nulls.as_ref().is_some_and(|m| m[i]);
+        match self {
+            Column::Int { data, nulls } => {
+                if masked(nulls) {
+                    Value::Null
+                } else {
+                    Value::Int(data[i])
+                }
+            }
+            Column::Float { data, nulls } => {
+                if masked(nulls) {
+                    Value::Null
+                } else {
+                    Value::Float(data[i])
+                }
+            }
+            Column::Bool { data, nulls } => {
+                if masked(nulls) {
+                    Value::Null
+                } else {
+                    Value::Bool(data[i])
+                }
+            }
+            Column::Str { values, nulls, .. } => {
+                if masked(nulls) {
+                    Value::Null
+                } else {
+                    Value::Str(Arc::clone(&values[i]))
+                }
+            }
+            Column::Values(values) => values[i].clone(),
+        }
+    }
+}
+
+/// Batched join-key hashing: hashes a key column in one pass, producing
+/// hashes **bit-identical** to `RandomState::hash_one(&Value)` over the
+/// re-boxed values — the contract that lets a columnar build side and a
+/// per-row fallback insert into the *same* hash table.
+///
+/// Hashing funnels through the canonical `Hash for Value` impl (never a
+/// re-derivation of it), so it cannot drift from the row path.  The one
+/// shortcut is the dictionary-code cache: for [`Column::Str`] columns that
+/// carry codes, each *distinct* code is hashed once and repeated keys hit
+/// the cache.  A `KeyHasher` therefore belongs to **one** key column (one
+/// dictionary's code space); sharing it across differently-coded columns
+/// would alias unrelated codes.
+pub struct KeyHasher {
+    state: RandomState,
+    /// `code → hash` cache, densely indexed (codes are allocated densely
+    /// by [`StrDict`]); `filled` tracks which slots are populated.
+    code_hashes: Vec<u64>,
+    code_filled: Vec<bool>,
+}
+
+impl KeyHasher {
+    /// A hasher over `state` — pass a clone of the join table's
+    /// `RandomState` so spine-computed hashes agree with per-row
+    /// `hash_one` lookups against the same table.
+    #[must_use]
+    pub fn with_state(state: RandomState) -> Self {
+        KeyHasher {
+            state,
+            code_hashes: Vec::new(),
+            code_filled: Vec::new(),
+        }
+    }
+
+    /// The canonical hash of one key value under this hasher's state.
+    #[must_use]
+    pub fn hash_value(&self, v: &Value) -> u64 {
+        self.state.hash_one(v)
+    }
+
+    /// The hash of a dictionary-coded string key, computed once per
+    /// distinct code.  `code` must come from the one dictionary this
+    /// hasher serves (see the type-level invariant).
+    pub fn hash_str_code(&mut self, s: &Arc<str>, code: u32) -> u64 {
+        let slot = code as usize;
+        if slot >= self.code_filled.len() {
+            self.code_hashes.resize(slot + 1, 0);
+            self.code_filled.resize(slot + 1, false);
+        }
+        if !self.code_filled[slot] {
+            self.code_hashes[slot] = self.state.hash_one(Value::Str(Arc::clone(s)));
+            self.code_filled[slot] = true;
+        }
+        self.code_hashes[slot]
+    }
+
+    /// Hashes the selected rows of a key column in one pass, appending
+    /// one hash per selection entry to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a selection index is out of range for the column.
+    pub fn hash_column(&mut self, col: &Column, sel: &[u32], out: &mut Vec<u64>) {
+        out.reserve(sel.len());
+        let null_hash = |state: &RandomState| state.hash_one(&Value::Null);
+        match col {
+            Column::Int { data, nulls } => {
+                let nh = nulls.as_ref().map(|_| null_hash(&self.state));
+                for &i in sel {
+                    let i = i as usize;
+                    if nulls.as_ref().is_some_and(|m| m[i]) {
+                        out.push(nh.unwrap());
+                    } else {
+                        out.push(self.state.hash_one(Value::Int(data[i])));
+                    }
+                }
+            }
+            Column::Float { data, nulls } => {
+                let nh = nulls.as_ref().map(|_| null_hash(&self.state));
+                for &i in sel {
+                    let i = i as usize;
+                    if nulls.as_ref().is_some_and(|m| m[i]) {
+                        out.push(nh.unwrap());
+                    } else {
+                        out.push(self.state.hash_one(Value::Float(data[i])));
+                    }
+                }
+            }
+            Column::Bool { data, nulls } => {
+                let nh = nulls.as_ref().map(|_| null_hash(&self.state));
+                for &i in sel {
+                    let i = i as usize;
+                    if nulls.as_ref().is_some_and(|m| m[i]) {
+                        out.push(nh.unwrap());
+                    } else {
+                        out.push(self.state.hash_one(Value::Bool(data[i])));
+                    }
+                }
+            }
+            Column::Str {
+                values,
+                codes,
+                nulls,
+            } => {
+                let nh = nulls.as_ref().map(|_| null_hash(&self.state));
+                if let Some(codes) = codes {
+                    for &i in sel {
+                        let i = i as usize;
+                        if codes[i] == NULL_CODE {
+                            out.push(nh.unwrap());
+                        } else {
+                            out.push(self.hash_str_code(&values[i], codes[i]));
+                        }
+                    }
+                } else {
+                    for &i in sel {
+                        let i = i as usize;
+                        if nulls.as_ref().is_some_and(|m| m[i]) {
+                            out.push(nh.unwrap());
+                        } else {
+                            out.push(self.state.hash_one(Value::Str(Arc::clone(&values[i]))));
+                        }
+                    }
+                }
+            }
+            Column::Values(values) => {
+                for &i in sel {
+                    out.push(self.state.hash_one(&values[i as usize]));
+                }
+            }
+        }
     }
 }
 
@@ -469,6 +649,94 @@ mod tests {
         b.add_field("salary");
         assert!(b.build(&[person(1, "ann")]).is_none(), "missing field");
         assert!(b.build(&[Value::Int(7)]).is_none(), "non-struct row");
+    }
+
+    #[test]
+    fn key_hasher_matches_canonical_hash_one() {
+        // Every column shape must hash bit-identically to
+        // RandomState::hash_one over the re-boxed values — including
+        // integral floats (which the canonical hash unifies with ints),
+        // NaN, nulls, dictionary strings, and mixed columns.
+        let rows: Vec<Value> = vec![
+            Value::Struct(
+                StructValue::new(vec![
+                    ("i", Value::Int(42)),
+                    ("f", Value::Float(42.0)),
+                    ("g", Value::Float(f64::NAN)),
+                    ("s", Value::from("ann")),
+                    ("m", Value::Int(1)),
+                ])
+                .unwrap(),
+            ),
+            Value::Struct(
+                StructValue::new(vec![
+                    ("i", Value::Null),
+                    ("f", Value::Float(2.5)),
+                    ("g", Value::Float(-0.0)),
+                    ("s", Value::from("ann")),
+                    ("m", Value::from("one")),
+                ])
+                .unwrap(),
+            ),
+            Value::Struct(
+                StructValue::new(vec![
+                    ("i", Value::Int(-7)),
+                    ("f", Value::Null),
+                    ("g", Value::Float(1e300)),
+                    ("s", Value::Null),
+                    ("m", Value::Bool(true)),
+                ])
+                .unwrap(),
+            ),
+        ];
+        let mut b = ChunkBuilder::new();
+        let cols = vec![
+            b.add_field("i"),
+            b.add_field("f"),
+            b.add_field("g"),
+            b.add_dict_field("s"),
+            b.add_field("m"),
+        ];
+        let chunk = b.build(&rows).unwrap();
+        let sel: Vec<u32> = (0..rows.len() as u32).collect();
+        let state = RandomState::new();
+        for idx in cols {
+            let col = chunk.column(idx);
+            let mut kh = KeyHasher::with_state(state.clone());
+            let mut hashes = Vec::new();
+            kh.hash_column(col, &sel, &mut hashes);
+            for (j, &i) in sel.iter().enumerate() {
+                let expect = state.hash_one(col.value_at(i as usize));
+                assert_eq!(hashes[j], expect, "column {idx} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn key_hasher_int_hash_matches_equal_float() {
+        // Int(5) == Float(5.0) under total_cmp equality, so their hashes
+        // agree; the batched primitive must preserve that across typed
+        // columns for mixed int/float join keys to meet in one bucket.
+        let state = RandomState::new();
+        let kh = KeyHasher::with_state(state.clone());
+        assert_eq!(
+            kh.hash_value(&Value::Int(5)),
+            kh.hash_value(&Value::Float(5.0))
+        );
+        assert_eq!(kh.hash_value(&Value::Int(5)), state.hash_one(Value::Int(5)));
+    }
+
+    #[test]
+    fn column_value_at_reboxes_nulls() {
+        let rows = vec![
+            Value::Struct(StructValue::new(vec![("x", Value::Int(1))]).unwrap()),
+            Value::Struct(StructValue::new(vec![("x", Value::Null)]).unwrap()),
+        ];
+        let mut b = ChunkBuilder::new();
+        let x = b.add_field("x");
+        let chunk = b.build(&rows).unwrap();
+        assert_eq!(chunk.column(x).value_at(0), Value::Int(1));
+        assert_eq!(chunk.column(x).value_at(1), Value::Null);
     }
 
     #[test]

@@ -79,7 +79,7 @@ mod ord;
 mod value;
 
 pub use bag::{Bag, BagCursor};
-pub use chunk::{ChunkBuilder, Column, ColumnarChunk, FnvHasher, StrDict, NULL_CODE};
+pub use chunk::{ChunkBuilder, Column, ColumnarChunk, FnvHasher, KeyHasher, StrDict, NULL_CODE};
 pub use error::ValueError;
 pub use value::{StructValue, Value};
 

@@ -287,6 +287,27 @@ impl StructValue {
         })
     }
 
+    /// Builds a struct from `(name, value)` pairs whose names the caller
+    /// has already verified to be distinct — the batch engine validates a
+    /// projection's field names once at kernel-compile time, then
+    /// assembles one output struct per row without re-running the
+    /// per-field duplicate scan.
+    ///
+    /// Distinctness is checked in debug builds only.
+    #[must_use]
+    pub fn from_distinct_fields(fields: Vec<(Arc<str>, Value)>) -> Self {
+        debug_assert!(
+            fields
+                .iter()
+                .enumerate()
+                .all(|(i, (n, _))| fields[..i].iter().all(|(m, _)| m != n)),
+            "from_distinct_fields requires distinct field names"
+        );
+        StructValue {
+            fields: Arc::new(fields),
+        }
+    }
+
     /// Number of fields.
     #[must_use]
     pub fn len(&self) -> usize {
