@@ -1,0 +1,23 @@
+//! E12 — memory-budgeted spilling (bench counterpart).
+//!
+//! A hash join and a distinct whose breaker state is ~10x the configured
+//! memory budget: the build table / seen-set hash-partitions to disk and
+//! recurses per partition, keeping tracked bytes near the budget while
+//! the answers stay identical to the unbounded path.  The full sweep
+//! (with the `BENCH_e12.json` record) lives in `harness e12`; this bench
+//! keeps the path under the CI bitrot guard.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disco_bench::experiments::{e12_spill, Scale};
+
+fn bench_spill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_spill");
+    group.sample_size(10);
+    group.bench_function("join_and_distinct_at_10x_budget_quick", |b| {
+        b.iter(|| e12_spill(Scale::quick()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spill);
+criterion_main!(benches);

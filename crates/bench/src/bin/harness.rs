@@ -13,7 +13,8 @@
 //! `BENCH_e9.json` in the current directory so the perf trajectory of the
 //! mediator combine step is tracked from PR to PR; E10 (federation
 //! overlap, streamed vs blocking resolution) is likewise recorded to
-//! `BENCH_e10.json`.
+//! `BENCH_e10.json`, and E12 (memory-budgeted spilling) to
+//! `BENCH_e12.json`.
 
 use disco_bench::experiments::{self, Scale};
 use disco_bench::report::Report;
@@ -75,9 +76,16 @@ fn main() {
         }
         reports.push(report);
     }
+    if wanted("e12") {
+        let report = experiments::e12_spill(scale);
+        if let Err(err) = std::fs::write("BENCH_e12.json", report.to_json()) {
+            eprintln!("warning: could not write BENCH_e12.json: {err}");
+        }
+        reports.push(report);
+    }
 
     if reports.is_empty() {
-        eprintln!("unknown experiment selection {selection:?}; use e1..e10 or all");
+        eprintln!("unknown experiment selection {selection:?}; use e1..e12 or all");
         std::process::exit(2);
     }
     for report in &reports {

@@ -1132,6 +1132,188 @@ pub fn e10_federation_overlap(scale: Scale) -> Report {
     report
 }
 
+// ---------------------------------------------------------------------
+// E12 — memory-budgeted spilling
+// ---------------------------------------------------------------------
+
+/// E12: pipeline-breaker state at ~10x the memory budget.
+///
+/// Runs a hash join and a distinct whose breaker state (build table /
+/// seen-set) is ~10x `PipelineOptions::mem_budget` and compares against
+/// the default unbounded path: answers are identical, tracked bytes stay
+/// bounded by the budget (+ at most one batch of overshoot, the
+/// trip-detection granularity), and the spill counters are nonzero.  The
+/// state size is measured first with a never-tripping bounded probe
+/// (`peak KiB` of the `unbounded` rows), and the budget for the
+/// `budgeted` rows is set to a tenth of it.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn e12_spill(scale: Scale) -> Report {
+    use disco_runtime::{
+        evaluate_physical_with, reference, MemBudget, PipelineMetrics, PipelineOptions,
+        ResolvedExecs,
+    };
+    use disco_value::{Bag, StructValue, Value};
+
+    let keys = (scale.rows * 100).max(2_000);
+    let probe_rows = keys * 5;
+    let person = |i: usize| -> Value {
+        Value::Struct(
+            StructValue::new(vec![
+                ("id", Value::Int(i as i64)),
+                ("name", Value::from(format!("person-{i}").as_str())),
+                ("salary", Value::Int((i % 199) as i64)),
+            ])
+            .unwrap(),
+        )
+    };
+    let join = {
+        let left: Bag = (0..probe_rows).map(|i| person(i % keys)).collect();
+        let right: Bag = (0..keys).map(person).collect();
+        LogicalExpr::Join {
+            left: Box::new(LogicalExpr::Data(left).bind("x")),
+            right: Box::new(LogicalExpr::Data(right).bind("y")),
+            predicate: Some(ScalarExpr::binary(
+                ScalarOp::Eq,
+                ScalarExpr::var_field("x", "id"),
+                ScalarExpr::var_field("y", "id"),
+            )),
+        }
+        .map_project(ScalarExpr::var_field("x", "name"))
+    };
+    let distinct = {
+        let input: Bag = (0..probe_rows).map(|i| person(i % keys)).collect();
+        LogicalExpr::Distinct(Box::new(LogicalExpr::Data(input)))
+    };
+
+    let trials = scale.trials.clamp(3, 7);
+    let mut report = Report::new(
+        "E12",
+        "memory-budgeted spilling: breaker state at ~10x the budget",
+        &format!(
+            "hash join ({probe_rows} probe x {keys} build rows) and distinct \
+             ({probe_rows} rows, {keys} distinct) with mem_budget = state/10; \
+             median of {trials} trials"
+        ),
+        &[
+            "workload",
+            "mode",
+            "budget KiB",
+            "wall ms",
+            "peak KiB",
+            "peak/budget",
+            "spilled KiB",
+            "partitions",
+        ],
+    );
+
+    let resolved = ResolvedExecs::default();
+    let median = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let kib = |bytes: f64| -> f64 { bytes / 1024.0 };
+    for (name, plan) in [("join", &join), ("distinct", &distinct)] {
+        let physical = lower(plan).expect("plan lowers");
+        let expected =
+            reference::evaluate_physical(&physical, &resolved).expect("reference evaluates");
+
+        // A never-tripping bounded probe measures the breaker state size
+        // (the unbounded budget is a no-op and tracks nothing).
+        let probe = PipelineMetrics::new();
+        let probed = evaluate_physical_with(
+            &physical,
+            &resolved,
+            &probe,
+            PipelineOptions {
+                mem_budget: MemBudget::Bytes(usize::MAX / 2),
+                ..PipelineOptions::default()
+            },
+        )
+        .expect("probe evaluates");
+        assert_eq!(probed, expected, "E12 {name}: probe answer must match");
+        assert_eq!(probe.bytes_spilled(), 0, "the probe budget never trips");
+        let state = probe.peak_tracked_bytes();
+        let budget = (state / 10).max(4096);
+
+        for bounded in [false, true] {
+            let mem_budget = if bounded {
+                MemBudget::Bytes(budget)
+            } else {
+                MemBudget::Unbounded
+            };
+            let mut walls = Vec::with_capacity(trials);
+            let metrics = PipelineMetrics::new();
+            for _ in 0..trials {
+                let trial = PipelineMetrics::new();
+                let started = Instant::now();
+                let out = evaluate_physical_with(
+                    &physical,
+                    &resolved,
+                    &trial,
+                    PipelineOptions {
+                        mem_budget,
+                        ..PipelineOptions::default()
+                    },
+                )
+                .expect("evaluates");
+                walls.push(started.elapsed().as_secs_f64() * 1000.0);
+                assert_eq!(
+                    out, expected,
+                    "E12 {name}: spilling must not change answers"
+                );
+                metrics.merge(&trial);
+            }
+            let spilled = metrics.bytes_spilled() as f64 / trials as f64;
+            let peak = if bounded {
+                metrics.peak_tracked_bytes()
+            } else {
+                state
+            };
+            if bounded {
+                assert!(
+                    metrics.bytes_spilled() > 0,
+                    "E12 {name}: a budget of state/10 must spill"
+                );
+                assert!(metrics.spill_partitions() > 0);
+            } else {
+                assert_eq!(metrics.bytes_spilled(), 0, "unbounded never spills");
+            }
+            report.push_row([
+                name.to_string(),
+                if bounded { "budgeted" } else { "unbounded" }.to_string(),
+                if bounded {
+                    fmt_f64(kib(budget as f64))
+                } else {
+                    "-".to_string()
+                },
+                fmt_f64(median(&mut walls)),
+                fmt_f64(kib(peak as f64)),
+                if bounded {
+                    fmt_f64(peak as f64 / budget as f64)
+                } else {
+                    "-".to_string()
+                },
+                if bounded {
+                    fmt_f64(kib(spilled))
+                } else {
+                    "0".to_string()
+                },
+                (metrics.spill_partitions() / trials).to_string(),
+            ]);
+        }
+    }
+    report.push_note(
+        "peak KiB of the unbounded rows is the breaker state measured by a \
+         never-tripping bounded probe; budgeted runs get a tenth of it",
+    );
+    report.push_note(
+        "peak/budget stays near 1: trip detection is per batch, so tracked bytes \
+         overshoot by at most one batch of entries before state moves to disk",
+    );
+    report
+}
+
 /// Runs every experiment at the given scale.
 #[must_use]
 pub fn run_all(scale: Scale) -> Vec<Report> {
@@ -1146,6 +1328,7 @@ pub fn run_all(scale: Scale) -> Vec<Report> {
         e8_semijoin_gap(scale),
         e9_evaluator_throughput(scale),
         e10_federation_overlap(scale),
+        e12_spill(scale),
     ]
 }
 

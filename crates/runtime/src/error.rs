@@ -34,6 +34,12 @@ pub enum RuntimeError {
     /// resolution and falls back to partial evaluation; it is **not** a
     /// hard error for callers of [`crate::Executor::execute`].
     PendingUnavailable(String),
+    /// A spill file of a memory-budgeted pipeline breaker could not be
+    /// written or read back (disk full, spill directory missing, corrupt
+    /// run).  Only produced when a memory budget is configured
+    /// (`PipelineOptions::mem_budget` / `DISCO_MEM_BUDGET`); the default
+    /// unbounded configuration never touches disk.
+    Spill(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -54,6 +60,7 @@ impl fmt::Display for RuntimeError {
                      (partial evaluation required)"
                 )
             }
+            RuntimeError::Spill(msg) => write!(f, "spill i/o error: {msg}"),
         }
     }
 }

@@ -30,6 +30,7 @@
 //! self-calibrating cost model.
 
 use std::collections::BTreeMap;
+use std::fs::File;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, PoisonError};
@@ -38,12 +39,14 @@ use std::time::{Duration, Instant};
 use disco_algebra::{LogicalExpr, PhysicalExpr};
 use disco_catalog::{Catalog, TypeMap};
 use disco_optimizer::CalibrationStore;
-use disco_value::{Bag, Value};
+use disco_value::{approx_value_bytes, Bag, Value};
 use disco_wrapper::{
     check_type_conformance, expected_after_expr, map_expr_to_source, map_rows_to_mediator,
     AnswerSink, Wrapper, WrapperError, WrapperRegistry,
 };
 
+use crate::pipeline::spill::{self, SpillFile};
+use crate::pipeline::MemBudget;
 use crate::{Result, RuntimeError};
 
 /// Locks a mutex, ignoring poisoning (the guarded state stays consistent:
@@ -223,13 +226,214 @@ pub(crate) enum Progress {
     Failed(WrapperError),
     /// The wrapper call panicked.
     Panicked(String),
+    /// A spilled spool chunk could not be read back from disk.
+    SpillError(String),
+}
+
+/// One chunk of spool rows moved to the disk tier.
+struct DiskChunk {
+    /// Absolute index of the chunk's first row in the full stream.
+    start_row: usize,
+    /// Rows in the chunk.
+    rows: usize,
+    /// Byte offset of the chunk in the spill file.
+    offset: u64,
+    /// Serialized length in bytes.
+    len: usize,
+}
+
+/// The disk tier of a budget-bounded spool: the oldest rows, chunked into
+/// one delete-on-drop spill file.  Chunks cover `[0, base)` of the stream
+/// contiguously; the hot `rows` vector holds `[base, total)`.
+struct SpoolSpill {
+    _guard: SpillFile,
+    file: File,
+    chunks: Vec<DiskChunk>,
+    /// Index of the first chunk not wholly below the high-water mark.
+    unread_idx: usize,
+    /// Serialized bytes in chunks at or past `unread_idx` — what the
+    /// producer's backpressure loop compares against its cap.
+    unread_bytes: usize,
+    /// Highest absolute row index any consumer has been served past.
+    high_water: usize,
+    /// Total bytes ever written to the tier (metrics).
+    bytes_spilled: u64,
+}
+
+impl SpoolSpill {
+    /// Advances the high-water mark; returns `true` when that retired
+    /// chunks from the unread window (worth waking a blocked producer).
+    fn advance_high_water(&mut self, served_to: usize) -> bool {
+        if served_to > self.high_water {
+            self.high_water = served_to;
+        }
+        let mut freed = false;
+        while let Some(chunk) = self.chunks.get(self.unread_idx) {
+            if chunk.start_row + chunk.rows > self.high_water {
+                break;
+            }
+            self.unread_bytes -= chunk.len;
+            self.unread_idx += 1;
+            freed = true;
+        }
+        freed
+    }
 }
 
 struct SpoolState {
+    /// The hot window: rows `[base, base + rows.len())` of the stream.
     rows: Vec<Value>,
+    /// Absolute index of `rows[0]`; rows below it live in the disk tier.
+    base: usize,
+    /// Approximate payload bytes of the hot window.
+    hot_bytes: usize,
+    spill: Option<SpoolSpill>,
+    /// Set after a spill write failure: stop spilling, keep rows hot.
+    spill_dead: bool,
+    /// Set by finalizers ([`PendingSource::await_len`] /
+    /// `final_outcome`): they block until the call *completes*, so the
+    /// producer must not be throttled on their behalf — the disk tier
+    /// then grows as needed while RAM stays bounded by the hot window.
+    unthrottled: bool,
     status: SpoolStatus,
     rows_scanned: usize,
     latency: Duration,
+}
+
+impl SpoolState {
+    /// Total rows of the stream so far (disk tier + hot window).
+    fn total_rows(&self) -> usize {
+        self.base + self.rows.len()
+    }
+
+    /// Moves the oldest hot rows to the disk tier until the hot window is
+    /// at half its cap (hysteresis: fewer, larger chunks).  On a write
+    /// failure the tier is marked dead and rows stay in memory.
+    fn spill_front(&mut self, hot_cap: usize) {
+        if self.spill_dead {
+            return;
+        }
+        let target = hot_cap / 2;
+        let mut k = 0usize;
+        let mut freed = 0usize;
+        while self.hot_bytes - freed > target && k < self.rows.len() {
+            freed += approx_value_bytes(&self.rows[k]);
+            k += 1;
+        }
+        if k == 0 {
+            return;
+        }
+        if self.spill.is_none() {
+            match SpillFile::create() {
+                Ok((guard, file)) => {
+                    self.spill = Some(SpoolSpill {
+                        _guard: guard,
+                        file,
+                        chunks: Vec::new(),
+                        unread_idx: 0,
+                        unread_bytes: 0,
+                        high_water: 0,
+                        bytes_spilled: 0,
+                    });
+                }
+                Err(err) => {
+                    self.spill_dead = true;
+                    eprintln!("disco: spool spill unavailable ({err}); keeping rows in memory");
+                    return;
+                }
+            }
+        }
+        let encoded = spill::encode_rows(&self.rows[..k]);
+        let tier = self.spill.as_mut().expect("opened above");
+        match spill::append_chunk(&mut tier.file, &encoded) {
+            Ok(offset) => {
+                tier.chunks.push(DiskChunk {
+                    start_row: self.base,
+                    rows: k,
+                    offset,
+                    len: encoded.len(),
+                });
+                tier.unread_bytes += encoded.len();
+                tier.bytes_spilled += encoded.len() as u64;
+                // The chunk may already be below the high-water mark (a
+                // consumer outran the producer); retire it immediately.
+                tier.advance_high_water(tier.high_water);
+                self.rows.drain(..k);
+                self.base += k;
+                self.hot_bytes -= freed;
+            }
+            Err(err) => {
+                self.spill_dead = true;
+                eprintln!("disco: spool spill write failed ({err}); keeping rows in memory");
+            }
+        }
+    }
+
+    /// Serves rows starting at an absolute index that was spilled.
+    fn read_spilled(&mut self, from: usize, max: usize) -> Progress {
+        let Some(tier) = self.spill.as_mut() else {
+            return Progress::SpillError("spool disk tier missing".to_owned());
+        };
+        let found = tier.chunks.binary_search_by(|c| {
+            if from < c.start_row {
+                std::cmp::Ordering::Greater
+            } else if from >= c.start_row + c.rows {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        let Ok(idx) = found else {
+            return Progress::SpillError(format!("spool spill chunk for row {from} missing"));
+        };
+        let chunk = &tier.chunks[idx];
+        let decoded = spill::read_chunk(&mut tier.file, chunk.offset, chunk.len)
+            .and_then(|buf| spill::decode_rows(&buf, chunk.rows));
+        match decoded {
+            Ok(rows) => {
+                let lo = from - chunk.start_row;
+                let end = (lo + max.max(1)).min(rows.len());
+                Progress::Rows(rows[lo..end].to_vec())
+            }
+            Err(err) => Progress::SpillError(format!("reading spool spill chunk: {err}")),
+        }
+    }
+
+    /// Reassembles the full stream (disk tier in order, then the hot
+    /// window) for final materialization.
+    fn take_all_rows(&mut self) -> std::result::Result<Vec<Value>, String> {
+        let hot = std::mem::take(&mut self.rows);
+        let Some(tier) = self.spill.as_mut() else {
+            return Ok(hot);
+        };
+        let mut all = Vec::with_capacity(self.base + hot.len());
+        for chunk in &tier.chunks {
+            let rows = spill::read_chunk(&mut tier.file, chunk.offset, chunk.len)
+                .and_then(|buf| spill::decode_rows(&buf, chunk.rows))
+                .map_err(|e| format!("reading spool spill chunk: {e}"))?;
+            all.extend(rows);
+        }
+        all.extend(hot);
+        Ok(all)
+    }
+}
+
+/// Byte caps of a budget-bounded spool.
+struct SpoolCaps {
+    /// Hot-window cap: above it the oldest rows move to disk.
+    hot: usize,
+    /// Unread-disk cap: above it the producer blocks until a consumer
+    /// catches up (or a finalizer unthrottles the spool).
+    disk: usize,
+}
+
+impl SpoolCaps {
+    fn from_budget(budget: Option<usize>) -> Option<SpoolCaps> {
+        budget.map(|b| SpoolCaps {
+            hot: (b / 4).max(1),
+            disk: b.max(1),
+        })
+    }
 }
 
 /// A channel-backed *pending answer*: the spool one wrapper thread fills
@@ -244,6 +448,10 @@ pub struct PendingSource {
     /// stop producing — the fix for timed-out calls running detached
     /// forever in the background.
     cancel: AtomicBool,
+    /// `Some` under a bounded memory budget: the spool becomes a hybrid
+    /// memory/disk buffer with a bounded hot window, and the producer
+    /// backpressures when the unread disk tier exceeds its cap.
+    caps: Option<SpoolCaps>,
     state: StdMutex<SpoolState>,
 }
 
@@ -260,14 +468,25 @@ impl std::fmt::Debug for PendingSource {
 }
 
 impl PendingSource {
-    fn new(repository: String, extent: String, events: Arc<ResolutionEvents>) -> Self {
+    fn new(
+        repository: String,
+        extent: String,
+        events: Arc<ResolutionEvents>,
+        budget: Option<usize>,
+    ) -> Self {
         PendingSource {
             repository,
             extent,
             events,
             cancel: AtomicBool::new(false),
+            caps: SpoolCaps::from_budget(budget),
             state: StdMutex::new(SpoolState {
                 rows: Vec::new(),
+                base: 0,
+                hot_bytes: 0,
+                spill: None,
+                spill_dead: false,
+                unthrottled: false,
                 status: SpoolStatus::Streaming,
                 rows_scanned: 0,
                 latency: Duration::ZERO,
@@ -294,16 +513,78 @@ impl PendingSource {
     }
 
     /// Producer side: appends one chunk; `false` when cancelled.
+    ///
+    /// Under a bounded budget this is also the backpressure point: when
+    /// the unread disk tier exceeds its cap the wrapper thread *blocks*
+    /// here until a consumer catches up, a finalizer unthrottles the
+    /// spool, the call is cancelled, or the deadline passes (which
+    /// reports cancellation, matching the unavailable classification the
+    /// consumer side is about to apply).
     fn push_chunk(&self, mut rows: Vec<Value>) -> bool {
         if self.is_cancelled() {
             return false;
         }
+        let Some(caps) = &self.caps else {
+            {
+                let mut state = lock(&self.state);
+                state.rows.append(&mut rows);
+            }
+            self.events.notify();
+            return !self.is_cancelled();
+        };
+        loop {
+            let seen = self.events.generation();
+            if self.is_cancelled() {
+                return false;
+            }
+            let throttled = {
+                let state = lock(&self.state);
+                !state.unthrottled
+                    && state
+                        .spill
+                        .as_ref()
+                        .is_some_and(|tier| tier.unread_bytes > caps.disk)
+            };
+            if !throttled {
+                break;
+            }
+            if !self.events.wait_after(seen) {
+                return false;
+            }
+        }
         {
             let mut state = lock(&self.state);
+            state.hot_bytes += rows.iter().map(approx_value_bytes).sum::<usize>();
             state.rows.append(&mut rows);
+            if state.hot_bytes > caps.hot {
+                state.spill_front(caps.hot);
+            }
         }
         self.events.notify();
         !self.is_cancelled()
+    }
+
+    /// Bytes this spool has written to its disk tier.
+    pub(crate) fn spilled_bytes(&self) -> u64 {
+        lock(&self.state)
+            .spill
+            .as_ref()
+            .map_or(0, |tier| tier.bytes_spilled)
+    }
+
+    /// Disables producer backpressure: called by the finalizers, which
+    /// wait for *completion* — throttling the producer on their behalf
+    /// would deadlock.  RAM stays bounded by the hot window; the disk
+    /// tier grows as needed.
+    fn unthrottle(&self) {
+        {
+            let mut state = lock(&self.state);
+            if state.unthrottled {
+                return;
+            }
+            state.unthrottled = true;
+        }
+        self.events.notify();
     }
 
     /// Producer side: sets a terminal status.
@@ -356,13 +637,13 @@ impl PendingSource {
     /// blocking (rows available, or a terminal status to report).
     pub(crate) fn ready(&self, from: usize) -> bool {
         let state = lock(&self.state);
-        state.rows.len() > from || !matches!(state.status, SpoolStatus::Streaming)
+        state.total_rows() > from || !matches!(state.status, SpoolStatus::Streaming)
     }
 
     /// Row count so far (tests and diagnostics).
     #[must_use]
     pub fn rows_arrived(&self) -> usize {
-        lock(&self.state).rows.len()
+        lock(&self.state).total_rows()
     }
 
     /// The one wait loop every consumer goes through: blocks until
@@ -407,9 +688,28 @@ impl PendingSource {
                 SpoolStatus::Panicked(msg) => return Some(Progress::Panicked(msg.clone())),
                 SpoolStatus::Streaming | SpoolStatus::Done => {}
             }
-            if state.rows.len() > from {
-                let end = (from + max.max(1)).min(state.rows.len());
-                return Some(Progress::Rows(state.rows[from..end].to_vec()));
+            if state.total_rows() > from {
+                let progress = if from >= state.base {
+                    let lo = from - state.base;
+                    let end = (lo + max.max(1)).min(state.rows.len());
+                    Progress::Rows(state.rows[lo..end].to_vec())
+                } else {
+                    // Row `from` was moved to the disk tier.
+                    state.read_spilled(from, max)
+                };
+                if let Progress::Rows(rows) = &progress {
+                    let served_to = from + rows.len();
+                    if state
+                        .spill
+                        .as_mut()
+                        .is_some_and(|tier| tier.advance_high_water(served_to))
+                    {
+                        // Retired unread chunks: a producer blocked on the
+                        // disk cap can make progress again.
+                        self.events.notify();
+                    }
+                }
+                return Some(progress);
             }
             match state.status {
                 SpoolStatus::Done => Some(Progress::Done),
@@ -425,21 +725,27 @@ impl PendingSource {
     /// orientation (and with it `rows_materialized`) is identical to the
     /// blocking path's.
     pub(crate) fn await_len(&self) -> Option<usize> {
+        self.unthrottle();
         self.wait_until(|state| match &state.status {
             SpoolStatus::Streaming => None,
-            SpoolStatus::Done => Some(Some(state.rows.len())),
+            SpoolStatus::Done => Some(Some(state.total_rows())),
             _ => Some(None),
         })
     }
 
     /// Waits for a terminal status and renders the final outcome + stats.
     fn final_outcome(&self) -> (ExecOutcome, SourceCallStats, Option<RuntimeError>) {
+        self.unthrottle();
         let (outcome, available, error) = self.wait_until(|state| match &state.status {
             SpoolStatus::Streaming => None,
-            SpoolStatus::Done => {
-                let rows = std::mem::take(&mut state.rows);
-                Some((ExecOutcome::Rows(Bag::from(rows)), true, None))
-            }
+            SpoolStatus::Done => match state.take_all_rows() {
+                Ok(rows) => Some((ExecOutcome::Rows(Bag::from(rows)), true, None)),
+                Err(msg) => Some((
+                    ExecOutcome::Unavailable,
+                    false,
+                    Some(RuntimeError::Spill(msg)),
+                )),
+            },
             SpoolStatus::Unavailable => Some((ExecOutcome::Unavailable, false, None)),
             SpoolStatus::Failed(err) => Some((
                 ExecOutcome::Unavailable,
@@ -506,6 +812,11 @@ pub struct ExecutionConfig {
     /// arrive ([`ResolutionMode::Streamed`], the default) or the combine
     /// step waits for every call ([`ResolutionMode::Blocking`]).
     pub resolution: ResolutionMode,
+    /// Memory budget for the execution ([`MemBudget::Auto`], the
+    /// default, defers to `DISCO_MEM_BUDGET`).  Bounded budgets make
+    /// every [`PendingSource`] spool a hybrid memory/disk buffer and are
+    /// forwarded to the pipeline's spilling breakers.
+    pub mem_budget: MemBudget,
 }
 
 impl Default for ExecutionConfig {
@@ -515,6 +826,7 @@ impl Default for ExecutionConfig {
             calibration: None,
             threads: 0,
             resolution: ResolutionMode::default(),
+            mem_budget: MemBudget::default(),
         }
     }
 }
@@ -535,6 +847,9 @@ pub struct ResolvedExecs {
     pending_order: Vec<ExecKey>,
     /// The shared wakeup channel of a streamed resolution.
     events: Option<Arc<ResolutionEvents>>,
+    /// Bytes the pending spools spilled to disk (bounded hot windows),
+    /// accumulated at finalization.
+    spool_bytes_spilled: u64,
 }
 
 impl ResolvedExecs {
@@ -584,10 +899,12 @@ impl ResolvedExecs {
             if failure.is_some() {
                 // Already failing: disconnect instead of waiting.
                 source.cancel();
+                self.spool_bytes_spilled += source.spilled_bytes();
                 self.outcomes.insert(key, ExecOutcome::Unavailable);
                 continue;
             }
             let (outcome, stats, error) = source.final_outcome();
+            self.spool_bytes_spilled += source.spilled_bytes();
             self.outcomes.insert(key, outcome);
             self.stats.push(stats);
             if let Some(error) = error {
@@ -631,6 +948,13 @@ impl ResolvedExecs {
     #[must_use]
     pub fn stats(&self) -> &[SourceCallStats] {
         &self.stats
+    }
+
+    /// Bytes the streamed spools spilled to disk under a bounded memory
+    /// budget (0 when unbounded, or before finalization).
+    #[must_use]
+    pub fn spool_bytes_spilled(&self) -> u64 {
+        self.spool_bytes_spilled
     }
 
     /// Total rows transferred from sources to the mediator.
@@ -824,11 +1148,13 @@ pub fn resolve_execs_streamed(
     let deadline_at = config.deadline.map(|d| Instant::now() + d);
     let events = Arc::new(ResolutionEvents::new(deadline_at));
     resolved.events = Some(Arc::clone(&events));
+    let spool_budget = config.mem_budget.resolve();
     for call in prepared {
         let source = Arc::new(PendingSource::new(
             call.key.repository.clone(),
             call.key.extent.clone(),
             Arc::clone(&events),
+            spool_budget,
         ));
         resolved.pending_order.push(call.key.clone());
         resolved

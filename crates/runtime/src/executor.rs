@@ -14,7 +14,7 @@ use crate::exec::{
     resolve_execs, resolve_execs_streamed, ExecutionConfig, ResolutionMode, ResolvedExecs,
 };
 use crate::partial::{partial_evaluate_opts, substitute_resolved, Answer, ExecutionStats};
-use crate::pipeline::{PipelineMetrics, PipelineOptions};
+use crate::pipeline::{MemBudget, PipelineMetrics, PipelineOptions};
 use crate::{Result, RuntimeError};
 
 /// Executes physical plans against the registered wrappers.
@@ -85,6 +85,19 @@ impl Executor {
         self
     }
 
+    /// Sets the memory budget of the execution.  A bounded budget makes
+    /// the pipeline breakers (hash join, distinct) spill to disk instead
+    /// of buffering past it, and bounds the pending-source spools with a
+    /// hybrid memory/disk window.  [`MemBudget::Auto`] (the default)
+    /// defers to the `DISCO_MEM_BUDGET` environment variable;
+    /// [`MemBudget::Unbounded`] pins the in-memory path regardless of
+    /// the environment.
+    #[must_use]
+    pub fn with_mem_budget(mut self, budget: MemBudget) -> Self {
+        self.config.mem_budget = budget;
+        self
+    }
+
     /// The wrapper registry.
     #[must_use]
     pub fn registry(&self) -> &WrapperRegistry {
@@ -123,6 +136,7 @@ impl Executor {
         let resolved = resolve_execs(plan, &self.registry, catalog, &self.config)?;
         let options = PipelineOptions {
             threads: self.config.threads,
+            mem_budget: self.config.mem_budget,
             ..PipelineOptions::default()
         };
         if resolved.all_available() {
@@ -143,6 +157,9 @@ impl Executor {
                 source_wait: metrics.source_wait(),
                 rows_kernel: metrics.rows_kernel(),
                 rows_fallback: metrics.rows_fallback(),
+                bytes_spilled: metrics.bytes_spilled() + resolved.spool_bytes_spilled(),
+                spill_partitions: metrics.spill_partitions(),
+                peak_tracked_bytes: metrics.peak_tracked_bytes(),
             };
             Ok(Answer::complete(data, stats))
         } else {
@@ -159,6 +176,7 @@ impl Executor {
         let mut resolved = resolve_execs_streamed(plan, &self.registry, catalog, &self.config)?;
         let options = PipelineOptions {
             threads: self.config.threads,
+            mem_budget: self.config.mem_budget,
             ..PipelineOptions::default()
         };
         let metrics = PipelineMetrics::new();
@@ -181,6 +199,9 @@ impl Executor {
                         source_wait: metrics.source_wait(),
                         rows_kernel: metrics.rows_kernel(),
                         rows_fallback: metrics.rows_fallback(),
+                        bytes_spilled: metrics.bytes_spilled() + resolved.spool_bytes_spilled(),
+                        spill_partitions: metrics.spill_partitions(),
+                        peak_tracked_bytes: metrics.peak_tracked_bytes(),
                     };
                     Ok(Answer::complete(data, stats))
                 } else {
@@ -231,6 +252,12 @@ impl Executor {
                 .unwrap_or_default(),
             rows_kernel: streamed.map(PipelineMetrics::rows_kernel).unwrap_or(0),
             rows_fallback: streamed.map(PipelineMetrics::rows_fallback).unwrap_or(0),
+            bytes_spilled: streamed.map(PipelineMetrics::bytes_spilled).unwrap_or(0)
+                + resolved.spool_bytes_spilled(),
+            spill_partitions: streamed.map(PipelineMetrics::spill_partitions).unwrap_or(0),
+            peak_tracked_bytes: streamed
+                .map(PipelineMetrics::peak_tracked_bytes)
+                .unwrap_or(0),
         };
         Ok(match residual {
             Some(residual) => Answer::partial(data, residual, stats),

@@ -70,6 +70,25 @@
 //! on a worker surfaces as [`RuntimeError::WorkerPanic`] rather than a
 //! hang or abort.  Plans the scheduler cannot decompose (nested-loop
 //! spines, unresolved sources) fall back to the serial engine unchanged.
+//!
+//! # Memory budgets and spilling
+//!
+//! Pipeline-breaker state can be bounded ([`pipeline::spill`]): set
+//! `DISCO_MEM_BUDGET` (a positive byte count), [`PipelineOptions`]'
+//! `mem_budget` field, or [`Executor::with_mem_budget`].  When the
+//! tracked bytes of a hash-join build table or a distinct seen-set reach
+//! the budget, the breaker hash-partitions its state into disk runs and
+//! recurses per partition (Grace style); the spools of still-answering
+//! wrapper calls keep a bounded in-memory hot window, overflow older
+//! chunks to disk, and backpressure the wrapper thread when the disk
+//! tier also fills.  Aggregates keep O(1) state and never spill.  Spill
+//! files are written to `DISCO_SPILL_DIR` (the system temp directory by
+//! default) and deleted eagerly — on success *and* on error paths.  The
+//! answer multiset, errors, and `rows_materialized` are identical to the
+//! unbounded path; [`ExecutionStats`] reports `bytes_spilled`,
+//! `spill_partitions`, and `peak_tracked_bytes`.  The default (no
+//! environment variable, `MemBudget::Auto`) is unbounded — the
+//! pre-budget behavior, byte for byte.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -96,7 +115,7 @@ pub use partial::{
     is_fully_resolved, partial_evaluate, partial_evaluate_opts, partial_evaluate_reference,
     substitute_resolved, Answer, ExecutionStats,
 };
-pub use pipeline::{BuildSide, ColumnarMode, PipelineMetrics, PipelineOptions};
+pub use pipeline::{BuildSide, ColumnarMode, MemBudget, PipelineMetrics, PipelineOptions};
 
 /// Convenience result alias for runtime operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -55,6 +55,17 @@ pub struct ExecutionStats {
     /// cover at runtime).  Rows outside any columnar stretch count in
     /// neither bucket.
     pub rows_fallback: usize,
+    /// Bytes written to disk by memory-budgeted operators: spilling
+    /// pipeline breakers (hash join, distinct) plus the bounded pending
+    /// spools.  Always 0 under the default unbounded budget.
+    pub bytes_spilled: u64,
+    /// Grace partition fan-outs performed by spilling breakers (8 per
+    /// spill or re-split).  Always 0 under the default unbounded budget.
+    pub spill_partitions: usize,
+    /// High-water mark of the bytes the pipeline's memory budget had
+    /// under charge.  0 when the budget is unbounded (nothing is
+    /// tracked).
+    pub peak_tracked_bytes: usize,
 }
 
 /// The answer to a query: data plus, when sources were unavailable, the

@@ -68,8 +68,14 @@ pub(crate) fn try_build<'a>(
     match plan {
         // Breakers consume the fused source's batches directly; distinct
         // interns bare-column string keys in its own dictionary so equal
-        // keys can be skipped on a dense code bitmap.
+        // keys can be skipped on a dense code bitmap.  Under a bounded
+        // memory budget, buffering breakers must go through the row
+        // engine's spilling cursors, so the columnar distinct (and the
+        // fused join below, via `fuse_source`) decline.
         PhysicalExpr::MkDistinct(inner) => {
+            if ctx.budget.is_bounded() {
+                return None;
+            }
             let source = fuse_source(inner, ctx)?;
             Some(Box::new(ColumnarDistinctCursor::new(source)))
         }
@@ -88,8 +94,13 @@ pub(crate) fn try_build<'a>(
 /// the plan is a (possibly mapped) equi-join over fusable sides, else a
 /// plain fused spine.
 fn fuse_source<'a>(plan: &'a PhysicalExpr, ctx: PipelineCtx<'a>) -> Option<ColumnarSource<'a>> {
-    if let Some(join) = FusedJoin::fuse(plan, ctx) {
-        return Some(ColumnarSource::Join(Box::new(join)));
+    // The fused join buffers its whole build side without budget
+    // accounting; a bounded budget routes joins to the row engine's
+    // spilling hash-join cursor instead.  Plain spines buffer nothing.
+    if !ctx.budget.is_bounded() {
+        if let Some(join) = FusedJoin::fuse(plan, ctx) {
+            return Some(ColumnarSource::Join(Box::new(join)));
+        }
     }
     FusedSpine::fuse(plan, ctx)
         .map(Box::new)

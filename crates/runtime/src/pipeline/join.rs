@@ -8,16 +8,36 @@
 //! downstream consumer needs one value.  The nested-loop and merge-tuples
 //! joins buffer their right input (it is re-scanned once per left row)
 //! and stream the left.
+//!
+//! # Spilling (bounded memory budgets)
+//!
+//! Under a bounded [`MemoryBudget`](super::spill::MemoryBudget) the hash
+//! join charges every build row; when the budget trips it goes *Grace*:
+//! the resident table and the rest of the build input are hash-routed
+//! into 8 disk runs, the whole probe input is routed by the same hash
+//! (probe *keys* are still evaluated in arrival order, so key-evaluation
+//! errors surface exactly where the in-memory path reports them), and
+//! each (build, probe) partition pair is then loaded and probed in turn —
+//! re-splitting into 8 children at the next hash level if a partition
+//! alone still exceeds the budget.  The output multiset, error identity
+//! and `rows_materialized` (one bump per build row, at original
+//! consumption only) are identical to the in-memory path; only the
+//! emission *order* differs (partition-major), which the answer bag —
+//! a multiset — does not observe.
 
 use std::collections::hash_map::RandomState;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasher, BuildHasherDefault};
 use std::rc::Rc;
 
 use disco_algebra::{truthy, AlgebraError, ScalarExpr};
-use disco_value::Value;
+use disco_value::{approx_value_bytes, Value};
 
 use super::sink::IdentityHasher;
+use super::spill::{
+    approx_row_bytes, record_row, row_record, spill_partition, RunFile, RunFileReader,
+    MAX_SPILL_LEVEL, SPILL_FANOUT,
+};
 use super::{eval_in_pair, eval_in_row, BoxedRowStream, PipelineCtx, Result, Row, RowStream};
 
 /// Which hash-join input to buffer as the build side.
@@ -132,6 +152,9 @@ pub(crate) struct HashJoinCursor<'a> {
     build_on_left: bool,
     ctx: PipelineCtx<'a>,
     table: Option<HashMap<Value, Rc<Vec<Row<'a>>>>>,
+    /// Grace-partitioned disk state; `Some` once the build tripped the
+    /// memory budget (the in-memory `table` then stays `None`).
+    spill: Option<JoinSpill<'a>>,
     /// Probe rows pulled in batches into a reused buffer and handed out
     /// one at a time from `probe_pos`.
     probe_buf: Vec<Row<'a>>,
@@ -139,7 +162,43 @@ pub(crate) struct HashJoinCursor<'a> {
     probe_exhausted: bool,
     /// The probe row currently being expanded, its matches, and the next
     /// match index.
-    current: Option<(Row<'a>, Rc<Vec<Row<'a>>>, usize)>,
+    current: Option<Expansion<'a>>,
+}
+
+/// A probe row being expanded: the row, its build-side matches, and the
+/// index of the next match to emit.
+type Expansion<'a> = (Row<'a>, Rc<Vec<Row<'a>>>, usize);
+
+/// The disk state of a spilled hash join: pending (build-run, probe-run)
+/// partition pairs and the partition currently loaded for probing.
+struct JoinSpill<'a> {
+    /// The partition router.  Independent of the table's key equality:
+    /// it only decides which run a key lands in, at every level.
+    route: RandomState,
+    queue: VecDeque<JoinPartition>,
+    current: Option<PartitionProbe<'a>>,
+}
+
+/// One pending Grace partition: its build and probe runs and the hash
+/// level its rows were routed at.
+struct JoinPartition {
+    build: RunFileReader,
+    probe: RunFileReader,
+    level: u32,
+}
+
+/// A loaded partition being probed: its in-memory table (charged against
+/// the budget until the partition drains) and the rest of its probe run.
+struct PartitionProbe<'a> {
+    table: HashMap<Value, Rc<Vec<Row<'a>>>>,
+    probe: RunFileReader,
+    charged: usize,
+}
+
+/// Result of loading one partition's build run against the budget.
+enum LoadOutcome<'a> {
+    Loaded(PartitionProbe<'a>),
+    Split(Vec<JoinPartition>),
 }
 
 impl<'a> HashJoinCursor<'a> {
@@ -167,6 +226,7 @@ impl<'a> HashJoinCursor<'a> {
             build_on_left,
             ctx,
             table: None,
+            spill: None,
             probe_buf: Vec::new(),
             probe_pos: 0,
             probe_exhausted: false,
@@ -175,33 +235,164 @@ impl<'a> HashJoinCursor<'a> {
     }
 
     /// Drains the build input into the hash table (the one materialization
-    /// this operator performs).
+    /// this operator performs).  Under a bounded budget every row is
+    /// charged; if the budget trips, the build goes Grace instead
+    /// ([`Self::spill_build`]) — the trip is detected per batch, so the
+    /// resident overshoot is at most one batch of rows.
     fn build_table(&mut self) -> Result<()> {
         let mut input = self
             .build_input
             .take()
             .expect("build side is consumed exactly once");
+        let budget = self.ctx.budget;
         let mut table: HashMap<Value, Vec<Row<'a>>> = HashMap::new();
+        let mut charged = 0usize;
+        let mut tripped = false;
         let mut buf = Vec::with_capacity(super::BATCH_ROWS);
-        loop {
+        let more = loop {
             let more = input.next_batch(&mut buf, super::BATCH_ROWS)?;
             for row in buf.drain(..) {
                 check_struct_frames(&row)?;
                 let key = eval_in_row(self.build_key, &row, self.ctx)?;
                 self.ctx.metrics.bump_materialized();
+                let cost = approx_row_bytes(&row) + approx_value_bytes(&key);
+                charged += cost;
+                if !budget.charge(cost) {
+                    tripped = true;
+                }
                 table.entry(key).or_default().push(row);
             }
-            if !more {
-                break;
+            if !more || tripped {
+                break more;
+            }
+        };
+        if !tripped {
+            self.table = Some(
+                table
+                    .into_iter()
+                    .map(|(key, rows)| (key, Rc::new(rows)))
+                    .collect(),
+            );
+            return Ok(());
+        }
+        self.spill = Some(self.spill_build(table, charged, input, more)?);
+        Ok(())
+    }
+
+    /// Grace spill: flush the resident table plus the rest of the build
+    /// input into 8 hash-routed disk runs, then route the *entire* probe
+    /// input by the same hash.  Probe keys are evaluated here, in arrival
+    /// order, so key-evaluation errors are reported exactly where the
+    /// in-memory probe loop would report them.
+    fn spill_build(
+        &mut self,
+        table: HashMap<Value, Vec<Row<'a>>>,
+        charged: usize,
+        mut input: BoxedRowStream<'a>,
+        mut more: bool,
+    ) -> Result<JoinSpill<'a>> {
+        let budget = self.ctx.budget;
+        let route = RandomState::new();
+        let mut build_runs = new_runs()?;
+        for (key, rows) in table {
+            let p = spill_partition(route.hash_one(&key), 0);
+            for row in rows {
+                build_runs[p].push(&row_record(&key, row))?;
             }
         }
-        self.table = Some(
-            table
-                .into_iter()
-                .map(|(key, rows)| (key, Rc::new(rows)))
-                .collect(),
-        );
-        Ok(())
+        budget.uncharge(charged);
+        // The rest of the build input goes straight to disk; this is the
+        // row's original consumption, so it still bumps
+        // `rows_materialized` — reloads from disk never bump again.
+        let mut buf = Vec::with_capacity(super::BATCH_ROWS);
+        while more {
+            more = input.next_batch(&mut buf, super::BATCH_ROWS)?;
+            for row in buf.drain(..) {
+                check_struct_frames(&row)?;
+                let key = eval_in_row(self.build_key, &row, self.ctx)?;
+                self.ctx.metrics.bump_materialized();
+                let p = spill_partition(route.hash_one(&key), 0);
+                build_runs[p].push(&row_record(&key, row))?;
+            }
+        }
+        let build_counts: Vec<u64> = build_runs.iter().map(RunFile::rows).collect();
+        // Route the probe side.  Rows landing in a partition whose build
+        // run is empty can never match and are dropped here (their key
+        // was already evaluated above, so no error is lost).
+        let mut probe_runs = new_runs()?;
+        while let Some(probe) = self.pull_probe()? {
+            check_struct_frames(&probe)?;
+            let key = eval_in_row(self.probe_key, &probe, self.ctx)?;
+            let p = spill_partition(route.hash_one(&key), 0);
+            if build_counts[p] == 0 {
+                continue;
+            }
+            probe_runs[p].push(&row_record(&key, probe))?;
+        }
+        let bytes: u64 = build_runs.iter().map(RunFile::bytes).sum::<u64>()
+            + probe_runs.iter().map(RunFile::bytes).sum::<u64>();
+        self.ctx.metrics.add_bytes_spilled(bytes);
+        self.ctx.metrics.add_spill_partitions(SPILL_FANOUT);
+        let mut queue = VecDeque::new();
+        for (build, probe) in build_runs.into_iter().zip(probe_runs) {
+            if build.rows() == 0 {
+                continue;
+            }
+            queue.push_back(JoinPartition {
+                build: build.into_reader()?,
+                probe: probe.into_reader()?,
+                level: 0,
+            });
+        }
+        Ok(JoinSpill {
+            route,
+            queue,
+            current: None,
+        })
+    }
+
+    /// Next (probe row, matches) pair from the spilled partitions; `None`
+    /// once every partition has drained.
+    fn next_spilled(&mut self) -> Result<Option<Expansion<'a>>> {
+        let ctx = self.ctx;
+        let spill = self.spill.as_mut().expect("spilled mode");
+        loop {
+            if spill.current.is_none() {
+                loop {
+                    let Some(part) = spill.queue.pop_front() else {
+                        return Ok(None);
+                    };
+                    match load_or_split(ctx, &spill.route, part)? {
+                        LoadOutcome::Loaded(p) => {
+                            spill.current = Some(p);
+                            break;
+                        }
+                        LoadOutcome::Split(children) => {
+                            // Children go to the front: depth-first keeps
+                            // the open-file count proportional to the
+                            // recursion depth, not the partition count.
+                            for child in children.into_iter().rev() {
+                                spill.queue.push_front(child);
+                            }
+                        }
+                    }
+                }
+            }
+            let part = spill.current.as_mut().expect("loaded above");
+            match part.probe.next_record()? {
+                Some(mut rec) => {
+                    let key = rec.remove(0);
+                    let row = record_row(rec);
+                    if let Some(matches) = part.table.get(&key) {
+                        return Ok(Some((row, Rc::clone(matches), 0)));
+                    }
+                }
+                None => {
+                    ctx.budget.uncharge(part.charged);
+                    spill.current = None;
+                }
+            }
+        }
     }
 
     /// The next probe row, refilling the (reused) probe buffer as needed.
@@ -255,6 +446,13 @@ impl<'a> HashJoinCursor<'a> {
                 self.current = None;
             }
             // Pull the next probe row that has matches.
+            if self.spill.is_some() {
+                match self.next_spilled()? {
+                    Some(next) => self.current = Some(next),
+                    None => return Ok(None),
+                }
+                continue;
+            }
             let Some(probe) = self.pull_probe()? else {
                 return Ok(None);
             };
@@ -270,7 +468,7 @@ impl<'a> HashJoinCursor<'a> {
 
 impl<'a> RowStream<'a> for HashJoinCursor<'a> {
     fn next_row(&mut self) -> Option<Result<Row<'a>>> {
-        if self.table.is_none() {
+        if self.build_input.is_some() {
             if let Err(err) = self.build_table() {
                 return Some(Err(err));
             }
@@ -279,7 +477,7 @@ impl<'a> RowStream<'a> for HashJoinCursor<'a> {
     }
 
     fn next_batch(&mut self, out: &mut Vec<Row<'a>>, max: usize) -> Result<bool> {
-        if self.table.is_none() {
+        if self.build_input.is_some() {
             self.build_table()?;
         }
         for _ in 0..max {
@@ -290,6 +488,106 @@ impl<'a> RowStream<'a> for HashJoinCursor<'a> {
         }
         Ok(true)
     }
+}
+
+/// One fan-out's worth of fresh spill runs.
+fn new_runs() -> Result<Vec<RunFile>> {
+    (0..SPILL_FANOUT).map(|_| RunFile::create()).collect()
+}
+
+/// Loads one partition's build run into an in-memory table, charging the
+/// budget per row.  A partition that alone exceeds the budget is
+/// re-split into 8 children at the next hash level — unless it is
+/// already at the deepest level (necessarily duplicate-key-dominated, a
+/// split could not separate it), in which case it loads whole and the
+/// budget overcommits for its duration.
+fn load_or_split<'a>(
+    ctx: PipelineCtx<'a>,
+    route: &RandomState,
+    part: JoinPartition,
+) -> Result<LoadOutcome<'a>> {
+    let budget = ctx.budget;
+    let JoinPartition {
+        mut build,
+        probe,
+        level,
+    } = part;
+    let mut table: HashMap<Value, Vec<Row<'a>>> = HashMap::new();
+    let mut charged = 0usize;
+    while let Some(mut rec) = build.next_record()? {
+        let key = rec.remove(0);
+        let row = record_row(rec);
+        let cost = approx_row_bytes(&row) + approx_value_bytes(&key);
+        charged += cost;
+        let within = budget.charge(cost);
+        table.entry(key).or_default().push(row);
+        if !within && level < MAX_SPILL_LEVEL {
+            return split_partition(ctx, route, table, charged, build, probe, level);
+        }
+    }
+    Ok(LoadOutcome::Loaded(PartitionProbe {
+        table: table
+            .into_iter()
+            .map(|(key, rows)| (key, Rc::new(rows)))
+            .collect(),
+        probe,
+        charged,
+    }))
+}
+
+/// Re-splits an over-budget partition: the partially loaded table and the
+/// unread rest of its build run are routed into 8 child build runs at the
+/// next hash level, the probe run likewise, and the children replace the
+/// parent in the queue.  Reloaded rows were counted at their original
+/// consumption, so nothing here touches `rows_materialized`.
+#[allow(clippy::too_many_arguments)]
+fn split_partition<'a>(
+    ctx: PipelineCtx<'a>,
+    route: &RandomState,
+    table: HashMap<Value, Vec<Row<'a>>>,
+    charged: usize,
+    mut build_rest: RunFileReader,
+    mut probe: RunFileReader,
+    level: u32,
+) -> Result<LoadOutcome<'a>> {
+    let next = level + 1;
+    let mut build_runs = new_runs()?;
+    for (key, rows) in table {
+        let p = spill_partition(route.hash_one(&key), next);
+        for row in rows {
+            build_runs[p].push(&row_record(&key, row))?;
+        }
+    }
+    ctx.budget.uncharge(charged);
+    while let Some(rec) = build_rest.next_record()? {
+        let p = spill_partition(route.hash_one(&rec[0]), next);
+        build_runs[p].push(&rec)?;
+    }
+    let build_counts: Vec<u64> = build_runs.iter().map(RunFile::rows).collect();
+    let mut probe_runs = new_runs()?;
+    while let Some(rec) = probe.next_record()? {
+        let p = spill_partition(route.hash_one(&rec[0]), next);
+        if build_counts[p] == 0 {
+            continue;
+        }
+        probe_runs[p].push(&rec)?;
+    }
+    let bytes: u64 = build_runs.iter().map(RunFile::bytes).sum::<u64>()
+        + probe_runs.iter().map(RunFile::bytes).sum::<u64>();
+    ctx.metrics.add_bytes_spilled(bytes);
+    ctx.metrics.add_spill_partitions(SPILL_FANOUT);
+    let mut children = Vec::new();
+    for (build, probe) in build_runs.into_iter().zip(probe_runs) {
+        if build.rows() == 0 {
+            continue;
+        }
+        children.push(JoinPartition {
+            build: build.into_reader()?,
+            probe: probe.into_reader()?,
+            level: next,
+        });
+    }
+    Ok(LoadOutcome::Split(children))
 }
 
 /// Materializes a cursor into a vector of rows, validating struct frames

@@ -43,6 +43,7 @@ mod join;
 pub mod parallel;
 mod scan;
 mod sink;
+pub mod spill;
 mod union;
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -58,6 +59,7 @@ use crate::exec::{ExecKey, ExecOutcome, ResolvedExecs};
 use crate::{Result, RuntimeError};
 
 pub use join::BuildSide;
+pub use spill::{MemBudget, MemoryBudget};
 
 /// One environment frame of a [`Row`]: a value that is either owned by
 /// the pipeline (computed by an operator) or borrowed straight out of the
@@ -300,6 +302,16 @@ pub struct PipelineMetrics {
     /// overlap: execution-window time not spent here was useful combine
     /// work (or idle workers).
     source_wait_ns: AtomicU64,
+    /// Bytes written to spill runs by memory-budgeted pipeline breakers
+    /// (hash-join builds, distinct seen-sets).  Zero under the default
+    /// unbounded budget.
+    bytes_spilled: AtomicU64,
+    /// Grace partitions created by spilling breakers (8 per spill or
+    /// re-split).  Zero under the default unbounded budget.
+    spill_partitions: AtomicUsize,
+    /// High-water mark of budget-tracked breaker bytes, merged across
+    /// workers by maximum (it approximates one process-wide peak).
+    peak_tracked_bytes: AtomicUsize,
 }
 
 impl Default for PipelineMetrics {
@@ -312,6 +324,9 @@ impl Default for PipelineMetrics {
             rows_fallback: AtomicUsize::new(0),
             first_row_ns: AtomicU64::new(u64::MAX),
             source_wait_ns: AtomicU64::new(0),
+            bytes_spilled: AtomicU64::new(0),
+            spill_partitions: AtomicUsize::new(0),
+            peak_tracked_bytes: AtomicUsize::new(0),
         }
     }
 }
@@ -361,6 +376,12 @@ impl PipelineMetrics {
             other.source_wait_ns.load(Ordering::Relaxed),
             Ordering::Relaxed,
         );
+        self.bytes_spilled
+            .fetch_add(other.bytes_spilled(), Ordering::Relaxed);
+        self.spill_partitions
+            .fetch_add(other.spill_partitions(), Ordering::Relaxed);
+        self.peak_tracked_bytes
+            .fetch_max(other.peak_tracked_bytes(), Ordering::Relaxed);
     }
 
     /// Rows buffered by pipeline breakers: the hash-join build side, the
@@ -428,11 +449,34 @@ impl PipelineMetrics {
         Duration::from_nanos(self.source_wait_ns.load(Ordering::Relaxed))
     }
 
+    /// Bytes written to disk spill runs by memory-budgeted pipeline
+    /// breakers.  Always zero under the default unbounded budget.
+    #[must_use]
+    pub fn bytes_spilled(&self) -> u64 {
+        self.bytes_spilled.load(Ordering::Relaxed)
+    }
+
+    /// Grace partitions created by spilling breakers (8 per initial spill
+    /// and 8 more per recursive re-split).
+    #[must_use]
+    pub fn spill_partitions(&self) -> usize {
+        self.spill_partitions.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of budget-tracked breaker bytes over the
+    /// execution.  Zero when the budget is unbounded (nothing is
+    /// tracked then).
+    #[must_use]
+    pub fn peak_tracked_bytes(&self) -> usize {
+        self.peak_tracked_bytes.load(Ordering::Relaxed)
+    }
+
     fn note_first_row(&self) {
-        if self.first_row_ns.load(Ordering::Relaxed) == u64::MAX {
-            self.first_row_ns
-                .fetch_min(since_epoch_ns(), Ordering::Relaxed);
-        }
+        // Unconditional `fetch_min`, like `merge`: a load-then-store pair
+        // here would let two racing workers both pass the `u64::MAX`
+        // check and the *later* timestamp overwrite the earlier one.
+        self.first_row_ns
+            .fetch_min(since_epoch_ns(), Ordering::Relaxed);
     }
 
     pub(crate) fn add_source_wait(&self, blocked: Duration) {
@@ -468,6 +512,22 @@ impl PipelineMetrics {
         if n != 0 {
             self.rows_fallback.fetch_add(n, Ordering::Relaxed);
         }
+    }
+
+    pub(crate) fn add_bytes_spilled(&self, n: u64) {
+        if n != 0 {
+            self.bytes_spilled.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn add_spill_partitions(&self, n: usize) {
+        if n != 0 {
+            self.spill_partitions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn note_peak_tracked(&self, bytes: usize) {
+        self.peak_tracked_bytes.fetch_max(bytes, Ordering::Relaxed);
     }
 }
 
@@ -517,6 +577,10 @@ pub struct PipelineOptions {
     pub batch_rows: usize,
     /// Columnar-engine switch; see [`ColumnarMode`].
     pub columnar: ColumnarMode,
+    /// Memory budget for pipeline breakers; see [`MemBudget`].  The
+    /// default (`Auto`) defers to `DISCO_MEM_BUDGET`, which itself
+    /// defaults to unbounded — the pre-spill behavior.
+    pub mem_budget: MemBudget,
 }
 
 impl PipelineOptions {
@@ -557,6 +621,14 @@ impl PipelineOptions {
             ColumnarMode::Off => false,
             ColumnarMode::Auto => env_columnar_default(),
         }
+    }
+
+    /// The breaker memory budget this execution actually uses, with the
+    /// `Auto → environment → unbounded` resolution applied.  `None` means
+    /// unbounded (never spill).
+    #[must_use]
+    pub fn effective_mem_budget(self) -> Option<usize> {
+        self.mem_budget.resolve()
     }
 }
 
@@ -612,6 +684,13 @@ pub(crate) struct PipelineCtx<'a> {
     pub outer: &'a Env<'a>,
     pub metrics: &'a PipelineMetrics,
     pub options: PipelineOptions,
+    /// The breaker memory budget of this evaluation, shared by every
+    /// cursor (serial) or worker (parallel).  The `evaluate_*` entry
+    /// points allocate one per evaluation from
+    /// [`PipelineOptions::effective_mem_budget`]; the raw
+    /// [`open`]/[`open_with`] cursor API always gets the static unbounded
+    /// instance (it cannot outlive a stack-local budget).
+    pub budget: &'a MemoryBudget,
 }
 
 /// Opens a physical plan into a cursor tree with default options.
@@ -649,6 +728,7 @@ pub fn open_with<'a>(
             outer,
             metrics,
             options,
+            budget: spill::unbounded_static(),
         },
     )
 }
@@ -907,16 +987,34 @@ pub(crate) fn evaluate_physical_streamed(
         }
         _ => {}
     }
-    if parallel::effective_threads(options) > 1 {
-        if let Some(result) = parallel::try_evaluate(plan, resolved, outer, metrics, options) {
-            return result;
+    // One breaker memory budget per evaluation (correlated sub-queries
+    // get their own — each nested evaluation is budgeted independently).
+    // The default resolves to unbounded, where `charge` is a no-op and
+    // nothing below ever spills.
+    let budget = spill::MemoryBudget::from_limit(options.effective_mem_budget());
+    let result = (|| {
+        if parallel::effective_threads(options) > 1 {
+            if let Some(result) =
+                parallel::try_evaluate(plan, resolved, outer, metrics, options, &budget)
+            {
+                return result;
+            }
         }
-    }
-    // Serial path.  Threads are pinned to 1 so correlated sub-queries
-    // evaluated per row never re-enter the parallel scheduler.
-    let options = options.serial();
-    let cursor = open_with(plan, resolved, outer, metrics, options)?;
-    collect_with(cursor, metrics, options.effective_batch_rows())
+        // Serial path.  Threads are pinned to 1 so correlated sub-queries
+        // evaluated per row never re-enter the parallel scheduler.
+        let options = options.serial();
+        let ctx = PipelineCtx {
+            resolved,
+            outer,
+            metrics,
+            options,
+            budget: &budget,
+        };
+        let cursor = build(plan, ctx)?;
+        collect_with(cursor, metrics, options.effective_batch_rows())
+    })();
+    metrics.note_peak_tracked(budget.peak());
+    result
 }
 
 /// Builds the layered environment of a row's frames on top of `outer` and
@@ -998,4 +1096,55 @@ pub(crate) fn eval_in_pair(
     with_row_env(left.frames(), ctx.outer, |lenv| {
         with_row_env(right.frames(), lenv, |env| eval_row_scalar(expr, env, ctx))
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression test: `note_first_row` used to be a load-then-store
+    /// pair (`if first_row_ns == MAX { store(now) }`), so two racing
+    /// workers could both pass the check and the *later* timestamp would
+    /// overwrite the earlier one.  The fix is an unconditional
+    /// `fetch_min`; pin that a second, later observation never moves the
+    /// timestamp.
+    #[test]
+    fn note_first_row_keeps_the_earliest_timestamp() {
+        let metrics = PipelineMetrics::new();
+        assert_eq!(metrics.first_row_ns.load(Ordering::Relaxed), u64::MAX);
+        metrics.note_first_row();
+        let first = metrics.first_row_ns.load(Ordering::Relaxed);
+        assert_ne!(first, u64::MAX);
+        std::thread::sleep(Duration::from_millis(2));
+        metrics.note_first_row();
+        assert_eq!(
+            metrics.first_row_ns.load(Ordering::Relaxed),
+            first,
+            "a later first-row observation must not overwrite the earlier one"
+        );
+    }
+
+    /// The same property through `merge`: folding in a worker whose
+    /// first row landed later must not move an earlier timestamp (and
+    /// folding in an earlier one must).
+    #[test]
+    fn merge_takes_the_minimum_first_row_timestamp() {
+        let early = PipelineMetrics::new();
+        early.note_first_row();
+        let early_ns = early.first_row_ns.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(2));
+        let late = PipelineMetrics::new();
+        late.note_first_row();
+
+        let merged = PipelineMetrics::new();
+        merged.merge(&late);
+        merged.merge(&early);
+        assert_eq!(merged.first_row_ns.load(Ordering::Relaxed), early_ns);
+
+        // A never-fired instance (`u64::MAX`) must not clobber anything
+        // either direction.
+        let idle = PipelineMetrics::new();
+        merged.merge(&idle);
+        assert_eq!(merged.first_row_ns.load(Ordering::Relaxed), early_ns);
+    }
 }

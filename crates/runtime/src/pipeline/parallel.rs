@@ -64,6 +64,7 @@ use super::exchange::{
 };
 use super::join::{check_struct_frames, BuildSide};
 use super::sink::{AggState, SeenSet};
+use super::spill::MemoryBudget;
 use super::{
     build, estimated_rows, BoxedRowStream, PipelineCtx, PipelineMetrics, PipelineOptions,
     BATCH_ROWS,
@@ -72,28 +73,54 @@ use super::{
 /// Hard ceiling on the worker pool size.
 pub const MAX_THREADS: usize = 64;
 
-/// The `DISCO_THREADS` default, parsed once per process: unset, empty or
-/// unparsable means `1` (the serial path).
+/// The `DISCO_THREADS` default, validated at parse time (cached at first
+/// use).  Unset or empty means `1` (the serial path); unparsable or zero
+/// values are rejected with a warning and fall back to `1`; values above
+/// [`MAX_THREADS`] are clamped with a warning — the same validation the
+/// `DISCO_BATCH_ROWS` path applies.
 fn env_threads() -> usize {
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
-        std::env::var("DISCO_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(1)
-            .min(MAX_THREADS)
+        let Ok(raw) = std::env::var("DISCO_THREADS") else {
+            return 1;
+        };
+        if raw.trim().is_empty() {
+            return 1;
+        }
+        match raw.trim().parse::<usize>() {
+            Ok(0) | Err(_) => {
+                eprintln!(
+                    "disco: invalid DISCO_THREADS {raw:?} (want an integer in 1..={MAX_THREADS}); using 1"
+                );
+                1
+            }
+            Ok(n) if n > MAX_THREADS => {
+                eprintln!("disco: DISCO_THREADS {n} exceeds the maximum; clamping to {MAX_THREADS}");
+                MAX_THREADS
+            }
+            Ok(n) => n,
+        }
     })
 }
 
 /// The worker count an execution with `options` will actually use:
 /// `options.threads` when set, otherwise the `DISCO_THREADS` environment
-/// variable, otherwise `1`.
+/// variable, otherwise `1`.  Explicit values above [`MAX_THREADS`] are
+/// clamped (warning once per process).
 #[must_use]
 pub fn effective_threads(options: PipelineOptions) -> usize {
     match options.threads {
         0 => env_threads(),
-        n => n.min(MAX_THREADS),
+        n if n > MAX_THREADS => {
+            static WARNED: OnceLock<()> = OnceLock::new();
+            WARNED.get_or_init(|| {
+                eprintln!(
+                    "disco: PipelineOptions::threads {n} exceeds the maximum; clamping to {MAX_THREADS}"
+                );
+            });
+            MAX_THREADS
+        }
+        n => n,
     }
 }
 
@@ -296,6 +323,7 @@ impl<'q> TaskQueue<'q> {
                     )),
                     Progress::Failed(err) => Err(RuntimeError::Wrapper(err)),
                     Progress::Panicked(msg) => Err(RuntimeError::WorkerPanic(msg)),
+                    Progress::SpillError(msg) => Err(RuntimeError::Spill(msg)),
                 }
             }
         }
@@ -310,10 +338,23 @@ pub(crate) fn try_evaluate(
     outer: &Env<'_>,
     metrics: &PipelineMetrics,
     options: PipelineOptions,
+    budget: &MemoryBudget,
 ) -> Option<Result<Bag>> {
     let threads = effective_threads(options);
     let par = compile(plan, resolved, options)?;
-    Some(run(&par, resolved, outer, metrics, options, threads))
+    // Under a bounded memory budget, plans with buffering breakers run on
+    // the serial engine: its Grace cursors spill, while the staged shared
+    // tables and sharded seen-sets here do not — and routing both thread
+    // counts through the same spill path keeps answers, errors and
+    // `rows_materialized` identical at 1 and N threads.  Breaker-free
+    // pipelines (scans, unions, aggregate folds) still parallelize.
+    if budget.is_bounded() && (!par.stages.is_empty() || matches!(par.terminal, Terminal::Distinct))
+    {
+        return None;
+    }
+    Some(run(
+        &par, resolved, outer, metrics, options, threads, budget,
+    ))
 }
 
 /// Decomposes a plan for parallel execution; `None` when no decomposition
@@ -451,6 +492,7 @@ fn descend<'a>(
 
 /// Executes a compiled plan, merging the per-worker metrics into the
 /// caller's exactly once at the end.
+#[allow(clippy::too_many_arguments)]
 fn run(
     par: &ParPlan<'_>,
     resolved: &ResolvedExecs,
@@ -458,6 +500,7 @@ fn run(
     metrics: &PipelineMetrics,
     options: PipelineOptions,
     threads: usize,
+    budget: &MemoryBudget,
 ) -> Result<Bag> {
     let worker_metrics: Vec<PipelineMetrics> =
         (0..threads).map(|_| PipelineMetrics::new()).collect();
@@ -471,6 +514,7 @@ fn run(
         &worker_metrics,
         options.serial(),
         threads,
+        budget,
     );
     for m in &worker_metrics {
         metrics.merge(m);
@@ -480,6 +524,7 @@ fn run(
 
 /// The phase driver: build every join-stage table, then run the terminal
 /// phase over the partitioned pipeline.
+#[allow(clippy::too_many_arguments)]
 fn run_phases<'a>(
     par: &ParPlan<'a>,
     resolved: &'a ResolvedExecs,
@@ -487,6 +532,7 @@ fn run_phases<'a>(
     worker_metrics: &'a [PipelineMetrics],
     options: PipelineOptions,
     threads: usize,
+    budget: &'a MemoryBudget,
 ) -> Result<Bag> {
     let shards = shard_count(threads);
     let ctxs: Vec<PipelineCtx<'a>> = worker_metrics
@@ -496,6 +542,7 @@ fn run_phases<'a>(
             outer,
             metrics: m,
             options,
+            budget,
         })
         .collect();
 

@@ -107,6 +107,7 @@ impl<'a> PendingScanCursor<'a> {
             )),
             Progress::Failed(err) => Err(RuntimeError::Wrapper(err)),
             Progress::Panicked(msg) => Err(RuntimeError::WorkerPanic(msg)),
+            Progress::SpillError(msg) => Err(RuntimeError::Spill(msg)),
         }
     }
 }

@@ -7,13 +7,33 @@
 //! Aggregates fold their whole input into one value with O(1) state; no
 //! input bag is ever collected, so the only "materialized" row is the
 //! single result.
+//!
+//! # Spilling (bounded memory budgets)
+//!
+//! Under a bounded [`MemoryBudget`](super::spill::MemoryBudget) the
+//! distinct seen-set charges every value it retains.  When the budget
+//! trips, the operator goes Grace: the resident seen-set is dumped to 8
+//! hash-routed disk runs (these values were already emitted — on disk
+//! they only serve to suppress later duplicates), the rest of the input
+//! is routed to 8 matching candidate runs without any emission, and each
+//! partition is then drained independently — reload its seen run, stream
+//! its candidate run, emit values that are new.  A partition whose
+//! reloaded (or growing) seen-set trips the budget again is re-split
+//! with 3 fresh hash bits per level, so repeated duplicates of a heavy
+//! value never force the whole set resident.  The emitted multiset, the
+//! input error positions, and `rows_materialized` (one bump per distinct
+//! value) are identical to the in-memory path; only the emission *order*
+//! after the trip differs, which `distinct` — a bag operator — does not
+//! promise.  Aggregates never spill: their state is O(1) regardless of
+//! budget.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasher, BuildHasherDefault, Hasher, RandomState};
 
 use disco_algebra::{AggKind, AlgebraError};
-use disco_value::Value;
+use disco_value::{approx_value_bytes, Value};
 
+use super::spill::{spill_partition, RunFile, RunFileReader, MAX_SPILL_LEVEL, SPILL_FANOUT};
 use super::{BoxedRowStream, PipelineCtx, Result, Row, RowStream};
 
 /// Pass-through hasher for keys that already *are* hashes.
@@ -117,14 +137,77 @@ impl SeenSet {
             }
         }
     }
+
+    /// Moves every stored value out of the set, leaving it empty.  The
+    /// spill path uses this to dump the resident set into hash-routed
+    /// disk runs when the memory budget trips.
+    fn drain_values(&mut self) -> Vec<Value> {
+        let mut out = Vec::new();
+        for (_, bucket) in self.buckets.drain() {
+            match bucket {
+                Bucket::One(v) => out.push(v),
+                Bucket::Many(vs) => out.extend(vs),
+            }
+        }
+        out
+    }
 }
 
-/// Emits each distinct value once, preserving first-occurrence order.
+/// Approximate resident bytes of one seen-set entry: the stored value's
+/// payload plus the bucket-map slot holding it.
+fn entry_cost(value: &Value) -> usize {
+    std::mem::size_of::<(u64, Bucket)>() + approx_value_bytes(value)
+}
+
+/// Emits each distinct value once, preserving first-occurrence order
+/// while in memory; after a budget trip, partition-major order.
 pub(crate) struct DistinctCursor<'a> {
     input: BoxedRowStream<'a>,
     seen: SeenSet,
     ctx: PipelineCtx<'a>,
     scratch: Vec<Row<'a>>,
+    /// Bytes charged against the budget for the resident seen-set.
+    charged: usize,
+    /// Set when a charge fails; the next pull enters the spill path.
+    /// Trips are detected per admitted value but acted on at batch
+    /// boundaries, so the resident overshoot is at most one batch.
+    tripped: bool,
+    spill: Option<DistinctSpill>,
+}
+
+/// Grace state of a spilled distinct: hash-partitioned seen/candidate
+/// run pairs plus the partition currently being drained.
+struct DistinctSpill {
+    /// Partition router, independent of every seen-set's bucket hasher.
+    route: RandomState,
+    queue: VecDeque<DistinctPartition>,
+    current: Option<PartitionDrain>,
+}
+
+/// One on-disk partition: the values already emitted for it (if any) and
+/// the candidate values still to be deduplicated.
+struct DistinctPartition {
+    seen: Option<RunFileReader>,
+    input: RunFileReader,
+    level: u32,
+}
+
+/// A partition being drained: its reloaded (and growing) seen-set and
+/// the candidate run it is streaming.
+struct PartitionDrain {
+    seen: SeenSet,
+    input: RunFileReader,
+    charged: usize,
+    level: u32,
+    /// Set when the growing seen-set trips the budget mid-stream; the
+    /// next pull re-splits this partition instead of continuing.
+    resplit: bool,
+}
+
+/// Either a partition small enough to drain, or its re-split children.
+enum LoadedDistinct {
+    Drain(PartitionDrain),
+    Split(Vec<DistinctPartition>),
 }
 
 impl<'a> DistinctCursor<'a> {
@@ -134,6 +217,9 @@ impl<'a> DistinctCursor<'a> {
             seen: SeenSet::default(),
             ctx,
             scratch: Vec::new(),
+            charged: 0,
+            tripped: false,
+            spill: None,
         }
     }
 
@@ -158,14 +244,142 @@ impl<'a> DistinctCursor<'a> {
         // The seen-set keeps one copy per distinct value — the operator's
         // entire buffered state.
         self.seen.insert_hashed(hash, value.clone());
+        if self.ctx.budget.is_bounded() {
+            let cost = entry_cost(&value);
+            self.charged += cost;
+            if !self.ctx.budget.charge(cost) {
+                self.tripped = true;
+            }
+        }
         self.ctx.metrics.bump_materialized();
         Ok(Some(Row::owned(value)))
+    }
+
+    /// Transitions to the Grace path: dumps the resident seen-set into 8
+    /// hash-routed runs (no re-emission — these values already went
+    /// downstream), then routes the *entire* rest of the input into 8
+    /// matching candidate runs.  Join rows are merged here exactly where
+    /// the in-memory loop would merge them, so `rows_merged` and the
+    /// positions of input errors are unchanged.
+    fn enter_spill(&mut self) -> Result<()> {
+        let route = RandomState::new();
+        let mut seen_runs = new_runs()?;
+        for value in self.seen.drain_values() {
+            let p = spill_partition(route.hash_one(&value), 0);
+            seen_runs[p].push(std::slice::from_ref(&value))?;
+        }
+        self.ctx.budget.uncharge(self.charged);
+        self.charged = 0;
+        let mut input_runs = new_runs()?;
+        let mut buf = std::mem::take(&mut self.scratch);
+        loop {
+            buf.clear();
+            let more = self.input.next_batch(&mut buf, super::BATCH_ROWS)?;
+            for row in buf.drain(..) {
+                let value = row.materialize(self.ctx.metrics)?;
+                let p = spill_partition(route.hash_one(&value), 0);
+                input_runs[p].push(std::slice::from_ref(&value))?;
+            }
+            if !more {
+                break;
+            }
+        }
+        self.scratch = buf;
+        let bytes: u64 = seen_runs.iter().map(RunFile::bytes).sum::<u64>()
+            + input_runs.iter().map(RunFile::bytes).sum::<u64>();
+        self.ctx.metrics.add_bytes_spilled(bytes);
+        self.ctx.metrics.add_spill_partitions(SPILL_FANOUT);
+        let mut queue = VecDeque::new();
+        for (seen, input) in seen_runs.into_iter().zip(input_runs) {
+            // A partition with no candidates has nothing left to emit —
+            // its seen values already went downstream.
+            if input.rows() == 0 {
+                continue;
+            }
+            queue.push_back(DistinctPartition {
+                seen: (seen.rows() > 0).then(|| seen.into_reader()).transpose()?,
+                input: input.into_reader()?,
+                level: 0,
+            });
+        }
+        self.spill = Some(DistinctSpill {
+            route,
+            queue,
+            current: None,
+        });
+        Ok(())
+    }
+
+    /// Produces the next new value from the spilled partitions,
+    /// re-splitting any partition whose seen-set cannot fit the budget.
+    fn next_spilled(&mut self) -> Result<Option<Row<'a>>> {
+        if self.spill.is_none() {
+            self.enter_spill()?;
+        }
+        let ctx = self.ctx;
+        let spill = self.spill.as_mut().expect("entered above");
+        loop {
+            if let Some(part) = spill.current.as_mut() {
+                if part.resplit {
+                    let part = spill.current.take().expect("checked above");
+                    let children = split_distinct(
+                        ctx,
+                        &spill.route,
+                        part.seen,
+                        part.charged,
+                        None,
+                        part.input,
+                        part.level,
+                    )?;
+                    // Depth-first: finish this partition's children before
+                    // the siblings, keeping few run files live at once.
+                    for child in children.into_iter().rev() {
+                        spill.queue.push_front(child);
+                    }
+                    continue;
+                }
+                let Some(mut rec) = part.input.next_record()? else {
+                    let part = spill.current.take().expect("checked above");
+                    ctx.budget.uncharge(part.charged);
+                    continue;
+                };
+                let value = rec.pop().unwrap_or(Value::Null);
+                let Some(hash) = part.seen.check(&value) else {
+                    continue;
+                };
+                let cost = entry_cost(&value);
+                let within = ctx.budget.charge(cost);
+                part.charged += cost;
+                part.seen.insert_hashed(hash, value.clone());
+                // A candidate surviving the seen run is a value the
+                // in-memory path would have admitted: bump exactly once.
+                ctx.metrics.bump_materialized();
+                if !within && part.level < MAX_SPILL_LEVEL {
+                    part.resplit = true;
+                }
+                return Ok(Some(Row::owned(value)));
+            }
+            let Some(part) = spill.queue.pop_front() else {
+                return Ok(None);
+            };
+            match load_distinct(ctx, &spill.route, part)? {
+                LoadedDistinct::Drain(drain) => spill.current = Some(drain),
+                LoadedDistinct::Split(children) => {
+                    for child in children.into_iter().rev() {
+                        spill.queue.push_front(child);
+                    }
+                }
+            }
+        }
     }
 }
 
 impl<'a> RowStream<'a> for DistinctCursor<'a> {
     fn next_row(&mut self) -> Option<Result<Row<'a>>> {
         loop {
+            if self.spill.is_some() || self.tripped {
+                return self.next_spilled().transpose();
+            }
             let row = match self.input.next_row()? {
                 Ok(row) => row,
                 Err(err) => return Some(Err(err)),
@@ -179,6 +393,15 @@ impl<'a> RowStream<'a> for DistinctCursor<'a> {
     }
 
     fn next_batch(&mut self, out: &mut Vec<Row<'a>>, max: usize) -> Result<bool> {
+        if self.spill.is_some() || self.tripped {
+            while out.len() < max {
+                match self.next_spilled()? {
+                    Some(row) => out.push(row),
+                    None => return Ok(false),
+                }
+            }
+            return Ok(true);
+        }
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
         let more = self.input.next_batch(&mut scratch, max)?;
@@ -188,8 +411,108 @@ impl<'a> RowStream<'a> for DistinctCursor<'a> {
             }
         }
         self.scratch = scratch;
+        // A trip with the input exhausted needs no spill: every distinct
+        // value is already out the door.
+        if !more {
+            self.tripped = false;
+        }
         Ok(more)
     }
+}
+
+/// Eight fresh spill runs, one per fan-out slot.
+fn new_runs() -> Result<Vec<RunFile>> {
+    (0..SPILL_FANOUT).map(|_| RunFile::create()).collect()
+}
+
+/// Reloads a partition's seen run into a fresh in-memory set, charging
+/// per value (no `rows_materialized` bumps — these were counted when
+/// first admitted).  If the reload itself trips the budget the partition
+/// is re-split with fresh hash bits instead; past the deepest level it
+/// loads whole, overcommitting the budget rather than looping.
+fn load_distinct(
+    ctx: PipelineCtx<'_>,
+    route: &RandomState,
+    part: DistinctPartition,
+) -> Result<LoadedDistinct> {
+    let DistinctPartition {
+        seen: seen_run,
+        input,
+        level,
+    } = part;
+    let mut seen = SeenSet::default();
+    let mut charged = 0usize;
+    if let Some(mut run) = seen_run {
+        while let Some(mut rec) = run.next_record()? {
+            let value = rec.pop().unwrap_or(Value::Null);
+            let cost = entry_cost(&value);
+            let within = ctx.budget.charge(cost);
+            charged += cost;
+            // Seen runs hold values dumped from a set, so they are
+            // already unique: insert without probing.
+            let hash = seen.hash_of(&value);
+            seen.insert_hashed(hash, value);
+            if !within && level < MAX_SPILL_LEVEL {
+                return split_distinct(ctx, route, seen, charged, Some(run), input, level)
+                    .map(LoadedDistinct::Split);
+            }
+        }
+    }
+    Ok(LoadedDistinct::Drain(PartitionDrain {
+        seen,
+        input,
+        charged,
+        level,
+        resplit: false,
+    }))
+}
+
+/// Re-splits one partition a level deeper: the in-memory seen values,
+/// the unread rest of the seen run (when the trip hit during reload),
+/// and the candidate run are all re-routed on 3 fresh hash bits.
+fn split_distinct(
+    ctx: PipelineCtx<'_>,
+    route: &RandomState,
+    mut seen: SeenSet,
+    charged: usize,
+    seen_rest: Option<RunFileReader>,
+    mut input: RunFileReader,
+    level: u32,
+) -> Result<Vec<DistinctPartition>> {
+    let next = level + 1;
+    let mut seen_runs = new_runs()?;
+    for value in seen.drain_values() {
+        let p = spill_partition(route.hash_one(&value), next);
+        seen_runs[p].push(std::slice::from_ref(&value))?;
+    }
+    if let Some(mut rest) = seen_rest {
+        while let Some(rec) = rest.next_record()? {
+            let p = spill_partition(route.hash_one(&rec[0]), next);
+            seen_runs[p].push(&rec)?;
+        }
+    }
+    ctx.budget.uncharge(charged);
+    let mut input_runs = new_runs()?;
+    while let Some(rec) = input.next_record()? {
+        let p = spill_partition(route.hash_one(&rec[0]), next);
+        input_runs[p].push(&rec)?;
+    }
+    let bytes: u64 = seen_runs.iter().map(RunFile::bytes).sum::<u64>()
+        + input_runs.iter().map(RunFile::bytes).sum::<u64>();
+    ctx.metrics.add_bytes_spilled(bytes);
+    ctx.metrics.add_spill_partitions(SPILL_FANOUT);
+    let mut children = Vec::new();
+    for (seen, input) in seen_runs.into_iter().zip(input_runs) {
+        if input.rows() == 0 {
+            continue;
+        }
+        children.push(DistinctPartition {
+            seen: (seen.rows() > 0).then(|| seen.into_reader()).transpose()?,
+            input: input.into_reader()?,
+            level: next,
+        });
+    }
+    Ok(children)
 }
 
 /// Folds the whole input into one aggregate value (`mkagg`).

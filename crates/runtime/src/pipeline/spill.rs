@@ -1,0 +1,490 @@
+//! Memory-budgeted spilling for pipeline breakers.
+//!
+//! The streaming engine has exactly three places that buffer an unbounded
+//! number of rows: the hash-join *build* table, the `distinct` seen-set,
+//! and the pending-source spools of streamed resolution (aggregates fold
+//! with O(1) state and never buffer).  This module gives those breakers a
+//! shared, byte-accounting [`MemoryBudget`] plus the disk-run plumbing
+//! they partition their state into when the budget trips:
+//!
+//! * [`MemoryBudget`] — a racy-but-monotone byte counter shared by every
+//!   cursor of one pipeline evaluation (serial or all parallel workers).
+//!   `charge` adds bytes and reports whether the total is still inside
+//!   the limit; the *caller* reacts to an overrun by spilling and
+//!   uncharging.  The default is unbounded, in which case `charge` is a
+//!   no-op returning `true` and nothing in this module ever runs.
+//! * [`RunFile`] / [`RunFileReader`] — a delete-on-drop temp file holding
+//!   one *run* of length-prefixed [`Value`] records in the `disco-value`
+//!   spill format ([`disco_value::spill`]).  Runs are written once,
+//!   sequentially, then rewound and read back once.
+//! * [`spill_partition`] — the Grace-style hash router: 8 partitions per
+//!   level, consuming 3 fresh bits of the key hash per recursion level,
+//!   so a partition that still overflows the budget on read-back is
+//!   re-split into 8 children rather than loaded whole.
+//!
+//! Spill files live in `DISCO_SPILL_DIR` (read per file creation so tests
+//! can redirect it) or `std::env::temp_dir()`, are named
+//! `disco-spill-<pid>-<seq>.run`, and are removed on drop — on success
+//! *and* on error/unwind paths, since cleanup rides on `Drop`.
+//!
+//! The budget itself comes from
+//! [`PipelineOptions::mem_budget`](super::PipelineOptions::mem_budget)
+//! ([`MemBudget`]) or, when that is `Auto`, the `DISCO_MEM_BUDGET`
+//! environment variable (a byte count; unset means unbounded).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use disco_value::{RunReader, RunWriter, Value};
+
+use crate::{Result, RuntimeError};
+
+/// How much memory the pipeline breakers of one evaluation may hold
+/// before spilling to disk.
+///
+/// This is the type of the `mem_budget` field of
+/// [`PipelineOptions`](super::PipelineOptions); the default `Auto` defers
+/// to the `DISCO_MEM_BUDGET` environment variable so existing callers and
+/// deployments are unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MemBudget {
+    /// Use `DISCO_MEM_BUDGET` if set (a positive byte count), otherwise
+    /// run unbounded.  This is the default.
+    #[default]
+    Auto,
+    /// Never spill, regardless of the environment.  Used by differential
+    /// tests to pin the in-memory baseline while `DISCO_MEM_BUDGET` is
+    /// exported process-wide.
+    Unbounded,
+    /// Spill once the breakers of one evaluation track more than this
+    /// many bytes.
+    Bytes(usize),
+}
+
+impl MemBudget {
+    /// Resolve to a concrete byte limit (`None` = unbounded).
+    pub fn resolve(self) -> Option<usize> {
+        match self {
+            MemBudget::Auto => env_mem_budget(),
+            MemBudget::Unbounded => None,
+            MemBudget::Bytes(n) => Some(n.max(1)),
+        }
+    }
+}
+
+/// Parse `DISCO_MEM_BUDGET` once.  Unset (or empty) means unbounded;
+/// `0` or garbage is rejected with a warning, mirroring the
+/// `DISCO_BATCH_ROWS` validation.
+pub(crate) fn env_mem_budget() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let raw = std::env::var("DISCO_MEM_BUDGET").ok()?;
+        if raw.trim().is_empty() {
+            return None;
+        }
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                eprintln!(
+                    "disco: invalid DISCO_MEM_BUDGET {raw:?} (want a positive byte count); \
+                     running unbounded"
+                );
+                None
+            }
+        }
+    })
+}
+
+/// Shared byte accounting for the pipeline breakers of one evaluation.
+///
+/// Counters are relaxed atomics: the budget is a *trigger*, not a hard
+/// allocator, and a few racy bytes of overshoot around the trip point are
+/// acceptable (each breaker spills as soon as it observes a failed
+/// charge, so the peak stays within one row of the limit per breaker).
+#[derive(Debug)]
+pub struct MemoryBudget {
+    limit: Option<usize>,
+    used: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl MemoryBudget {
+    /// A budget that never trips and never counts (the default path).
+    pub const fn unbounded() -> Self {
+        MemoryBudget {
+            limit: None,
+            used: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// A budget tripping above `limit` bytes.
+    pub fn bounded(limit: usize) -> Self {
+        MemoryBudget {
+            limit: Some(limit.max(1)),
+            used: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Build from resolved pipeline options.
+    pub fn from_limit(limit: Option<usize>) -> Self {
+        match limit {
+            Some(n) => MemoryBudget::bounded(n),
+            None => MemoryBudget::unbounded(),
+        }
+    }
+
+    /// Whether a limit is configured at all.  When `false`, `charge` is a
+    /// no-op and no breaker ever spills.
+    pub fn is_bounded(&self) -> bool {
+        self.limit.is_some()
+    }
+
+    /// The configured limit, if any.
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
+    }
+
+    /// Account `bytes` of newly buffered breaker state.  Returns `true`
+    /// while the total stays within the limit; a `false` return means the
+    /// caller should spill (and [`uncharge`](Self::uncharge) what it
+    /// releases).  The bytes are counted even on a `false` return — the
+    /// caller keeps them resident until it actually spills.
+    pub fn charge(&self, bytes: usize) -> bool {
+        let Some(limit) = self.limit else { return true };
+        let now = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        now <= limit
+    }
+
+    /// Release bytes previously [`charge`](Self::charge)d.
+    pub fn uncharge(&self, bytes: usize) {
+        if self.limit.is_some() {
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Currently tracked bytes.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of tracked bytes over the evaluation.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// The process-wide unbounded budget handed to pipelines opened through
+/// the public [`super::open`]/[`super::open_with`] entry points (which
+/// predate budgets and cannot thread a stack-local one).
+pub(crate) fn unbounded_static() -> &'static MemoryBudget {
+    static UNBOUNDED: MemoryBudget = MemoryBudget::unbounded();
+    &UNBOUNDED
+}
+
+/// Grace-style partition fan-out: every spill splits state 8 ways.
+pub(crate) const SPILL_FANOUT: usize = 8;
+
+/// Bits of the key hash consumed per recursion level.
+const SPILL_LEVEL_BITS: u32 = 3;
+
+/// Deepest re-split level.  `64 / 3` levels exhaust the hash; past this a
+/// partition (necessarily dominated by duplicate keys) is loaded whole,
+/// overcommitting the budget rather than looping forever.
+pub(crate) const MAX_SPILL_LEVEL: u32 = 20;
+
+/// Which of the 8 partitions a key hash routes to at `level`.
+pub(crate) fn spill_partition(hash: u64, level: u32) -> usize {
+    let shift = SPILL_LEVEL_BITS * level.min(MAX_SPILL_LEVEL);
+    ((hash >> shift) & (SPILL_FANOUT as u64 - 1)) as usize
+}
+
+/// The directory spill files are created in: `DISCO_SPILL_DIR` when set
+/// and non-empty (read per call, *not* cached, so tests can redirect per
+/// test case), otherwise the system temp directory.
+pub(crate) fn spill_dir() -> PathBuf {
+    match std::env::var_os("DISCO_SPILL_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => std::env::temp_dir(),
+    }
+}
+
+/// Map a spill I/O failure onto the runtime error space.
+pub(crate) fn spill_err(context: &str, err: std::io::Error) -> RuntimeError {
+    RuntimeError::Spill(format!("{context}: {err}"))
+}
+
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A delete-on-drop temporary file.  Dropping the handle removes the
+/// file, which is what guarantees cleanup on error and panic paths.
+#[derive(Debug)]
+pub(crate) struct SpillFile {
+    path: PathBuf,
+}
+
+impl SpillFile {
+    /// Create a fresh, empty spill file and return its handle plus the
+    /// open [`File`].
+    pub(crate) fn create() -> Result<(SpillFile, File)> {
+        let dir = spill_dir();
+        std::fs::create_dir_all(&dir).map_err(|e| spill_err("creating spill directory", e))?;
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("disco-spill-{}-{}.run", std::process::id(), seq));
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| spill_err("creating spill file", e))?;
+        Ok((SpillFile { path }, file))
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// One spill *run* being written: records of `Value`s appended
+/// sequentially through a buffered writer.  Finish with
+/// [`into_reader`](Self::into_reader) (rewinds the same file — no
+/// reopen) or just drop it to discard the run.
+pub(crate) struct RunFile {
+    file: SpillFile,
+    writer: RunWriter<BufWriter<File>>,
+}
+
+impl RunFile {
+    /// Create an empty run in the spill directory.
+    pub(crate) fn create() -> Result<RunFile> {
+        let (file, handle) = SpillFile::create()?;
+        Ok(RunFile {
+            file,
+            writer: RunWriter::new(BufWriter::new(handle)),
+        })
+    }
+
+    /// Append one record (a row: key + frames, or a single value).
+    pub(crate) fn push(&mut self, record: &[Value]) -> Result<()> {
+        self.writer
+            .push(record)
+            .map_err(|e| spill_err("writing spill run", e))
+    }
+
+    /// Records written so far.
+    pub(crate) fn rows(&self) -> u64 {
+        self.writer.rows()
+    }
+
+    /// Serialized bytes written so far.
+    pub(crate) fn bytes(&self) -> u64 {
+        self.writer.bytes()
+    }
+
+    /// Flush, rewind and turn the run into a reader over the same file.
+    pub(crate) fn into_reader(self) -> Result<RunFileReader> {
+        let buf = self
+            .writer
+            .finish()
+            .map_err(|e| spill_err("flushing spill run", e))?;
+        let mut handle = buf
+            .into_inner()
+            .map_err(|e| spill_err("flushing spill run", e.into_error()))?;
+        handle
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| spill_err("rewinding spill run", e))?;
+        Ok(RunFileReader {
+            _file: self.file,
+            reader: RunReader::new(BufReader::new(handle)),
+        })
+    }
+}
+
+/// A finished spill run being read back.  Holds the delete-on-drop file
+/// handle, so the run disappears from disk as soon as the reader does.
+pub(crate) struct RunFileReader {
+    _file: SpillFile,
+    reader: RunReader<BufReader<File>>,
+}
+
+impl RunFileReader {
+    /// Next record, or `None` at the end of the run.
+    pub(crate) fn next_record(&mut self) -> Result<Option<Vec<Value>>> {
+        self.reader
+            .next_record()
+            .map_err(|e| spill_err("reading spill run", e))
+    }
+}
+
+/// Rough resident size of a pipeline row buffered by a breaker: the row
+/// header plus the deep (heap) size of each frame value.  Borrowed frames
+/// are costed like owned ones — a spilled-and-reloaded row comes back
+/// owned, so the conservative (over)estimate keeps the peak honest.
+pub(crate) fn approx_row_bytes(row: &super::Row<'_>) -> usize {
+    std::mem::size_of::<super::Row<'static>>()
+        + row
+            .frames()
+            .iter()
+            .map(|f| disco_value::approx_value_bytes(f.value()))
+            .sum::<usize>()
+}
+
+/// Serialize a build/probe row as a spill record: the join key first,
+/// then the row's frame values in order (the frame count is implicit in
+/// the record length).
+pub(crate) fn row_record(key: &Value, row: super::Row<'_>) -> Vec<Value> {
+    let mut rec = Vec::with_capacity(1 + row.frames().len());
+    rec.push(key.clone());
+    rec.extend(
+        row.into_frame_vec()
+            .into_iter()
+            .map(super::Frame::into_value),
+    );
+    rec
+}
+
+/// Rebuild a row from the frame values of a spill record (minus the key).
+/// Everything read back from disk is owned.
+pub(crate) fn record_row<'a>(mut values: Vec<Value>) -> super::Row<'a> {
+    use super::{Frame, Row};
+    match values.len() {
+        0 | 1 => Row::One(Frame::Owned(values.pop().unwrap_or(Value::Null))),
+        2 => {
+            let b = values.pop().expect("len 2");
+            let a = values.pop().expect("len 2");
+            Row::Two([Frame::Owned(a), Frame::Owned(b)])
+        }
+        _ => Row::Many(values.into_iter().map(Frame::Owned).collect()),
+    }
+}
+
+/// Serialize values into an in-memory byte buffer (one chunk of a
+/// pending-source spool's disk tier).
+pub(crate) fn encode_rows(rows: &[Value]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for row in rows {
+        // Writing to a Vec cannot fail.
+        disco_value::write_value(&mut buf, row).expect("vec write");
+    }
+    buf
+}
+
+/// Decode `count` values from a byte buffer produced by [`encode_rows`].
+pub(crate) fn decode_rows(mut buf: &[u8], count: usize) -> std::io::Result<Vec<Value>> {
+    let mut rows = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        rows.push(disco_value::read_value(&mut buf)?);
+    }
+    Ok(rows)
+}
+
+/// Append a pre-encoded chunk to a spool's disk tier, returning the file
+/// offset it starts at.
+pub(crate) fn append_chunk<W: Write + Seek>(file: &mut W, bytes: &[u8]) -> std::io::Result<u64> {
+    let offset = file.seek(SeekFrom::End(0))?;
+    file.write_all(bytes)?;
+    Ok(offset)
+}
+
+/// Read back `len` bytes at `offset` from a spool's disk tier.
+pub(crate) fn read_chunk<R: Read + Seek>(
+    file: &mut R,
+    offset: u64,
+    len: usize,
+) -> std::io::Result<Vec<u8>> {
+    file.seek(SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; len];
+    file.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_budget_is_a_no_op() {
+        let b = MemoryBudget::unbounded();
+        assert!(!b.is_bounded());
+        assert!(b.charge(usize::MAX / 2));
+        assert!(b.charge(usize::MAX / 2));
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.peak(), 0);
+    }
+
+    #[test]
+    fn bounded_budget_trips_and_tracks_peak() {
+        let b = MemoryBudget::bounded(100);
+        assert!(b.charge(60));
+        assert!(!b.charge(60));
+        assert_eq!(b.used(), 120);
+        assert_eq!(b.peak(), 120);
+        b.uncharge(120);
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.peak(), 120);
+        assert!(b.charge(40));
+    }
+
+    #[test]
+    fn mem_budget_resolution() {
+        assert_eq!(MemBudget::Unbounded.resolve(), None);
+        assert_eq!(MemBudget::Bytes(0).resolve(), Some(1));
+        assert_eq!(MemBudget::Bytes(4096).resolve(), Some(4096));
+    }
+
+    #[test]
+    fn partition_router_uses_fresh_bits_per_level() {
+        let h = 0b101_110_011u64;
+        assert_eq!(spill_partition(h, 0), 0b011);
+        assert_eq!(spill_partition(h, 1), 0b110);
+        assert_eq!(spill_partition(h, 2), 0b101);
+        // Past the deepest level the router stops shifting (stable).
+        assert_eq!(
+            spill_partition(u64::MAX, MAX_SPILL_LEVEL + 5),
+            spill_partition(u64::MAX, MAX_SPILL_LEVEL)
+        );
+    }
+
+    #[test]
+    fn run_round_trip_and_cleanup() {
+        let mut run = RunFile::create().expect("create run");
+        let path = run.file.path.clone();
+        run.push(&[Value::from(1i64), Value::from("a")]).unwrap();
+        run.push(&[Value::Null]).unwrap();
+        assert_eq!(run.rows(), 2);
+        assert!(run.bytes() > 0);
+        let mut reader = run.into_reader().expect("reader");
+        assert!(path.exists());
+        let rec = reader.next_record().unwrap().unwrap();
+        assert_eq!(rec, vec![Value::from(1i64), Value::from("a")]);
+        let rec = reader.next_record().unwrap().unwrap();
+        assert_eq!(rec, vec![Value::Null]);
+        assert!(reader.next_record().unwrap().is_none());
+        drop(reader);
+        assert!(!path.exists(), "spill file must be removed on drop");
+    }
+
+    #[test]
+    fn discarded_run_is_cleaned_up() {
+        let mut run = RunFile::create().expect("create run");
+        run.push(&[Value::from(7i64)]).unwrap();
+        let path = run.file.path.clone();
+        drop(run);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn chunk_encode_decode_round_trip() {
+        let rows = vec![Value::from(1i64), Value::from("xyz"), Value::Null];
+        let bytes = encode_rows(&rows);
+        let back = decode_rows(&bytes, rows.len()).unwrap();
+        assert_eq!(back, rows);
+    }
+}

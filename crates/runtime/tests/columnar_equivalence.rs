@@ -20,7 +20,8 @@ mod common;
 use common::random_plan;
 use disco_algebra::{lower, LogicalExpr, ScalarExpr, ScalarOp};
 use disco_runtime::{
-    evaluate_physical_with, ColumnarMode, PipelineMetrics, PipelineOptions, ResolvedExecs,
+    evaluate_physical_with, ColumnarMode, MemBudget, PipelineMetrics, PipelineOptions,
+    ResolvedExecs,
 };
 use disco_value::{Bag, StructValue, Value};
 use rand::rngs::StdRng;
@@ -36,19 +37,35 @@ fn options(mode: ColumnarMode) -> PipelineOptions {
     }
 }
 
-fn run(plan: &LogicalExpr, mode: ColumnarMode) -> (Bag, PipelineMetrics) {
-    let physical = lower(plan).expect("plan lowers");
-    let resolved = ResolvedExecs::default();
-    let metrics = PipelineMetrics::new();
-    let bag = evaluate_physical_with(&physical, &resolved, &metrics, options(mode))
-        .expect("plan evaluates");
-    (bag, metrics)
-}
-
 /// Runs both modes, asserts equivalence, and returns the columnar run.
 fn assert_modes_agree(plan: &LogicalExpr) -> (Bag, PipelineMetrics) {
-    let (on, m_on) = run(plan, ColumnarMode::On);
-    let (off, m_off) = run(plan, ColumnarMode::Off);
+    modes_agree(plan, MemBudget::default())
+}
+
+/// Like [`assert_modes_agree`] with the memory budget pinned unbounded —
+/// for the join kernel-engagement assertions: a bounded budget (e.g. a
+/// `DISCO_MEM_BUDGET` forced through the environment) makes the fused
+/// join decline to the spillable row path by design, which would read
+/// here as a vectorization regression.
+fn assert_modes_agree_unbounded(plan: &LogicalExpr) -> (Bag, PipelineMetrics) {
+    modes_agree(plan, MemBudget::Unbounded)
+}
+
+fn modes_agree(plan: &LogicalExpr, mem_budget: MemBudget) -> (Bag, PipelineMetrics) {
+    let run = |mode| {
+        let physical = lower(plan).expect("plan lowers");
+        let resolved = ResolvedExecs::default();
+        let metrics = PipelineMetrics::new();
+        let options = PipelineOptions {
+            mem_budget,
+            ..options(mode)
+        };
+        let bag = evaluate_physical_with(&physical, &resolved, &metrics, options)
+            .expect("plan evaluates");
+        (bag, metrics)
+    };
+    let (on, m_on) = run(ColumnarMode::On);
+    let (off, m_off) = run(ColumnarMode::Off);
     assert_eq!(on, off, "columnar answer must equal the row-path answer");
     assert_eq!(
         m_on.rows_materialized(),
@@ -340,7 +357,7 @@ fn join_on(left: Bag, right: Bag, key: &str) -> LogicalExpr {
 #[test]
 fn join_vectorizes_build_and_probe_rows() {
     let plan = join_on(people(400), people(40), "id");
-    let (answer, metrics) = assert_modes_agree(&plan);
+    let (answer, metrics) = assert_modes_agree_unbounded(&plan);
     assert_eq!(answer.len(), 400 * 40 / 16, "~25 matches per probe row");
     assert_eq!(
         metrics.rows_kernel(),
@@ -408,7 +425,7 @@ fn join_string_keys_hash_by_content_across_allocations() {
         .map(|i| row(vec![("id", Value::from(format!("key-{}", i % 45)))]))
         .collect();
     let plan = join_on(wide_side, dict_side, "id");
-    let (answer, metrics) = assert_modes_agree(&plan);
+    let (answer, metrics) = assert_modes_agree_unbounded(&plan);
     // Shared keys are key-0..key-5: each appears 2× left and 20× right.
     assert_eq!(answer.len(), 6 * 2 * 20);
     assert_eq!(metrics.rows_kernel(), 210, "both sides stay vectorized");

@@ -25,8 +25,8 @@ use common::{person, random_partial_scenario, random_plan};
 use disco_algebra::{lower, LogicalExpr, ScalarExpr, ScalarOp};
 use disco_runtime::{
     evaluate_physical_with, evaluate_physical_with_options, partial_evaluate_opts,
-    partial_evaluate_reference, reference, substitute_resolved, PipelineMetrics, PipelineOptions,
-    ResolvedExecs, RuntimeError,
+    partial_evaluate_reference, reference, substitute_resolved, MemBudget, PipelineMetrics,
+    PipelineOptions, ResolvedExecs, RuntimeError,
 };
 use disco_value::Bag;
 use rand::rngs::StdRng;
@@ -244,7 +244,16 @@ fn join_with_poison(poison_build: bool) -> LogicalExpr {
 fn assert_worker_panic(plan: &LogicalExpr, threads: usize) {
     let physical = lower(plan).expect("lowers");
     let resolved = ResolvedExecs::default();
-    let err = evaluate_physical_with_options(&physical, &resolved, opts(threads))
+    // Pin the budget unbounded: these tests target the *parallel* engine's
+    // panic containment, and a bounded budget (e.g. a `DISCO_MEM_BUDGET`
+    // forced through the environment) routes breaker-terminal plans to the
+    // serial path by design — where an injected panic is a real panic, not
+    // a contained `WorkerPanic`.
+    let options = PipelineOptions {
+        mem_budget: MemBudget::Unbounded,
+        ..opts(threads)
+    };
+    let err = evaluate_physical_with_options(&physical, &resolved, options)
         .expect_err("the injected panic must surface as an error");
     assert!(
         matches!(err, RuntimeError::WorkerPanic(_)),

@@ -1,0 +1,114 @@
+//! Spill files must never outlive the execution that created them.
+//!
+//! Runs a spilling evaluation with `DISCO_SPILL_DIR` pointed at a fresh
+//! private directory and asserts the directory holds no `disco-spill-*`
+//! files afterwards — on the success path *and* when the evaluation
+//! dies mid-spill with an error.  This lives in its own test binary
+//! (its own process) because it mutates process environment variables;
+//! the two tests additionally serialize on a lock since tests within
+//! one binary run on sibling threads.
+
+mod common;
+
+use std::fs;
+use std::sync::Mutex;
+
+use common::person;
+use disco_algebra::{lower, LogicalExpr, ScalarExpr, ScalarOp};
+use disco_runtime::{
+    evaluate_physical_with, MemBudget, PipelineMetrics, PipelineOptions, ResolvedExecs,
+};
+use disco_value::{Bag, StructValue, Value};
+
+static SPILL_DIR_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with `DISCO_SPILL_DIR` pointed at a fresh directory and
+/// returns its result plus the `disco-spill-*` files left behind.
+fn with_spill_dir<T>(name: &str, f: impl FnOnce() -> T) -> (T, Vec<String>) {
+    let _guard = SPILL_DIR_LOCK.lock().unwrap();
+    let dir =
+        std::env::temp_dir().join(format!("disco-spill-cleanup-{}-{name}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create spill dir");
+    std::env::set_var("DISCO_SPILL_DIR", &dir);
+    let out = f();
+    std::env::remove_var("DISCO_SPILL_DIR");
+    let leftovers: Vec<String> = fs::read_dir(&dir)
+        .expect("read spill dir")
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.file_name().to_string_lossy().into_owned())
+        .filter(|file| file.starts_with("disco-spill-"))
+        .collect();
+    let _ = fs::remove_dir_all(&dir);
+    (out, leftovers)
+}
+
+fn join_distinct(left: Bag, right: Bag) -> LogicalExpr {
+    LogicalExpr::Distinct(Box::new(
+        LogicalExpr::Join {
+            left: Box::new(LogicalExpr::Data(left).bind("x")),
+            right: Box::new(LogicalExpr::Data(right).bind("y")),
+            predicate: Some(ScalarExpr::binary(
+                ScalarOp::Eq,
+                ScalarExpr::var_field("x", "id"),
+                ScalarExpr::var_field("y", "id"),
+            )),
+        }
+        .map_project(ScalarExpr::binary(
+            ScalarOp::Add,
+            ScalarExpr::var_field("x", "salary"),
+            ScalarExpr::var_field("y", "salary"),
+        )),
+    ))
+}
+
+fn people(rows: usize) -> Bag {
+    (0..rows)
+        .map(|i| person((i % 53) as i64, &format!("p{i}"), (i % 199) as i64))
+        .collect()
+}
+
+fn budgeted() -> PipelineOptions {
+    PipelineOptions {
+        mem_budget: MemBudget::Bytes(4096),
+        ..PipelineOptions::default()
+    }
+}
+
+#[test]
+fn spill_files_are_cleaned_up_on_success() {
+    let physical = lower(&join_distinct(people(1_500), people(300))).expect("lowers");
+    let resolved = ResolvedExecs::default();
+    let (bytes_spilled, leftovers) = with_spill_dir("success", || {
+        let metrics = PipelineMetrics::new();
+        evaluate_physical_with(&physical, &resolved, &metrics, budgeted()).expect("evaluates");
+        metrics.bytes_spilled()
+    });
+    assert!(bytes_spilled > 0, "the run must actually have spilled");
+    assert!(
+        leftovers.is_empty(),
+        "spill files must be deleted on success, found: {leftovers:?}"
+    );
+}
+
+#[test]
+fn spill_files_are_cleaned_up_on_error() {
+    // One malformed probe row (no `salary`) late in the input: the
+    // projection errors after the build side has already spilled.
+    let mut left = people(1_500);
+    left.insert(Value::Struct(
+        StructValue::new(vec![("id", Value::Int(7))]).unwrap(),
+    ));
+    let physical = lower(&join_distinct(left, people(300))).expect("lowers");
+    let resolved = ResolvedExecs::default();
+    let ((bytes_spilled, err), leftovers) = with_spill_dir("error", || {
+        let metrics = PipelineMetrics::new();
+        let err = evaluate_physical_with(&physical, &resolved, &metrics, budgeted())
+            .expect_err("the malformed row must error");
+        (metrics.bytes_spilled(), err)
+    });
+    assert!(bytes_spilled > 0, "the run must have spilled before dying");
+    assert!(
+        leftovers.is_empty(),
+        "spill files must be deleted on the error path too, found: {leftovers:?} (error was: {err})"
+    );
+}

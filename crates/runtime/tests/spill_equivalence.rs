@@ -1,0 +1,279 @@
+//! Differential tests for the memory-budgeted spill path.
+//!
+//! Three claims are pinned here:
+//!
+//! 1. **Budget transparency**: random plans from the shared generator
+//!    produce multiset-identical answers — and identical
+//!    `rows_materialized` counts — under a tiny memory budget (every
+//!    pipeline breaker spills) and under the default unbounded budget,
+//!    at 1 and 4 threads.  Partial answers of federated plans match too.
+//! 2. **The budget actually engages**: the tiny-budget runs report
+//!    nonzero `bytes_spilled` / `spill_partitions` in aggregate, while
+//!    unbounded runs report exactly zero everywhere (including
+//!    `peak_tracked_bytes`, which only bounded budgets track).
+//! 3. **Error identity**: an evaluation error raised after spilling has
+//!    begun surfaces with exactly the same error text as the unbounded
+//!    path, at 1 and 4 threads.
+
+mod common;
+
+use common::{person, random_partial_scenario, random_plan};
+use disco_algebra::{lower, LogicalExpr, ScalarExpr, ScalarOp};
+use disco_runtime::{
+    evaluate_physical_with, partial_evaluate_opts, reference, substitute_resolved, MemBudget,
+    PipelineMetrics, PipelineOptions, ResolvedExecs,
+};
+use disco_value::{Bag, StructValue, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// Small enough that any multi-row breaker state trips, large enough
+/// that a single-row partition reload does not recurse to the deepest
+/// spill level (which would only waste test time, not change answers).
+const TINY_BUDGET: usize = 256;
+
+fn opts(threads: usize, mem_budget: MemBudget) -> PipelineOptions {
+    PipelineOptions {
+        threads,
+        mem_budget,
+        ..PipelineOptions::default()
+    }
+}
+
+#[test]
+fn tiny_budget_matches_unbounded_on_random_plans() {
+    let resolved = ResolvedExecs::default();
+    let mut spilled_total = 0u64;
+    let mut partitions_total = 0usize;
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x5B111ED + seed);
+        let plan = random_plan(&mut rng);
+        let physical = lower(&plan).expect("plan lowers");
+        let expected =
+            reference::evaluate_physical(&physical, &resolved).expect("reference evaluates");
+        for threads in THREAD_COUNTS {
+            let unbounded = PipelineMetrics::new();
+            let baseline = evaluate_physical_with(
+                &physical,
+                &resolved,
+                &unbounded,
+                opts(threads, MemBudget::Unbounded),
+            )
+            .expect("unbounded evaluates");
+            assert_eq!(baseline, expected, "seed {seed}, {threads} threads");
+            assert_eq!(
+                unbounded.bytes_spilled(),
+                0,
+                "unbounded must never touch disk"
+            );
+            assert_eq!(unbounded.spill_partitions(), 0);
+            assert_eq!(
+                unbounded.peak_tracked_bytes(),
+                0,
+                "unbounded budgets do not track bytes"
+            );
+
+            let tiny = PipelineMetrics::new();
+            let spilled = evaluate_physical_with(
+                &physical,
+                &resolved,
+                &tiny,
+                opts(threads, MemBudget::Bytes(TINY_BUDGET)),
+            )
+            .expect("tiny-budget evaluates");
+            assert_eq!(
+                spilled, expected,
+                "seed {seed}, {threads} threads: spilling must not change the answer"
+            );
+            assert_eq!(
+                tiny.rows_materialized(),
+                unbounded.rows_materialized(),
+                "seed {seed}, {threads} threads: rows_materialized must not depend on spilling"
+            );
+            spilled_total += tiny.bytes_spilled();
+            partitions_total += tiny.spill_partitions();
+        }
+    }
+    assert!(
+        spilled_total > 0,
+        "40 random plans under a {TINY_BUDGET}-byte budget must spill somewhere"
+    );
+    assert!(partitions_total > 0);
+}
+
+#[test]
+fn tiny_budget_preserves_partial_answers_of_federated_plans() {
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x5B111 + seed);
+        let (plan, resolved) = random_partial_scenario(&mut rng);
+        let substituted = substitute_resolved(&plan, &resolved);
+        for threads in THREAD_COUNTS {
+            let (data_u, residual_u) =
+                partial_evaluate_opts(&substituted, &resolved, opts(threads, MemBudget::Unbounded))
+                    .expect("unbounded partial eval");
+            let (data_t, residual_t) = partial_evaluate_opts(
+                &substituted,
+                &resolved,
+                opts(threads, MemBudget::Bytes(TINY_BUDGET)),
+            )
+            .expect("tiny-budget partial eval");
+            assert_eq!(
+                data_t, data_u,
+                "seed {seed}, {threads} threads: partial answer data must match"
+            );
+            assert_eq!(
+                residual_t, residual_u,
+                "seed {seed}, {threads} threads: residual plans must be identical"
+            );
+        }
+    }
+}
+
+/// The deep-pipeline shape (filter → hash-join → computed projection →
+/// distinct): both breaker kinds hold multi-kilobyte state, so a 4 KiB
+/// budget forces both the join build table and the distinct seen-set to
+/// disk.
+fn deep_pipeline_plan(left_rows: usize, right_rows: usize) -> LogicalExpr {
+    let left: Bag = (0..left_rows)
+        .map(|i| person((i % 97) as i64, &format!("p{}", i % 61), (i % 199) as i64))
+        .collect();
+    let right: Bag = (0..right_rows)
+        .map(|i| person((i % 97) as i64, &format!("r{}", i % 13), (i % 53) as i64))
+        .collect();
+    LogicalExpr::Distinct(Box::new(
+        LogicalExpr::Join {
+            left: Box::new(LogicalExpr::Data(left).bind("x").filter(ScalarExpr::binary(
+                ScalarOp::Gt,
+                ScalarExpr::var_field("x", "salary"),
+                ScalarExpr::constant(40i64),
+            ))),
+            right: Box::new(LogicalExpr::Data(right).bind("y")),
+            predicate: Some(ScalarExpr::binary(
+                ScalarOp::Eq,
+                ScalarExpr::var_field("x", "id"),
+                ScalarExpr::var_field("y", "id"),
+            )),
+        }
+        .map_project(ScalarExpr::StructLit(vec![
+            ("name".into(), ScalarExpr::var_field("x", "name")),
+            (
+                "total".into(),
+                ScalarExpr::binary(
+                    ScalarOp::Add,
+                    ScalarExpr::var_field("x", "salary"),
+                    ScalarExpr::var_field("y", "salary"),
+                ),
+            ),
+        ])),
+    ))
+}
+
+#[test]
+fn deep_join_distinct_pipeline_spills_and_matches() {
+    let resolved = ResolvedExecs::default();
+    let physical = lower(&deep_pipeline_plan(2_000, 400)).expect("lowers");
+
+    let unbounded = PipelineMetrics::new();
+    let expected = evaluate_physical_with(
+        &physical,
+        &resolved,
+        &unbounded,
+        opts(1, MemBudget::Unbounded),
+    )
+    .expect("unbounded evaluates");
+    assert_eq!(unbounded.bytes_spilled(), 0);
+
+    for threads in THREAD_COUNTS {
+        let metrics = PipelineMetrics::new();
+        let out = evaluate_physical_with(
+            &physical,
+            &resolved,
+            &metrics,
+            opts(threads, MemBudget::Bytes(4096)),
+        )
+        .expect("budgeted evaluates");
+        assert_eq!(out, expected, "{threads} threads");
+        assert_eq!(
+            metrics.rows_materialized(),
+            unbounded.rows_materialized(),
+            "{threads} threads: breaker buffering must be budget-invariant"
+        );
+        assert!(
+            metrics.bytes_spilled() > 0,
+            "{threads} threads: a 4 KiB budget must spill this shape"
+        );
+        assert!(
+            metrics.spill_partitions() >= 8,
+            "{threads} threads: at least one full fan-out"
+        );
+        assert!(metrics.peak_tracked_bytes() > 0);
+    }
+}
+
+/// A join+distinct whose probe side contains one malformed row (missing
+/// the projected field) *late* in the input — the error is raised after
+/// the build side has already spilled under a tiny budget.
+fn poisoned_plan() -> LogicalExpr {
+    let left: Bag = (0..800)
+        .map(|i| {
+            if i == 777 {
+                Value::Struct(StructValue::new(vec![("id", Value::Int((i % 97) as i64))]).unwrap())
+            } else {
+                person((i % 97) as i64, &format!("p{i}"), (i % 199) as i64)
+            }
+        })
+        .collect();
+    let right: Bag = (0..200)
+        .map(|i| person((i % 97) as i64, &format!("r{i}"), (i % 53) as i64))
+        .collect();
+    LogicalExpr::Distinct(Box::new(
+        LogicalExpr::Join {
+            left: Box::new(LogicalExpr::Data(left).bind("x")),
+            right: Box::new(LogicalExpr::Data(right).bind("y")),
+            predicate: Some(ScalarExpr::binary(
+                ScalarOp::Eq,
+                ScalarExpr::var_field("x", "id"),
+                ScalarExpr::var_field("y", "id"),
+            )),
+        }
+        .map_project(ScalarExpr::binary(
+            ScalarOp::Add,
+            ScalarExpr::var_field("x", "salary"),
+            ScalarExpr::var_field("y", "salary"),
+        )),
+    ))
+}
+
+#[test]
+fn errors_after_spill_match_the_unbounded_error_exactly() {
+    let resolved = ResolvedExecs::default();
+    let physical = lower(&poisoned_plan()).expect("lowers");
+    for threads in THREAD_COUNTS {
+        let unbounded = evaluate_physical_with(
+            &physical,
+            &resolved,
+            &PipelineMetrics::new(),
+            opts(threads, MemBudget::Unbounded),
+        )
+        .expect_err("missing field errors");
+        let tiny_metrics = PipelineMetrics::new();
+        let tiny = evaluate_physical_with(
+            &physical,
+            &resolved,
+            &tiny_metrics,
+            opts(threads, MemBudget::Bytes(TINY_BUDGET)),
+        )
+        .expect_err("missing field errors under budget too");
+        assert_eq!(
+            tiny.to_string(),
+            unbounded.to_string(),
+            "{threads} threads: identical error text"
+        );
+        assert!(
+            tiny_metrics.bytes_spilled() > 0,
+            "{threads} threads: the error must have been raised after spilling began"
+        );
+    }
+}

@@ -76,11 +76,13 @@ mod convert;
 mod display;
 mod error;
 mod ord;
+pub mod spill;
 mod value;
 
 pub use bag::{Bag, BagCursor};
 pub use chunk::{ChunkBuilder, Column, ColumnarChunk, FnvHasher, KeyHasher, StrDict, NULL_CODE};
 pub use error::ValueError;
+pub use spill::{approx_value_bytes, read_value, write_value, RunReader, RunWriter};
 pub use value::{StructValue, Value};
 
 /// Convenience result alias for fallible value operations.
