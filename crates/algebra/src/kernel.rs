@@ -10,7 +10,7 @@
 //! and the engine evaluates those expressions through the per-row path.
 //!
 //! Two invariants keep the kernels exactly equivalent to
-//! [`eval_binary`](crate::eval_binary) / `eval_scalar_with`:
+//! [`eval_binary`] / `eval_scalar_with`:
 //!
 //! * Typed fast paths exist only where the scalar semantics are a plain
 //!   machine operation (`i64` comparisons and arithmetic on null-free

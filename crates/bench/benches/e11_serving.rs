@@ -1,0 +1,23 @@
+//! E11 — multi-query serving layer (bench counterpart).
+//!
+//! N concurrent query streams through one `disco-server` instance:
+//! shared plan cache, admission control, shared wrapper-connection
+//! pool; every concurrent answer is asserted multiset-identical to the
+//! serial baseline.  The full sweep (with the `BENCH_e11.json` record)
+//! lives in `harness e11`; this bench keeps the path under the CI
+//! bitrot guard.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disco_bench::experiments::{e11_serving, Scale};
+
+fn bench_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_serving");
+    group.sample_size(10);
+    group.bench_function("concurrent_streams_quick", |b| {
+        b.iter(|| e11_serving(Scale::quick()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -13,7 +13,8 @@
 //! `BENCH_e9.json` in the current directory so the perf trajectory of the
 //! mediator combine step is tracked from PR to PR; E10 (federation
 //! overlap, streamed vs blocking resolution) is likewise recorded to
-//! `BENCH_e10.json`, and E12 (memory-budgeted spilling) to
+//! `BENCH_e10.json`, E11 (multi-query serving layer) to
+//! `BENCH_e11.json`, and E12 (memory-budgeted spilling) to
 //! `BENCH_e12.json`.
 
 use disco_bench::experiments::{self, Scale};
@@ -73,6 +74,13 @@ fn main() {
         let report = experiments::e10_federation_overlap(scale);
         if let Err(err) = std::fs::write("BENCH_e10.json", report.to_json()) {
             eprintln!("warning: could not write BENCH_e10.json: {err}");
+        }
+        reports.push(report);
+    }
+    if wanted("e11") {
+        let report = experiments::e11_serving(scale);
+        if let Err(err) = std::fs::write("BENCH_e11.json", report.to_json()) {
+            eprintln!("warning: could not write BENCH_e11.json: {err}");
         }
         reports.push(report);
     }

@@ -1133,6 +1133,144 @@ pub fn e10_federation_overlap(scale: Scale) -> Report {
 }
 
 // ---------------------------------------------------------------------
+// E11 — multi-query serving layer
+// ---------------------------------------------------------------------
+
+/// E11: N concurrent query streams through one `DiscoServer`.
+///
+/// A shared federation fronts N ∈ {1, 4, 16} sessions, each issuing a
+/// stream of OQL queries concurrently through one serving layer —
+/// shared plan cache, admission control (at most 4 queries execute at
+/// once), and a shared wrapper-connection pool (2 in-flight calls per
+/// repository).  Every concurrent answer is asserted multiset-identical
+/// to the serial baseline; the table tracks per-query p50/p99 latency
+/// and aggregate answered rows/s as the stream count rises.
+///
+/// # Panics
+///
+/// Panics if a concurrent answer diverges from the serial baseline.
+#[must_use]
+pub fn e11_serving(scale: Scale) -> Report {
+    use disco_runtime::SourcePool;
+    use disco_server::{DiscoServer, ServerConfig};
+    use std::sync::Arc;
+
+    let sources = 4usize;
+    let rows = scale.rows.max(40);
+    let chunk = (rows / 4).max(1);
+    // Small but real per-call sleeps, so concurrency and queuing are
+    // visible in wall-clock rather than simulated.
+    let profile = NetworkProfile {
+        base_latency_us: 300,
+        per_row_us: 5,
+        jitter: 0.0,
+        availability: Availability::Available,
+        real_sleep: true,
+        chunk_rows: chunk,
+    };
+    let queries_per_stream = scale.trials.clamp(6, 16);
+    let mut report = Report::new(
+        "E11",
+        "multi-query serving: concurrent streams through one server",
+        &format!(
+            "{sources} person sources x {rows} rows (real sleeps), one disco-server \
+             (admission cap 4, source pool cap 2/repo, shared plan cache); N streams x \
+             {queries_per_stream} queries each, answers checked against serial"
+        ),
+        &[
+            "streams",
+            "queries",
+            "p50 ms",
+            "p99 ms",
+            "wall ms",
+            "rows/s",
+            "admission queued",
+            "pool queued",
+            "cache hits",
+        ],
+    );
+
+    let mut federation =
+        person_federation_with_profile(sources, rows, CapabilitySet::full(), profile);
+    federation.mediator.set_deadline(None);
+    let expected = federation
+        .mediator
+        .query(PERSON_QUERY)
+        .expect("serial baseline executes");
+    assert!(expected.is_complete(), "baseline must be complete");
+
+    let percentile = |samples: &mut Vec<f64>, p: f64| -> f64 {
+        samples.sort_by(f64::total_cmp);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let index = ((samples.len() - 1) as f64 * p).round() as usize;
+        samples[index]
+    };
+
+    for streams in [1usize, 4, 16] {
+        let server = DiscoServer::from_mediator(
+            &federation.mediator,
+            ServerConfig::default()
+                .with_max_concurrent(4)
+                .with_source_pool(Arc::new(SourcePool::new(2))),
+        );
+        let started = Instant::now();
+        let mut latencies: Vec<f64> = Vec::with_capacity(streams * queries_per_stream);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(streams);
+            for _ in 0..streams {
+                let server = &server;
+                let expected = &expected;
+                handles.push(scope.spawn(move || {
+                    let session = server.session();
+                    let mut stream_latencies = Vec::with_capacity(queries_per_stream);
+                    for _ in 0..queries_per_stream {
+                        let at = Instant::now();
+                        let answer = session.query(PERSON_QUERY).expect("query executes");
+                        stream_latencies.push(at.elapsed().as_secs_f64() * 1000.0);
+                        assert!(answer.is_complete());
+                        assert_eq!(
+                            answer.data(),
+                            expected.data(),
+                            "concurrent answer diverged from serial"
+                        );
+                    }
+                    stream_latencies
+                }));
+            }
+            for handle in handles {
+                latencies.extend(handle.join().expect("stream thread completes"));
+            }
+        });
+        let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+        let answered_rows = streams * queries_per_stream * expected.data().len();
+        let stats = server.stats();
+        report.push_row([
+            streams.to_string(),
+            (streams * queries_per_stream).to_string(),
+            fmt_f64(percentile(&mut latencies, 0.50)),
+            fmt_f64(percentile(&mut latencies, 0.99)),
+            fmt_f64(wall_ms),
+            fmt_f64(answered_rows as f64 / (wall_ms / 1000.0)),
+            stats.admission_queued.0.to_string(),
+            stats
+                .source_pool_queued
+                .map_or_else(|| "0".to_string(), |(queued, _)| queued.to_string()),
+            stats.plan_cache.0.to_string(),
+        ]);
+    }
+    report.push_note(
+        "every concurrent answer is asserted multiset-identical to the serial \
+         baseline; p50/p99 over all per-query latencies of the round",
+    );
+    report.push_note(
+        "aggregate rows/s keeps rising with streams while per-query p99 degrades \
+         gracefully: admission (cap 4) and the source pool (cap 2/repo) queue the \
+         excess instead of oversubscribing the engine",
+    );
+    report
+}
+
+// ---------------------------------------------------------------------
 // E12 — memory-budgeted spilling
 // ---------------------------------------------------------------------
 
@@ -1328,6 +1466,7 @@ pub fn run_all(scale: Scale) -> Vec<Report> {
         e8_semijoin_gap(scale),
         e9_evaluator_throughput(scale),
         e10_federation_overlap(scale),
+        e11_serving(scale),
         e12_spill(scale),
     ]
 }

@@ -46,6 +46,7 @@
 
 mod catalog_component;
 mod error;
+mod handle;
 mod map;
 mod meta_extent;
 mod repository;
@@ -56,6 +57,7 @@ mod wrapper_def;
 
 pub use catalog_component::{CatalogComponent, MediatorAdvertisement};
 pub use error::CatalogError;
+pub use handle::CatalogHandle;
 pub use map::{MapEntry, TypeMap};
 pub use meta_extent::MetaExtent;
 pub use repository::Repository;

@@ -109,6 +109,24 @@ impl Mediator {
         self.deadline = deadline;
     }
 
+    /// The partial-evaluation deadline currently in force.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The resolution mode queries execute under.
+    #[must_use]
+    pub fn resolution(&self) -> ResolutionMode {
+        self.resolution
+    }
+
+    /// The mediator-side cost constants the optimizer plans with.
+    #[must_use]
+    pub fn cost_params(&self) -> CostParams {
+        self.cost_params
+    }
+
     /// Chooses how wrapper answers meet the combine step:
     /// [`ResolutionMode::Streamed`] (the default) feeds row chunks into
     /// the pipeline as sources answer — the answer's

@@ -9,7 +9,7 @@
 //!   declarations, `define … as …` views, `r0 := Repository(...)` and
 //!   `w0 := WrapperPostgres()` assignments),
 //! * the [`ast`] module with the expression and statement types,
-//! * a pretty [`printer`] that renders expressions back to OQL — required
+//! * a pretty `printer` module that renders expressions back to OQL — required
 //!   by the partial-evaluation semantics, where answers are queries,
 //! * the [`resolve`] module which expands views and implicit interface
 //!   extents against a [`disco_catalog::Catalog`].

@@ -32,7 +32,7 @@
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -47,6 +47,7 @@ use disco_wrapper::{
 
 use crate::pipeline::spill::{self, SpillFile};
 use crate::pipeline::MemBudget;
+use crate::pool::SourcePool;
 use crate::{Result, RuntimeError};
 
 /// Locks a mutex, ignoring poisoning (the guarded state stays consistent:
@@ -452,6 +453,10 @@ pub struct PendingSource {
     /// memory/disk buffer with a bounded hot window, and the producer
     /// backpressures when the unread disk tier exceeds its cap.
     caps: Option<SpoolCaps>,
+    /// Time this call spent queued behind a [`SourcePool`] cap before
+    /// its wrapper was invoked, in microseconds; folded into the
+    /// query's `source_wait` at finalization.
+    queue_wait_us: AtomicU64,
     state: StdMutex<SpoolState>,
 }
 
@@ -480,6 +485,7 @@ impl PendingSource {
             events,
             cancel: AtomicBool::new(false),
             caps: SpoolCaps::from_budget(budget),
+            queue_wait_us: AtomicU64::new(0),
             state: StdMutex::new(SpoolState {
                 rows: Vec::new(),
                 base: 0,
@@ -562,6 +568,17 @@ impl PendingSource {
         }
         self.events.notify();
         !self.is_cancelled()
+    }
+
+    /// Records how long the call waited for a [`SourcePool`] permit.
+    fn note_queue_wait(&self, waited: Duration) {
+        self.queue_wait_us
+            .store(waited.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Time the call spent queued behind a connection-pool cap.
+    pub(crate) fn queue_wait(&self) -> Duration {
+        Duration::from_micros(self.queue_wait_us.load(Ordering::Relaxed))
     }
 
     /// Bytes this spool has written to its disk tier.
@@ -817,6 +834,19 @@ pub struct ExecutionConfig {
     /// every [`PendingSource`] spool a hybrid memory/disk buffer and are
     /// forwarded to the pipeline's spilling breakers.
     pub mem_budget: MemBudget,
+    /// Shared wrapper-connection pool gating the wrapper-call threads.
+    /// `None` (the default) spawns every call unqueued; a serving layer
+    /// shares one [`SourcePool`] across all its executors so per-source
+    /// concurrency caps apply across concurrent queries.  Time a call
+    /// spends queued is metered into the query's `source_wait`.
+    pub source_pool: Option<Arc<SourcePool>>,
+    /// Cap on the total rows transferred from sources to this query.
+    /// Once the budget is exhausted, the still-streaming wrapper calls
+    /// are cancelled through the same path a deadline takes: their
+    /// spools flip to unavailable and the query completes as a partial
+    /// answer whose residual re-fetches the cancelled sources.  `None`
+    /// (the default) is unlimited.
+    pub row_budget: Option<usize>,
 }
 
 impl Default for ExecutionConfig {
@@ -827,7 +857,34 @@ impl Default for ExecutionConfig {
             threads: 0,
             resolution: ResolutionMode::default(),
             mem_budget: MemBudget::default(),
+            source_pool: None,
+            row_budget: None,
         }
+    }
+}
+
+/// Shared row budget of one query: every spool's sink charges the rows
+/// it pushes against the same counter, so the cap applies to the query's
+/// total transfer, not per source.
+#[derive(Debug)]
+pub(crate) struct RowBudget {
+    limit: usize,
+    used: AtomicUsize,
+}
+
+impl RowBudget {
+    fn new(limit: usize) -> Self {
+        RowBudget {
+            limit,
+            used: AtomicUsize::new(0),
+        }
+    }
+
+    /// Charges `rows` against the budget; `false` when the budget is
+    /// exhausted (the chunk must not be delivered).
+    fn charge(&self, rows: usize) -> bool {
+        let before = self.used.fetch_add(rows, Ordering::Relaxed);
+        before.saturating_add(rows) <= self.limit
     }
 }
 
@@ -850,6 +907,9 @@ pub struct ResolvedExecs {
     /// Bytes the pending spools spilled to disk (bounded hot windows),
     /// accumulated at finalization.
     spool_bytes_spilled: u64,
+    /// Time the calls spent queued behind a [`SourcePool`] cap,
+    /// accumulated at finalization and folded into `source_wait`.
+    queue_wait: Duration,
 }
 
 impl ResolvedExecs {
@@ -900,11 +960,13 @@ impl ResolvedExecs {
                 // Already failing: disconnect instead of waiting.
                 source.cancel();
                 self.spool_bytes_spilled += source.spilled_bytes();
+                self.queue_wait += source.queue_wait();
                 self.outcomes.insert(key, ExecOutcome::Unavailable);
                 continue;
             }
             let (outcome, stats, error) = source.final_outcome();
             self.spool_bytes_spilled += source.spilled_bytes();
+            self.queue_wait += source.queue_wait();
             self.outcomes.insert(key, outcome);
             self.stats.push(stats);
             if let Some(error) = error {
@@ -955,6 +1017,16 @@ impl ResolvedExecs {
     #[must_use]
     pub fn spool_bytes_spilled(&self) -> u64 {
         self.spool_bytes_spilled
+    }
+
+    /// Time the wrapper calls spent queued behind a [`SourcePool`]
+    /// concurrency cap (zero without a pool, or before finalization).
+    /// The executor folds this into `ExecutionStats::source_wait`; like
+    /// the per-call waits it sums over calls, so it can exceed the
+    /// query's wall-clock time.
+    #[must_use]
+    pub fn source_queue_wait(&self) -> Duration {
+        self.queue_wait
     }
 
     /// Total rows transferred from sources to the mediator.
@@ -1149,6 +1221,11 @@ pub fn resolve_execs_streamed(
     let events = Arc::new(ResolutionEvents::new(deadline_at));
     resolved.events = Some(Arc::clone(&events));
     let spool_budget = config.mem_budget.resolve();
+    // One budget shared by every call of this query: the cap bounds the
+    // total transfer, not each source individually.
+    let row_budget = config
+        .row_budget
+        .map(|limit| Arc::new(RowBudget::new(limit)));
     for call in prepared {
         let source = Arc::new(PendingSource::new(
             call.key.repository.clone(),
@@ -1161,7 +1238,30 @@ pub fn resolve_execs_streamed(
             .outcomes
             .insert(call.key.clone(), ExecOutcome::Pending(Arc::clone(&source)));
         let calibration = config.calibration.clone();
-        std::thread::spawn(move || run_wrapper_call(&source, call, calibration.as_deref()));
+        let pool = config.source_pool.clone();
+        let budget = row_budget.clone();
+        std::thread::spawn(move || {
+            // Gate the call through the shared connection pool before the
+            // wrapper sees it.  The permit is held for the whole call.
+            let mut _permit = None;
+            if let Some(pool) = &pool {
+                if pool.cap(&call.key.repository) > 0 {
+                    let (permit, waited) =
+                        pool.acquire(&call.key.repository, &|| source.is_cancelled());
+                    source.note_queue_wait(waited);
+                    match permit {
+                        Some(permit) => _permit = Some(permit),
+                        None => {
+                            // Cancelled while queued (deadline or abort):
+                            // never invoke the wrapper.
+                            source.finish(SpoolStatus::Unavailable);
+                            return;
+                        }
+                    }
+                }
+            }
+            run_wrapper_call(&source, call, calibration.as_deref(), budget.as_deref());
+        });
     }
     Ok(resolved)
 }
@@ -1173,6 +1273,9 @@ struct SpoolSink<'a> {
     map: &'a TypeMap,
     expected: &'a [String],
     extent: &'a str,
+    /// The query-wide row budget; a chunk that exhausts it trips the
+    /// spool to unavailable instead of being delivered.
+    budget: Option<&'a RowBudget>,
     /// A per-chunk type-conformance failure, reported after the call.
     conformance: Option<WrapperError>,
     rows_pushed: usize,
@@ -1187,6 +1290,15 @@ impl AnswerSink for SpoolSink<'_> {
         if let Err(err) = check_type_conformance(&mapped, self.expected, self.extent) {
             self.conformance = Some(err);
             return false;
+        }
+        if let Some(budget) = self.budget {
+            if !budget.charge(mapped.len()) {
+                // Budget exhausted: cancel this call through the same
+                // sticky-unavailable path a deadline takes, so the query
+                // completes as a partial answer with a residual.
+                self.spool.timeout();
+                return false;
+            }
         }
         self.rows_pushed += mapped.len();
         self.spool.push_chunk(mapped.into_values())
@@ -1204,6 +1316,7 @@ fn run_wrapper_call(
     spool: &PendingSource,
     call: PreparedCall,
     calibration: Option<&CalibrationStore>,
+    budget: Option<&RowBudget>,
 ) {
     let started = Instant::now();
     let source_expr = map_expr_to_source(&call.shipped, &call.map);
@@ -1212,6 +1325,7 @@ fn run_wrapper_call(
         map: &call.map,
         expected: &call.expected,
         extent: &call.key.extent,
+        budget,
         conformance: None,
         rows_pushed: 0,
     };

@@ -98,6 +98,29 @@ impl Executor {
         self
     }
 
+    /// Shares a wrapper-connection pool with this executor: wrapper
+    /// calls queue behind the pool's per-repository concurrency caps,
+    /// and time spent queued is metered into
+    /// [`ExecutionStats::source_wait`].  A serving layer passes one pool
+    /// to every session's executor so the caps hold across concurrent
+    /// queries.
+    #[must_use]
+    pub fn with_source_pool(mut self, pool: Arc<crate::pool::SourcePool>) -> Self {
+        self.config.source_pool = Some(pool);
+        self
+    }
+
+    /// Caps the total rows this query may transfer from its sources.
+    /// Exhausting the budget cancels the still-streaming calls through
+    /// the deadline path: the query completes as a partial answer whose
+    /// residual re-fetches the cancelled sources.  `None` (the default)
+    /// is unlimited.
+    #[must_use]
+    pub fn with_row_budget(mut self, budget: Option<usize>) -> Self {
+        self.config.row_budget = budget;
+        self
+    }
+
     /// The wrapper registry.
     #[must_use]
     pub fn registry(&self) -> &WrapperRegistry {
@@ -154,7 +177,7 @@ impl Executor {
                 elapsed: started.elapsed(),
                 source_calls: resolved.stats().to_vec(),
                 time_to_first_row: metrics.time_to_first_row_since(started),
-                source_wait: metrics.source_wait(),
+                source_wait: metrics.source_wait() + resolved.source_queue_wait(),
                 rows_kernel: metrics.rows_kernel(),
                 rows_fallback: metrics.rows_fallback(),
                 bytes_spilled: metrics.bytes_spilled() + resolved.spool_bytes_spilled(),
@@ -196,7 +219,7 @@ impl Executor {
                         elapsed: started.elapsed(),
                         source_calls: resolved.stats().to_vec(),
                         time_to_first_row: metrics.time_to_first_row_since(started),
-                        source_wait: metrics.source_wait(),
+                        source_wait: metrics.source_wait() + resolved.source_queue_wait(),
                         rows_kernel: metrics.rows_kernel(),
                         rows_fallback: metrics.rows_fallback(),
                         bytes_spilled: metrics.bytes_spilled() + resolved.spool_bytes_spilled(),
@@ -249,7 +272,8 @@ impl Executor {
             time_to_first_row: streamed.and_then(|m| m.time_to_first_row_since(started)),
             source_wait: streamed
                 .map(PipelineMetrics::source_wait)
-                .unwrap_or_default(),
+                .unwrap_or_default()
+                + resolved.source_queue_wait(),
             rows_kernel: streamed.map(PipelineMetrics::rows_kernel).unwrap_or(0),
             rows_fallback: streamed.map(PipelineMetrics::rows_fallback).unwrap_or(0),
             bytes_spilled: streamed.map(PipelineMetrics::bytes_spilled).unwrap_or(0)

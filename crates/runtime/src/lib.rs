@@ -47,7 +47,7 @@
 //! Partial evaluation is unchanged by the streaming engine: fully
 //! resolved subtrees are streamed to data, and plans that still touch
 //! unavailable sources stay residual, exactly as in §4.  The seed
-//! bag-at-a-time evaluator is preserved as [`reference`] and used by the
+//! bag-at-a-time evaluator is preserved as [`reference`](mod@reference) and used by the
 //! differential tests to pin the streaming engine's semantics.
 //!
 //! [`evaluate_physical`] remains the convenience entry point: it opens a
@@ -99,6 +99,7 @@ mod exec;
 mod executor;
 mod partial;
 pub mod pipeline;
+mod pool;
 pub mod reference;
 
 pub use error::RuntimeError;
@@ -116,6 +117,7 @@ pub use partial::{
     substitute_resolved, Answer, ExecutionStats,
 };
 pub use pipeline::{BuildSide, ColumnarMode, MemBudget, PipelineMetrics, PipelineOptions};
+pub use pool::SourcePool;
 
 /// Convenience result alias for runtime operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -17,11 +17,20 @@ use crate::exec::{ExecKey, ExecOutcome, ResolvedExecs, SourceCallStats};
 use crate::Result;
 
 /// Execution statistics attached to every answer.
+///
+/// Counters that sum over concurrent actors (workers, wrapper calls) —
+/// [`ExecutionStats::source_wait`] in particular — can exceed
+/// [`ExecutionStats::elapsed`]; they measure total blocked/processed
+/// quantity, not wall-clock.
 #[derive(Debug, Clone, Default)]
 pub struct ExecutionStats {
-    /// Number of `exec` (wrapper) calls issued.
+    /// Number of `exec` (wrapper) calls issued — one per `submit` node
+    /// of the executed plan, including calls that end unavailable.
     pub exec_calls: usize,
-    /// Total rows transferred from sources to the mediator.
+    /// Total rows transferred from sources to the mediator: the sum of
+    /// every call's delivered row count *after* the local transformation
+    /// map, before any mediator-side operator drops them.  This is the
+    /// quantity a row budget caps.
     pub rows_transferred: usize,
     /// Rows buffered by pipeline breakers (hash-join build side, the inner
     /// side of nested-loop joins, the distinct seen-set) while streaming
@@ -40,8 +49,14 @@ pub struct ExecutionStats {
     /// slow sources are still answering.  `None` for empty answers and
     /// for blocking partial evaluation (which only combines at the end).
     pub time_to_first_row: Option<std::time::Duration>,
-    /// Total time the combine step spent blocked waiting on
-    /// still-streaming sources (summed across workers).  The complement
+    /// Total time the execution spent waiting on sources: combine-step
+    /// workers blocked on still-streaming spools, plus — when a shared
+    /// [`SourcePool`](crate::SourcePool) is configured — time wrapper
+    /// calls spent queued behind a per-repository concurrency cap
+    /// before being submitted.  Both components sum over their actors
+    /// (workers, calls), so the total can exceed
+    /// [`ExecutionStats::elapsed`] and the two components can overlap
+    /// in wall-clock time.  The complement
     /// of overlap: time inside the execution window *not* spent here was
     /// useful mediator-side work.
     pub source_wait: std::time::Duration,

@@ -2,7 +2,7 @@
 //!
 //! The serial engine pulls rows through one cursor tree; this module
 //! executes the same plans on a fixed pool of `std` worker threads.  A
-//! plan is decomposed ([`compile`]) along the physical algebra's
+//! plan is decomposed (`compile`) along the physical algebra's
 //! [`ExchangeBehavior`] classification:
 //!
 //! * the chain of `Morsel` operators from the root down to a leaf scan is
@@ -13,7 +13,7 @@
 //!   task,
 //! * each `Partitioned` breaker becomes a *phase*: hash-join build sides
 //!   are scattered by key hash into per-worker shard vectors and
-//!   assembled into a shared read-only [`JoinTable`] at the barrier,
+//!   assembled into a shared read-only `JoinTable` at the barrier,
 //!   distinct dedups shard-wise after a scatter phase, and aggregates
 //!   fold per-morsel partial states merged in morsel order,
 //! * `Pinned` operators (nested-loop / merge-tuples joins) and any other

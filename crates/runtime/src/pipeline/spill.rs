@@ -13,11 +13,11 @@
 //!   the limit; the *caller* reacts to an overrun by spilling and
 //!   uncharging.  The default is unbounded, in which case `charge` is a
 //!   no-op returning `true` and nothing in this module ever runs.
-//! * [`RunFile`] / [`RunFileReader`] — a delete-on-drop temp file holding
+//! * `RunFile` / `RunFileReader` — a delete-on-drop temp file holding
 //!   one *run* of length-prefixed [`Value`] records in the `disco-value`
 //!   spill format ([`disco_value::spill`]).  Runs are written once,
 //!   sequentially, then rewound and read back once.
-//! * [`spill_partition`] — the Grace-style hash router: 8 partitions per
+//! * `spill_partition` — the Grace-style hash router: 8 partitions per
 //!   level, consuming 3 fresh bits of the key hash per recursion level,
 //!   so a partition that still overflows the budget on read-back is
 //!   re-split into 8 children rather than loaded whole.

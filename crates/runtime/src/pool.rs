@@ -1,0 +1,245 @@
+//! A shared wrapper-connection pool with per-source concurrency caps.
+//!
+//! Autonomous sources tolerate only so many simultaneous requests: a
+//! mediator serving many concurrent queries must not let N sessions ×
+//! M `exec` calls all hit the same repository at once.  A [`SourcePool`]
+//! is shared by every executor of a serving layer and caps, per
+//! repository, how many wrapper calls run concurrently.  A call beyond
+//! the cap *queues*: its wrapper thread blocks before submitting, and
+//! the time it spent queued is metered into the query's
+//! [`ExecutionStats::source_wait`](crate::ExecutionStats) — making
+//! contention for shared sources observable per query.
+//!
+//! The pool gates the wrapper threads spawned by
+//! [`resolve_execs_streamed`](crate::resolve_execs_streamed); the
+//! pipeline side is untouched.  A queued call that is cancelled (its
+//! query hit the deadline, or aborted on a hard error) leaves the queue
+//! promptly without ever invoking the wrapper.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How long a queued call sleeps between cancellation checks while it
+/// waits for a permit.  Condvar wakeups cut the wait short; the slice
+/// only bounds how stale a cancellation check can get.
+const QUEUE_POLL: Duration = Duration::from_millis(10);
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Per-repository active-call counts.
+#[derive(Debug, Default)]
+struct PoolState {
+    active: BTreeMap<String, usize>,
+}
+
+/// A shared pool of wrapper-call slots with per-repository concurrency
+/// caps.
+///
+/// `default_cap` applies to every repository without an explicit
+/// [`SourcePool::with_cap`] override; a cap of `0` means unlimited (the
+/// pre-pool behaviour: one thread per call, all submitted immediately).
+///
+/// # Examples
+///
+/// ```
+/// use disco_runtime::SourcePool;
+///
+/// // At most 2 in-flight calls per source, except `r_legacy` which
+/// // tolerates only one.
+/// let pool = SourcePool::new(2).with_cap("r_legacy", 1);
+/// assert_eq!(pool.cap("r_legacy"), 1);
+/// assert_eq!(pool.cap("r0"), 2);
+/// ```
+#[derive(Debug)]
+pub struct SourcePool {
+    default_cap: usize,
+    caps: BTreeMap<String, usize>,
+    state: Mutex<PoolState>,
+    freed: Condvar,
+    /// Calls that had to queue (saw the cap exhausted at least once).
+    queued_calls: AtomicU64,
+    /// Total time calls spent queued, in microseconds.
+    queued_wait_us: AtomicU64,
+}
+
+impl SourcePool {
+    /// Creates a pool capping every repository at `default_cap`
+    /// concurrent wrapper calls (`0` = unlimited).
+    #[must_use]
+    pub fn new(default_cap: usize) -> Self {
+        SourcePool {
+            default_cap,
+            caps: BTreeMap::new(),
+            state: Mutex::new(PoolState::default()),
+            freed: Condvar::new(),
+            queued_calls: AtomicU64::new(0),
+            queued_wait_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Overrides the cap for one repository (`0` = unlimited).
+    #[must_use]
+    pub fn with_cap(mut self, repository: impl Into<String>, cap: usize) -> Self {
+        self.caps.insert(repository.into(), cap);
+        self
+    }
+
+    /// The effective cap for `repository`.
+    #[must_use]
+    pub fn cap(&self, repository: &str) -> usize {
+        self.caps
+            .get(repository)
+            .copied()
+            .unwrap_or(self.default_cap)
+    }
+
+    /// `(calls that queued, total queued time)` since the pool was
+    /// created — the serving layer's contention gauge.
+    #[must_use]
+    pub fn queue_stats(&self) -> (u64, Duration) {
+        (
+            self.queued_calls.load(Ordering::Relaxed),
+            Duration::from_micros(self.queued_wait_us.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// Acquires a call slot for `repository`, blocking while the cap is
+    /// exhausted.  Returns the RAII permit and the time spent queued;
+    /// `None` when `cancelled()` turned true while waiting (the permit
+    /// was never taken).
+    pub(crate) fn acquire(
+        self: &Arc<Self>,
+        repository: &str,
+        cancelled: &dyn Fn() -> bool,
+    ) -> (Option<PoolPermit>, Duration) {
+        let cap = self.cap(repository);
+        if cap == 0 {
+            return (None, Duration::ZERO);
+        }
+        let started = Instant::now();
+        let mut queued = false;
+        let mut state = lock(&self.state);
+        loop {
+            let active = state.active.entry(repository.to_owned()).or_insert(0);
+            if *active < cap {
+                *active += 1;
+                drop(state);
+                let waited = started.elapsed();
+                if queued {
+                    self.queued_wait_us
+                        .fetch_add(waited.as_micros() as u64, Ordering::Relaxed);
+                }
+                return (
+                    Some(PoolPermit {
+                        pool: Arc::clone(self),
+                        repository: repository.to_owned(),
+                    }),
+                    waited,
+                );
+            }
+            if !queued {
+                queued = true;
+                self.queued_calls.fetch_add(1, Ordering::Relaxed);
+            }
+            if cancelled() {
+                self.queued_wait_us
+                    .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+                return (None, started.elapsed());
+            }
+            let (guard, _timeout) = self
+                .freed
+                .wait_timeout(state, QUEUE_POLL)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+    }
+
+    fn release(&self, repository: &str) {
+        {
+            let mut state = lock(&self.state);
+            if let Some(active) = state.active.get_mut(repository) {
+                *active = active.saturating_sub(1);
+            }
+        }
+        self.freed.notify_all();
+    }
+}
+
+/// RAII guard of one acquired wrapper-call slot; dropping it releases
+/// the slot and wakes queued calls.
+pub(crate) struct PoolPermit {
+    pool: Arc<SourcePool>,
+    repository: String,
+}
+
+impl Drop for PoolPermit {
+    fn drop(&mut self) {
+        self.pool.release(&self.repository);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn unlimited_pool_never_queues() {
+        let pool = Arc::new(SourcePool::new(0));
+        let (permit, waited) = pool.acquire("r0", &|| false);
+        assert!(permit.is_none());
+        assert_eq!(waited, Duration::ZERO);
+        assert_eq!(pool.queue_stats().0, 0);
+    }
+
+    #[test]
+    fn cap_bounds_concurrency_and_meters_waits() {
+        let pool = Arc::new(SourcePool::new(1));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let active = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let peak = Arc::clone(&peak);
+                let active = Arc::clone(&active);
+                scope.spawn(move || {
+                    let (permit, _waited) = pool.acquire("r0", &|| false);
+                    assert!(permit.is_some());
+                    let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(5));
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    drop(permit);
+                });
+            }
+        });
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "cap of 1 must serialize");
+        let (queued, waited) = pool.queue_stats();
+        assert!(queued >= 1);
+        assert!(waited > Duration::ZERO);
+    }
+
+    #[test]
+    fn cancelled_waiters_leave_the_queue() {
+        let pool = Arc::new(SourcePool::new(1));
+        let (held, _) = pool.acquire("r0", &|| false);
+        assert!(held.is_some());
+        let (permit, _waited) = pool.acquire("r0", &|| true);
+        assert!(permit.is_none(), "a cancelled waiter must not take a slot");
+        drop(held);
+        let (permit, _) = pool.acquire("r0", &|| false);
+        assert!(permit.is_some(), "the slot must be free again");
+    }
+
+    #[test]
+    fn per_repository_overrides_apply() {
+        let pool = SourcePool::new(4).with_cap("slow", 1).with_cap("bulk", 0);
+        assert_eq!(pool.cap("slow"), 1);
+        assert_eq!(pool.cap("bulk"), 0);
+        assert_eq!(pool.cap("anything-else"), 4);
+    }
+}

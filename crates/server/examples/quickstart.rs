@@ -1,0 +1,30 @@
+//! The README quickstart, compiled: one federated query through the
+//! mediator directly, then the same engine behind a concurrent
+//! `DiscoServer` session.
+//!
+//! ```console
+//! $ cargo run -p disco-server --example quickstart
+//! ```
+
+use disco_core::Mediator;
+use disco_server::{DiscoServer, ServerConfig};
+
+fn main() -> disco_core::Result<()> {
+    let mut mediator = Mediator::new("hr");
+    // Registers two wrapped relational sources under one `person`
+    // interface — the paper's multi-extent setup, in miniature.
+    mediator.register_person_demo()?;
+
+    let answer = mediator.query("select x.name from x in person where x.salary > 10")?;
+    println!(
+        "direct: {} rows, residual: {:?}",
+        answer.data().len(),
+        answer.residual()
+    );
+
+    let server = DiscoServer::from_mediator(&mediator, ServerConfig::default());
+    let session = server.session();
+    let answer = session.query("select x.name from x in person")?;
+    println!("via server session: {} rows", answer.data().len());
+    Ok(())
+}

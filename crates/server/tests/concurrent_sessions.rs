@@ -1,0 +1,259 @@
+//! Concurrent-session behaviour of the serving layer: parity with serial
+//! execution, copy-on-write catalog isolation, per-query deadline and
+//! row-budget isolation, and shared connection-pool metering.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use disco_core::{
+    Attribute, Availability, CapabilitySet, InterfaceDef, Mediator, NetworkProfile, Table, TypeRef,
+    Value,
+};
+use disco_server::{DiscoServer, ServerConfig};
+
+/// A `Person` interface federated over `sources` relational sources,
+/// each holding `rows` people with salaries 0, 100, 200, …
+fn person_mediator(sources: usize, rows: usize, profile: NetworkProfile) -> Mediator {
+    let mut mediator = Mediator::new("serving-test");
+    mediator
+        .define_interface(
+            InterfaceDef::new("Person")
+                .with_extent_name("person")
+                .with_attribute(Attribute::new("name", TypeRef::String))
+                .with_attribute(Attribute::new("salary", TypeRef::Int)),
+        )
+        .unwrap();
+    for s in 0..sources {
+        let extent = format!("person{s}");
+        let mut table = Table::new(&extent, ["name", "salary"]);
+        for r in 0..rows {
+            table
+                .insert_values([
+                    ("name", Value::from(format!("p{s}_{r}").as_str())),
+                    ("salary", Value::Int(100 * r as i64)),
+                ])
+                .unwrap();
+        }
+        mediator
+            .add_relational_source(
+                &extent,
+                "Person",
+                &format!("r{s}"),
+                table,
+                profile.clone(),
+                CapabilitySet::full(),
+            )
+            .unwrap();
+    }
+    mediator
+}
+
+const QUERIES: [&str; 3] = [
+    "select x.name from x in person where x.salary > 150",
+    "select x.salary from x in person",
+    "select x.name from x in person where x.salary = 0",
+];
+
+#[test]
+fn concurrent_sessions_match_serial_answers() {
+    let mediator = person_mediator(3, 4, NetworkProfile::fast());
+    // Exercise admission control too: at most 2 queries execute at once.
+    let server =
+        DiscoServer::from_mediator(&mediator, ServerConfig::default().with_max_concurrent(2));
+
+    // Serial ground truth, straight from the mediator.
+    let expected: Vec<_> = QUERIES.iter().map(|q| mediator.query(q).unwrap()).collect();
+    for answer in &expected {
+        assert!(answer.is_complete());
+    }
+
+    let threads = 8;
+    let per_thread = 6;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let server = &server;
+            let expected = &expected;
+            scope.spawn(move || {
+                let session = server.session();
+                for i in 0..per_thread {
+                    let pick = (t + i) % QUERIES.len();
+                    let answer = session.query(QUERIES[pick]).unwrap();
+                    assert!(answer.is_complete());
+                    assert_eq!(
+                        answer.data(),
+                        expected[pick].data(),
+                        "concurrent answer diverged from serial for {:?}",
+                        QUERIES[pick]
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.queries_served, (threads * per_thread) as u64);
+    // 48 queries over 3 texts against one catalog generation: the shared
+    // plan cache must have been reused across sessions.
+    assert!(stats.plan_cache.0 > 0, "expected plan-cache hits");
+}
+
+#[test]
+fn mid_flight_catalog_update_does_not_affect_admitted_queries() {
+    // One slow source so the first query is reliably in flight while the
+    // schema changes under it.
+    let slow = NetworkProfile::fast()
+        .with_availability(Availability::Slow { extra_ms: 80 })
+        .with_real_sleep(true);
+    let mut mediator = person_mediator(1, 2, slow);
+    mediator.set_deadline(None);
+    let server = DiscoServer::from_mediator(&mediator, ServerConfig::default());
+
+    let in_flight = {
+        let session = server.session();
+        std::thread::spawn(move || session.query("select x.name from x in person").unwrap())
+    };
+    // Give the query time to be admitted and take its snapshot.
+    std::thread::sleep(Duration::from_millis(20));
+
+    // DDL while the query is in flight: a second Person source appears.
+    // The wrapper implementation must be registered before the extent
+    // becomes queryable; the registry is shared and synchronized.
+    let store = Arc::new(disco_source::RelationalStore::new());
+    let mut table = Table::new("person_extra", ["name", "salary"]);
+    table
+        .insert_values([
+            ("name", Value::from("Newcomer")),
+            ("salary", Value::Int(999)),
+        ])
+        .unwrap();
+    store.put_table(table);
+    let link = Arc::new(disco_source::SimulatedLink::new(
+        "r_extra",
+        NetworkProfile::fast(),
+        7,
+    ));
+    server
+        .registry()
+        .register(Arc::new(disco_wrapper::RelationalWrapper::new(
+            "w_person_extra",
+            store,
+            link,
+        )));
+    server
+        .update_catalog(|catalog| {
+            catalog.add_repository(disco_core::Repository::new("r_extra"))?;
+            catalog.add_wrapper(disco_core::WrapperDef::new("w_person_extra", "relational"))?;
+            catalog.add_extent(disco_core::MetaExtent::new(
+                "person_extra",
+                "Person",
+                "w_person_extra",
+                "r_extra",
+            ))
+        })
+        .unwrap();
+
+    // The admitted query answered against its snapshot: no Newcomer.
+    let old = in_flight.join().unwrap();
+    assert!(old.is_complete());
+    assert_eq!(old.data().len(), 2);
+    assert!(!old.data().iter().any(|v| *v == Value::from("Newcomer")));
+
+    // A query admitted after the update sees the new source.
+    let new = server
+        .session()
+        .query("select x.name from x in person")
+        .unwrap();
+    assert!(new.is_complete());
+    assert_eq!(new.data().len(), 3);
+    assert!(new.data().iter().any(|v| *v == Value::from("Newcomer")));
+}
+
+#[test]
+fn per_query_deadline_cancels_only_its_own_query() {
+    let slow = NetworkProfile::fast()
+        .with_availability(Availability::Slow { extra_ms: 150 })
+        .with_real_sleep(true);
+    let mediator = person_mediator(1, 2, slow);
+    let server = DiscoServer::from_mediator(&mediator, ServerConfig::default());
+
+    let strict = server
+        .session()
+        .with_deadline(Some(Duration::from_millis(25)));
+    let patient = server.session().with_deadline(None);
+    std::thread::scope(|scope| {
+        let strict_answer =
+            scope.spawn(move || strict.query("select x.name from x in person").unwrap());
+        let patient_answer =
+            scope.spawn(move || patient.query("select x.name from x in person").unwrap());
+        let strict_answer = strict_answer.join().unwrap();
+        let patient_answer = patient_answer.join().unwrap();
+        // The strict session's query hit its deadline: partial answer
+        // with a residual over the slow source.
+        assert!(!strict_answer.is_complete());
+        assert_eq!(strict_answer.unavailable_sources(), &["r0".to_owned()]);
+        // The concurrent patient query was untouched by that cancellation.
+        assert!(patient_answer.is_complete());
+        assert_eq!(patient_answer.data().len(), 2);
+    });
+}
+
+#[test]
+fn row_budget_degrades_to_a_partial_answer_with_residual() {
+    let mediator = person_mediator(2, 1, NetworkProfile::fast());
+    let server = DiscoServer::from_mediator(&mediator, ServerConfig::default());
+    let session = server.session().with_row_budget(Some(1));
+    let answer = session.query("select x.name from x in person").unwrap();
+    // Two sources of one row each against a budget of one: exactly one
+    // source delivers, the other is cancelled through the deadline path
+    // and becomes residual.
+    assert!(!answer.is_complete());
+    assert_eq!(answer.data().len(), 1);
+    assert_eq!(answer.unavailable_sources().len(), 1);
+    assert!(answer.residual().is_some());
+
+    // An unbudgeted session on the same server is unaffected.
+    let full = server
+        .session()
+        .query("select x.name from x in person")
+        .unwrap();
+    assert!(full.is_complete());
+    assert_eq!(full.data().len(), 2);
+}
+
+#[test]
+fn shared_source_pool_caps_concurrency_and_meters_waits() {
+    let slow = NetworkProfile::fast()
+        .with_availability(Availability::Slow { extra_ms: 20 })
+        .with_real_sleep(true);
+    let mut mediator = person_mediator(2, 2, slow);
+    mediator.set_deadline(None);
+    let pool = Arc::new(disco_runtime::SourcePool::new(1));
+    let server = DiscoServer::from_mediator(
+        &mediator,
+        ServerConfig::default().with_source_pool(Arc::clone(&pool)),
+    );
+    let expected = mediator.query("select x.salary from x in person").unwrap();
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let server = &server;
+            let expected = &expected;
+            scope.spawn(move || {
+                let answer = server
+                    .session()
+                    .query("select x.salary from x in person")
+                    .unwrap();
+                assert!(answer.is_complete());
+                assert_eq!(answer.data(), expected.data());
+            });
+        }
+    });
+
+    // 8 wrapper calls over 2 repositories at cap 1, each holding its
+    // slot ≥ 20 ms: queuing must have happened and been metered.
+    let (queued, waited) = pool.queue_stats();
+    assert!(queued > 0, "expected queued wrapper calls");
+    assert!(waited > Duration::ZERO);
+    let stats = server.stats();
+    assert_eq!(stats.source_pool_queued, Some((queued, waited)));
+}
