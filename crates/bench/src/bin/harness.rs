@@ -13,7 +13,8 @@
 //! `BENCH_e9.json` in the current directory so the perf trajectory of the
 //! mediator combine step is tracked from PR to PR; E10 (federation
 //! overlap, streamed vs blocking resolution) is likewise recorded to
-//! `BENCH_e10.json`, E11 (multi-query serving layer) to
+//! `BENCH_e10.json`, E10h (heterogeneous federation, adaptive vs pinned
+//! scheduling) to `BENCH_e10h.json`, E11 (multi-query serving layer) to
 //! `BENCH_e11.json`, and E12 (memory-budgeted spilling) to
 //! `BENCH_e12.json`.
 
@@ -77,6 +78,13 @@ fn main() {
         }
         reports.push(report);
     }
+    if wanted("e10h") {
+        let report = experiments::e10_heterogeneous_adaptive(scale);
+        if let Err(err) = std::fs::write("BENCH_e10h.json", report.to_json()) {
+            eprintln!("warning: could not write BENCH_e10h.json: {err}");
+        }
+        reports.push(report);
+    }
     if wanted("e11") {
         let report = experiments::e11_serving(scale);
         if let Err(err) = std::fs::write("BENCH_e11.json", report.to_json()) {
@@ -93,7 +101,7 @@ fn main() {
     }
 
     if reports.is_empty() {
-        eprintln!("unknown experiment selection {selection:?}; use e1..e12 or all");
+        eprintln!("unknown experiment selection {selection:?}; use e1..e12, e10h, or all");
         std::process::exit(2);
     }
     for report in &reports {

@@ -1133,6 +1133,158 @@ pub fn e10_federation_overlap(scale: Scale) -> Report {
 }
 
 // ---------------------------------------------------------------------
+// E10h — heterogeneous federation: adaptive vs pinned scheduling
+// ---------------------------------------------------------------------
+
+/// E10h: heterogeneity-aware adaptive scheduling over the E10 federation.
+///
+/// The same skewed federation as E10 — one source answers ~10× slower
+/// than the rest — executed through a join the slow source feeds, with
+/// the pinned scheduler (`AdaptiveMode::Off`) and the adaptive engine
+/// (`AdaptiveMode::On`): rate-proportional morsel claims and the
+/// first-answer build-side choice.  Every answer is asserted
+/// multiset-identical to the pinned serial baseline; the table tracks
+/// how wall-clock and first-row latency move when adaptivity engages.
+///
+/// # Panics
+///
+/// Panics if an adaptive answer diverges from the pinned baseline.
+#[must_use]
+pub fn e10_heterogeneous_adaptive(scale: Scale) -> Report {
+    use disco_core::ResolutionMode;
+    use disco_runtime::AdaptiveMode;
+
+    let sources = 4usize;
+    let rows = scale.rows.max(40);
+    let chunk = (rows / 8).max(1);
+    let fast_ms = 0.5 + rows as f64 * 0.025;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let slow_extra_ms = (fast_ms * 9.0 / 8.0).ceil().max(1.0) as u64;
+    let fast = NetworkProfile {
+        base_latency_us: 500,
+        per_row_us: 25,
+        jitter: 0.0,
+        availability: Availability::Available,
+        real_sleep: true,
+        chunk_rows: chunk,
+    };
+    let trials = scale.trials.clamp(3, 7);
+    let mut report = Report::new(
+        "E10h",
+        "heterogeneous federation: adaptive vs pinned scheduling",
+        &format!(
+            "{sources} person sources x {rows} rows, chunked ({chunk} rows/chunk), real \
+             sleeps; source {} degraded ~10x ({slow_extra_ms} ms extra per chunk); join \
+             fed by the degraded source; median of {trials} trials",
+            sources - 1
+        ),
+        &["adaptive", "threads", "wall ms", "t_first ms", "rows"],
+    );
+
+    let federation =
+        person_federation_with_profile(sources, rows, CapabilitySet::full(), fast.clone());
+    federation.links[sources - 1].set_profile(fast.with_availability(Availability::Degraded {
+        chunk_extra_ms: slow_extra_ms,
+    }));
+    // A join the degraded source feeds: the adaptive engine may build the
+    // first-answered fast side instead of waiting on the slow one, and
+    // morsel claims shrink for workers stuck behind slow chunks.
+    let slow = sources - 1;
+    let plan = lower(
+        &LogicalExpr::Join {
+            left: Box::new(
+                LogicalExpr::get(format!("person{slow}"))
+                    .submit(
+                        format!("r{slow}"),
+                        format!("w_person{slow}"),
+                        format!("person{slow}"),
+                    )
+                    .bind("x"),
+            ),
+            right: Box::new(
+                LogicalExpr::get("person0")
+                    .submit("r0", "w_person0", "person0")
+                    .bind("y"),
+            ),
+            predicate: Some(ScalarExpr::binary(
+                ScalarOp::Eq,
+                ScalarExpr::var_field("x", "id"),
+                ScalarExpr::var_field("y", "id"),
+            )),
+        }
+        .map_project(ScalarExpr::StructLit(vec![
+            ("name".into(), ScalarExpr::var_field("x", "name")),
+            ("peer".into(), ScalarExpr::var_field("y", "name")),
+        ])),
+    )
+    .expect("plan lowers");
+
+    let run = |adaptive: AdaptiveMode, threads: usize| {
+        Executor::new(federation.mediator.registry().clone())
+            .with_resolution(ResolutionMode::Streamed)
+            .with_threads(threads)
+            .with_adaptive(adaptive)
+            .with_deadline(Some(std::time::Duration::from_secs(30)))
+            .execute(&plan, federation.mediator.catalog())
+            .expect("executes")
+    };
+    let baseline = run(AdaptiveMode::Off, 1);
+    assert!(baseline.is_complete(), "no source is unavailable here");
+
+    let median = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    for adaptive in [AdaptiveMode::Off, AdaptiveMode::On] {
+        for threads in [1usize, 4] {
+            let mut walls = Vec::with_capacity(trials);
+            let mut firsts = Vec::with_capacity(trials);
+            let mut answered = 0usize;
+            for _ in 0..trials {
+                let started = Instant::now();
+                let answer = run(adaptive, threads);
+                walls.push(started.elapsed().as_secs_f64() * 1000.0);
+                assert_eq!(
+                    answer.data(),
+                    baseline.data(),
+                    "adaptive scheduling changed the answer ({adaptive:?}, {threads} threads)"
+                );
+                if let Some(t) = answer.time_to_first_row() {
+                    firsts.push(t.as_secs_f64() * 1000.0);
+                }
+                answered = answer.data().len();
+            }
+            let wall = median(&mut walls);
+            let t_first = if firsts.is_empty() {
+                f64::NAN
+            } else {
+                median(&mut firsts)
+            };
+            report.push_row([
+                format!("{adaptive:?}").to_lowercase(),
+                threads.to_string(),
+                fmt_f64(wall),
+                fmt_f64(t_first),
+                answered.to_string(),
+            ]);
+        }
+    }
+    report.push_note(
+        "every answer is asserted multiset-identical to the pinned serial baseline; \
+         only scheduling (morsel claim sizes, hash-join build side) may differ",
+    );
+    report.push_note(
+        "rows_materialized is not compared: the adaptive build-side choice may buffer \
+         the first-answered input instead of the smaller one",
+    );
+    report.push_note(
+        "single-core CI hosts serialize the workers, so wall deltas are indicative \
+         only; the equivalence assertions are the load-bearing part",
+    );
+    report
+}
+
+// ---------------------------------------------------------------------
 // E11 — multi-query serving layer
 // ---------------------------------------------------------------------
 
@@ -1446,8 +1598,8 @@ pub fn e12_spill(scale: Scale) -> Report {
          never-tripping bounded probe; budgeted runs get a tenth of it",
     );
     report.push_note(
-        "peak/budget stays near 1: trip detection is per batch, so tracked bytes \
-         overshoot by at most one batch of entries before state moves to disk",
+        "peak/budget stays near 1: trips are acted on per admitted entry, so tracked \
+         bytes overshoot by at most one entry before state moves to disk",
     );
     report
 }
@@ -1466,6 +1618,7 @@ pub fn run_all(scale: Scale) -> Vec<Report> {
         e8_semijoin_gap(scale),
         e9_evaluator_throughput(scale),
         e10_federation_overlap(scale),
+        e10_heterogeneous_adaptive(scale),
         e11_serving(scale),
         e12_spill(scale),
     ]

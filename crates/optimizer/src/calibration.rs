@@ -69,12 +69,27 @@ impl CostEstimate {
     }
 }
 
+/// Per-repository health tracking: the best (lowest) per-row latency
+/// ever observed is the repository's baseline; each call's latency in
+/// excess of that baseline feeds an exponential moving average.  A
+/// chronically degraded source accumulates a large smoothed excess; a
+/// recovered source decays it by half per healthy observation.
+#[derive(Debug, Clone, Copy)]
+struct Degradation {
+    /// Fastest observed per-row latency (ms/row) — the healthy baseline.
+    best_per_row_ms: f64,
+    /// Smoothed per-call latency excess over the baseline, in ms.
+    excess_ms: f64,
+}
+
 #[derive(Debug, Default)]
 struct StoreInner {
     /// Exact observations keyed by `(repository, plan text)`.
     exact: BTreeMap<(String, String), Vec<Observation>>,
     /// Close-match observations keyed by `(repository, plan fingerprint)`.
     close: BTreeMap<(String, String), Vec<Observation>>,
+    /// Per-repository degradation state, keyed by repository name.
+    degraded: BTreeMap<String, Degradation>,
 }
 
 /// Thread-safe store of recorded `exec` calls with smoothing.
@@ -105,17 +120,67 @@ impl CalibrationStore {
         push_capped(&mut inner.close, close_key, obs);
     }
 
+    /// Feeds one observed source call into the repository's degradation
+    /// tracker: `latency_ms` of wall/simulated latency (including any
+    /// time the mediator spent blocked waiting on the source's chunks)
+    /// for `rows` rows returned.
+    ///
+    /// The lowest per-row latency ever seen is the repository's healthy
+    /// baseline; the excess of each call over that baseline is smoothed
+    /// (EWMA) into a penalty that [`CalibrationStore::estimate`] adds to
+    /// every estimate against the repository — so repeated queries
+    /// re-plan around a chronically degraded source, and the penalty
+    /// halves with each healthy call once the source recovers.
+    pub fn note_source_wait(&self, repository: &str, latency_ms: f64, rows: usize) {
+        if !latency_ms.is_finite() || latency_ms < 0.0 {
+            return;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let per_row = latency_ms / rows.max(1) as f64;
+        let mut inner = self.inner.write();
+        let entry = inner
+            .degraded
+            .entry(repository.to_owned())
+            .or_insert(Degradation {
+                best_per_row_ms: per_row,
+                excess_ms: 0.0,
+            });
+        if per_row < entry.best_per_row_ms {
+            entry.best_per_row_ms = per_row;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let excess = (per_row - entry.best_per_row_ms) * rows.max(1) as f64;
+        let alpha = 0.5;
+        entry.excess_ms = alpha * excess + (1.0 - alpha) * entry.excess_ms;
+    }
+
+    /// The smoothed latency excess (ms) of `repository` over its healthy
+    /// baseline — `0.0` for an untracked or healthy repository.
+    #[must_use]
+    pub fn degradation_ms(&self, repository: &str) -> f64 {
+        self.inner
+            .read()
+            .degraded
+            .get(repository)
+            .map_or(0.0, |d| d.excess_ms)
+    }
+
     /// Estimates the cost of an `exec` call against `repository` shipping
-    /// `expr`, using exact → close → default lookup.
+    /// `expr`, using exact → close → default lookup.  The repository's
+    /// smoothed degradation penalty ([`CalibrationStore::
+    /// note_source_wait`]) is added to the time estimate of every match
+    /// kind, so a chronically slow source costs more than its recorded
+    /// call shapes alone suggest.
     #[must_use]
     pub fn estimate(&self, repository: &str, expr: &LogicalExpr) -> CostEstimate {
         let inner = self.inner.read();
+        let penalty = inner.degraded.get(repository).map_or(0.0, |d| d.excess_ms);
         let exact_key = (repository.to_owned(), expr.to_string());
         if let Some(observations) = inner.exact.get(&exact_key) {
             if !observations.is_empty() {
                 let (time_ms, rows) = smooth(observations);
                 return CostEstimate {
-                    time_ms,
+                    time_ms: time_ms + penalty,
                     rows,
                     source: MatchKind::Exact,
                 };
@@ -126,13 +191,15 @@ impl CalibrationStore {
             if !observations.is_empty() {
                 let (time_ms, rows) = smooth(observations);
                 return CostEstimate {
-                    time_ms,
+                    time_ms: time_ms + penalty,
                     rows,
                     source: MatchKind::Close,
                 };
             }
         }
-        CostEstimate::default_estimate()
+        let mut estimate = CostEstimate::default_estimate();
+        estimate.time_ms += penalty;
+        estimate
     }
 
     /// Number of distinct exact call shapes recorded.
@@ -153,11 +220,12 @@ impl CalibrationStore {
         self.inner.read().exact.values().map(Vec::len).sum()
     }
 
-    /// Clears every recorded observation.
+    /// Clears every recorded observation and degradation state.
     pub fn clear(&self) {
         let mut inner = self.inner.write();
         inner.exact.clear();
         inner.close.clear();
+        inner.degraded.clear();
     }
 }
 
@@ -260,11 +328,54 @@ mod tests {
     fn clear_resets_everything() {
         let store = CalibrationStore::new();
         store.record("r0", &filter_plan(10), 5.0, 3);
+        store.note_source_wait("r0", 100.0, 1);
+        store.note_source_wait("r0", 900.0, 1);
         store.clear();
         assert_eq!(store.exact_shapes(), 0);
+        assert_eq!(store.degradation_ms("r0"), 0.0);
         assert_eq!(
             store.estimate("r0", &filter_plan(10)).source,
             MatchKind::Default
+        );
+    }
+
+    #[test]
+    fn degradation_penalty_raises_estimates_for_slow_sources() {
+        let store = CalibrationStore::new();
+        store.record("r0", &filter_plan(10), 12.0, 40);
+        // Healthy baseline: 1 ms/row.  The source then degrades ~10x.
+        store.note_source_wait("r0", 40.0, 40);
+        assert_eq!(store.degradation_ms("r0"), 0.0, "baseline is healthy");
+        store.note_source_wait("r0", 400.0, 40);
+        let penalty = store.degradation_ms("r0");
+        assert!((penalty - 180.0).abs() < 1e-9, "penalty {penalty}");
+        let est = store.estimate("r0", &filter_plan(10));
+        assert_eq!(est.source, MatchKind::Exact);
+        assert!((est.time_ms - (12.0 + penalty)).abs() < 1e-9);
+        // Other repositories are unaffected, including their defaults.
+        assert_eq!(store.estimate("r1", &filter_plan(10)).time_ms, 0.0);
+        // The default estimate for the degraded repository also carries
+        // the penalty, steering the optimizer away even without history.
+        let other = LogicalExpr::get("person9").project(["name"]);
+        let default = store.estimate("r0", &other);
+        assert_eq!(default.source, MatchKind::Default);
+        assert!((default.time_ms - penalty).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degradation_penalty_decays_once_the_source_recovers() {
+        let store = CalibrationStore::new();
+        store.note_source_wait("r0", 10.0, 10);
+        store.note_source_wait("r0", 100.0, 10);
+        let degraded = store.degradation_ms("r0");
+        assert!(degraded > 0.0);
+        for _ in 0..8 {
+            store.note_source_wait("r0", 10.0, 10);
+        }
+        let recovered = store.degradation_ms("r0");
+        assert!(
+            recovered < degraded / 100.0,
+            "penalty should decay: {degraded} -> {recovered}"
         );
     }
 }

@@ -46,7 +46,7 @@ use disco_wrapper::{
 };
 
 use crate::pipeline::spill::{self, SpillFile};
-use crate::pipeline::MemBudget;
+use crate::pipeline::{AdaptiveMode, MemBudget};
 use crate::pool::SourcePool;
 use crate::{Result, RuntimeError};
 
@@ -663,6 +663,20 @@ impl PendingSource {
         lock(&self.state).total_rows()
     }
 
+    /// Non-blocking final-length probe: `Some(total rows)` only when the
+    /// wrapper call has already completed successfully, `None` while it
+    /// is still streaming (or after a failure).  The adaptive hash-join
+    /// build side uses this to start building on whichever side answered
+    /// first instead of blocking on the final spool length.
+    #[must_use]
+    pub fn finished_len(&self) -> Option<usize> {
+        let state = lock(&self.state);
+        match state.status {
+            SpoolStatus::Done => Some(state.total_rows()),
+            _ => None,
+        }
+    }
+
     /// The one wait loop every consumer goes through: blocks until
     /// `inspect` yields a value, with the missed-wakeup protocol (read
     /// the event generation *before* inspecting state) and one deadline
@@ -847,6 +861,11 @@ pub struct ExecutionConfig {
     /// answer whose residual re-fetches the cancelled sources.  `None`
     /// (the default) is unlimited.
     pub row_budget: Option<usize>,
+    /// Heterogeneity-aware scheduling: speed-proportional morsel
+    /// claiming and adaptive hash-join build-side selection.
+    /// [`AdaptiveMode::Auto`] (the default) defers to the
+    /// `DISCO_ADAPTIVE` environment variable.
+    pub adaptive: AdaptiveMode,
 }
 
 impl Default for ExecutionConfig {
@@ -859,6 +878,7 @@ impl Default for ExecutionConfig {
             mem_budget: MemBudget::default(),
             source_pool: None,
             row_budget: None,
+            adaptive: AdaptiveMode::default(),
         }
     }
 }

@@ -14,7 +14,7 @@ use crate::exec::{
     resolve_execs, resolve_execs_streamed, ExecutionConfig, ResolutionMode, ResolvedExecs,
 };
 use crate::partial::{partial_evaluate_opts, substitute_resolved, Answer, ExecutionStats};
-use crate::pipeline::{MemBudget, PipelineMetrics, PipelineOptions};
+use crate::pipeline::{AdaptiveMode, MemBudget, PipelineMetrics, PipelineOptions};
 use crate::{Result, RuntimeError};
 
 /// Executes physical plans against the registered wrappers.
@@ -110,6 +110,17 @@ impl Executor {
         self
     }
 
+    /// Sets the heterogeneity-aware scheduling mode: [`AdaptiveMode::On`]
+    /// engages speed-proportional morsel claiming and adaptive hash-join
+    /// build-side selection, [`AdaptiveMode::Off`] pins the deterministic
+    /// schedule, and [`AdaptiveMode::Auto`] (the default) defers to the
+    /// `DISCO_ADAPTIVE` environment variable.
+    #[must_use]
+    pub fn with_adaptive(mut self, adaptive: AdaptiveMode) -> Self {
+        self.config.adaptive = adaptive;
+        self
+    }
+
     /// Caps the total rows this query may transfer from its sources.
     /// Exhausting the budget cancels the still-streaming calls through
     /// the deadline path: the query completes as a partial answer whose
@@ -146,9 +157,28 @@ impl Executor {
     /// Hard errors only: capability violations, type conflicts, unknown
     /// wrappers/tables, evaluation errors.  Unavailability is not an error.
     pub fn execute(&self, plan: &PhysicalExpr, catalog: &Catalog) -> Result<Answer> {
-        match self.config.resolution {
+        let answer = match self.config.resolution {
             ResolutionMode::Streamed => self.execute_streamed(plan, catalog),
             ResolutionMode::Blocking => self.execute_blocking(plan, catalog),
+        }?;
+        self.note_source_health(answer.stats());
+        Ok(answer)
+    }
+
+    /// Feeds the execution's observed per-source behaviour back into the
+    /// calibration store: each answered call's latency and row count
+    /// update the repository's degradation tracker, so repeated queries
+    /// re-plan around chronically slow sources (and stop penalizing them
+    /// once they recover).
+    fn note_source_health(&self, stats: &ExecutionStats) {
+        let Some(store) = &self.config.calibration else {
+            return;
+        };
+        for call in &stats.source_calls {
+            if call.available {
+                let latency_ms = call.latency.as_secs_f64() * 1000.0;
+                store.note_source_wait(&call.repository, latency_ms, call.rows_returned);
+            }
         }
     }
 
@@ -160,6 +190,7 @@ impl Executor {
         let options = PipelineOptions {
             threads: self.config.threads,
             mem_budget: self.config.mem_budget,
+            adaptive: self.config.adaptive,
             ..PipelineOptions::default()
         };
         if resolved.all_available() {
@@ -200,6 +231,7 @@ impl Executor {
         let options = PipelineOptions {
             threads: self.config.threads,
             mem_budget: self.config.mem_budget,
+            adaptive: self.config.adaptive,
             ..PipelineOptions::default()
         };
         let metrics = PipelineMetrics::new();

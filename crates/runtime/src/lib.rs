@@ -116,7 +116,9 @@ pub use partial::{
     is_fully_resolved, partial_evaluate, partial_evaluate_opts, partial_evaluate_reference,
     substitute_resolved, Answer, ExecutionStats,
 };
-pub use pipeline::{BuildSide, ColumnarMode, MemBudget, PipelineMetrics, PipelineOptions};
+pub use pipeline::{
+    AdaptiveMode, BuildSide, ColumnarMode, MemBudget, PipelineMetrics, PipelineOptions,
+};
 pub use pool::SourcePool;
 
 /// Convenience result alias for runtime operations.

@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use disco_algebra::ScalarExpr;
 use disco_value::Value;
@@ -30,6 +30,17 @@ use super::{eval_in_pair, eval_in_row, BoxedRowStream, PipelineCtx, Result, Row,
 /// ~25 units of claimable work for a 4-thread pool, large enough that the
 /// per-morsel cursor construction and queue claim are noise.
 pub(crate) const MORSEL_ROWS: usize = 4096;
+
+/// Smallest useful morsel: below this, claim overhead dominates the work.
+pub(crate) const MIN_MORSEL_ROWS: usize = 16;
+
+/// The per-claim morsel size for `len` rows on `threads` workers — the
+/// formula shared by the pinned range list ([`morsel_ranges`]) and the
+/// adaptive claimer's *base* size (which scales it down per worker).
+pub(crate) fn morsel_size(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads.max(1) * 4)
+        .clamp(MIN_MORSEL_ROWS, MORSEL_ROWS)
+}
 
 /// Splits `len` rows into morsel ranges for a pool of `threads` workers.
 ///
@@ -43,11 +54,91 @@ pub(crate) fn morsel_ranges(len: usize, threads: usize) -> Vec<std::ops::Range<u
     if len == 0 {
         return Vec::new();
     }
-    let per_claim = len.div_ceil(threads.max(1) * 4);
-    let size = per_claim.clamp(16, MORSEL_ROWS);
+    let size = morsel_size(len, threads);
     (0..len.div_ceil(size))
         .map(|i| i * size..((i + 1) * size).min(len))
         .collect()
+}
+
+/// Per-worker observed throughput for the heterogeneity-aware scheduler:
+/// an exponential moving average of rows/sec per completed claim.  Slow
+/// workers (a degraded core, a worker stuck behind a trickling source)
+/// report low rates and are handed proportionally smaller morsels, so the
+/// barrier never waits on one oversized claim held by the slowest worker.
+///
+/// Rates are relaxed atomics (f64 bits): the tracker steers claim sizes,
+/// it never affects answers, so racy reads are harmless.
+pub(crate) struct RateTracker {
+    rates: Vec<AtomicU64>,
+}
+
+/// EWMA smoothing factor for per-worker rate observations.
+const RATE_ALPHA: f64 = 0.5;
+
+/// Slowest-to-fastest claim-size ratio the adaptive claimer will apply: a
+/// worker is never handed less than 1/8 of the base morsel, so even a
+/// badly degraded worker keeps contributing.
+const MIN_CLAIM_FACTOR: f64 = 0.125;
+
+impl RateTracker {
+    pub(crate) fn new(workers: usize) -> Self {
+        RateTracker {
+            rates: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Fold in one completed claim: `rows` processed in `elapsed`.
+    pub(crate) fn note(&self, worker: usize, rows: usize, elapsed: std::time::Duration) {
+        let Some(slot) = self.rates.get(worker) else {
+            return;
+        };
+        if rows == 0 {
+            return;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let rate = rows as f64 / elapsed.as_secs_f64().max(1e-9);
+        let prev = f64::from_bits(slot.load(Ordering::Relaxed));
+        let next = if prev > 0.0 {
+            RATE_ALPHA * rate + (1.0 - RATE_ALPHA) * prev
+        } else {
+            rate
+        };
+        slot.store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// How much of the base morsel `worker` should claim next: its
+    /// observed rate relative to the pool's fastest, clamped to
+    /// `[1/8, 1]`.  Workers with no observation yet claim a full morsel.
+    pub(crate) fn claim_factor(&self, worker: usize) -> f64 {
+        let Some(slot) = self.rates.get(worker) else {
+            return 1.0;
+        };
+        let mine = f64::from_bits(slot.load(Ordering::Relaxed));
+        if mine <= 0.0 {
+            return 1.0;
+        }
+        let fastest = self
+            .rates
+            .iter()
+            .map(|r| f64::from_bits(r.load(Ordering::Relaxed)))
+            .fold(0.0_f64, f64::max);
+        if fastest <= 0.0 {
+            return 1.0;
+        }
+        (mine / fastest).clamp(MIN_CLAIM_FACTOR, 1.0)
+    }
+
+    /// Scale `base` rows by the worker's claim factor, keeping at least
+    /// [`MIN_MORSEL_ROWS`] (or `base` itself when smaller).
+    pub(crate) fn scaled_claim(&self, worker: usize, base: usize) -> usize {
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let scaled = (base as f64 * self.claim_factor(worker)) as usize;
+        scaled.clamp(MIN_MORSEL_ROWS.min(base), base)
+    }
 }
 
 /// A claim-by-counter work list: task indexes `0..total` are handed out
@@ -290,6 +381,44 @@ mod tests {
         }
         assert_eq!(seen, vec![0, 1, 2, 3, 4]);
         assert_eq!(queue.claim(), None);
+    }
+
+    #[test]
+    fn rate_tracker_shrinks_slow_worker_claims() {
+        use std::time::Duration;
+        let rates = RateTracker::new(2);
+        // No observations yet: everyone claims a full morsel.
+        assert_eq!(rates.scaled_claim(0, 4096), 4096);
+        assert_eq!(rates.scaled_claim(1, 4096), 4096);
+        // Worker 0 processes 4x faster than worker 1.
+        rates.note(0, 4096, Duration::from_millis(10));
+        rates.note(1, 4096, Duration::from_millis(40));
+        assert!((rates.claim_factor(0) - 1.0).abs() < 1e-9);
+        let slow = rates.claim_factor(1);
+        assert!((slow - 0.25).abs() < 1e-9, "factor {slow}");
+        assert_eq!(rates.scaled_claim(1, 4096), 1024);
+        // The factor floor keeps a badly degraded worker contributing.
+        rates.note(1, 16, Duration::from_secs(10));
+        rates.note(1, 16, Duration::from_secs(10));
+        assert!((rates.claim_factor(1) - 0.125).abs() < 1e-9);
+        // And the row floor keeps claims useful.
+        assert_eq!(rates.scaled_claim(1, 64), 16);
+        assert_eq!(rates.scaled_claim(1, 8), 8);
+    }
+
+    #[test]
+    fn rate_tracker_ewma_smooths_observations() {
+        use std::time::Duration;
+        let rates = RateTracker::new(1);
+        rates.note(0, 1000, Duration::from_secs(1));
+        rates.note(0, 3000, Duration::from_secs(1));
+        // EWMA with alpha 0.5: 0.5*3000 + 0.5*1000 = 2000 rows/sec; a
+        // single worker always claims the full base regardless.
+        assert_eq!(rates.scaled_claim(0, 4096), 4096);
+        // Out-of-range worker ids and zero-row claims are ignored.
+        rates.note(7, 100, Duration::from_secs(1));
+        rates.note(0, 0, Duration::from_secs(1));
+        assert!((rates.claim_factor(7) - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //! consumption only) are identical to the in-memory path; only the
 //! emission *order* differs (partition-major), which the answer bag —
 //! a multiset — does not observe.
+//!
+//! The nested-loop and merge-tuples inner buffers are bounded too
+//! ([`InnerBuffer`]): rows past the budget trip go to a single disk run
+//! that is rewound and re-read once per outer row, at row-granularity
+//! trip detection (peak overshoot ≤ one row).  Emission order is
+//! unchanged — the tail pass replays rows in their original order.
 
 use std::collections::hash_map::RandomState;
 use std::collections::{HashMap, VecDeque};
@@ -35,10 +41,18 @@ use disco_value::{approx_value_bytes, Value};
 
 use super::sink::IdentityHasher;
 use super::spill::{
-    approx_row_bytes, record_row, row_record, spill_partition, RunFile, RunFileReader,
-    MAX_SPILL_LEVEL, SPILL_FANOUT,
+    approx_row_bytes, record_row, row_record, spill_partition, RewindableRun, RunFile,
+    RunFileReader, RunPass, MAX_SPILL_LEVEL, SPILL_FANOUT,
 };
-use super::{eval_in_pair, eval_in_row, BoxedRowStream, PipelineCtx, Result, Row, RowStream};
+use super::{
+    eval_in_pair, eval_in_row, BoxedRowStream, Frame, PipelineCtx, Result, Row, RowStream,
+};
+
+/// Cost threshold for the adaptive build-side choice
+/// ([`super::decide_build_side`]): a first-answered side larger than this
+/// many rows is not adopted as the build side — buffering it would likely
+/// cost more than waiting out the still-streaming side.
+pub(crate) const ADAPTIVE_BUILD_MAX_ROWS: usize = 1 << 20;
 
 /// Which hash-join input to buffer as the build side.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -590,33 +604,132 @@ fn split_partition<'a>(
     Ok(LoadOutcome::Split(children))
 }
 
-/// Materializes a cursor into a vector of rows, validating struct frames
-/// and counting the buffered rows.
-fn buffer_rows<'a>(mut input: BoxedRowStream<'a>, ctx: PipelineCtx<'a>) -> Result<Vec<Row<'a>>> {
-    let mut rows = Vec::new();
-    loop {
-        let start = rows.len();
-        let more = input.next_batch(&mut rows, super::BATCH_ROWS)?;
-        for row in &rows[start..] {
-            check_struct_frames(row)?;
-            ctx.metrics.bump_materialized();
-        }
-        if !more {
-            return Ok(rows);
+/// The budget-bounded inner buffer of the nested-loop and merge-tuples
+/// joins: a resident prefix (charged against the budget) plus an optional
+/// disk tail for everything past the trip point.  The tail is re-read
+/// once per outer row through [`RewindableRun::pass`].
+///
+/// The trip is at **row granularity** — the first row whose charge fails
+/// goes to disk immediately (and is uncharged), so the tracked peak
+/// overshoots the limit by at most that one row.  Every row is counted in
+/// `rows_materialized` at original consumption, spilled or not, so the
+/// counter is budget-invariant; the run's bytes land in `bytes_spilled`.
+struct InnerBuffer<T> {
+    resident: Vec<T>,
+    tail: Option<Tail>,
+    charged: usize,
+}
+
+impl<T> Default for InnerBuffer<T> {
+    fn default() -> Self {
+        InnerBuffer {
+            resident: Vec::new(),
+            tail: None,
+            charged: 0,
         }
     }
 }
 
+impl<T> InnerBuffer<T> {
+    /// Admit one item: resident while the budget holds, spilled to the
+    /// tail run from the first failed charge on.  `cost` is the item's
+    /// resident size, `record` its spill serialization.
+    fn admit(
+        &mut self,
+        item: T,
+        cost: usize,
+        record: impl FnOnce(T) -> Vec<Value>,
+        ctx: PipelineCtx<'_>,
+    ) -> Result<()> {
+        if self.tail.is_none() {
+            if ctx.budget.charge(cost) {
+                self.charged += cost;
+                self.resident.push(item);
+                return Ok(());
+            }
+            ctx.budget.uncharge(cost);
+            self.tail = Some(Tail::Writing(RunFile::create()?));
+        }
+        match self.tail.as_mut().expect("created above") {
+            Tail::Writing(run) => run.push(&record(item)),
+            Tail::Sealed(_) => unreachable!("admit after seal"),
+        }
+    }
+}
+
+/// A tail run is written once during buffering, then sealed into its
+/// rewindable form for the per-outer-row passes.
+enum Tail {
+    Writing(RunFile),
+    Sealed(RewindableRun),
+}
+
+/// Seal a fully written buffer: flush the tail run (if any) and count its
+/// bytes as spilled.
+fn seal_tail(tail: &mut Option<Tail>, ctx: PipelineCtx<'_>) -> Result<()> {
+    if let Some(Tail::Writing(run)) = tail.take() {
+        ctx.metrics.add_bytes_spilled(run.bytes());
+        *tail = Some(Tail::Sealed(RewindableRun::from_run(run)?));
+    }
+    Ok(())
+}
+
+/// Start a pass over a sealed tail, or `None` when nothing spilled.
+fn tail_pass(tail: &mut Option<Tail>) -> Result<Option<RunPass>> {
+    match tail {
+        None => Ok(None),
+        Some(Tail::Sealed(run)) => Ok(Some(run.pass()?)),
+        Some(Tail::Writing(_)) => unreachable!("pass before seal"),
+    }
+}
+
+/// Serialize a row's frames as a spill record ([`record_row`] reverses
+/// it; inner-buffer records carry no join key).
+fn frames_record(row: Row<'_>) -> Vec<Value> {
+    row.into_frame_vec()
+        .into_iter()
+        .map(Frame::into_value)
+        .collect()
+}
+
+/// Materializes a cursor into the budget-bounded inner buffer, validating
+/// struct frames and counting the buffered rows.
+fn buffer_rows<'a>(
+    mut input: BoxedRowStream<'a>,
+    ctx: PipelineCtx<'a>,
+) -> Result<InnerBuffer<Row<'a>>> {
+    let mut buffer = InnerBuffer::default();
+    let mut buf = Vec::with_capacity(super::BATCH_ROWS);
+    loop {
+        let more = input.next_batch(&mut buf, super::BATCH_ROWS)?;
+        for row in buf.drain(..) {
+            check_struct_frames(&row)?;
+            ctx.metrics.bump_materialized();
+            let cost = approx_row_bytes(&row);
+            buffer.admit(row, cost, frames_record, ctx)?;
+        }
+        if !more {
+            break;
+        }
+    }
+    seal_tail(&mut buffer.tail, ctx)?;
+    Ok(buffer)
+}
+
 /// Nested-loop join: streams the left input, buffering the right (which is
-/// re-scanned once per left row).
+/// re-scanned once per left row — from memory, plus a rewound disk pass
+/// for any spilled tail).
 pub(crate) struct NestedLoopCursor<'a> {
     left: BoxedRowStream<'a>,
     right_input: Option<BoxedRowStream<'a>>,
-    right_rows: Vec<Row<'a>>,
+    right: InnerBuffer<Row<'a>>,
     predicate: Option<&'a ScalarExpr>,
     ctx: PipelineCtx<'a>,
     current_left: Option<Row<'a>>,
     right_index: usize,
+    /// The current left row's pass over the spilled tail; `None` until
+    /// the resident prefix is exhausted (or when nothing spilled).
+    tail_pass: Option<RunPass>,
 }
 
 impl<'a> NestedLoopCursor<'a> {
@@ -629,12 +742,37 @@ impl<'a> NestedLoopCursor<'a> {
         NestedLoopCursor {
             left,
             right_input: Some(right),
-            right_rows: Vec::new(),
+            right: InnerBuffer::default(),
             predicate,
             ctx,
             current_left: None,
             right_index: 0,
+            tail_pass: None,
         }
+    }
+
+    /// The next right-side row for the current left row: the resident
+    /// prefix first, then a sequential pass over the spilled tail.
+    fn next_right(&mut self) -> Result<Option<Row<'a>>> {
+        if self.right_index < self.right.resident.len() {
+            let row = self.right.resident[self.right_index].clone();
+            self.right_index += 1;
+            return Ok(Some(row));
+        }
+        if self.tail_pass.is_none() {
+            self.tail_pass = tail_pass(&mut self.right.tail)?;
+        }
+        let Some(pass) = self.tail_pass.as_mut() else {
+            return Ok(None);
+        };
+        Ok(pass.next_record()?.map(record_row))
+    }
+}
+
+impl Drop for NestedLoopCursor<'_> {
+    fn drop(&mut self) {
+        self.ctx.budget.uncharge(self.right.charged);
+        self.right.charged = 0;
     }
 }
 
@@ -642,7 +780,7 @@ impl<'a> RowStream<'a> for NestedLoopCursor<'a> {
     fn next_row(&mut self) -> Option<Result<Row<'a>>> {
         if let Some(right) = self.right_input.take() {
             match buffer_rows(right, self.ctx) {
-                Ok(rows) => self.right_rows = rows,
+                Ok(rows) => self.right = rows,
                 Err(err) => return Some(Err(err)),
             }
         }
@@ -657,13 +795,17 @@ impl<'a> RowStream<'a> for NestedLoopCursor<'a> {
                 }
                 self.current_left = Some(left);
                 self.right_index = 0;
+                self.tail_pass = None;
             }
-            let left = self.current_left.as_ref().expect("set above");
-            while self.right_index < self.right_rows.len() {
-                let right = &self.right_rows[self.right_index];
-                self.right_index += 1;
+            loop {
+                let right = match self.next_right() {
+                    Ok(Some(row)) => row,
+                    Ok(None) => break,
+                    Err(err) => return Some(Err(err)),
+                };
+                let left = self.current_left.as_ref().expect("set above");
                 let keep = match self.predicate {
-                    Some(p) => match eval_in_pair(p, left, right, self.ctx) {
+                    Some(p) => match eval_in_pair(p, left, &right, self.ctx) {
                         Ok(v) => truthy(&v),
                         Err(err) => return Some(Err(err)),
                     },
@@ -671,7 +813,7 @@ impl<'a> RowStream<'a> for NestedLoopCursor<'a> {
                 };
                 if keep {
                     // Only surviving pairs construct an output row.
-                    return Some(Ok(Row::joined(left.clone(), right.clone())));
+                    return Some(Ok(Row::joined(left.clone(), right)));
                 }
             }
             self.current_left = None;
@@ -685,11 +827,13 @@ impl<'a> RowStream<'a> for NestedLoopCursor<'a> {
 pub(crate) struct MergeTuplesCursor<'a> {
     left: BoxedRowStream<'a>,
     right_input: Option<BoxedRowStream<'a>>,
-    right_values: Vec<Value>,
+    right: InnerBuffer<Value>,
     on: &'a [(String, String)],
     ctx: PipelineCtx<'a>,
     current_left: Option<Value>,
     right_index: usize,
+    /// The current left value's pass over the spilled tail.
+    tail_pass: Option<RunPass>,
 }
 
 impl<'a> MergeTuplesCursor<'a> {
@@ -702,12 +846,43 @@ impl<'a> MergeTuplesCursor<'a> {
         MergeTuplesCursor {
             left,
             right_input: Some(right),
-            right_values: Vec::new(),
+            right: InnerBuffer::default(),
             on,
             ctx,
             current_left: None,
             right_index: 0,
+            tail_pass: None,
         }
+    }
+
+    /// Materializes the right input into the budget-bounded inner buffer.
+    fn buffer_right(&mut self, mut input: BoxedRowStream<'a>) -> Result<()> {
+        while let Some(row) = input.next_row() {
+            let value = row.and_then(|r| r.materialize(self.ctx.metrics))?;
+            self.ctx.metrics.bump_materialized();
+            let cost = disco_value::approx_value_bytes(&value);
+            self.right.admit(value, cost, |v| vec![v], self.ctx)?;
+        }
+        seal_tail(&mut self.right.tail, self.ctx)
+    }
+
+    /// The next right-side value for the current left value: resident
+    /// prefix first, then a sequential pass over the spilled tail.
+    fn next_right(&mut self) -> Result<Option<Value>> {
+        if self.right_index < self.right.resident.len() {
+            let value = self.right.resident[self.right_index].clone();
+            self.right_index += 1;
+            return Ok(Some(value));
+        }
+        if self.tail_pass.is_none() {
+            self.tail_pass = tail_pass(&mut self.right.tail)?;
+        }
+        let Some(pass) = self.tail_pass.as_mut() else {
+            return Ok(None);
+        };
+        Ok(pass
+            .next_record()?
+            .map(|mut rec| rec.pop().unwrap_or(Value::Null)))
     }
 
     fn merge(&self, left: &Value, right: &Value) -> Result<Option<Row<'a>>> {
@@ -727,19 +902,19 @@ impl<'a> MergeTuplesCursor<'a> {
     }
 }
 
+impl Drop for MergeTuplesCursor<'_> {
+    fn drop(&mut self) {
+        self.ctx.budget.uncharge(self.right.charged);
+        self.right.charged = 0;
+    }
+}
+
 impl<'a> RowStream<'a> for MergeTuplesCursor<'a> {
     fn next_row(&mut self) -> Option<Result<Row<'a>>> {
-        if let Some(mut right) = self.right_input.take() {
-            let mut values = Vec::new();
-            while let Some(row) = right.next_row() {
-                let value = match row.and_then(|r| r.materialize(self.ctx.metrics)) {
-                    Ok(value) => value,
-                    Err(err) => return Some(Err(err)),
-                };
-                self.ctx.metrics.bump_materialized();
-                values.push(value);
+        if let Some(right) = self.right_input.take() {
+            if let Err(err) = self.buffer_right(right) {
+                return Some(Err(err));
             }
-            self.right_values = values;
         }
         loop {
             if self.current_left.is_none() {
@@ -753,12 +928,16 @@ impl<'a> RowStream<'a> for MergeTuplesCursor<'a> {
                 };
                 self.current_left = Some(left);
                 self.right_index = 0;
+                self.tail_pass = None;
             }
-            let left = self.current_left.as_ref().expect("set above");
-            while self.right_index < self.right_values.len() {
-                let right = &self.right_values[self.right_index];
-                self.right_index += 1;
-                match self.merge(left, right) {
+            loop {
+                let right = match self.next_right() {
+                    Ok(Some(value)) => value,
+                    Ok(None) => break,
+                    Err(err) => return Some(Err(err)),
+                };
+                let left = self.current_left.as_ref().expect("set above");
+                match self.merge(left, &right) {
                     Ok(Some(row)) => return Some(Ok(row)),
                     Ok(None) => {}
                     Err(err) => return Some(Err(err)),

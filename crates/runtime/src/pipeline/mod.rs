@@ -558,6 +558,31 @@ pub enum ColumnarMode {
     Off,
 }
 
+/// Whether the heterogeneity-aware adaptive scheduler is active:
+/// speed-proportional morsel claiming (slow workers claim smaller
+/// morsels) and overlap-first hash-join build-side selection (build on
+/// whichever side's pending sources have already answered instead of
+/// blocking on cardinalities).
+///
+/// Answers stay multiset-identical with adaptivity on or off at every
+/// thread count, but two differential pins are traded for overlap while
+/// it is engaged: morsel boundaries are no longer a pure function of
+/// input length and thread count, and `rows_materialized` can differ
+/// from the pinned build side's when a hash join builds the
+/// first-answered (possibly larger) input.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AdaptiveMode {
+    /// Defer to the `DISCO_ADAPTIVE` environment variable (`1`/`true`/
+    /// `on` enable; anything else — including unset — keeps the pinned
+    /// scheduler).
+    #[default]
+    Auto,
+    /// Force adaptive scheduling on, regardless of the environment.
+    On,
+    /// Force the pinned (deterministic-boundary) scheduler.
+    Off,
+}
+
 /// Options steering cursor construction and scheduling.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PipelineOptions {
@@ -581,6 +606,10 @@ pub struct PipelineOptions {
     /// default (`Auto`) defers to `DISCO_MEM_BUDGET`, which itself
     /// defaults to unbounded — the pre-spill behavior.
     pub mem_budget: MemBudget,
+    /// Heterogeneity-aware scheduling switch; see [`AdaptiveMode`].  The
+    /// default (`Auto`) defers to `DISCO_ADAPTIVE`, which itself
+    /// defaults to off — the pinned scheduler.
+    pub adaptive: AdaptiveMode,
 }
 
 impl PipelineOptions {
@@ -630,6 +659,17 @@ impl PipelineOptions {
     pub fn effective_mem_budget(self) -> Option<usize> {
         self.mem_budget.resolve()
     }
+
+    /// Whether heterogeneity-aware adaptive scheduling is active under
+    /// these options.
+    #[must_use]
+    pub fn adaptive_enabled(self) -> bool {
+        match self.adaptive {
+            AdaptiveMode::On => true,
+            AdaptiveMode::Off => false,
+            AdaptiveMode::Auto => env_adaptive_default(),
+        }
+    }
 }
 
 /// Upper bound on the rows-per-batch knob: chunk row indices are `u32`
@@ -660,6 +700,29 @@ fn env_batch_rows() -> usize {
                 MAX_BATCH_ROWS
             }
             Ok(n) => n,
+        }
+    })
+}
+
+/// `DISCO_ADAPTIVE` (cached at first use; adaptive scheduling defaults
+/// to **off** and is enabled by `1`, `true` or `on`; anything else warns
+/// and keeps the pinned scheduler).
+fn env_adaptive_default() -> bool {
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let Ok(raw) = std::env::var("DISCO_ADAPTIVE") else {
+            return false;
+        };
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" => true,
+            "0" | "false" | "off" | "" => false,
+            _ => {
+                eprintln!(
+                    "disco: invalid DISCO_ADAPTIVE {raw:?} (want 1/true/on or 0/false/off); \
+                     keeping the pinned scheduler"
+                );
+                false
+            }
         }
     })
 }
@@ -841,21 +904,7 @@ pub(crate) fn build<'a>(
             right_key,
             residual,
         } => {
-            let build_on_left = match ctx.options.build_side {
-                BuildSide::Left => true,
-                BuildSide::Right => false,
-                BuildSide::Auto => {
-                    // Buffer the smaller input; ties and unknowns keep the
-                    // conventional right-side build.
-                    match (
-                        estimated_rows(left, ctx.resolved),
-                        estimated_rows(right, ctx.resolved),
-                    ) {
-                        (Some(l), Some(r)) => l < r,
-                        _ => false,
-                    }
-                }
-            };
+            let build_on_left = decide_build_side(left, right, ctx.options, ctx.resolved);
             Ok(Box::new(join::HashJoinCursor::new(
                 build(left, ctx)?,
                 build(right, ctx)?,
@@ -887,6 +936,58 @@ pub(crate) fn build<'a>(
             *func,
             ctx,
         ))),
+    }
+}
+
+/// Picks the hash-join build side for one `HashJoin` node — shared by
+/// the serial cursor builder and the parallel scheduler so both make the
+/// same choice and `rows_materialized` agrees at every thread count.
+///
+/// Under `BuildSide::Auto` the pinned path buffers the smaller input by
+/// blocking cardinality estimate ([`estimated_rows`] awaits pending
+/// sources).  With adaptivity engaged the decision trades that pin for
+/// overlap: only *already-answered* pending sources contribute a
+/// cardinality ([`estimated_rows_ready`]), so the build starts on
+/// whichever side answered first — behind a cost threshold
+/// ([`join::ADAPTIVE_BUILD_MAX_ROWS`]) that refuses to buffer an
+/// obviously oversized first-answered side — and never stalls waiting
+/// for a trickling source.
+pub(crate) fn decide_build_side(
+    left: &PhysicalExpr,
+    right: &PhysicalExpr,
+    options: PipelineOptions,
+    resolved: &ResolvedExecs,
+) -> bool {
+    match options.build_side {
+        BuildSide::Left => true,
+        BuildSide::Right => false,
+        BuildSide::Auto if options.adaptive_enabled() => {
+            match (
+                estimated_rows_ready(left, resolved),
+                estimated_rows_ready(right, resolved),
+            ) {
+                (Some(l), Some(r)) => l < r,
+                // Exactly one side fully answered: build it, unless it is
+                // so large that buffering it is likely worse than waiting
+                // out the streaming side.
+                (Some(l), None) => l <= join::ADAPTIVE_BUILD_MAX_ROWS,
+                // Neither answered: keep the conventional right-side
+                // build and start consuming it immediately — the build
+                // overlaps the stream instead of blocking on `await_len`.
+                (None, Some(_)) | (None, None) => false,
+            }
+        }
+        BuildSide::Auto => {
+            // Buffer the smaller input; ties and unknowns keep the
+            // conventional right-side build.
+            match (
+                estimated_rows(left, resolved),
+                estimated_rows(right, resolved),
+            ) {
+                (Some(l), Some(r)) => l < r,
+                _ => false,
+            }
+        }
     }
 }
 
@@ -940,6 +1041,49 @@ pub fn estimated_rows(plan: &PhysicalExpr, resolved: &ResolvedExecs) -> Option<u
     }
 }
 
+/// Non-blocking variant of [`estimated_rows`] for the adaptive build-side
+/// decision: a pending source contributes a cardinality only when its
+/// spool has already completed ([`crate::exec::PendingSource::finished_len`]) —
+/// a still-streaming source is `None` instead of a blocked wait.
+#[must_use]
+pub fn estimated_rows_ready(plan: &PhysicalExpr, resolved: &ResolvedExecs) -> Option<usize> {
+    match plan {
+        PhysicalExpr::MemScan(bag) => Some(bag.len()),
+        PhysicalExpr::Exec {
+            repository,
+            extent,
+            logical,
+            ..
+        } => {
+            let key = ExecKey::new(repository, extent, logical);
+            match resolved.outcome(&key) {
+                Some(ExecOutcome::Rows(rows)) => Some(rows.len()),
+                Some(ExecOutcome::Pending(source)) => source.finished_len(),
+                _ => None,
+            }
+        }
+        PhysicalExpr::FilterOp { input, .. }
+        | PhysicalExpr::ProjectOp { input, .. }
+        | PhysicalExpr::MapOp { input, .. }
+        | PhysicalExpr::BindOp { input, .. } => estimated_rows_ready(input, resolved),
+        PhysicalExpr::MkFlatten(inner) | PhysicalExpr::MkDistinct(inner) => {
+            estimated_rows_ready(inner, resolved)
+        }
+        PhysicalExpr::MkUnion(items) => items
+            .iter()
+            .map(|item| estimated_rows_ready(item, resolved))
+            .try_fold(0usize, |acc, n| n.map(|n| acc + n)),
+        PhysicalExpr::NestedLoopJoin { left, right, .. }
+        | PhysicalExpr::HashJoin { left, right, .. }
+        | PhysicalExpr::MergeTuplesJoin { left, right, .. } => {
+            let l = estimated_rows_ready(left, resolved)?;
+            let r = estimated_rows_ready(right, resolved)?;
+            l.checked_mul(r)
+        }
+        PhysicalExpr::MkAggregate { .. } => Some(1),
+    }
+}
+
 /// Evaluates a logical plan through the streaming engine, sharing the
 /// caller's metrics (used for correlated aggregate sub-queries).
 pub(crate) fn evaluate_logical_streamed(
@@ -953,6 +1097,22 @@ pub(crate) fn evaluate_logical_streamed(
     evaluate_physical_streamed(&physical, resolved, outer, metrics, options)
 }
 
+/// [`evaluate_logical_streamed`] charging an existing budget instead of
+/// allocating a fresh one — the correlated-sub-query path, where the
+/// nested evaluation must count against the *parent* execution's
+/// `DISCO_MEM_BUDGET` ceiling rather than getting its own.
+pub(crate) fn evaluate_logical_streamed_with_budget(
+    plan: &LogicalExpr,
+    resolved: &ResolvedExecs,
+    outer: &Env<'_>,
+    metrics: &PipelineMetrics,
+    options: PipelineOptions,
+    budget: &MemoryBudget,
+) -> Result<Bag> {
+    let physical = lower(plan).map_err(RuntimeError::Algebra)?;
+    evaluate_physical_streamed_with_budget(&physical, resolved, outer, metrics, options, budget)
+}
+
 /// Evaluates a physical plan through the streaming engine into a bag.
 pub(crate) fn evaluate_physical_streamed(
     plan: &PhysicalExpr,
@@ -960,6 +1120,28 @@ pub(crate) fn evaluate_physical_streamed(
     outer: &Env<'_>,
     metrics: &PipelineMetrics,
     options: PipelineOptions,
+) -> Result<Bag> {
+    // One breaker memory budget per top-level evaluation, shared with
+    // every nested (correlated sub-query) evaluation below it so that
+    // `DISCO_MEM_BUDGET` is a true per-query ceiling.  The default
+    // resolves to unbounded, where `charge` is a no-op and nothing below
+    // ever spills.
+    let budget = spill::MemoryBudget::from_limit(options.effective_mem_budget());
+    let result =
+        evaluate_physical_streamed_with_budget(plan, resolved, outer, metrics, options, &budget);
+    metrics.note_peak_tracked(budget.peak());
+    result
+}
+
+/// [`evaluate_physical_streamed`] against a caller-owned budget.  Peak
+/// tracking is the allocating caller's job — this function only charges.
+pub(crate) fn evaluate_physical_streamed_with_budget(
+    plan: &PhysicalExpr,
+    resolved: &ResolvedExecs,
+    outer: &Env<'_>,
+    metrics: &PipelineMetrics,
+    options: PipelineOptions,
+    budget: &MemoryBudget,
 ) -> Result<Bag> {
     // Pass-through roots keep the O(1) bag-adoption fast path the
     // materializing evaluator had: the answer *is* the (shared) bag, so
@@ -987,34 +1169,25 @@ pub(crate) fn evaluate_physical_streamed(
         }
         _ => {}
     }
-    // One breaker memory budget per evaluation (correlated sub-queries
-    // get their own — each nested evaluation is budgeted independently).
-    // The default resolves to unbounded, where `charge` is a no-op and
-    // nothing below ever spills.
-    let budget = spill::MemoryBudget::from_limit(options.effective_mem_budget());
-    let result = (|| {
-        if parallel::effective_threads(options) > 1 {
-            if let Some(result) =
-                parallel::try_evaluate(plan, resolved, outer, metrics, options, &budget)
-            {
-                return result;
-            }
+    if parallel::effective_threads(options) > 1 {
+        if let Some(result) =
+            parallel::try_evaluate(plan, resolved, outer, metrics, options, budget)
+        {
+            return result;
         }
-        // Serial path.  Threads are pinned to 1 so correlated sub-queries
-        // evaluated per row never re-enter the parallel scheduler.
-        let options = options.serial();
-        let ctx = PipelineCtx {
-            resolved,
-            outer,
-            metrics,
-            options,
-            budget: &budget,
-        };
-        let cursor = build(plan, ctx)?;
-        collect_with(cursor, metrics, options.effective_batch_rows())
-    })();
-    metrics.note_peak_tracked(budget.peak());
-    result
+    }
+    // Serial path.  Threads are pinned to 1 so correlated sub-queries
+    // evaluated per row never re-enter the parallel scheduler.
+    let options = options.serial();
+    let ctx = PipelineCtx {
+        resolved,
+        outer,
+        metrics,
+        options,
+        budget,
+    };
+    let cursor = build(plan, ctx)?;
+    collect_with(cursor, metrics, options.effective_batch_rows())
 }
 
 /// Builds the layered environment of a row's frames on top of `outer` and
@@ -1070,8 +1243,18 @@ pub(crate) fn eval_row_scalar(
     ctx: PipelineCtx<'_>,
 ) -> Result<Value> {
     let callback = |plan: &LogicalExpr, outer: &Env<'_>| {
-        evaluate_logical_streamed(plan, ctx.resolved, outer, ctx.metrics, ctx.options)
-            .map_err(|e| AlgebraError::Unsupported(e.to_string()))
+        // Correlated sub-queries charge the parent execution's shared
+        // budget (`ctx.budget`), not a fresh one per evaluation — k
+        // nested evaluations under one query share one ceiling.
+        evaluate_logical_streamed_with_budget(
+            plan,
+            ctx.resolved,
+            outer,
+            ctx.metrics,
+            ctx.options,
+            ctx.budget,
+        )
+        .map_err(|e| AlgebraError::Unsupported(e.to_string()))
     };
     eval_scalar_with(expr, env, &callback).map_err(RuntimeError::Algebra)
 }

@@ -33,6 +33,20 @@
 //! same rows, just split across workers ([`PipelineMetrics::merge`] sums
 //! the per-worker counts exactly).
 //!
+//! With adaptivity engaged ([`PipelineOptions::adaptive_enabled`]) one
+//! determinism guarantee is deliberately traded for heterogeneity
+//! tolerance: morsel *sizes* follow each worker's observed throughput
+//! (a `RateTracker` EWMA), so the boundaries are no longer a pure
+//! function of `(len, threads)` and can differ run over run.  Answers
+//! still cannot drift — adaptive slice claims hand out contiguous
+//! ascending ranges with ids in claim order, so the task-order merge
+//! reassembles the input order exactly, and every row is still
+//! processed exactly once.  What may legitimately vary is scheduling
+//! detail (how many claims a slow worker made) and, through the
+//! adaptive build-side choice, `rows_materialized` — which is why the
+//! differential suites compare adaptive runs against the pinned
+//! engine's *answers*, not its metrics.
+//!
 //! # Poison safety
 //!
 //! A worker that panics mid-batch must not hang the pool or abort the
@@ -59,14 +73,14 @@ use crate::{Result, RuntimeError};
 
 use super::columnar::{self, KeyedBatch};
 use super::exchange::{
-    empty_shards, morsel_ranges, shard_count, shard_of, JoinTable, KeyedRow, MorselQueue,
-    Scattered, SharedProbeCursor, MORSEL_ROWS,
+    empty_shards, morsel_ranges, morsel_size, shard_count, shard_of, JoinTable, KeyedRow,
+    MorselQueue, RateTracker, Scattered, SharedProbeCursor, MORSEL_ROWS,
 };
-use super::join::{check_struct_frames, BuildSide};
+use super::join::check_struct_frames;
 use super::sink::{AggState, SeenSet};
 use super::spill::MemoryBudget;
 use super::{
-    build, estimated_rows, BoxedRowStream, PipelineCtx, PipelineMetrics, PipelineOptions,
+    build, decide_build_side, BoxedRowStream, PipelineCtx, PipelineMetrics, PipelineOptions,
     BATCH_ROWS,
 };
 
@@ -215,13 +229,33 @@ struct StreamClaim {
     seq: usize,
 }
 
-/// Hands out tasks to workers: either a fixed, precomputed list (leaf
-/// ranges, union branches) or a stream of chunks claimed from a pending
-/// source as its rows arrive.
+/// Claim state of a [`TaskQueue::Adaptive`]: the next unclaimed row and
+/// the next task id.  Ranges are handed out contiguously in ascending
+/// order, so ids in claim order reassemble the input order at the merge.
+struct AdaptiveClaim {
+    next: usize,
+    seq: usize,
+}
+
+/// Hands out tasks to workers: a fixed, precomputed list (leaf ranges,
+/// union branches), an adaptive slice claimer that sizes each range to
+/// the claiming worker's observed throughput, or a stream of chunks
+/// claimed from a pending source as its rows arrive.
 enum TaskQueue<'q> {
     Fixed {
         queue: MorselQueue,
         tasks: Vec<Task>,
+    },
+    /// Speed-proportional slice claiming: each worker claims the next
+    /// contiguous range, sized by its [`RateTracker::claim_factor`] so a
+    /// degraded worker never holds an oversized morsel at the barrier.
+    Adaptive {
+        len: usize,
+        /// Full-speed claim size — the pinned path's morsel size for the
+        /// same `(len, threads)`.
+        base: usize,
+        claim: Mutex<AdaptiveClaim>,
+        rates: RateTracker,
     },
     Stream {
         source: &'q Arc<PendingSource>,
@@ -230,6 +264,10 @@ enum TaskQueue<'q> {
         /// source_wait`).  One shared instance is enough: waits are
         /// summed at the merge barrier, not attributed per worker.
         wait_metrics: &'q PipelineMetrics,
+        /// When adaptivity is engaged, slow workers ask the spool for
+        /// proportionally fewer rows per claim, so a fast worker is not
+        /// starved while a slow one chews an oversized chunk.
+        rates: Option<RateTracker>,
     },
 }
 
@@ -245,8 +283,16 @@ impl<'q> TaskQueue<'q> {
         source: &'q PartSource<'a>,
         threads: usize,
         wait_metrics: &'q PipelineMetrics,
+        options: PipelineOptions,
     ) -> Self {
+        let adaptive = options.adaptive_enabled() && threads > 1;
         match source {
+            PartSource::Slice { rows, .. } if adaptive => TaskQueue::Adaptive {
+                len: rows.len(),
+                base: morsel_size(rows.len(), threads),
+                claim: Mutex::new(AdaptiveClaim { next: 0, seq: 0 }),
+                rates: RateTracker::new(threads),
+            },
             PartSource::Slice { rows, .. } => TaskQueue::fixed(
                 morsel_ranges(rows.len(), threads)
                     .into_iter()
@@ -263,6 +309,7 @@ impl<'q> TaskQueue<'q> {
                 source,
                 claim: Mutex::new(StreamClaim { offset: 0, seq: 0 }),
                 wait_metrics,
+                rates: adaptive.then(|| RateTracker::new(threads)),
             },
         }
     }
@@ -284,26 +331,56 @@ impl<'q> TaskQueue<'q> {
     fn task_hint(&self) -> Option<usize> {
         match self {
             TaskQueue::Fixed { tasks, .. } => Some(tasks.len()),
+            // Sizes shrink below `base` for slow workers (making *more*
+            // claims, never fewer), so full-speed claim count bounds the
+            // useful pool.
+            TaskQueue::Adaptive { len, base, .. } => Some(len.div_ceil(*base)),
             TaskQueue::Stream { .. } => None,
         }
     }
 
-    /// Claims the next task; blocks on a stream source until rows arrive.
+    /// Claims the next task for `worker`; blocks on a stream source until
+    /// rows arrive.
     ///
     /// # Errors
     ///
     /// Stream sources propagate unavailability (deadline / reported),
     /// hard wrapper failures and contained wrapper panics.
-    fn claim(&self) -> Result<Option<Task>> {
+    fn claim(&self, worker: usize) -> Result<Option<Task>> {
         match self {
             TaskQueue::Fixed { queue, tasks } => Ok(queue.claim().map(|i| tasks[i].clone())),
+            TaskQueue::Adaptive {
+                len,
+                base,
+                claim,
+                rates,
+            } => {
+                let size = rates.scaled_claim(worker, *base);
+                let mut claim = claim.lock();
+                if claim.next >= *len {
+                    return Ok(None);
+                }
+                let start = claim.next;
+                let end = (start + size).min(*len);
+                claim.next = end;
+                let id = claim.seq;
+                claim.seq += 1;
+                Ok(Some(Task::Range {
+                    id,
+                    range: start..end,
+                }))
+            }
             TaskQueue::Stream {
                 source,
                 claim,
                 wait_metrics,
+                rates,
             } => {
+                let max = rates
+                    .as_ref()
+                    .map_or(MORSEL_ROWS, |r| r.scaled_claim(worker, MORSEL_ROWS));
                 let mut claim = claim.lock();
-                let (progress, blocked) = source.wait_rows(claim.offset, MORSEL_ROWS);
+                let (progress, blocked) = source.wait_rows(claim.offset, max);
                 if !blocked.is_zero() {
                     wait_metrics.add_source_wait(blocked);
                 }
@@ -327,6 +404,24 @@ impl<'q> TaskQueue<'q> {
                 }
             }
         }
+    }
+
+    /// Feeds one completed task back into the queue's rate tracker (a
+    /// no-op for non-adaptive queues and row-less task kinds).
+    fn note(&self, worker: usize, task: &Task, elapsed: std::time::Duration) {
+        let rates = match self {
+            TaskQueue::Adaptive { rates, .. } => rates,
+            TaskQueue::Stream {
+                rates: Some(rates), ..
+            } => rates,
+            _ => return,
+        };
+        let rows = match task {
+            Task::Range { range, .. } => range.len(),
+            Task::Chunk { rows, .. } => rows.len(),
+            Task::Whole | Task::Branch { .. } => return,
+        };
+        rates.note(worker, rows, elapsed);
     }
 }
 
@@ -453,20 +548,10 @@ fn descend<'a>(
                 residual,
             } => {
                 let stages = stages?;
-                // Same build-side decision as the serial cursor builder,
-                // so `rows_materialized` is identical at every thread
-                // count.
-                let build_on_left = match options.build_side {
-                    BuildSide::Left => true,
-                    BuildSide::Right => false,
-                    BuildSide::Auto => match (
-                        estimated_rows(left, resolved),
-                        estimated_rows(right, resolved),
-                    ) {
-                        (Some(l), Some(r)) => l < r,
-                        _ => false,
-                    },
-                };
+                // The shared decision (serial cursor builder uses the
+                // same function), so `rows_materialized` is identical at
+                // every thread count for any fixed adaptivity setting.
+                let build_on_left = decide_build_side(left, right, options, resolved);
                 let (build, probe, build_key, probe_key) = if build_on_left {
                     (left.as_ref(), right.as_ref(), left_key, right_key)
                 } else {
@@ -556,7 +641,7 @@ fn run_phases<'a>(
     }
 
     // Terminal phase over the partitioned pipeline.
-    let tasks = TaskQueue::for_source(&par.source, threads, &worker_metrics[0]);
+    let tasks = TaskQueue::for_source(&par.source, threads, &worker_metrics[0], options);
     let pipeline = PartPipeline {
         body: par.body,
         stages: &par.stages,
@@ -708,7 +793,7 @@ fn build_stage_table<'a>(
     // buffering happens exactly once, as in the serial engine.
     let source = descend(stage.build, resolved, options, None);
     let tasks = match &source {
-        Some(source) => TaskQueue::for_source(source, threads, ctxs[0].metrics),
+        Some(source) => TaskQueue::for_source(source, threads, ctxs[0].metrics, options),
         None => TaskQueue::fixed(vec![Task::Whole]),
     };
     let pipeline = PartPipeline {
@@ -956,11 +1041,15 @@ where
                 if abort.load(Ordering::Relaxed) {
                     break;
                 }
-                let (id, error) = match queue.claim() {
+                let (id, error) = match queue.claim(worker) {
                     Ok(Some(task)) => {
                         let id = task.id();
+                        let started = std::time::Instant::now();
                         match catch_unwind(AssertUnwindSafe(|| work(worker, &task))) {
-                            Ok(Ok(())) => continue,
+                            Ok(Ok(())) => {
+                                queue.note(worker, &task, started.elapsed());
+                                continue;
+                            }
                             Ok(Err(error)) => (id, error),
                             Err(payload) => {
                                 (id, RuntimeError::WorkerPanic(panic_message(&*payload)))

@@ -169,9 +169,13 @@ pub(crate) struct DistinctCursor<'a> {
     /// Bytes charged against the budget for the resident seen-set.
     charged: usize,
     /// Set when a charge fails; the next pull enters the spill path.
-    /// Trips are detected per admitted value but acted on at batch
-    /// boundaries, so the resident overshoot is at most one batch.
+    /// Trips are acted on per admitted value — a batch stops admitting
+    /// mid-way — so the resident overshoot is at most one entry.
     tripped: bool,
+    /// Rows pulled from the input but not yet admitted when a trip cut a
+    /// batch short; the spill transition routes them as candidates ahead
+    /// of the rest of the input.
+    pending: Vec<Row<'a>>,
     spill: Option<DistinctSpill>,
 }
 
@@ -219,6 +223,7 @@ impl<'a> DistinctCursor<'a> {
             scratch: Vec::new(),
             charged: 0,
             tripped: false,
+            pending: Vec::new(),
             spill: None,
         }
     }
@@ -271,6 +276,13 @@ impl<'a> DistinctCursor<'a> {
         self.ctx.budget.uncharge(self.charged);
         self.charged = 0;
         let mut input_runs = new_runs()?;
+        // Rows a trip cut out of their batch come first: they were read
+        // from the input before anything still buffered there.
+        for row in std::mem::take(&mut self.pending) {
+            let value = row.materialize(self.ctx.metrics)?;
+            let p = spill_partition(route.hash_one(&value), 0);
+            input_runs[p].push(std::slice::from_ref(&value))?;
+        }
         let mut buf = std::mem::take(&mut self.scratch);
         loop {
             buf.clear();
@@ -405,18 +417,26 @@ impl<'a> RowStream<'a> for DistinctCursor<'a> {
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
         let more = self.input.next_batch(&mut scratch, max)?;
-        for row in scratch.drain(..) {
+        let mut rows = scratch.drain(..);
+        for row in rows.by_ref() {
             if let Some(row) = self.admit(row)? {
                 out.push(row);
             }
+            // Act on a trip immediately: the rest of the batch is routed
+            // through the spill path, keeping the resident overshoot to
+            // at most one entry.
+            if self.tripped {
+                break;
+            }
         }
+        self.pending.extend(rows);
         self.scratch = scratch;
-        // A trip with the input exhausted needs no spill: every distinct
-        // value is already out the door.
-        if !more {
+        // A trip with the input fully admitted needs no spill: every
+        // distinct value is already out the door.
+        if !more && self.pending.is_empty() {
             self.tripped = false;
         }
-        Ok(more)
+        Ok(more || !self.pending.is_empty())
     }
 }
 

@@ -307,6 +307,63 @@ impl RunFile {
     }
 }
 
+/// A finished spill run supporting repeated sequential passes — the
+/// nested-loop / merge-tuples inner buffer re-scans its spilled tail once
+/// per outer row.  Unlike [`RunFileReader`], which is forward-only and
+/// read once, every [`pass`](Self::pass) rewinds the same delete-on-drop
+/// file and reads it from the start.
+pub(crate) struct RewindableRun {
+    _file: SpillFile,
+    handle: File,
+}
+
+impl RewindableRun {
+    /// Flush a written run into its rewindable form.
+    pub(crate) fn from_run(run: RunFile) -> Result<RewindableRun> {
+        let buf = run
+            .writer
+            .finish()
+            .map_err(|e| spill_err("flushing spill run", e))?;
+        let handle = buf
+            .into_inner()
+            .map_err(|e| spill_err("flushing spill run", e.into_error()))?;
+        Ok(RewindableRun {
+            _file: run.file,
+            handle,
+        })
+    }
+
+    /// Start a fresh sequential pass over the whole run.  Only one pass
+    /// should be active at a time — passes share the underlying file
+    /// cursor.
+    pub(crate) fn pass(&mut self) -> Result<RunPass> {
+        self.handle
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| spill_err("rewinding spill run", e))?;
+        let clone = self
+            .handle
+            .try_clone()
+            .map_err(|e| spill_err("reopening spill run", e))?;
+        Ok(RunPass {
+            reader: RunReader::new(BufReader::new(clone)),
+        })
+    }
+}
+
+/// One sequential pass over a [`RewindableRun`].
+pub(crate) struct RunPass {
+    reader: RunReader<BufReader<File>>,
+}
+
+impl RunPass {
+    /// Next record, or `None` at the end of the run.
+    pub(crate) fn next_record(&mut self) -> Result<Option<Vec<Value>>> {
+        self.reader
+            .next_record()
+            .map_err(|e| spill_err("reading spill run", e))
+    }
+}
+
 /// A finished spill run being read back.  Holds the delete-on-drop file
 /// handle, so the run disappears from disk as soon as the reader does.
 pub(crate) struct RunFileReader {
@@ -468,6 +525,31 @@ mod tests {
         assert_eq!(rec, vec![Value::Null]);
         assert!(reader.next_record().unwrap().is_none());
         drop(reader);
+        assert!(!path.exists(), "spill file must be removed on drop");
+    }
+
+    #[test]
+    fn rewindable_run_supports_multiple_passes_and_cleanup() {
+        let mut run = RunFile::create().expect("create run");
+        let path = run.file.path.clone();
+        run.push(&[Value::from(1i64)]).unwrap();
+        run.push(&[Value::from(2i64)]).unwrap();
+        let mut rewind = RewindableRun::from_run(run).expect("rewindable");
+        for pass_no in 0..3 {
+            let mut pass = rewind.pass().expect("pass");
+            assert_eq!(
+                pass.next_record().unwrap().unwrap(),
+                vec![Value::from(1i64)],
+                "pass {pass_no}"
+            );
+            assert_eq!(
+                pass.next_record().unwrap().unwrap(),
+                vec![Value::from(2i64)],
+                "pass {pass_no}"
+            );
+            assert!(pass.next_record().unwrap().is_none(), "pass {pass_no}");
+        }
+        drop(rewind);
         assert!(!path.exists(), "spill file must be removed on drop");
     }
 

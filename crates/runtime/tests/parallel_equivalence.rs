@@ -25,8 +25,8 @@ use common::{person, random_partial_scenario, random_plan};
 use disco_algebra::{lower, LogicalExpr, ScalarExpr, ScalarOp};
 use disco_runtime::{
     evaluate_physical_with, evaluate_physical_with_options, partial_evaluate_opts,
-    partial_evaluate_reference, reference, substitute_resolved, MemBudget, PipelineMetrics,
-    PipelineOptions, ResolvedExecs, RuntimeError,
+    partial_evaluate_reference, reference, substitute_resolved, AdaptiveMode, MemBudget,
+    PipelineMetrics, PipelineOptions, ResolvedExecs, RuntimeError,
 };
 use disco_value::Bag;
 use rand::rngs::StdRng;
@@ -351,6 +351,73 @@ fn executor_stats_report_serial_counts_at_any_thread_count() {
         assert_eq!(metrics.rows_materialized(), serial.rows_materialized());
         assert_eq!(metrics.rows_merged(), serial.rows_merged());
         assert_eq!(metrics.rows_emitted(), serial.rows_emitted());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Heterogeneity-aware adaptive scheduling: answers must be identical to
+// the pinned scheduler's at every thread count.
+// ---------------------------------------------------------------------
+
+#[test]
+fn adaptive_scheduling_matches_pinned_answers_on_random_plans() {
+    let resolved = ResolvedExecs::default();
+    for seed in 0..25u64 {
+        let mut rng = StdRng::seed_from_u64(0xADA9 + seed);
+        let plan = random_plan(&mut rng);
+        let physical = lower(&plan).expect("plan lowers");
+        let expected =
+            reference::evaluate_physical(&physical, &resolved).expect("reference evaluates");
+        for threads in [1usize, 2, 4] {
+            for adaptive in [AdaptiveMode::Off, AdaptiveMode::On] {
+                let options = PipelineOptions {
+                    threads,
+                    adaptive,
+                    ..PipelineOptions::default()
+                };
+                let actual = evaluate_physical_with_options(&physical, &resolved, options)
+                    .expect("evaluates");
+                assert_eq!(
+                    actual, expected,
+                    "seed {seed}, {threads} threads, {adaptive:?}: answers must be \
+                     multiset-equal with and without adaptive scheduling"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_deep_pipeline_is_stable_across_repeated_contended_runs() {
+    // Adaptive claiming varies morsel boundaries with observed worker
+    // speed, so repeated contended runs exercise many different claim
+    // sequences — the answer must never move.
+    let resolved = ResolvedExecs::default();
+    let physical = lower(&deep_pipeline_plan(2_000, 400)).expect("lowers");
+    let pinned = evaluate_physical_with_options(
+        &physical,
+        &resolved,
+        PipelineOptions {
+            threads: 1,
+            adaptive: AdaptiveMode::Off,
+            ..PipelineOptions::default()
+        },
+    )
+    .expect("pinned serial evaluates");
+    for threads in THREAD_COUNTS {
+        for run in 0..10u32 {
+            let options = PipelineOptions {
+                threads,
+                adaptive: AdaptiveMode::On,
+                ..PipelineOptions::default()
+            };
+            let out = evaluate_physical_with_options(&physical, &resolved, options)
+                .expect("adaptive evaluates");
+            assert_eq!(
+                out, pinned,
+                "run {run}, {threads} threads: adaptive claiming must not change the answer"
+            );
+        }
     }
 }
 

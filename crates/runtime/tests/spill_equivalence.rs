@@ -18,7 +18,7 @@
 mod common;
 
 use common::{person, random_partial_scenario, random_plan};
-use disco_algebra::{lower, LogicalExpr, ScalarExpr, ScalarOp};
+use disco_algebra::{lower, AggKind, LogicalExpr, ScalarExpr, ScalarOp};
 use disco_runtime::{
     evaluate_physical_with, partial_evaluate_opts, reference, substitute_resolved, MemBudget,
     PipelineMetrics, PipelineOptions, ResolvedExecs,
@@ -33,6 +33,16 @@ const THREAD_COUNTS: [usize; 2] = [1, 4];
 /// that a single-row partition reload does not recurse to the deepest
 /// spill level (which would only waste test time, not change answers).
 const TINY_BUDGET: usize = 256;
+
+/// The budget for the peak-bound tests: the inner-buffer shapes feed it
+/// roughly 10x this many bytes, and admission trips at row granularity,
+/// so the tracked peak may overshoot by at most one row — well inside
+/// the ~1.02x bound below.  (`TINY_BUDGET` cannot make this claim: a
+/// single ~150-byte person row is already more than 2% of 256 bytes.)
+const INNER_BUDGET: usize = 65536;
+
+/// `peak_tracked_bytes` must stay within ~1.02x of [`INNER_BUDGET`].
+const PEAK_BOUND: usize = INNER_BUDGET + INNER_BUDGET / 50;
 
 fn opts(threads: usize, mem_budget: MemBudget) -> PipelineOptions {
     PipelineOptions {
@@ -352,4 +362,284 @@ fn spilled_distinct_residual_emission_is_partition_major_not_input_order() {
          either the router became deterministic-in-order (update the \
          partition-major docs) or the budget never tripped"
     );
+}
+
+// ---------------------------------------------------------------------
+// The buffered inner sides (nested-loop and merge-tuples joins) and
+// correlated sub-queries share the breakers' budget: ~10x-budget inputs
+// must complete with identical answers and a bounded tracked peak.
+// ---------------------------------------------------------------------
+
+/// A non-equi join (lowers to a nested loop) whose right side is ~10x
+/// [`INNER_BUDGET`] bytes, so most of the inner buffer lands in the
+/// spilled tail and every left row replays it from disk.
+fn nested_loop_plan(left_rows: usize, right_rows: usize) -> LogicalExpr {
+    let left: Bag = (0..left_rows)
+        .map(|i| person(95 + (i % 5) as i64, &format!("L{i}"), i as i64))
+        .collect();
+    let right: Bag = (0..right_rows)
+        .map(|i| person((i % 101) as i64, &format!("R{}", i % 17), (i % 211) as i64))
+        .collect();
+    LogicalExpr::Join {
+        left: Box::new(LogicalExpr::Data(left).bind("x")),
+        right: Box::new(LogicalExpr::Data(right).bind("y")),
+        predicate: Some(ScalarExpr::binary(
+            ScalarOp::Lt,
+            ScalarExpr::var_field("x", "id"),
+            ScalarExpr::var_field("y", "id"),
+        )),
+    }
+    .map_project(ScalarExpr::StructLit(vec![
+        ("name".into(), ScalarExpr::var_field("y", "name")),
+        (
+            "total".into(),
+            ScalarExpr::binary(
+                ScalarOp::Add,
+                ScalarExpr::var_field("x", "salary"),
+                ScalarExpr::var_field("y", "salary"),
+            ),
+        ),
+    ]))
+}
+
+#[test]
+fn nested_loop_inner_buffer_spills_within_the_peak_bound_and_matches() {
+    let resolved = ResolvedExecs::default();
+    let physical = lower(&nested_loop_plan(16, 4_500)).expect("lowers");
+
+    let unbounded = PipelineMetrics::new();
+    let expected = evaluate_physical_with(
+        &physical,
+        &resolved,
+        &unbounded,
+        opts(1, MemBudget::Unbounded),
+    )
+    .expect("unbounded evaluates");
+    assert_eq!(unbounded.bytes_spilled(), 0);
+    assert!(
+        !expected.is_empty(),
+        "the non-equi predicate must match pairs"
+    );
+
+    for threads in THREAD_COUNTS {
+        let metrics = PipelineMetrics::new();
+        let out = evaluate_physical_with(
+            &physical,
+            &resolved,
+            &metrics,
+            opts(threads, MemBudget::Bytes(INNER_BUDGET)),
+        )
+        .expect("budgeted evaluates");
+        assert_eq!(
+            out, expected,
+            "{threads} threads: the spilled inner must not change the answer"
+        );
+        assert!(
+            metrics.bytes_spilled() > 0,
+            "{threads} threads: a ~10x-budget inner side must spill"
+        );
+        let peak = metrics.peak_tracked_bytes();
+        assert!(peak > 0, "{threads} threads: bounded budgets track bytes");
+        assert!(
+            peak <= PEAK_BOUND,
+            "{threads} threads: peak {peak} exceeds ~1.02x of the \
+             {INNER_BUDGET}-byte budget"
+        );
+    }
+}
+
+/// A source-style merge-tuples join whose right side is ~10x the budget;
+/// its inner buffer holds raw `Value`s rather than frame rows but runs
+/// through the same admit/seal/tail-pass machinery.
+fn merge_tuples_plan(left_rows: usize, right_rows: usize) -> LogicalExpr {
+    let left: Bag = (0..left_rows)
+        .map(|i| person((i % 13) as i64, &format!("L{i}"), i as i64))
+        .collect();
+    let right: Bag = (0..right_rows)
+        .map(|i| person((i % 101) as i64, &format!("R{}", i % 17), (i % 211) as i64))
+        .collect();
+    LogicalExpr::SourceJoin {
+        left: Box::new(LogicalExpr::Data(left)),
+        right: Box::new(LogicalExpr::Data(right)),
+        on: vec![("id".into(), "id".into())],
+    }
+}
+
+#[test]
+fn merge_tuples_inner_buffer_spills_within_the_peak_bound_and_matches() {
+    let resolved = ResolvedExecs::default();
+    let physical = lower(&merge_tuples_plan(16, 4_500)).expect("lowers");
+
+    let unbounded = PipelineMetrics::new();
+    let expected = evaluate_physical_with(
+        &physical,
+        &resolved,
+        &unbounded,
+        opts(1, MemBudget::Unbounded),
+    )
+    .expect("unbounded evaluates");
+    assert_eq!(unbounded.bytes_spilled(), 0);
+    assert!(!expected.is_empty(), "the equi keys must match pairs");
+
+    for threads in THREAD_COUNTS {
+        let metrics = PipelineMetrics::new();
+        let out = evaluate_physical_with(
+            &physical,
+            &resolved,
+            &metrics,
+            opts(threads, MemBudget::Bytes(INNER_BUDGET)),
+        )
+        .expect("budgeted evaluates");
+        assert_eq!(
+            out, expected,
+            "{threads} threads: the spilled inner must not change the answer"
+        );
+        assert!(
+            metrics.bytes_spilled() > 0,
+            "{threads} threads: a ~10x-budget inner side must spill"
+        );
+        let peak = metrics.peak_tracked_bytes();
+        assert!(
+            peak <= PEAK_BOUND,
+            "{threads} threads: peak {peak} exceeds ~1.02x of the \
+             {INNER_BUDGET}-byte budget"
+        );
+    }
+}
+
+/// A correlated aggregate whose per-outer-row sub-query runs a distinct
+/// over ~10x-budget data: the sub-query's seen-set charges the *parent*
+/// execution's shared budget, so it must spill — and the parent's
+/// tracked peak stays within the same ~1.02x bound.
+fn correlated_distinct_plan(outer_rows: usize, inner_rows: usize) -> LogicalExpr {
+    let inner: Bag = (0..inner_rows)
+        .map(|i| person((i % 397) as i64, &format!("n{i}"), (i % 397) as i64))
+        .collect();
+    let subplan = LogicalExpr::Distinct(Box::new(
+        LogicalExpr::Data(inner)
+            .bind("z")
+            .filter(ScalarExpr::binary(
+                ScalarOp::Lt,
+                ScalarExpr::var_field("x", "id"),
+                ScalarExpr::var_field("z", "salary"),
+            ))
+            .map_project(ScalarExpr::var_field("z", "name")),
+    ));
+    LogicalExpr::Data(
+        (0..outer_rows)
+            .map(|i| person(i as i64, &format!("O{i}"), i as i64))
+            .collect::<Bag>(),
+    )
+    .bind("x")
+    .map_project(ScalarExpr::StructLit(vec![
+        ("name".into(), ScalarExpr::var_field("x", "name")),
+        (
+            "matches".into(),
+            ScalarExpr::Agg(AggKind::Count, Box::new(subplan)),
+        ),
+    ]))
+}
+
+#[test]
+fn correlated_subqueries_spill_against_the_parent_budget() {
+    let resolved = ResolvedExecs::default();
+    let physical = lower(&correlated_distinct_plan(8, 4_000)).expect("lowers");
+
+    let unbounded = PipelineMetrics::new();
+    let expected = evaluate_physical_with(
+        &physical,
+        &resolved,
+        &unbounded,
+        opts(1, MemBudget::Unbounded),
+    )
+    .expect("unbounded evaluates");
+    assert_eq!(unbounded.bytes_spilled(), 0);
+
+    for threads in THREAD_COUNTS {
+        let metrics = PipelineMetrics::new();
+        let out = evaluate_physical_with(
+            &physical,
+            &resolved,
+            &metrics,
+            opts(threads, MemBudget::Bytes(INNER_BUDGET)),
+        )
+        .expect("budgeted evaluates");
+        assert_eq!(
+            out, expected,
+            "{threads} threads: spilled sub-queries must not change the answer"
+        );
+        assert!(
+            metrics.bytes_spilled() > 0,
+            "{threads} threads: each sub-query's distinct holds ~10x the \
+             shared budget and must spill"
+        );
+        let peak = metrics.peak_tracked_bytes();
+        assert!(
+            peak <= PEAK_BOUND,
+            "{threads} threads: peak {peak} exceeds ~1.02x of the \
+             {INNER_BUDGET}-byte budget shared with sub-queries"
+        );
+    }
+}
+
+/// A nested-loop join whose left (streamed) side carries one malformed
+/// row — missing `id`, so the predicate itself errors — after the right
+/// side has already been buffered and spilled.
+fn poisoned_nested_loop_plan() -> LogicalExpr {
+    let left: Bag = (0..800)
+        .map(|i| {
+            if i == 177 {
+                Value::Struct(StructValue::new(vec![("name", Value::from("broken"))]).unwrap())
+            } else {
+                // ids far above every right id: the Lt predicate matches
+                // nothing, keeping the run cheap.
+                person(200 + (i % 5) as i64, &format!("p{i}"), i as i64)
+            }
+        })
+        .collect();
+    let right: Bag = (0..1_200)
+        .map(|i| person((i % 101) as i64, &format!("r{}", i % 17), (i % 211) as i64))
+        .collect();
+    LogicalExpr::Join {
+        left: Box::new(LogicalExpr::Data(left).bind("x")),
+        right: Box::new(LogicalExpr::Data(right).bind("y")),
+        predicate: Some(ScalarExpr::binary(
+            ScalarOp::Lt,
+            ScalarExpr::var_field("x", "id"),
+            ScalarExpr::var_field("y", "id"),
+        )),
+    }
+    .map_project(ScalarExpr::var_field("x", "name"))
+}
+
+#[test]
+fn nested_loop_errors_after_spill_match_the_unbounded_error_exactly() {
+    let resolved = ResolvedExecs::default();
+    let physical = lower(&poisoned_nested_loop_plan()).expect("lowers");
+    for threads in THREAD_COUNTS {
+        let unbounded = evaluate_physical_with(
+            &physical,
+            &resolved,
+            &PipelineMetrics::new(),
+            opts(threads, MemBudget::Unbounded),
+        )
+        .expect_err("missing field errors");
+        let metrics = PipelineMetrics::new();
+        let budgeted = evaluate_physical_with(
+            &physical,
+            &resolved,
+            &metrics,
+            opts(threads, MemBudget::Bytes(INNER_BUDGET)),
+        )
+        .expect_err("missing field errors under budget too");
+        assert_eq!(
+            budgeted.to_string(),
+            unbounded.to_string(),
+            "{threads} threads: identical error text"
+        );
+        assert!(
+            metrics.bytes_spilled() > 0,
+            "{threads} threads: the inner buffer spilled before the error"
+        );
+    }
 }

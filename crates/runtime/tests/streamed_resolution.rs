@@ -20,7 +20,7 @@ use disco_algebra::{lower, AggKind, LogicalExpr, ScalarExpr, ScalarOp};
 use disco_catalog::{
     Attribute, Catalog, InterfaceDef, MetaExtent, Repository, TypeRef, WrapperDef,
 };
-use disco_runtime::{Answer, Executor, ResolutionMode, RuntimeError};
+use disco_runtime::{AdaptiveMode, Answer, Executor, ResolutionMode, RuntimeError};
 use disco_source::{generator, Availability, NetworkProfile, RelationalStore, SimulatedLink};
 use disco_value::Value;
 use disco_wrapper::{RelationalWrapper, Wrapper, WrapperAnswer, WrapperError, WrapperRegistry};
@@ -291,6 +291,77 @@ fn degraded_source_streams_slowly_but_equivalently() {
     let plan = LogicalExpr::Union((0..3).map(|i| branch(i, 0)).collect());
     assert_equivalent(&plan, &federation, 1, "degraded");
     assert_equivalent(&plan, &federation, 4, "degraded parallel");
+}
+
+// ---------------------------------------------------------------------
+// Adaptive scheduling over streamed federations: the adaptive build-side
+// choice (build whichever source answered first) and rate-scaled claims
+// must be answer-transparent in both resolution modes.
+// ---------------------------------------------------------------------
+
+fn execute_adaptive(
+    federation: &Federation,
+    plan: &LogicalExpr,
+    mode: ResolutionMode,
+    threads: usize,
+    adaptive: AdaptiveMode,
+) -> Answer {
+    let physical = lower(plan).unwrap();
+    Executor::new(federation.registry.clone())
+        .with_resolution(mode)
+        .with_threads(threads)
+        .with_adaptive(adaptive)
+        .with_deadline(Some(Duration::from_secs(5)))
+        .execute(&physical, &federation.catalog)
+        .expect("federated plan executes")
+}
+
+#[test]
+fn adaptive_scheduling_is_transparent_over_streamed_federations() {
+    let mut rng = StdRng::seed_from_u64(0xADA);
+    for trial in 0..8u64 {
+        let n = rng.gen_range(2..5usize);
+        // One source trickles behind the others so the adaptive engine
+        // has a genuinely heterogeneous federation to schedule around.
+        let mut profiles = vec![instant_profile(4); n];
+        profiles[0] = NetworkProfile {
+            real_sleep: true,
+            availability: Availability::Degraded { chunk_extra_ms: 2 },
+            ..instant_profile(4)
+        };
+        let federation = federation_with(&profiles, rng.gen_range(10..40), 300 + trial);
+        let plan = random_federated_plan(&mut rng, n);
+        for mode in [ResolutionMode::Blocking, ResolutionMode::Streamed] {
+            for threads in [1usize, 4] {
+                let pinned = execute_adaptive(&federation, &plan, mode, threads, AdaptiveMode::Off);
+                let adaptive =
+                    execute_adaptive(&federation, &plan, mode, threads, AdaptiveMode::On);
+                let label = format!("trial {trial} {mode:?} threads {threads}");
+                // `rows_materialized` is deliberately NOT compared: the
+                // adaptive build-side choice may buffer the other input.
+                assert_eq!(
+                    pinned.data(),
+                    adaptive.data(),
+                    "{label}: answer multisets differ"
+                );
+                assert_eq!(
+                    pinned.is_complete(),
+                    adaptive.is_complete(),
+                    "{label}: completeness differs"
+                );
+                assert_eq!(
+                    pinned.residual(),
+                    adaptive.residual(),
+                    "{label}: residual plans differ"
+                );
+                assert_eq!(
+                    pinned.unavailable_sources(),
+                    adaptive.unavailable_sources(),
+                    "{label}: unavailable classification differs"
+                );
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -8,7 +8,7 @@ use disco_algebra::{CapabilitySet, LogicalExpr};
 use disco_source::{CsvSource, SimulatedLink};
 use disco_value::Value;
 
-use crate::interface::{Wrapper, WrapperAnswer};
+use crate::interface::{AnswerSink, AnswerSummary, Wrapper, WrapperAnswer};
 use crate::WrapperError;
 
 /// A `get`-only wrapper over a [`CsvSource`].
@@ -32,6 +32,36 @@ impl CsvWrapper {
     #[must_use]
     pub fn link(&self) -> &Arc<SimulatedLink> {
         &self.link
+    }
+
+    /// Checks the pushed expression and scans the file: the shared front
+    /// half of [`Wrapper::submit`] and [`Wrapper::submit_streaming`],
+    /// everything except latency accounting and delivery.
+    fn fetch(&self, expr: &LogicalExpr) -> Result<(Vec<Value>, usize), WrapperError> {
+        self.capabilities()
+            .accepts_named(expr, &self.name)
+            .map_err(WrapperError::Capability)?;
+        let LogicalExpr::Get { collection } = expr else {
+            return Err(WrapperError::Capability(
+                disco_algebra::AlgebraError::CapabilityViolation {
+                    operator: expr.op_name().to_owned(),
+                    wrapper: self.name.clone(),
+                },
+            ));
+        };
+        if collection != self.source.table().name() {
+            return Err(WrapperError::Source(
+                disco_source::SourceError::UnknownTable(collection.clone()),
+            ));
+        }
+        if !self.link.is_available() {
+            return Err(WrapperError::Unavailable {
+                endpoint: self.link.endpoint().to_owned(),
+            });
+        }
+        let rows = self.source.scan();
+        let count = rows.len();
+        Ok((rows.into_iter().map(Value::Struct).collect(), count))
     }
 }
 
@@ -58,40 +88,27 @@ impl Wrapper for CsvWrapper {
     }
 
     fn submit(&self, expr: &LogicalExpr) -> Result<WrapperAnswer, WrapperError> {
-        self.capabilities()
-            .accepts_named(expr, &self.name)
-            .map_err(WrapperError::Capability)?;
-        let LogicalExpr::Get { collection } = expr else {
-            return Err(WrapperError::Capability(
-                disco_algebra::AlgebraError::CapabilityViolation {
-                    operator: expr.op_name().to_owned(),
-                    wrapper: self.name.clone(),
-                },
-            ));
-        };
-        if collection != self.source.table().name() {
-            return Err(WrapperError::Source(
-                disco_source::SourceError::UnknownTable(collection.clone()),
-            ));
-        }
-        if !self.link.is_available() {
-            return Err(WrapperError::Unavailable {
-                endpoint: self.link.endpoint().to_owned(),
-            });
-        }
-        let rows = self.source.scan();
-        let count = rows.len();
-        let latency = self
-            .link
-            .call_delay(count)
-            .ok_or_else(|| WrapperError::Unavailable {
-                endpoint: self.link.endpoint().to_owned(),
-            })?;
+        let (rows, rows_scanned) = self.fetch(expr)?;
+        let latency =
+            self.link
+                .call_delay(rows.len())
+                .ok_or_else(|| WrapperError::Unavailable {
+                    endpoint: self.link.endpoint().to_owned(),
+                })?;
         Ok(WrapperAnswer {
-            rows: rows.into_iter().map(Value::Struct).collect(),
-            rows_scanned: count,
+            rows: rows.into_iter().collect(),
+            rows_scanned,
             latency,
         })
+    }
+
+    fn submit_streaming(
+        &self,
+        expr: &LogicalExpr,
+        sink: &mut dyn AnswerSink,
+    ) -> Result<AnswerSummary, WrapperError> {
+        let (rows, rows_scanned) = self.fetch(expr)?;
+        crate::streaming::stream_chunks(&self.link, rows, rows_scanned, sink)
     }
 
     fn is_available(&self) -> bool {
@@ -128,6 +145,31 @@ mod tests {
             .submit(&LogicalExpr::get("measurements0").project(["site"]))
             .unwrap_err();
         assert!(matches!(err, WrapperError::Capability(_)));
+    }
+
+    #[test]
+    fn streaming_delivers_the_file_in_link_sized_chunks() {
+        struct Collect(Vec<usize>);
+        impl crate::AnswerSink for Collect {
+            fn push(&mut self, rows: disco_value::Bag) -> bool {
+                self.0.push(rows.len());
+                true
+            }
+        }
+        let source = CsvSource::from_text("measurements0", CSV).unwrap();
+        let link = Arc::new(SimulatedLink::new(
+            "r_csv",
+            NetworkProfile::fast().with_chunk_rows(1),
+            5,
+        ));
+        let w = CsvWrapper::new("w_csv", source, link);
+        let mut sink = Collect(Vec::new());
+        let summary = w
+            .submit_streaming(&LogicalExpr::get("measurements0"), &mut sink)
+            .unwrap();
+        assert_eq!(sink.0, vec![1, 1], "two rows, one per chunk");
+        assert_eq!(summary.rows_scanned, 2);
+        assert!(summary.latency > std::time::Duration::ZERO);
     }
 
     #[test]

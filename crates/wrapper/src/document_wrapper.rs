@@ -13,7 +13,7 @@ use disco_algebra::{
 use disco_source::{DocumentStore, SimulatedLink};
 use disco_value::Value;
 
-use crate::interface::{Wrapper, WrapperAnswer};
+use crate::interface::{AnswerSink, AnswerSummary, Wrapper, WrapperAnswer};
 use crate::WrapperError;
 
 /// A wrapper over a [`DocumentStore`], supporting `get` and
@@ -49,6 +49,54 @@ impl DocumentWrapper {
             operator: operator.to_owned(),
             wrapper: self.name.clone(),
         })
+    }
+
+    /// Checks the pushed expression and answers it from the store: the
+    /// shared front half of [`Wrapper::submit`] and
+    /// [`Wrapper::submit_streaming`], everything except latency
+    /// accounting and delivery.
+    fn fetch(&self, expr: &LogicalExpr) -> Result<(Vec<Value>, usize), WrapperError> {
+        self.capabilities()
+            .accepts_named(expr, &self.name)
+            .map_err(WrapperError::Capability)?;
+        if !self.link.is_available() {
+            return Err(WrapperError::Unavailable {
+                endpoint: self.link.endpoint().to_owned(),
+            });
+        }
+        let (rows, scanned) = match expr {
+            LogicalExpr::Get { .. } => {
+                let rows = self.store.scan();
+                let n = rows.len();
+                (rows, n)
+            }
+            LogicalExpr::Filter { input, predicate } => {
+                if !matches!(input.as_ref(), LogicalExpr::Get { .. }) {
+                    return Err(self.capability_violation("select over non-get"));
+                }
+                let Some((attr, value)) = Self::equality_lookup(predicate) else {
+                    return Err(self.capability_violation("non-equality predicate"));
+                };
+                if attr == "keyword" {
+                    // Native keyword index: only matching documents are touched.
+                    let keyword = value.as_str().map_err(AlgebraError::from)?.to_owned();
+                    let rows = self.store.search(&keyword);
+                    let n = rows.len();
+                    (rows, n)
+                } else {
+                    // Equality on another attribute: scan then filter.
+                    let all = self.store.scan();
+                    let scanned = all.len();
+                    let rows: Vec<_> = all
+                        .into_iter()
+                        .filter(|row| row.field(&attr).map(|v| v == &value).unwrap_or(false))
+                        .collect();
+                    (rows, scanned)
+                }
+            }
+            other => return Err(self.capability_violation(other.op_name())),
+        };
+        Ok((rows.into_iter().map(Value::Struct).collect(), scanned))
     }
 
     /// Extracts `attr = "literal"` from a pushed predicate.
@@ -94,46 +142,7 @@ impl Wrapper for DocumentWrapper {
     }
 
     fn submit(&self, expr: &LogicalExpr) -> Result<WrapperAnswer, WrapperError> {
-        self.capabilities()
-            .accepts_named(expr, &self.name)
-            .map_err(WrapperError::Capability)?;
-        if !self.link.is_available() {
-            return Err(WrapperError::Unavailable {
-                endpoint: self.link.endpoint().to_owned(),
-            });
-        }
-        let (rows, scanned) = match expr {
-            LogicalExpr::Get { .. } => {
-                let rows = self.store.scan();
-                let n = rows.len();
-                (rows, n)
-            }
-            LogicalExpr::Filter { input, predicate } => {
-                if !matches!(input.as_ref(), LogicalExpr::Get { .. }) {
-                    return Err(self.capability_violation("select over non-get"));
-                }
-                let Some((attr, value)) = Self::equality_lookup(predicate) else {
-                    return Err(self.capability_violation("non-equality predicate"));
-                };
-                if attr == "keyword" {
-                    // Native keyword index: only matching documents are touched.
-                    let keyword = value.as_str().map_err(AlgebraError::from)?.to_owned();
-                    let rows = self.store.search(&keyword);
-                    let n = rows.len();
-                    (rows, n)
-                } else {
-                    // Equality on another attribute: scan then filter.
-                    let all = self.store.scan();
-                    let scanned = all.len();
-                    let rows: Vec<_> = all
-                        .into_iter()
-                        .filter(|row| row.field(&attr).map(|v| v == &value).unwrap_or(false))
-                        .collect();
-                    (rows, scanned)
-                }
-            }
-            other => return Err(self.capability_violation(other.op_name())),
-        };
+        let (rows, rows_scanned) = self.fetch(expr)?;
         let latency =
             self.link
                 .call_delay(rows.len())
@@ -141,10 +150,19 @@ impl Wrapper for DocumentWrapper {
                     endpoint: self.link.endpoint().to_owned(),
                 })?;
         Ok(WrapperAnswer {
-            rows: rows.into_iter().map(Value::Struct).collect(),
-            rows_scanned: scanned,
+            rows: rows.into_iter().collect(),
+            rows_scanned,
             latency,
         })
+    }
+
+    fn submit_streaming(
+        &self,
+        expr: &LogicalExpr,
+        sink: &mut dyn AnswerSink,
+    ) -> Result<AnswerSummary, WrapperError> {
+        let (rows, rows_scanned) = self.fetch(expr)?;
+        crate::streaming::stream_chunks(&self.link, rows, rows_scanned, sink)
     }
 
     fn is_available(&self) -> bool {
@@ -198,6 +216,46 @@ mod tests {
         let answer = w.submit(&expr).unwrap();
         assert_eq!(answer.rows_returned(), 1);
         assert_eq!(answer.rows_scanned, 40);
+    }
+
+    #[test]
+    fn streaming_chunks_keyword_hits_and_honours_cancellation() {
+        struct Collect {
+            chunks: Vec<usize>,
+            cancel_after: usize,
+        }
+        impl crate::AnswerSink for Collect {
+            fn push(&mut self, rows: disco_value::Bag) -> bool {
+                self.chunks.push(rows.len());
+                self.chunks.len() < self.cancel_after
+            }
+        }
+        let store = Arc::new(generator::document_store(40, 3));
+        let link = Arc::new(SimulatedLink::new(
+            "r_doc",
+            NetworkProfile::fast().with_chunk_rows(8),
+            9,
+        ));
+        let w = DocumentWrapper::new("w_doc", store, link);
+        let mut sink = Collect {
+            chunks: Vec::new(),
+            cancel_after: usize::MAX,
+        };
+        let summary = w
+            .submit_streaming(&LogicalExpr::get("documents"), &mut sink)
+            .unwrap();
+        assert_eq!(sink.chunks, vec![8, 8, 8, 8, 8]);
+        assert_eq!(summary.rows_scanned, 40);
+        // A sink that disconnects after the first chunk stops the stream.
+        let mut early = Collect {
+            chunks: Vec::new(),
+            cancel_after: 1,
+        };
+        let summary = w
+            .submit_streaming(&LogicalExpr::get("documents"), &mut early)
+            .unwrap();
+        assert_eq!(early.chunks, vec![8], "stream stops at disconnect");
+        assert_eq!(summary.rows_scanned, 40);
     }
 
     #[test]

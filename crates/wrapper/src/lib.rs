@@ -21,6 +21,7 @@ mod eval;
 mod interface;
 mod mapping;
 mod relational_wrapper;
+mod streaming;
 
 pub use csv_wrapper::CsvWrapper;
 pub use document_wrapper::DocumentWrapper;

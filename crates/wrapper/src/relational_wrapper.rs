@@ -126,32 +126,12 @@ impl Wrapper for RelationalWrapper {
         let result = eval_pushed(expr, &move |collection: &str| {
             store.scan(collection).map_err(WrapperError::from)
         })?;
-        let rows = result.rows.into_values();
-        let mut offset = 0usize;
-        let mut latency = std::time::Duration::ZERO;
-        let mut first = true;
-        for size in self.link.chunk_sizes(rows.len()) {
-            if sink.is_cancelled() {
-                break;
-            }
-            let delay = self
-                .link
-                .chunk_delay(size, first, &|| sink.is_cancelled())
-                .ok_or_else(|| WrapperError::Unavailable {
-                    endpoint: self.link.endpoint().to_owned(),
-                })?;
-            latency += delay;
-            first = false;
-            let chunk: disco_value::Bag = rows[offset..offset + size].iter().cloned().collect();
-            offset += size;
-            if !sink.push(chunk) {
-                break;
-            }
-        }
-        Ok(AnswerSummary {
-            rows_scanned: result.rows_scanned,
-            latency,
-        })
+        crate::streaming::stream_chunks(
+            &self.link,
+            result.rows.into_values(),
+            result.rows_scanned,
+            sink,
+        )
     }
 
     fn is_available(&self) -> bool {

@@ -1,0 +1,56 @@
+//! The shared chunked-delivery loop of streamed `submit` calls.
+//!
+//! Every wrapper over a [`SimulatedLink`] streams the same way: split the
+//! answer into the link's chunk sizes, pay (and report) each chunk's
+//! simulated latency, and push the chunk into the consumer's sink —
+//! stopping promptly when the consumer disconnects.  Factoring the loop
+//! here keeps the latency/cancellation semantics identical across the
+//! relational, CSV and document wrappers.
+
+use std::time::Duration;
+
+use disco_source::SimulatedLink;
+use disco_value::{Bag, Value};
+
+use crate::interface::{AnswerSink, AnswerSummary};
+use crate::WrapperError;
+
+/// Delivers `rows` through `sink` in the link's chunk sizes, metering
+/// each chunk's simulated delay.  Cancellation is honoured both between
+/// chunks and inside a chunk's (real-sleep) delay; a mid-stream
+/// disconnect returns the summary of what was delivered so far.
+///
+/// # Errors
+///
+/// [`WrapperError::Unavailable`] when the link fails mid-stream.
+pub(crate) fn stream_chunks(
+    link: &SimulatedLink,
+    rows: Vec<Value>,
+    rows_scanned: usize,
+    sink: &mut dyn AnswerSink,
+) -> Result<AnswerSummary, WrapperError> {
+    let mut offset = 0usize;
+    let mut latency = Duration::ZERO;
+    let mut first = true;
+    for size in link.chunk_sizes(rows.len()) {
+        if sink.is_cancelled() {
+            break;
+        }
+        let delay = link
+            .chunk_delay(size, first, &|| sink.is_cancelled())
+            .ok_or_else(|| WrapperError::Unavailable {
+                endpoint: link.endpoint().to_owned(),
+            })?;
+        latency += delay;
+        first = false;
+        let chunk: Bag = rows[offset..offset + size].iter().cloned().collect();
+        offset += size;
+        if !sink.push(chunk) {
+            break;
+        }
+    }
+    Ok(AnswerSummary {
+        rows_scanned,
+        latency,
+    })
+}
